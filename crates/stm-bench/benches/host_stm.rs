@@ -1,0 +1,80 @@
+//! Host-machine micro-benchmarks of the STM primitives (native atomics,
+//! real threads) — latency of the core operations a downstream user pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stm_core::machine::host::HostMachine;
+use stm_core::ops::StmOps;
+use stm_core::stm::StmConfig;
+
+fn bench_fetch_add(c: &mut Criterion) {
+    let ops = StmOps::new(0, 64, 2, 16, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+    let mut port = machine.port(0);
+    c.bench_function("host/fetch_add/uncontended", |b| {
+        b.iter(|| ops.fetch_add(&mut port, 0, 1))
+    });
+}
+
+fn bench_mwcas_width(c: &mut Criterion) {
+    let ops = StmOps::new(0, 64, 2, 16, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+    let mut port = machine.port(0);
+    let mut group = c.benchmark_group("host/mwcas_width");
+    for k in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            let cells: Vec<usize> = (0..k).collect();
+            // Start from the cells' current values (the machine is shared
+            // across widths, so earlier widths already advanced them).
+            let mut expected = ops.snapshot(&mut port, &cells);
+            b.iter(|| {
+                let entries: Vec<(usize, u32, u32)> =
+                    cells.iter().map(|&c| (c, expected[c], expected[c] + 1)).collect();
+                ops.mwcas(&mut port, &entries).expect("single-threaded mwcas succeeds");
+                for v in &mut expected {
+                    *v += 1;
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let ops = StmOps::new(0, 64, 2, 16, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+    let mut port = machine.port(0);
+    let cells: Vec<usize> = (0..8).collect();
+    c.bench_function("host/snapshot/8cells", |b| b.iter(|| ops.snapshot(&mut port, &cells)));
+}
+
+fn bench_contended_counter(c: &mut Criterion) {
+    // Two real threads hammering one cell: measures end-to-end contended
+    // commit cost including helping.
+    let ops = StmOps::new(0, 4, 2, 4, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+    c.bench_function("host/fetch_add/contended_2threads", |b| {
+        b.iter_custom(|iters| {
+            let start = std::time::Instant::now();
+            std::thread::scope(|s| {
+                for p in 0..2 {
+                    let ops = ops.clone();
+                    let machine = machine.clone();
+                    s.spawn(move || {
+                        let mut port = machine.port(p);
+                        for _ in 0..iters {
+                            ops.fetch_add(&mut port, 0, 1);
+                        }
+                    });
+                }
+            });
+            start.elapsed()
+        })
+    });
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(20).measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_fetch_add, bench_mwcas_width, bench_snapshot, bench_contended_counter
+);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Criterion wrapper around small simulator runs: wall-clock cost of
+//! simulating each method on the counting benchmark (also a regression guard
+//! for simulator performance).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use stm_bench::workloads::{run_point, ArchKind, Bench};
+use stm_structures::Method;
+
+fn bench_sim_counting(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/counting_bus_p4");
+    for method in Method::PAPER {
+        group.bench_with_input(BenchmarkId::from_parameter(method.label()), &method, |b, &m| {
+            b.iter(|| run_point(Bench::Counting, ArchKind::Bus, m, 4, 128, 7))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sim_queue(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim/queue_mesh_p4");
+    for method in [Method::Stm, Method::Mcs] {
+        group.bench_with_input(BenchmarkId::from_parameter(method.label()), &method, |b, &m| {
+            b.iter(|| run_point(Bench::Queue, ArchKind::Mesh, m, 4, 128, 7))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_sim_counting, bench_sim_queue
+);
+criterion_main!(benches);

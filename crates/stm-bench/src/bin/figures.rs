@@ -1,0 +1,309 @@
+//! Regenerate the figures and tables of the Shavit–Touitou evaluation.
+//!
+//! ```text
+//! cargo run -p stm-bench --release --bin figures -- [EXPERIMENTS] [OPTIONS]
+//!
+//! EXPERIMENTS (any subset; default: all)
+//!   counting-bus counting-mesh queue-bus queue-mesh
+//!   resource-bus resource-mesh prio-bus prio-mesh
+//!   summary ablate-helping ablate-backoff
+//!
+//! OPTIONS
+//!   --ops N        total operations per data point (default 2048)
+//!   --quick        sweep P in {1,2,4,8} instead of the paper's {1..64}
+//!   --procs LIST   comma-separated processor counts (overrides --quick)
+//!   --seed S       schedule seed (default 0x5EED)
+//!   --out DIR      CSV output directory (default results/)
+//! ```
+//!
+//! Each experiment prints the paper-shaped throughput table and writes a CSV
+//! under the output directory. See DESIGN.md §6 for the experiment index and
+//! EXPERIMENTS.md for recorded paper-vs-measured comparisons.
+
+use std::path::PathBuf;
+
+use stm_bench::runner::{summarize, Sweep, PAPER_PROCS, QUICK_PROCS};
+use stm_bench::table::{render_table, write_csv};
+use stm_bench::workloads::{ArchKind, Bench, DataPoint};
+use stm_core::stm::BackoffPolicy;
+use stm_structures::Method;
+
+#[derive(Debug, Clone)]
+struct Options {
+    experiments: Vec<String>,
+    ops: u64,
+    procs: Vec<usize>,
+    seed: u64,
+    out: PathBuf,
+}
+
+const ALL_EXPERIMENTS: [&str; 12] = [
+    "counting-bus",
+    "counting-mesh",
+    "queue-bus",
+    "queue-mesh",
+    "resource-bus",
+    "resource-mesh",
+    "prio-bus",
+    "prio-mesh",
+    "summary",
+    "ablate-helping",
+    "ablate-backoff",
+    "ablate-arch",
+];
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        experiments: Vec::new(),
+        ops: 2048,
+        procs: PAPER_PROCS.to_vec(),
+        seed: 0x5EED,
+        out: PathBuf::from("results"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--ops" => opts.ops = expect_val(&mut args, "--ops").parse().expect("--ops N"),
+            "--seed" => opts.seed = expect_val(&mut args, "--seed").parse().expect("--seed S"),
+            "--quick" => opts.procs = QUICK_PROCS.to_vec(),
+            "--procs" => {
+                opts.procs = expect_val(&mut args, "--procs")
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--procs LIST"))
+                    .collect()
+            }
+            "--out" => opts.out = PathBuf::from(expect_val(&mut args, "--out")),
+            "--help" | "-h" => {
+                eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                eprintln!("options: --ops N --quick --procs LIST --seed S --out DIR");
+                std::process::exit(0);
+            }
+            name => {
+                if ALL_EXPERIMENTS.contains(&name) {
+                    opts.experiments.push(name.to_owned());
+                } else {
+                    eprintln!("unknown experiment or option: {name}");
+                    eprintln!("experiments: {}", ALL_EXPERIMENTS.join(" "));
+                    std::process::exit(2);
+                }
+            }
+        }
+    }
+    if opts.experiments.is_empty() {
+        opts.experiments = ALL_EXPERIMENTS.iter().map(|s| (*s).to_owned()).collect();
+    }
+    opts
+}
+
+fn expect_val(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+    args.next().unwrap_or_else(|| {
+        eprintln!("{flag} requires a value");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let opts = parse_args();
+    let mut all_points: Vec<DataPoint> = Vec::new();
+
+    for exp in &opts.experiments {
+        match exp.as_str() {
+            "summary" => {} // handled after the sweeps
+            "ablate-helping" => run_ablate_helping(&opts),
+            "ablate-backoff" => run_ablate_backoff(&opts),
+            "ablate-arch" => run_ablate_arch(&opts),
+            name => {
+                let (bench, arch) = parse_figure(name);
+                let points = run_figure(&opts, name, bench, arch);
+                all_points.extend(points);
+            }
+        }
+    }
+
+    if opts.experiments.iter().any(|e| e == "summary") {
+        run_summary(&all_points);
+    }
+}
+
+fn parse_figure(name: &str) -> (Bench, ArchKind) {
+    let (b, a) = name.split_once('-').expect("figure name is bench-arch");
+    let bench = match b {
+        "counting" => Bench::Counting,
+        "queue" => Bench::Queue,
+        "resource" => Bench::Resource,
+        "prio" => Bench::Prio,
+        _ => unreachable!("validated in parse_args"),
+    };
+    let arch = match a {
+        "bus" => ArchKind::Bus,
+        "mesh" => ArchKind::Mesh,
+        _ => unreachable!("validated in parse_args"),
+    };
+    (bench, arch)
+}
+
+fn figure_id(bench: Bench, arch: ArchKind) -> &'static str {
+    match (bench, arch) {
+        (Bench::Counting, ArchKind::Bus) => "F1",
+        (Bench::Counting, ArchKind::Mesh) => "F2",
+        (Bench::Queue, ArchKind::Bus) => "F3",
+        (Bench::Queue, ArchKind::Mesh) => "F4",
+        (Bench::Resource, ArchKind::Bus) => "F5",
+        (Bench::Resource, ArchKind::Mesh) => "F6",
+        (Bench::Prio, ArchKind::Bus) => "F7",
+        (Bench::Prio, ArchKind::Mesh) => "F8",
+        _ => "F?",
+    }
+}
+
+fn run_figure(opts: &Options, name: &str, bench: Bench, arch: ArchKind) -> Vec<DataPoint> {
+    let mut sweep = Sweep::paper(bench, arch, opts.ops);
+    sweep.procs = opts.procs.clone();
+    sweep.seed = opts.seed;
+    eprintln!("[figures] running {name} ({} points)...", sweep.methods.len() * sweep.procs.len());
+    let points = sweep.run();
+    let title = format!(
+        "{} — {} benchmark on the {} machine ({} ops/point, seed {:#x})",
+        figure_id(bench, arch),
+        bench,
+        arch,
+        opts.ops,
+        opts.seed
+    );
+    println!("{}", render_table(&title, &points));
+    let path = opts.out.join(format!("{name}.csv"));
+    write_csv(&path, &points).expect("write CSV");
+    eprintln!("[figures] wrote {}", path.display());
+    points
+}
+
+fn run_summary(points: &[DataPoint]) {
+    if points.is_empty() {
+        eprintln!("[figures] summary requested without figure sweeps; run figures together with it");
+        return;
+    }
+    println!("# T1 — per-figure curve summary (peak and final throughput, ops/Mcycle)");
+    println!(
+        "{:>4} {:>14} {:>12} {:>12} {:>8} {:>12}",
+        "fig", "bench/arch", "method", "peak-thr", "peak-P", "final-thr"
+    );
+    let mut combos: Vec<(Bench, ArchKind)> = Vec::new();
+    for p in points {
+        if !combos.contains(&(p.bench, p.arch)) {
+            combos.push((p.bench, p.arch));
+        }
+    }
+    for (bench, arch) in combos {
+        let subset: Vec<DataPoint> =
+            points.iter().filter(|p| p.bench == bench && p.arch == arch).cloned().collect();
+        for s in summarize(&subset) {
+            println!(
+                "{:>4} {:>14} {:>12} {:>12.1} {:>8} {:>12.1}",
+                figure_id(bench, arch),
+                format!("{bench}/{arch}"),
+                s.method.label(),
+                s.peak_throughput,
+                s.peak_procs,
+                s.final_throughput
+            );
+        }
+    }
+    println!();
+}
+
+/// A1: the paper's core mechanism — helping on vs off, on the two workloads
+/// where conflicts matter most.
+fn run_ablate_helping(opts: &Options) {
+    for (bench, name) in
+        [(Bench::Counting, "ablate-helping-counting"), (Bench::Resource, "ablate-helping-resource")]
+    {
+        let sweep = Sweep {
+            bench,
+            arch: ArchKind::Bus,
+            methods: vec![Method::Stm, Method::StmNoHelp],
+            procs: opts.procs.clone(),
+            total_ops: opts.ops,
+            seed: opts.seed,
+        };
+        eprintln!("[figures] running {name}...");
+        let points = sweep.run();
+        let title = format!("A1 — STM helping ablation, {bench} benchmark on the bus machine");
+        println!("{}", render_table(&title, &points));
+        write_csv(&opts.out.join(format!("{name}.csv")), &points).expect("write CSV");
+    }
+}
+
+/// A3: architecture ablation — the STM's resource-allocation curve on the
+/// plain mesh vs the coherently-caching mesh (Alewife-style).
+fn run_ablate_arch(opts: &Options) {
+    for arch in [ArchKind::Mesh, ArchKind::MeshCached] {
+        let sweep = Sweep {
+            bench: Bench::Resource,
+            arch,
+            methods: vec![Method::Stm, Method::Mcs],
+            procs: opts.procs.clone(),
+            total_ops: opts.ops,
+            seed: opts.seed,
+        };
+        eprintln!("[figures] running ablate-arch ({arch})...");
+        let points = sweep.run();
+        let title = format!("A3 — architecture ablation, resource benchmark on the {arch} machine");
+        println!("{}", render_table(&title, &points));
+        write_csv(&opts.out.join(format!("ablate-arch-{arch}.csv")), &points).expect("write CSV");
+    }
+}
+
+/// A2: Herlihy's method with different back-off policies (its performance is
+/// known to be very sensitive to back-off tuning).
+fn run_ablate_backoff(opts: &Options) {
+    use stm_sim::engine::{SimConfig, SimPort, Simulation};
+    use stm_sync::HerlihyObject;
+
+    let policies: [(&str, BackoffPolicy); 3] = [
+        ("none", BackoffPolicy::None),
+        ("exp-small", BackoffPolicy::Exponential { base: 2, max: 256 }),
+        ("exp-large", BackoffPolicy::Exponential { base: 16, max: 16384 }),
+    ];
+    println!("# A2 — Herlihy back-off ablation, counting benchmark on the bus machine");
+    println!("# throughput: operations per million simulated cycles");
+    print!("{:>6}", "procs");
+    for (name, _) in &policies {
+        print!(" {name:>12}");
+    }
+    println!();
+    let mut csv = String::from("procs,policy,total_ops,cycles,throughput\n");
+    for &procs in &opts.procs {
+        print!("{procs:>6}");
+        for (name, policy) in &policies {
+            let per_proc = (opts.ops / procs as u64).max(1);
+            let obj = HerlihyObject::with_backoff(0, 1, procs, *policy);
+            let report = Simulation::new(
+                SimConfig {
+                    n_words: HerlihyObject::words_needed(1, procs),
+                    seed: opts.seed,
+                    jitter: 2,
+                    max_cycles: 1 << 36,
+                    init: obj.initial_words(&[0]),
+                    ..Default::default()
+                },
+                stm_sim::arch::BusModel::for_procs(procs),
+            )
+            .run(procs, |_| {
+                move |mut port: SimPort| {
+                    let mut h = obj.handle(&port);
+                    for _ in 0..per_proc {
+                        h.update(&mut port, |o| o[0] += 1);
+                    }
+                }
+            });
+            let total = per_proc * procs as u64;
+            let thr = total as f64 * 1e6 / report.cycles as f64;
+            print!(" {thr:>12.1}");
+            csv.push_str(&format!("{procs},{name},{total},{},{thr:.3}\n", report.cycles));
+        }
+        println!();
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("ablate-backoff.csv"), csv).expect("write CSV");
+}

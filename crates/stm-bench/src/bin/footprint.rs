@@ -1,0 +1,132 @@
+//! T2 — protocol footprint table: shared-memory operations per uncontended
+//! operation, for every structure × method.
+//!
+//! This machine-independent count explains the throughput rankings: a
+//! method's cycle cost on any architecture is roughly its footprint weighted
+//! by that architecture's per-access costs.
+//!
+//! Run with: `cargo run -p stm-bench --release --bin footprint`
+
+use stm_core::machine::counting::CountingPort;
+use stm_core::machine::host::HostMachine;
+use stm_structures::counter::Counter;
+use stm_structures::deque::{Deque, End};
+use stm_structures::list_set::ListSet;
+use stm_structures::prio::PrioQueue;
+use stm_structures::queue::FifoQueue;
+use stm_structures::resource::ResourcePool;
+use stm_structures::Method;
+
+fn main() {
+    println!("# T2 — shared-memory operations per uncontended operation (reads+writes+CAS)");
+    println!(
+        "{:>14} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "method", "counter", "queue", "resource3", "prio(c32)", "deque", "(cas)"
+    );
+    for method in Method::ALL {
+        let counter = measure_counter(method);
+        let queue = measure_queue(method);
+        let resource = measure_resource(method);
+        let prio = measure_prio(method);
+        let (deque, deque_cas) = measure_deque(method);
+        println!(
+            "{:>14} {:>8} {:>8} {:>10} {:>10} {:>8} {:>8}",
+            method.label(),
+            counter,
+            queue,
+            resource,
+            prio,
+            deque,
+            deque_cas
+        );
+    }
+    println!();
+    println!(
+        "# list-set (STM only): {} ops per insert+remove pair at 8 keys",
+        measure_list_set()
+    );
+}
+
+fn measure_list_set() -> u64 {
+    let s = ListSet::new(0, 1, 16, stm_core::stm::StmConfig::default());
+    let m = HostMachine::new(ListSet::words_needed(1, 16), 1);
+    let mut port = CountingPort::new(m.port(0));
+    s.init_on(&mut port);
+    for k in 0..8 {
+        s.insert(&mut port, k * 3);
+    }
+    port.reset();
+    s.insert(&mut port, 13);
+    s.remove(&mut port, 13);
+    port.counts().total() / 2
+}
+
+fn measure_counter(method: Method) -> u64 {
+    let c = Counter::new(method, 0, 1);
+    let m = HostMachine::new(Counter::words_needed(method, 1), 1);
+    let mut port = CountingPort::new(m.port(0));
+    c.init_on(&mut port, 0);
+    let mut h = c.handle(&port);
+    h.increment(&mut port); // warm-up
+    port.reset();
+    h.increment(&mut port);
+    port.counts().total()
+}
+
+fn measure_queue(method: Method) -> u64 {
+    let q = FifoQueue::new(method, 0, 1, 8);
+    let m = HostMachine::new(FifoQueue::words_needed(method, 1, 8), 1);
+    let mut port = CountingPort::new(m.port(0));
+    q.init_on(&mut port);
+    let mut h = q.handle(&port);
+    h.enqueue(&mut port, 1);
+    let _ = h.dequeue(&mut port);
+    port.reset();
+    h.enqueue(&mut port, 2);
+    let _ = h.dequeue(&mut port);
+    port.counts().total() / 2
+}
+
+fn measure_resource(method: Method) -> u64 {
+    let pool = ResourcePool::new(method, 0, 1, 64);
+    let m = HostMachine::new(ResourcePool::words_needed(method, 1, 64), 1);
+    let mut port = CountingPort::new(m.port(0));
+    pool.init_on(&mut port, 2);
+    let mut h = pool.handle(&port);
+    let set = [3usize, 17, 42];
+    h.try_acquire(&mut port, &set);
+    h.release(&mut port, &set);
+    port.reset();
+    h.try_acquire(&mut port, &set);
+    h.release(&mut port, &set);
+    port.counts().total() / 2
+}
+
+fn measure_prio(method: Method) -> u64 {
+    let q = PrioQueue::new(method, 0, 1, 32);
+    let m = HostMachine::new(PrioQueue::words_needed(method, 1, 32), 1);
+    let mut port = CountingPort::new(m.port(0));
+    q.init_on(&mut port);
+    let mut h = q.handle(&port);
+    h.insert(&mut port, 5);
+    let _ = h.extract_min(&mut port);
+    port.reset();
+    h.insert(&mut port, 6);
+    let _ = h.extract_min(&mut port);
+    port.counts().total() / 2
+}
+
+fn measure_deque(method: Method) -> (u64, u64) {
+    let d = Deque::new(method, 0, 1, 8);
+    let m = HostMachine::new(Deque::words_needed(method, 1, 8), 1);
+    let mut port = CountingPort::new(m.port(0));
+    d.init_on(&mut port);
+    let mut h = d.handle(&port);
+    h.push(&mut port, End::Back, 1);
+    let _ = h.pop(&mut port, End::Front);
+    port.reset();
+    h.push(&mut port, End::Back, 2);
+    let _ = h.pop(&mut port, End::Front);
+    let c = port.counts();
+    (c.total() / 2, (c.cas_ok + c.cas_failed) / 2)
+}

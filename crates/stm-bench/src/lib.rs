@@ -1,0 +1,23 @@
+//! # stm-bench — the figure-regeneration harness
+//!
+//! For every figure of the Shavit–Touitou evaluation this crate runs the
+//! corresponding workload on the simulated machine, sweeping processor
+//! counts and methods, and emits the paper's throughput-vs-processors series
+//! as printed tables and CSV files.
+//!
+//! * [`workloads`] — one driver per benchmark (counting, queue, resource
+//!   allocation, priority queue), returning a [`workloads::DataPoint`] per
+//!   (architecture, method, processor-count) configuration.
+//! * [`runner`] — parameter sweeps and the summary/crossover analysis.
+//! * [`table`] — aligned table printing and CSV output.
+//!
+//! The `figures` binary (`cargo run -p stm-bench --release --bin figures`)
+//! regenerates every experiment; see `DESIGN.md` §6 for the experiment
+//! index and `EXPERIMENTS.md` for recorded results.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod runner;
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,139 @@
+//! Parameter sweeps over processor counts and methods, plus the summary
+//! (peak/crossover) analysis of experiment T1.
+
+use stm_structures::Method;
+
+use crate::workloads::{run_point, ArchKind, Bench, DataPoint};
+
+/// The processor counts the paper's figures sweep (up to 64).
+pub const PAPER_PROCS: [usize; 8] = [1, 2, 4, 8, 16, 32, 48, 64];
+
+/// A smaller sweep for quick runs and tests.
+pub const QUICK_PROCS: [usize; 4] = [1, 2, 4, 8];
+
+/// Configuration of one figure sweep.
+#[derive(Debug, Clone)]
+pub struct Sweep {
+    /// Workload.
+    pub bench: Bench,
+    /// Machine.
+    pub arch: ArchKind,
+    /// Methods to plot.
+    pub methods: Vec<Method>,
+    /// Processor counts to sweep.
+    pub procs: Vec<usize>,
+    /// Total operations per data point (split across processors).
+    pub total_ops: u64,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+impl Sweep {
+    /// The paper-shaped sweep for `bench` on `arch` (paper methods, paper
+    /// processor counts).
+    pub fn paper(bench: Bench, arch: ArchKind, total_ops: u64) -> Self {
+        Sweep {
+            bench,
+            arch,
+            methods: Method::PAPER.to_vec(),
+            procs: PAPER_PROCS.to_vec(),
+            total_ops,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Run every configuration, in method-major order.
+    pub fn run(&self) -> Vec<DataPoint> {
+        let mut out = Vec::with_capacity(self.methods.len() * self.procs.len());
+        for &method in &self.methods {
+            for &procs in &self.procs {
+                out.push(run_point(self.bench, self.arch, method, procs, self.total_ops, self.seed));
+            }
+        }
+        out
+    }
+}
+
+/// Summary of one method's curve in a sweep: peak throughput and where it
+/// crosses below another method.
+#[derive(Debug, Clone)]
+pub struct CurveSummary {
+    /// Method summarized.
+    pub method: Method,
+    /// Best throughput over the sweep.
+    pub peak_throughput: f64,
+    /// Processor count at the peak.
+    pub peak_procs: usize,
+    /// Throughput at the largest processor count.
+    pub final_throughput: f64,
+}
+
+/// Summarize each method's curve from a sweep's data points.
+pub fn summarize(points: &[DataPoint]) -> Vec<CurveSummary> {
+    let mut methods: Vec<Method> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method);
+        }
+    }
+    methods
+        .into_iter()
+        .map(|m| {
+            let curve: Vec<&DataPoint> = points.iter().filter(|p| p.method == m).collect();
+            let peak = curve
+                .iter()
+                .max_by(|a, b| a.throughput.total_cmp(&b.throughput))
+                .expect("non-empty curve");
+            let last = curve.iter().max_by_key(|p| p.procs).expect("non-empty curve");
+            CurveSummary {
+                method: m,
+                peak_throughput: peak.throughput,
+                peak_procs: peak.procs,
+                final_throughput: last.throughput,
+            }
+        })
+        .collect()
+}
+
+/// Ratio of method `a`'s throughput to method `b`'s at each processor count
+/// present for both (used to check the paper's "STM beats Herlihy" shape).
+pub fn ratio_curve(points: &[DataPoint], a: Method, b: Method) -> Vec<(usize, f64)> {
+    let mut out = Vec::new();
+    for pa in points.iter().filter(|p| p.method == a) {
+        if let Some(pb) = points.iter().find(|p| p.method == b && p.procs == pa.procs) {
+            if pb.throughput > 0.0 {
+                out.push((pa.procs, pa.throughput / pb.throughput));
+            }
+        }
+    }
+    out.sort_by_key(|&(p, _)| p);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_and_summarizes() {
+        let sweep = Sweep {
+            bench: Bench::Counting,
+            arch: ArchKind::Uniform,
+            methods: vec![Method::Stm, Method::Ttas],
+            procs: vec![1, 2],
+            total_ops: 32,
+            seed: 1,
+        };
+        let points = sweep.run();
+        assert_eq!(points.len(), 4);
+        let summaries = summarize(&points);
+        assert_eq!(summaries.len(), 2);
+        for s in &summaries {
+            assert!(s.peak_throughput > 0.0);
+            assert!(s.peak_procs == 1 || s.peak_procs == 2);
+        }
+        let ratios = ratio_curve(&points, Method::Stm, Method::Ttas);
+        assert_eq!(ratios.len(), 2);
+        assert!(ratios.iter().all(|&(_, r)| r > 0.0));
+    }
+}

@@ -1,0 +1,125 @@
+//! Table printing and CSV output for sweep results.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+use stm_structures::Method;
+
+use crate::workloads::DataPoint;
+
+/// Render a sweep as an aligned throughput table: one row per processor
+/// count, one column per method (the shape of the paper's figures).
+pub fn render_table(title: &str, points: &[DataPoint]) -> String {
+    let mut methods: Vec<Method> = Vec::new();
+    let mut procs: Vec<usize> = Vec::new();
+    for p in points {
+        if !methods.contains(&p.method) {
+            methods.push(p.method);
+        }
+        if !procs.contains(&p.procs) {
+            procs.push(p.procs);
+        }
+    }
+    procs.sort_unstable();
+
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    let _ = writeln!(out, "# throughput: operations per million simulated cycles");
+    let _ = write!(out, "{:>6}", "procs");
+    for m in &methods {
+        let _ = write!(out, " {:>12}", m.label());
+    }
+    let _ = writeln!(out);
+    for &p in &procs {
+        let _ = write!(out, "{p:>6}");
+        for m in &methods {
+            match points.iter().find(|d| d.method == *m && d.procs == p) {
+                Some(d) => {
+                    let _ = write!(out, " {:>12.1}", d.throughput);
+                }
+                None => {
+                    let _ = write!(out, " {:>12}", "-");
+                }
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Serialize data points as CSV (`bench,arch,method,procs,total_ops,cycles,
+/// throughput`).
+pub fn to_csv(points: &[DataPoint]) -> String {
+    let mut out = String::from("bench,arch,method,procs,total_ops,cycles,throughput\n");
+    for p in points {
+        let _ = writeln!(
+            out,
+            "{},{},{},{},{},{},{:.3}",
+            p.bench, p.arch, p.method, p.procs, p.total_ops, p.cycles, p.throughput
+        );
+    }
+    out
+}
+
+/// Write data points to a CSV file, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating directories or writing the file.
+pub fn write_csv(path: &Path, points: &[DataPoint]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, to_csv(points))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{ArchKind, Bench};
+
+    fn point(method: Method, procs: usize, thr: f64) -> DataPoint {
+        DataPoint {
+            bench: Bench::Counting,
+            arch: ArchKind::Bus,
+            method,
+            procs,
+            total_ops: 100,
+            cycles: 1000,
+            throughput: thr,
+        }
+    }
+
+    #[test]
+    fn table_includes_all_methods_and_procs() {
+        let pts = vec![
+            point(Method::Stm, 1, 10.0),
+            point(Method::Stm, 2, 20.0),
+            point(Method::Mcs, 1, 11.0),
+            point(Method::Mcs, 2, 21.0),
+        ];
+        let t = render_table("demo", &pts);
+        assert!(t.contains("STM"));
+        assert!(t.contains("MCS-lock"));
+        assert!(t.contains("10.0"));
+        assert!(t.contains("21.0"));
+        assert_eq!(t.lines().count(), 5); // title + metric + header + 2 rows
+    }
+
+    #[test]
+    fn missing_cells_render_dash() {
+        let pts = vec![point(Method::Stm, 1, 10.0), point(Method::Mcs, 2, 21.0)];
+        let t = render_table("demo", &pts);
+        assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn csv_roundtrip_fields() {
+        let pts = vec![point(Method::Herlihy, 4, 12.5)];
+        let csv = to_csv(&pts);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next().unwrap(), "bench,arch,method,procs,total_ops,cycles,throughput");
+        assert_eq!(lines.next().unwrap(), "counting,bus,Herlihy,4,100,1000,12.500");
+    }
+}

@@ -1,0 +1,438 @@
+//! The benchmark workload drivers: one simulated run = one data point.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_core::machine::MemPort;
+use stm_core::word::Word;
+use stm_sim::arch::{BusModel, CachedMeshModel, CostModel, MeshModel, UniformModel};
+use stm_sim::engine::{SimConfig, SimPort, Simulation};
+use stm_structures::counter::Counter;
+use stm_structures::prio::PrioQueue;
+use stm_structures::queue::FifoQueue;
+use stm_structures::resource::ResourcePool;
+use stm_structures::Method;
+
+/// Which benchmark workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bench {
+    /// Shared counter: every operation increments one word (maximum
+    /// contention).
+    Counting,
+    /// Doubly-linked FIFO queue: each processor alternates enqueue/dequeue.
+    Queue,
+    /// Resource allocation: acquire 3 random resources of 64, then release.
+    Resource,
+    /// Array priority queue: alternate insert / extract-min over the whole
+    /// heap.
+    Prio,
+}
+
+impl Bench {
+    /// All benchmarks.
+    pub const ALL: [Bench; 4] = [Bench::Counting, Bench::Queue, Bench::Resource, Bench::Prio];
+
+    /// Short name used in tables and CSV files.
+    pub fn label(self) -> &'static str {
+        match self {
+            Bench::Counting => "counting",
+            Bench::Queue => "queue",
+            Bench::Resource => "resource",
+            Bench::Prio => "prio",
+        }
+    }
+}
+
+impl std::fmt::Display for Bench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Which simulated machine to run on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchKind {
+    /// Snoopy-cache bus machine.
+    Bus,
+    /// Alewife-like mesh DSM machine (no remote caching).
+    Mesh,
+    /// Mesh DSM with coherent read caching (architecture ablation).
+    MeshCached,
+    /// Contention-free ideal machine (ablations only).
+    Uniform,
+}
+
+impl ArchKind {
+    /// Build the cost model for `procs` processors.
+    pub fn model(self, procs: usize) -> Box<dyn CostModel + 'static> {
+        match self {
+            ArchKind::Bus => Box::new(BusModel::for_procs(procs)),
+            ArchKind::Mesh => Box::new(MeshModel::for_procs(procs)),
+            ArchKind::MeshCached => Box::new(CachedMeshModel::for_procs(procs)),
+            ArchKind::Uniform => Box::new(UniformModel::new(1, 6)),
+        }
+    }
+
+    /// Short name used in tables and CSV files.
+    pub fn label(self) -> &'static str {
+        match self {
+            ArchKind::Bus => "bus",
+            ArchKind::Mesh => "mesh",
+            ArchKind::MeshCached => "mesh-cached",
+            ArchKind::Uniform => "uniform",
+        }
+    }
+}
+
+impl std::fmt::Display for ArchKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One measured configuration.
+#[derive(Debug, Clone)]
+pub struct DataPoint {
+    /// Workload.
+    pub bench: Bench,
+    /// Machine.
+    pub arch: ArchKind,
+    /// Synchronization method.
+    pub method: Method,
+    /// Simulated processors.
+    pub procs: usize,
+    /// Completed operations across all processors.
+    pub total_ops: u64,
+    /// Virtual cycles for the whole run.
+    pub cycles: u64,
+    /// Throughput in operations per million cycles (the paper's metric).
+    pub throughput: f64,
+}
+
+/// Boxed cost model wrapper so `Simulation::new` (which takes a sized model)
+/// can accept `ArchKind::model`'s trait object.
+struct DynModel(Box<dyn CostModel>);
+
+impl CostModel for DynModel {
+    fn access(&mut self, t: u64, proc: usize, kind: stm_sim::arch::OpKind, addr: usize) -> u64 {
+        self.0.access(t, proc, kind, addr)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+fn throughput(total_ops: u64, cycles: u64) -> f64 {
+    if cycles == 0 {
+        0.0
+    } else {
+        total_ops as f64 * 1_000_000.0 / cycles as f64
+    }
+}
+
+/// Run one `(bench, arch, method, procs)` configuration with `total_ops`
+/// operations split evenly across processors.
+///
+/// # Panics
+///
+/// Panics if the run's correctness check fails (conservation, emptiness,
+/// quiescence) — a benchmark that produces wrong answers must never emit a
+/// data point.
+pub fn run_point(
+    bench: Bench,
+    arch: ArchKind,
+    method: Method,
+    procs: usize,
+    total_ops: u64,
+    seed: u64,
+) -> DataPoint {
+    let per_proc = (total_ops / procs as u64).max(1);
+    let actual_total = per_proc * procs as u64;
+    let (cycles, ops) = match bench {
+        Bench::Counting => run_counting(arch, method, procs, per_proc, seed),
+        Bench::Queue => run_queue(arch, method, procs, per_proc, seed),
+        Bench::Resource => run_resource(arch, method, procs, per_proc, seed),
+        Bench::Prio => run_prio(arch, method, procs, per_proc, seed),
+    };
+    debug_assert_eq!(ops, actual_total);
+    DataPoint { bench, arch, method, procs, total_ops: ops, cycles, throughput: throughput(ops, cycles) }
+}
+
+fn sim_config(n_words: usize, seed: u64, init: Vec<(usize, Word)>) -> SimConfig {
+    SimConfig { n_words, seed, jitter: 2, max_cycles: 1 << 36, init, ..Default::default() }
+}
+
+fn run_counting(
+    arch: ArchKind,
+    method: Method,
+    procs: usize,
+    per_proc: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let counter = Counter::new(method, 0, procs);
+    let config = sim_config(Counter::words_needed(method, procs), seed, counter.init_words(0));
+    let report =
+        Simulation::new(config, DynModel(arch.model(procs))).run(procs, |_p| {
+            let counter = counter.clone();
+            move |mut port: SimPort| {
+                let mut h = counter.handle(&port);
+                for _ in 0..per_proc {
+                    h.increment(&mut port);
+                }
+            }
+        });
+    // Correctness gate: the counter must equal the exact operation count.
+    let final_value = {
+        let c = counter.clone();
+        // Read the final value straight out of the memory image via a probe
+        // run? Cheaper: the init_words/report pair — reuse handle decoding by
+        // rebuilding on a 1-proc host is overkill; decode via Counter on a
+        // fresh simulated port is unnecessary: every representation stores
+        // the value at a method-specific address. Use a tiny helper:
+        decode_counter(&c, &report.memory)
+    };
+    assert_eq!(final_value as u64, per_proc * procs as u64, "lost updates in counting benchmark");
+    (report.cycles, per_proc * procs as u64)
+}
+
+/// Decode a counter's final value from a raw memory image.
+fn decode_counter(counter: &Counter, memory: &[Word]) -> u32 {
+    // All methods expose the value through their init_words address: for STM
+    // it is the packed cell; for Herlihy the *current buffer* may have moved,
+    // so read through the object pointer; locks store it in plain form.
+    // The cleanest universal decoder replays a read on a 1-processor
+    // simulation seeded with the final memory image.
+    let config = SimConfig {
+        n_words: memory.len(),
+        init: memory.iter().copied().enumerate().collect(),
+        ..Default::default()
+    };
+    let value = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+    let v2 = std::sync::Arc::clone(&value);
+    let counter = counter.clone();
+    let _ = Simulation::new(config, UniformModel::new(1, 1)).run(1, move |_| {
+        let counter = counter.clone();
+        let v2 = std::sync::Arc::clone(&v2);
+        move |mut port: SimPort| {
+            let mut h = counter.handle(&port);
+            v2.store(h.read(&mut port), std::sync::atomic::Ordering::SeqCst);
+        }
+    });
+    value.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+fn run_queue(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: u64) -> (u64, u64) {
+    let capacity = (2 * procs).max(16);
+    let queue = FifoQueue::new(method, 0, procs, capacity);
+    let config =
+        sim_config(FifoQueue::words_needed(method, procs, capacity), seed, queue.init_words());
+    // Each processor alternates enqueue/dequeue; a round is one op pair, and
+    // we count 2 ops per round, so rounds = per_proc / 2.
+    let rounds = (per_proc / 2).max(1);
+    let report = Simulation::new(config, DynModel(arch.model(procs))).run(procs, |p| {
+        let queue = queue.clone();
+        move |mut port: SimPort| {
+            let mut h = queue.handle(&port);
+            for i in 0..rounds {
+                let v = (p as u64 * rounds + i) as u32;
+                while !h.enqueue(&mut port, v) {
+                    port.delay(8);
+                }
+                while h.dequeue(&mut port).is_none() {
+                    port.delay(8);
+                }
+            }
+        }
+    });
+    // Correctness gate: balanced enq/deq leave the queue empty.
+    let len = decode_queue_len(&queue, &report.memory);
+    assert_eq!(len, 0, "queue must drain with balanced enqueue/dequeue");
+    (report.cycles, 2 * rounds * procs as u64)
+}
+
+fn decode_queue_len(queue: &FifoQueue, memory: &[Word]) -> usize {
+    let config = SimConfig {
+        n_words: memory.len(),
+        init: memory.iter().copied().enumerate().collect(),
+        ..Default::default()
+    };
+    let out = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX));
+    let o2 = std::sync::Arc::clone(&out);
+    let queue = queue.clone();
+    let _ = Simulation::new(config, UniformModel::new(1, 1)).run(1, move |_| {
+        let queue = queue.clone();
+        let o2 = std::sync::Arc::clone(&o2);
+        move |mut port: SimPort| {
+            let mut h = queue.handle(&port);
+            o2.store(h.len(&mut port), std::sync::atomic::Ordering::SeqCst);
+        }
+    });
+    out.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+const RESOURCES: usize = 64;
+const RESOURCE_K: usize = 3;
+const RESOURCE_UNITS: u32 = 1;
+
+fn run_resource(
+    arch: ArchKind,
+    method: Method,
+    procs: usize,
+    per_proc: u64,
+    seed: u64,
+) -> (u64, u64) {
+    let pool = ResourcePool::new(method, 0, procs, RESOURCES);
+    let config = sim_config(
+        ResourcePool::words_needed(method, procs, RESOURCES),
+        seed,
+        pool.init_words(RESOURCE_UNITS),
+    );
+    let report = Simulation::new(config, DynModel(arch.model(procs))).run(procs, |p| {
+        let pool = pool.clone();
+        move |mut port: SimPort| {
+            let mut h = pool.handle(&port);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0x9E37_79B9));
+            for _ in 0..per_proc {
+                let set = distinct_indices(&mut rng, RESOURCE_K, RESOURCES);
+                while !h.try_acquire(&mut port, &set) {
+                    port.delay(16);
+                }
+                h.release(&mut port, &set);
+            }
+        }
+    });
+    let total: u64 = decode_resources(&pool, &report.memory).iter().map(|&v| v as u64).sum();
+    assert_eq!(
+        total,
+        RESOURCES as u64 * RESOURCE_UNITS as u64,
+        "resource units must be conserved"
+    );
+    (report.cycles, per_proc * procs as u64)
+}
+
+fn decode_resources(pool: &ResourcePool, memory: &[Word]) -> Vec<u32> {
+    let config = SimConfig {
+        n_words: memory.len(),
+        init: memory.iter().copied().enumerate().collect(),
+        ..Default::default()
+    };
+    let out: std::sync::Arc<std::sync::Mutex<Vec<u32>>> =
+        std::sync::Arc::new(std::sync::Mutex::new(Vec::new()));
+    let o2 = std::sync::Arc::clone(&out);
+    let pool = pool.clone();
+    let _ = Simulation::new(config, UniformModel::new(1, 1)).run(1, move |_| {
+        let pool = pool.clone();
+        let o2 = std::sync::Arc::clone(&o2);
+        move |mut port: SimPort| {
+            let mut h = pool.handle(&port);
+            *o2.lock().unwrap() = h.read_all(&mut port);
+        }
+    });
+    let v = out.lock().unwrap().clone();
+    v
+}
+
+/// Draw `k` distinct indices in `0..m`.
+fn distinct_indices(rng: &mut SmallRng, k: usize, m: usize) -> Vec<usize> {
+    let mut set = Vec::with_capacity(k);
+    while set.len() < k {
+        let r = rng.gen_range(0..m);
+        if !set.contains(&r) {
+            set.push(r);
+        }
+    }
+    set
+}
+
+const PRIO_CAPACITY: usize = 32;
+
+fn run_prio(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: u64) -> (u64, u64) {
+    let q = PrioQueue::new(method, 0, procs, PRIO_CAPACITY);
+    let config =
+        sim_config(PrioQueue::words_needed(method, procs, PRIO_CAPACITY), seed, q.init_words());
+    let rounds = (per_proc / 2).max(1);
+    let report = Simulation::new(config, DynModel(arch.model(procs))).run(procs, |p| {
+        let q = q.clone();
+        move |mut port: SimPort| {
+            let mut h = q.handle(&port);
+            let mut rng = SmallRng::seed_from_u64(seed ^ (p as u64).wrapping_mul(0xBF58_476D));
+            for _ in 0..rounds {
+                let v = rng.gen_range(0..1_000_000);
+                while !h.insert(&mut port, v) {
+                    port.delay(16);
+                }
+                while h.extract_min(&mut port).is_none() {
+                    port.delay(16);
+                }
+            }
+        }
+    });
+    let len = decode_prio_len(&q, &report.memory);
+    assert_eq!(len, 0, "priority queue must drain with balanced insert/extract");
+    (report.cycles, 2 * rounds * procs as u64)
+}
+
+fn decode_prio_len(q: &PrioQueue, memory: &[Word]) -> usize {
+    let config = SimConfig {
+        n_words: memory.len(),
+        init: memory.iter().copied().enumerate().collect(),
+        ..Default::default()
+    };
+    let out = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(usize::MAX));
+    let o2 = std::sync::Arc::clone(&out);
+    let q = q.clone();
+    let _ = Simulation::new(config, UniformModel::new(1, 1)).run(1, move |_| {
+        let q = q.clone();
+        let o2 = std::sync::Arc::clone(&o2);
+        move |mut port: SimPort| {
+            let mut h = q.handle(&port);
+            o2.store(h.len(&mut port), std::sync::atomic::Ordering::SeqCst);
+        }
+    });
+    out.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_point_is_checked_and_positive() {
+        for method in [Method::Stm, Method::Mcs] {
+            let p = run_point(Bench::Counting, ArchKind::Bus, method, 2, 64, 1);
+            assert_eq!(p.total_ops, 64);
+            assert!(p.cycles > 0);
+            assert!(p.throughput > 0.0);
+        }
+    }
+
+    #[test]
+    fn queue_point_runs_all_methods_small() {
+        for method in Method::PAPER {
+            let p = run_point(Bench::Queue, ArchKind::Mesh, method, 2, 32, 2);
+            assert_eq!(p.total_ops, 32);
+            assert!(p.cycles > 0);
+        }
+    }
+
+    #[test]
+    fn resource_point_conserves() {
+        let p = run_point(Bench::Resource, ArchKind::Bus, Method::Stm, 3, 30, 3);
+        assert_eq!(p.total_ops, 30);
+    }
+
+    #[test]
+    fn prio_point_drains() {
+        let p = run_point(Bench::Prio, ArchKind::Bus, Method::Herlihy, 2, 16, 4);
+        assert_eq!(p.total_ops, 16);
+    }
+
+    #[test]
+    fn distinct_indices_are_distinct() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let v = distinct_indices(&mut rng, 3, 8);
+            assert_eq!(v.len(), 3);
+            assert!(v[0] != v[1] && v[1] != v[2] && v[0] != v[2]);
+        }
+    }
+}

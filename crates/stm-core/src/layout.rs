@@ -1,0 +1,216 @@
+//! Address-space layout of one STM instance inside a machine.
+//!
+//! Mirroring the paper's data structures, an STM instance occupies a
+//! contiguous region of the machine's shared memory holding
+//!
+//! * `Memory[0..n_cells]` — the transactional cells (packed `stamp|value`),
+//! * `Ownerships[0..n_cells]` — one ownership word per cell,
+//! * `Records[0..n_procs]` — one transaction record per processor, reused
+//!   across that processor's transactions (versioned), containing the status
+//!   word, the declared data set (size + sorted cell indices), the
+//!   transaction's code reference (opcode + parameters), and the old-value
+//!   agreement entries.
+
+use crate::word::{Addr, CellIdx, MAX_DATASET, MAX_PROCS};
+
+/// Maximum number of parameter words a transaction program may take.
+pub const MAX_PARAMS: usize = 8;
+
+/// Offsets of the fixed fields inside a record (in words, relative to the
+/// record base).
+pub(crate) mod rec {
+    /// Status word (version | code | fail index).
+    pub const STATUS: usize = 0;
+    /// Data-set size.
+    pub const SIZE: usize = 1;
+    /// Opcode: index into the process-wide program table.
+    pub const OPCODE: usize = 2;
+    /// Number of live parameter words.
+    pub const NPARAMS: usize = 3;
+    /// First parameter word.
+    pub const PARAMS: usize = 4;
+    /// First data-set address word (cell indices, ascending).
+    pub const ADDRS: usize = PARAMS + super::MAX_PARAMS;
+}
+
+/// Computes the addresses of every STM protocol word inside a machine's
+/// address space.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::layout::StmLayout;
+///
+/// let layout = StmLayout::new(0, 128, 4, 8);
+/// assert!(layout.words_needed() > 128 * 2);
+/// assert_eq!(layout.cell(0), 0);
+/// assert_eq!(layout.ownership(0), 128);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmLayout {
+    base: Addr,
+    n_cells: usize,
+    n_procs: usize,
+    max_locs: usize,
+}
+
+impl StmLayout {
+    /// Lay out an STM instance at `base` with `n_cells` transactional cells
+    /// for `n_procs` processors, allowing data sets of up to `max_locs`
+    /// locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_locs` is 0 or exceeds [`MAX_DATASET`], or if `n_procs`
+    /// is 0 or exceeds [`MAX_PROCS`].
+    pub fn new(base: Addr, n_cells: usize, n_procs: usize, max_locs: usize) -> Self {
+        assert!(max_locs > 0 && max_locs <= MAX_DATASET, "max_locs out of range");
+        assert!(n_procs > 0 && n_procs <= MAX_PROCS, "n_procs out of range");
+        StmLayout { base, n_cells, n_procs, max_locs }
+    }
+
+    /// Number of transactional cells.
+    pub fn n_cells(&self) -> usize {
+        self.n_cells
+    }
+
+    /// Number of per-processor records.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Maximum data-set size per transaction.
+    pub fn max_locs(&self) -> usize {
+        self.max_locs
+    }
+
+    /// Words occupied by one record.
+    pub fn record_stride(&self) -> usize {
+        rec::ADDRS + 2 * self.max_locs
+    }
+
+    /// Total words this instance occupies starting at its base address.
+    pub fn words_needed(&self) -> usize {
+        2 * self.n_cells + self.n_procs * self.record_stride()
+    }
+
+    /// One-past-the-end address of the region.
+    pub fn end(&self) -> Addr {
+        self.base + self.words_needed()
+    }
+
+    /// Address of transactional cell `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `idx` is out of range.
+    #[inline]
+    pub fn cell(&self, idx: CellIdx) -> Addr {
+        debug_assert!(idx < self.n_cells);
+        self.base + idx
+    }
+
+    /// Address of the ownership word guarding cell `idx`.
+    #[inline]
+    pub fn ownership(&self, idx: CellIdx) -> Addr {
+        debug_assert!(idx < self.n_cells);
+        self.base + self.n_cells + idx
+    }
+
+    /// Base address of processor `proc`'s record.
+    #[inline]
+    pub fn record(&self, proc: usize) -> Addr {
+        debug_assert!(proc < self.n_procs);
+        self.base + 2 * self.n_cells + proc * self.record_stride()
+    }
+
+    /// Address of `proc`'s status word.
+    #[inline]
+    pub fn status(&self, proc: usize) -> Addr {
+        self.record(proc) + rec::STATUS
+    }
+
+    /// Address of `proc`'s data-set size word.
+    #[inline]
+    pub fn size(&self, proc: usize) -> Addr {
+        self.record(proc) + rec::SIZE
+    }
+
+    /// Address of `proc`'s opcode word.
+    #[inline]
+    pub fn opcode(&self, proc: usize) -> Addr {
+        self.record(proc) + rec::OPCODE
+    }
+
+    /// Address of `proc`'s parameter-count word.
+    #[inline]
+    pub fn nparams(&self, proc: usize) -> Addr {
+        self.record(proc) + rec::NPARAMS
+    }
+
+    /// Address of `proc`'s `i`-th parameter word.
+    #[inline]
+    pub fn param(&self, proc: usize, i: usize) -> Addr {
+        debug_assert!(i < MAX_PARAMS);
+        self.record(proc) + rec::PARAMS + i
+    }
+
+    /// Address of `proc`'s `j`-th data-set address word.
+    #[inline]
+    pub fn addr_slot(&self, proc: usize, j: usize) -> Addr {
+        debug_assert!(j < self.max_locs);
+        self.record(proc) + rec::ADDRS + j
+    }
+
+    /// Address of `proc`'s `j`-th old-value agreement entry.
+    #[inline]
+    pub fn oldval_slot(&self, proc: usize, j: usize) -> Addr {
+        debug_assert!(j < self.max_locs);
+        self.record(proc) + rec::ADDRS + self.max_locs + j
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let l = StmLayout::new(10, 100, 8, 16);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..l.n_cells() {
+            assert!(seen.insert(l.cell(i)));
+        }
+        for i in 0..l.n_cells() {
+            assert!(seen.insert(l.ownership(i)));
+        }
+        for p in 0..l.n_procs() {
+            assert!(seen.insert(l.status(p)));
+            assert!(seen.insert(l.size(p)));
+            assert!(seen.insert(l.opcode(p)));
+            assert!(seen.insert(l.nparams(p)));
+            for i in 0..MAX_PARAMS {
+                assert!(seen.insert(l.param(p, i)));
+            }
+            for j in 0..l.max_locs() {
+                assert!(seen.insert(l.addr_slot(p, j)));
+                assert!(seen.insert(l.oldval_slot(p, j)));
+            }
+        }
+        assert_eq!(seen.len(), l.words_needed());
+        assert!(seen.iter().all(|&a| a >= 10 && a < l.end()));
+    }
+
+    #[test]
+    fn words_needed_matches_stride() {
+        let l = StmLayout::new(0, 10, 3, 4);
+        assert_eq!(l.record_stride(), super::rec::ADDRS + 8);
+        assert_eq!(l.words_needed(), 20 + 3 * l.record_stride());
+    }
+
+    #[test]
+    #[should_panic(expected = "max_locs out of range")]
+    fn zero_max_locs_panics() {
+        let _ = StmLayout::new(0, 1, 1, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! # stm-core — Shavit–Touitou Software Transactional Memory
+//!
+//! A from-scratch reproduction of the algorithm introduced in
+//! **Nir Shavit and Dan Touitou, "Software Transactional Memory", PODC 1995**
+//! (journal version: *Distributed Computing* 10(2):99–116, 1997): the first
+//! software-only, **non-blocking** implementation of transactional memory,
+//! for *static* transactions whose data set is declared up front.
+//!
+//! The protocol, in the paper's terms:
+//!
+//! 1. a transaction **acquires ownership** of every location in its data set,
+//!    in ascending address order;
+//! 2. participants **agree on the old values** of the data set;
+//! 3. the transaction's pure commit function computes the new values, which
+//!    are **installed** and the ownerships **released**;
+//! 4. on conflict the transaction fails itself and **helps** the obstructing
+//!    transaction complete (one level of *non-redundant helping*) before
+//!    retrying — this is what makes the construction lock-free: a stalled
+//!    processor can never block the system, because any processor that needs
+//!    its locations finishes its transaction for it.
+//!
+//! ## Crate tour
+//!
+//! * [`machine`] — the word-addressed shared-memory abstraction
+//!   ([`machine::MemPort`]); includes the host machine
+//!   ([`machine::host::HostMachine`]) backed by `std` atomics. The companion
+//!   crate `stm-sim` provides a deterministic simulated multiprocessor with
+//!   bus/mesh cost models, on which the paper's figures are regenerated.
+//! * [`word`] — the packed, version-tagged protocol words (cells,
+//!   ownerships, statuses, old-value entries).
+//! * [`layout`] — the shared-memory layout of an STM instance (cells,
+//!   ownership array, per-processor transaction records).
+//! * [`program`] — transaction commit functions ([`program::TxProgram`]) and
+//!   the process-wide table helpers resolve opcodes through.
+//! * [`stm`] — the protocol itself ([`stm::Stm`]).
+//! * [`ops`] — derived operations: MWCAS, fetch-and-add, swap, snapshot
+//!   ([`ops::StmOps`]).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use stm_core::machine::host::HostMachine;
+//! use stm_core::ops::StmOps;
+//! use stm_core::stm::StmConfig;
+//!
+//! // 64 transactional cells, 2 processors, data sets of up to 8 cells.
+//! let ops = StmOps::new(0, 64, 2, 8, StmConfig::default());
+//! let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+//!
+//! std::thread::scope(|s| {
+//!     for p in 0..2 {
+//!         let ops = ops.clone();
+//!         let machine = machine.clone();
+//!         s.spawn(move || {
+//!             let mut port = machine.port(p);
+//!             for _ in 0..1000 {
+//!                 ops.fetch_add(&mut port, 0, 1); // lock-free shared counter
+//!             }
+//!         });
+//!     }
+//! });
+//!
+//! let mut port = machine.port(0);
+//! assert_eq!(ops.snapshot(&mut port, &[0]), vec![2000]);
+//! ```
+//!
+//! ## Faithfulness
+//!
+//! The implementation follows the paper's procedures one-for-one
+//! (`startTransaction`, `transaction`, `acquireOwnerships`,
+//! `agreeOldValues`, `updateMemory`, `releaseOwnerships`). Where the 1995
+//! pseudocode leaves record reuse informal, this crate uses explicit bounded
+//! version tags packed into single CAS-able words — see `DESIGN.md` §4 at the
+//! repository root for the exact layouts and the staleness argument.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod dynamic;
+pub mod history;
+pub mod layout;
+pub mod machine;
+pub mod ops;
+pub mod program;
+pub mod stm;
+pub mod word;
+
+pub use machine::MemPort;
+pub use ops::StmOps;
+pub use program::{OpCode, ProgramTable, TxProgram};
+pub use stm::{BackoffPolicy, Stm, StmConfig, TxOutcome, TxSpec, TxStats};
+pub use word::{Addr, CellIdx, Word};

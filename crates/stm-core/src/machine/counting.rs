@@ -1,0 +1,178 @@
+//! An instrumented [`MemPort`] decorator that counts the shared-memory
+//! operations flowing through it.
+//!
+//! Useful for measuring a protocol's *operation footprint* — how many reads,
+//! writes, and CASes one transaction costs — independently of any timing
+//! model, on either machine.
+
+use crate::machine::MemPort;
+use crate::word::{Addr, Word};
+
+/// Counts of operations observed by a [`CountingPort`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Atomic reads.
+    pub reads: u64,
+    /// Atomic writes.
+    pub writes: u64,
+    /// Successful compare-and-swaps.
+    pub cas_ok: u64,
+    /// Failed compare-and-swaps.
+    pub cas_failed: u64,
+    /// Cycles spent in `delay`.
+    pub delay_cycles: u64,
+}
+
+impl OpCounts {
+    /// Total shared-memory operations (reads + writes + all CASes).
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes + self.cas_ok + self.cas_failed
+    }
+}
+
+/// A [`MemPort`] wrapper that tallies every operation into [`OpCounts`].
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::machine::counting::CountingPort;
+/// use stm_core::machine::host::HostMachine;
+/// use stm_core::machine::MemPort;
+///
+/// let machine = HostMachine::new(4, 1);
+/// let mut port = CountingPort::new(machine.port(0));
+/// port.write(0, 1);
+/// let _ = port.read(0);
+/// assert_eq!(port.counts().total(), 2);
+/// ```
+#[derive(Debug)]
+pub struct CountingPort<P> {
+    inner: P,
+    counts: OpCounts,
+}
+
+impl<P: MemPort> CountingPort<P> {
+    /// Wrap `inner`, starting from zero counts.
+    pub fn new(inner: P) -> Self {
+        CountingPort { inner, counts: OpCounts::default() }
+    }
+
+    /// The counts so far.
+    pub fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    /// Reset the counters to zero.
+    pub fn reset(&mut self) {
+        self.counts = OpCounts::default();
+    }
+
+    /// Unwrap the inner port.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: MemPort> MemPort for CountingPort<P> {
+    fn proc_id(&self) -> usize {
+        self.inner.proc_id()
+    }
+
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+
+    fn read(&mut self, addr: Addr) -> Word {
+        self.counts.reads += 1;
+        self.inner.read(addr)
+    }
+
+    fn write(&mut self, addr: Addr, value: Word) {
+        self.counts.writes += 1;
+        self.inner.write(addr, value)
+    }
+
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word> {
+        let r = self.inner.compare_exchange(addr, expected, new);
+        if r.is_ok() {
+            self.counts.cas_ok += 1;
+        } else {
+            self.counts.cas_failed += 1;
+        }
+        r
+    }
+
+    fn delay(&mut self, cycles: u64) {
+        self.counts.delay_cycles += cycles;
+        self.inner.delay(cycles)
+    }
+
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::host::HostMachine;
+    use crate::ops::StmOps;
+    use crate::stm::StmConfig;
+
+    #[test]
+    fn counts_every_kind() {
+        let m = HostMachine::new(2, 1);
+        let mut port = CountingPort::new(m.port(0));
+        port.write(0, 5);
+        assert_eq!(port.read(0), 5);
+        assert!(port.compare_exchange(0, 5, 6).is_ok());
+        assert!(port.compare_exchange(0, 5, 7).is_err());
+        port.delay(9);
+        let c = port.counts();
+        assert_eq!(c, OpCounts { reads: 1, writes: 1, cas_ok: 1, cas_failed: 1, delay_cycles: 9 });
+        assert_eq!(c.total(), 4);
+        port.reset();
+        assert_eq!(port.counts().total(), 0);
+    }
+
+    #[test]
+    fn uncontended_stm_increment_footprint_is_stable() {
+        // Characterize the protocol's per-transaction footprint: an
+        // uncontended 1-cell transaction should cost a fixed, small number
+        // of shared-memory operations — and exactly the same each time.
+        let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = CountingPort::new(m.port(0));
+        ops.fetch_add(&mut port, 0, 1); // warm-up (first stamp)
+        port.reset();
+        ops.fetch_add(&mut port, 0, 1);
+        let first = port.counts();
+        port.reset();
+        ops.fetch_add(&mut port, 0, 1);
+        assert_eq!(port.counts(), first, "footprint must be deterministic");
+        assert!(first.total() >= 10 && first.total() <= 40, "unexpected footprint {first:?}");
+        assert_eq!(first.cas_failed, 0, "no contention, no failed CAS");
+    }
+
+    #[test]
+    fn footprint_scales_linearly_with_dataset() {
+        let ops = StmOps::new(0, 16, 1, 16, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = CountingPort::new(m.port(0));
+        let mut totals = Vec::new();
+        for k in [1usize, 2, 4, 8] {
+            let cells: Vec<usize> = (0..k).collect();
+            let deltas = vec![1u32; k];
+            ops.fetch_add_many(&mut port, &cells, &deltas); // warm-up
+            port.reset();
+            ops.fetch_add_many(&mut port, &cells, &deltas);
+            totals.push(port.counts().total());
+        }
+        // Linear-ish growth: doubling the data set should not much more than
+        // double the footprint.
+        for w in totals.windows(2) {
+            assert!(w[1] > w[0], "more cells, more ops: {totals:?}");
+            assert!(w[1] < w[0] * 3, "superlinear footprint: {totals:?}");
+        }
+    }
+}

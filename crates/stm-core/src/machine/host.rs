@@ -1,0 +1,193 @@
+//! The host machine: shared words backed by `std` atomics, one real thread
+//! per processor.
+//!
+//! This is the runtime a downstream user adopts: the same STM algorithm that
+//! is evaluated on the simulator runs here at native speed. All operations
+//! are `SeqCst` (see [`MemPort`] for why).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::machine::MemPort;
+use crate::word::{Addr, Word};
+
+/// A shared word-addressed memory on the host, sized at construction.
+///
+/// Cloning the machine handle is cheap (`Arc`); obtain one [`HostPort`] per
+/// thread with [`HostMachine::port`].
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::machine::{host::HostMachine, MemPort};
+///
+/// let machine = HostMachine::new(16, 2);
+/// let mut p0 = machine.port(0);
+/// p0.write(3, 99);
+/// let mut p1 = machine.port(1);
+/// assert_eq!(p1.read(3), 99);
+/// ```
+#[derive(Clone, Debug)]
+pub struct HostMachine {
+    inner: Arc<HostMem>,
+}
+
+#[derive(Debug)]
+struct HostMem {
+    words: Box<[AtomicU64]>,
+    n_procs: usize,
+}
+
+impl HostMachine {
+    /// Create a machine with `n_words` shared words (all zero) shared by
+    /// `n_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is 0 or exceeds [`crate::word::MAX_PROCS`].
+    pub fn new(n_words: usize, n_procs: usize) -> Self {
+        assert!(n_procs > 0, "a machine needs at least one processor");
+        assert!(
+            n_procs <= crate::word::MAX_PROCS,
+            "at most {} processors supported",
+            crate::word::MAX_PROCS
+        );
+        let words = (0..n_words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
+        HostMachine { inner: Arc::new(HostMem { words, n_procs }) }
+    }
+
+    /// Number of shared words.
+    pub fn n_words(&self) -> usize {
+        self.inner.words.len()
+    }
+
+    /// Number of processors this machine was declared with.
+    pub fn n_procs(&self) -> usize {
+        self.inner.n_procs
+    }
+
+    /// Obtain the port for processor `proc`. Each processor id should be
+    /// driven by exactly one thread at a time (the STM protocol's records are
+    /// per-processor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc >= n_procs`.
+    pub fn port(&self, proc: usize) -> HostPort {
+        assert!(proc < self.inner.n_procs, "processor id {proc} out of range");
+        HostPort { mem: Arc::clone(&self.inner), proc }
+    }
+
+    /// Snapshot the raw contents of memory (for tests and verification; not
+    /// atomic across words).
+    pub fn snapshot(&self) -> Vec<Word> {
+        self.inner.words.iter().map(|w| w.load(Ordering::SeqCst)).collect()
+    }
+}
+
+/// A single processor's port into a [`HostMachine`].
+#[derive(Debug)]
+pub struct HostPort {
+    mem: Arc<HostMem>,
+    proc: usize,
+}
+
+impl MemPort for HostPort {
+    fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    fn n_procs(&self) -> usize {
+        self.mem.n_procs
+    }
+
+    fn read(&mut self, addr: Addr) -> Word {
+        self.mem.words[addr].load(Ordering::SeqCst)
+    }
+
+    fn write(&mut self, addr: Addr, value: Word) {
+        self.mem.words[addr].store(value, Ordering::SeqCst)
+    }
+
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word> {
+        self.mem.words[addr]
+            .compare_exchange(expected, new, Ordering::SeqCst, Ordering::SeqCst)
+            .map(|_| ())
+    }
+
+    fn delay(&mut self, cycles: u64) {
+        // A bounded spin: "cycles" are advisory on the host.
+        for _ in 0..cycles.min(1 << 16) {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn new_machine_is_zeroed() {
+        let m = HostMachine::new(4, 1);
+        assert_eq!(m.snapshot(), vec![0, 0, 0, 0]);
+        assert_eq!(m.n_words(), 4);
+        assert_eq!(m.n_procs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn port_out_of_range_panics() {
+        let m = HostMachine::new(1, 1);
+        let _ = m.port(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_procs_panics() {
+        let _ = HostMachine::new(1, 0);
+    }
+
+    #[test]
+    fn cas_is_atomic_across_threads() {
+        // n threads each win a distinct CAS-mediated ticket; every ticket is
+        // claimed exactly once.
+        const N: usize = 4;
+        const TICKETS: u64 = 2000;
+        let m = HostMachine::new(1 + TICKETS as usize, N);
+        let claimed = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for p in 0..N {
+                let m = m.clone();
+                let claimed = &claimed;
+                s.spawn(move || {
+                    let mut port = m.port(p);
+                    loop {
+                        let t = port.read(0);
+                        if t >= TICKETS {
+                            break;
+                        }
+                        if port.compare_exchange(0, t, t + 1).is_ok() {
+                            // mark ticket t as ours
+                            let prev = port.read(1 + t as usize);
+                            assert_eq!(prev, 0, "ticket double-claimed");
+                            port.write(1 + t as usize, p as u64 + 1);
+                            claimed.fetch_add(1, Ordering::SeqCst);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(claimed.load(Ordering::SeqCst), TICKETS as usize);
+        let snap = m.snapshot();
+        assert!(snap[1..].iter().all(|&w| w >= 1 && w <= N as u64));
+    }
+
+    #[test]
+    fn machine_handle_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HostMachine>();
+        assert_send_sync::<HostPort>();
+    }
+}

@@ -1,0 +1,121 @@
+//! The word-addressed shared-memory machine abstraction.
+//!
+//! The Shavit–Touitou paper evaluates its algorithm on the Proteus
+//! multiprocessor simulator, while the algorithm itself only needs atomic
+//! `read`/`write`/`compare&swap` on shared words. We capture that contract in
+//! the [`MemPort`] trait: one port per (simulated or real) processor, through
+//! which *all* shared-memory traffic flows. The STM algorithm, the lock
+//! baselines, and the benchmark data structures are generic over `MemPort`,
+//! so the exact same algorithm code runs
+//!
+//! * on the host machine ([`host::HostMachine`], real threads over
+//!   `AtomicU64`), and
+//! * on the deterministic simulator (`stm-sim`), where each access is charged
+//!   an architecture-dependent cycle cost — this is how every figure of the
+//!   paper is regenerated.
+
+pub mod counting;
+pub mod host;
+
+use crate::word::{Addr, Word};
+
+/// A per-processor handle to a shared word-addressed memory.
+///
+/// All operations are sequentially consistent: the 1995 algorithm (and its
+/// proof) assume a strongly ordered shared memory, and both provided machines
+/// honour that (the host machine uses `SeqCst`; the simulator serializes every
+/// access on a global virtual clock).
+///
+/// A `MemPort` is held by exactly one thread of execution; methods take
+/// `&mut self` to enforce this statically.
+pub trait MemPort {
+    /// Identifier of the processor driving this port (`0..n_procs`).
+    fn proc_id(&self) -> usize;
+
+    /// Total number of processors sharing this memory.
+    fn n_procs(&self) -> usize;
+
+    /// Atomically read the word at `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds for the machine.
+    fn read(&mut self, addr: Addr) -> Word;
+
+    /// Atomically write `value` to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds for the machine.
+    fn write(&mut self, addr: Addr, value: Word);
+
+    /// Atomic compare-and-swap: install `new` at `addr` iff the current word
+    /// equals `expected`. Returns `Ok(())` on success and `Err(actual)` with
+    /// the witnessed word on failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is out of bounds for the machine.
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word>;
+
+    /// Spend `cycles` of purely local computation/back-off time. On the host
+    /// machine this is a bounded spin; on the simulator it advances the
+    /// processor's virtual clock without generating memory traffic.
+    fn delay(&mut self, cycles: u64);
+
+    /// The processor's current local time, if the machine has a notion of
+    /// time (the simulator reports virtual cycles; the host reports 0).
+    fn now(&self) -> u64 {
+        0
+    }
+}
+
+/// Blanket impl so `&mut P` can be passed where a port is consumed by value
+/// in generic helpers.
+impl<P: MemPort + ?Sized> MemPort for &mut P {
+    fn proc_id(&self) -> usize {
+        (**self).proc_id()
+    }
+    fn n_procs(&self) -> usize {
+        (**self).n_procs()
+    }
+    fn read(&mut self, addr: Addr) -> Word {
+        (**self).read(addr)
+    }
+    fn write(&mut self, addr: Addr, value: Word) {
+        (**self).write(addr, value)
+    }
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word> {
+        (**self).compare_exchange(addr, expected, new)
+    }
+    fn delay(&mut self, cycles: u64) {
+        (**self).delay(cycles)
+    }
+    fn now(&self) -> u64 {
+        (**self).now()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::host::HostMachine;
+    use super::*;
+
+    fn exercise_port<P: MemPort>(port: &mut P, addr: Addr) {
+        assert_eq!(port.read(addr), 0);
+        port.write(addr, 42);
+        assert_eq!(port.read(addr), 42);
+        assert_eq!(port.compare_exchange(addr, 41, 43), Err(42));
+        assert_eq!(port.compare_exchange(addr, 42, 43), Ok(()));
+        assert_eq!(port.read(addr), 43);
+        port.delay(10);
+    }
+
+    #[test]
+    fn port_through_mut_ref() {
+        let machine = HostMachine::new(8, 1);
+        let mut port = machine.port(0);
+        exercise_port(&mut &mut port, 0); // via the blanket impl
+        exercise_port(&mut port, 1);
+    }
+}

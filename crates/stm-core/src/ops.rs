@@ -1,0 +1,213 @@
+//! High-level operations over an [`Stm`] instance: the derived primitives the
+//! paper presents as corollaries of static transactions — multi-word
+//! compare-and-swap, multi-word fetch-and-add, atomic swap, and atomic
+//! snapshots.
+//!
+//! [`StmOps`] bundles an [`Stm`] with the built-in program table so common
+//! operations need no program plumbing.
+//!
+//! # Examples
+//!
+//! ```
+//! use stm_core::machine::host::HostMachine;
+//! use stm_core::ops::StmOps;
+//! use stm_core::stm::StmConfig;
+//!
+//! let ops = StmOps::new(0, 16, 1, 8, StmConfig::default());
+//! let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
+//! let mut port = machine.port(0);
+//!
+//! assert_eq!(ops.fetch_add(&mut port, 3, 10), 0);
+//! assert_eq!(ops.fetch_add(&mut port, 3, 5), 10);
+//! assert!(ops.mwcas(&mut port, &[(3, 15, 100), (4, 0, 200)]).is_ok());
+//! assert_eq!(ops.snapshot(&mut port, &[3, 4]), vec![100, 200]);
+//! ```
+
+use std::sync::Arc;
+
+use crate::machine::MemPort;
+use crate::program::{register_builtins, Builtins, ProgramTable, ProgramTableBuilder};
+use crate::stm::{Stm, StmConfig, TxOutcome, TxSpec};
+use crate::word::{Addr, CellIdx, Word};
+
+/// An [`Stm`] instance together with the built-in operation programs.
+#[derive(Debug, Clone)]
+pub struct StmOps {
+    stm: Stm,
+    ops: Builtins,
+}
+
+impl StmOps {
+    /// Create an instance with only the built-in programs registered.
+    ///
+    /// Arguments are as in [`Stm::new`].
+    pub fn new(base: Addr, n_cells: usize, n_procs: usize, max_locs: usize, config: StmConfig) -> Self {
+        Self::with_programs(base, n_cells, n_procs, max_locs, config, |_| ()).0
+    }
+
+    /// Create an instance, also registering application programs via
+    /// `extra`; returns whatever `extra` produced (typically the opcodes).
+    pub fn with_programs<X>(
+        base: Addr,
+        n_cells: usize,
+        n_procs: usize,
+        max_locs: usize,
+        config: StmConfig,
+        extra: impl FnOnce(&mut ProgramTableBuilder) -> X,
+    ) -> (Self, X) {
+        let mut builder = ProgramTable::builder();
+        let ops = register_builtins(&mut builder);
+        let x = extra(&mut builder);
+        let table: Arc<ProgramTable> = builder.build();
+        (StmOps { stm: Stm::new(base, n_cells, n_procs, max_locs, table, config), ops }, x)
+    }
+
+    /// The underlying STM instance.
+    pub fn stm(&self) -> &Stm {
+        &self.stm
+    }
+
+    /// The built-in opcodes.
+    pub fn builtins(&self) -> Builtins {
+        self.ops
+    }
+
+    /// Atomically add `delta` (wrapping) to `cell`, returning the old value.
+    pub fn fetch_add<P: MemPort>(&self, port: &mut P, cell: CellIdx, delta: u32) -> u32 {
+        let out = self.stm.execute(port, &TxSpec::new(self.ops.add, &[delta as Word], &[cell]));
+        out.old[0]
+    }
+
+    /// Atomically add per-cell deltas to several cells, returning old values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` and `deltas` differ in length (or on any
+    /// [`Stm::execute`] spec violation).
+    pub fn fetch_add_many<P: MemPort>(
+        &self,
+        port: &mut P,
+        cells: &[CellIdx],
+        deltas: &[u32],
+    ) -> Vec<u32> {
+        assert_eq!(cells.len(), deltas.len(), "one delta per cell");
+        let params: Vec<Word> = deltas.iter().map(|&d| d as Word).collect();
+        self.stm.execute(port, &TxSpec::new(self.ops.add, &params, cells)).old
+    }
+
+    /// Atomically replace `cell` with `value`, returning the old value.
+    pub fn swap<P: MemPort>(&self, port: &mut P, cell: CellIdx, value: u32) -> u32 {
+        self.stm.execute(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell])).old[0]
+    }
+
+    /// Atomic multi-cell snapshot (an identity transaction over `cells`).
+    pub fn snapshot<P: MemPort>(&self, port: &mut P, cells: &[CellIdx]) -> Vec<u32> {
+        self.stm.execute(port, &TxSpec::new(self.ops.read, &[], cells)).old
+    }
+
+    /// Multi-word compare-and-swap: atomically, if every `cell` holds its
+    /// `expected` value, install every `new` value.
+    ///
+    /// # Errors
+    ///
+    /// On mismatch, returns the witnessed values (an atomic snapshot taken at
+    /// the linearization point).
+    pub fn mwcas<P: MemPort>(
+        &self,
+        port: &mut P,
+        entries: &[(CellIdx, u32, u32)],
+    ) -> Result<(), Vec<u32>> {
+        let cells: Vec<CellIdx> = entries.iter().map(|e| e.0).collect();
+        let params: Vec<Word> =
+            entries.iter().map(|&(_, exp, new)| ((exp as Word) << 32) | new as Word).collect();
+        let out = self.stm.execute(port, &TxSpec::new(self.ops.mwcas, &params, &cells));
+        let matched = entries.iter().zip(&out.old).all(|(&(_, exp, _), &old)| old == exp);
+        if matched {
+            Ok(())
+        } else {
+            Err(out.old)
+        }
+    }
+
+    /// Run an arbitrary registered program (see
+    /// [`StmOps::with_programs`]).
+    pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+        self.stm.execute(port, spec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::host::HostMachine;
+
+    fn setup(n_procs: usize) -> (StmOps, HostMachine) {
+        let ops = StmOps::new(0, 32, n_procs, 8, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), n_procs);
+        (ops, m)
+    }
+
+    #[test]
+    fn fetch_add_many_is_atomic() {
+        let (ops, m) = setup(1);
+        let mut port = m.port(0);
+        let old = ops.fetch_add_many(&mut port, &[1, 2, 3], &[10, 20, 30]);
+        assert_eq!(old, vec![0, 0, 0]);
+        assert_eq!(ops.snapshot(&mut port, &[1, 2, 3]), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn swap_returns_old() {
+        let (ops, m) = setup(1);
+        let mut port = m.port(0);
+        assert_eq!(ops.swap(&mut port, 7, 42), 0);
+        assert_eq!(ops.swap(&mut port, 7, 43), 42);
+    }
+
+    #[test]
+    fn mwcas_mismatch_reports_witnessed_values() {
+        let (ops, m) = setup(1);
+        let mut port = m.port(0);
+        ops.swap(&mut port, 0, 5);
+        let err = ops.mwcas(&mut port, &[(0, 4, 9)]).unwrap_err();
+        assert_eq!(err, vec![5]);
+        assert_eq!(ops.snapshot(&mut port, &[0]), vec![5]);
+    }
+
+    #[test]
+    fn mwcas_two_thread_contention_linearizes() {
+        // Two threads repeatedly MWCAS two cells from (a,a) -> (a+1,a+1); the
+        // cells must advance in lockstep.
+        let (ops, m) = setup(2);
+        std::thread::scope(|s| {
+            for p in 0..2 {
+                let ops = ops.clone();
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut port = m.port(p);
+                    let mut done = 0;
+                    while done < 200 {
+                        let snap = ops.snapshot(&mut port, &[0, 1]);
+                        assert_eq!(snap[0], snap[1], "cells advanced out of lockstep");
+                        let a = snap[0];
+                        if ops.mwcas(&mut port, &[(0, a, a + 1), (1, a, a + 1)]).is_ok() {
+                            done += 1;
+                        }
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        let snap = ops.snapshot(&mut port, &[0, 1]);
+        assert_eq!(snap[0], 400);
+        assert_eq!(snap[1], 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "one delta per cell")]
+    fn fetch_add_many_length_mismatch_panics() {
+        let (ops, m) = setup(1);
+        let mut port = m.port(0);
+        let _ = ops.fetch_add_many(&mut port, &[1, 2], &[1]);
+    }
+}

@@ -1,0 +1,276 @@
+//! Transaction programs: the code a static transaction runs at commit.
+//!
+//! In the paper, a transaction record holds a pointer to the transaction's
+//! code so that *helping* processors can execute the transaction on the
+//! owner's behalf. In Rust we realize the same mechanism with a process-wide
+//! [`ProgramTable`]: records store an **opcode** (table index) plus up to
+//! [`MAX_PARAMS`](crate::layout::MAX_PARAMS) parameter words, and every
+//! processor resolves opcodes through the same table. Programs must be
+//! **pure** functions of `(params, old_values)` so that the owner and all
+//! helpers compute identical new values — this is what makes the paper's
+//! redundant execution idempotent.
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::word::Word;
+
+/// A static transaction's commit function.
+///
+/// Given the parameter words stored in the record and the agreed old values
+/// of the data set, produce the new values. Implementations **must** be pure:
+/// the same inputs must always yield the same outputs, with no side effects,
+/// because the function may be executed concurrently by several helping
+/// processors.
+///
+/// `old.len() == new.len() == ` the transaction's data-set size; `new` is
+/// pre-initialized to a copy of `old`, so a program only needs to touch the
+/// locations it logically writes (untouched locations behave as reads).
+pub trait TxProgram: Send + Sync {
+    /// Compute the new values. See the trait docs for the purity contract.
+    fn compute(&self, params: &[Word], old: &[u32], new: &mut [u32]);
+
+    /// Human-readable name, for diagnostics.
+    fn name(&self) -> &str {
+        "anonymous"
+    }
+}
+
+impl<F> TxProgram for F
+where
+    F: Fn(&[Word], &[u32], &mut [u32]) + Send + Sync,
+{
+    fn compute(&self, params: &[Word], old: &[u32], new: &mut [u32]) {
+        self(params, old, new)
+    }
+}
+
+/// Identifier of a registered program (an index into the [`ProgramTable`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct OpCode(pub(crate) u32);
+
+impl OpCode {
+    /// The raw table index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op#{}", self.0)
+    }
+}
+
+/// An immutable table of transaction programs, shared by every processor.
+///
+/// Build one with [`ProgramTableBuilder`], register the programs your
+/// application needs, then freeze it. The table must be identical on every
+/// processor (it is shared via `Arc`), mirroring the paper's assumption that
+/// all processors run the same program image.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::program::ProgramTable;
+///
+/// let mut builder = ProgramTable::builder();
+/// let inc = builder.register("inc", |_p: &[u64], old: &[u32], new: &mut [u32]| {
+///     new[0] = old[0].wrapping_add(1);
+/// });
+/// let table = builder.build();
+/// assert_eq!(table.name(inc), "inc");
+/// ```
+pub struct ProgramTable {
+    programs: Vec<(String, Arc<dyn TxProgram>)>,
+}
+
+impl fmt::Debug for ProgramTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ProgramTable")
+            .field("programs", &self.programs.iter().map(|(n, _)| n).collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl ProgramTable {
+    /// Start building a table.
+    pub fn builder() -> ProgramTableBuilder {
+        ProgramTableBuilder { programs: Vec::new() }
+    }
+
+    /// Number of registered programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// The registered name of `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` was not produced by this table's builder.
+    pub fn name(&self, op: OpCode) -> &str {
+        &self.programs[op.index()].0
+    }
+
+    /// Execute program `op`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `op` is out of range (a foreign or corrupted opcode).
+    pub fn run(&self, op: OpCode, params: &[Word], old: &[u32], new: &mut [u32]) {
+        self.programs[op.index()].1.compute(params, old, new)
+    }
+
+    /// Try to resolve a raw opcode word read from shared memory.
+    pub fn resolve_raw(&self, raw: Word) -> Option<OpCode> {
+        if (raw as usize) < self.programs.len() {
+            Some(OpCode(raw as u32))
+        } else {
+            None
+        }
+    }
+}
+
+/// Builder for [`ProgramTable`].
+pub struct ProgramTableBuilder {
+    programs: Vec<(String, Arc<dyn TxProgram>)>,
+}
+
+impl ProgramTableBuilder {
+    /// Register `program` under `name`, returning its opcode.
+    pub fn register(&mut self, name: &str, program: impl TxProgram + 'static) -> OpCode {
+        self.register_arc(name, Arc::new(program))
+    }
+
+    /// Register an already-shared program.
+    pub fn register_arc(&mut self, name: &str, program: Arc<dyn TxProgram>) -> OpCode {
+        let op = OpCode(self.programs.len() as u32);
+        self.programs.push((name.to_owned(), program));
+        op
+    }
+
+    /// Freeze the table.
+    pub fn build(self) -> Arc<ProgramTable> {
+        Arc::new(ProgramTable { programs: self.programs })
+    }
+}
+
+/// Standard programs useful to most applications; register with
+/// [`register_builtins`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Builtins {
+    /// `new[j] = old[j] + params[j]` (wrapping): multi-cell fetch-and-add.
+    pub add: OpCode,
+    /// `new[j] = params[j]`: multi-cell swap (returns old values).
+    pub swap: OpCode,
+    /// Identity: a pure multi-cell atomic read.
+    pub read: OpCode,
+    /// Multi-word compare-and-swap: `params[j] = (expected<<32)|new_value`;
+    /// writes only if *every* location matches its expected value. The first
+    /// data-set location doubles as the success flag's... no flag is needed:
+    /// callers detect success by comparing returned old values against the
+    /// expected values.
+    pub mwcas: OpCode,
+}
+
+/// Register the built-in programs into `builder`.
+pub fn register_builtins(builder: &mut ProgramTableBuilder) -> Builtins {
+    let add = builder.register("builtin.add", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        for (j, (n, o)) in new.iter_mut().zip(old).enumerate() {
+            let delta = params.get(j).copied().unwrap_or(0) as u32;
+            *n = o.wrapping_add(delta);
+        }
+    });
+    let swap = builder.register("builtin.swap", |params: &[Word], _old: &[u32], new: &mut [u32]| {
+        for (j, n) in new.iter_mut().enumerate() {
+            *n = params.get(j).copied().unwrap_or(0) as u32;
+        }
+    });
+    let read = builder.register("builtin.read", |_: &[Word], _: &[u32], _: &mut [u32]| {});
+    let mwcas = builder.register("builtin.mwcas", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        let all_match =
+            (0..old.len()).all(|j| old[j] == (params.get(j).copied().unwrap_or(0) >> 32) as u32);
+        if all_match {
+            for (j, n) in new.iter_mut().enumerate() {
+                *n = params.get(j).copied().unwrap_or(0) as u32;
+            }
+        }
+    });
+    Builtins { add, swap, read, mwcas }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(table: &ProgramTable, op: OpCode, params: &[Word], old: &[u32]) -> Vec<u32> {
+        let mut new = old.to_vec();
+        table.run(op, params, old, &mut new);
+        new
+    }
+
+    #[test]
+    fn builtin_add() {
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let t = b.build();
+        assert_eq!(run(&t, ops.add, &[1, 2], &[10, 20]), vec![11, 22]);
+        // missing params behave as +0
+        assert_eq!(run(&t, ops.add, &[5], &[1, 2]), vec![6, 2]);
+        // wrapping
+        assert_eq!(run(&t, ops.add, &[1], &[u32::MAX]), vec![0]);
+    }
+
+    #[test]
+    fn builtin_swap_and_read() {
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let t = b.build();
+        assert_eq!(run(&t, ops.swap, &[7, 8], &[1, 2]), vec![7, 8]);
+        assert_eq!(run(&t, ops.read, &[], &[1, 2, 3]), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn builtin_mwcas_semantics() {
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let t = b.build();
+        let pack = |exp: u32, new: u32| ((exp as u64) << 32) | new as u64;
+        // all expected match -> writes
+        assert_eq!(run(&t, ops.mwcas, &[pack(1, 10), pack(2, 20)], &[1, 2]), vec![10, 20]);
+        // one mismatch -> no-op
+        assert_eq!(run(&t, ops.mwcas, &[pack(1, 10), pack(3, 20)], &[1, 2]), vec![1, 2]);
+    }
+
+    #[test]
+    fn opcodes_resolve_and_name() {
+        let mut b = ProgramTable::builder();
+        let op = b.register("custom", |_: &[Word], _: &[u32], _: &mut [u32]| {});
+        let t = b.build();
+        assert_eq!(t.name(op), "custom");
+        assert_eq!(t.resolve_raw(0), Some(op));
+        assert_eq!(t.resolve_raw(99), None);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+        assert_eq!(format!("{op}"), "op#0");
+    }
+
+    #[test]
+    fn purity_of_builtins_under_repetition() {
+        // Helpers may re-execute programs; results must be identical.
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let t = b.build();
+        let old = [3u32, 9, 27];
+        let first = run(&t, ops.add, &[1, 1, 1], &old);
+        for _ in 0..10 {
+            assert_eq!(run(&t, ops.add, &[1, 1, 1], &old), first);
+        }
+    }
+}

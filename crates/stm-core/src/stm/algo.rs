@@ -1,0 +1,409 @@
+//! The transaction protocol itself — the paper's `startTransaction` /
+//! `transaction` / `acquireOwnerships` / `agreeOldValues` / `updateMemory` /
+//! `releaseOwnerships` procedures.
+//!
+//! Every participant of a transaction (the initiating owner plus any helping
+//! processors) runs [`run_transaction`] for the same `(owner, version)` pair;
+//! all steps are idempotent under the version-tagged CAS discipline described
+//! in [`crate::word`], so redundant execution is harmless — exactly the
+//! paper's design.
+
+use crate::layout::MAX_PARAMS;
+use crate::machine::MemPort;
+use crate::program::OpCode;
+use crate::word::{
+    cell_successor, cell_value, oldval_for_version, pack_oldval_set, pack_oldval_unset,
+    pack_owner, pack_status, status_is_version, unpack_owner, unpack_status, CellIdx, TxStatus,
+    Word, OWNER_FREE,
+};
+
+use super::{Stm, TxConflict, TxOutcome, TxSpec, TxStats};
+
+/// A participant's view of one transaction: the commit program and the data
+/// set, in program order, plus the ascending acquisition order.
+struct TxView {
+    op: OpCode,
+    params: Vec<Word>,
+    cells: Vec<CellIdx>,
+    /// Permutation of `0..cells.len()` sorting positions by ascending cell
+    /// index — the paper's global acquisition order.
+    order: Vec<usize>,
+}
+
+impl TxView {
+    fn from_spec(spec: &TxSpec<'_>) -> Self {
+        let cells = spec.cells.to_vec();
+        let order = ascending_order(&cells);
+        TxView { op: spec.op, params: spec.params.to_vec(), cells, order }
+    }
+}
+
+fn ascending_order(cells: &[CellIdx]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..cells.len()).collect();
+    order.sort_by_key(|&j| cells[j]);
+    order
+}
+
+/// Fault injection for tests: initialize the record and acquire ownerships
+/// for `spec`, then abandon the transaction undecided (as a processor that
+/// crashed mid-protocol would). The paper's liveness claim is that other
+/// processors *complete* such a transaction via helping.
+pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSpec<'_>) {
+    let me = port.proc_id();
+    let l = *stm.layout();
+    let (prev_version, _) = unpack_status(port.read(l.status(me)));
+    let version = prev_version.wrapping_add(1);
+    port.write(l.status(me), pack_status(version, TxStatus::Initializing));
+    port.write(l.size(me), spec.cells.len() as Word);
+    port.write(l.opcode(me), spec.op.index() as Word);
+    port.write(l.nparams(me), spec.params.len() as Word);
+    for (i, &p) in spec.params.iter().enumerate() {
+        port.write(l.param(me, i), p);
+    }
+    for (j, &c) in spec.cells.iter().enumerate() {
+        port.write(l.addr_slot(me, j), c as Word);
+        port.write(l.oldval_slot(me, j), pack_oldval_unset(version));
+    }
+    port.write(l.status(me), pack_status(version, TxStatus::Null));
+    let view = TxView::from_spec(spec);
+    acquire_ownerships(stm, port, me, version, &view);
+    // ... and vanish: no decision handling, no release, no retry.
+}
+
+/// Run `spec` to completion (the paper's retry loop with helping).
+pub(super) fn execute<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+    let mut stats = TxStats::default();
+    loop {
+        match attempt(stm, port, spec, &mut stats) {
+            Ok((old, old_stamps)) => return TxOutcome { old, old_stamps, stats },
+            Err(_) => {
+                let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
+                if wait > 0 {
+                    port.delay(wait);
+                }
+            }
+        }
+    }
+}
+
+/// Run `spec` once.
+pub(super) fn try_execute<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    spec: &TxSpec<'_>,
+) -> Result<TxOutcome, TxConflict> {
+    let mut stats = TxStats::default();
+    match attempt(stm, port, spec, &mut stats) {
+        Ok((old, old_stamps)) => Ok(TxOutcome { old, old_stamps, stats }),
+        Err(at) => Err(TxConflict { at }),
+    }
+}
+
+/// One attempt by the record owner: initialize the record, run the
+/// transaction, and on failure help the obstructing transaction once
+/// (non-redundant helping). Returns the old values on commit, or the failing
+/// data-set position.
+fn attempt<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    spec: &TxSpec<'_>,
+    stats: &mut TxStats,
+) -> Result<(Vec<u32>, Vec<u16>), usize> {
+    stats.attempts += 1;
+    let me = port.proc_id();
+    let l = *stm.layout();
+
+    // New version: successor of whatever version the record last carried.
+    let (prev_version, _) = unpack_status(port.read(l.status(me)));
+    let version = prev_version.wrapping_add(1);
+
+    // (1) Fence: helpers that land mid-rewrite see `Initializing` and bail.
+    port.write(l.status(me), pack_status(version, TxStatus::Initializing));
+    // (2) Record body: code reference + data set + fresh agreement entries.
+    port.write(l.size(me), spec.cells.len() as Word);
+    port.write(l.opcode(me), spec.op.index() as Word);
+    port.write(l.nparams(me), spec.params.len() as Word);
+    for (i, &p) in spec.params.iter().enumerate() {
+        port.write(l.param(me, i), p);
+    }
+    for (j, &c) in spec.cells.iter().enumerate() {
+        port.write(l.addr_slot(me, j), c as Word);
+        port.write(l.oldval_slot(me, j), pack_oldval_unset(version));
+    }
+    // (3) Publish: the transaction is now live and helpable.
+    port.write(l.status(me), pack_status(version, TxStatus::Null));
+
+    let view = TxView::from_spec(spec);
+    run_transaction(stm, port, me, version, &view);
+
+    // Only the owner advances its record's version, so the status read below
+    // necessarily still belongs to `version`, and is decided.
+    let stw = port.read(l.status(me));
+    debug_assert!(status_is_version(stw, version), "own status moved without owner");
+    match unpack_status(stw).1 {
+        TxStatus::Success => {
+            let mut old = Vec::with_capacity(view.cells.len());
+            let mut old_stamps = Vec::with_capacity(view.cells.len());
+            for j in 0..view.cells.len() {
+                let entry = port.read(l.oldval_slot(me, j));
+                let cw = oldval_for_version(entry, version)
+                    .expect("committed transaction must have agreed old values");
+                old.push(cell_value(cw));
+                old_stamps.push(crate::word::cell_stamp(cw));
+            }
+            Ok((old, old_stamps))
+        }
+        TxStatus::Failure(j) => {
+            stats.conflicts += 1;
+            if stm.config.helping {
+                if let Some(&cell) = view.cells.get(j) {
+                    if let Some((p2, v2)) = unpack_owner(port.read(l.ownership(cell))) {
+                        if p2 != me {
+                            stats.helps += 1;
+                            help(stm, port, p2, v2);
+                        }
+                    }
+                }
+            }
+            Err(j)
+        }
+        TxStatus::Null | TxStatus::Initializing => {
+            unreachable!("initiator returned with undecided status")
+        }
+    }
+}
+
+/// Help another processor's transaction `(owner, version)` to completion —
+/// the paper's non-redundant helping (helpers never recurse into further
+/// helping).
+fn help<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u64) {
+    if let Some(view) = snapshot_view(stm, port, owner, version) {
+        run_transaction(stm, port, owner, version, &view);
+    }
+}
+
+/// The paper's `transaction` procedure, executed identically by the owner
+/// and by helpers.
+fn run_transaction<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u64, view: &TxView) {
+    let l = *stm.layout();
+    acquire_ownerships(stm, port, owner, version, view);
+
+    let stw = port.read(l.status(owner));
+    if !status_is_version(stw, version) {
+        // The transaction finished while we worked; free anything we may
+        // still hold for it (exact-tag CAS makes this safe).
+        release_ownerships(stm, port, owner, version, view);
+        return;
+    }
+    match unpack_status(stw).1 {
+        TxStatus::Success => {
+            if agree_old_values(stm, port, owner, version, view) {
+                if let Some(olds) = read_agreed(stm, port, owner, version, view) {
+                    update_memory(stm, port, version, view, &olds);
+                }
+            }
+            release_ownerships(stm, port, owner, version, view);
+        }
+        TxStatus::Failure(_) => {
+            release_ownerships(stm, port, owner, version, view);
+        }
+        TxStatus::Null | TxStatus::Initializing => {
+            // `acquire_ownerships` always decides the status before returning
+            // while the version matches; defensively release and leave.
+            debug_assert!(false, "undecided status after acquisition");
+            release_ownerships(stm, port, owner, version, view);
+        }
+    }
+}
+
+/// The paper's `acquireOwnerships`: claim every data-set location in
+/// ascending cell order, failing the transaction on a live conflict.
+fn acquire_ownerships<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: &TxView,
+) {
+    let l = *stm.layout();
+    let mine = pack_owner(owner, version);
+    let status_addr = l.status(owner);
+    let live = pack_status(version, TxStatus::Null);
+
+    for &j in &view.order {
+        let own_addr = l.ownership(view.cells[j]);
+        loop {
+            // Another participant may have decided the outcome already.
+            if port.read(status_addr) != live {
+                return;
+            }
+            let cur = port.read(own_addr);
+            if cur == mine {
+                break; // already claimed (by us or a co-participant)
+            }
+            if cur == OWNER_FREE {
+                match port.compare_exchange(own_addr, OWNER_FREE, mine) {
+                    Ok(()) => break,
+                    Err(_) => continue,
+                }
+            }
+            let (p2, v2) = unpack_owner(cur).expect("non-free ownership");
+            if !status_is_version(port.read(l.status(p2)), v2) {
+                // The owning transaction already finished: this ownership is
+                // a stale leftover (e.g. installed by a slow helper after the
+                // fact). Reclaim it; all of that transaction's effects are
+                // tag-guarded, so freeing early is safe.
+                let _ = port.compare_exchange(own_addr, cur, OWNER_FREE);
+                continue;
+            }
+            // Live conflict: fail this transaction at data-set position `j`.
+            let _ = port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)));
+            return;
+        }
+    }
+    // Every location is held by `(owner, version)`: decide success. If the
+    // CAS fails, another participant decided first — equally final.
+    let _ = port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Success));
+}
+
+/// The paper's `agreeOldValues`: fix the pre-image of every location exactly
+/// once per version via CAS from the unset entry. Returns `false` if the
+/// record moved to another version mid-way.
+fn agree_old_values<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: &TxView,
+) -> bool {
+    let l = *stm.layout();
+    for j in 0..view.cells.len() {
+        let slot = l.oldval_slot(owner, j);
+        loop {
+            let entry = port.read(slot);
+            match oldval_for_version(entry, version) {
+                Ok(_) => break,
+                Err(false) => return false,
+                Err(true) => {
+                    // Entry still unset for our version: the location is
+                    // still owned (release requires full agreement first), so
+                    // the cell word is the frozen pre-image.
+                    let cw = port.read(l.cell(view.cells[j]));
+                    if port.compare_exchange(slot, entry, pack_oldval_set(version, cw)).is_ok() {
+                        break;
+                    }
+                    // Lost the race; re-inspect the slot.
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Read back the agreed pre-images (packed cell words) in program order;
+/// `None` if the record moved to another version.
+fn read_agreed<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: &TxView,
+) -> Option<Vec<Word>> {
+    let l = *stm.layout();
+    let mut olds = Vec::with_capacity(view.cells.len());
+    for j in 0..view.cells.len() {
+        let entry = port.read(l.oldval_slot(owner, j));
+        olds.push(oldval_for_version(entry, version).ok()?);
+    }
+    Some(olds)
+}
+
+/// The paper's `updateMemory`: apply the commit function and install the new
+/// values. Each install is a CAS from the agreed pre-image (stamp included),
+/// so replays by other participants — or stale helpers — are rejected.
+fn update_memory<P: MemPort>(stm: &Stm, port: &mut P, _version: u64, view: &TxView, olds: &[Word]) {
+    let l = *stm.layout();
+    let old_values: Vec<u32> = olds.iter().map(|&w| cell_value(w)).collect();
+    let mut new_values = old_values.clone();
+    stm.table().run(view.op, &view.params, &old_values, &mut new_values);
+    for j in 0..view.cells.len() {
+        if new_values[j] == old_values[j] {
+            continue; // logical read: leave the cell (and its stamp) untouched
+        }
+        let _ = port.compare_exchange(
+            l.cell(view.cells[j]),
+            olds[j],
+            cell_successor(olds[j], new_values[j]),
+        );
+    }
+}
+
+/// The paper's `releaseOwnerships`: free exactly the locations held by
+/// `(owner, version)` — an exact-tag CAS per location.
+fn release_ownerships<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: &TxView,
+) {
+    let l = *stm.layout();
+    let mine = pack_owner(owner, version);
+    for &c in &view.cells {
+        let _ = port.compare_exchange(l.ownership(c), mine, OWNER_FREE);
+    }
+}
+
+/// Snapshot the record of `(owner, version)` for helping. The two status
+/// validations bracket the body reads; the owner publishes `Initializing`
+/// before rewriting the body for a new version, so a bracketed snapshot is
+/// never torn.
+fn snapshot_view<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+) -> Option<TxView> {
+    let l = *stm.layout();
+    let ok = |w: Word| status_is_version(w, version) && unpack_status(w).1 != TxStatus::Initializing;
+
+    if !ok(port.read(l.status(owner))) {
+        return None;
+    }
+    let size = port.read(l.size(owner)) as usize;
+    if size == 0 || size > l.max_locs() {
+        return None;
+    }
+    let op_raw = port.read(l.opcode(owner));
+    let nparams = (port.read(l.nparams(owner)) as usize).min(MAX_PARAMS);
+    let mut params = Vec::with_capacity(nparams);
+    for i in 0..nparams {
+        params.push(port.read(l.param(owner, i)));
+    }
+    let mut cells = Vec::with_capacity(size);
+    for j in 0..size {
+        cells.push(port.read(l.addr_slot(owner, j)) as CellIdx);
+    }
+    if !ok(port.read(l.status(owner))) {
+        return None;
+    }
+    // The snapshot is consistent; validate it came from a well-formed spec.
+    let op = stm.table().resolve_raw(op_raw)?;
+    if cells.iter().any(|&c| c >= l.n_cells()) {
+        return None;
+    }
+    let order = ascending_order(&cells);
+    Some(TxView { op, params, cells, order })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascending_order_permutes_by_cell() {
+        assert_eq!(ascending_order(&[9, 1, 5]), vec![1, 2, 0]);
+        assert_eq!(ascending_order(&[1]), vec![0]);
+        assert_eq!(ascending_order(&[2, 3, 4]), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,530 @@
+//! The Shavit–Touitou software transactional memory.
+//!
+//! [`Stm`] implements the paper's non-blocking static-transaction protocol:
+//! a transaction declares its data set up front, acquires per-location
+//! ownership in ascending address order, agrees on the old values, applies a
+//! pure commit function, and releases. On conflict it fails itself and
+//! *helps* the transaction that owns the contended location (one level of
+//! non-redundant helping), which is what makes the construction lock-free.
+//!
+//! The API is machine-agnostic: the same [`Stm`] instance drives transactions
+//! on the host machine and on the `stm-sim` simulated multiprocessor.
+//!
+//! # Examples
+//!
+//! ```
+//! use stm_core::machine::host::HostMachine;
+//! use stm_core::program::{register_builtins, ProgramTable};
+//! use stm_core::stm::{Stm, StmConfig, TxSpec};
+//!
+//! let mut builder = ProgramTable::builder();
+//! let ops = register_builtins(&mut builder);
+//! let table = builder.build();
+//!
+//! let stm = Stm::new(0, 8, 1, 4, table, StmConfig::default());
+//! let machine = HostMachine::new(stm.layout().words_needed(), 1);
+//! let mut port = machine.port(0);
+//!
+//! // Atomically add 5 to cell 2 and 7 to cell 3.
+//! let outcome = stm.execute(&mut port, &TxSpec::new(ops.add, &[5, 7], &[2, 3]));
+//! assert_eq!(outcome.old, vec![0, 0]);
+//! assert_eq!(stm.read_cell(&mut port, 2), 5);
+//! assert_eq!(stm.read_cell(&mut port, 3), 7);
+//! ```
+
+mod algo;
+
+use std::fmt;
+use std::sync::Arc;
+
+use crate::layout::{StmLayout, MAX_PARAMS};
+use crate::machine::MemPort;
+use crate::program::{OpCode, ProgramTable};
+use crate::word::{cell_value, Addr, CellIdx, Word};
+
+/// Back-off policy applied between retries of a failed transaction.
+///
+/// The paper's STM relies on helping rather than back-off, so the default is
+/// [`BackoffPolicy::None`]; exponential back-off is provided for ablations
+/// and for the Herlihy baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BackoffPolicy {
+    /// Retry immediately (the paper's configuration).
+    None,
+    /// Exponential back-off: wait `base << min(attempt, ...)` cycles, capped
+    /// at `max` (randomization is deterministic per processor/attempt).
+    Exponential {
+        /// Initial back-off in cycles.
+        base: u64,
+        /// Cap in cycles.
+        max: u64,
+    },
+}
+
+impl BackoffPolicy {
+    /// Cycles to wait before retry number `attempt` (1-based) on `proc`.
+    pub fn wait_cycles(&self, proc: usize, attempt: u64) -> u64 {
+        match *self {
+            BackoffPolicy::None => 0,
+            BackoffPolicy::Exponential { base, max } => {
+                let shift = attempt.min(16) as u32;
+                let window = (base.saturating_mul(1 << shift)).min(max).max(1);
+                // Cheap deterministic jitter: hash proc and attempt.
+                let h = (proc as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+                (h % window) + 1
+            }
+        }
+    }
+}
+
+/// Configuration of the STM protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Enable non-redundant helping (the paper's mechanism; disabling it is
+    /// the A1 ablation and forfeits the lock-freedom guarantee).
+    pub helping: bool,
+    /// Back-off between retries (default: none, as in the paper).
+    pub backoff: BackoffPolicy,
+}
+
+impl Default for StmConfig {
+    fn default() -> Self {
+        StmConfig { helping: true, backoff: BackoffPolicy::None }
+    }
+}
+
+/// A static transaction request: which program to run over which cells.
+///
+/// `cells` lists the data set in *program order* (the order `old`/`new`
+/// slices are presented to the [`TxProgram`](crate::program::TxProgram)); the
+/// protocol acquires ownership in ascending cell order internally, as the
+/// paper requires. Cells must be distinct.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxSpec<'a> {
+    /// The registered commit program.
+    pub op: OpCode,
+    /// Parameter words passed to the program (at most
+    /// [`MAX_PARAMS`]).
+    pub params: &'a [Word],
+    /// The data set: distinct cell indices, in program order.
+    pub cells: &'a [CellIdx],
+}
+
+impl<'a> TxSpec<'a> {
+    /// Convenience constructor.
+    pub fn new(op: OpCode, params: &'a [Word], cells: &'a [CellIdx]) -> Self {
+        TxSpec { op, params, cells }
+    }
+}
+
+/// Statistics of one [`Stm::execute`] call.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxStats {
+    /// Number of attempts (1 = committed first try).
+    pub attempts: u64,
+    /// Number of times this call helped another processor's transaction.
+    pub helps: u64,
+    /// Number of ownership conflicts encountered across all attempts.
+    pub conflicts: u64,
+}
+
+impl TxStats {
+    /// Accumulate another call's statistics into this one.
+    pub fn merge(&mut self, other: &TxStats) {
+        self.attempts += other.attempts;
+        self.helps += other.helps;
+        self.conflicts += other.conflicts;
+    }
+}
+
+/// The result of a committed transaction: the data set's old values (in
+/// program order) plus retry statistics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxOutcome {
+    /// Pre-commit value of each cell in the data set, in the order given in
+    /// [`TxSpec::cells`]. A static transaction is a k-word
+    /// read-modify-write, so the old values are its return value.
+    pub old: Vec<u32>,
+    /// Pre-commit update stamp of each cell (same order as `old`). The
+    /// stamp identifies the exact version of the cell this transaction read
+    /// — the hook the serializability checker
+    /// ([`crate::history`]) is built on.
+    pub old_stamps: Vec<u16>,
+    /// Retry/help statistics for this call.
+    pub stats: TxStats,
+}
+
+/// Error returned by [`Stm::try_execute`] when the single attempt failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxConflict {
+    /// Cell index (program order position) on which the conflict occurred.
+    pub at: usize,
+}
+
+impl fmt::Display for TxConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "transaction failed: data-set position {} owned by another transaction", self.at)
+    }
+}
+
+impl std::error::Error for TxConflict {}
+
+/// A Shavit–Touitou software transactional memory instance.
+///
+/// The instance itself is immutable configuration (layout + program table);
+/// all shared state lives in the machine's memory, so an `Stm` can be shared
+/// freely across threads (clone it or wrap it in `Arc`).
+#[derive(Clone)]
+pub struct Stm {
+    layout: StmLayout,
+    table: Arc<ProgramTable>,
+    config: StmConfig,
+}
+
+impl fmt::Debug for Stm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Stm")
+            .field("layout", &self.layout)
+            .field("programs", &self.table.len())
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl Stm {
+    /// Create an STM instance occupying machine addresses
+    /// `base .. base + layout.words_needed()` with `n_cells` transactional
+    /// cells, `n_procs` processors, and data sets of at most `max_locs`
+    /// locations.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range `n_procs`/`max_locs` (see
+    /// [`StmLayout::new`]).
+    pub fn new(
+        base: Addr,
+        n_cells: usize,
+        n_procs: usize,
+        max_locs: usize,
+        table: Arc<ProgramTable>,
+        config: StmConfig,
+    ) -> Self {
+        Stm { layout: StmLayout::new(base, n_cells, n_procs, max_locs), table, config }
+    }
+
+    /// The memory layout of this instance.
+    pub fn layout(&self) -> &StmLayout {
+        &self.layout
+    }
+
+    /// The shared program table.
+    pub fn table(&self) -> &Arc<ProgramTable> {
+        &self.table
+    }
+
+    /// The protocol configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// Execute `spec` to completion, retrying (and helping) until it commits.
+    ///
+    /// This is the paper's `startTransaction` loop. Returns the old values of
+    /// the data set in program order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is malformed: too many cells or parameters, an
+    /// out-of-range cell index, duplicate cells, or an opcode foreign to this
+    /// instance's table.
+    pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+        self.validate_spec(port, spec);
+        algo::execute(self, port, spec)
+    }
+
+    /// Attempt `spec` exactly once (still helping the conflicting transaction
+    /// if configured). On conflict returns the failing data-set position.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TxConflict`] if a location in the data set was owned by
+    /// another live transaction during the attempt.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Stm::execute`].
+    pub fn try_execute<P: MemPort>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+    ) -> Result<TxOutcome, TxConflict> {
+        self.validate_spec(port, spec);
+        algo::try_execute(self, port, spec)
+    }
+
+    /// Read one cell's current committed value directly (no transaction).
+    ///
+    /// Cell payloads only ever change via committed transactions (single CAS
+    /// per cell), so this always observes *some* committed value of that
+    /// cell — but reads of several cells are not mutually atomic; use an
+    /// identity transaction (e.g. the `read` builtin) for an atomic snapshot.
+    pub fn read_cell<P: MemPort>(&self, port: &mut P, idx: CellIdx) -> u32 {
+        cell_value(port.read(self.layout.cell(idx)))
+    }
+
+    /// Initialize a cell before concurrent activity starts (bumps the cell's
+    /// stamp like a committed write, so it is safe even against a concurrent
+    /// reader, but it bypasses ownership and must not race with transactions
+    /// on the same cell).
+    pub fn init_cell<P: MemPort>(&self, port: &mut P, idx: CellIdx, value: u32) {
+        let addr = self.layout.cell(idx);
+        loop {
+            let cur = port.read(addr);
+            let next = crate::word::cell_successor(cur, value);
+            if port.compare_exchange(addr, cur, next).is_ok() {
+                return;
+            }
+        }
+    }
+
+    /// Fault injection for liveness tests: start `spec` — record
+    /// initialization plus ownership acquisition — and then abandon it, as a
+    /// processor that crashed mid-protocol would. The transaction is left
+    /// undecided with its locations claimed; the paper's helping mechanism
+    /// obliges any conflicting processor to *complete* it (the transaction
+    /// commits even though its initiator died).
+    ///
+    /// The crashed processor's record must not be reused afterwards (do not
+    /// call [`Stm::execute`] on the same `proc_id` again in the test).
+    ///
+    /// # Panics
+    ///
+    /// Same spec validation as [`Stm::execute`].
+    pub fn inject_crash_after_acquire<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) {
+        self.validate_spec(port, spec);
+        algo::start_and_abandon(self, port, spec);
+    }
+
+    fn validate_spec<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) {
+        assert!(!spec.cells.is_empty(), "empty data set");
+        assert!(
+            spec.cells.len() <= self.layout.max_locs(),
+            "data set of {} exceeds max_locs {}",
+            spec.cells.len(),
+            self.layout.max_locs()
+        );
+        assert!(spec.params.len() <= MAX_PARAMS, "too many parameter words");
+        assert!(port.proc_id() < self.layout.n_procs(), "port processor id out of range for this STM");
+        assert!(
+            self.table.resolve_raw(spec.op.index() as Word).is_some(),
+            "opcode not registered in this instance's table"
+        );
+        for (i, &c) in spec.cells.iter().enumerate() {
+            assert!(c < self.layout.n_cells(), "cell index {c} out of range");
+            for &d in &spec.cells[..i] {
+                assert!(c != d, "duplicate cell {c} in data set");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::host::HostMachine;
+    use crate::program::register_builtins;
+
+    fn setup(n_cells: usize, n_procs: usize) -> (Stm, HostMachine, crate::program::Builtins) {
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let table = b.build();
+        let stm = Stm::new(0, n_cells, n_procs, 8, table, StmConfig::default());
+        let machine = HostMachine::new(stm.layout().words_needed(), n_procs);
+        (stm, machine, ops)
+    }
+
+    #[test]
+    fn single_threaded_add_and_read() {
+        let (stm, m, ops) = setup(16, 1);
+        let mut port = m.port(0);
+        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[3], &[5]));
+        assert_eq!(out.old, vec![0]);
+        assert_eq!(out.stats.attempts, 1);
+        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[4], &[5]));
+        assert_eq!(out.old, vec![3]);
+        assert_eq!(stm.read_cell(&mut port, 5), 7);
+    }
+
+    #[test]
+    fn multi_cell_swap_returns_old_values_in_program_order() {
+        let (stm, m, ops) = setup(16, 1);
+        let mut port = m.port(0);
+        stm.init_cell(&mut port, 1, 100);
+        stm.init_cell(&mut port, 9, 900);
+        // program order deliberately not ascending
+        let out = stm.execute(&mut port, &TxSpec::new(ops.swap, &[11, 99], &[9, 1]));
+        assert_eq!(out.old, vec![900, 100]);
+        assert_eq!(stm.read_cell(&mut port, 9), 11);
+        assert_eq!(stm.read_cell(&mut port, 1), 99);
+    }
+
+    #[test]
+    fn identity_read_is_atomic_snapshot() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        stm.init_cell(&mut port, 0, 1);
+        stm.init_cell(&mut port, 1, 2);
+        let out = stm.execute(&mut port, &TxSpec::new(ops.read, &[], &[0, 1]));
+        assert_eq!(out.old, vec![1, 2]);
+        assert_eq!(stm.read_cell(&mut port, 0), 1);
+    }
+
+    #[test]
+    fn mwcas_success_and_failure() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        stm.init_cell(&mut port, 0, 1);
+        stm.init_cell(&mut port, 1, 2);
+        let pack = |exp: u32, new: u32| ((exp as u64) << 32) | new as u64;
+        let out = stm.execute(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 10), pack(2, 20)], &[0, 1]));
+        assert_eq!(out.old, vec![1, 2]); // matched
+        assert_eq!(stm.read_cell(&mut port, 0), 10);
+        let out = stm.execute(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 5), pack(20, 7)], &[0, 1]));
+        assert_eq!(out.old, vec![10, 20]); // old[0] != 1 -> no write
+        assert_eq!(stm.read_cell(&mut port, 0), 10);
+        assert_eq!(stm.read_cell(&mut port, 1), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate cell")]
+    fn duplicate_cells_panic() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[1, 1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty data set")]
+    fn empty_dataset_panics() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[]));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn cell_out_of_range_panics() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[4]));
+    }
+
+    #[test]
+    fn try_execute_succeeds_uncontended() {
+        let (stm, m, ops) = setup(4, 1);
+        let mut port = m.port(0);
+        let out = stm.try_execute(&mut port, &TxSpec::new(ops.add, &[1], &[0])).unwrap();
+        assert_eq!(out.old, vec![0]);
+    }
+
+    #[test]
+    fn backoff_policy_is_bounded_and_deterministic() {
+        let p = BackoffPolicy::Exponential { base: 4, max: 1000 };
+        for proc in 0..8 {
+            for attempt in 1..20 {
+                let w = p.wait_cycles(proc, attempt);
+                assert!((1..=1000).contains(&w));
+                assert_eq!(w, p.wait_cycles(proc, attempt));
+            }
+        }
+        assert_eq!(BackoffPolicy::None.wait_cycles(0, 3), 0);
+    }
+
+    #[test]
+    fn record_version_wraps_past_oldval_tag_width() {
+        // Old-value agreement entries carry only 15 bits of the record
+        // version; a single record must stay correct across (several times)
+        // that many reuses.
+        let (stm, m, ops) = setup(2, 1);
+        let mut port = m.port(0);
+        const N: u32 = (1 << 15) * 2 + 17;
+        for i in 0..N {
+            let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[0]));
+            assert_eq!(out.old[0], i, "lost update at version {i}");
+        }
+        assert_eq!(stm.read_cell(&mut port, 0), N);
+    }
+
+    #[test]
+    fn cell_stamp_wraps_past_16_bits() {
+        // Cell stamps are 16-bit; >2^16 committed updates of one cell must
+        // stay exact.
+        let (stm, m, ops) = setup(2, 1);
+        let mut port = m.port(0);
+        const N: u32 = (1 << 16) + 33;
+        for _ in 0..N {
+            stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[1]));
+        }
+        assert_eq!(stm.read_cell(&mut port, 1), N);
+    }
+
+    #[test]
+    fn concurrent_counter_on_host() {
+        const PROCS: usize = 4;
+        const PER: u64 = 500;
+        let (stm, m, ops) = setup(4, PROCS);
+        std::thread::scope(|s| {
+            for p in 0..PROCS {
+                let stm = stm.clone();
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut port = m.port(p);
+                    for _ in 0..PER {
+                        stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[2]));
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        assert_eq!(stm.read_cell(&mut port, 2), (PROCS as u64 * PER) as u32);
+    }
+
+    #[test]
+    fn concurrent_multiword_transfer_conserves_sum_on_host() {
+        // 4 threads move value between 8 cells; total must be conserved.
+        const PROCS: usize = 4;
+        const PER: usize = 300;
+        let (stm, m, ops) = setup(8, PROCS);
+        {
+            let mut port = m.port(0);
+            for c in 0..8 {
+                stm.init_cell(&mut port, c, 1000);
+            }
+        }
+        std::thread::scope(|s| {
+            for p in 0..PROCS {
+                let stm = stm.clone();
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut port = m.port(p);
+                    for i in 0..PER {
+                        let from = (p + i) % 8;
+                        let to = (p + i + 3) % 8;
+                        if from == to {
+                            continue;
+                        }
+                        // add -1 (wrapping) to from, +1 to to
+                        let params = [1u32.wrapping_neg() as u64, 1];
+                        let cells = [from, to];
+                        stm.execute(&mut port, &TxSpec::new(ops.add, &params, &cells));
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        let total: u64 = (0..8).map(|c| stm.read_cell(&mut port, c) as u64).sum();
+        assert_eq!(total, 8000);
+    }
+}

@@ -1,0 +1,298 @@
+//! Packed word layouts used by the STM protocol.
+//!
+//! The Shavit–Touitou algorithm coordinates entirely through single-word
+//! compare-and-swap. The 1995 paper assumes unbounded tags informally; this
+//! implementation makes every tag explicit and bounded, packing each protocol
+//! word into a single [`Word`] (64 bits) so that every protocol transition is
+//! one CAS:
+//!
+//! * **cell** — a transactional memory cell: `stamp:16 | value:32`. The stamp
+//!   advances on every committed update so a stale helper's late CAS is
+//!   rejected (bounded-tag caveat: a helper stalled across exactly 2^16
+//!   updates of one cell could observe an ABA; see DESIGN.md §4).
+//! * **ownership** — `version:40 | owner_proc+1:16`, or `0` when free. A
+//!   single read yields a consistent `(record, version)` pair for helping, and
+//!   release is an exact-tag CAS so stale helpers cannot release a location
+//!   that was re-acquired.
+//! * **status** — `version:40 | fail_idx:12 | code:2`. The record life-cycle
+//!   (`Null → Success | Failure(idx)`) is decided by version-guarded CAS.
+//! * **old-value entry** — `version:15 | set:1 | stamp:16 | value:32`. The
+//!   "agree on old values" step of the paper is a CAS from the unset to the
+//!   set state, so every participant of a transaction observes the same
+//!   pre-image (value *and* stamp) for every location.
+//!
+//! All version fields are truncations of a per-record monotonic `u64` counter;
+//! comparisons are always performed on *packed* words produced by the same
+//! packing function, never on raw counters, so truncation is applied
+//! uniformly.
+
+/// Machine word: every shared location holds one of these.
+pub type Word = u64;
+
+/// Address of a word in a machine's shared address space.
+pub type Addr = usize;
+
+/// Index of a transactional cell (dense, `0..n_cells`).
+pub type CellIdx = usize;
+
+/// Number of bits of the per-record version counter kept in ownership and
+/// status words.
+pub const VERSION_BITS: u32 = 40;
+/// Number of version bits kept in old-value entries (they also carry the
+/// 16-bit stamp, leaving less room).
+pub const OLDVAL_VERSION_BITS: u32 = 15;
+/// Bits of the per-cell update stamp.
+pub const STAMP_BITS: u32 = 16;
+/// Bits of a cell's payload value.
+pub const VALUE_BITS: u32 = 32;
+/// Bits of the failure-location index inside a status word.
+pub const FAIL_IDX_BITS: u32 = 12;
+/// Maximum number of locations in one static transaction's data set.
+pub const MAX_DATASET: usize = (1 << FAIL_IDX_BITS) - 1;
+/// Maximum number of processors (ownership packs `proc+1` in 16 bits).
+pub const MAX_PROCS: usize = (1 << 16) - 2;
+
+const VERSION_MASK: u64 = (1 << VERSION_BITS) - 1;
+const OLDVAL_VERSION_MASK: u64 = (1 << OLDVAL_VERSION_BITS) - 1;
+const STAMP_MASK: u64 = (1 << STAMP_BITS) - 1;
+const VALUE_MASK: u64 = (1 << VALUE_BITS) - 1;
+const FAIL_IDX_MASK: u64 = (1 << FAIL_IDX_BITS) - 1;
+
+// ---------------------------------------------------------------------------
+// Cells
+// ---------------------------------------------------------------------------
+
+/// Pack a cell word from an update stamp and a 32-bit payload.
+#[inline]
+pub fn pack_cell(stamp: u16, value: u32) -> Word {
+    ((stamp as u64) << VALUE_BITS) | value as u64
+}
+
+/// Payload value of a packed cell word.
+#[inline]
+pub fn cell_value(w: Word) -> u32 {
+    (w & VALUE_MASK) as u32
+}
+
+/// Update stamp of a packed cell word.
+#[inline]
+pub fn cell_stamp(w: Word) -> u16 {
+    ((w >> VALUE_BITS) & STAMP_MASK) as u16
+}
+
+/// The cell word that results from committing `new_value` over pre-image `w`
+/// (advances the stamp by one, wrapping).
+#[inline]
+pub fn cell_successor(w: Word, new_value: u32) -> Word {
+    pack_cell(cell_stamp(w).wrapping_add(1), new_value)
+}
+
+// ---------------------------------------------------------------------------
+// Ownership
+// ---------------------------------------------------------------------------
+
+/// Ownership word for a free (unowned) location.
+pub const OWNER_FREE: Word = 0;
+
+/// Pack an ownership word: location owned by `proc`'s transaction `version`.
+#[inline]
+pub fn pack_owner(proc: usize, version: u64) -> Word {
+    debug_assert!(proc <= MAX_PROCS);
+    ((version & VERSION_MASK) << 16) | (proc as u64 + 1)
+}
+
+/// Decode an ownership word into `(proc, truncated_version)`; `None` if free.
+#[inline]
+pub fn unpack_owner(w: Word) -> Option<(usize, u64)> {
+    if w == OWNER_FREE {
+        None
+    } else {
+        Some((((w & 0xFFFF) - 1) as usize, w >> 16))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Status
+// ---------------------------------------------------------------------------
+
+/// Outcome state of a transaction record, as stored in its status word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TxStatus {
+    /// Undecided: ownership acquisition still in progress.
+    Null,
+    /// Decided success: all locations acquired; commit will be applied.
+    Success,
+    /// Decided failure at data-set index `0`: a location was owned by another
+    /// transaction.
+    Failure(usize),
+    /// The record owner is rewriting the record's fields for this version;
+    /// no participant may read the data set yet. The owner publishes
+    /// `Initializing` *before* touching the record body and `Null` after, so
+    /// a helper whose two status validations both land in the same version
+    /// with a non-`Initializing` code is guaranteed an untorn snapshot.
+    Initializing,
+}
+
+const CODE_NULL: u64 = 0;
+const CODE_SUCCESS: u64 = 1;
+const CODE_FAILURE: u64 = 2;
+const CODE_INIT: u64 = 3;
+
+/// Pack a status word for `version` in state `status`.
+#[inline]
+pub fn pack_status(version: u64, status: TxStatus) -> Word {
+    let (code, idx) = match status {
+        TxStatus::Null => (CODE_NULL, 0),
+        TxStatus::Success => (CODE_SUCCESS, 0),
+        TxStatus::Failure(i) => {
+            debug_assert!(i <= MAX_DATASET);
+            (CODE_FAILURE, i as u64)
+        }
+        TxStatus::Initializing => (CODE_INIT, 0),
+    };
+    ((version & VERSION_MASK) << (2 + FAIL_IDX_BITS)) | (idx << 2) | code
+}
+
+/// Decode a status word into `(truncated_version, status)`.
+#[inline]
+pub fn unpack_status(w: Word) -> (u64, TxStatus) {
+    let version = w >> (2 + FAIL_IDX_BITS);
+    let status = match w & 0b11 {
+        CODE_NULL => TxStatus::Null,
+        CODE_SUCCESS => TxStatus::Success,
+        CODE_FAILURE => TxStatus::Failure(((w >> 2) & FAIL_IDX_MASK) as usize),
+        CODE_INIT => TxStatus::Initializing,
+        _ => unreachable!("invalid status code"),
+    };
+    (version, status)
+}
+
+/// Does status word `w` belong to (the truncation of) `version`?
+#[inline]
+pub fn status_is_version(w: Word, version: u64) -> bool {
+    (w >> (2 + FAIL_IDX_BITS)) == (version & VERSION_MASK)
+}
+
+// ---------------------------------------------------------------------------
+// Old-value agreement entries
+// ---------------------------------------------------------------------------
+
+/// Pack an *unset* old-value entry for `version` (written by the record owner
+/// during re-initialization).
+#[inline]
+pub fn pack_oldval_unset(version: u64) -> Word {
+    (version & OLDVAL_VERSION_MASK) << 49
+}
+
+/// Pack a *set* old-value entry: the agreed pre-image of a location (full
+/// packed cell word) for `version`.
+#[inline]
+pub fn pack_oldval_set(version: u64, cell_word: Word) -> Word {
+    debug_assert!(cell_word >> (STAMP_BITS + VALUE_BITS) == 0);
+    ((version & OLDVAL_VERSION_MASK) << 49) | (1 << 48) | cell_word
+}
+
+/// Decode an old-value entry: returns the agreed packed cell word if the
+/// entry is set for `version`, `Err(true)` if still unset for `version`, and
+/// `Err(false)` if the entry belongs to a different version.
+#[inline]
+pub fn oldval_for_version(w: Word, version: u64) -> Result<Word, bool> {
+    if (w >> 49) != (version & OLDVAL_VERSION_MASK) {
+        Err(false)
+    } else if (w >> 48) & 1 == 1 {
+        Ok(w & ((1 << 48) - 1))
+    } else {
+        Err(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_roundtrip() {
+        for (stamp, value) in [(0u16, 0u32), (1, 42), (u16::MAX, u32::MAX), (0x1234, 0xDEAD_BEEF)] {
+            let w = pack_cell(stamp, value);
+            assert_eq!(cell_stamp(w), stamp);
+            assert_eq!(cell_value(w), value);
+        }
+    }
+
+    #[test]
+    fn cell_successor_advances_stamp() {
+        let w = pack_cell(7, 100);
+        let s = cell_successor(w, 101);
+        assert_eq!(cell_value(s), 101);
+        assert_eq!(cell_stamp(s), 8);
+        // wrap
+        let w = pack_cell(u16::MAX, 1);
+        assert_eq!(cell_stamp(cell_successor(w, 2)), 0);
+    }
+
+    #[test]
+    fn owner_roundtrip() {
+        assert_eq!(unpack_owner(OWNER_FREE), None);
+        for (proc, version) in [(0usize, 0u64), (1, 1), (63, 12345), (MAX_PROCS, u64::MAX)] {
+            let w = pack_owner(proc, version);
+            let (p, v) = unpack_owner(w).expect("owned");
+            assert_eq!(p, proc);
+            assert_eq!(v, version & ((1 << VERSION_BITS) - 1));
+        }
+    }
+
+    #[test]
+    fn owner_free_is_distinct_from_all_owned() {
+        // proc+1 encoding guarantees an owned word is never 0.
+        assert_ne!(pack_owner(0, 0), OWNER_FREE);
+    }
+
+    #[test]
+    fn status_roundtrip() {
+        for version in [0u64, 1, 999, u64::MAX] {
+            for status in [
+                TxStatus::Null,
+                TxStatus::Success,
+                TxStatus::Failure(0),
+                TxStatus::Failure(MAX_DATASET),
+                TxStatus::Initializing,
+            ] {
+                let w = pack_status(version, status);
+                let (v, s) = unpack_status(w);
+                assert_eq!(v, version & ((1 << VERSION_BITS) - 1));
+                assert_eq!(s, status);
+                assert!(status_is_version(w, version));
+            }
+        }
+    }
+
+    #[test]
+    fn status_version_guard_rejects_other_versions() {
+        let w = pack_status(5, TxStatus::Null);
+        assert!(!status_is_version(w, 6));
+        // truncation consistency: versions equal mod 2^VERSION_BITS collide by
+        // design (bounded tags).
+        assert!(status_is_version(w, 5 + (1 << VERSION_BITS)));
+    }
+
+    #[test]
+    fn oldval_roundtrip() {
+        let cell = pack_cell(3, 77);
+        let unset = pack_oldval_unset(9);
+        assert_eq!(oldval_for_version(unset, 9), Err(true));
+        assert_eq!(oldval_for_version(unset, 10), Err(false));
+        let set = pack_oldval_set(9, cell);
+        assert_eq!(oldval_for_version(set, 9), Ok(cell));
+        assert_eq!(oldval_for_version(set, 8), Err(false));
+    }
+
+    #[test]
+    fn distinct_protocol_words_do_not_alias() {
+        // A set entry can never equal an unset entry of any version.
+        let cell = pack_cell(0, 0);
+        for v in 0..100u64 {
+            assert_ne!(pack_oldval_set(v, cell) >> 48 & 1, 0);
+            assert_eq!(pack_oldval_unset(v) >> 48 & 1, 0);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! Snoopy-cache bus model (the paper's "Goodman protocol" machine).
+//!
+//! The two effects the paper's bus-machine results hinge on are captured:
+//!
+//! 1. **cache hits are local** — a processor re-reading a word it holds in
+//!    its cache (and nobody invalidated) pays only the local cost, which is
+//!    why test-and-test-and-set spins quietly until the lock changes hands;
+//! 2. **everything else serializes on one bus** — misses, writes that need to
+//!    invalidate sharers, and CASes queue on a single shared bus, which is
+//!    why invalidation storms collapse throughput as processors are added.
+//!
+//! Coherence is a simplified MSI over word-granularity lines: a per-word
+//! sharer bitmap; a write/CAS by `p` invalidates every other sharer and
+//! leaves `p` the sole (modified) holder; a write hit while `p` is the sole
+//! holder is local.
+
+use std::collections::HashMap;
+
+use stm_core::word::Addr;
+
+use super::{CostModel, OpKind};
+
+/// Per-word coherence state: which processors hold the line, and whether the
+/// sole holder has it modified.
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    sharers: u128,
+    modified: bool,
+}
+
+/// A bus-based cache-coherent machine with up to 128 processors.
+#[derive(Debug, Clone)]
+pub struct BusModel {
+    /// Cycles for a cache hit / local instruction.
+    local_cost: u64,
+    /// Cycles one bus transaction occupies the bus.
+    bus_cost: u64,
+    /// Time the bus is busy until.
+    bus_free: u64,
+    lines: HashMap<Addr, Line>,
+    n_procs: usize,
+    /// Bus transactions performed (for stats/diagnostics).
+    bus_txns: u64,
+}
+
+impl BusModel {
+    /// Paper-scale default costs: 1-cycle cache hit, 12-cycle bus
+    /// transaction.
+    pub fn for_procs(n_procs: usize) -> Self {
+        Self::new(n_procs, 1, 12)
+    }
+
+    /// Custom costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` exceeds 128 (sharer bitmap width).
+    pub fn new(n_procs: usize, local_cost: u64, bus_cost: u64) -> Self {
+        assert!(n_procs <= 128, "bus model supports at most 128 processors");
+        BusModel { local_cost, bus_cost, bus_free: 0, lines: HashMap::new(), n_procs, bus_txns: 0 }
+    }
+
+    /// Number of bus transactions so far.
+    pub fn bus_txns(&self) -> u64 {
+        self.bus_txns
+    }
+
+    fn bus_transaction(&mut self, earliest: u64) -> u64 {
+        let start = earliest.max(self.bus_free);
+        let done = start + self.bus_cost;
+        self.bus_free = done;
+        self.bus_txns += 1;
+        done
+    }
+}
+
+impl CostModel for BusModel {
+    fn access(&mut self, t: u64, proc: usize, kind: OpKind, addr: Addr) -> u64 {
+        debug_assert!(proc < self.n_procs);
+        let bit = 1u128 << proc;
+        let ready = t + self.local_cost;
+        let line = self.lines.entry(addr).or_default();
+        match kind {
+            OpKind::Read => {
+                if line.sharers & bit != 0 {
+                    ready // cache hit
+                } else {
+                    line.sharers |= bit;
+                    line.modified = false;
+                    self.bus_transaction(ready)
+                }
+            }
+            OpKind::Write | OpKind::Cas => {
+                let sole_modified_holder = line.sharers == bit && line.modified;
+                // CAS is a bus RMW even on a locally held line (it must
+                // appear globally atomic on this simplified protocol).
+                if sole_modified_holder && kind == OpKind::Write {
+                    ready // write hit in M state
+                } else {
+                    line.sharers = bit;
+                    line.modified = true;
+                    self.bus_transaction(ready)
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "bus"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_miss_then_hit() {
+        let mut m = BusModel::new(4, 1, 10);
+        let t1 = m.access(0, 0, OpKind::Read, 7);
+        assert_eq!(t1, 11); // miss: local + bus
+        let t2 = m.access(t1, 0, OpKind::Read, 7);
+        assert_eq!(t2, t1 + 1); // hit: local only
+        assert_eq!(m.bus_txns(), 1);
+    }
+
+    #[test]
+    fn write_invalidates_other_readers() {
+        let mut m = BusModel::new(4, 1, 10);
+        let _ = m.access(0, 0, OpKind::Read, 3);
+        let _ = m.access(0, 1, OpKind::Read, 3);
+        // proc 2 writes: bus txn, invalidating 0 and 1.
+        let _ = m.access(0, 2, OpKind::Write, 3);
+        // both previous readers now miss again.
+        let before = m.bus_txns();
+        let _ = m.access(100, 0, OpKind::Read, 3);
+        let _ = m.access(100, 1, OpKind::Read, 3);
+        assert_eq!(m.bus_txns(), before + 2);
+    }
+
+    #[test]
+    fn write_hit_in_modified_state_is_local() {
+        let mut m = BusModel::new(4, 1, 10);
+        let t1 = m.access(0, 0, OpKind::Write, 5); // miss
+        let t2 = m.access(t1, 0, OpKind::Write, 5); // M-state hit
+        assert_eq!(t2, t1 + 1);
+    }
+
+    #[test]
+    fn cas_always_uses_the_bus() {
+        let mut m = BusModel::new(4, 1, 10);
+        let t1 = m.access(0, 0, OpKind::Cas, 5);
+        let t2 = m.access(t1, 0, OpKind::Cas, 5);
+        assert_eq!(m.bus_txns(), 2);
+        assert!(t2 > t1 + 1);
+    }
+
+    #[test]
+    fn bus_serializes_concurrent_misses() {
+        let mut m = BusModel::new(8, 1, 10);
+        // Two processors issue at the same local time; the second queues
+        // behind the first on the bus.
+        let t1 = m.access(0, 0, OpKind::Read, 1);
+        let t2 = m.access(0, 1, OpKind::Read, 2);
+        assert_eq!(t1, 11);
+        assert_eq!(t2, 21);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 128")]
+    fn too_many_procs_panics() {
+        let _ = BusModel::new(129, 1, 1);
+    }
+}

@@ -1,0 +1,230 @@
+//! Alewife-like distributed-shared-memory mesh model.
+//!
+//! Processors sit on a `side × side` mesh; every address has a home node
+//! (round-robin interleaved, as Alewife distributed memory across nodes).
+//! An access travels to the home node (per-hop latency), queues for the home
+//! memory module (per-node service occupancy — this is where hot spots
+//! form), and travels back. Accesses to a processor's own home node skip the
+//! network but still queue for the module.
+//!
+//! There is no coherent caching of remote words in this model: the paper's
+//! DSM results are dominated by remote latency and hot-spot queueing, which
+//! this reproduces; see DESIGN.md §5.
+
+use stm_core::word::Addr;
+
+use super::{CostModel, OpKind};
+
+/// A mesh DSM machine.
+#[derive(Debug, Clone)]
+pub struct MeshModel {
+    side: usize,
+    n_nodes: usize,
+    /// Local instruction cost.
+    local_cost: u64,
+    /// Per-hop network latency (one direction).
+    hop_cost: u64,
+    /// Memory-module service time (occupies the home node).
+    mem_cost: u64,
+    /// Per-node module busy-until.
+    node_free: Vec<u64>,
+    remote_accesses: u64,
+}
+
+impl MeshModel {
+    /// Paper-scale defaults: 1-cycle local, 2 cycles/hop, 6-cycle memory
+    /// service, square mesh just large enough for `n_procs`.
+    pub fn for_procs(n_procs: usize) -> Self {
+        Self::new(n_procs, 1, 2, 6)
+    }
+
+    /// Custom costs; the mesh side is `ceil(sqrt(n_procs))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is 0.
+    pub fn new(n_procs: usize, local_cost: u64, hop_cost: u64, mem_cost: u64) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        let side = (n_procs as f64).sqrt().ceil() as usize;
+        let n_nodes = side * side;
+        MeshModel {
+            side,
+            n_nodes,
+            local_cost,
+            hop_cost,
+            mem_cost,
+            node_free: vec![0; n_nodes],
+            remote_accesses: 0,
+        }
+    }
+
+    /// Home node of an address (round-robin interleaving).
+    pub fn home(&self, addr: Addr) -> usize {
+        addr % self.n_nodes
+    }
+
+    /// Manhattan distance between a processor's node and a home node.
+    pub fn distance(&self, proc: usize, home: usize) -> u64 {
+        let (pr, pc) = (proc / self.side, proc % self.side);
+        let (hr, hc) = (home / self.side, home % self.side);
+        (pr.abs_diff(hr) + pc.abs_diff(hc)) as u64
+    }
+
+    /// Count of accesses that crossed the network so far.
+    pub fn remote_accesses(&self) -> u64 {
+        self.remote_accesses
+    }
+}
+
+impl CostModel for MeshModel {
+    fn access(&mut self, t: u64, proc: usize, _kind: OpKind, addr: Addr) -> u64 {
+        let home = self.home(addr);
+        let dist = self.distance(proc % self.n_nodes, home);
+        if dist > 0 {
+            self.remote_accesses += 1;
+        }
+        let arrive = t + self.local_cost + dist * self.hop_cost;
+        let start = arrive.max(self.node_free[home]);
+        let served = start + self.mem_cost;
+        self.node_free[home] = served;
+        served + dist * self.hop_cost
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh"
+    }
+}
+
+/// Mesh DSM with coherent read caching (closer to Alewife's LimitLESS
+/// directory protocol): reads hit locally once a processor holds a copy;
+/// writes/CASes go to the home node and pay an invalidation cost per sharer.
+///
+/// This is the architecture ablation between the plain [`MeshModel`]
+/// (no caching, every access remote) and the bus machine (full snooping).
+#[derive(Debug, Clone)]
+pub struct CachedMeshModel {
+    mesh: MeshModel,
+    /// Per-word sharer bitmap (up to 128 processors).
+    sharers: std::collections::HashMap<Addr, u128>,
+    /// Cost of one invalidation message.
+    inval_cost: u64,
+    invalidations: u64,
+}
+
+impl CachedMeshModel {
+    /// Paper-scale defaults plus a 2-cycle invalidation message cost.
+    pub fn for_procs(n_procs: usize) -> Self {
+        assert!(n_procs <= 128, "cached mesh supports at most 128 processors");
+        CachedMeshModel {
+            mesh: MeshModel::for_procs(n_procs),
+            sharers: std::collections::HashMap::new(),
+            inval_cost: 2,
+            invalidations: 0,
+        }
+    }
+
+    /// Total invalidation messages sent so far.
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations
+    }
+}
+
+impl CostModel for CachedMeshModel {
+    fn access(&mut self, t: u64, proc: usize, kind: OpKind, addr: Addr) -> u64 {
+        let bit = 1u128 << proc;
+        let entry = self.sharers.entry(addr).or_insert(0);
+        match kind {
+            OpKind::Read => {
+                if *entry & bit != 0 {
+                    t + self.mesh.local_cost // cache hit
+                } else {
+                    *entry |= bit;
+                    self.mesh.access(t, proc, kind, addr)
+                }
+            }
+            OpKind::Write | OpKind::Cas => {
+                let others = (*entry & !bit).count_ones() as u64;
+                self.invalidations += others;
+                *entry = bit;
+                let base = self.mesh.access(t, proc, kind, addr);
+                base + others * self.inval_cost
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "mesh-cached"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_mesh_read_hits_after_first_access() {
+        let mut m = CachedMeshModel::for_procs(4);
+        let t1 = m.access(0, 0, OpKind::Read, 3);
+        let t2 = m.access(t1, 0, OpKind::Read, 3);
+        assert_eq!(t2, t1 + 1, "second read is a cache hit");
+    }
+
+    #[test]
+    fn cached_mesh_write_invalidates_sharers() {
+        let mut m = CachedMeshModel::for_procs(4);
+        let _ = m.access(0, 0, OpKind::Read, 3);
+        let _ = m.access(0, 1, OpKind::Read, 3);
+        let _ = m.access(0, 2, OpKind::Write, 3);
+        assert_eq!(m.invalidations(), 2);
+        // Reader 0 misses again after the invalidation.
+        let t = m.access(1000, 0, OpKind::Read, 3);
+        assert!(t > 1001, "read after invalidation is remote");
+    }
+
+    #[test]
+    fn local_access_skips_network() {
+        let mut m = MeshModel::new(4, 1, 5, 10); // 2x2 mesh
+        let home0 = m.home(0);
+        assert_eq!(m.distance(home0, home0), 0);
+        let t = m.access(0, home0, OpKind::Read, 0);
+        assert_eq!(t, 1 + 10); // local + service, no hops
+        assert_eq!(m.remote_accesses(), 0);
+    }
+
+    #[test]
+    fn remote_access_pays_round_trip() {
+        let mut m = MeshModel::new(4, 1, 5, 10); // 2x2 mesh
+        // address 3 homes at node 3; proc 0 is 2 hops away.
+        assert_eq!(m.home(3), 3);
+        assert_eq!(m.distance(0, 3), 2);
+        let t = m.access(0, 0, OpKind::Read, 3);
+        assert_eq!(t, 1 + 2 * 5 + 10 + 2 * 5);
+        assert_eq!(m.remote_accesses(), 1);
+    }
+
+    #[test]
+    fn hot_home_node_queues() {
+        let mut m = MeshModel::new(4, 1, 5, 10);
+        // Two processors hit address 0 (home node 0) at the same time.
+        let t1 = m.access(0, 0, OpKind::Read, 0);
+        let t2 = m.access(0, 1, OpKind::Read, 0);
+        // proc 1 is 1 hop away: arrives at 6, but the module is busy until 11.
+        assert_eq!(t1, 11);
+        assert_eq!(t2, 11 + 10 + 5);
+    }
+
+    #[test]
+    fn addresses_interleave_across_homes() {
+        let m = MeshModel::new(16, 1, 2, 6);
+        let homes: std::collections::HashSet<usize> = (0..16).map(|a| m.home(a)).collect();
+        assert_eq!(homes.len(), 16, "16 consecutive addresses spread over 16 nodes");
+    }
+
+    #[test]
+    fn mesh_side_covers_procs() {
+        for n in [1, 2, 3, 4, 5, 9, 10, 16, 17, 64] {
+            let m = MeshModel::for_procs(n);
+            assert!(m.n_nodes >= n);
+        }
+    }
+}

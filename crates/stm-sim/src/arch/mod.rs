@@ -1,0 +1,71 @@
+//! Architecture cost models.
+//!
+//! The paper evaluated STM on two simulated machines: a cache-coherent
+//! **bus-based** multiprocessor (Goodman snoopy protocol) and an
+//! **Alewife-like distributed-shared-memory mesh**. A [`CostModel`] assigns
+//! each memory operation a completion time on the virtual clock, updating
+//! whatever contention state (bus occupancy, cache lines, home-node queues)
+//! the architecture maintains.
+
+mod bus;
+mod mesh;
+mod uniform;
+
+pub use bus::BusModel;
+pub use mesh::{CachedMeshModel, MeshModel};
+pub use uniform::UniformModel;
+
+use stm_core::word::Addr;
+
+/// Kind of a shared-memory operation, as seen by the architecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// A load.
+    Read,
+    /// A store.
+    Write,
+    /// An atomic compare-and-swap (a read-modify-write bus/network
+    /// transaction regardless of whether the comparison succeeds).
+    Cas,
+}
+
+/// An architecture's timing model.
+///
+/// `access` is called once per memory operation, in global issue order (the
+/// engine serializes processors), and returns the operation's completion
+/// time `>= t`. Implementations update their contention state (bus
+/// busy-until, cache line ownership, home-node queues) as a side effect.
+pub trait CostModel: Send {
+    /// Completion time of `kind` on `addr`, issued by `proc` at local time `t`.
+    fn access(&mut self, t: u64, proc: usize, kind: OpKind, addr: Addr) -> u64;
+
+    /// Short human-readable name (used in benchmark table headers).
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn models_are_monotone_in_time() {
+        let mut models: Vec<Box<dyn CostModel>> = vec![
+            Box::new(UniformModel::new(1, 5)),
+            Box::new(BusModel::for_procs(8)),
+            Box::new(MeshModel::for_procs(16)),
+        ];
+        for m in &mut models {
+            let mut t = 0;
+            for i in 0..200u64 {
+                let kind = match i % 3 {
+                    0 => OpKind::Read,
+                    1 => OpKind::Write,
+                    _ => OpKind::Cas,
+                };
+                let done = m.access(t, (i % 8) as usize, kind, (i % 16) as usize);
+                assert!(done > t, "{}: completion must advance past issue time", m.name());
+                t = done;
+            }
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! A contention-free uniform-latency model, for engine tests and as the
+//! "ideal machine" control in ablations.
+
+use stm_core::word::Addr;
+
+use super::{CostModel, OpKind};
+
+/// Every operation costs `local + mem` cycles; no contention, no caching.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformModel {
+    local: u64,
+    mem: u64,
+}
+
+impl UniformModel {
+    /// `local` cycles of instruction overhead plus `mem` cycles of memory
+    /// latency per operation.
+    pub fn new(local: u64, mem: u64) -> Self {
+        UniformModel { local, mem }
+    }
+}
+
+impl CostModel for UniformModel {
+    fn access(&mut self, t: u64, _proc: usize, _kind: OpKind, _addr: Addr) -> u64 {
+        t + (self.local + self.mem).max(1)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_is_constant() {
+        let mut m = UniformModel::new(2, 8);
+        assert_eq!(m.access(0, 0, OpKind::Read, 0), 10);
+        assert_eq!(m.access(100, 3, OpKind::Cas, 9), 110);
+    }
+
+    #[test]
+    fn zero_costs_still_advance() {
+        let mut m = UniformModel::new(0, 0);
+        assert_eq!(m.access(5, 0, OpKind::Read, 0), 6);
+    }
+}

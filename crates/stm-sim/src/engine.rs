@@ -1,0 +1,612 @@
+//! The lockstep discrete-event simulation engine.
+//!
+//! Each simulated processor is a host thread that runs its workload closure
+//! against a [`SimPort`] (an implementation of
+//! [`stm_core::machine::MemPort`]). Exactly **one** processor
+//! executes at any wall-clock instant: when a processor issues a memory
+//! operation, the architecture [`CostModel`] assigns
+//! it a completion time on the virtual clock, the processor parks, and the
+//! engine grants the globally earliest pending operation. The effect of each
+//! operation is applied atomically at its completion time, so the simulated
+//! execution is a deterministic (seed-controlled) interleaving — the same
+//! property the paper relied on Proteus for, plus exact reproducibility.
+//!
+//! Determinism: given the same configuration, seed, model, and workload, the
+//! grant order, all memory contents, and all timings are identical on every
+//! run. The seed perturbs completion times by a small jitter, which is how
+//! the schedule-exploration tests enumerate distinct interleavings.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_core::machine::MemPort;
+use stm_core::word::{Addr, Word};
+
+use crate::arch::{CostModel, OpKind};
+use crate::stats::SimStats;
+
+/// Configuration of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Number of shared memory words.
+    pub n_words: usize,
+    /// RNG seed controlling tie-breaking jitter.
+    pub seed: u64,
+    /// Maximum jitter (cycles) added to each operation's completion time;
+    /// `0` gives the pure cost-model schedule.
+    pub jitter: u64,
+    /// Watchdog: the run is aborted (panics) if the virtual clock exceeds
+    /// this. Guards tests against livelock/deadlock bugs.
+    pub max_cycles: u64,
+    /// Words to pre-load into memory before the first cycle (address, value).
+    pub init: Vec<(Addr, Word)>,
+    /// Record up to this many [`TraceEvent`](crate::trace::TraceEvent)s
+    /// (0 disables tracing).
+    pub trace_limit: usize,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            n_words: 0,
+            seed: 0,
+            jitter: 0,
+            max_cycles: 1 << 33,
+            init: Vec::new(),
+            trace_limit: 0,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Convenience constructor: `n_words` of memory with defaults otherwise.
+    pub fn with_words(n_words: usize) -> Self {
+        SimConfig { n_words, ..Default::default() }
+    }
+}
+
+/// Result of a completed simulation.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Virtual cycles at which the last processor finished.
+    pub cycles: u64,
+    /// Aggregate operation statistics.
+    pub stats: SimStats,
+    /// Final contents of the shared memory.
+    pub memory: Vec<Word>,
+    /// Recorded events, if tracing was enabled (see
+    /// [`SimConfig::trace_limit`]).
+    pub trace: Vec<crate::trace::TraceEvent>,
+}
+
+struct SimState {
+    mem: Vec<Word>,
+    model: Box<dyn CostModel>,
+    /// Pending operations: earliest (time, issue-seq, proc) first.
+    queue: BinaryHeap<Reverse<(u64, u64, usize)>>,
+    /// Which processor is currently granted/executing user code.
+    running: Option<usize>,
+    granted: Vec<bool>,
+    finished: usize,
+    n_procs: usize,
+    seq: u64,
+    clock: u64,
+    rng: SmallRng,
+    stats: SimStats,
+    poisoned: bool,
+    trace: Vec<crate::trace::TraceEvent>,
+    trace_limit: usize,
+}
+
+impl SimState {
+    fn record_trace(&mut self, time: u64, proc: usize, kind: crate::trace::TraceKind) {
+        if self.trace.len() < self.trace_limit {
+            self.trace.push(crate::trace::TraceEvent { time, proc, kind });
+        }
+    }
+}
+
+struct Shared {
+    state: Mutex<SimState>,
+    proc_cvs: Vec<Condvar>,
+    main_cv: Condvar,
+    max_cycles: u64,
+    n_words: usize,
+}
+
+impl Shared {
+    /// Grant the earliest pending operation, if no processor is executing.
+    /// Must be called with the state lock held.
+    fn schedule_next(&self, st: &mut SimState) {
+        if st.running.is_some() {
+            return;
+        }
+        if st.poisoned {
+            // Wake everyone so they can observe the poison and unwind.
+            for cv in &self.proc_cvs {
+                cv.notify_all();
+            }
+            self.main_cv.notify_all();
+            return;
+        }
+        if let Some(&Reverse((t, _, p))) = st.queue.peek() {
+            st.queue.pop();
+            st.clock = st.clock.max(t);
+            st.granted[p] = true;
+            st.running = Some(p);
+            self.proc_cvs[p].notify_one();
+        } else if st.finished == st.n_procs {
+            self.main_cv.notify_all();
+        } else {
+            // Every live processor must be running, queued, or done; an empty
+            // queue with nobody running means the engine lost a wakeup.
+            st.poisoned = true;
+            for cv in &self.proc_cvs {
+                cv.notify_all();
+            }
+            self.main_cv.notify_all();
+        }
+    }
+}
+
+/// A simulated processor's port into the shared memory.
+///
+/// Implements [`MemPort`]; obtained only inside
+/// [`Simulation::run`] workload closures.
+pub struct SimPort {
+    shared: Arc<Shared>,
+    proc: usize,
+    n_procs: usize,
+    t_local: u64,
+    jitter: u64,
+    done: bool,
+}
+
+impl std::fmt::Debug for SimPort {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimPort")
+            .field("proc", &self.proc)
+            .field("t_local", &self.t_local)
+            .finish()
+    }
+}
+
+impl SimPort {
+    /// Block until this processor's pending event (queued at `t_complete`)
+    /// is granted, then run `apply` on the shared state at that instant.
+    fn complete<R>(&mut self, t_complete: u64, apply: impl FnOnce(&mut SimState) -> R) -> R {
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        loop {
+            if st.poisoned {
+                drop(st);
+                panic!("simulation poisoned by a failing co-processor or watchdog");
+            }
+            if st.granted[self.proc] {
+                break;
+            }
+            shared.proc_cvs[self.proc].wait(&mut st);
+        }
+        st.granted[self.proc] = false;
+        debug_assert_eq!(st.running, Some(self.proc));
+        self.t_local = t_complete;
+        apply(&mut st)
+    }
+
+    /// Issue a memory operation: charge it via the cost model, park until it
+    /// is globally next, apply its effect.
+    fn mem_op<R>(&mut self, kind: OpKind, addr: Addr, apply: impl FnOnce(&mut SimState) -> R) -> R {
+        assert!(addr < self.shared.n_words, "address {addr} out of simulated memory");
+        let shared = Arc::clone(&self.shared);
+        let t_complete;
+        {
+            let mut st = shared.state.lock();
+            let base = st.model.access(self.t_local, self.proc, kind, addr);
+            let jitter = if self.jitter > 0 { st.rng.gen_range(0..=self.jitter) } else { 0 };
+            t_complete = base + jitter;
+            if t_complete > shared.max_cycles {
+                st.poisoned = true;
+                st.running = None;
+                shared.schedule_next(&mut st);
+                drop(st);
+                panic!(
+                    "simulation watchdog: virtual clock exceeded {} cycles (livelock or runaway workload?)",
+                    shared.max_cycles
+                );
+            }
+            st.stats.record(self.proc, kind);
+            st.record_trace(t_complete, self.proc, crate::trace::TraceKind::Mem(kind, addr));
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Reverse((t_complete, seq, self.proc)));
+            st.running = None;
+            shared.schedule_next(&mut st);
+        }
+        self.complete(t_complete, apply)
+    }
+
+    fn with(shared: Arc<Shared>, proc: usize, n_procs: usize, jitter: u64) -> Self {
+        SimPort { shared, proc, n_procs, t_local: 0, jitter, done: false }
+    }
+}
+
+impl MemPort for SimPort {
+    fn proc_id(&self) -> usize {
+        self.proc
+    }
+
+    fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    fn read(&mut self, addr: Addr) -> Word {
+        self.mem_op(OpKind::Read, addr, |st| st.mem[addr])
+    }
+
+    fn write(&mut self, addr: Addr, value: Word) {
+        self.mem_op(OpKind::Write, addr, |st| st.mem[addr] = value)
+    }
+
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word> {
+        self.mem_op(OpKind::Cas, addr, |st| {
+            let cur = st.mem[addr];
+            if cur == expected {
+                st.mem[addr] = new;
+                Ok(())
+            } else {
+                Err(cur)
+            }
+        })
+    }
+
+    fn delay(&mut self, cycles: u64) {
+        // Purely local time: park until the virtual clock reaches it, with no
+        // memory traffic and no contention effects.
+        let shared = Arc::clone(&self.shared);
+        let t_complete;
+        {
+            let mut st = shared.state.lock();
+            t_complete = self.t_local + cycles;
+            if t_complete > shared.max_cycles {
+                st.poisoned = true;
+                st.running = None;
+                shared.schedule_next(&mut st);
+                drop(st);
+                panic!("simulation watchdog: delay beyond {} cycles", shared.max_cycles);
+            }
+            st.record_trace(t_complete, self.proc, crate::trace::TraceKind::Delay(cycles));
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Reverse((t_complete, seq, self.proc)));
+            st.running = None;
+            shared.schedule_next(&mut st);
+        }
+        self.complete(t_complete, |_| ());
+    }
+
+    fn now(&self) -> u64 {
+        self.t_local
+    }
+}
+
+impl Drop for SimPort {
+    fn drop(&mut self) {
+        if self.done {
+            return;
+        }
+        let mut st = self.shared.state.lock();
+        st.finished += 1;
+        if st.running == Some(self.proc) {
+            st.running = None;
+        }
+        st.clock = st.clock.max(self.t_local);
+        self.shared.schedule_next(&mut st);
+    }
+}
+
+/// A simulated multiprocessor execution.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::machine::MemPort;
+/// use stm_sim::arch::UniformModel;
+/// use stm_sim::engine::{SimConfig, Simulation};
+///
+/// let report = Simulation::new(SimConfig::with_words(4), UniformModel::new(1, 10))
+///     .run(2, |_proc| {
+///         move |mut port: stm_sim::engine::SimPort| {
+///             for _ in 0..100 {
+///                 loop {
+///                     let v = port.read(0);
+///                     if port.compare_exchange(0, v, v + 1).is_ok() {
+///                         break;
+///                     }
+///                 }
+///             }
+///         }
+///     });
+/// assert_eq!(report.memory[0], 200);
+/// assert!(report.cycles > 0);
+/// ```
+pub struct Simulation {
+    config: SimConfig,
+    model: Box<dyn CostModel>,
+}
+
+impl Simulation {
+    /// Create a simulation with `config` over architecture `model`.
+    pub fn new(config: SimConfig, model: impl CostModel + 'static) -> Self {
+        Simulation { config, model: Box::new(model) }
+    }
+
+    /// Run `n_procs` simulated processors; `make_body(p)` builds processor
+    /// `p`'s workload. Returns when every processor's closure has returned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any workload closure panics, or if the watchdog trips.
+    pub fn run<F, B>(self, n_procs: usize, mut make_body: F) -> SimReport
+    where
+        F: FnMut(usize) -> B,
+        B: FnOnce(SimPort) + Send,
+    {
+        assert!(n_procs > 0, "need at least one processor");
+        let mut mem = vec![0; self.config.n_words];
+        for &(addr, value) in &self.config.init {
+            mem[addr] = value;
+        }
+        let state = SimState {
+            mem,
+            model: self.model,
+            queue: BinaryHeap::new(),
+            running: None,
+            granted: vec![false; n_procs],
+            finished: 0,
+            n_procs,
+            seq: 0,
+            clock: 0,
+            rng: SmallRng::seed_from_u64(self.config.seed),
+            stats: SimStats::new(n_procs),
+            poisoned: false,
+            trace: Vec::new(),
+            trace_limit: self.config.trace_limit,
+        };
+        let shared = Arc::new(Shared {
+            state: Mutex::new(state),
+            proc_cvs: (0..n_procs).map(|_| Condvar::new()).collect(),
+            main_cv: Condvar::new(),
+            max_cycles: self.config.max_cycles,
+            n_words: self.config.n_words,
+        });
+
+        // Seed the queue: every processor starts with a wake-up event at t=0
+        // so the engine owns the interleaving from the first instruction.
+        {
+            let mut st = shared.state.lock();
+            for p in 0..n_procs {
+                let seq = st.seq;
+                st.seq += 1;
+                st.queue.push(Reverse((0, seq, p)));
+            }
+            shared.schedule_next(&mut st);
+        }
+
+        let bodies: Vec<B> = (0..n_procs).map(&mut make_body).collect();
+        let jitter = self.config.jitter;
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+
+        std::thread::scope(|s| {
+            let mut handles = Vec::with_capacity(n_procs);
+            for (p, body) in bodies.into_iter().enumerate() {
+                let shared = Arc::clone(&shared);
+                handles.push(s.spawn(move || {
+                    let mut port = SimPort::with(shared, p, n_procs, jitter);
+                    // Wait for the initial grant before running user code.
+                    port.complete(0, |_| ());
+                    let result = panic::catch_unwind(AssertUnwindSafe(|| body(port)));
+                    // `port` was moved into the closure; its Drop (even on
+                    // unwind) marked this processor done and rescheduled.
+                    result
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok(Ok(())) => {}
+                    Ok(Err(payload)) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                    Err(payload) => {
+                        if first_panic.is_none() {
+                            first_panic = Some(payload);
+                        }
+                    }
+                }
+            }
+        });
+        if let Some(payload) = first_panic {
+            panic::resume_unwind(payload);
+        }
+
+        let st = shared.state.lock();
+        SimReport {
+            cycles: st.clock,
+            stats: st.stats.clone(),
+            memory: st.mem.clone(),
+            trace: st.trace.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::UniformModel;
+
+    #[test]
+    fn single_proc_sequences_reads_and_writes() {
+        let report = Simulation::new(SimConfig::with_words(2), UniformModel::new(1, 5)).run(1, |_| {
+            |mut port: SimPort| {
+                port.write(0, 7);
+                assert_eq!(port.read(0), 7);
+                assert_eq!(port.compare_exchange(0, 7, 9), Ok(()));
+                assert_eq!(port.compare_exchange(0, 7, 11), Err(9));
+                assert_eq!(port.now(), 4 * 6); // 4 ops x (1 local + 5 mem)
+            }
+        });
+        assert_eq!(report.memory[0], 9);
+        assert_eq!(report.cycles, 24);
+        assert_eq!(report.stats.total_ops(), 4);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let run = || {
+            Simulation::new(
+                SimConfig { n_words: 4, seed: 42, jitter: 3, ..Default::default() },
+                UniformModel::new(1, 7),
+            )
+            .run(4, |p| {
+                move |mut port: SimPort| {
+                    for i in 0..50 {
+                        let a = (p + i) % 4;
+                        let v = port.read(a);
+                        port.write(a, v.wrapping_add(p as u64 + 1));
+                    }
+                }
+            })
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.memory, b.memory);
+        assert_eq!(a.cycles, b.cycles);
+    }
+
+    #[test]
+    fn different_seeds_can_differ() {
+        let run = |seed| {
+            Simulation::new(
+                SimConfig { n_words: 1, seed, jitter: 6, ..Default::default() },
+                UniformModel::new(1, 7),
+            )
+            .run(3, |p| {
+                move |mut port: SimPort| {
+                    for _ in 0..30 {
+                        let v = port.read(0);
+                        // Last-writer-wins records the schedule in memory.
+                        port.write(0, v.wrapping_mul(31).wrapping_add(p as u64 + 1));
+                    }
+                }
+            })
+        };
+        let outcomes: Vec<u64> = (0..10).map(|s| run(s).memory[0]).collect();
+        // With jitter, at least two seeds should produce distinct interleavings.
+        assert!(outcomes.iter().any(|&o| o != outcomes[0]), "jitter produced no schedule diversity");
+    }
+
+    #[test]
+    fn cas_tickets_are_unique_under_simulation() {
+        const PROCS: usize = 8;
+        const TICKETS: u64 = 200;
+        let report = Simulation::new(
+            SimConfig { n_words: 1 + TICKETS as usize, seed: 1, jitter: 2, ..Default::default() },
+            UniformModel::new(1, 4),
+        )
+        .run(PROCS, |p| {
+            move |mut port: SimPort| loop {
+                let t = port.read(0);
+                if t >= TICKETS {
+                    break;
+                }
+                if port.compare_exchange(0, t, t + 1).is_ok() {
+                    let prev = port.read(1 + t as usize);
+                    assert_eq!(prev, 0, "ticket double-claimed");
+                    port.write(1 + t as usize, p as u64 + 1);
+                }
+            }
+        });
+        assert!(report.memory[1..].iter().all(|&w| w >= 1 && w <= PROCS as u64));
+    }
+
+    #[test]
+    fn early_return_models_a_crashed_processor() {
+        // Proc 1 "crashes" immediately; the rest of the system still finishes.
+        let report = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 3)).run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 1 {
+                    return; // crash
+                }
+                for _ in 0..10 {
+                    let v = port.read(0);
+                    port.write(0, v + 1);
+                }
+            }
+        });
+        assert_eq!(report.memory[0], 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "watchdog")]
+    fn watchdog_trips_on_runaway() {
+        let _ = Simulation::new(
+            SimConfig { n_words: 1, max_cycles: 1000, ..Default::default() },
+            UniformModel::new(1, 10),
+        )
+        .run(1, |_| {
+            |mut port: SimPort| loop {
+                let _ = port.read(0);
+            }
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn workload_panic_propagates() {
+        let _ = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 1)).run(2, |p| {
+            move |mut port: SimPort| {
+                let _ = port.read(0);
+                if p == 0 {
+                    panic!("boom");
+                }
+                // The sibling must not deadlock waiting forever.
+                for _ in 0..5 {
+                    let _ = port.read(0);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn delay_advances_only_local_time() {
+        let report = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 2)).run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    port.delay(1000);
+                    assert_eq!(port.now(), 1000);
+                    port.write(0, 1); // completes ~1002
+                } else {
+                    port.write(0, 2); // completes ~2, long before proc 0
+                }
+            }
+        });
+        assert_eq!(report.memory[0], 1, "slow processor's write must land last");
+        assert!(report.cycles >= 1000);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of simulated memory")]
+    fn out_of_bounds_access_panics() {
+        let _ = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 1)).run(1, |_| {
+            |mut port: SimPort| {
+                let _ = port.read(5);
+            }
+        });
+    }
+}

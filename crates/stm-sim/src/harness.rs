@@ -1,0 +1,213 @@
+//! Convenience harness: an STM instance wired into a simulated machine.
+//!
+//! [`StmSim`] bundles the address-space plumbing: it sizes the simulated
+//! memory for an [`stm_core::ops::StmOps`] instance, pre-loads cell
+//! values, runs one workload closure per simulated processor, and decodes
+//! results out of the final memory image. Both the figure-regeneration
+//! benchmarks and the schedule-exploration tests are built on it.
+//!
+//! # Examples
+//!
+//! ```
+//! use stm_core::stm::StmConfig;
+//! use stm_sim::arch::BusModel;
+//! use stm_sim::harness::StmSim;
+//!
+//! let mut sim = StmSim::new(4, 8, 4, StmConfig::default());
+//! sim.init_cell(0, 100);
+//! let report = sim.run(BusModel::for_procs(4), |_p, ops| {
+//!     move |mut port| {
+//!         for _ in 0..25 {
+//!             ops.fetch_add(&mut port, 0, 1);
+//!         }
+//!     }
+//! });
+//! assert_eq!(sim.cell_value(&report, 0), 200);
+//! ```
+
+use stm_core::ops::StmOps;
+use stm_core::program::ProgramTableBuilder;
+use stm_core::stm::StmConfig;
+use stm_core::word::{cell_value, pack_cell, CellIdx};
+
+use crate::arch::CostModel;
+use crate::engine::{SimConfig, SimPort, SimReport, Simulation};
+
+/// An STM instance laid out in a simulated machine's memory.
+#[derive(Debug, Clone)]
+pub struct StmSim {
+    ops: StmOps,
+    n_procs: usize,
+    sim_config: SimConfig,
+}
+
+impl StmSim {
+    /// An STM with `n_cells` cells for `n_procs` simulated processors and
+    /// the built-in programs only.
+    pub fn new(n_procs: usize, n_cells: usize, max_locs: usize, config: StmConfig) -> Self {
+        Self::with_programs(n_procs, n_cells, max_locs, config, |_| ()).0
+    }
+
+    /// Same, also registering application programs.
+    pub fn with_programs<X>(
+        n_procs: usize,
+        n_cells: usize,
+        max_locs: usize,
+        config: StmConfig,
+        extra: impl FnOnce(&mut ProgramTableBuilder) -> X,
+    ) -> (Self, X) {
+        let (ops, x) = StmOps::with_programs(0, n_cells, n_procs, max_locs, config, extra);
+        let n_words = ops.stm().layout().words_needed();
+        let sim_config = SimConfig { n_words, ..Default::default() };
+        (StmSim { ops, n_procs, sim_config }, x)
+    }
+
+    /// Set the schedule seed (default 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.sim_config.seed = seed;
+        self
+    }
+
+    /// Set the per-operation completion jitter (default 0 cycles).
+    pub fn jitter(mut self, jitter: u64) -> Self {
+        self.sim_config.jitter = jitter;
+        self
+    }
+
+    /// Set the watchdog limit.
+    pub fn max_cycles(mut self, max: u64) -> Self {
+        self.sim_config.max_cycles = max;
+        self
+    }
+
+    /// Pre-load cell `idx` with `value` before the simulation starts.
+    pub fn init_cell(&mut self, idx: CellIdx, value: u32) {
+        let addr = self.ops.stm().layout().cell(idx);
+        self.sim_config.init.retain(|&(a, _)| a != addr);
+        self.sim_config.init.push((addr, pack_cell(0, value)));
+    }
+
+    /// The STM operations handle (cloneable; also passed to every body).
+    pub fn ops(&self) -> &StmOps {
+        &self.ops
+    }
+
+    /// Number of simulated processors.
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+
+    /// Run the simulation: `make_body(p, ops)` builds processor `p`'s
+    /// workload.
+    pub fn run<F, B>(&self, model: impl CostModel + 'static, mut make_body: F) -> SimReport
+    where
+        F: FnMut(usize, StmOps) -> B,
+        B: FnOnce(SimPort) + Send,
+    {
+        let ops = self.ops.clone();
+        Simulation::new(self.sim_config.clone(), model)
+            .run(self.n_procs, |p| make_body(p, ops.clone()))
+    }
+
+    /// Decode a cell's final value out of a finished run's memory image.
+    pub fn cell_value(&self, report: &SimReport, idx: CellIdx) -> u32 {
+        cell_value(report.memory[self.ops.stm().layout().cell(idx)])
+    }
+
+    /// Final values of all cells.
+    pub fn all_cells(&self, report: &SimReport) -> Vec<u32> {
+        (0..self.ops.stm().layout().n_cells()).map(|i| self.cell_value(report, i)).collect()
+    }
+
+    /// Check protocol quiescence on a finished run: every ownership word is
+    /// free. Returns the indices of violating cells (empty = quiescent).
+    pub fn leaked_ownerships(&self, report: &SimReport) -> Vec<CellIdx> {
+        let l = self.ops.stm().layout();
+        (0..l.n_cells())
+            .filter(|&i| report.memory[l.ownership(i)] != stm_core::word::OWNER_FREE)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::{BusModel, MeshModel, UniformModel};
+
+    #[test]
+    fn counter_on_all_architectures() {
+        for arch in 0..3 {
+            let sim = StmSim::new(4, 4, 4, StmConfig::default()).seed(7).jitter(2);
+            let body = |_p: usize, ops: StmOps| {
+                move |mut port: SimPort| {
+                    for _ in 0..50 {
+                        ops.fetch_add(&mut port, 1, 1);
+                    }
+                }
+            };
+            let report = match arch {
+                0 => sim.run(UniformModel::new(1, 5), body),
+                1 => sim.run(BusModel::for_procs(4), body),
+                _ => sim.run(MeshModel::for_procs(4), body),
+            };
+            assert_eq!(sim.cell_value(&report, 1), 200, "arch {arch}");
+            assert!(sim.leaked_ownerships(&report).is_empty(), "arch {arch}");
+        }
+    }
+
+    #[test]
+    fn init_cell_preloads_values() {
+        let mut sim = StmSim::new(1, 4, 2, StmConfig::default());
+        sim.init_cell(0, 11);
+        sim.init_cell(3, 44);
+        sim.init_cell(0, 12); // overrides
+        let report = sim.run(UniformModel::new(1, 1), |_p, _ops| |_port: SimPort| {});
+        assert_eq!(sim.all_cells(&report), vec![12, 0, 0, 44]);
+    }
+
+    #[test]
+    fn multiword_transfer_conserves_sum_under_simulation() {
+        let mut sim = StmSim::new(6, 8, 4, StmConfig::default()).seed(3).jitter(3);
+        for c in 0..8 {
+            sim.init_cell(c, 1000);
+        }
+        let report = sim.run(MeshModel::for_procs(6), |p, ops| {
+            move |mut port: SimPort| {
+                for i in 0..40 {
+                    let from = (p + i) % 8;
+                    let to = (p * 3 + i) % 8;
+                    if from == to {
+                        continue;
+                    }
+                    let cells = [from, to];
+                    let deltas = [1u32.wrapping_neg(), 1];
+                    ops.fetch_add_many(&mut port, &cells, &deltas);
+                }
+            }
+        });
+        let total: u64 = sim.all_cells(&report).iter().map(|&v| v as u64).sum();
+        assert_eq!(total, 8000);
+        assert!(sim.leaked_ownerships(&report).is_empty());
+    }
+
+    #[test]
+    fn crashed_processor_cannot_block_the_others() {
+        // The paper's headline claim: STM is non-blocking. Processor 0
+        // "crashes" by stalling forever after starting transactions; the
+        // remaining processors must still complete all their increments.
+        let sim = StmSim::new(3, 2, 2, StmConfig::default()).seed(5).jitter(2);
+        let report = sim.run(BusModel::for_procs(3), |p, ops| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    // Do a couple of transactions, then die.
+                    ops.fetch_add(&mut port, 0, 1);
+                    return;
+                }
+                for _ in 0..100 {
+                    ops.fetch_add(&mut port, 0, 1);
+                }
+            }
+        });
+        assert_eq!(sim.cell_value(&report, 0), 201);
+    }
+}

@@ -1,0 +1,38 @@
+//! # stm-sim — a deterministic Proteus-like multiprocessor simulator
+//!
+//! The Shavit–Touitou paper evaluated STM on the Proteus simulator, running
+//! up to 64 simulated processors on two architectures: a cache-coherent bus
+//! machine and an Alewife-like distributed-shared-memory mesh. This crate
+//! provides the equivalent substrate for the reproduction:
+//!
+//! * [`engine`] — a lockstep discrete-event engine: one host thread per
+//!   simulated processor, every shared-memory operation charged a virtual
+//!   cycle cost and applied in global completion-time order. Fully
+//!   deterministic given a seed.
+//! * [`arch`] — the architecture cost models: [`arch::BusModel`] (snoopy
+//!   caches + one shared bus), [`arch::MeshModel`] (home nodes + per-hop
+//!   latency + hot-spot queueing), and [`arch::UniformModel`] (ideal
+//!   machine, for tests and ablations).
+//! * [`harness`] — [`harness::StmSim`], an STM instance wired into a
+//!   simulated machine: the building block of every figure regeneration.
+//! * [`explore`] — seed-sweeping schedule exploration with failing-seed
+//!   replay, used by the correctness test suite.
+//! * [`stats`] — per-processor operation counters.
+//!
+//! Any code written against [`stm_core::machine::MemPort`] runs unmodified on
+//! the simulator — the STM itself, the lock baselines, and the benchmark data
+//! structures all do.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod arch;
+pub mod engine;
+pub mod explore;
+pub mod harness;
+pub mod stats;
+pub mod trace;
+
+pub use arch::{BusModel, CostModel, MeshModel, OpKind, UniformModel};
+pub use engine::{SimConfig, SimPort, SimReport, Simulation};
+pub use harness::StmSim;

@@ -1,0 +1,71 @@
+//! Operation statistics collected by the simulation engine.
+
+use crate::arch::OpKind;
+
+/// Per-processor and aggregate counts of simulated memory operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimStats {
+    reads: Vec<u64>,
+    writes: Vec<u64>,
+    cas: Vec<u64>,
+}
+
+impl SimStats {
+    /// Fresh counters for `n_procs` processors.
+    pub fn new(n_procs: usize) -> Self {
+        SimStats { reads: vec![0; n_procs], writes: vec![0; n_procs], cas: vec![0; n_procs] }
+    }
+
+    /// Record one operation by `proc`.
+    pub fn record(&mut self, proc: usize, kind: OpKind) {
+        match kind {
+            OpKind::Read => self.reads[proc] += 1,
+            OpKind::Write => self.writes[proc] += 1,
+            OpKind::Cas => self.cas[proc] += 1,
+        }
+    }
+
+    /// Total operations across all processors.
+    pub fn total_ops(&self) -> u64 {
+        self.reads.iter().sum::<u64>()
+            + self.writes.iter().sum::<u64>()
+            + self.cas.iter().sum::<u64>()
+    }
+
+    /// Total reads / writes / CASes.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.reads.iter().sum(),
+            self.writes.iter().sum(),
+            self.cas.iter().sum(),
+        )
+    }
+
+    /// Operations issued by processor `p` (reads, writes, cas).
+    pub fn per_proc(&self, p: usize) -> (u64, u64, u64) {
+        (self.reads[p], self.writes[p], self.cas[p])
+    }
+
+    /// Number of processors tracked.
+    pub fn n_procs(&self) -> usize {
+        self.reads.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_totals() {
+        let mut s = SimStats::new(2);
+        s.record(0, OpKind::Read);
+        s.record(0, OpKind::Cas);
+        s.record(1, OpKind::Write);
+        assert_eq!(s.total_ops(), 3);
+        assert_eq!(s.totals(), (1, 1, 1));
+        assert_eq!(s.per_proc(0), (1, 0, 1));
+        assert_eq!(s.per_proc(1), (0, 1, 0));
+        assert_eq!(s.n_procs(), 2);
+    }
+}

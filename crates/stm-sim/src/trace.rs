@@ -1,0 +1,159 @@
+//! Execution traces: an optional per-operation event log from the engine.
+//!
+//! Proteus's strength was observability — simulated runs could be dissected
+//! cycle by cycle. Enabling `trace_limit` in
+//! [`SimConfig`](crate::engine::SimConfig) records every memory operation
+//! (and delay) with its completion time; [`TraceAnalysis`] summarizes a
+//! trace into the quantities the evaluation cares about: per-processor
+//! operation mixes, throughput over time, and hot addresses.
+
+use stm_core::word::Addr;
+
+use crate::arch::OpKind;
+
+/// One recorded engine event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Virtual completion time.
+    pub time: u64,
+    /// Issuing processor.
+    pub proc: usize,
+    /// What happened.
+    pub kind: TraceKind,
+}
+
+/// Kind of a trace event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TraceKind {
+    /// A memory operation on an address.
+    Mem(OpKind, Addr),
+    /// A local delay of the given length.
+    Delay(u64),
+}
+
+/// Summary statistics over a trace.
+#[derive(Debug, Clone)]
+pub struct TraceAnalysis {
+    /// Total events analyzed.
+    pub events: usize,
+    /// Memory operations per processor.
+    pub ops_per_proc: Vec<u64>,
+    /// The busiest addresses: `(address, access count)`, most-accessed first.
+    pub hot_addresses: Vec<(Addr, u64)>,
+    /// Completed memory operations per time bucket.
+    pub ops_over_time: Vec<u64>,
+    /// Bucket width used for `ops_over_time`.
+    pub bucket: u64,
+}
+
+impl TraceAnalysis {
+    /// Analyze `trace` for `n_procs` processors with `buckets` time buckets
+    /// (at least 1).
+    pub fn of(trace: &[TraceEvent], n_procs: usize, buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        let end = trace.iter().map(|e| e.time).max().unwrap_or(0).max(1);
+        let bucket = end.div_ceil(buckets as u64).max(1);
+        let mut ops_per_proc = vec![0u64; n_procs];
+        let mut ops_over_time = vec![0u64; buckets];
+        let mut addr_counts: std::collections::HashMap<Addr, u64> = std::collections::HashMap::new();
+        let mut events = 0;
+        for e in trace {
+            events += 1;
+            if let TraceKind::Mem(_, addr) = e.kind {
+                if e.proc < n_procs {
+                    ops_per_proc[e.proc] += 1;
+                }
+                *addr_counts.entry(addr).or_default() += 1;
+                let b = ((e.time / bucket) as usize).min(buckets - 1);
+                ops_over_time[b] += 1;
+            }
+        }
+        let mut hot_addresses: Vec<(Addr, u64)> = addr_counts.into_iter().collect();
+        hot_addresses.sort_by_key(|&(a, n)| (std::cmp::Reverse(n), a));
+        hot_addresses.truncate(16);
+        TraceAnalysis { events, ops_per_proc, hot_addresses, ops_over_time, bucket }
+    }
+
+    /// The single most-accessed address, if any memory op was traced.
+    pub fn hottest(&self) -> Option<Addr> {
+        self.hot_addresses.first().map(|&(a, _)| a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(time: u64, proc: usize, addr: Addr) -> TraceEvent {
+        TraceEvent { time, proc, kind: TraceKind::Mem(OpKind::Read, addr) }
+    }
+
+    #[test]
+    fn analysis_counts_and_ranks() {
+        let trace = vec![
+            ev(1, 0, 5),
+            ev(2, 1, 5),
+            ev(3, 0, 7),
+            ev(10, 1, 5),
+            TraceEvent { time: 4, proc: 0, kind: TraceKind::Delay(3) },
+        ];
+        let a = TraceAnalysis::of(&trace, 2, 2);
+        assert_eq!(a.events, 5);
+        assert_eq!(a.ops_per_proc, vec![2, 2]);
+        assert_eq!(a.hottest(), Some(5));
+        assert_eq!(a.ops_over_time.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn empty_trace_is_fine() {
+        let a = TraceAnalysis::of(&[], 4, 3);
+        assert_eq!(a.events, 0);
+        assert_eq!(a.hottest(), None);
+    }
+
+    #[test]
+    fn engine_records_when_enabled() {
+        use crate::arch::UniformModel;
+        use crate::engine::{SimConfig, SimPort, Simulation};
+        use stm_core::machine::MemPort;
+
+        let report = Simulation::new(
+            SimConfig { n_words: 2, trace_limit: 100, ..Default::default() },
+            UniformModel::new(1, 3),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                for _ in 0..5 {
+                    let v = port.read(0);
+                    port.write(1, v + p as u64);
+                }
+                port.delay(10);
+            }
+        });
+        assert_eq!(report.trace.len(), 2 * (10 + 1));
+        let a = TraceAnalysis::of(&report.trace, 2, 4);
+        assert_eq!(a.ops_per_proc, vec![10, 10]);
+        // address 0 and 1 equally hot; tie broken by address
+        assert_eq!(a.hottest(), Some(0));
+    }
+
+    #[test]
+    fn engine_trace_is_bounded_by_limit() {
+        use crate::arch::UniformModel;
+        use crate::engine::{SimConfig, SimPort, Simulation};
+        use stm_core::machine::MemPort;
+
+        let report = Simulation::new(
+            SimConfig { n_words: 1, trace_limit: 7, ..Default::default() },
+            UniformModel::new(1, 1),
+        )
+        .run(1, |_| {
+            move |mut port: SimPort| {
+                for _ in 0..50 {
+                    let _ = port.read(0);
+                }
+            }
+        });
+        assert_eq!(report.trace.len(), 7);
+    }
+}

@@ -1,0 +1,206 @@
+//! The counting benchmark: a shared fetch-and-increment counter.
+//!
+//! This is the paper's first benchmark — the highest-contention workload
+//! possible (every operation touches the same word), which is where the
+//! differences between the methods are starkest.
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::word::{pack_cell, Addr, Word};
+use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
+
+use crate::Method;
+
+/// A shared counter built on a chosen [`Method`].
+#[derive(Debug, Clone)]
+pub struct Counter {
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stm { ops: StmOps },
+    Herlihy { obj: HerlihyObject },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+/// A processor-local handle to a [`Counter`].
+#[derive(Debug)]
+pub struct CounterHandle {
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Stm { ops: StmOps },
+    Herlihy { h: HerlihyHandle },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+impl Counter {
+    /// Shared words a counter occupies for `method` and `n_procs`.
+    pub fn words_needed(method: Method, n_procs: usize) -> usize {
+        match method {
+            Method::Stm | Method::StmNoHelp => {
+                StmOps::new(0, 1, n_procs, 1, Method::Stm.stm_config())
+                    .stm()
+                    .layout()
+                    .words_needed()
+            }
+            Method::Herlihy => HerlihyObject::words_needed(1, n_procs),
+            Method::Ttas => TtasLock::words_needed() + 1,
+            Method::Mcs => McsLock::words_needed(n_procs) + 1,
+        }
+    }
+
+    /// Build a counter at `base` for `n_procs` processors.
+    pub fn new(method: Method, base: Addr, n_procs: usize) -> Self {
+        let inner = match method {
+            Method::Stm | Method::StmNoHelp => {
+                Inner::Stm { ops: StmOps::new(base, 1, n_procs, 1, method.stm_config()) }
+            }
+            Method::Herlihy => Inner::Herlihy { obj: HerlihyObject::new(base, 1, n_procs) },
+            Method::Ttas => Inner::Ttas { lock: TtasLock::new(base), data: base + 1 },
+            Method::Mcs => Inner::Mcs {
+                lock: McsLock::new(base, n_procs),
+                data: base + McsLock::words_needed(n_procs),
+            },
+        };
+        Counter { inner }
+    }
+
+    /// `(address, word)` pairs pre-loading the counter to `initial`.
+    pub fn init_words(&self, initial: u32) -> Vec<(Addr, Word)> {
+        match &self.inner {
+            Inner::Stm { ops } => {
+                vec![(ops.stm().layout().cell(0), pack_cell(0, initial))]
+            }
+            Inner::Herlihy { obj } => obj.initial_words(&[initial as Word]),
+            Inner::Ttas { data, .. } | Inner::Mcs { data, .. } => vec![(*data, initial as Word)],
+        }
+    }
+
+    /// Initialize through a port (single-owner setup on the host machine).
+    pub fn init_on<P: MemPort>(&self, port: &mut P, initial: u32) {
+        for (addr, word) in self.init_words(initial) {
+            port.write(addr, word);
+        }
+    }
+
+    /// A processor-local handle for the processor driving `port`.
+    pub fn handle<P: MemPort>(&self, port: &P) -> CounterHandle {
+        let inner = match &self.inner {
+            Inner::Stm { ops } => HandleInner::Stm { ops: ops.clone() },
+            Inner::Herlihy { obj } => HandleInner::Herlihy { h: obj.handle(port) },
+            Inner::Ttas { lock, data } => HandleInner::Ttas { lock: *lock, data: *data },
+            Inner::Mcs { lock, data } => HandleInner::Mcs { lock: *lock, data: *data },
+        };
+        CounterHandle { inner }
+    }
+}
+
+impl CounterHandle {
+    /// Atomically increment; returns the previous value.
+    pub fn increment<P: MemPort>(&mut self, port: &mut P) -> u32 {
+        match &mut self.inner {
+            HandleInner::Stm { ops } => ops.fetch_add(port, 0, 1),
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                let old = o[0];
+                o[0] = (old as u32).wrapping_add(1) as Word;
+                old as u32
+            }),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| {
+                    let v = port.read(data);
+                    port.write(data, (v as u32).wrapping_add(1) as Word);
+                    v as u32
+                })
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| {
+                    let v = port.read(data);
+                    port.write(data, (v as u32).wrapping_add(1) as Word);
+                    v as u32
+                })
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn read<P: MemPort>(&mut self, port: &mut P) -> u32 {
+        match &mut self.inner {
+            HandleInner::Stm { ops } => ops.stm().read_cell(port, 0),
+            HandleInner::Herlihy { h } => h.read(port)[0] as u32,
+            HandleInner::Ttas { data, .. } | HandleInner::Mcs { data, .. } => {
+                port.read(*data) as u32
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    #[test]
+    fn all_methods_count_correctly_on_host() {
+        const PROCS: usize = 4;
+        const PER: u32 = 400;
+        for method in Method::ALL {
+            let counter = Counter::new(method, 0, PROCS);
+            let m = HostMachine::new(Counter::words_needed(method, PROCS), PROCS);
+            {
+                let mut port = m.port(0);
+                counter.init_on(&mut port, 0);
+            }
+            std::thread::scope(|s| {
+                for p in 0..PROCS {
+                    let m = m.clone();
+                    let counter = counter.clone();
+                    s.spawn(move || {
+                        let mut port = m.port(p);
+                        let mut h = counter.handle(&port);
+                        for _ in 0..PER {
+                            h.increment(&mut port);
+                        }
+                    });
+                }
+            });
+            let mut port = m.port(0);
+            let mut h = counter.handle(&port);
+            assert_eq!(h.read(&mut port), PROCS as u32 * PER, "{method}");
+        }
+    }
+
+    #[test]
+    fn increment_returns_old_value() {
+        for method in Method::ALL {
+            let counter = Counter::new(method, 0, 1);
+            let m = HostMachine::new(Counter::words_needed(method, 1), 1);
+            let mut port = m.port(0);
+            counter.init_on(&mut port, 10);
+            let mut h = counter.handle(&port);
+            assert_eq!(h.increment(&mut port), 10, "{method}");
+            assert_eq!(h.increment(&mut port), 11, "{method}");
+            assert_eq!(h.read(&mut port), 12, "{method}");
+        }
+    }
+
+    #[test]
+    fn nonzero_base_address_works() {
+        for method in Method::ALL {
+            let base = 17;
+            let counter = Counter::new(method, base, 2);
+            let m = HostMachine::new(base + Counter::words_needed(method, 2), 2);
+            let mut port = m.port(0);
+            counter.init_on(&mut port, 5);
+            let mut h = counter.handle(&port);
+            assert_eq!(h.increment(&mut port), 5, "{method}");
+        }
+    }
+}

@@ -1,0 +1,605 @@
+//! The paper's doubly-linked queue, literally: a linked-node deque.
+//!
+//! Where [`queue`](crate::queue) uses the compact ring representation, this
+//! module implements the structure exactly as the paper's example describes
+//! it — a doubly-linked list of nodes with head/tail pointers and a free
+//! list, supporting pushes and pops at *both* ends. Every operation is a
+//! static transaction over at most 8 cells:
+//!
+//! ```text
+//! cells: HEAD TAIL FREE LEN DUMMY | node1{val,next,prev} node2{...} ...
+//! ```
+//!
+//! The data set of e.g. `push_front` is `{FREE, HEAD, TAIL, LEN, f.val,
+//! f.next, f.prev, h.prev-or-DUMMY}` where `f` (the free node) and `h` (the
+//! current head) are read speculatively; the commit program re-validates the
+//! speculation and is a no-op on mismatch, in which case the caller
+//! re-speculates — the standard static-transaction idiom for pointer
+//! structures. `DUMMY` is a scratch cell standing in for pointer fields of
+//! null nodes so the data-set *shape* stays fixed.
+//!
+//! For the lock and Herlihy methods the deque uses its natural
+//! representation under those disciplines (whole structure guarded /
+//! copied); behaviour is identical, which the cross-method tests check.
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::program::OpCode;
+use stm_core::stm::TxSpec;
+use stm_core::word::{pack_cell, Addr, Word};
+use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
+
+use crate::Method;
+
+const HEAD: usize = 0;
+const TAIL: usize = 1;
+const FREE: usize = 2;
+const LEN: usize = 3;
+const DUMMY: usize = 4;
+const NODES: usize = 5;
+
+/// Number of cells a deque of `cap` nodes occupies (STM representation).
+fn stm_cells(cap: usize) -> usize {
+    NODES + 3 * cap
+}
+
+fn node_cell(id: u32) -> usize {
+    debug_assert!(id >= 1);
+    NODES + 3 * (id as usize - 1)
+}
+
+/// A bounded deque of `u32` values built on a chosen [`Method`].
+#[derive(Debug, Clone)]
+pub struct Deque {
+    capacity: usize,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stm { ops: StmOps, progs: Progs },
+    Herlihy { obj: HerlihyObject },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Progs {
+    push_front: OpCode,
+    push_back: OpCode,
+    pop_front: OpCode,
+    pop_back: OpCode,
+}
+
+/// A processor-local handle to a [`Deque`].
+#[derive(Debug)]
+pub struct DequeHandle {
+    capacity: usize,
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Stm { ops: StmOps, progs: Progs },
+    Herlihy { h: HerlihyHandle },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+// ---------------------------------------------------------------------------
+// STM commit programs. Data-set positions are fixed:
+//   0 FREE, 1 HEAD, 2 TAIL, 3 LEN, 4 n.val, 5 n.next, 6 n.prev, 7 neighbour
+// where `n` is the node being linked/unlinked and `neighbour` is the
+// affected pointer field of the adjacent node (or DUMMY when null).
+// ---------------------------------------------------------------------------
+
+fn register_programs(b: &mut stm_core::program::ProgramTableBuilder) -> Progs {
+    let push_front = b.register("deque.push_front", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        let (f, h, value) = (params[0] as u32, params[1] as u32, params[2] as u32);
+        if f == 0 || old[0] != f || old[1] != h {
+            return; // stale speculation
+        }
+        new[0] = old[5]; // FREE = f.free-link
+        new[4] = value;
+        new[5] = h; // f.next = head
+        new[6] = 0; // f.prev = null
+        new[1] = f; // HEAD = f
+        if h != 0 {
+            new[7] = f; // old head's prev = f
+        } else {
+            new[2] = f; // empty list: TAIL = f
+        }
+        new[3] = old[3] + 1;
+    });
+    let push_back = b.register("deque.push_back", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        let (f, t, value) = (params[0] as u32, params[1] as u32, params[2] as u32);
+        if f == 0 || old[0] != f || old[2] != t {
+            return;
+        }
+        new[0] = old[5];
+        new[4] = value;
+        new[5] = 0; // f.next = null
+        new[6] = t; // f.prev = tail
+        new[2] = f; // TAIL = f
+        if t != 0 {
+            new[7] = f; // old tail's next = f
+        } else {
+            new[1] = f;
+        }
+        new[3] = old[3] + 1;
+    });
+    let pop_front = b.register("deque.pop_front", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        let (h, hn) = (params[0] as u32, params[1] as u32);
+        if h == 0 || old[1] != h || old[5] != hn {
+            return;
+        }
+        new[1] = hn;
+        if hn != 0 {
+            new[7] = 0; // new head's prev = null
+        } else {
+            new[2] = 0; // list emptied
+        }
+        new[5] = old[0]; // h.free-link = old FREE
+        new[0] = h; // FREE = h
+        new[3] = old[3] - 1;
+    });
+    let pop_back = b.register("deque.pop_back", |params: &[Word], old: &[u32], new: &mut [u32]| {
+        let (t, tp) = (params[0] as u32, params[1] as u32);
+        if t == 0 || old[2] != t || old[6] != tp {
+            return;
+        }
+        new[2] = tp;
+        if tp != 0 {
+            new[7] = 0; // new tail's next = null
+        } else {
+            new[1] = 0;
+        }
+        new[5] = old[0]; // t.free-link = old FREE (t.next is reused)
+        new[0] = t;
+        new[3] = old[3] - 1;
+    });
+    Progs { push_front, push_back, pop_front, pop_back }
+}
+
+impl Deque {
+    /// Shared words needed for `method`, `n_procs`, `capacity`.
+    pub fn words_needed(method: Method, n_procs: usize, capacity: usize) -> usize {
+        match method {
+            Method::Stm | Method::StmNoHelp => {
+                StmOps::new(0, stm_cells(capacity), n_procs, 8, Method::Stm.stm_config())
+                    .stm()
+                    .layout()
+                    .words_needed()
+            }
+            // Ring representation: head index, tail index, slots.
+            Method::Herlihy => HerlihyObject::words_needed(2 + capacity, n_procs),
+            Method::Ttas => TtasLock::words_needed() + 2 + capacity,
+            Method::Mcs => McsLock::words_needed(n_procs) + 2 + capacity,
+        }
+    }
+
+    /// Build a deque of `capacity` nodes at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(method: Method, base: Addr, n_procs: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "deque capacity must be positive");
+        let inner = match method {
+            Method::Stm | Method::StmNoHelp => {
+                let (ops, progs) = StmOps::with_programs(
+                    base,
+                    stm_cells(capacity),
+                    n_procs,
+                    8,
+                    method.stm_config(),
+                    register_programs,
+                );
+                Inner::Stm { ops, progs }
+            }
+            Method::Herlihy => {
+                Inner::Herlihy { obj: HerlihyObject::new(base, 2 + capacity, n_procs) }
+            }
+            Method::Ttas => Inner::Ttas { lock: TtasLock::new(base), data: base + 1 },
+            Method::Mcs => Inner::Mcs {
+                lock: McsLock::new(base, n_procs),
+                data: base + McsLock::words_needed(n_procs),
+            },
+        };
+        Deque { capacity, inner }
+    }
+
+    /// Deque capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(address, word)` pairs pre-loading an empty deque (all nodes on the
+    /// free list).
+    pub fn init_words(&self) -> Vec<(Addr, Word)> {
+        match &self.inner {
+            Inner::Stm { ops, .. } => {
+                let l = ops.stm().layout();
+                let mut out = Vec::new();
+                for c in 0..stm_cells(self.capacity) {
+                    out.push((l.cell(c), pack_cell(0, 0)));
+                }
+                // Free list: node 1 -> 2 -> ... -> cap -> null, FREE = 1.
+                out.push((l.cell(FREE), pack_cell(0, 1)));
+                for id in 1..=self.capacity as u32 {
+                    let next_free = if (id as usize) < self.capacity { id + 1 } else { 0 };
+                    out.push((l.cell(node_cell(id) + 1), pack_cell(0, next_free)));
+                }
+                out
+            }
+            Inner::Herlihy { obj } => obj.initial_words(&vec![0; 2 + self.capacity]),
+            Inner::Ttas { data, .. } | Inner::Mcs { data, .. } => {
+                (0..2 + self.capacity).map(|i| (*data + i, 0)).collect()
+            }
+        }
+    }
+
+    /// Initialize through a port (host machine setup).
+    pub fn init_on<P: MemPort>(&self, port: &mut P) {
+        for (addr, word) in self.init_words() {
+            port.write(addr, word);
+        }
+    }
+
+    /// A processor-local handle.
+    pub fn handle<P: MemPort>(&self, port: &P) -> DequeHandle {
+        let inner = match &self.inner {
+            Inner::Stm { ops, progs } => HandleInner::Stm { ops: ops.clone(), progs: *progs },
+            Inner::Herlihy { obj } => HandleInner::Herlihy { h: obj.handle(port) },
+            Inner::Ttas { lock, data } => HandleInner::Ttas { lock: *lock, data: *data },
+            Inner::Mcs { lock, data } => HandleInner::Mcs { lock: *lock, data: *data },
+        };
+        DequeHandle { capacity: self.capacity, inner }
+    }
+}
+
+/// Which end an operation works on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum End {
+    /// The head (front).
+    Front,
+    /// The tail (back).
+    Back,
+}
+
+impl DequeHandle {
+    /// Push `value` at `end`; `false` if the deque was full.
+    pub fn push<P: MemPort>(&mut self, port: &mut P, end: End, value: u32) -> bool {
+        match end {
+            End::Front => self.push_impl(port, value, true),
+            End::Back => self.push_impl(port, value, false),
+        }
+    }
+
+    /// Pop from `end`; `None` if the deque was empty.
+    pub fn pop<P: MemPort>(&mut self, port: &mut P, end: End) -> Option<u32> {
+        match end {
+            End::Front => self.pop_impl(port, true),
+            End::Back => self.pop_impl(port, false),
+        }
+    }
+
+    /// Convenience: FIFO enqueue (push back).
+    pub fn push_back<P: MemPort>(&mut self, port: &mut P, value: u32) -> bool {
+        self.push(port, End::Back, value)
+    }
+
+    /// Convenience: FIFO dequeue (pop front).
+    pub fn pop_front<P: MemPort>(&mut self, port: &mut P) -> Option<u32> {
+        self.pop(port, End::Front)
+    }
+
+    /// Current length.
+    pub fn len<P: MemPort>(&mut self, port: &mut P) -> usize {
+        match &mut self.inner {
+            HandleInner::Stm { ops, .. } => ops.stm().read_cell(port, LEN) as usize,
+            HandleInner::Herlihy { h } => h.read(port)[1] as usize,
+            HandleInner::Ttas { data, .. } | HandleInner::Mcs { data, .. } => {
+                port.read(*data + 1) as usize
+            }
+        }
+    }
+
+    fn push_impl<P: MemPort>(&mut self, port: &mut P, value: u32, front: bool) -> bool {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, progs } => loop {
+                let f = ops.stm().read_cell(port, FREE);
+                if f == 0 {
+                    return false; // free list empty == full (atomic single read)
+                }
+                let end_ptr = ops.stm().read_cell(port, if front { HEAD } else { TAIL });
+                if end_ptr == f {
+                    continue; // torn speculation (free node can't be in the list)
+                }
+                let neighbour = if end_ptr == 0 {
+                    DUMMY
+                } else if front {
+                    node_cell(end_ptr) + 2 // head.prev
+                } else {
+                    node_cell(end_ptr) + 1 // tail.next
+                };
+                let nf = node_cell(f);
+                let cells = [FREE, HEAD, TAIL, LEN, nf, nf + 1, nf + 2, neighbour];
+                let params = [f as Word, end_ptr as Word, value as Word];
+                let op = if front { progs.push_front } else { progs.push_back };
+                let out = ops.execute(port, &TxSpec::new(op, &params, &cells));
+                let applied = out.old[0] == f && out.old[if front { 1 } else { 2 }] == end_ptr;
+                if applied {
+                    return true;
+                }
+                // stale speculation; retry
+            },
+            HandleInner::Herlihy { h } => h.update(port, |o| ring_push(o, cap, value, front)),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_ring_push(port, data, cap, value, front))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_ring_push(port, data, cap, value, front))
+            }
+        }
+    }
+
+    fn pop_impl<P: MemPort>(&mut self, port: &mut P, front: bool) -> Option<u32> {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, progs } => loop {
+                let n = ops.stm().read_cell(port, if front { HEAD } else { TAIL });
+                if n == 0 {
+                    return None; // atomic emptiness witness
+                }
+                let nc = node_cell(n);
+                // The adjacent node (next for front, prev for back).
+                let adj = ops.stm().read_cell(port, if front { nc + 1 } else { nc + 2 });
+                if adj == n || adj as usize > self.capacity {
+                    continue; // torn speculation (self-link or free-list link)
+                }
+                let neighbour = if adj == 0 {
+                    DUMMY
+                } else if front {
+                    node_cell(adj) + 2 // adj.prev
+                } else {
+                    node_cell(adj) + 1 // adj.next
+                };
+                let cells = [FREE, HEAD, TAIL, LEN, nc, nc + 1, nc + 2, neighbour];
+                let params = [n as Word, adj as Word];
+                let op = if front { progs.pop_front } else { progs.pop_back };
+                let out = ops.execute(port, &TxSpec::new(op, &params, &cells));
+                let applied = out.old[if front { 1 } else { 2 }] == n
+                    && out.old[if front { 5 } else { 6 }] == adj;
+                if applied {
+                    return Some(out.old[4]);
+                }
+            },
+            HandleInner::Herlihy { h } => h.update(port, |o| ring_pop(o, cap, front)),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_ring_pop(port, data, cap, front))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_ring_pop(port, data, cap, front))
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring-buffer deque used by the Herlihy/lock representations:
+// state = [start_slot, len, slots...].
+// ---------------------------------------------------------------------------
+
+fn ring_push(o: &mut [Word], cap: usize, value: u32, front: bool) -> bool {
+    let (start, len) = (o[0] as usize, o[1] as usize);
+    if len >= cap {
+        return false;
+    }
+    if front {
+        let ns = (start + cap - 1) % cap;
+        o[2 + ns] = value as Word;
+        o[0] = ns as Word;
+    } else {
+        o[2 + (start + len) % cap] = value as Word;
+    }
+    o[1] = (len + 1) as Word;
+    true
+}
+
+fn ring_pop(o: &mut [Word], cap: usize, front: bool) -> Option<u32> {
+    let (start, len) = (o[0] as usize, o[1] as usize);
+    if len == 0 {
+        return None;
+    }
+    let v = if front {
+        let v = o[2 + start] as u32;
+        o[0] = ((start + 1) % cap) as Word;
+        v
+    } else {
+        o[2 + (start + len - 1) % cap] as u32
+    };
+    o[1] = (len - 1) as Word;
+    Some(v)
+}
+
+fn lock_ring_push<P: MemPort>(port: &mut P, data: Addr, cap: usize, value: u32, front: bool) -> bool {
+    let mut state: Vec<Word> = (0..2 + cap).map(|i| port.read(data + i)).collect();
+    let ok = ring_push(&mut state, cap, value, front);
+    if ok {
+        for (i, w) in state.iter().enumerate() {
+            port.write(data + i, *w);
+        }
+    }
+    ok
+}
+
+fn lock_ring_pop<P: MemPort>(port: &mut P, data: Addr, cap: usize, front: bool) -> Option<u32> {
+    let mut state: Vec<Word> = (0..2 + cap).map(|i| port.read(data + i)).collect();
+    let v = ring_pop(&mut state, cap, front);
+    if v.is_some() {
+        for (i, w) in state.iter().enumerate() {
+            port.write(data + i, *w);
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    fn make(method: Method, n_procs: usize, cap: usize) -> (Deque, HostMachine) {
+        let d = Deque::new(method, 0, n_procs, cap);
+        let m = HostMachine::new(Deque::words_needed(method, n_procs, cap), n_procs);
+        let mut port = m.port(0);
+        d.init_on(&mut port);
+        (d, m)
+    }
+
+    #[test]
+    fn fifo_and_lifo_both_ends() {
+        for method in Method::ALL {
+            let (d, m) = make(method, 1, 8);
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            // FIFO: push back, pop front.
+            assert!(h.push(&mut port, End::Back, 1), "{method}");
+            assert!(h.push(&mut port, End::Back, 2));
+            assert_eq!(h.pop(&mut port, End::Front), Some(1), "{method}");
+            // LIFO: push front, pop front.
+            assert!(h.push(&mut port, End::Front, 10));
+            assert_eq!(h.pop(&mut port, End::Front), Some(10), "{method}");
+            assert_eq!(h.pop(&mut port, End::Front), Some(2), "{method}");
+            assert_eq!(h.pop(&mut port, End::Front), None, "{method}");
+            assert_eq!(h.pop(&mut port, End::Back), None, "{method}");
+        }
+    }
+
+    #[test]
+    fn pop_back_reverses_push_back() {
+        for method in Method::ALL {
+            let (d, m) = make(method, 1, 8);
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            for v in [1u32, 2, 3] {
+                assert!(h.push(&mut port, End::Back, v), "{method}");
+            }
+            assert_eq!(h.pop(&mut port, End::Back), Some(3), "{method}");
+            assert_eq!(h.pop(&mut port, End::Back), Some(2), "{method}");
+            assert_eq!(h.pop(&mut port, End::Front), Some(1), "{method}");
+        }
+    }
+
+    #[test]
+    fn full_deque_rejects_both_ends() {
+        for method in Method::ALL {
+            let (d, m) = make(method, 1, 2);
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            assert!(h.push(&mut port, End::Front, 1));
+            assert!(h.push(&mut port, End::Back, 2));
+            assert!(!h.push(&mut port, End::Front, 3), "{method}");
+            assert!(!h.push(&mut port, End::Back, 3), "{method}");
+            assert_eq!(h.pop(&mut port, End::Front), Some(1), "{method}");
+            assert!(h.push(&mut port, End::Back, 3), "{method}: space reopens");
+        }
+    }
+
+    #[test]
+    fn node_recycling_survives_many_cycles() {
+        for method in Method::ALL {
+            let (d, m) = make(method, 1, 3);
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            for round in 0..50u32 {
+                let (pe, qe) = if round % 2 == 0 { (End::Front, End::Back) } else { (End::Back, End::Front) };
+                assert!(h.push(&mut port, pe, round), "{method}");
+                assert!(h.push(&mut port, qe, round + 1000), "{method}");
+                let a = h.pop(&mut port, qe).unwrap();
+                let b = h.pop(&mut port, pe).unwrap();
+                assert_eq!(a + b, round + round + 1000, "{method}");
+                assert_eq!(h.len(&mut port), 0, "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn matches_vecdeque_reference_sequentially() {
+        // Random-ish op mix vs std reference, for every method.
+        for method in Method::ALL {
+            let (d, m) = make(method, 1, 6);
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            let mut reference = std::collections::VecDeque::new();
+            let mut x = 12345u32;
+            for _ in 0..400 {
+                x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                let v = x % 997;
+                match x % 4 {
+                    0 => {
+                        let ok = h.push(&mut port, End::Front, v);
+                        if reference.len() < 6 {
+                            assert!(ok, "{method}");
+                            reference.push_front(v);
+                        } else {
+                            assert!(!ok, "{method}");
+                        }
+                    }
+                    1 => {
+                        let ok = h.push(&mut port, End::Back, v);
+                        if reference.len() < 6 {
+                            assert!(ok, "{method}");
+                            reference.push_back(v);
+                        } else {
+                            assert!(!ok, "{method}");
+                        }
+                    }
+                    2 => assert_eq!(h.pop(&mut port, End::Front), reference.pop_front(), "{method}"),
+                    _ => assert_eq!(h.pop(&mut port, End::Back), reference.pop_back(), "{method}"),
+                }
+                assert_eq!(h.len(&mut port), reference.len(), "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_two_ended_traffic_conserves_items_on_host() {
+        const PROCS: usize = 4;
+        const PER: u32 = 150;
+        for method in [Method::Stm, Method::Ttas] {
+            let (d, m) = make(method, PROCS, 16);
+            std::thread::scope(|s| {
+                for p in 0..PROCS {
+                    let d = d.clone();
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut port = m.port(p);
+                        let mut h = d.handle(&port);
+                        let my_end = if p % 2 == 0 { End::Front } else { End::Back };
+                        for i in 0..PER {
+                            while !h.push(&mut port, my_end, i) {
+                                std::hint::spin_loop();
+                            }
+                            loop {
+                                if h.pop(&mut port, my_end).is_some() {
+                                    break;
+                                }
+                                std::hint::spin_loop();
+                            }
+                        }
+                    });
+                }
+            });
+            let mut port = m.port(0);
+            let mut h = d.handle(&port);
+            assert_eq!(h.len(&mut port), 0, "{method}: balanced traffic must drain");
+        }
+    }
+}

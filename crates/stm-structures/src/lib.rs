@@ -1,0 +1,118 @@
+//! # stm-structures — the benchmark data structures of the evaluation
+//!
+//! Each workload of the Shavit–Touitou evaluation is implemented here over
+//! **every** synchronization method the paper compares, behind one API per
+//! structure, generic over [`MemPort`](stm_core::machine::MemPort) (so each
+//! runs both on the host and on the simulated machines):
+//!
+//! * [`counter`] — the counting benchmark (shared fetch-and-increment);
+//! * [`queue`] — the FIFO queue (ring representation; enqueue one end,
+//!   dequeue the other);
+//! * [`deque`] — the paper's doubly-linked queue in its literal linked-node
+//!   form, with pushes/pops at both ends;
+//! * [`list_set`] — a sorted linked-list set (STM only): the general
+//!   search-structure case of the static-transaction technique;
+//! * [`resource`] — the resource-allocation benchmark (atomically acquire /
+//!   release k of M resources);
+//! * [`prio`] — a fixed-capacity array priority queue (insert /
+//!   extract-min as whole-heap transactions).
+//!
+//! Methods are selected with [`Method`]:
+//!
+//! * `Stm` — the paper's transactional memory (optionally without helping,
+//!   for the ablation);
+//! * `Herlihy` — Herlihy's non-blocking whole-object translation;
+//! * `Ttas` / `Mcs` — blocking lock baselines.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod counter;
+pub mod deque;
+pub mod list_set;
+pub mod prio;
+pub mod queue;
+pub mod resource;
+
+/// The synchronization method a structure instance is built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Shavit–Touitou STM (with non-redundant helping, the paper's default).
+    Stm,
+    /// STM with helping disabled — the A1 ablation (no lock-freedom
+    /// guarantee; retries rely on back-off).
+    StmNoHelp,
+    /// Herlihy's non-blocking small-object translation.
+    Herlihy,
+    /// Test-and-test-and-set lock with exponential back-off.
+    Ttas,
+    /// MCS queue lock.
+    Mcs,
+}
+
+impl Method {
+    /// All methods, paper methods first.
+    pub const ALL: [Method; 5] =
+        [Method::Stm, Method::Herlihy, Method::Ttas, Method::Mcs, Method::StmNoHelp];
+
+    /// The four methods the paper's figures plot.
+    pub const PAPER: [Method; 4] = [Method::Stm, Method::Herlihy, Method::Ttas, Method::Mcs];
+
+    /// Short label used in benchmark tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Method::Stm => "STM",
+            Method::StmNoHelp => "STM-nohelp",
+            Method::Herlihy => "Herlihy",
+            Method::Ttas => "TTAS-lock",
+            Method::Mcs => "MCS-lock",
+        }
+    }
+
+    /// Whether the method is non-blocking.
+    pub fn non_blocking(self) -> bool {
+        matches!(self, Method::Stm | Method::StmNoHelp | Method::Herlihy)
+    }
+
+    /// The STM configuration this method implies (where applicable).
+    pub(crate) fn stm_config(self) -> stm_core::stm::StmConfig {
+        match self {
+            Method::StmNoHelp => stm_core::stm::StmConfig {
+                helping: false,
+                backoff: stm_core::stm::BackoffPolicy::Exponential { base: 8, max: 4096 },
+            },
+            _ => stm_core::stm::StmConfig::default(),
+        }
+    }
+}
+
+impl std::fmt::Display for Method {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: std::collections::HashSet<_> = Method::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Method::ALL.len());
+    }
+
+    #[test]
+    fn blocking_classification() {
+        assert!(Method::Stm.non_blocking());
+        assert!(Method::Herlihy.non_blocking());
+        assert!(!Method::Ttas.non_blocking());
+        assert!(!Method::Mcs.non_blocking());
+    }
+
+    #[test]
+    fn nohelp_config_disables_helping() {
+        assert!(!Method::StmNoHelp.stm_config().helping);
+        assert!(Method::Stm.stm_config().helping);
+    }
+}

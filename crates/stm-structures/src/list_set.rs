@@ -1,0 +1,442 @@
+//! A sorted linked-list set over static transactions.
+//!
+//! The paper argues static transactions suffice for pointer structures: the
+//! program *traverses* the structure with plain (committed-value) reads, and
+//! performs the mutation as a small static transaction whose commit function
+//! re-validates the traversal — retrying if the structure moved. The deque
+//! ([`crate::deque`]) shows the two-ended case; this module shows the
+//! general *search structure* case: a sorted singly-linked list set with
+//! `insert`, `remove`, and `contains`.
+//!
+//! Layout (STM cells):
+//!
+//! ```text
+//! HEAD FREE DUMMY | node1{key,next,seq} node2{key,next,seq} ...
+//! ```
+//!
+//! The correctness subtlety of lock-free lists — a traversed predecessor may
+//! be unlinked (and even recycled) before the mutation commits — is handled
+//! with a per-node **link/unlink sequence number** (`seq`, bumped by every
+//! link and unlink): a mutation's data set includes the predecessor's `seq`,
+//! and its commit program re-validates it against the value observed during
+//! traversal. If the `seq` still matches, the predecessor has not been
+//! unlinked since the traversal reached it from the head, so it is still
+//! reachable, and the local `prev.next == succ` check pins the rest
+//! (`seq` is 32-bit; an ABA needs 2^32 relinks of one node inside a single
+//! operation — the usual bounded-tag compromise, see DESIGN.md §4).
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::program::OpCode;
+use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::word::{pack_cell, Addr, Word};
+
+const HEAD: usize = 0;
+const FREE: usize = 1;
+const DUMMY: usize = 2;
+const NODES: usize = 3;
+
+/// Sentinel key meaning "+infinity"; real keys must be smaller.
+pub const KEY_MAX: u32 = u32::MAX;
+
+fn node_key(id: u32) -> usize {
+    debug_assert!(id >= 1);
+    NODES + 3 * (id as usize - 1)
+}
+
+fn node_next(id: u32) -> usize {
+    node_key(id) + 1
+}
+
+fn node_seq(id: u32) -> usize {
+    node_key(id) + 2
+}
+
+/// A concurrent sorted set of `u32` keys (< [`KEY_MAX`]) with bounded
+/// capacity, built on the Shavit–Touitou STM.
+#[derive(Debug, Clone)]
+pub struct ListSet {
+    ops: StmOps,
+    insert_op: OpCode,
+    remove_op: OpCode,
+    capacity: usize,
+}
+
+impl ListSet {
+    /// Shared words needed for `n_procs` and `capacity` nodes.
+    pub fn words_needed(n_procs: usize, capacity: usize) -> usize {
+        StmOps::new(0, NODES + 3 * capacity, n_procs, 6, StmConfig::default())
+            .stm()
+            .layout()
+            .words_needed()
+    }
+
+    /// Build a set of up to `capacity` keys at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(base: Addr, n_procs: usize, capacity: usize, config: StmConfig) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let (ops, (insert_op, remove_op)) = StmOps::with_programs(
+            base,
+            NODES + 3 * capacity,
+            n_procs,
+            6,
+            config,
+            |b| {
+                // Data set: [FREE, prev.next, prev.seq|DUMMY, f.key, f.next, f.seq]
+                // Params:   [f, succ, key, prev_seq, prev_is_head]
+                let insert_op = b.register(
+                    "listset.insert",
+                    |params: &[Word], old: &[u32], new: &mut [u32]| {
+                        let (f, succ, key) = (params[0] as u32, params[1] as u32, params[2] as u32);
+                        let (prev_seq, prev_is_head) = (params[3] as u32, params[4] != 0);
+                        let prev_live = prev_is_head || old[2] == prev_seq;
+                        if f == 0 || old[0] != f || old[1] != succ || !prev_live {
+                            return; // stale speculation
+                        }
+                        new[0] = old[4]; // FREE = f.free-link (stored in f.next)
+                        new[3] = key;
+                        new[4] = succ; // f.next = succ
+                        new[5] = old[5].wrapping_add(1); // link event
+                        new[1] = f; // prev.next = f
+                    },
+                );
+                // Data set: [FREE, prev.next, prev.seq|DUMMY, v.key, v.next, v.seq]
+                // Params:   [victim, key, prev_seq, prev_is_head]
+                let remove_op = b.register(
+                    "listset.remove",
+                    |params: &[Word], old: &[u32], new: &mut [u32]| {
+                        let (victim, key) = (params[0] as u32, params[1] as u32);
+                        let (prev_seq, prev_is_head) = (params[2] as u32, params[3] != 0);
+                        let prev_live = prev_is_head || old[2] == prev_seq;
+                        if old[1] != victim || old[3] != key || !prev_live {
+                            return;
+                        }
+                        new[1] = old[4]; // prev.next = victim.next
+                        new[3] = KEY_MAX; // tag before reuse
+                        new[4] = old[0]; // victim.free-link = old FREE
+                        new[5] = old[5].wrapping_add(1); // unlink event
+                        new[0] = victim; // FREE = victim
+                    },
+                );
+                (insert_op, remove_op)
+            },
+        );
+        ListSet { ops, insert_op, remove_op, capacity }
+    }
+
+    /// `(address, word)` pairs pre-loading an empty set (all nodes free).
+    pub fn init_words(&self) -> Vec<(Addr, Word)> {
+        let l = self.ops.stm().layout();
+        let mut out = vec![
+            (l.cell(HEAD), pack_cell(0, 0)),
+            (l.cell(FREE), pack_cell(0, 1)),
+            (l.cell(DUMMY), pack_cell(0, 0)),
+        ];
+        for id in 1..=self.capacity as u32 {
+            let next_free = if (id as usize) < self.capacity { id + 1 } else { 0 };
+            out.push((l.cell(node_key(id)), pack_cell(0, KEY_MAX)));
+            out.push((l.cell(node_next(id)), pack_cell(0, next_free)));
+            out.push((l.cell(node_seq(id)), pack_cell(0, 0)));
+        }
+        out
+    }
+
+    /// Initialize through a port (host machine setup).
+    pub fn init_on<P: MemPort>(&self, port: &mut P) {
+        for (addr, word) in self.init_words() {
+            port.write(addr, word);
+        }
+    }
+
+    /// Traverse to the window for `key`: returns
+    /// `(prev_id /*0=head*/, prev_seq, succ_id /*0=end*/, succ_key)` with
+    /// `prev.key < key <= succ.key` over committed reads.
+    fn locate<P: MemPort>(&self, port: &mut P, key: u32) -> (u32, u32, u32, u32) {
+        let stm = self.ops.stm();
+        let mut prev = 0u32; // 0 = head
+        let mut prev_seq = 0u32;
+        let mut steps = 0usize;
+        loop {
+            let next_cell = if prev == 0 { HEAD } else { node_next(prev) };
+            let succ = stm.read_cell(port, next_cell);
+            if succ == 0 || succ as usize > self.capacity {
+                return (prev, prev_seq, 0, KEY_MAX);
+            }
+            let succ_key = stm.read_cell(port, node_key(succ));
+            if succ_key >= key {
+                return (prev, prev_seq, succ, succ_key);
+            }
+            prev = succ;
+            prev_seq = stm.read_cell(port, node_seq(succ));
+            steps += 1;
+            if steps > 2 * self.capacity {
+                // Torn traversal through concurrently recycled nodes:
+                // restart from the head.
+                prev = 0;
+                prev_seq = 0;
+                steps = 0;
+            }
+        }
+    }
+
+    fn window_cells(&self, prev: u32, target: u32) -> [usize; 6] {
+        let (pn, ps) = if prev == 0 { (HEAD, DUMMY) } else { (node_next(prev), node_seq(prev)) };
+        [FREE, pn, ps, node_key(target), node_next(target), node_seq(target)]
+    }
+
+    /// Insert `key`; returns `false` if already present or the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `key == KEY_MAX` (reserved sentinel).
+    pub fn insert<P: MemPort>(&self, port: &mut P, key: u32) -> bool {
+        assert!(key != KEY_MAX, "KEY_MAX is reserved");
+        let stm = self.ops.stm();
+        loop {
+            let (prev, prev_seq, succ, succ_key) = self.locate(port, key);
+            if succ != 0 && succ_key == key {
+                return false; // already present
+            }
+            let f = stm.read_cell(port, FREE);
+            if f == 0 {
+                return false; // full
+            }
+            if f as usize > self.capacity || f == prev || f == succ {
+                continue; // torn speculation
+            }
+            let cells = self.window_cells(prev, f);
+            let params = [
+                f as Word,
+                succ as Word,
+                key as Word,
+                prev_seq as Word,
+                (prev == 0) as Word,
+            ];
+            let out = self.ops.execute(port, &TxSpec::new(self.insert_op, &params, &cells));
+            let prev_live = prev == 0 || out.old[2] == prev_seq;
+            if out.old[0] == f && out.old[1] == succ && prev_live {
+                return true; // validated and applied
+            }
+        }
+    }
+
+    /// Remove `key`; returns `false` if absent.
+    pub fn remove<P: MemPort>(&self, port: &mut P, key: u32) -> bool {
+        loop {
+            let (prev, prev_seq, victim, victim_key) = self.locate(port, key);
+            if victim == 0 || victim_key != key {
+                return false;
+            }
+            if victim == prev {
+                continue;
+            }
+            let cells = self.window_cells(prev, victim);
+            let params =
+                [victim as Word, key as Word, prev_seq as Word, (prev == 0) as Word];
+            let out = self.ops.execute(port, &TxSpec::new(self.remove_op, &params, &cells));
+            let prev_live = prev == 0 || out.old[2] == prev_seq;
+            if out.old[1] == victim && out.old[3] == key && prev_live {
+                return true;
+            }
+        }
+    }
+
+    /// Membership test (read-only traversal over committed values).
+    pub fn contains<P: MemPort>(&self, port: &mut P, key: u32) -> bool {
+        let (_, _, succ, succ_key) = self.locate(port, key);
+        succ != 0 && succ_key == key
+    }
+
+    /// Snapshot the keys in order (single-threaded/quiescent use).
+    pub fn keys<P: MemPort>(&self, port: &mut P) -> Vec<u32> {
+        let stm = self.ops.stm();
+        let mut out = Vec::new();
+        let mut at = stm.read_cell(port, HEAD);
+        while at != 0 && (at as usize) <= self.capacity && out.len() <= self.capacity {
+            out.push(stm.read_cell(port, node_key(at)));
+            at = stm.read_cell(port, node_next(at));
+        }
+        out
+    }
+
+    /// The underlying operations handle.
+    pub fn ops(&self) -> &StmOps {
+        &self.ops
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    fn make(n_procs: usize, cap: usize) -> (ListSet, HostMachine) {
+        let s = ListSet::new(0, n_procs, cap, StmConfig::default());
+        let m = HostMachine::new(ListSet::words_needed(n_procs, cap), n_procs);
+        let mut port = m.port(0);
+        s.init_on(&mut port);
+        (s, m)
+    }
+
+    #[test]
+    fn insert_remove_contains_sequential() {
+        let (s, m) = make(1, 8);
+        let mut port = m.port(0);
+        assert!(!s.contains(&mut port, 5));
+        assert!(s.insert(&mut port, 5));
+        assert!(s.insert(&mut port, 2));
+        assert!(s.insert(&mut port, 9));
+        assert!(!s.insert(&mut port, 5), "duplicate rejected");
+        assert_eq!(s.keys(&mut port), vec![2, 5, 9]);
+        assert!(s.contains(&mut port, 2));
+        assert!(s.remove(&mut port, 5));
+        assert!(!s.remove(&mut port, 5));
+        assert_eq!(s.keys(&mut port), vec![2, 9]);
+        assert!(!s.contains(&mut port, 5));
+    }
+
+    #[test]
+    fn capacity_bound_and_node_recycling() {
+        let (s, m) = make(1, 3);
+        let mut port = m.port(0);
+        assert!(s.insert(&mut port, 1));
+        assert!(s.insert(&mut port, 2));
+        assert!(s.insert(&mut port, 3));
+        assert!(!s.insert(&mut port, 4), "full");
+        assert!(s.remove(&mut port, 2));
+        assert!(s.insert(&mut port, 4), "node recycled");
+        assert_eq!(s.keys(&mut port), vec![1, 3, 4]);
+        // Churn through many recycles.
+        for k in 10..60 {
+            let first = s.keys(&mut port)[0];
+            assert!(s.remove(&mut port, first));
+            assert!(s.insert(&mut port, k));
+        }
+        assert_eq!(s.keys(&mut port).len(), 3);
+    }
+
+    #[test]
+    fn matches_btreeset_reference() {
+        let (s, m) = make(1, 16);
+        let mut port = m.port(0);
+        let mut reference = std::collections::BTreeSet::new();
+        let mut x = 777u32;
+        for _ in 0..600 {
+            x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+            let k = x % 24;
+            match x % 3 {
+                0 => {
+                    let want = reference.len() < 16 && !reference.contains(&k);
+                    assert_eq!(s.insert(&mut port, k), want, "insert {k}");
+                    if want {
+                        reference.insert(k);
+                    }
+                }
+                1 => {
+                    assert_eq!(s.remove(&mut port, k), reference.remove(&k), "remove {k}");
+                }
+                _ => {
+                    assert_eq!(s.contains(&mut port, k), reference.contains(&k), "contains {k}");
+                }
+            }
+            assert_eq!(s.keys(&mut port), reference.iter().copied().collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_inserts_all_land() {
+        const PROCS: usize = 4;
+        const PER: u32 = 30;
+        let (s, m) = make(PROCS, (PROCS as u32 * PER) as usize);
+        std::thread::scope(|sc| {
+            for p in 0..PROCS {
+                let s = s.clone();
+                let m = m.clone();
+                sc.spawn(move || {
+                    let mut port = m.port(p);
+                    for i in 0..PER {
+                        assert!(s.insert(&mut port, i * PROCS as u32 + p as u32));
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        let keys = s.keys(&mut port);
+        assert_eq!(keys.len(), (PROCS as u32 * PER) as usize);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+    }
+
+    #[test]
+    fn concurrent_insert_remove_churn_stays_consistent() {
+        const PROCS: usize = 4;
+        let (s, m) = make(PROCS, 32);
+        std::thread::scope(|sc| {
+            for p in 0..PROCS {
+                let s = s.clone();
+                let m = m.clone();
+                sc.spawn(move || {
+                    let mut port = m.port(p);
+                    // Each proc owns a disjoint key range and churns it.
+                    let base = p as u32 * 100;
+                    for round in 0..40 {
+                        for k in 0..4 {
+                            let _ = s.insert(&mut port, base + k);
+                        }
+                        if round % 2 == 0 {
+                            for k in 0..4 {
+                                let _ = s.remove(&mut port, base + k);
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        let keys = s.keys(&mut port);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free: {keys:?}");
+        // Every surviving key belongs to some proc's range.
+        assert!(keys.iter().all(|&k| (k % 100) < 4));
+    }
+
+    #[test]
+    fn contended_shared_range_churn_conserves_invariants() {
+        // All procs fight over the same small key range — maximal window
+        // conflicts, recycling, and helping.
+        const PROCS: usize = 4;
+        let (s, m) = make(PROCS, 8);
+        std::thread::scope(|sc| {
+            for p in 0..PROCS {
+                let s = s.clone();
+                let m = m.clone();
+                sc.spawn(move || {
+                    let mut port = m.port(p);
+                    let mut x = p as u32 + 1;
+                    for _ in 0..200 {
+                        x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                        let k = x % 6;
+                        if x % 2 == 0 {
+                            let _ = s.insert(&mut port, k);
+                        } else {
+                            let _ = s.remove(&mut port, k);
+                        }
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        let keys = s.keys(&mut port);
+        assert!(keys.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free: {keys:?}");
+        assert!(keys.iter().all(|&k| k < 6));
+        // Free-list integrity: we can still fill to capacity.
+        let mut added = 0;
+        for k in 100..200 {
+            if s.insert(&mut port, k) {
+                added += 1;
+            }
+        }
+        assert_eq!(keys.len() + added, 8, "free list must account for every node");
+    }
+}

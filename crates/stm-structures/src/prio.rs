@@ -1,0 +1,421 @@
+//! The priority-queue benchmark: a fixed-capacity binary min-heap whose
+//! insert and extract-min are whole-structure atomic operations.
+//!
+//! This is the evaluation's "large transaction" workload: every operation's
+//! data set is the entire heap (size word + all slots), so every pair of
+//! operations conflicts. It measures pure protocol overhead at maximum
+//! conflict — where Herlihy's whole-object copy and STM's whole-heap
+//! ownership acquisition pay their full price, and a simple lock looks best.
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::program::OpCode;
+use stm_core::stm::TxSpec;
+use stm_core::word::{pack_cell, Addr, Word};
+use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
+
+use crate::Method;
+
+/// In-place binary min-heap over `state = [size, slot0, slot1, ...]`.
+///
+/// Shared by every method implementation so all five run the same sequential
+/// heap code.
+pub mod heap {
+    /// Insert `v`; returns `false` (unchanged) if the heap is full.
+    pub fn insert(state: &mut [u32], v: u32) -> bool {
+        let cap = state.len() - 1;
+        let size = state[0] as usize;
+        if size >= cap {
+            return false;
+        }
+        let mut i = size;
+        state[1 + i] = v;
+        state[0] = (size + 1) as u32;
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if state[1 + parent] <= state[1 + i] {
+                break;
+            }
+            state.swap(1 + parent, 1 + i);
+            i = parent;
+        }
+        true
+    }
+
+    /// Extract the minimum; `None` (unchanged) if empty.
+    pub fn extract_min(state: &mut [u32]) -> Option<u32> {
+        let size = state[0] as usize;
+        if size == 0 {
+            return None;
+        }
+        let min = state[1];
+        state[1] = state[size];
+        state[0] = (size - 1) as u32;
+        let n = size - 1;
+        let mut i = 0;
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < n && state[1 + l] < state[1 + smallest] {
+                smallest = l;
+            }
+            if r < n && state[1 + r] < state[1 + smallest] {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            state.swap(1 + i, 1 + smallest);
+            i = smallest;
+        }
+        Some(min)
+    }
+
+    /// Check the heap property (for tests).
+    pub fn is_valid(state: &[u32]) -> bool {
+        let n = state[0] as usize;
+        if n > state.len() - 1 {
+            return false;
+        }
+        (1..n).all(|i| state[1 + (i - 1) / 2] <= state[1 + i])
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn insert_extract_sorts() {
+            let mut state = vec![0u32; 1 + 16];
+            for v in [5u32, 3, 8, 1, 9, 2, 7] {
+                assert!(insert(&mut state, v));
+                assert!(is_valid(&state));
+            }
+            let mut out = Vec::new();
+            while let Some(v) = extract_min(&mut state) {
+                assert!(is_valid(&state));
+                out.push(v);
+            }
+            assert_eq!(out, vec![1, 2, 3, 5, 7, 8, 9]);
+        }
+
+        #[test]
+        fn full_and_empty_edges() {
+            let mut state = vec![0u32; 1 + 2];
+            assert_eq!(extract_min(&mut state), None);
+            assert!(insert(&mut state, 4));
+            assert!(insert(&mut state, 2));
+            assert!(!insert(&mut state, 1), "full heap rejects");
+            assert_eq!(extract_min(&mut state), Some(2));
+        }
+
+        #[test]
+        fn duplicates_allowed() {
+            let mut state = vec![0u32; 1 + 8];
+            for v in [3u32, 3, 3, 1, 1] {
+                assert!(insert(&mut state, v));
+            }
+            let mut out = Vec::new();
+            while let Some(v) = extract_min(&mut state) {
+                out.push(v);
+            }
+            assert_eq!(out, vec![1, 1, 3, 3, 3]);
+        }
+    }
+}
+
+/// A fixed-capacity concurrent min-priority-queue built on a chosen
+/// [`Method`].
+#[derive(Debug, Clone)]
+pub struct PrioQueue {
+    capacity: usize,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stm { ops: StmOps, insert: OpCode, extract: OpCode, cells: Vec<usize> },
+    Herlihy { obj: HerlihyObject },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+/// A processor-local handle to a [`PrioQueue`].
+#[derive(Debug)]
+pub struct PrioHandle {
+    capacity: usize,
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Stm { ops: StmOps, insert: OpCode, extract: OpCode, cells: Vec<usize> },
+    Herlihy { h: HerlihyHandle },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+impl PrioQueue {
+    /// Shared words needed.
+    pub fn words_needed(method: Method, n_procs: usize, capacity: usize) -> usize {
+        let obj = 1 + capacity;
+        match method {
+            Method::Stm | Method::StmNoHelp => {
+                StmOps::new(0, obj, n_procs, obj, Method::Stm.stm_config())
+                    .stm()
+                    .layout()
+                    .words_needed()
+            }
+            Method::Herlihy => HerlihyObject::words_needed(obj, n_procs),
+            Method::Ttas => TtasLock::words_needed() + obj,
+            Method::Mcs => McsLock::words_needed(n_procs) + obj,
+        }
+    }
+
+    /// Build a priority queue of `capacity` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0 (or exceeds the STM data-set limit for the
+    /// STM methods).
+    pub fn new(method: Method, base: Addr, n_procs: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let obj = 1 + capacity;
+        let inner = match method {
+            Method::Stm | Method::StmNoHelp => {
+                let (ops, (insert, extract)) =
+                    StmOps::with_programs(base, obj, n_procs, obj, method.stm_config(), |b| {
+                        let insert =
+                            b.register("prio.insert", |params: &[Word], _: &[u32], new: &mut [u32]| {
+                                let _ = heap::insert(new, params[0] as u32);
+                            });
+                        let extract =
+                            b.register("prio.extract", |_: &[Word], _: &[u32], new: &mut [u32]| {
+                                let _ = heap::extract_min(new);
+                            });
+                        (insert, extract)
+                    });
+                Inner::Stm { ops, insert, extract, cells: (0..obj).collect() }
+            }
+            Method::Herlihy => Inner::Herlihy { obj: HerlihyObject::new(base, obj, n_procs) },
+            Method::Ttas => Inner::Ttas { lock: TtasLock::new(base), data: base + 1 },
+            Method::Mcs => Inner::Mcs {
+                lock: McsLock::new(base, n_procs),
+                data: base + McsLock::words_needed(n_procs),
+            },
+        };
+        PrioQueue { capacity, inner }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(address, word)` pairs pre-loading an empty heap.
+    pub fn init_words(&self) -> Vec<(Addr, Word)> {
+        let obj = 1 + self.capacity;
+        match &self.inner {
+            Inner::Stm { ops, .. } => {
+                let l = ops.stm().layout();
+                (0..obj).map(|i| (l.cell(i), pack_cell(0, 0))).collect()
+            }
+            Inner::Herlihy { obj: o } => o.initial_words(&vec![0; obj]),
+            Inner::Ttas { data, .. } | Inner::Mcs { data, .. } => {
+                (0..obj).map(|i| (*data + i, 0)).collect()
+            }
+        }
+    }
+
+    /// Initialize through a port (host machine setup).
+    pub fn init_on<P: MemPort>(&self, port: &mut P) {
+        for (addr, word) in self.init_words() {
+            port.write(addr, word);
+        }
+    }
+
+    /// A processor-local handle.
+    pub fn handle<P: MemPort>(&self, port: &P) -> PrioHandle {
+        let inner = match &self.inner {
+            Inner::Stm { ops, insert, extract, cells } => HandleInner::Stm {
+                ops: ops.clone(),
+                insert: *insert,
+                extract: *extract,
+                cells: cells.clone(),
+            },
+            Inner::Herlihy { obj } => HandleInner::Herlihy { h: obj.handle(port) },
+            Inner::Ttas { lock, data } => HandleInner::Ttas { lock: *lock, data: *data },
+            Inner::Mcs { lock, data } => HandleInner::Mcs { lock: *lock, data: *data },
+        };
+        PrioHandle { capacity: self.capacity, inner }
+    }
+}
+
+impl PrioHandle {
+    /// Insert `v`; returns `false` if the heap was full.
+    pub fn insert<P: MemPort>(&mut self, port: &mut P, v: u32) -> bool {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, insert, cells, .. } => {
+                let out = ops.execute(port, &TxSpec::new(*insert, &[v as Word], cells));
+                (out.old[0] as usize) < cap
+            }
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                let mut state: Vec<u32> = o.iter().map(|&w| w as u32).collect();
+                let ok = heap::insert(&mut state, v);
+                for (w, s) in o.iter_mut().zip(&state) {
+                    *w = *s as Word;
+                }
+                ok
+            }),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_heap_op(port, data, cap, |s| heap::insert(s, v)))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_heap_op(port, data, cap, |s| heap::insert(s, v)))
+            }
+        }
+    }
+
+    /// Extract the minimum; `None` if empty.
+    pub fn extract_min<P: MemPort>(&mut self, port: &mut P) -> Option<u32> {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, extract, cells, .. } => {
+                let out = ops.execute(port, &TxSpec::new(*extract, &[], cells));
+                let size = out.old[0] as usize;
+                if size == 0 {
+                    None
+                } else {
+                    Some(out.old[1])
+                }
+            }
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                let mut state: Vec<u32> = o.iter().map(|&w| w as u32).collect();
+                let min = heap::extract_min(&mut state);
+                for (w, s) in o.iter_mut().zip(&state) {
+                    *w = *s as Word;
+                }
+                min
+            }),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_heap_op(port, data, cap, heap::extract_min))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_heap_op(port, data, cap, heap::extract_min))
+            }
+        }
+    }
+
+    /// Current number of elements.
+    pub fn len<P: MemPort>(&mut self, port: &mut P) -> usize {
+        match &mut self.inner {
+            HandleInner::Stm { ops, .. } => ops.stm().read_cell(port, 0) as usize,
+            HandleInner::Herlihy { h } => h.read(port)[0] as usize,
+            HandleInner::Ttas { data, .. } | HandleInner::Mcs { data, .. } => {
+                port.read(*data) as usize
+            }
+        }
+    }
+}
+
+/// Run a heap operation on the lock-protected word region (read all, apply,
+/// write back — under the lock, so plain accesses are safe).
+fn lock_heap_op<P: MemPort, R>(
+    port: &mut P,
+    data: Addr,
+    cap: usize,
+    op: impl FnOnce(&mut [u32]) -> R,
+) -> R {
+    let mut state: Vec<u32> = (0..1 + cap).map(|i| port.read(data + i) as u32).collect();
+    let before = state.clone();
+    let r = op(&mut state);
+    for i in 0..1 + cap {
+        if state[i] != before[i] {
+            port.write(data + i, state[i] as Word);
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    fn make(method: Method, n_procs: usize, cap: usize) -> (PrioQueue, HostMachine) {
+        let q = PrioQueue::new(method, 0, n_procs, cap);
+        let m = HostMachine::new(PrioQueue::words_needed(method, n_procs, cap), n_procs);
+        let mut port = m.port(0);
+        q.init_on(&mut port);
+        (q, m)
+    }
+
+    #[test]
+    fn sorts_single_threaded() {
+        for method in Method::ALL {
+            let (q, m) = make(method, 1, 16);
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            for v in [9u32, 4, 7, 1, 8, 2] {
+                assert!(h.insert(&mut port, v), "{method}");
+            }
+            assert_eq!(h.len(&mut port), 6, "{method}");
+            let mut out = Vec::new();
+            while let Some(v) = h.extract_min(&mut port) {
+                out.push(v);
+            }
+            assert_eq!(out, vec![1, 2, 4, 7, 8, 9], "{method}");
+        }
+    }
+
+    #[test]
+    fn full_heap_rejects() {
+        for method in Method::ALL {
+            let (q, m) = make(method, 1, 2);
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            assert!(h.insert(&mut port, 5));
+            assert!(h.insert(&mut port, 3));
+            assert!(!h.insert(&mut port, 1), "{method}");
+            assert_eq!(h.extract_min(&mut port), Some(3), "{method}");
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_then_drain_on_host() {
+        const PROCS: usize = 4;
+        const PER: u32 = 50;
+        for method in Method::ALL {
+            let (q, m) = make(method, PROCS, (PROCS as u32 * PER) as usize);
+            std::thread::scope(|s| {
+                for p in 0..PROCS {
+                    let q = q.clone();
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut port = m.port(p);
+                        let mut h = q.handle(&port);
+                        for i in 0..PER {
+                            assert!(h.insert(&mut port, i * PROCS as u32 + p as u32));
+                        }
+                    });
+                }
+            });
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            assert_eq!(h.len(&mut port), (PROCS as u32 * PER) as usize, "{method}");
+            let mut prev = 0;
+            let mut count = 0;
+            while let Some(v) = h.extract_min(&mut port) {
+                assert!(v >= prev, "{method}: extraction must be ordered");
+                prev = v;
+                count += 1;
+            }
+            assert_eq!(count, PROCS as u32 * PER, "{method}");
+        }
+    }
+}

@@ -1,0 +1,419 @@
+//! The doubly-linked (two-ended) FIFO queue benchmark.
+//!
+//! The paper's queue benchmark exercises transactions over *two* ends of one
+//! structure: enqueuers update the tail, dequeuers the head, so operations on
+//! a non-empty, non-full queue conflict only on their own end — precisely the
+//! parallelism STM preserves and coarse methods (global locks, whole-object
+//! copying) destroy.
+//!
+//! Representation: a bounded ring buffer with monotonically increasing
+//! 32-bit head/tail indices (`slot = index mod capacity`). For the STM
+//! method, each operation is a *static* transaction over
+//! `{head, tail, one slot}`: the slot is chosen speculatively from a plain
+//! read of the index, and the transaction's commit function validates the
+//! speculation (re-trying on mismatch) — the standard way dynamic access
+//! patterns are expressed with static transactions, as the paper's queue
+//! example does.
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::program::OpCode;
+use stm_core::stm::TxSpec;
+use stm_core::word::{pack_cell, Addr, Word};
+use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
+
+use crate::Method;
+
+const HEAD: usize = 0;
+const TAIL: usize = 1;
+const SLOTS: usize = 2;
+
+/// A bounded FIFO queue of `u32` values built on a chosen [`Method`].
+#[derive(Debug, Clone)]
+pub struct FifoQueue {
+    capacity: usize,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stm { ops: StmOps, enq: OpCode, deq: OpCode },
+    Herlihy { obj: HerlihyObject },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+/// A processor-local handle to a [`FifoQueue`].
+#[derive(Debug)]
+pub struct QueueHandle {
+    capacity: usize,
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Stm { ops: StmOps, enq: OpCode, deq: OpCode },
+    Herlihy { h: HerlihyHandle },
+    Ttas { lock: TtasLock, data: Addr },
+    Mcs { lock: McsLock, data: Addr },
+}
+
+impl FifoQueue {
+    /// Shared words needed for `method`, `n_procs`, `capacity`.
+    pub fn words_needed(method: Method, n_procs: usize, capacity: usize) -> usize {
+        let obj = SLOTS + capacity;
+        match method {
+            Method::Stm | Method::StmNoHelp => {
+                StmOps::new(0, obj, n_procs, 3, Method::Stm.stm_config())
+                    .stm()
+                    .layout()
+                    .words_needed()
+            }
+            Method::Herlihy => HerlihyObject::words_needed(obj, n_procs),
+            Method::Ttas => TtasLock::words_needed() + obj,
+            Method::Mcs => McsLock::words_needed(n_procs) + obj,
+        }
+    }
+
+    /// Build a queue at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(method: Method, base: Addr, n_procs: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        let obj = SLOTS + capacity;
+        let inner = match method {
+            Method::Stm | Method::StmNoHelp => {
+                let cap = capacity as u32;
+                let (ops, (enq, deq)) = StmOps::with_programs(
+                    base,
+                    obj,
+                    n_procs,
+                    3,
+                    method.stm_config(),
+                    |b| {
+                        let enq = b.register(
+                            "queue.enq",
+                            move |params: &[Word], old: &[u32], new: &mut [u32]| {
+                                let (t_expected, value) = (params[0] as u32, params[1] as u32);
+                                let (h, t) = (old[0], old[1]);
+                                if t == t_expected && t.wrapping_sub(h) < cap {
+                                    new[2] = value;
+                                    new[1] = t.wrapping_add(1);
+                                }
+                            },
+                        );
+                        let deq = b.register(
+                            "queue.deq",
+                            move |params: &[Word], old: &[u32], new: &mut [u32]| {
+                                let h_expected = params[0] as u32;
+                                let (h, t) = (old[0], old[1]);
+                                if h == h_expected && h != t {
+                                    new[0] = h.wrapping_add(1);
+                                }
+                            },
+                        );
+                        (enq, deq)
+                    },
+                );
+                Inner::Stm { ops, enq, deq }
+            }
+            Method::Herlihy => Inner::Herlihy { obj: HerlihyObject::new(base, obj, n_procs) },
+            Method::Ttas => Inner::Ttas { lock: TtasLock::new(base), data: base + 1 },
+            Method::Mcs => Inner::Mcs {
+                lock: McsLock::new(base, n_procs),
+                data: base + McsLock::words_needed(n_procs),
+            },
+        };
+        FifoQueue { capacity, inner }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// `(address, word)` pairs pre-loading an empty queue.
+    pub fn init_words(&self) -> Vec<(Addr, Word)> {
+        match &self.inner {
+            Inner::Stm { ops, .. } => {
+                let l = ops.stm().layout();
+                (0..SLOTS + self.capacity).map(|i| (l.cell(i), pack_cell(0, 0))).collect()
+            }
+            Inner::Herlihy { obj } => obj.initial_words(&vec![0; SLOTS + self.capacity]),
+            Inner::Ttas { data, .. } | Inner::Mcs { data, .. } => {
+                (0..SLOTS + self.capacity).map(|i| (data + i, 0)).collect()
+            }
+        }
+    }
+
+    /// Initialize through a port (host machine setup).
+    pub fn init_on<P: MemPort>(&self, port: &mut P) {
+        for (addr, word) in self.init_words() {
+            port.write(addr, word);
+        }
+    }
+
+    /// A processor-local handle.
+    pub fn handle<P: MemPort>(&self, port: &P) -> QueueHandle {
+        let inner = match &self.inner {
+            Inner::Stm { ops, enq, deq } => {
+                HandleInner::Stm { ops: ops.clone(), enq: *enq, deq: *deq }
+            }
+            Inner::Herlihy { obj } => HandleInner::Herlihy { h: obj.handle(port) },
+            Inner::Ttas { lock, data } => HandleInner::Ttas { lock: *lock, data: *data },
+            Inner::Mcs { lock, data } => HandleInner::Mcs { lock: *lock, data: *data },
+        };
+        QueueHandle { capacity: self.capacity, inner }
+    }
+}
+
+impl QueueHandle {
+    /// Enqueue `value` at the tail. Returns `false` if the queue was full.
+    pub fn enqueue<P: MemPort>(&mut self, port: &mut P, value: u32) -> bool {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, enq, .. } => loop {
+                let t = ops.stm().read_cell(port, TAIL);
+                let slot = SLOTS + (t as usize % cap);
+                let params = [t as Word, value as Word];
+                let cells = [HEAD, TAIL, slot];
+                let out = ops.execute(port, &TxSpec::new(*enq, &params, &cells));
+                if out.old[1] != t {
+                    continue; // tail moved under us; re-speculate
+                }
+                return out.old[1].wrapping_sub(out.old[0]) < cap as u32;
+            },
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                let (hd, t) = (o[0] as u32, o[1] as u32);
+                if t.wrapping_sub(hd) < cap as u32 {
+                    o[SLOTS + (t as usize % cap)] = value as Word;
+                    o[1] = t.wrapping_add(1) as Word;
+                    true
+                } else {
+                    false
+                }
+            }),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_enqueue(port, data, cap, value))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_enqueue(port, data, cap, value))
+            }
+        }
+    }
+
+    /// Dequeue from the head. Returns `None` if the queue was empty.
+    pub fn dequeue<P: MemPort>(&mut self, port: &mut P) -> Option<u32> {
+        let cap = self.capacity;
+        match &mut self.inner {
+            HandleInner::Stm { ops, deq, .. } => loop {
+                let hd = ops.stm().read_cell(port, HEAD);
+                let slot = SLOTS + (hd as usize % cap);
+                let params = [hd as Word];
+                let cells = [HEAD, TAIL, slot];
+                let out = ops.execute(port, &TxSpec::new(*deq, &params, &cells));
+                if out.old[0] != hd {
+                    continue;
+                }
+                if out.old[0] == out.old[1] {
+                    return None; // empty
+                }
+                return Some(out.old[2]);
+            },
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                let (hd, t) = (o[0] as u32, o[1] as u32);
+                if hd == t {
+                    None
+                } else {
+                    let v = o[SLOTS + (hd as usize % cap)] as u32;
+                    o[0] = hd.wrapping_add(1) as Word;
+                    Some(v)
+                }
+            }),
+            HandleInner::Ttas { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_dequeue(port, data, cap))
+            }
+            HandleInner::Mcs { lock, data } => {
+                let data = *data;
+                lock.with(port, |port| lock_dequeue(port, data, cap))
+            }
+        }
+    }
+
+    /// Current length (consistent for STM/Herlihy; racy-but-bounded under
+    /// the lock methods when read without the lock).
+    pub fn len<P: MemPort>(&mut self, port: &mut P) -> usize {
+        match &mut self.inner {
+            HandleInner::Stm { ops, .. } => {
+                let snap = ops.snapshot(port, &[HEAD, TAIL]);
+                snap[1].wrapping_sub(snap[0]) as usize
+            }
+            HandleInner::Herlihy { h } => {
+                let o = h.read(port);
+                (o[1] as u32).wrapping_sub(o[0] as u32) as usize
+            }
+            HandleInner::Ttas { data, .. } | HandleInner::Mcs { data, .. } => {
+                let hd = port.read(*data + HEAD) as u32;
+                let t = port.read(*data + TAIL) as u32;
+                t.wrapping_sub(hd) as usize
+            }
+        }
+    }
+}
+
+fn lock_enqueue<P: MemPort>(port: &mut P, data: Addr, cap: usize, value: u32) -> bool {
+    let hd = port.read(data + HEAD) as u32;
+    let t = port.read(data + TAIL) as u32;
+    if t.wrapping_sub(hd) >= cap as u32 {
+        return false;
+    }
+    port.write(data + SLOTS + (t as usize % cap), value as Word);
+    port.write(data + TAIL, t.wrapping_add(1) as Word);
+    true
+}
+
+fn lock_dequeue<P: MemPort>(port: &mut P, data: Addr, cap: usize) -> Option<u32> {
+    let hd = port.read(data + HEAD) as u32;
+    let t = port.read(data + TAIL) as u32;
+    if hd == t {
+        return None;
+    }
+    let v = port.read(data + SLOTS + (hd as usize % cap)) as u32;
+    port.write(data + HEAD, hd.wrapping_add(1) as Word);
+    Some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    fn make(method: Method, n_procs: usize, cap: usize) -> (FifoQueue, HostMachine) {
+        let q = FifoQueue::new(method, 0, n_procs, cap);
+        let m = HostMachine::new(FifoQueue::words_needed(method, n_procs, cap), n_procs);
+        let mut port = m.port(0);
+        q.init_on(&mut port);
+        (q, m)
+    }
+
+    #[test]
+    fn fifo_order_single_threaded() {
+        for method in Method::ALL {
+            let (q, m) = make(method, 1, 4);
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            assert_eq!(h.dequeue(&mut port), None, "{method}");
+            assert!(h.enqueue(&mut port, 10));
+            assert!(h.enqueue(&mut port, 20));
+            assert_eq!(h.len(&mut port), 2, "{method}");
+            assert_eq!(h.dequeue(&mut port), Some(10), "{method}");
+            assert_eq!(h.dequeue(&mut port), Some(20), "{method}");
+            assert_eq!(h.dequeue(&mut port), None, "{method}");
+        }
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        for method in Method::ALL {
+            let (q, m) = make(method, 1, 2);
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            assert!(h.enqueue(&mut port, 1));
+            assert!(h.enqueue(&mut port, 2));
+            assert!(!h.enqueue(&mut port, 3), "{method}");
+            assert_eq!(h.dequeue(&mut port), Some(1));
+            assert!(h.enqueue(&mut port, 3), "{method}: space must reopen");
+        }
+    }
+
+    #[test]
+    fn ring_wraps_many_times() {
+        for method in Method::ALL {
+            let (q, m) = make(method, 1, 3);
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            for i in 0..100u32 {
+                assert!(h.enqueue(&mut port, i));
+                assert_eq!(h.dequeue(&mut port), Some(i), "{method}");
+            }
+        }
+    }
+
+    #[test]
+    fn spsc_preserves_fifo_on_host() {
+        const N: u32 = 500;
+        for method in Method::ALL {
+            let (q, m) = make(method, 2, 8);
+            std::thread::scope(|s| {
+                {
+                    let q = q.clone();
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut port = m.port(0);
+                        let mut h = q.handle(&port);
+                        for i in 0..N {
+                            while !h.enqueue(&mut port, i) {}
+                        }
+                    });
+                }
+                let q = q.clone();
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut port = m.port(1);
+                    let mut h = q.handle(&port);
+                    let mut expected = 0;
+                    while expected < N {
+                        if let Some(v) = h.dequeue(&mut port) {
+                            assert_eq!(v, expected, "{method}: FIFO violated");
+                            expected += 1;
+                        }
+                    }
+                });
+            });
+        }
+    }
+
+    #[test]
+    fn mpmc_conserves_items_on_host() {
+        const PROCS: usize = 4;
+        const PER: u32 = 200;
+        for method in Method::ALL {
+            let (q, m) = make(method, PROCS, 16);
+            let total_deq = std::sync::atomic::AtomicU64::new(0);
+            std::thread::scope(|s| {
+                for p in 0..PROCS {
+                    let q = q.clone();
+                    let m = m.clone();
+                    let total_deq = &total_deq;
+                    s.spawn(move || {
+                        let mut port = m.port(p);
+                        let mut h = q.handle(&port);
+                        if p % 2 == 0 {
+                            for i in 0..PER {
+                                while !h.enqueue(&mut port, i) {
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        } else {
+                            let mut got = 0;
+                            while got < PER {
+                                if h.dequeue(&mut port).is_some() {
+                                    got += 1;
+                                }
+                            }
+                            total_deq.fetch_add(got as u64, std::sync::atomic::Ordering::SeqCst);
+                        }
+                    });
+                }
+            });
+            let mut port = m.port(0);
+            let mut h = q.handle(&port);
+            assert_eq!(h.len(&mut port), 0, "{method}: producers==consumers so queue drains");
+        }
+    }
+}

@@ -1,0 +1,367 @@
+//! The resource-allocation benchmark.
+//!
+//! M resources each hold a unit count; an operation atomically acquires one
+//! unit from each of k chosen resources — all or nothing — and later releases
+//! them. This is the paper's "middle contention" workload: transactions touch
+//! k random locations out of M, so conflicts are partial and the methods'
+//! ability to exploit disjoint-access parallelism shows.
+//!
+//! Method notes:
+//! * **STM** — acquire/release are k-location static transactions.
+//! * **Locks** — fine-grained: one lock per resource, acquired in ascending
+//!   index order (deadlock-free), which is the strongest practical lock
+//!   baseline for this workload.
+//! * **Herlihy** — the whole M-word pool is one object; every operation
+//!   copies all of it (the method's inherent cost on larger objects).
+
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::program::OpCode;
+use stm_core::stm::TxSpec;
+use stm_core::word::{pack_cell, Addr, Word};
+use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
+
+use crate::Method;
+
+/// Maximum resources per acquire/release (limited by the STM parameter
+/// budget).
+pub const MAX_K: usize = 8;
+
+/// A pool of M unit-counted resources built on a chosen [`Method`].
+#[derive(Debug, Clone)]
+pub struct ResourcePool {
+    m: usize,
+    inner: Inner,
+}
+
+#[derive(Debug, Clone)]
+enum Inner {
+    Stm { ops: StmOps, acquire: OpCode },
+    Herlihy { obj: HerlihyObject },
+    Ttas { locks: Addr, data: Addr },
+    Mcs { locks: Addr, data: Addr, n_procs: usize },
+}
+
+/// A processor-local handle to a [`ResourcePool`].
+#[derive(Debug)]
+pub struct ResourceHandle {
+    m: usize,
+    inner: HandleInner,
+}
+
+#[derive(Debug)]
+enum HandleInner {
+    Stm { ops: StmOps, acquire: OpCode },
+    Herlihy { h: HerlihyHandle },
+    Ttas { locks: Addr, data: Addr },
+    Mcs { locks: Addr, data: Addr, n_procs: usize },
+}
+
+impl ResourcePool {
+    /// Shared words needed for `method`, `n_procs`, `m_resources`.
+    pub fn words_needed(method: Method, n_procs: usize, m_resources: usize) -> usize {
+        match method {
+            Method::Stm | Method::StmNoHelp => {
+                StmOps::new(0, m_resources, n_procs, MAX_K, Method::Stm.stm_config())
+                    .stm()
+                    .layout()
+                    .words_needed()
+            }
+            Method::Herlihy => HerlihyObject::words_needed(m_resources, n_procs),
+            Method::Ttas => m_resources * (TtasLock::words_needed() + 1),
+            Method::Mcs => m_resources * (McsLock::words_needed(n_procs) + 1),
+        }
+    }
+
+    /// Build a pool of `m_resources` at `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m_resources` is 0.
+    pub fn new(method: Method, base: Addr, n_procs: usize, m_resources: usize) -> Self {
+        assert!(m_resources > 0, "need at least one resource");
+        let inner = match method {
+            Method::Stm | Method::StmNoHelp => {
+                let (ops, acquire) = StmOps::with_programs(
+                    base,
+                    m_resources,
+                    n_procs,
+                    MAX_K,
+                    method.stm_config(),
+                    |b| {
+                        b.register("resource.acquire", |_: &[Word], old: &[u32], new: &mut [u32]| {
+                            if old.iter().all(|&v| v > 0) {
+                                for (n, &o) in new.iter_mut().zip(old) {
+                                    *n = o - 1;
+                                }
+                            }
+                        })
+                    },
+                );
+                Inner::Stm { ops, acquire }
+            }
+            Method::Herlihy => {
+                Inner::Herlihy { obj: HerlihyObject::new(base, m_resources, n_procs) }
+            }
+            Method::Ttas => Inner::Ttas { locks: base, data: base + m_resources },
+            Method::Mcs => Inner::Mcs {
+                locks: base,
+                data: base + m_resources * McsLock::words_needed(n_procs),
+                n_procs,
+            },
+        };
+        ResourcePool { m: m_resources, inner }
+    }
+
+    /// Number of resources.
+    pub fn n_resources(&self) -> usize {
+        self.m
+    }
+
+    /// `(address, word)` pairs pre-loading every resource with `units`.
+    pub fn init_words(&self, units: u32) -> Vec<(Addr, Word)> {
+        match &self.inner {
+            Inner::Stm { ops, .. } => {
+                let l = ops.stm().layout();
+                (0..self.m).map(|i| (l.cell(i), pack_cell(0, units))).collect()
+            }
+            Inner::Herlihy { obj } => obj.initial_words(&vec![units as Word; self.m]),
+            Inner::Ttas { data, .. } | Inner::Mcs { data, .. } => {
+                (0..self.m).map(|i| (*data + i, units as Word)).collect()
+            }
+        }
+    }
+
+    /// Initialize through a port (host machine setup).
+    pub fn init_on<P: MemPort>(&self, port: &mut P, units: u32) {
+        for (addr, word) in self.init_words(units) {
+            port.write(addr, word);
+        }
+    }
+
+    /// A processor-local handle.
+    pub fn handle<P: MemPort>(&self, port: &P) -> ResourceHandle {
+        let inner = match &self.inner {
+            Inner::Stm { ops, acquire } => HandleInner::Stm { ops: ops.clone(), acquire: *acquire },
+            Inner::Herlihy { obj } => HandleInner::Herlihy { h: obj.handle(port) },
+            Inner::Ttas { locks, data } => HandleInner::Ttas { locks: *locks, data: *data },
+            Inner::Mcs { locks, data, n_procs } => {
+                HandleInner::Mcs { locks: *locks, data: *data, n_procs: *n_procs }
+            }
+        };
+        ResourceHandle { m: self.m, inner }
+    }
+}
+
+impl ResourceHandle {
+    fn check_indices(&self, indices: &[usize]) {
+        assert!(!indices.is_empty() && indices.len() <= MAX_K, "1..={MAX_K} resources per op");
+        for (i, &r) in indices.iter().enumerate() {
+            assert!(r < self.m, "resource index {r} out of range");
+            assert!(!indices[..i].contains(&r), "duplicate resource {r}");
+        }
+    }
+
+    /// Atomically acquire one unit of each resource in `indices` (distinct).
+    /// Returns `false` — acquiring nothing — if any of them had no units.
+    pub fn try_acquire<P: MemPort>(&mut self, port: &mut P, indices: &[usize]) -> bool {
+        self.check_indices(indices);
+        match &mut self.inner {
+            HandleInner::Stm { ops, acquire } => {
+                let out = ops.execute(port, &TxSpec::new(*acquire, &[], indices));
+                out.old.iter().all(|&v| v > 0)
+            }
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                if indices.iter().all(|&r| o[r] > 0) {
+                    for &r in indices {
+                        o[r] -= 1;
+                    }
+                    true
+                } else {
+                    false
+                }
+            }),
+            HandleInner::Ttas { locks, data } => {
+                let (locks, data) = (*locks, *data);
+                let mut sorted = indices.to_vec();
+                sorted.sort_unstable();
+                for &r in &sorted {
+                    TtasLock::new(locks + r).lock(port);
+                }
+                let ok = indices.iter().all(|&r| port.read(data + r) > 0);
+                if ok {
+                    for &r in indices {
+                        let v = port.read(data + r);
+                        port.write(data + r, v - 1);
+                    }
+                }
+                for &r in &sorted {
+                    TtasLock::new(locks + r).unlock(port);
+                }
+                ok
+            }
+            HandleInner::Mcs { locks, data, n_procs } => {
+                let (locks, data, n_procs) = (*locks, *data, *n_procs);
+                let stride = McsLock::words_needed(n_procs);
+                let mut sorted = indices.to_vec();
+                sorted.sort_unstable();
+                for &r in &sorted {
+                    McsLock::new(locks + r * stride, n_procs).lock(port);
+                }
+                let ok = indices.iter().all(|&r| port.read(data + r) > 0);
+                if ok {
+                    for &r in indices {
+                        let v = port.read(data + r);
+                        port.write(data + r, v - 1);
+                    }
+                }
+                for &r in &sorted {
+                    McsLock::new(locks + r * stride, n_procs).unlock(port);
+                }
+                ok
+            }
+        }
+    }
+
+    /// Atomically release one unit of each resource in `indices`.
+    pub fn release<P: MemPort>(&mut self, port: &mut P, indices: &[usize]) {
+        self.check_indices(indices);
+        match &mut self.inner {
+            HandleInner::Stm { ops, .. } => {
+                let deltas = vec![1u32; indices.len()];
+                let _ = ops.fetch_add_many(port, indices, &deltas);
+            }
+            HandleInner::Herlihy { h } => h.update(port, |o| {
+                for &r in indices {
+                    o[r] += 1;
+                }
+            }),
+            HandleInner::Ttas { locks, data } => {
+                let (locks, data) = (*locks, *data);
+                let mut sorted = indices.to_vec();
+                sorted.sort_unstable();
+                for &r in &sorted {
+                    TtasLock::new(locks + r).lock(port);
+                }
+                for &r in indices {
+                    let v = port.read(data + r);
+                    port.write(data + r, v + 1);
+                }
+                for &r in &sorted {
+                    TtasLock::new(locks + r).unlock(port);
+                }
+            }
+            HandleInner::Mcs { locks, data, n_procs } => {
+                let (locks, data, n_procs) = (*locks, *data, *n_procs);
+                let stride = McsLock::words_needed(n_procs);
+                let mut sorted = indices.to_vec();
+                sorted.sort_unstable();
+                for &r in &sorted {
+                    McsLock::new(locks + r * stride, n_procs).lock(port);
+                }
+                for &r in indices {
+                    let v = port.read(data + r);
+                    port.write(data + r, v + 1);
+                }
+                for &r in &sorted {
+                    McsLock::new(locks + r * stride, n_procs).unlock(port);
+                }
+            }
+        }
+    }
+
+    /// Read all unit counts (consistent for STM/Herlihy when quiescent).
+    pub fn read_all<P: MemPort>(&mut self, port: &mut P) -> Vec<u32> {
+        match &mut self.inner {
+            HandleInner::Stm { ops, .. } => {
+                (0..self.m).map(|r| ops.stm().read_cell(port, r)).collect()
+            }
+            HandleInner::Herlihy { h } => h.read(port).iter().map(|&w| w as u32).collect(),
+            HandleInner::Ttas { data, .. } | HandleInner::Mcs { data, .. } => {
+                let data = *data;
+                (0..self.m).map(|r| port.read(data + r) as u32).collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    fn make(method: Method, n_procs: usize, m: usize, units: u32) -> (ResourcePool, HostMachine) {
+        let pool = ResourcePool::new(method, 0, n_procs, m);
+        let machine = HostMachine::new(ResourcePool::words_needed(method, n_procs, m), n_procs);
+        let mut port = machine.port(0);
+        pool.init_on(&mut port, units);
+        (pool, machine)
+    }
+
+    #[test]
+    fn acquire_release_roundtrip() {
+        for method in Method::ALL {
+            let (pool, m) = make(method, 1, 8, 2);
+            let mut port = m.port(0);
+            let mut h = pool.handle(&port);
+            assert!(h.try_acquire(&mut port, &[1, 3, 5]), "{method}");
+            assert_eq!(h.read_all(&mut port), vec![2, 1, 2, 1, 2, 1, 2, 2], "{method}");
+            h.release(&mut port, &[1, 3, 5]);
+            assert_eq!(h.read_all(&mut port), vec![2; 8], "{method}");
+        }
+    }
+
+    #[test]
+    fn acquire_is_all_or_nothing() {
+        for method in Method::ALL {
+            let (pool, m) = make(method, 1, 4, 1);
+            let mut port = m.port(0);
+            let mut h = pool.handle(&port);
+            assert!(h.try_acquire(&mut port, &[0]), "{method}");
+            // resource 0 is now exhausted: the pair op must take nothing.
+            assert!(!h.try_acquire(&mut port, &[0, 2]), "{method}");
+            assert_eq!(h.read_all(&mut port), vec![0, 1, 1, 1], "{method}");
+        }
+    }
+
+    #[test]
+    fn concurrent_acquire_release_conserves_units_on_host() {
+        const PROCS: usize = 4;
+        const ROUNDS: usize = 150;
+        for method in Method::ALL {
+            let (pool, m) = make(method, PROCS, 6, 3);
+            std::thread::scope(|s| {
+                for p in 0..PROCS {
+                    let pool = pool.clone();
+                    let m = m.clone();
+                    s.spawn(move || {
+                        let mut port = m.port(p);
+                        let mut h = pool.handle(&port);
+                        for i in 0..ROUNDS {
+                            let a = (p + i) % 6;
+                            let b = (p + i + 2) % 6;
+                            let c = (p + i + 4) % 6;
+                            let set = [a, b, c];
+                            if h.try_acquire(&mut port, &set) {
+                                h.release(&mut port, &set);
+                            }
+                        }
+                    });
+                }
+            });
+            let mut port = m.port(0);
+            let mut h = pool.handle(&port);
+            let total: u32 = h.read_all(&mut port).iter().sum();
+            assert_eq!(total, 18, "{method}: units must be conserved");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate resource")]
+    fn duplicate_indices_panic() {
+        let (pool, m) = make(Method::Stm, 1, 4, 1);
+        let mut port = m.port(0);
+        let mut h = pool.handle(&port);
+        let _ = h.try_acquire(&mut port, &[1, 1]);
+    }
+}

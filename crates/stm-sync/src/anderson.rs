@@ -1,0 +1,173 @@
+//! Anderson's array queue lock — the other classic scalable lock of the
+//! era (Anderson 1990), included alongside MCS for the lock-baseline
+//! ablation.
+//!
+//! Waiters claim consecutive slots of a flag array with fetch-and-increment
+//! (emulated with CAS) and spin each on their own slot; release sets the
+//! next slot. Like MCS this gives FIFO handoff and local spinning, but with
+//! statically allocated per-lock space proportional to the processor count.
+
+use stm_core::machine::MemPort;
+use stm_core::word::{Addr, Word};
+
+/// An Anderson array lock: a ticket word plus one flag slot per processor.
+#[derive(Debug, Clone, Copy)]
+pub struct AndersonLock {
+    base: Addr,
+    n_slots: usize,
+}
+
+impl AndersonLock {
+    /// A lock at `base` sized for `n_procs` processors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_procs` is 0.
+    pub fn new(base: Addr, n_procs: usize) -> Self {
+        assert!(n_procs > 0, "need at least one processor");
+        AndersonLock { base, n_slots: n_procs }
+    }
+
+    /// Shared words needed for `n_procs` processors.
+    pub const fn words_needed(n_procs: usize) -> usize {
+        1 + n_procs
+    }
+
+    fn ticket(&self) -> Addr {
+        self.base
+    }
+
+    fn slot(&self, i: usize) -> Addr {
+        self.base + 1 + (i % self.n_slots)
+    }
+
+    /// The lock's memory must be initialized so slot 0 is "go": call once
+    /// before use (or pre-load via [`AndersonLock::init_words`]).
+    pub fn init_on<P: MemPort>(&self, port: &mut P) {
+        for (addr, w) in self.init_words() {
+            port.write(addr, w);
+        }
+    }
+
+    /// `(address, word)` pairs for pre-loading a simulated machine.
+    pub fn init_words(&self) -> Vec<(Addr, Word)> {
+        let mut out = vec![(self.ticket(), 0), (self.slot(0), 1)];
+        for i in 1..self.n_slots {
+            out.push((self.slot(i), 0));
+        }
+        out
+    }
+
+    fn take_ticket<P: MemPort>(&self, port: &mut P) -> u64 {
+        loop {
+            let t = port.read(self.ticket());
+            if port.compare_exchange(self.ticket(), t, t.wrapping_add(1)).is_ok() {
+                return t;
+            }
+        }
+    }
+
+    /// Acquire; returns the ticket to pass to [`AndersonLock::unlock`].
+    pub fn lock<P: MemPort>(&self, port: &mut P) -> u64 {
+        let t = self.take_ticket(port);
+        let mut poll = 1;
+        while port.read(self.slot(t as usize)) == 0 {
+            port.delay(poll);
+            poll = (poll * 2).min(16);
+        }
+        // Reset our slot for the next lap around the array.
+        port.write(self.slot(t as usize), 0);
+        t
+    }
+
+    /// Release a lock acquired with ticket `t`.
+    pub fn unlock<P: MemPort>(&self, port: &mut P, t: u64) {
+        port.write(self.slot(t as usize + 1), 1);
+    }
+
+    /// Run `f` inside the lock.
+    pub fn with<P: MemPort, R>(&self, port: &mut P, f: impl FnOnce(&mut P) -> R) -> R {
+        let t = self.lock(port);
+        let r = f(port);
+        self.unlock(port, t);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+
+    #[test]
+    fn lock_unlock_single_thread() {
+        let m = HostMachine::new(AndersonLock::words_needed(1) + 1, 1);
+        let lock = AndersonLock::new(0, 1);
+        let mut port = m.port(0);
+        lock.init_on(&mut port);
+        for _ in 0..5 {
+            let t = lock.lock(&mut port);
+            lock.unlock(&mut port, t);
+        }
+    }
+
+    #[test]
+    fn fifo_mutual_exclusion_on_host() {
+        const PROCS: usize = 4;
+        const PER: u64 = 1500;
+        let data = AndersonLock::words_needed(PROCS);
+        let m = HostMachine::new(data + 1, PROCS);
+        let lock = AndersonLock::new(0, PROCS);
+        {
+            let mut port = m.port(0);
+            lock.init_on(&mut port);
+        }
+        std::thread::scope(|s| {
+            for p in 0..PROCS {
+                let m = m.clone();
+                s.spawn(move || {
+                    let mut port = m.port(p);
+                    for _ in 0..PER {
+                        lock.with(&mut port, |port| {
+                            let v = port.read(data);
+                            port.write(data, v + 1);
+                        });
+                    }
+                });
+            }
+        });
+        let mut port = m.port(0);
+        assert_eq!(port.read(data), PROCS as u64 * PER);
+    }
+
+    #[test]
+    fn works_on_the_simulator() {
+        use stm_sim::arch::BusModel;
+        use stm_sim::engine::{SimConfig, SimPort, Simulation};
+        const PROCS: usize = 5;
+        let lock = AndersonLock::new(0, PROCS);
+        let data = AndersonLock::words_needed(PROCS);
+        let report = Simulation::new(
+            SimConfig {
+                n_words: data + 1,
+                seed: 11,
+                jitter: 3,
+                max_cycles: 1 << 33,
+                init: lock.init_words(),
+                ..Default::default()
+            },
+            BusModel::for_procs(PROCS),
+        )
+        .run(PROCS, |_| {
+            move |mut port: SimPort| {
+                for _ in 0..40 {
+                    lock.with(&mut port, |port| {
+                        let v = port.read(data);
+                        port.write(data, v + 1);
+                    });
+                }
+            }
+        });
+        assert_eq!(report.memory[data], (PROCS * 40) as u64);
+    }
+}

@@ -1,0 +1,104 @@
+//! Bank transfers: multi-word atomicity under real contention.
+//!
+//! A classic STM motivating scenario: concurrent transfers between accounts
+//! must never create or destroy money, and an auditor taking atomic
+//! snapshots must never observe a torn state. Each transfer is one static
+//! transaction over `{from, to}`; the audit is an identity transaction over
+//! all accounts.
+//!
+//! Run with: `cargo run --example bank_transfer`
+
+use stm_core::machine::host::HostMachine;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::word::Word;
+
+const ACCOUNTS: usize = 8;
+const INITIAL: u32 = 1_000;
+const THREADS: usize = 4;
+const TRANSFERS: usize = 5_000;
+
+fn main() {
+    // Register a guarded-transfer program alongside the builtins: move
+    // `amount` from the first cell to the second, but only if funds suffice.
+    let (ops, transfer) = StmOps::with_programs(
+        0,
+        ACCOUNTS,
+        THREADS + 1, // one extra processor for the auditor
+        ACCOUNTS,
+        StmConfig::default(),
+        |b| {
+            b.register("bank.transfer", |params: &[Word], old: &[u32], new: &mut [u32]| {
+                let amount = params[0] as u32;
+                if old[0] >= amount {
+                    new[0] = old[0] - amount;
+                    new[1] = old[1] + amount;
+                }
+            })
+        },
+    );
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), THREADS + 1);
+
+    {
+        let mut port = machine.port(0);
+        for a in 0..ACCOUNTS {
+            ops.stm().init_cell(&mut port, a, INITIAL);
+        }
+    }
+
+    let audits = std::sync::atomic::AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        // Transfer threads.
+        for p in 0..THREADS {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let mut x = p as u32 + 1;
+                for i in 0..TRANSFERS {
+                    // Cheap deterministic pseudo-randomness.
+                    x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
+                    let from = (x as usize >> 8) % ACCOUNTS;
+                    let to = (from + 1 + (i % (ACCOUNTS - 1))) % ACCOUNTS;
+                    let amount = (x % 50) as Word;
+                    let cells = [from, to];
+                    ops.execute(&mut port, &TxSpec::new(transfer, &[amount], &cells));
+                }
+            });
+        }
+        // Auditor thread: atomic snapshots of all accounts, concurrent with
+        // the transfers. Every snapshot must sum to exactly the total.
+        {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            let audits = &audits;
+            s.spawn(move || {
+                let mut port = machine.port(THREADS);
+                let all: Vec<usize> = (0..ACCOUNTS).collect();
+                for _ in 0..200 {
+                    let snap = ops.snapshot(&mut port, &all);
+                    let total: u64 = snap.iter().map(|&v| v as u64).sum();
+                    assert_eq!(
+                        total,
+                        (ACCOUNTS as u64) * INITIAL as u64,
+                        "torn audit: money created or destroyed"
+                    );
+                    audits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                }
+            });
+        }
+    });
+
+    let mut port = machine.port(0);
+    let all: Vec<usize> = (0..ACCOUNTS).collect();
+    let final_snap = ops.snapshot(&mut port, &all);
+    let total: u64 = final_snap.iter().map(|&v| v as u64).sum();
+    println!("final balances: {final_snap:?}");
+    println!(
+        "total = {total} (expected {}), audits passed: {}",
+        ACCOUNTS as u64 * INITIAL as u64,
+        audits.load(std::sync::atomic::Ordering::Relaxed)
+    );
+    assert_eq!(total, ACCOUNTS as u64 * INITIAL as u64);
+    println!("bank_transfer OK");
+}

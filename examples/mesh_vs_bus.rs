@@ -1,0 +1,34 @@
+//! Architecture comparison: one workload, three simulated machines.
+//!
+//! Runs the resource-allocation workload (where STM shines) on the bus
+//! machine, the plain mesh, and the coherently-caching mesh, printing the
+//! STM-vs-MCS ratio on each — a miniature of the paper's two-machine
+//! evaluation plus this reproduction's architecture ablation.
+//!
+//! Run with: `cargo run --release --example mesh_vs_bus`
+
+use stm_bench::workloads::{run_point, ArchKind, Bench};
+use stm_structures::Method;
+
+fn main() {
+    const PROCS: usize = 8;
+    const OPS: u64 = 256;
+
+    println!("resource benchmark, {PROCS} simulated processors, {OPS} ops");
+    println!(
+        "{:>12} {:>12} {:>12} {:>12}",
+        "machine", "STM", "MCS-lock", "STM/MCS"
+    );
+    for arch in [ArchKind::Bus, ArchKind::Mesh, ArchKind::MeshCached] {
+        let stm = run_point(Bench::Resource, arch, Method::Stm, PROCS, OPS, 99);
+        let mcs = run_point(Bench::Resource, arch, Method::Mcs, PROCS, OPS, 99);
+        println!(
+            "{:>12} {:>12.1} {:>12.1} {:>12.2}",
+            arch.label(),
+            stm.throughput,
+            mcs.throughput,
+            stm.throughput / mcs.throughput
+        );
+    }
+    println!("mesh_vs_bus OK");
+}

@@ -1,0 +1,82 @@
+//! Work stealing over the paper's doubly-linked deque.
+//!
+//! The classic use of a two-ended queue: each worker owns a deque, pushing
+//! and popping work at the *back*, while idle workers steal from the *front*
+//! of a victim's deque. Every operation is an atomic multi-word transaction,
+//! so owner and thief can hit the same deque concurrently without locks —
+//! and a preempted thief can never wedge the owner (lock-freedom).
+//!
+//! Run with: `cargo run --release --example work_stealing`
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stm_core::machine::host::HostMachine;
+use stm_structures::deque::{Deque, End};
+use stm_structures::Method;
+
+const WORKERS: usize = 4;
+const TASKS_PER_WORKER: u32 = 5_000;
+const CAPACITY: usize = 64;
+
+fn main() {
+    // One deque per worker, all in one machine address space.
+    let stride = Deque::words_needed(Method::Stm, WORKERS, CAPACITY);
+    let deques: Vec<Deque> =
+        (0..WORKERS).map(|w| Deque::new(Method::Stm, w * stride, WORKERS, CAPACITY)).collect();
+    let machine = HostMachine::new(stride * WORKERS, WORKERS);
+    {
+        let mut port = machine.port(0);
+        for d in &deques {
+            d.init_on(&mut port);
+        }
+    }
+
+    let done = AtomicU64::new(0);
+    let stolen = AtomicU64::new(0);
+    let total: u64 = WORKERS as u64 * TASKS_PER_WORKER as u64;
+
+    std::thread::scope(|s| {
+        for w in 0..WORKERS {
+            let deques = deques.clone();
+            let machine = machine.clone();
+            let done = &done;
+            let stolen = &stolen;
+            s.spawn(move || {
+                let mut port = machine.port(w);
+                let mut handles: Vec<_> = deques.iter().map(|d| d.handle(&port)).collect();
+                let mut produced = 0u32;
+                loop {
+                    // Produce our own tasks while any remain.
+                    if produced < TASKS_PER_WORKER
+                        && handles[w].push(&mut port, End::Back, produced) {
+                            produced += 1;
+                        }
+                    // Prefer our own work (LIFO from the back)...
+                    if handles[w].pop(&mut port, End::Back).is_some() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    // ...otherwise steal FIFO from a victim's front.
+                    let victim = (w + 1 + (produced as usize % (WORKERS - 1))) % WORKERS;
+                    if handles[victim].pop(&mut port, End::Front).is_some() {
+                        done.fetch_add(1, Ordering::Relaxed);
+                        stolen.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
+                    if done.load(Ordering::Relaxed) >= total && produced == TASKS_PER_WORKER {
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+            });
+        }
+    });
+
+    let executed = done.load(Ordering::Relaxed);
+    println!(
+        "{WORKERS} workers executed {executed} tasks ({} stolen)",
+        stolen.load(Ordering::Relaxed)
+    );
+    assert_eq!(executed, total, "every task executed exactly once");
+    println!("work_stealing OK");
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env python3
+"""Render results/*.csv sweep files as the aligned throughput tables used in
+EXPERIMENTS.md (same layout as the `figures` binary prints)."""
+import csv
+import sys
+
+
+def render(path):
+    rows = list(csv.DictReader(open(path)))
+    if not rows:
+        return f"{path}: empty\n"
+    methods, procs, data = [], [], {}
+    for r in rows:
+        m, p = r["method"], int(r["procs"])
+        if m not in methods:
+            methods.append(m)
+        if p not in procs:
+            procs.append(p)
+        data[(m, p)] = float(r["throughput"])
+    procs.sort()
+    out = [f"{'procs':>6}" + "".join(f"{m:>13}" for m in methods)]
+    for p in procs:
+        out.append(
+            f"{p:>6}" + "".join(f"{data.get((m, p), 0):>13.1f}" for m in methods)
+        )
+    return "\n".join(out) + "\n"
+
+
+if __name__ == "__main__":
+    for path in sys.argv[1:]:
+        print(f"== {path}")
+        print(render(path))

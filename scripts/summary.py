@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""T1: per-figure curve summary (peak and final throughput per method)
+computed from the results/*.csv sweeps."""
+import csv
+import glob
+import sys
+
+FIG = {
+    ("counting", "bus"): "F1", ("counting", "mesh"): "F2",
+    ("queue", "bus"): "F3", ("queue", "mesh"): "F4",
+    ("resource", "bus"): "F5", ("resource", "mesh"): "F6",
+    ("prio", "bus"): "F7", ("prio", "mesh"): "F8",
+}
+
+def main(paths):
+    print(f"{'fig':>4} {'bench/arch':>14} {'method':>12} {'peak-thr':>10} "
+          f"{'peak-P':>7} {'final-thr':>10}")
+    for path in paths:
+        rows = list(csv.DictReader(open(path)))
+        if not rows or "arch" not in rows[0]:
+            continue
+        bench, arch = rows[0]["bench"], rows[0]["arch"]
+        fig = FIG.get((bench, arch))
+        if fig is None:
+            continue
+        methods = []
+        for r in rows:
+            if r["method"] not in methods:
+                methods.append(r["method"])
+        for m in methods:
+            curve = [(int(r["procs"]), float(r["throughput"]))
+                     for r in rows if r["method"] == m]
+            peak = max(curve, key=lambda x: x[1])
+            final = max(curve, key=lambda x: x[0])
+            print(f"{fig:>4} {bench + '/' + arch:>14} {m:>12} "
+                  f"{peak[1]:>10.1f} {peak[0]:>7} {final[1]:>10.1f}")
+
+if __name__ == "__main__":
+    main(sorted(sys.argv[1:] or glob.glob("results/*.csv")))

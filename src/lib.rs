@@ -1,0 +1,17 @@
+//! # stm-repro — reproduction of Shavit & Touitou, "Software Transactional Memory" (PODC 1995)
+//!
+//! Umbrella crate tying the workspace together; see the individual crates:
+//!
+//! * [`stm_core`] — the STM algorithm, machine abstraction, host runtime;
+//! * [`stm_sim`] — the deterministic Proteus-like multiprocessor simulator;
+//! * [`stm_sync`] — the evaluation's baselines (TTAS, MCS, Herlihy);
+//! * [`stm_structures`] — the benchmark data structures over every method.
+//!
+//! The runnable examples live in `examples/`; the cross-crate integration
+//! and property tests in `tests/`; the figure-regeneration harness in the
+//! `stm-bench` crate (`cargo run -p stm-bench --release --bin figures`).
+
+pub use stm_core;
+pub use stm_sim;
+pub use stm_structures;
+pub use stm_sync;

@@ -1,0 +1,251 @@
+//! Liveness: the paper's non-blocking guarantee under fault injection.
+//!
+//! A lock-based method dies with its lock holder; the Shavit–Touitou STM
+//! must not. These tests crash processors at the worst possible points —
+//! including *mid-protocol, while holding ownerships* — and assert that the
+//! surviving processors finish their work, completing the crashed
+//! transaction via helping exactly as the paper prescribes.
+
+use stm_core::stm::{StmConfig, TxSpec};
+use stm_sim::arch::{BusModel, MeshModel};
+use stm_sim::engine::SimPort;
+use stm_sim::explore::sweep;
+use stm_sim::harness::StmSim;
+use stm_structures::counter::Counter;
+use stm_structures::Method;
+
+/// A processor crashes *after acquiring ownership* of the hot cell with an
+/// undecided transaction. Every survivor that conflicts must help the dead
+/// transaction to completion: its increment commits, and the system keeps
+/// going.
+#[test]
+fn crashed_transaction_is_completed_by_helpers() {
+    const PROCS: usize = 4;
+    const PER: u32 = 25;
+    sweep(
+        10,
+        |seed| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default()).seed(seed).jitter(3);
+            sim.run(BusModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    if p == 0 {
+                        // Crash mid-protocol: record published, ownership of
+                        // cell 0 acquired, outcome undecided.
+                        let builtins = ops.builtins();
+                        let cells = [0usize];
+                        ops.stm().inject_crash_after_acquire(
+                            &mut port,
+                            &TxSpec::new(builtins.add, &[1], &cells),
+                        );
+                        return;
+                    }
+                    for _ in 0..PER {
+                        ops.fetch_add(&mut port, 0, 1);
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default());
+            // Survivors' increments all land, PLUS the dead processor's
+            // transaction, which helpers must have committed on its behalf.
+            assert_eq!(
+                sim.cell_value(report, 0),
+                (PROCS as u32 - 1) * PER + 1,
+                "seed {seed}: crashed transaction not completed exactly once"
+            );
+        },
+    );
+}
+
+/// Same crash, but the victim owns one cell of a multi-word transaction
+/// spanning the survivors' working set.
+#[test]
+fn crashed_multiword_transaction_is_completed() {
+    const PROCS: usize = 5;
+    const PER: u32 = 20;
+    sweep(
+        10,
+        |seed| {
+            let sim = StmSim::new(PROCS, 4, 4, StmConfig::default()).seed(seed).jitter(3);
+            sim.run(MeshModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    if p == 0 {
+                        let builtins = ops.builtins();
+                        let cells = [0usize, 2, 3];
+                        ops.stm().inject_crash_after_acquire(
+                            &mut port,
+                            &TxSpec::new(builtins.add, &[10, 20, 30], &cells),
+                        );
+                        return;
+                    }
+                    for i in 0..PER {
+                        ops.fetch_add(&mut port, (i as usize + p) % 4, 1);
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 4, 4, StmConfig::default());
+            let cells = sim.all_cells(report);
+            let survivor_incs: u32 = cells.iter().sum::<u32>() - (10 + 20 + 30);
+            assert_eq!(
+                survivor_incs,
+                (PROCS as u32 - 1) * PER,
+                "seed {seed}: survivor work lost (cells {cells:?})"
+            );
+        },
+    );
+}
+
+/// With helping disabled (the ablation), a crashed undecided transaction
+/// wedges the cell forever — demonstrating that helping, not luck, provides
+/// the liveness. The survivors must time out on the watchdog.
+#[test]
+fn without_helping_a_crash_wedges_the_system() {
+    const PROCS: usize = 3;
+    let config = StmConfig { helping: false, ..Default::default() };
+    let result = std::panic::catch_unwind(|| {
+        let sim = StmSim::new(PROCS, 2, 2, config).seed(1).jitter(2).max_cycles(200_000);
+        sim.run(BusModel::for_procs(PROCS), |p, ops| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    let builtins = ops.builtins();
+                    let cells = [0usize];
+                    ops.stm()
+                        .inject_crash_after_acquire(&mut port, &TxSpec::new(builtins.add, &[1], &cells));
+                    return;
+                }
+                ops.fetch_add(&mut port, 0, 1); // can never commit
+            }
+        })
+    });
+    assert!(result.is_err(), "survivors should spin until the watchdog trips");
+}
+
+/// The blocking baselines do NOT survive a crash inside the critical
+/// section — the control experiment for the paper's headline claim.
+#[test]
+fn lock_based_counter_wedges_on_crash_in_critical_section() {
+    use stm_core::machine::MemPort;
+    use stm_sim::engine::{SimConfig, Simulation};
+    use stm_sync::TtasLock;
+
+    let result = std::panic::catch_unwind(|| {
+        let lock = TtasLock::new(0);
+        Simulation::new(
+            SimConfig { n_words: 2, seed: 3, jitter: 2, max_cycles: 200_000, ..Default::default() },
+            BusModel::for_procs(2),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    lock.lock(&mut port);
+                    return; // die holding the lock
+                }
+                lock.with(&mut port, |port| {
+                    let v = port.read(1);
+                    port.write(1, v + 1);
+                });
+            }
+        })
+    });
+    assert!(result.is_err(), "the survivor must wedge on the orphaned lock");
+}
+
+/// Heavy symmetric contention with helping: the system always makes global
+/// progress (no livelock across any tested schedule), and per-call
+/// statistics show helping actually happened.
+#[test]
+fn helping_fires_and_preserves_progress_under_symmetric_conflicts() {
+    const PROCS: usize = 6;
+    const PER: u32 = 15;
+    let helps_seen = std::sync::atomic::AtomicU64::new(0);
+    sweep(
+        8,
+        |seed| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default()).seed(seed).jitter(5);
+            let helps_seen = &helps_seen;
+            sim.run(BusModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    let builtins = ops.builtins();
+                    for i in 0..PER {
+                        // Alternate between two orderings of a 2-cell
+                        // transaction to maximize symmetric conflicts.
+                        let cells = if (p + i as usize).is_multiple_of(2) { [0, 1] } else { [1, 0] };
+                        let out = ops
+                            .stm()
+                            .execute(&mut port, &TxSpec::new(builtins.add, &[1, 1], &cells));
+                        helps_seen
+                            .fetch_add(out.stats.helps, std::sync::atomic::Ordering::Relaxed);
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default());
+            let cells = sim.all_cells(report);
+            assert_eq!(cells[0], PROCS as u32 * PER, "seed {seed}");
+            assert_eq!(cells[1], PROCS as u32 * PER, "seed {seed}");
+        },
+    );
+    assert!(
+        helps_seen.load(std::sync::atomic::Ordering::Relaxed) > 0,
+        "contended schedules should exercise the helping path at least once"
+    );
+}
+
+/// All structure methods classified non-blocking survive a crashed (early
+/// returning, pre-protocol) processor; this is the weaker crash model every
+/// method must pass.
+#[test]
+fn early_crash_never_blocks_any_nonblocking_method() {
+    const PROCS: usize = 3;
+    for method in [Method::Stm, Method::Herlihy] {
+        let counter = Counter::new(method, 0, PROCS);
+        let sim_words = Counter::words_needed(method, PROCS);
+        let report = stm_sim::engine::Simulation::new(
+            stm_sim::engine::SimConfig {
+                n_words: sim_words,
+                seed: 2,
+                jitter: 2,
+                max_cycles: 1 << 33,
+                init: counter.init_words(0),
+                ..Default::default()
+            },
+            BusModel::for_procs(PROCS),
+        )
+        .run(PROCS, |p| {
+            let counter = counter.clone();
+            move |mut port: SimPort| {
+                let mut h = counter.handle(&port);
+                if p == 0 {
+                    h.increment(&mut port);
+                    return;
+                }
+                for _ in 0..40 {
+                    h.increment(&mut port);
+                }
+            }
+        });
+        // decode: re-run a read on the final image
+        let sim_cfg = stm_sim::engine::SimConfig {
+            n_words: report.memory.len(),
+            init: report.memory.iter().copied().enumerate().collect(),
+            ..Default::default()
+        };
+        let out = std::sync::Arc::new(std::sync::atomic::AtomicU32::new(0));
+        let o2 = std::sync::Arc::clone(&out);
+        let c2 = counter.clone();
+        let _ = stm_sim::engine::Simulation::new(sim_cfg, stm_sim::arch::UniformModel::new(1, 1))
+            .run(1, move |_| {
+                let c2 = c2.clone();
+                let o2 = std::sync::Arc::clone(&o2);
+                move |mut port: SimPort| {
+                    let mut h = c2.handle(&port);
+                    o2.store(h.read(&mut port), std::sync::atomic::Ordering::SeqCst);
+                }
+            });
+        assert_eq!(out.load(std::sync::atomic::Ordering::SeqCst), 81, "{method}");
+    }
+}

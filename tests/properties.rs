@@ -1,0 +1,379 @@
+//! Property-based tests (proptest): the STM against reference models.
+//!
+//! Single-threaded properties check *semantics* (a transaction is exactly a
+//! k-word read-modify-write against a plain reference vector); multi-seed
+//! simulator properties check *concurrency* (outcomes under random schedules
+//! match some sequential order).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use stm_core::machine::host::HostMachine;
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::word::{
+    cell_stamp, cell_successor, cell_value, oldval_for_version, pack_cell, pack_oldval_set,
+    pack_oldval_unset, pack_owner, pack_status, unpack_owner, unpack_status, TxStatus,
+};
+use stm_sim::arch::BusModel;
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+// ---------------------------------------------------------------------------
+// Packed-word layout properties
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn cell_words_roundtrip(stamp: u16, value: u32) {
+        let w = pack_cell(stamp, value);
+        prop_assert_eq!(cell_stamp(w), stamp);
+        prop_assert_eq!(cell_value(w), value);
+        let s = cell_successor(w, value ^ 1);
+        prop_assert_eq!(cell_stamp(s), stamp.wrapping_add(1));
+        prop_assert_eq!(cell_value(s), value ^ 1);
+    }
+
+    #[test]
+    fn ownership_words_roundtrip(proc in 0usize..=65_533, version: u64) {
+        let w = pack_owner(proc, version);
+        let (p, v) = unpack_owner(w).expect("owned word");
+        prop_assert_eq!(p, proc);
+        prop_assert_eq!(v, version & ((1u64 << 40) - 1));
+    }
+
+    #[test]
+    fn status_words_roundtrip(version: u64, idx in 0usize..4095) {
+        for st in [TxStatus::Null, TxStatus::Success, TxStatus::Failure(idx), TxStatus::Initializing] {
+            let w = pack_status(version, st);
+            let (v, s) = unpack_status(w);
+            prop_assert_eq!(s, st);
+            prop_assert_eq!(v, version & ((1u64 << 40) - 1));
+        }
+    }
+
+    #[test]
+    fn oldval_entries_are_version_guarded(v1: u64, v2: u64, stamp: u16, value: u32) {
+        let cell = pack_cell(stamp, value);
+        let set = pack_oldval_set(v1, cell);
+        let got = oldval_for_version(set, v2);
+        if (v1 ^ v2) & ((1 << 15) - 1) == 0 {
+            prop_assert_eq!(got, Ok(cell));
+        } else {
+            prop_assert_eq!(got, Err(false));
+        }
+        prop_assert_eq!(oldval_for_version(pack_oldval_unset(v1), v1), Err(true));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transaction semantics vs a reference model (single-threaded)
+// ---------------------------------------------------------------------------
+
+/// A random program of multi-cell adds and swaps, applied both through the
+/// STM and to a plain `Vec<u32>` reference; they must agree exactly
+/// (including returned old values).
+#[derive(Debug, Clone)]
+enum RefOp {
+    Add(Vec<(usize, u32)>),
+    Swap(usize, u32),
+    Mwcas(Vec<(usize, u32, u32)>),
+}
+
+fn ref_op_strategy(n_cells: usize) -> impl Strategy<Value = RefOp> {
+    let add = vec((0..n_cells, any::<u32>()), 1..4).prop_filter_map("distinct cells", |mut v| {
+        v.sort_by_key(|e| e.0);
+        v.dedup_by_key(|e| e.0);
+        Some(RefOp::Add(v))
+    });
+    let swap = (0..n_cells, any::<u32>()).prop_map(|(c, v)| RefOp::Swap(c, v));
+    let mwcas =
+        vec((0..n_cells, any::<u32>(), any::<u32>()), 1..4).prop_filter_map("distinct", |mut v| {
+            v.sort_by_key(|e| e.0);
+            v.dedup_by_key(|e| e.0);
+            Some(RefOp::Mwcas(v))
+        });
+    prop_oneof![add, swap, mwcas]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn stm_matches_reference_model(ops_list in vec(ref_op_strategy(6), 1..40)) {
+        const CELLS: usize = 6;
+        let ops = StmOps::new(0, CELLS, 1, 8, StmConfig::default());
+        let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = machine.port(0);
+        let mut reference = vec![0u32; CELLS];
+
+        for op in &ops_list {
+            match op {
+                RefOp::Add(entries) => {
+                    let cells: Vec<usize> = entries.iter().map(|e| e.0).collect();
+                    let deltas: Vec<u32> = entries.iter().map(|e| e.1).collect();
+                    let old = ops.fetch_add_many(&mut port, &cells, &deltas);
+                    for (i, &(c, d)) in entries.iter().enumerate() {
+                        prop_assert_eq!(old[i], reference[c]);
+                        reference[c] = reference[c].wrapping_add(d);
+                    }
+                }
+                RefOp::Swap(c, v) => {
+                    let old = ops.swap(&mut port, *c, *v);
+                    prop_assert_eq!(old, reference[*c]);
+                    reference[*c] = *v;
+                }
+                RefOp::Mwcas(entries) => {
+                    let result = ops.mwcas(
+                        &mut port,
+                        &entries.iter().map(|&(c, e, n)| (c, e, n)).collect::<Vec<_>>(),
+                    );
+                    let should_match = entries.iter().all(|&(c, e, _)| reference[c] == e);
+                    prop_assert_eq!(result.is_ok(), should_match);
+                    if should_match {
+                        for &(c, _, n) in entries {
+                            reference[c] = n;
+                        }
+                    }
+                }
+            }
+        }
+        // Final states agree.
+        let all: Vec<usize> = (0..CELLS).collect();
+        prop_assert_eq!(ops.snapshot(&mut port, &all), reference);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic transactions vs the same reference model
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    /// A random sequence of read-modify-write bodies through the dynamic
+    /// layer must match a plain reference vector exactly.
+    #[test]
+    fn dynamic_stm_matches_reference(ops_list in vec((0usize..6, any::<u32>(), any::<bool>()), 1..30)) {
+        use stm_core::dynamic::DynamicStm;
+        const CELLS: usize = 6;
+        let d = DynamicStm::new(0, CELLS, 1, StmConfig::default());
+        let machine = HostMachine::new(d.stm().layout().words_needed(), 1);
+        let mut port = machine.port(0);
+        let mut reference = [0u32; CELLS];
+        for &(c, v, also_neighbour) in &ops_list {
+            let (got, _) = d.run(&mut port, |tx| {
+                let old = tx.read(c);
+                tx.write(c, old ^ v);
+                if also_neighbour {
+                    let n = (c + 1) % CELLS;
+                    let o = tx.read(n);
+                    tx.write(n, o.wrapping_add(1));
+                }
+                old
+            });
+            prop_assert_eq!(got, reference[c]);
+            reference[c] ^= v;
+            if also_neighbour {
+                let n = (c + 1) % CELLS;
+                reference[n] = reference[n].wrapping_add(1);
+            }
+        }
+        for (c, &want) in reference.iter().enumerate() {
+            prop_assert_eq!(d.read_cell(&mut port, c), want);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sorted list set vs BTreeSet (proptest, single-threaded)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn list_set_matches_btreeset(ops_list in vec((0u8..3, 0u32..20), 0..80)) {
+        use stm_structures::list_set::ListSet;
+        const CAP: usize = 12;
+        let s = ListSet::new(0, 1, CAP, StmConfig::default());
+        let machine = HostMachine::new(ListSet::words_needed(1, CAP), 1);
+        let mut port = machine.port(0);
+        s.init_on(&mut port);
+        let mut reference = std::collections::BTreeSet::new();
+        for &(op, k) in &ops_list {
+            match op {
+                0 => {
+                    let want = reference.len() < CAP && !reference.contains(&k);
+                    prop_assert_eq!(s.insert(&mut port, k), want);
+                    if want {
+                        reference.insert(k);
+                    }
+                }
+                1 => prop_assert_eq!(s.remove(&mut port, k), reference.remove(&k)),
+                _ => prop_assert_eq!(s.contains(&mut port, k), reference.contains(&k)),
+            }
+        }
+        prop_assert_eq!(s.keys(&mut port), reference.into_iter().collect::<Vec<_>>());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent properties on the simulator
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Commutative concurrent increments: any schedule must land on the
+    /// exact sum — run each generated workload on a random seed.
+    #[test]
+    fn concurrent_adds_sum_exactly(
+        seed in 0u64..1000,
+        per_proc in vec(1u32..20, 3),
+    ) {
+        const CELLS: usize = 3;
+        let procs = per_proc.len();
+        let sim = StmSim::new(procs, CELLS, 2, StmConfig::default()).seed(seed).jitter(4);
+        let per = per_proc.clone();
+        let report = sim.run(BusModel::for_procs(procs), |p, ops| {
+            let n = per[p];
+            move |mut port: SimPort| {
+                for i in 0..n {
+                    ops.fetch_add(&mut port, (p + i as usize) % CELLS, 1);
+                }
+            }
+        });
+        let total: u32 = sim.all_cells(&report).iter().sum();
+        prop_assert_eq!(total, per_proc.iter().sum::<u32>());
+        prop_assert!(sim.leaked_ownerships(&report).is_empty());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Heap property tests (priority-queue substrate)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+    #[test]
+    fn heap_matches_std_binary_heap(values in vec(any::<u32>(), 0..40)) {
+        use stm_structures::prio::heap;
+        let mut state = vec![0u32; 1 + 64];
+        let mut reference = std::collections::BinaryHeap::new();
+        for &v in &values {
+            prop_assert!(heap::insert(&mut state, v));
+            reference.push(std::cmp::Reverse(v));
+            prop_assert!(heap::is_valid(&state));
+        }
+        loop {
+            let got = heap::extract_min(&mut state);
+            let want = reference.pop().map(|r| r.0);
+            prop_assert_eq!(got, want);
+            prop_assert!(heap::is_valid(&state));
+            if want.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn heap_interleaved_ops_match_reference(ops_list in vec((any::<bool>(), any::<u32>()), 0..60)) {
+        use stm_structures::prio::heap;
+        let mut state = vec![0u32; 1 + 16];
+        let mut reference = std::collections::BinaryHeap::new();
+        for &(is_insert, v) in &ops_list {
+            if is_insert {
+                let ok = heap::insert(&mut state, v);
+                if reference.len() < 16 {
+                    prop_assert!(ok);
+                    reference.push(std::cmp::Reverse(v));
+                } else {
+                    prop_assert!(!ok);
+                }
+            } else {
+                let got = heap::extract_min(&mut state);
+                let want = reference.pop().map(|r| r.0);
+                prop_assert_eq!(got, want);
+            }
+            prop_assert!(heap::is_valid(&state));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue semantics under a random single-threaded op sequence, all methods
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn queue_matches_vecdeque_reference(ops_list in vec((any::<bool>(), any::<u32>()), 0..60)) {
+        use stm_structures::queue::FifoQueue;
+        use stm_structures::Method;
+        const CAP: usize = 8;
+        for method in Method::ALL {
+            let q = FifoQueue::new(method, 0, 1, CAP);
+            let machine = HostMachine::new(FifoQueue::words_needed(method, 1, CAP), 1);
+            let mut port = machine.port(0);
+            q.init_on(&mut port);
+            let mut h = q.handle(&port);
+            let mut reference = std::collections::VecDeque::new();
+            for &(is_enq, v) in &ops_list {
+                if is_enq {
+                    let ok = h.enqueue(&mut port, v);
+                    if reference.len() < CAP {
+                        prop_assert!(ok);
+                        reference.push_back(v);
+                    } else {
+                        prop_assert!(!ok);
+                    }
+                } else {
+                    prop_assert_eq!(h.dequeue(&mut port), reference.pop_front());
+                }
+                prop_assert_eq!(h.len(&mut port), reference.len());
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// try_execute surfaces conflicts without spinning
+// ---------------------------------------------------------------------------
+
+#[test]
+fn try_execute_reports_conflict_against_wedged_owner() {
+    // Wedge cell 0 under a crashed, helping-disabled-undecidable... rather:
+    // crash a transaction and disable helping in the *prober*, so the probe
+    // cannot complete the dead transaction and must report the conflict.
+    let sim = StmSim::new(
+        2,
+        2,
+        2,
+        StmConfig { helping: false, ..Default::default() },
+    )
+    .seed(4)
+    .jitter(0);
+    let conflict_seen = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let cs = std::sync::Arc::clone(&conflict_seen);
+    let _ = sim.run(BusModel::for_procs(2), |p, ops| {
+        let cs = std::sync::Arc::clone(&cs);
+        move |mut port: SimPort| {
+            let builtins = ops.builtins();
+            let cells = [0usize];
+            if p == 0 {
+                ops.stm().inject_crash_after_acquire(
+                    &mut port,
+                    &TxSpec::new(builtins.add, &[1], &cells),
+                );
+                return;
+            }
+            // Give the crasher time to acquire, then probe once.
+            port.delay(10_000);
+            let spec = TxSpec::new(builtins.add, &[1], &cells);
+            if ops.stm().try_execute(&mut port, &spec).is_err() {
+                cs.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+    });
+    assert!(
+        conflict_seen.load(std::sync::atomic::Ordering::SeqCst),
+        "probe must observe the conflict with the wedged transaction"
+    );
+}

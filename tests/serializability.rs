@@ -1,0 +1,308 @@
+//! Cross-crate correctness: committed transactions are serializable.
+//!
+//! These tests run adversarial workloads on the deterministic simulator
+//! across many seeded schedules ([`stm_sim::explore::sweep`]) and check the
+//! core safety properties of the Shavit–Touitou protocol:
+//!
+//! * **atomicity/serializability** — the final state equals a sequential
+//!   application of the committed transactions (checked via invariants that
+//!   only hold if every multi-word commit was all-or-nothing);
+//! * **quiescence** — after all processors finish, every ownership word is
+//!   free;
+//! * **exactness** — counters equal exact operation counts (no lost or
+//!   duplicated commits, even with helping replaying work).
+
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::word::Word;
+use stm_sim::arch::{BusModel, MeshModel};
+use stm_sim::engine::SimPort;
+use stm_sim::explore::sweep;
+use stm_sim::harness::StmSim;
+
+const SEEDS: u64 = 12;
+
+#[test]
+fn counter_is_exact_across_schedules_bus() {
+    const PROCS: usize = 5;
+    const PER: u32 = 40;
+    let report = sweep(
+        SEEDS,
+        |seed| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default()).seed(seed).jitter(4);
+            sim.run(BusModel::for_procs(PROCS), |_p, ops| {
+                move |mut port: SimPort| {
+                    for _ in 0..PER {
+                        ops.fetch_add(&mut port, 0, 1);
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default());
+            assert_eq!(
+                sim.cell_value(report, 0),
+                PROCS as u32 * PER,
+                "seed {seed}: lost or duplicated increments"
+            );
+            assert!(sim.leaked_ownerships(report).is_empty(), "seed {seed}: leaked ownership");
+        },
+    );
+    assert!(report.distinct_outcomes >= 1);
+}
+
+#[test]
+fn transfers_conserve_and_quiesce_mesh() {
+    const PROCS: usize = 6;
+    const CELLS: usize = 10;
+    const ROUNDS: usize = 30;
+    sweep(
+        SEEDS,
+        |seed| {
+            let mut sim = StmSim::new(PROCS, CELLS, 4, StmConfig::default()).seed(seed).jitter(4);
+            for c in 0..CELLS {
+                sim.init_cell(c, 100);
+            }
+            sim.run(MeshModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    for i in 0..ROUNDS {
+                        let a = (p * 3 + i) % CELLS;
+                        let b = (p + i * 7) % CELLS;
+                        if a == b {
+                            continue;
+                        }
+                        let cells = [a, b];
+                        let deltas = [3u32.wrapping_neg(), 3];
+                        ops.fetch_add_many(&mut port, &cells, &deltas);
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, CELLS, 4, StmConfig::default());
+            let total: u64 = sim.all_cells(report).iter().map(|&v| v as u64).sum();
+            assert_eq!(total, CELLS as u64 * 100, "seed {seed}: money created/destroyed");
+            assert!(sim.leaked_ownerships(report).is_empty(), "seed {seed}");
+        },
+    );
+}
+
+#[test]
+fn mwcas_lockstep_pair_advances_atomically() {
+    // Cells 0 and 1 must always advance together; cell 2 counts successes.
+    const PROCS: usize = 4;
+    sweep(
+        SEEDS,
+        |seed| {
+            let sim = StmSim::new(PROCS, 3, 3, StmConfig::default()).seed(seed).jitter(4);
+            sim.run(BusModel::for_procs(PROCS), |_p, ops| {
+                move |mut port: SimPort| {
+                    let mut done = 0;
+                    while done < 10 {
+                        let snap = ops.snapshot(&mut port, &[0, 1]);
+                        assert_eq!(snap[0], snap[1], "pair out of lockstep mid-run");
+                        let v = snap[0];
+                        if ops.mwcas(&mut port, &[(0, v, v + 1), (1, v, v + 1)]).is_ok() {
+                            ops.fetch_add(&mut port, 2, 1);
+                            done += 1;
+                        }
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 3, 3, StmConfig::default());
+            let cells = sim.all_cells(report);
+            assert_eq!(cells[0], cells[1], "seed {seed}: pair desynchronized");
+            assert_eq!(cells[0], PROCS as u32 * 10, "seed {seed}: wrong success count");
+            assert_eq!(cells[2], PROCS as u32 * 10, "seed {seed}");
+        },
+    );
+}
+
+#[test]
+fn guarded_transactions_never_go_negative() {
+    // A guarded decrement (only if > 0) over random cells: counts must never
+    // wrap below zero — a torn or doubly-applied commit would.
+    const PROCS: usize = 5;
+    const CELLS: usize = 4;
+    let build = |seed: u64| {
+        let (mut sim, dec) = StmSim::with_programs(
+            PROCS,
+            CELLS,
+            2,
+            StmConfig::default(),
+            |b| {
+                b.register("guarded.dec", |_: &[Word], old: &[u32], new: &mut [u32]| {
+                    if old[0] > 0 {
+                        new[0] = old[0] - 1;
+                    }
+                })
+            },
+        );
+        sim = sim.seed(seed).jitter(4);
+        for c in 0..CELLS {
+            sim.init_cell(c, 8);
+        }
+        (sim, dec)
+    };
+    sweep(
+        SEEDS,
+        |seed| {
+            let (sim, dec) = build(seed);
+            sim.run(BusModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    for i in 0..25 {
+                        let c = (p + i) % CELLS;
+                        let cells = [c];
+                        let _ = ops.execute(&mut port, &TxSpec::new(dec, &[], &cells));
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let (sim, _) = build(seed);
+            for (c, v) in sim.all_cells(report).iter().enumerate() {
+                assert!(*v <= 8, "seed {seed}: cell {c} went negative (wrapped to {v})");
+            }
+        },
+    );
+}
+
+#[test]
+fn snapshot_reads_are_consistent_under_writers() {
+    // Writers keep two cells equal (via 2-cell add); a reader snapshotting
+    // them must never see them differ.
+    const PROCS: usize = 4;
+    sweep(
+        SEEDS,
+        |seed| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default()).seed(seed).jitter(4);
+            sim.run(BusModel::for_procs(PROCS), |p, ops| {
+                move |mut port: SimPort| {
+                    if p == 0 {
+                        // Reader: atomic snapshots must be torn-free.
+                        for _ in 0..60 {
+                            let snap = ops.snapshot(&mut port, &[0, 1]);
+                            assert_eq!(snap[0], snap[1], "torn snapshot");
+                        }
+                    } else {
+                        for _ in 0..30 {
+                            let cells = [0, 1];
+                            let deltas = [1, 1];
+                            ops.fetch_add_many(&mut port, &cells, &deltas);
+                        }
+                    }
+                }
+            })
+        },
+        |seed, report| {
+            let sim = StmSim::new(PROCS, 2, 2, StmConfig::default());
+            let cells = sim.all_cells(report);
+            assert_eq!(cells[0], cells[1], "seed {seed}");
+            assert_eq!(cells[0], (PROCS as u32 - 1) * 30, "seed {seed}");
+        },
+    );
+}
+
+/// The strongest check: record every committed transaction's (data set,
+/// observed old values + stamps, computed new values) while a contended
+/// multi-cell workload runs, then verify the whole history with
+/// [`stm_core::history::HistoryChecker`] — per-cell value chains must hold
+/// and the precedence graph must be acyclic, i.e. the execution is
+/// serializable, with a witness order produced.
+#[test]
+fn recorded_histories_are_serializable() {
+    use stm_core::history::{CommitRecord, HistoryChecker};
+
+    const PROCS: usize = 5;
+    const CELLS: usize = 4;
+    const PER: usize = 20;
+    for seed in 0..8u64 {
+        let records = std::sync::Mutex::new(Vec::<CommitRecord>::new());
+        let next_id = std::sync::atomic::AtomicUsize::new(0);
+        let sim = StmSim::new(PROCS, CELLS, 3, StmConfig::default()).seed(seed).jitter(4);
+        let builtins = sim.ops().builtins();
+        let report = sim.run(BusModel::for_procs(PROCS), |p, ops| {
+            let records = &records;
+            let next_id = &next_id;
+            move |mut port: SimPort| {
+                for i in 0..PER {
+                    // 2-cell wrapping adds with per-op deltas.
+                    let a = (p + i) % CELLS;
+                    let b = (p + i + 1 + i % (CELLS - 1)) % CELLS;
+                    if a == b {
+                        continue;
+                    }
+                    let cells = [a, b];
+                    let deltas = [1 + (i as u32 % 5), 7 + (p as u32)];
+                    let params = [deltas[0] as Word, deltas[1] as Word];
+                    let out = ops
+                        .stm()
+                        .execute(&mut port, &TxSpec::new(builtins.add, &params, &cells));
+                    let new_values: Vec<u32> = out
+                        .old
+                        .iter()
+                        .zip(&deltas)
+                        .map(|(&o, &d)| o.wrapping_add(d))
+                        .collect();
+                    records.lock().unwrap().push(CommitRecord {
+                        id: next_id.fetch_add(1, std::sync::atomic::Ordering::SeqCst),
+                        cells: cells.to_vec(),
+                        old_values: out.old.clone(),
+                        old_stamps: out.old_stamps.clone(),
+                        new_values,
+                    });
+                }
+            }
+        });
+        let mut checker = HistoryChecker::new(vec![0; CELLS]);
+        let recs = records.into_inner().unwrap();
+        let n = recs.len();
+        for r in recs {
+            checker.add(r);
+        }
+        let order = checker
+            .check()
+            .unwrap_or_else(|e| panic!("seed {seed}: history not serializable: {e}"));
+        assert_eq!(order.len(), n, "seed {seed}");
+        let _ = report;
+    }
+}
+
+#[test]
+fn host_and_sim_agree_on_final_state() {
+    // The same single-threaded transaction sequence must produce identical
+    // cell values on the host machine and on the simulator (the machine
+    // abstraction is semantics-preserving).
+    use stm_core::machine::host::HostMachine;
+
+    let run_host = || {
+        let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
+        let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = machine.port(0);
+        for i in 0..20u32 {
+            ops.fetch_add(&mut port, (i % 4) as usize, i);
+            let cells = [0, 3];
+            let deltas = [1, 2];
+            ops.fetch_add_many(&mut port, &cells, &deltas);
+        }
+        let all: Vec<usize> = (0..4).collect();
+        ops.snapshot(&mut port, &all)
+    };
+    let run_sim = || {
+        let sim = StmSim::new(1, 4, 4, StmConfig::default());
+        let report = sim.run(BusModel::for_procs(1), |_p, ops| {
+            move |mut port: SimPort| {
+                for i in 0..20u32 {
+                    ops.fetch_add(&mut port, (i % 4) as usize, i);
+                    let cells = [0, 3];
+                    let deltas = [1, 2];
+                    ops.fetch_add_many(&mut port, &cells, &deltas);
+                }
+            }
+        });
+        sim.all_cells(&report)
+    };
+    assert_eq!(run_host(), run_sim());
+}
