@@ -199,6 +199,7 @@ impl DynamicStm {
                     ((expected as Word) << 32) | new as Word
                 })
                 .collect();
+            port.step(crate::step::StepPoint::DynCommit);
             let out = self
                 .ops
                 .stm()

@@ -82,11 +82,13 @@ pub mod layout;
 pub mod machine;
 pub mod ops;
 pub mod program;
+pub mod step;
 pub mod stm;
 pub mod word;
 
 pub use machine::MemPort;
+pub use step::{StepKind, StepPoint};
 pub use ops::StmOps;
 pub use program::{OpCode, ProgramTable, TxProgram};
-pub use stm::{BackoffPolicy, Stm, StmConfig, TxOutcome, TxSpec, TxStats};
+pub use stm::{BackoffPolicy, Sabotage, Stm, StmConfig, TxOutcome, TxSpec, TxStats};
 pub use word::{Addr, CellIdx, Word};

@@ -6,6 +6,7 @@
 //! model, on either machine.
 
 use crate::machine::MemPort;
+use crate::step::StepPoint;
 use crate::word::{Addr, Word};
 
 /// Counts of operations observed by a [`CountingPort`].
@@ -109,6 +110,10 @@ impl<P: MemPort> MemPort for CountingPort<P> {
 
     fn now(&self) -> u64 {
         self.inner.now()
+    }
+
+    fn step(&mut self, point: StepPoint) {
+        self.inner.step(point)
     }
 }
 

@@ -17,6 +17,7 @@
 pub mod counting;
 pub mod host;
 
+use crate::step::StepPoint;
 use crate::word::{Addr, Word};
 
 /// A per-processor handle to a shared word-addressed memory.
@@ -68,6 +69,13 @@ pub trait MemPort {
     fn now(&self) -> u64 {
         0
     }
+
+    /// Announce that the protocol reached the named step point (see
+    /// [`crate::step`]). The default is a no-op, so on the host machine the
+    /// instrumentation in the protocol code vanishes; the simulator overrides
+    /// this to record the step in the trace and deliver scripted faults.
+    #[inline(always)]
+    fn step(&mut self, _point: StepPoint) {}
 }
 
 /// Blanket impl so `&mut P` can be passed where a port is consumed by value
@@ -93,6 +101,9 @@ impl<P: MemPort + ?Sized> MemPort for &mut P {
     }
     fn now(&self) -> u64 {
         (**self).now()
+    }
+    fn step(&mut self, point: StepPoint) {
+        (**self).step(point)
     }
 }
 

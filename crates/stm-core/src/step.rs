@@ -1,0 +1,219 @@
+//! Named protocol step points for fault injection and adversarial scheduling.
+//!
+//! The Shavit–Touitou liveness argument is about *where* a processor may die:
+//! a processor that crashes or is preempted at any point of the transaction
+//! protocol — mid-acquisition, between old-value agreements, before the
+//! decision CAS, between update writes, mid-release — must not be able to
+//! block the system, because helpers complete its transaction. To test that
+//! claim systematically rather than at one hand-picked point, the protocol
+//! code in [`crate::stm`] (and the dynamic layer in [`crate::dynamic`])
+//! announces every such point through
+//! [`MemPort::step`](crate::machine::MemPort::step).
+//!
+//! On the host machine the default `step` implementation is an empty inline
+//! function, so the instrumentation compiles to nothing. The simulator
+//! (`stm-sim`) overrides it to record the step in the execution trace and to
+//! deliver scripted faults (`CrashAt` / `StallFor` / `SlowBy`) at exactly
+//! that point.
+
+/// One announced point in the transaction protocol.
+///
+/// Data-set indices `j` are *program-order positions* into the transaction's
+/// cell list (the same indexing [`TxSpec::cells`](crate::stm::TxSpec) uses);
+/// acquisition announces positions in the paper's ascending-cell order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepPoint {
+    /// The record owner published a fresh transaction record (status moved
+    /// from `Initializing` to `Null`); the transaction is now helpable.
+    TxPublished,
+    /// A participant is about to (re-)attempt the ownership CAS for data-set
+    /// position `j`. No ownership of `j` is held yet on the first occurrence.
+    AcquireAttempt {
+        /// Program-order data-set position.
+        j: usize,
+    },
+    /// Ownership of data-set position `j` is now held by the running
+    /// transaction (claimed by this participant or found already claimed).
+    Acquired {
+        /// Program-order data-set position.
+        j: usize,
+    },
+    /// Every location is held; the participant is about to CAS the status
+    /// word from `Null` to `Success`.
+    BeforeDecisionCas,
+    /// This participant's decision CAS succeeded: the transaction is now
+    /// decided (`committed == true` for `Success`, `false` for `Failure`).
+    Decided {
+        /// Whether the decided outcome is `Success`.
+        committed: bool,
+    },
+    /// The old value of data-set position `j` is agreed for the running
+    /// version (set by this participant or found already set).
+    OldValAgreed {
+        /// Program-order data-set position.
+        j: usize,
+    },
+    /// The participant is about to install the new value of data-set
+    /// position `j` (including positions whose value is unchanged and will
+    /// be skipped).
+    UpdateWrite {
+        /// Program-order data-set position.
+        j: usize,
+    },
+    /// The participant is about to release ownership of data-set position
+    /// `j`.
+    BeforeRelease {
+        /// Program-order data-set position.
+        j: usize,
+    },
+    /// A failed transaction is about to help the conflicting transaction
+    /// initiated by processor `owner`.
+    HelpBegin {
+        /// The processor whose transaction will be helped.
+        owner: usize,
+    },
+    /// The dynamic-transaction layer is about to run its validate-and-write
+    /// commit (a static transaction over the collected footprint).
+    DynCommit,
+}
+
+impl StepPoint {
+    /// The fieldless discriminant of this step point.
+    pub fn kind(&self) -> StepKind {
+        match self {
+            StepPoint::TxPublished => StepKind::TxPublished,
+            StepPoint::AcquireAttempt { .. } => StepKind::AcquireAttempt,
+            StepPoint::Acquired { .. } => StepKind::Acquired,
+            StepPoint::BeforeDecisionCas => StepKind::BeforeDecisionCas,
+            StepPoint::Decided { .. } => StepKind::Decided,
+            StepPoint::OldValAgreed { .. } => StepKind::OldValAgreed,
+            StepPoint::UpdateWrite { .. } => StepKind::UpdateWrite,
+            StepPoint::BeforeRelease { .. } => StepKind::BeforeRelease,
+            StepPoint::HelpBegin { .. } => StepKind::HelpBegin,
+            StepPoint::DynCommit => StepKind::DynCommit,
+        }
+    }
+
+    /// The data-set position carried by this step, if it has one.
+    pub fn index(&self) -> Option<usize> {
+        match *self {
+            StepPoint::AcquireAttempt { j }
+            | StepPoint::Acquired { j }
+            | StepPoint::OldValAgreed { j }
+            | StepPoint::UpdateWrite { j }
+            | StepPoint::BeforeRelease { j } => Some(j),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for StepPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            StepPoint::TxPublished => write!(f, "TxPublished"),
+            StepPoint::AcquireAttempt { j } => write!(f, "AcquireAttempt{{{j}}}"),
+            StepPoint::Acquired { j } => write!(f, "Acquired{{{j}}}"),
+            StepPoint::BeforeDecisionCas => write!(f, "BeforeDecisionCas"),
+            StepPoint::Decided { committed } => write!(f, "Decided{{committed={committed}}}"),
+            StepPoint::OldValAgreed { j } => write!(f, "OldValAgreed{{{j}}}"),
+            StepPoint::UpdateWrite { j } => write!(f, "UpdateWrite{{{j}}}"),
+            StepPoint::BeforeRelease { j } => write!(f, "BeforeRelease{{{j}}}"),
+            StepPoint::HelpBegin { owner } => write!(f, "HelpBegin{{P{owner}}}"),
+            StepPoint::DynCommit => write!(f, "DynCommit"),
+        }
+    }
+}
+
+/// Fieldless discriminant of [`StepPoint`] — what fault triggers and matrix
+/// sweeps select on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// See [`StepPoint::TxPublished`].
+    TxPublished,
+    /// See [`StepPoint::AcquireAttempt`].
+    AcquireAttempt,
+    /// See [`StepPoint::Acquired`].
+    Acquired,
+    /// See [`StepPoint::BeforeDecisionCas`].
+    BeforeDecisionCas,
+    /// See [`StepPoint::Decided`].
+    Decided,
+    /// See [`StepPoint::OldValAgreed`].
+    OldValAgreed,
+    /// See [`StepPoint::UpdateWrite`].
+    UpdateWrite,
+    /// See [`StepPoint::BeforeRelease`].
+    BeforeRelease,
+    /// See [`StepPoint::HelpBegin`].
+    HelpBegin,
+    /// See [`StepPoint::DynCommit`].
+    DynCommit,
+}
+
+impl StepKind {
+    /// Every step kind the static-transaction protocol announces, in
+    /// protocol order (excludes [`StepKind::DynCommit`], which only the
+    /// dynamic layer emits).
+    pub const PROTOCOL: [StepKind; 9] = [
+        StepKind::TxPublished,
+        StepKind::AcquireAttempt,
+        StepKind::Acquired,
+        StepKind::BeforeDecisionCas,
+        StepKind::Decided,
+        StepKind::OldValAgreed,
+        StepKind::UpdateWrite,
+        StepKind::BeforeRelease,
+        StepKind::HelpBegin,
+    ];
+
+    /// Does this kind carry a data-set position?
+    pub fn has_index(&self) -> bool {
+        matches!(
+            self,
+            StepKind::AcquireAttempt
+                | StepKind::Acquired
+                | StepKind::OldValAgreed
+                | StepKind::UpdateWrite
+                | StepKind::BeforeRelease
+        )
+    }
+}
+
+impl std::fmt::Display for StepKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_and_indices_are_consistent() {
+        let steps = [
+            StepPoint::TxPublished,
+            StepPoint::AcquireAttempt { j: 2 },
+            StepPoint::Acquired { j: 2 },
+            StepPoint::BeforeDecisionCas,
+            StepPoint::Decided { committed: true },
+            StepPoint::OldValAgreed { j: 0 },
+            StepPoint::UpdateWrite { j: 1 },
+            StepPoint::BeforeRelease { j: 1 },
+            StepPoint::HelpBegin { owner: 3 },
+            StepPoint::DynCommit,
+        ];
+        for s in steps {
+            assert_eq!(s.kind().has_index(), s.index().is_some(), "{s}");
+        }
+        assert_eq!(StepPoint::AcquireAttempt { j: 7 }.index(), Some(7));
+        assert_eq!(StepPoint::BeforeDecisionCas.index(), None);
+    }
+
+    #[test]
+    fn display_is_compact_and_informative() {
+        assert_eq!(StepPoint::AcquireAttempt { j: 3 }.to_string(), "AcquireAttempt{3}");
+        assert_eq!(StepPoint::HelpBegin { owner: 2 }.to_string(), "HelpBegin{P2}");
+        assert_eq!(StepKind::UpdateWrite.to_string(), "UpdateWrite");
+    }
+}

@@ -11,6 +11,7 @@
 use crate::layout::MAX_PARAMS;
 use crate::machine::MemPort;
 use crate::program::OpCode;
+use crate::step::StepPoint;
 use crate::word::{
     cell_successor, cell_value, oldval_for_version, pack_oldval_set, pack_oldval_unset,
     pack_owner, pack_status, status_is_version, unpack_owner, unpack_status, CellIdx, TxStatus,
@@ -132,6 +133,7 @@ fn attempt<P: MemPort>(
     }
     // (3) Publish: the transaction is now live and helpable.
     port.write(l.status(me), pack_status(version, TxStatus::Null));
+    port.step(StepPoint::TxPublished);
 
     let view = TxView::from_spec(spec);
     run_transaction(stm, port, me, version, &view);
@@ -160,6 +162,7 @@ fn attempt<P: MemPort>(
                     if let Some((p2, v2)) = unpack_owner(port.read(l.ownership(cell))) {
                         if p2 != me {
                             stats.helps += 1;
+                            port.step(StepPoint::HelpBegin { owner: p2 });
                             help(stm, port, p2, v2);
                         }
                     }
@@ -197,6 +200,17 @@ fn run_transaction<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u
     }
     match unpack_status(stw).1 {
         TxStatus::Success => {
+            if stm.config.sabotage == crate::stm::Sabotage::ReleaseBeforeUpdate {
+                // Deliberately broken ordering for harness validation: free
+                // the locations first, then install. See [`crate::stm::Sabotage`].
+                release_ownerships(stm, port, owner, version, view);
+                if agree_old_values(stm, port, owner, version, view) {
+                    if let Some(olds) = read_agreed(stm, port, owner, version, view) {
+                        update_memory(stm, port, version, view, &olds);
+                    }
+                }
+                return;
+            }
             if agree_old_values(stm, port, owner, version, view) {
                 if let Some(olds) = read_agreed(stm, port, owner, version, view) {
                     update_memory(stm, port, version, view, &olds);
@@ -233,6 +247,7 @@ fn acquire_ownerships<P: MemPort>(
     for &j in &view.order {
         let own_addr = l.ownership(view.cells[j]);
         loop {
+            port.step(StepPoint::AcquireAttempt { j });
             // Another participant may have decided the outcome already.
             if port.read(status_addr) != live {
                 return;
@@ -257,13 +272,22 @@ fn acquire_ownerships<P: MemPort>(
                 continue;
             }
             // Live conflict: fail this transaction at data-set position `j`.
-            let _ = port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)));
+            if port
+                .compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)))
+                .is_ok()
+            {
+                port.step(StepPoint::Decided { committed: false });
+            }
             return;
         }
+        port.step(StepPoint::Acquired { j });
     }
     // Every location is held by `(owner, version)`: decide success. If the
     // CAS fails, another participant decided first — equally final.
-    let _ = port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Success));
+    port.step(StepPoint::BeforeDecisionCas);
+    if port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Success)).is_ok() {
+        port.step(StepPoint::Decided { committed: true });
+    }
 }
 
 /// The paper's `agreeOldValues`: fix the pre-image of every location exactly
@@ -296,6 +320,7 @@ fn agree_old_values<P: MemPort>(
                 }
             }
         }
+        port.step(StepPoint::OldValAgreed { j });
     }
     true
 }
@@ -327,6 +352,7 @@ fn update_memory<P: MemPort>(stm: &Stm, port: &mut P, _version: u64, view: &TxVi
     let mut new_values = old_values.clone();
     stm.table().run(view.op, &view.params, &old_values, &mut new_values);
     for j in 0..view.cells.len() {
+        port.step(StepPoint::UpdateWrite { j });
         if new_values[j] == old_values[j] {
             continue; // logical read: leave the cell (and its stamp) untouched
         }
@@ -349,7 +375,8 @@ fn release_ownerships<P: MemPort>(
 ) {
     let l = *stm.layout();
     let mine = pack_owner(owner, version);
-    for &c in &view.cells {
+    for (j, &c) in view.cells.iter().enumerate() {
+        port.step(StepPoint::BeforeRelease { j });
         let _ = port.compare_exchange(l.ownership(c), mine, OWNER_FREE);
     }
 }

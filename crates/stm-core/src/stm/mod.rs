@@ -79,6 +79,23 @@ impl BackoffPolicy {
     }
 }
 
+/// Deliberately broken protocol variants, used only to validate that the
+/// fault-injection harness in `stm-sim` actually catches protocol bugs (a
+/// checker that never fires is indistinguishable from a vacuous one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sabotage {
+    /// The correct protocol (the only setting for real use).
+    #[default]
+    None,
+    /// Release ownerships *before* installing the new values on commit.
+    /// This breaks atomicity: between release and update another transaction
+    /// can acquire the cells and read pre-commit values, or a crash between
+    /// the two phases strands a committed-but-never-applied transaction that
+    /// no helper can finish (helpers need the ownerships to be obliged to
+    /// run the update).
+    ReleaseBeforeUpdate,
+}
+
 /// Configuration of the STM protocol.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StmConfig {
@@ -87,11 +104,13 @@ pub struct StmConfig {
     pub helping: bool,
     /// Back-off between retries (default: none, as in the paper).
     pub backoff: BackoffPolicy,
+    /// Deliberate protocol bug for harness validation (default: none).
+    pub sabotage: Sabotage,
 }
 
 impl Default for StmConfig {
     fn default() -> Self {
-        StmConfig { helping: true, backoff: BackoffPolicy::None }
+        StmConfig { helping: true, backoff: BackoffPolicy::None, sabotage: Sabotage::None }
     }
 }
 

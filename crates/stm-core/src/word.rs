@@ -25,6 +25,25 @@
 //! comparisons are always performed on *packed* words produced by the same
 //! packing function, never on raw counters, so truncation is applied
 //! uniformly.
+//!
+//! # Version wraparound and the staleness bound
+//!
+//! The authoritative counter is itself recovered from the packed status word
+//! (see `attempt` in the protocol module), so it is effectively a
+//! [`VERSION_BITS`]-bit counter that wraps at `2^40`. Wrapping is *harmless*
+//! per se — every comparison is between words truncated the same way, so the
+//! protocol carries straight across the discontinuity (exercised by the
+//! `version_counter_wraparound_is_harmless_under_contention` simulator test).
+//! What truncation does bound is *helper staleness*: a helper that stalls
+//! holding a stale `(owner, version)` pair can be fooled only if the victim's
+//! record advances by an exact multiple of the tag modulus while the helper
+//! sleeps — `2^40` transactions for status/ownership tags, `2^15` for
+//! old-value entries (the binding constraint), and `2^16` cell updates for
+//! the per-cell stamp. Within any window shorter than `2^15` transactions of
+//! one record, every tag comparison is exact and the ABA is impossible. The
+//! paper assumes unbounded tags; these widths are where that assumption is
+//! cashed out, and they can be re-balanced against [`MAX_PROCS`] /
+//! [`MAX_DATASET`] if a deployment needs a wider staleness window.
 
 /// Machine word: every shared location holds one of these.
 pub type Word = u64;

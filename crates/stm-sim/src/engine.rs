@@ -25,10 +25,41 @@ use parking_lot::{Condvar, Mutex};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stm_core::machine::MemPort;
+use stm_core::step::StepPoint;
 use stm_core::word::{Addr, Word};
 
 use crate::arch::{CostModel, OpKind};
+use crate::faults::{CrashSignal, FaultKind, FaultPlan, ProcFaults};
 use crate::stats::SimStats;
+
+/// Panic payload used to unwind processors after a structured halt (watchdog
+/// violation). Recognized — and swallowed — by [`Simulation::run`].
+pub(crate) struct HaltSignal;
+
+thread_local! {
+    /// Set immediately before a *planned* unwind (scripted crash or
+    /// structured halt) so the panic hook stays silent for it.
+    static PLANNED_UNWIND: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Unwind the current simulated processor with a planned payload
+/// ([`CrashSignal`] or [`HaltSignal`]) without the default panic hook
+/// printing a backtrace: planned deaths are simulation events, not host
+/// failures. Genuine workload panics take the normal path and stay loud.
+pub(crate) fn planned_unwind<T: Send + 'static>(payload: T) -> ! {
+    static SILENCER: std::sync::Once = std::sync::Once::new();
+    SILENCER.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if PLANNED_UNWIND.with(|f| f.replace(false)) {
+                return;
+            }
+            prev(info);
+        }));
+    });
+    PLANNED_UNWIND.with(|f| f.set(true));
+    panic::panic_any(payload)
+}
 
 /// Configuration of a simulation run.
 #[derive(Debug, Clone)]
@@ -40,14 +71,18 @@ pub struct SimConfig {
     /// Maximum jitter (cycles) added to each operation's completion time;
     /// `0` gives the pure cost-model schedule.
     pub jitter: u64,
-    /// Watchdog: the run is aborted (panics) if the virtual clock exceeds
-    /// this. Guards tests against livelock/deadlock bugs.
+    /// Watchdog: if the virtual clock exceeds this, the run halts and
+    /// reports a structured [`Violation::Watchdog`] on the
+    /// [`SimReport`] (it does *not* panic). Guards tests against
+    /// livelock/deadlock bugs.
     pub max_cycles: u64,
     /// Words to pre-load into memory before the first cycle (address, value).
     pub init: Vec<(Addr, Word)>,
     /// Record up to this many [`TraceEvent`](crate::trace::TraceEvent)s
     /// (0 disables tracing).
     pub trace_limit: usize,
+    /// Scripted faults to deliver during the run (default: none).
+    pub faults: FaultPlan,
 }
 
 impl Default for SimConfig {
@@ -59,6 +94,7 @@ impl Default for SimConfig {
             max_cycles: 1 << 33,
             init: Vec::new(),
             trace_limit: 0,
+            faults: FaultPlan::new(),
         }
     }
 }
@@ -67,6 +103,48 @@ impl SimConfig {
     /// Convenience constructor: `n_words` of memory with defaults otherwise.
     pub fn with_words(n_words: usize) -> Self {
         SimConfig { n_words, ..Default::default() }
+    }
+}
+
+/// A structured liveness violation attached to a [`SimReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// The virtual clock exceeded [`SimConfig::max_cycles`]: the system as a
+    /// whole ran past its budget without finishing (livelock, deadlock, or a
+    /// runaway workload).
+    Watchdog {
+        /// Processor whose operation first crossed the limit.
+        proc: usize,
+        /// Completion time of the offending operation.
+        at: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+    /// Non-crashed processors kept taking protocol steps, but no transaction
+    /// committed within the configured budget — the lock-freedom bound was
+    /// missed. Produced by [`crate::liveness::LivenessChecker`].
+    NoProgress {
+        /// Time of the last commit (or run start) before the silent window.
+        window_start: u64,
+        /// Time at which the budget was exceeded.
+        at: u64,
+        /// Protocol steps taken by non-crashed processors in the window.
+        steps: usize,
+    },
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match *self {
+            Violation::Watchdog { proc, at, limit } => write!(
+                f,
+                "watchdog: P{proc} reached cycle {at}, past the {limit}-cycle limit"
+            ),
+            Violation::NoProgress { window_start, at, steps } => write!(
+                f,
+                "no progress: {steps} protocol steps between cycles {window_start} and {at} without a commit"
+            ),
+        }
     }
 }
 
@@ -82,6 +160,10 @@ pub struct SimReport {
     /// Recorded events, if tracing was enabled (see
     /// [`SimConfig::trace_limit`]).
     pub trace: Vec<crate::trace::TraceEvent>,
+    /// Structured violation, if the watchdog halted the run.
+    pub violation: Option<Violation>,
+    /// Processors crashed by the fault plan, in ascending order.
+    pub crashed: Vec<usize>,
 }
 
 struct SimState {
@@ -99,6 +181,11 @@ struct SimState {
     rng: SmallRng,
     stats: SimStats,
     poisoned: bool,
+    /// Structured halt: the watchdog tripped; every processor unwinds with
+    /// [`HaltSignal`] and the run returns a report with `violation` set.
+    halted: bool,
+    violation: Option<Violation>,
+    crashed: Vec<usize>,
     trace: Vec<crate::trace::TraceEvent>,
     trace_limit: usize,
 }
@@ -126,8 +213,8 @@ impl Shared {
         if st.running.is_some() {
             return;
         }
-        if st.poisoned {
-            // Wake everyone so they can observe the poison and unwind.
+        if st.poisoned || st.halted {
+            // Wake everyone so they can observe the poison/halt and unwind.
             for cv in &self.proc_cvs {
                 cv.notify_all();
             }
@@ -165,6 +252,12 @@ pub struct SimPort {
     t_local: u64,
     jitter: u64,
     done: bool,
+    faults: ProcFaults,
+    /// Slow-down multiplier from a delivered [`FaultKind::SlowBy`] (1 = normal).
+    slow_mult: u64,
+    /// Re-entrancy guard: set while delivering a fault (a stall runs through
+    /// `delay`, which must not evaluate further faults recursively).
+    in_fault: bool,
 }
 
 impl std::fmt::Debug for SimPort {
@@ -185,7 +278,11 @@ impl SimPort {
         loop {
             if st.poisoned {
                 drop(st);
-                panic!("simulation poisoned by a failing co-processor or watchdog");
+                panic!("simulation poisoned by a failing co-processor");
+            }
+            if st.halted {
+                drop(st);
+                planned_unwind(HaltSignal);
             }
             if st.granted[self.proc] {
                 break;
@@ -202,22 +299,21 @@ impl SimPort {
     /// is globally next, apply its effect.
     fn mem_op<R>(&mut self, kind: OpKind, addr: Addr, apply: impl FnOnce(&mut SimState) -> R) -> R {
         assert!(addr < self.shared.n_words, "address {addr} out of simulated memory");
+        self.check_cycle_faults();
         let shared = Arc::clone(&self.shared);
         let t_complete;
         {
             let mut st = shared.state.lock();
-            let base = st.model.access(self.t_local, self.proc, kind, addr);
-            let jitter = if self.jitter > 0 { st.rng.gen_range(0..=self.jitter) } else { 0 };
-            t_complete = base + jitter;
-            if t_complete > shared.max_cycles {
-                st.poisoned = true;
-                st.running = None;
-                shared.schedule_next(&mut st);
+            if st.halted {
                 drop(st);
-                panic!(
-                    "simulation watchdog: virtual clock exceeded {} cycles (livelock or runaway workload?)",
-                    shared.max_cycles
-                );
+                planned_unwind(HaltSignal);
+            }
+            let base = st.model.access(self.t_local, self.proc, kind, addr);
+            let duration = base.saturating_sub(self.t_local) * self.slow_mult;
+            let jitter = if self.jitter > 0 { st.rng.gen_range(0..=self.jitter) } else { 0 };
+            t_complete = self.t_local + duration + jitter;
+            if t_complete > shared.max_cycles {
+                self.trip_watchdog(&shared, st, t_complete);
             }
             st.stats.record(self.proc, kind);
             st.record_trace(t_complete, self.proc, crate::trace::TraceKind::Mem(kind, addr));
@@ -230,8 +326,83 @@ impl SimPort {
         self.complete(t_complete, apply)
     }
 
-    fn with(shared: Arc<Shared>, proc: usize, n_procs: usize, jitter: u64) -> Self {
-        SimPort { shared, proc, n_procs, t_local: 0, jitter, done: false }
+    /// Watchdog trip: record a structured violation, halt every processor,
+    /// and unwind this one. Never returns.
+    fn trip_watchdog(
+        &self,
+        shared: &Arc<Shared>,
+        mut st: parking_lot::MutexGuard<'_, SimState>,
+        at: u64,
+    ) -> ! {
+        st.halted = true;
+        if st.violation.is_none() {
+            st.violation =
+                Some(Violation::Watchdog { proc: self.proc, at, limit: shared.max_cycles });
+        }
+        st.running = None;
+        shared.schedule_next(&mut st);
+        drop(st);
+        planned_unwind(HaltSignal);
+    }
+
+    /// Evaluate (and deliver) any cycle-triggered fault due at local time.
+    fn check_cycle_faults(&mut self) {
+        if self.in_fault || self.faults.is_empty() {
+            return;
+        }
+        if let Some(kind) = self.faults.on_cycle(self.t_local) {
+            self.deliver(kind);
+        }
+    }
+
+    /// Deliver one fired fault. May panic (crash) or advance time (stall).
+    fn deliver(&mut self, kind: FaultKind) {
+        self.in_fault = true;
+        match kind {
+            FaultKind::Crash => {
+                let shared = Arc::clone(&self.shared);
+                {
+                    let mut st = shared.state.lock();
+                    st.crashed.push(self.proc);
+                    st.record_trace(self.t_local, self.proc, crate::trace::TraceKind::FaultCrash);
+                }
+                // Unwind the workload closure; SimPort::drop marks this
+                // processor finished and reschedules, exactly as an early
+                // return ("crash") does.
+                planned_unwind(CrashSignal { proc: self.proc });
+            }
+            FaultKind::Stall { cycles } => {
+                {
+                    let mut st = self.shared.state.lock();
+                    let t = self.t_local;
+                    let p = self.proc;
+                    st.record_trace(t, p, crate::trace::TraceKind::FaultStall(cycles));
+                }
+                self.delay(cycles);
+            }
+            FaultKind::SlowBy { factor } => {
+                let mut st = self.shared.state.lock();
+                let t = self.t_local;
+                let p = self.proc;
+                st.record_trace(t, p, crate::trace::TraceKind::FaultSlow(factor));
+                self.slow_mult = self.slow_mult.saturating_mul(factor.max(1));
+            }
+        }
+        self.in_fault = false;
+    }
+
+    fn with(shared: Arc<Shared>, proc: usize, n_procs: usize, jitter: u64, faults: ProcFaults) -> Self {
+        SimPort {
+            shared,
+            proc,
+            n_procs,
+            t_local: 0,
+            jitter,
+            done: false,
+            faults,
+            slow_mult: 1,
+            in_fault: false,
+        }
     }
 }
 
@@ -267,17 +438,18 @@ impl MemPort for SimPort {
     fn delay(&mut self, cycles: u64) {
         // Purely local time: park until the virtual clock reaches it, with no
         // memory traffic and no contention effects.
+        let cycles = cycles.saturating_mul(self.slow_mult);
         let shared = Arc::clone(&self.shared);
         let t_complete;
         {
             let mut st = shared.state.lock();
+            if st.halted {
+                drop(st);
+                planned_unwind(HaltSignal);
+            }
             t_complete = self.t_local + cycles;
             if t_complete > shared.max_cycles {
-                st.poisoned = true;
-                st.running = None;
-                shared.schedule_next(&mut st);
-                drop(st);
-                panic!("simulation watchdog: delay beyond {} cycles", shared.max_cycles);
+                self.trip_watchdog(&shared, st, t_complete);
             }
             st.record_trace(t_complete, self.proc, crate::trace::TraceKind::Delay(cycles));
             let seq = st.seq;
@@ -291,6 +463,34 @@ impl MemPort for SimPort {
 
     fn now(&self) -> u64 {
         self.t_local
+    }
+
+    fn step(&mut self, point: StepPoint) {
+        // A step announcement costs no cycles and does not reschedule: the
+        // announcing processor still holds the grant. It is recorded in the
+        // trace (for the liveness checker and dump rendering) and evaluated
+        // against this processor's fault script.
+        {
+            let mut st = self.shared.state.lock();
+            if st.poisoned {
+                drop(st);
+                panic!("simulation poisoned by a failing co-processor");
+            }
+            if st.halted {
+                drop(st);
+                planned_unwind(HaltSignal);
+            }
+            let t = self.t_local;
+            let p = self.proc;
+            st.record_trace(t, p, crate::trace::TraceKind::Step(point));
+        }
+        if self.in_fault || self.faults.is_empty() {
+            return;
+        }
+        if let Some(kind) = self.faults.on_step(point) {
+            self.deliver(kind);
+        }
+        self.check_cycle_faults();
     }
 }
 
@@ -374,6 +574,9 @@ impl Simulation {
             rng: SmallRng::seed_from_u64(self.config.seed),
             stats: SimStats::new(n_procs),
             poisoned: false,
+            halted: false,
+            violation: None,
+            crashed: Vec::new(),
             trace: Vec::new(),
             trace_limit: self.config.trace_limit,
         };
@@ -399,14 +602,16 @@ impl Simulation {
 
         let bodies: Vec<B> = (0..n_procs).map(&mut make_body).collect();
         let jitter = self.config.jitter;
+        let fault_plan = self.config.faults.clone();
         let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
 
         std::thread::scope(|s| {
             let mut handles = Vec::with_capacity(n_procs);
             for (p, body) in bodies.into_iter().enumerate() {
                 let shared = Arc::clone(&shared);
+                let faults = ProcFaults::for_proc(&fault_plan, p);
                 handles.push(s.spawn(move || {
-                    let mut port = SimPort::with(shared, p, n_procs, jitter);
+                    let mut port = SimPort::with(shared, p, n_procs, jitter, faults);
                     // Wait for the initial grant before running user code.
                     port.complete(0, |_| ());
                     let result = panic::catch_unwind(AssertUnwindSafe(|| body(port)));
@@ -416,18 +621,17 @@ impl Simulation {
                 }));
             }
             for h in handles {
-                match h.join() {
-                    Ok(Ok(())) => {}
-                    Ok(Err(payload)) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(payload);
-                        }
-                    }
-                    Err(payload) => {
-                        if first_panic.is_none() {
-                            first_panic = Some(payload);
-                        }
-                    }
+                let payload = match h.join() {
+                    Ok(Ok(())) => continue,
+                    Ok(Err(payload)) => payload,
+                    Err(payload) => payload,
+                };
+                // Planned crashes and structured halts are not failures.
+                if payload.is::<CrashSignal>() || payload.is::<HaltSignal>() {
+                    continue;
+                }
+                if first_panic.is_none() {
+                    first_panic = Some(payload);
                 }
             }
         });
@@ -436,11 +640,15 @@ impl Simulation {
         }
 
         let st = shared.state.lock();
+        let mut crashed = st.crashed.clone();
+        crashed.sort_unstable();
         SimReport {
             cycles: st.clock,
             stats: st.stats.clone(),
             memory: st.mem.clone(),
             trace: st.trace.clone(),
+            violation: st.violation.clone(),
+            crashed,
         }
     }
 }
@@ -553,9 +761,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "watchdog")]
-    fn watchdog_trips_on_runaway() {
-        let _ = Simulation::new(
+    fn watchdog_reports_structured_violation() {
+        let report = Simulation::new(
             SimConfig { n_words: 1, max_cycles: 1000, ..Default::default() },
             UniformModel::new(1, 10),
         )
@@ -564,6 +771,88 @@ mod tests {
                 let _ = port.read(0);
             }
         });
+        match report.violation {
+            Some(Violation::Watchdog { proc: 0, at, limit: 1000 }) => assert!(at > 1000),
+            ref other => panic!("expected watchdog violation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn watchdog_in_delay_reports_structured_violation() {
+        // Satellite check: a runaway `delay` also halts structurally — the
+        // sibling processor unwinds instead of deadlocking, and the report
+        // carries the violation.
+        let report = Simulation::new(
+            SimConfig { n_words: 1, max_cycles: 1000, ..Default::default() },
+            UniformModel::new(1, 2),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    port.delay(50_000);
+                }
+                loop {
+                    let _ = port.read(0);
+                }
+            }
+        });
+        assert!(
+            matches!(report.violation, Some(Violation::Watchdog { .. })),
+            "{:?}",
+            report.violation
+        );
+        assert!(report.crashed.is_empty());
+    }
+
+    #[test]
+    fn scripted_crash_is_benign_and_reported() {
+        let report = Simulation::new(
+            SimConfig {
+                n_words: 1,
+                faults: crate::faults::FaultPlan::new().crash_at_cycle(1, 0),
+                ..Default::default()
+            },
+            UniformModel::new(1, 3),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                for _ in 0..10 {
+                    let v = port.read(0);
+                    port.write(0, v + 1);
+                }
+                assert_ne!(p, 1, "processor 1 must have been crashed by the plan");
+            }
+        });
+        assert_eq!(report.crashed, vec![1]);
+        assert_eq!(report.memory[0], 10, "survivor finished its work");
+        assert!(report.violation.is_none());
+    }
+
+    #[test]
+    fn slow_by_fault_stretches_op_durations() {
+        let run = |factor: u64| {
+            let faults = if factor > 1 {
+                crate::faults::FaultPlan::new().with(crate::faults::Fault {
+                    proc: 0,
+                    trigger: crate::faults::Trigger::Cycle { at: 0 },
+                    kind: crate::faults::FaultKind::SlowBy { factor },
+                })
+            } else {
+                crate::faults::FaultPlan::new()
+            };
+            Simulation::new(SimConfig { n_words: 1, faults, ..Default::default() }, UniformModel::new(1, 5))
+                .run(1, |_| {
+                    |mut port: SimPort| {
+                        for _ in 0..10 {
+                            let _ = port.read(0);
+                        }
+                    }
+                })
+                .cycles
+        };
+        let normal = run(1);
+        let slowed = run(4);
+        assert_eq!(slowed, normal * 4, "SlowBy must scale every op's duration");
     }
 
     #[test]

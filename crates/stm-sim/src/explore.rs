@@ -6,8 +6,24 @@
 //! distinct global interleavings — a lightweight, reproducible stand-in for
 //! model checking. On a violation the failing seed is reported, and re-running
 //! that single seed replays the exact schedule.
+//!
+//! On top of seed sweeping this module provides the systematic fault
+//! machinery:
+//!
+//! * [`crash_matrix`] — one single-crash [`FaultPlan`] per instrumented
+//!   protocol step, with the helping oracle (must the victim's effect land
+//!   exactly once, or never?) attached to each point;
+//! * [`FaultFuzzer`] — a seeded generator of random multi-fault plans for
+//!   property tests;
+//! * [`shrink`] — a greedy minimizer for a failing `(seed, FaultPlan)` pair,
+//!   producing the smallest reproducer the search can find.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stm_core::step::StepKind;
 
 use crate::engine::SimReport;
+use crate::faults::{Fault, FaultKind, FaultPlan, Trigger};
 
 /// Outcome of an exploration sweep.
 #[derive(Debug, Clone)]
@@ -50,6 +66,222 @@ pub fn sweep(
         outcomes.insert(report.memory.clone());
     }
     ExploreReport { seeds, distinct_outcomes: outcomes.len() }
+}
+
+/// One point of the systematic crash matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixPoint {
+    /// Human-readable name of the crash site (e.g. `"Acquired{1}"`).
+    pub label: String,
+    /// The single-crash plan for this point.
+    pub plan: FaultPlan,
+    /// The helping oracle: `true` if the victim's transaction must be
+    /// completed by helpers (effect applied exactly once), `false` if it
+    /// must never take effect (the victim died before claiming anything, so
+    /// no processor is ever obliged — or able — to help it).
+    pub expect_effect: bool,
+}
+
+/// Enumerate the full single-crash matrix for a `victim` processor running
+/// one static transaction over `dataset_len` locations: one [`MatrixPoint`]
+/// per instrumented protocol step the victim announces on an uncontended
+/// first run.
+///
+/// The oracle follows the paper's helping argument. A crash *before* the
+/// first ownership CAS (`TxPublished`, `AcquireAttempt{0}`) leaves nothing
+/// claimed: no survivor ever conflicts with the victim, so its transaction
+/// stays undecided forever and its effect must appear **zero** times. A
+/// crash at any later step leaves at least one location claimed; the first
+/// survivor to conflict is obliged to complete the victim's transaction, so
+/// its effect must appear **exactly once** — and in all cases the ownership
+/// table must end the run fully released.
+///
+/// `HelpBegin` does not appear here (an uncontended victim never helps); the
+/// helper-crash scenario needs a second wedged processor and is exercised
+/// separately.
+pub fn crash_matrix(victim: usize, dataset_len: usize) -> Vec<MatrixPoint> {
+    assert!(dataset_len > 0, "need at least one location");
+    let mut points: Vec<(StepKind, Option<usize>, bool)> = vec![
+        (StepKind::TxPublished, None, false),
+        // Announced before the first CAS: nothing claimed yet.
+        (StepKind::AcquireAttempt, Some(0), false),
+    ];
+    // Attempting position j > 0 means positions 0..j are already claimed.
+    for j in 1..dataset_len {
+        points.push((StepKind::AcquireAttempt, Some(j), true));
+    }
+    for j in 0..dataset_len {
+        points.push((StepKind::Acquired, Some(j), true));
+    }
+    points.push((StepKind::BeforeDecisionCas, None, true));
+    points.push((StepKind::Decided, None, true));
+    for j in 0..dataset_len {
+        points.push((StepKind::OldValAgreed, Some(j), true));
+    }
+    for j in 0..dataset_len {
+        points.push((StepKind::UpdateWrite, Some(j), true));
+    }
+    for j in 0..dataset_len {
+        points.push((StepKind::BeforeRelease, Some(j), true));
+    }
+    points
+        .into_iter()
+        .map(|(kind, index, expect_effect)| MatrixPoint {
+            label: match index {
+                Some(j) => format!("{kind}{{{j}}}"),
+                None => kind.to_string(),
+            },
+            plan: FaultPlan::new().crash_at_step(victim, kind, index),
+            expect_effect,
+        })
+        .collect()
+}
+
+/// A seeded generator of random fault plans, for property tests that sweep
+/// the fault space beyond the systematic matrix.
+///
+/// Deterministic: the same seed yields the same sequence of plans.
+#[derive(Debug)]
+pub struct FaultFuzzer {
+    rng: SmallRng,
+    n_procs: usize,
+    dataset_len: usize,
+    max_faults: usize,
+    max_cycle: u64,
+}
+
+impl FaultFuzzer {
+    /// A fuzzer over `n_procs` processors running transactions of
+    /// `dataset_len` locations. Generated faults never target processor
+    /// `n_procs - 1`, so at least one processor always survives to drain
+    /// the others' abandoned transactions.
+    pub fn new(seed: u64, n_procs: usize, dataset_len: usize) -> Self {
+        assert!(n_procs >= 2, "need a survivor and at least one faultable processor");
+        FaultFuzzer { rng: SmallRng::seed_from_u64(seed), n_procs, dataset_len, max_faults: 2, max_cycle: 50_000 }
+    }
+
+    /// Cap the number of faults per plan (default 2).
+    pub fn max_faults(mut self, max: usize) -> Self {
+        self.max_faults = max;
+        self
+    }
+
+    /// Generate the next plan: up to `max_faults` random faults on random
+    /// non-survivor processors.
+    pub fn next_plan(&mut self) -> FaultPlan {
+        let n = self.rng.gen_range(0..=self.max_faults);
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let proc = self.rng.gen_range(0..self.n_procs - 1);
+            let trigger = if self.rng.gen_bool(0.7) {
+                let kind = StepKind::PROTOCOL[self.rng.gen_range(0..StepKind::PROTOCOL.len())];
+                let index = if kind.has_index() {
+                    Some(self.rng.gen_range(0..self.dataset_len))
+                } else {
+                    None
+                };
+                Trigger::Step { kind, index, nth: self.rng.gen_range(0..3) }
+            } else {
+                Trigger::Cycle { at: self.rng.gen_range(0..self.max_cycle) }
+            };
+            let kind = match self.rng.gen_range(0..3u32) {
+                0 => FaultKind::Crash,
+                1 => FaultKind::Stall { cycles: self.rng.gen_range(100..5000) },
+                _ => FaultKind::SlowBy { factor: self.rng.gen_range(2..8) },
+            };
+            plan = plan.with(Fault { proc, trigger, kind });
+        }
+        plan
+    }
+}
+
+/// Greedily shrink a failing `(seed, FaultPlan)` reproducer.
+///
+/// `fails(seed, plan)` must return `true` when the candidate still
+/// reproduces the failure (it is the caller's full run-and-check pipeline).
+/// The shrinker first drops whole faults, then simplifies the survivors
+/// (occurrence counts to 0, stall/slow/deadline magnitudes halved), then
+/// tries a handful of smaller seeds; every accepted candidate still fails.
+/// Deterministic delivery makes the result an exact reproducer.
+pub fn shrink(
+    seed: u64,
+    plan: &FaultPlan,
+    mut fails: impl FnMut(u64, &FaultPlan) -> bool,
+) -> (u64, FaultPlan) {
+    let mut best = plan.clone();
+    let mut best_seed = seed;
+
+    // Phase 1: drop whole faults while the failure persists.
+    loop {
+        let mut improved = false;
+        for i in 0..best.faults.len() {
+            let mut cand = best.clone();
+            cand.faults.remove(i);
+            if fails(best_seed, &cand) {
+                best = cand;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Phase 2: simplify each surviving fault's numbers.
+    loop {
+        let mut improved = false;
+        for i in 0..best.faults.len() {
+            for cand_fault in simplifications(&best.faults[i]) {
+                let mut cand = best.clone();
+                cand.faults[i] = cand_fault;
+                if fails(best_seed, &cand) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+            }
+            if improved {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    // Phase 3: prefer a small seed.
+    for s in 0..best_seed.min(4) {
+        if fails(s, &best) {
+            best_seed = s;
+            break;
+        }
+    }
+    (best_seed, best)
+}
+
+/// Strictly-smaller variants of one fault, most aggressive first.
+fn simplifications(f: &Fault) -> Vec<Fault> {
+    let mut out = Vec::new();
+    match f.trigger {
+        Trigger::Step { kind, index, nth } if nth > 0 => {
+            out.push(Fault { trigger: Trigger::Step { kind, index, nth: 0 }, ..*f });
+        }
+        Trigger::Cycle { at } if at > 0 => {
+            out.push(Fault { trigger: Trigger::Cycle { at: at / 2 }, ..*f });
+        }
+        _ => {}
+    }
+    match f.kind {
+        FaultKind::Stall { cycles } if cycles > 1 => {
+            out.push(Fault { kind: FaultKind::Stall { cycles: cycles / 2 }, ..*f });
+        }
+        FaultKind::SlowBy { factor } if factor > 2 => {
+            out.push(Fault { kind: FaultKind::SlowBy { factor: factor - 1 }, ..*f });
+        }
+        _ => {}
+    }
+    out
 }
 
 fn payload_msg(payload: &Box<dyn std::any::Any + Send>) -> String {
@@ -97,5 +329,71 @@ mod tests {
         sweep(4, racy_run, |_s, r| {
             assert_eq!(r.memory[0], 0, "deliberately impossible invariant");
         });
+    }
+
+    #[test]
+    fn crash_matrix_covers_every_step_with_unique_labels() {
+        let matrix = crash_matrix(0, 2);
+        // TxPublished + AcquireAttempt{0,1} + Acquired{0,1} + BeforeDecisionCas
+        // + Decided + OldValAgreed{0,1} + UpdateWrite{0,1} + BeforeRelease{0,1}
+        assert_eq!(matrix.len(), 13);
+        let labels: std::collections::HashSet<&str> =
+            matrix.iter().map(|p| p.label.as_str()).collect();
+        assert_eq!(labels.len(), matrix.len(), "duplicate matrix labels");
+        assert_eq!(matrix.iter().filter(|p| !p.expect_effect).count(), 2);
+        for p in &matrix {
+            assert_eq!(p.plan.faults.len(), 1, "{}", p.label);
+            assert_eq!(p.plan.faults[0].proc, 0);
+        }
+    }
+
+    #[test]
+    fn fuzzer_is_deterministic_and_spares_the_survivor() {
+        let plans_a: Vec<_> = {
+            let mut f = FaultFuzzer::new(9, 4, 2);
+            (0..50).map(|_| f.next_plan()).collect()
+        };
+        let plans_b: Vec<_> = {
+            let mut f = FaultFuzzer::new(9, 4, 2);
+            (0..50).map(|_| f.next_plan()).collect()
+        };
+        assert_eq!(plans_a, plans_b);
+        assert!(plans_a.iter().any(|p| !p.is_empty()), "fuzzer never produced a fault");
+        for p in &plans_a {
+            assert!(p.faults.iter().all(|f| f.proc < 3), "survivor processor was faulted");
+        }
+    }
+
+    #[test]
+    fn shrink_drops_irrelevant_faults_and_minimizes_numbers() {
+        use stm_core::step::StepKind;
+        // The "failure" only needs a crash on P0 with a Step trigger; the
+        // rest of the plan is noise the shrinker must strip.
+        let plan = FaultPlan::new()
+            .stall_at_step(1, StepKind::Acquired, Some(1), 4096)
+            .with(crate::faults::Fault {
+                proc: 0,
+                trigger: crate::faults::Trigger::Step {
+                    kind: StepKind::BeforeDecisionCas,
+                    index: None,
+                    nth: 2,
+                },
+                kind: crate::faults::FaultKind::Crash,
+            })
+            .slow_from_cycle(2, 9000, 7);
+        let fails = |_seed: u64, p: &FaultPlan| {
+            p.faults.iter().any(|f| {
+                f.proc == 0
+                    && f.kind == crate::faults::FaultKind::Crash
+                    && matches!(f.trigger, crate::faults::Trigger::Step { .. })
+            })
+        };
+        let (seed, shrunk) = shrink(17, &plan, fails);
+        assert_eq!(seed, 0, "seed should shrink to 0 when the failure is seed-independent");
+        assert_eq!(shrunk.faults.len(), 1, "noise faults must be dropped: {shrunk}");
+        match shrunk.faults[0].trigger {
+            crate::faults::Trigger::Step { nth, .. } => assert_eq!(nth, 0, "nth must shrink"),
+            t => panic!("unexpected trigger {t:?}"),
+        }
     }
 }

@@ -1,0 +1,338 @@
+//! Scripted fault injection: crash, stall, or slow any simulated processor
+//! at any protocol step.
+//!
+//! A [`FaultPlan`] is a list of per-processor scripted faults. Each
+//! [`Fault`] names a processor, a [`Trigger`] (a named protocol step
+//! announced through [`stm_core::machine::MemPort::step`], or a virtual-clock
+//! deadline), and a [`FaultKind`]:
+//!
+//! * [`FaultKind::Crash`] — the processor dies on the spot, exactly as a
+//!   workload closure returning early would: its pending protocol work is
+//!   abandoned mid-flight, and the paper's helping mechanism is what must
+//!   clean up after it.
+//! * [`FaultKind::Stall`] — the processor freezes for a fixed number of
+//!   virtual cycles, then resumes. Models preemption/page faults.
+//! * [`FaultKind::SlowBy`] — every subsequent operation of the processor
+//!   takes `factor`× as long. Models a straggler.
+//!
+//! Plans are delivered by the engine scheduler ([`crate::engine`]): step
+//! triggers fire at the exact announced instruction boundary, cycle triggers
+//! at the first operation issue or step announcement at or after the
+//! deadline on that processor's local clock. Delivery is deterministic, so a
+//! `(seed, FaultPlan)` pair fully reproduces a failing execution — which is
+//! what the shrinker in [`crate::explore`] minimizes.
+
+use std::fmt;
+
+use stm_core::step::{StepKind, StepPoint};
+
+/// When a scripted fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trigger {
+    /// The `nth` (0-based) announcement by the faulted processor of a
+    /// protocol step matching `kind` (and `index`, if given — the data-set
+    /// position carried by the step).
+    Step {
+        /// Step kind to match.
+        kind: StepKind,
+        /// Data-set position to match (`None` matches any).
+        index: Option<usize>,
+        /// 0-based occurrence count: fire on the `nth` matching announcement.
+        nth: u64,
+    },
+    /// The first fault-check point (operation issue or step announcement) at
+    /// or after local virtual cycle `at`.
+    Cycle {
+        /// Local-clock deadline in cycles.
+        at: u64,
+    },
+}
+
+impl Trigger {
+    fn matches_step(&self, point: StepPoint) -> bool {
+        match *self {
+            Trigger::Step { kind, index, .. } => {
+                point.kind() == kind && (index.is_none() || point.index() == index)
+            }
+            Trigger::Cycle { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for Trigger {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            Trigger::Step { kind, index: Some(j), nth } => write!(f, "{kind}{{{j}}}#{nth}"),
+            Trigger::Step { kind, index: None, nth } => write!(f, "{kind}#{nth}"),
+            Trigger::Cycle { at } => write!(f, "cycle>={at}"),
+        }
+    }
+}
+
+/// What happens when a fault fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The processor dies: its workload unwinds immediately and it never
+    /// takes another step. Undecided transactions it initiated stay
+    /// published, and any ownerships it holds stay claimed until helpers
+    /// complete the transaction.
+    Crash,
+    /// The processor freezes for `cycles` virtual cycles, then resumes
+    /// exactly where it was.
+    Stall {
+        /// Freeze duration in cycles.
+        cycles: u64,
+    },
+    /// Every subsequent memory operation and delay of the processor takes
+    /// `factor`× its modeled duration.
+    SlowBy {
+        /// Slow-down multiplier (≥ 1).
+        factor: u64,
+    },
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultKind::Crash => write!(f, "crash"),
+            FaultKind::Stall { cycles } => write!(f, "stall({cycles})"),
+            FaultKind::SlowBy { factor } => write!(f, "slow(x{factor})"),
+        }
+    }
+}
+
+/// One scripted fault against one processor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fault {
+    /// The processor the fault targets.
+    pub proc: usize,
+    /// When it fires.
+    pub trigger: Trigger,
+    /// What it does.
+    pub kind: FaultKind,
+}
+
+impl fmt::Display for Fault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{} {} at {}", self.proc, self.kind, self.trigger)
+    }
+}
+
+/// A scripted fault plan: any number of faults across any processors.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::step::StepKind;
+/// use stm_sim::faults::FaultPlan;
+///
+/// // Processor 0 dies right after claiming its second location; processor 1
+/// // freezes for 3000 cycles the first time it starts helping someone.
+/// let plan = FaultPlan::new()
+///     .crash_at_step(0, StepKind::Acquired, Some(1))
+///     .stall_at_step(1, StepKind::HelpBegin, None, 3000);
+/// assert_eq!(plan.faults.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scripted faults, in no particular order.
+    pub faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no faults).
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Add an arbitrary fault.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Crash `proc` at the first announcement of `kind` (at data-set
+    /// position `index`, if given).
+    pub fn crash_at_step(self, proc: usize, kind: StepKind, index: Option<usize>) -> Self {
+        self.with(Fault {
+            proc,
+            trigger: Trigger::Step { kind, index, nth: 0 },
+            kind: FaultKind::Crash,
+        })
+    }
+
+    /// Crash `proc` at the first check point at or after local cycle `at`.
+    pub fn crash_at_cycle(self, proc: usize, at: u64) -> Self {
+        self.with(Fault { proc, trigger: Trigger::Cycle { at }, kind: FaultKind::Crash })
+    }
+
+    /// Stall `proc` for `cycles` at the first announcement of `kind`.
+    pub fn stall_at_step(
+        self,
+        proc: usize,
+        kind: StepKind,
+        index: Option<usize>,
+        cycles: u64,
+    ) -> Self {
+        self.with(Fault {
+            proc,
+            trigger: Trigger::Step { kind, index, nth: 0 },
+            kind: FaultKind::Stall { cycles },
+        })
+    }
+
+    /// Slow `proc` down by `factor`× from local cycle `at` on.
+    pub fn slow_from_cycle(self, proc: usize, at: u64, factor: u64) -> Self {
+        self.with(Fault { proc, trigger: Trigger::Cycle { at }, kind: FaultKind::SlowBy { factor } })
+    }
+
+    /// Whether the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+}
+
+impl fmt::Display for FaultPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.faults.is_empty() {
+            return write!(f, "(no faults)");
+        }
+        for (i, fault) in self.faults.iter().enumerate() {
+            if i > 0 {
+                write!(f, "; ")?;
+            }
+            write!(f, "{fault}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Panic payload used to unwind a processor the fault plan crashed. The
+/// engine recognizes it and treats the unwinding as a *planned* death, not a
+/// test failure.
+#[derive(Debug, Clone, Copy)]
+pub struct CrashSignal {
+    /// The processor that was crashed.
+    pub proc: usize,
+}
+
+/// Per-processor delivery state for one simulation run.
+#[derive(Debug)]
+pub(crate) struct ProcFaults {
+    entries: Vec<Entry>,
+}
+
+#[derive(Debug)]
+struct Entry {
+    trigger: Trigger,
+    kind: FaultKind,
+    /// Matching step announcements seen so far.
+    seen: u64,
+    fired: bool,
+}
+
+impl ProcFaults {
+    /// Extract the faults of `proc` from `plan`.
+    pub(crate) fn for_proc(plan: &FaultPlan, proc: usize) -> Self {
+        ProcFaults {
+            entries: plan
+                .faults
+                .iter()
+                .filter(|f| f.proc == proc)
+                .map(|f| Entry { trigger: f.trigger, kind: f.kind, seen: 0, fired: false })
+                .collect(),
+        }
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Evaluate a step announcement; returns at most one fault to deliver.
+    pub(crate) fn on_step(&mut self, point: StepPoint) -> Option<FaultKind> {
+        let mut fire = None;
+        for e in &mut self.entries {
+            if e.trigger.matches_step(point) {
+                e.seen += 1;
+                let due = match e.trigger {
+                    Trigger::Step { nth, .. } => e.seen > nth,
+                    Trigger::Cycle { .. } => false,
+                };
+                if due && !e.fired && fire.is_none() {
+                    e.fired = true;
+                    fire = Some(e.kind);
+                }
+            }
+        }
+        fire
+    }
+
+    /// Evaluate a cycle check point at local time `now`; returns at most one
+    /// fault to deliver.
+    pub(crate) fn on_cycle(&mut self, now: u64) -> Option<FaultKind> {
+        for e in &mut self.entries {
+            if e.fired {
+                continue;
+            }
+            if let Trigger::Cycle { at } = e.trigger {
+                if now >= at {
+                    e.fired = true;
+                    return Some(e.kind);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_trigger_counts_occurrences() {
+        let plan = FaultPlan::new().with(Fault {
+            proc: 0,
+            trigger: Trigger::Step { kind: StepKind::AcquireAttempt, index: Some(1), nth: 1 },
+            kind: FaultKind::Crash,
+        });
+        let mut pf = ProcFaults::for_proc(&plan, 0);
+        // Wrong index: no match.
+        assert_eq!(pf.on_step(StepPoint::AcquireAttempt { j: 0 }), None);
+        // First matching occurrence: nth=1 means fire on the second.
+        assert_eq!(pf.on_step(StepPoint::AcquireAttempt { j: 1 }), None);
+        assert_eq!(pf.on_step(StepPoint::AcquireAttempt { j: 1 }), Some(FaultKind::Crash));
+        // Fired faults never fire again.
+        assert_eq!(pf.on_step(StepPoint::AcquireAttempt { j: 1 }), None);
+    }
+
+    #[test]
+    fn cycle_trigger_fires_at_deadline_once() {
+        let plan = FaultPlan::new().slow_from_cycle(2, 100, 4);
+        let mut pf = ProcFaults::for_proc(&plan, 2);
+        assert!(ProcFaults::for_proc(&plan, 0).is_empty());
+        assert_eq!(pf.on_cycle(99), None);
+        assert_eq!(pf.on_cycle(100), Some(FaultKind::SlowBy { factor: 4 }));
+        assert_eq!(pf.on_cycle(101), None);
+    }
+
+    #[test]
+    fn index_none_matches_any_position() {
+        let plan = FaultPlan::new().crash_at_step(0, StepKind::Acquired, None);
+        let mut pf = ProcFaults::for_proc(&plan, 0);
+        assert_eq!(pf.on_step(StepPoint::Acquired { j: 7 }), Some(FaultKind::Crash));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let plan = FaultPlan::new()
+            .crash_at_step(0, StepKind::BeforeDecisionCas, None)
+            .stall_at_step(1, StepKind::UpdateWrite, Some(2), 500)
+            .slow_from_cycle(3, 1000, 2);
+        let s = plan.to_string();
+        assert!(s.contains("P0 crash at BeforeDecisionCas#0"), "{s}");
+        assert!(s.contains("P1 stall(500) at UpdateWrite{2}#0"), "{s}");
+        assert!(s.contains("P3 slow(x2) at cycle>=1000"), "{s}");
+        assert_eq!(FaultPlan::new().to_string(), "(no faults)");
+    }
+}

@@ -80,6 +80,29 @@ impl StmSim {
         self
     }
 
+    /// Record up to `limit` trace events (needed by the liveness checker and
+    /// the counterexample dump; default 0 = tracing off).
+    pub fn trace(mut self, limit: usize) -> Self {
+        self.sim_config.trace_limit = limit;
+        self
+    }
+
+    /// Install a scripted fault plan (see [`crate::faults`]).
+    pub fn faults(mut self, plan: crate::faults::FaultPlan) -> Self {
+        self.sim_config.faults = plan;
+        self
+    }
+
+    /// Pre-seed processor `proc`'s transaction-record version counter, so a
+    /// short run exercises version wraparound. The record starts idle
+    /// (`Null`) at `version`; its next transaction uses `version + 1`.
+    pub fn preset_status_version(&mut self, proc: usize, version: u64) {
+        use stm_core::word::{pack_status, TxStatus};
+        let addr = self.ops.stm().layout().status(proc);
+        self.sim_config.init.retain(|&(a, _)| a != addr);
+        self.sim_config.init.push((addr, pack_status(version, TxStatus::Null)));
+    }
+
     /// Pre-load cell `idx` with `value` before the simulation starts.
     pub fn init_cell(&mut self, idx: CellIdx, value: u32) {
         let addr = self.ops.stm().layout().cell(idx);
@@ -126,6 +149,25 @@ impl StmSim {
         (0..l.n_cells())
             .filter(|&i| report.memory[l.ownership(i)] != stm_core::word::OWNER_FREE)
             .collect()
+    }
+
+    /// Count committed transactions observed in the trace (requires
+    /// [`StmSim::trace`]). Each `(owner, version)` commits at most once and
+    /// the commit step is announced exactly by the participant whose decision
+    /// CAS succeeded, so this is the exact commit count as long as the trace
+    /// did not overflow its limit.
+    pub fn commit_count(&self, report: &SimReport) -> usize {
+        use stm_core::step::StepPoint;
+        report
+            .trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e.kind,
+                    crate::trace::TraceKind::Step(StepPoint::Decided { committed: true })
+                )
+            })
+            .count()
     }
 }
 

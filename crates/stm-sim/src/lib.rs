@@ -15,8 +15,14 @@
 //!   machine, for tests and ablations).
 //! * [`harness`] — [`harness::StmSim`], an STM instance wired into a
 //!   simulated machine: the building block of every figure regeneration.
+//! * [`faults`] — scripted fault injection: crash, stall, or slow any
+//!   processor at any named protocol step (see [`stm_core::step`]) or
+//!   virtual-clock deadline, delivered deterministically by the engine.
+//! * [`liveness`] — [`liveness::LivenessChecker`], a trace-consuming
+//!   progress monitor asserting the paper's lock-freedom bound.
 //! * [`explore`] — seed-sweeping schedule exploration with failing-seed
-//!   replay, used by the correctness test suite.
+//!   replay, the systematic crash matrix, a seeded fault-plan fuzzer, and a
+//!   counterexample shrinker.
 //! * [`stats`] — per-processor operation counters.
 //!
 //! Any code written against [`stm_core::machine::MemPort`] runs unmodified on
@@ -29,10 +35,14 @@
 pub mod arch;
 pub mod engine;
 pub mod explore;
+pub mod faults;
 pub mod harness;
+pub mod liveness;
 pub mod stats;
 pub mod trace;
 
 pub use arch::{BusModel, CostModel, MeshModel, OpKind, UniformModel};
-pub use engine::{SimConfig, SimPort, SimReport, Simulation};
+pub use engine::{SimConfig, SimPort, SimReport, Simulation, Violation};
+pub use faults::{Fault, FaultKind, FaultPlan, Trigger};
 pub use harness::StmSim;
+pub use liveness::LivenessChecker;

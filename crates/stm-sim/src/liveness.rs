@@ -1,0 +1,158 @@
+//! A trace-consuming progress monitor for the lock-freedom bound.
+//!
+//! The Shavit–Touitou guarantee is lock-freedom: *if non-crashed processors
+//! keep taking steps, some transaction commits*. A crashed processor may
+//! stall everyone briefly (its ownerships must be discovered and helped),
+//! but it can never stall the system indefinitely.
+//!
+//! [`LivenessChecker`] turns that into a finite check over a recorded trace:
+//! in any window of protocol activity — step announcements by processors
+//! that never crash — longer than `commit_budget` cycles and containing at
+//! least `min_steps` steps, some transaction must have committed (a
+//! [`StepPoint::Decided`] with `committed: true`, from any processor). A
+//! window that overruns the budget is reported as
+//! [`Violation::NoProgress`].
+//!
+//! Tracing must be enabled ([`SimConfig::trace_limit`](crate::engine::SimConfig)
+//! large enough to hold the run) for the check to be meaningful; an empty
+//! trace trivially passes.
+
+use std::collections::HashSet;
+
+use stm_core::step::StepPoint;
+
+use crate::engine::{SimReport, Violation};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Configurable lock-freedom monitor over a recorded trace.
+#[derive(Debug, Clone, Copy)]
+pub struct LivenessChecker {
+    /// Maximum virtual cycles of protocol activity allowed between commits.
+    pub commit_budget: u64,
+    /// Minimum protocol steps (by non-crashed processors) in the window
+    /// before a budget overrun counts as a violation — filters the finite
+    /// tail of cleanup work after the last commit of a run.
+    pub min_steps: usize,
+}
+
+impl Default for LivenessChecker {
+    fn default() -> Self {
+        LivenessChecker { commit_budget: 100_000, min_steps: 40 }
+    }
+}
+
+impl LivenessChecker {
+    /// A checker with the given commit budget and the default step floor.
+    pub fn with_budget(commit_budget: u64) -> Self {
+        LivenessChecker { commit_budget, ..Default::default() }
+    }
+
+    /// Check a finished run. Returns the first violation found: the engine's
+    /// own watchdog verdict if it halted the run, otherwise the first
+    /// no-progress window in the trace.
+    pub fn check(&self, report: &SimReport) -> Option<Violation> {
+        if let Some(v) = &report.violation {
+            return Some(v.clone());
+        }
+        self.check_trace(&report.trace, &report.crashed)
+    }
+
+    /// Check a raw trace, ignoring protocol steps of `crashed` processors.
+    pub fn check_trace(&self, trace: &[TraceEvent], crashed: &[usize]) -> Option<Violation> {
+        let crashed: HashSet<usize> = crashed.iter().copied().collect();
+        // The engine records events at issue in grant order, which is not
+        // globally time-sorted; sort a copy (stable, so simultaneous events
+        // keep their recording order).
+        let mut events: Vec<&TraceEvent> = trace.iter().collect();
+        events.sort_by_key(|e| e.time);
+
+        let mut window_start = 0u64;
+        let mut steps = 0usize;
+        for e in events {
+            match e.kind {
+                TraceKind::Step(StepPoint::Decided { committed: true }) => {
+                    // A commit is progress no matter who achieved it — even a
+                    // processor that crashes later.
+                    window_start = e.time;
+                    steps = 0;
+                }
+                TraceKind::Step(_) if !crashed.contains(&e.proc) => {
+                    steps += 1;
+                    if steps >= self.min_steps && e.time.saturating_sub(window_start) > self.commit_budget
+                    {
+                        return Some(Violation::NoProgress {
+                            window_start,
+                            at: e.time,
+                            steps,
+                        });
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::step::StepPoint;
+
+    fn step(time: u64, proc: usize, point: StepPoint) -> TraceEvent {
+        TraceEvent { time, proc, kind: TraceKind::Step(point) }
+    }
+
+    #[test]
+    fn commits_reset_the_window() {
+        let checker = LivenessChecker { commit_budget: 100, min_steps: 2 };
+        let mut trace = Vec::new();
+        // Steady commits every 50 cycles, with retries in between: fine.
+        for i in 0..20u64 {
+            trace.push(step(i * 50, 0, StepPoint::AcquireAttempt { j: 0 }));
+            trace.push(step(i * 50 + 10, 1, StepPoint::AcquireAttempt { j: 0 }));
+            trace.push(step(i * 50 + 20, 0, StepPoint::Decided { committed: true }));
+        }
+        assert_eq!(checker.check_trace(&trace, &[]), None);
+    }
+
+    #[test]
+    fn silent_window_is_flagged() {
+        let checker = LivenessChecker { commit_budget: 100, min_steps: 3 };
+        let mut trace = vec![step(10, 0, StepPoint::Decided { committed: true })];
+        // Activity without commits well past the budget.
+        for i in 0..10u64 {
+            trace.push(step(50 + i * 40, 1, StepPoint::AcquireAttempt { j: 0 }));
+        }
+        match checker.check_trace(&trace, &[]) {
+            Some(Violation::NoProgress { window_start: 10, at, steps }) => {
+                assert!(at > 110);
+                assert!(steps >= 3);
+            }
+            other => panic!("expected NoProgress, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crashed_processor_steps_do_not_count_as_activity() {
+        let checker = LivenessChecker { commit_budget: 100, min_steps: 3 };
+        // Only the crashed processor is active past the budget: that is not
+        // a lock-freedom violation (nobody live is being starved).
+        let trace: Vec<TraceEvent> =
+            (0..10u64).map(|i| step(i * 100, 2, StepPoint::AcquireAttempt { j: 0 })).collect();
+        assert_eq!(checker.check_trace(&trace, &[2]), None);
+        assert!(checker.check_trace(&trace, &[]).is_some());
+    }
+
+    #[test]
+    fn min_steps_filters_sparse_tails() {
+        let checker = LivenessChecker { commit_budget: 100, min_steps: 5 };
+        // Two trailing cleanup steps long after the last commit: fine.
+        let trace = vec![
+            step(10, 0, StepPoint::Decided { committed: true }),
+            step(5000, 1, StepPoint::BeforeRelease { j: 0 }),
+            step(5010, 1, StepPoint::BeforeRelease { j: 1 }),
+        ];
+        assert_eq!(checker.check_trace(&trace, &[]), None);
+    }
+}

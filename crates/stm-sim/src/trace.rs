@@ -29,6 +29,44 @@ pub enum TraceKind {
     Mem(OpKind, Addr),
     /// A local delay of the given length.
     Delay(u64),
+    /// A protocol step announcement (see [`stm_core::step`]). Recorded at
+    /// the announcing processor's local time; costs no cycles.
+    Step(stm_core::step::StepPoint),
+    /// A scripted fault crashed the processor here.
+    FaultCrash,
+    /// A scripted fault stalled the processor here for the given cycles.
+    FaultStall(u64),
+    /// A scripted fault slowed the processor down by the given factor here.
+    FaultSlow(u64),
+}
+
+/// Render the last `last_n` events of a trace as a human-readable per-cycle
+/// dump — one line per event, sorted by virtual time. This is what the
+/// counterexample shrinker attaches to a minimal reproducer.
+///
+/// Events are recorded at issue in grant order, which is not globally sorted
+/// by completion time; this sorts a copy (stably, so simultaneous events keep
+/// their recording order).
+pub fn render_trace(trace: &[TraceEvent], last_n: usize) -> String {
+    let mut sorted: Vec<&TraceEvent> = trace.iter().collect();
+    sorted.sort_by_key(|e| e.time);
+    let skip = sorted.len().saturating_sub(last_n);
+    let mut out = String::new();
+    if skip > 0 {
+        out.push_str(&format!("... {skip} earlier events elided ...\n"));
+    }
+    for e in &sorted[skip..] {
+        let what = match e.kind {
+            TraceKind::Mem(op, addr) => format!("{op:?} @{addr}"),
+            TraceKind::Delay(c) => format!("delay {c}"),
+            TraceKind::Step(p) => format!("step {p}"),
+            TraceKind::FaultCrash => "FAULT crash".to_owned(),
+            TraceKind::FaultStall(c) => format!("FAULT stall {c}"),
+            TraceKind::FaultSlow(f) => format!("FAULT slow x{f}"),
+        };
+        out.push_str(&format!("t={:>8}  P{}  {}\n", e.time, e.proc, what));
+    }
+    out
 }
 
 /// Summary statistics over a trace.

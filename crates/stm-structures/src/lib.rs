@@ -80,6 +80,7 @@ impl Method {
             Method::StmNoHelp => stm_core::stm::StmConfig {
                 helping: false,
                 backoff: stm_core::stm::BackoffPolicy::Exponential { base: 8, max: 4096 },
+                ..Default::default()
             },
             _ => stm_core::stm::StmConfig::default(),
         }

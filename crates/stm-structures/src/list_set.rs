@@ -417,7 +417,7 @@ mod tests {
                     for _ in 0..200 {
                         x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
                         let k = x % 6;
-                        if x % 2 == 0 {
+                        if x.is_multiple_of(2) {
                             let _ = s.insert(&mut port, k);
                         } else {
                             let _ = s.remove(&mut port, k);

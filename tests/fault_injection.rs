@@ -1,0 +1,378 @@
+//! Systematic fault injection against the protocol's helping guarantees.
+//!
+//! The Shavit–Touitou liveness argument says a processor may die at *any*
+//! protocol step without blocking the system: whatever it left behind —
+//! published records, claimed ownerships, half-installed updates — is
+//! completed by the first conflicting survivor. These tests sweep the full
+//! (step × architecture × seed) crash matrix and check the exact oracle at
+//! every point:
+//!
+//! * crash before the first ownership CAS → the victim's transaction stays
+//!   undecided forever and its effect appears **zero** times;
+//! * crash at any later step → helpers finish the transaction and its effect
+//!   appears **exactly once**;
+//! * in all cases the ownership table drains (no leaked ownerships) and the
+//!   lock-freedom bound holds (commits keep landing while non-crashed
+//!   processors take steps).
+//!
+//! A deliberately sabotaged protocol variant (release before update) is used
+//! to prove the harness has teeth: the checker catches it, and the shrinker
+//! reduces the failing `(seed, FaultPlan)` to a minimal reproducer with a
+//! readable trace dump.
+
+use stm_core::ops::StmOps;
+use stm_core::step::StepKind;
+use stm_core::stm::{Sabotage, StmConfig};
+use stm_sim::engine::{SimPort, SimReport};
+use stm_sim::explore::{crash_matrix, shrink, sweep, FaultFuzzer, MatrixPoint};
+use stm_sim::faults::FaultPlan;
+use stm_sim::liveness::LivenessChecker;
+use stm_sim::trace::render_trace;
+use stm_sim::{BusModel, MeshModel, StmSim};
+
+/// The victim's transaction adds this to each of its cells.
+const VICTIM_ADD: u32 = 100;
+/// Each of the two survivors runs this many 2-cell add transactions.
+const SURVIVOR_TXS: usize = 10;
+/// Survivors sleep this long before starting, so the victim reliably reaches
+/// its scripted crash point first on every architecture model.
+const SURVIVOR_DELAY: u64 = 5000;
+
+/// The matrix scenario: processor 0 (the victim) runs one 2-cell transaction
+/// and is crashed somewhere inside it by the plan; processors 1 and 2 then
+/// hammer the same two cells.
+fn matrix_scenario(sim: &StmSim, arch: usize) -> SimReport {
+    let body = |p: usize, ops: StmOps| {
+        move |mut port: SimPort| {
+            if p == 0 {
+                ops.fetch_add_many(&mut port, &[0, 1], &[VICTIM_ADD, VICTIM_ADD]);
+                return;
+            }
+            port_delay(&mut port, SURVIVOR_DELAY);
+            for _ in 0..SURVIVOR_TXS {
+                ops.fetch_add_many(&mut port, &[0, 1], &[1, 1]);
+            }
+        }
+    };
+    match arch {
+        0 => sim.run(BusModel::for_procs(3), body),
+        _ => sim.run(MeshModel::for_procs(3), body),
+    }
+}
+
+fn port_delay(port: &mut SimPort, cycles: u64) {
+    use stm_core::machine::MemPort;
+    port.delay(cycles);
+}
+
+fn matrix_sim(seed: u64, plan: &FaultPlan) -> StmSim {
+    StmSim::new(3, 4, 4, StmConfig::default())
+        .seed(seed)
+        .jitter(2)
+        .trace(100_000)
+        .faults(plan.clone())
+}
+
+fn check_matrix_point(decode: &StmSim, report: &SimReport, point: &MatrixPoint, ctx: &str) {
+    let effect = if point.expect_effect { 1u32 } else { 0 };
+    let want = VICTIM_ADD * effect + (2 * SURVIVOR_TXS) as u32;
+    for cell in 0..2 {
+        assert_eq!(
+            decode.cell_value(report, cell),
+            want,
+            "{ctx}: cell {cell} — victim effect must land {} times",
+            effect
+        );
+    }
+    assert_eq!(
+        decode.leaked_ownerships(report),
+        Vec::<usize>::new(),
+        "{ctx}: helpers must drain every ownership the victim left behind"
+    );
+    assert_eq!(report.crashed, vec![0], "{ctx}: exactly the victim crashed");
+    assert_eq!(
+        LivenessChecker::with_budget(60_000).check(report),
+        None,
+        "{ctx}: lock-freedom bound"
+    );
+}
+
+/// Seeds per matrix point: 10 by default, raised by the nightly CI sweep via
+/// the `FAULT_MATRIX_SEEDS` environment variable.
+fn matrix_seeds() -> u64 {
+    std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}
+
+fn run_crash_matrix(arch: usize, arch_name: &str) {
+    let decode = StmSim::new(3, 4, 4, StmConfig::default());
+    for point in crash_matrix(0, 2) {
+        sweep(
+            matrix_seeds(),
+            |seed| matrix_scenario(&matrix_sim(seed, &point.plan), arch),
+            |seed, report| {
+                let ctx = format!("{arch_name}/crash@{}/seed{seed}", point.label);
+                check_matrix_point(&decode, report, &point, &ctx);
+            },
+        );
+    }
+}
+
+#[test]
+fn crash_matrix_holds_on_bus_model() {
+    run_crash_matrix(0, "bus");
+}
+
+#[test]
+fn crash_matrix_holds_on_mesh_model() {
+    run_crash_matrix(1, "mesh");
+}
+
+#[test]
+fn helper_crash_mid_help_is_drained_by_the_next_helper() {
+    // Two-fault plan: the victim wedges holding both cells, and the first
+    // helper dies the moment it starts helping. The second helper must then
+    // complete the victim's transaction anyway — helping is idempotent and
+    // nobody's death is special.
+    let plan = FaultPlan::new()
+        .crash_at_step(0, StepKind::Acquired, Some(1))
+        .crash_at_step(1, StepKind::HelpBegin, None);
+    let decode = StmSim::new(3, 4, 4, StmConfig::default());
+    for arch in 0..2 {
+        sweep(
+            matrix_seeds(),
+            |seed| {
+                let sim = matrix_sim(seed, &plan);
+                let body = |p: usize, ops: StmOps| {
+                    move |mut port: SimPort| {
+                        if p == 0 {
+                            ops.fetch_add_many(&mut port, &[0, 1], &[VICTIM_ADD, VICTIM_ADD]);
+                            return;
+                        }
+                        // Stagger the helpers so P1 reliably conflicts (and
+                        // dies) before P2 wakes.
+                        port_delay(&mut port, SURVIVOR_DELAY * p as u64);
+                        for _ in 0..SURVIVOR_TXS {
+                            ops.fetch_add_many(&mut port, &[0, 1], &[1, 1]);
+                        }
+                    }
+                };
+                match arch {
+                    0 => sim.run(BusModel::for_procs(3), body),
+                    _ => sim.run(MeshModel::for_procs(3), body),
+                }
+            },
+            |seed, report| {
+                let ctx = format!("arch{arch}/seed{seed}");
+                assert_eq!(report.crashed, vec![0, 1], "{ctx}");
+                // Victim's effect exactly once; P1 died before committing
+                // anything of its own; P2 ran all its transactions.
+                let want = VICTIM_ADD + SURVIVOR_TXS as u32;
+                for cell in 0..2 {
+                    assert_eq!(decode.cell_value(report, cell), want, "{ctx}: cell {cell}");
+                }
+                assert!(decode.leaked_ownerships(report).is_empty(), "{ctx}");
+                assert_eq!(LivenessChecker::with_budget(60_000).check(report), None, "{ctx}");
+            },
+        );
+    }
+}
+
+#[test]
+fn stalled_victim_resumes_after_helpers_completed_its_transaction() {
+    // The victim freezes right before its decision CAS, long enough for the
+    // survivors to conflict, help, and finish its transaction. When it
+    // resumes, every one of its remaining protocol writes must be rejected
+    // by the version tags — the effect still lands exactly once.
+    let plan = FaultPlan::new().stall_at_step(0, StepKind::BeforeDecisionCas, None, 40_000);
+    let decode = StmSim::new(3, 4, 4, StmConfig::default());
+    sweep(
+        matrix_seeds(),
+        |seed| matrix_scenario(&matrix_sim(seed, &plan), 0),
+        |seed, report| {
+            let ctx = format!("seed{seed}");
+            assert!(report.crashed.is_empty(), "{ctx}: a stall is not a crash");
+            let want = VICTIM_ADD + (2 * SURVIVOR_TXS) as u32;
+            for cell in 0..2 {
+                assert_eq!(decode.cell_value(report, cell), want, "{ctx}: cell {cell}");
+            }
+            assert!(decode.leaked_ownerships(report).is_empty(), "{ctx}");
+        },
+    );
+}
+
+#[test]
+fn fuzzed_fault_plans_preserve_commit_effect_equality() {
+    // Property: whatever combination of crashes, stalls, and slow-downs the
+    // fuzzer scripts (with the last processor kept fault-free as a designated
+    // survivor), every committed transaction's effect is applied exactly once
+    // — the final counter equals the number of commit decisions in the trace
+    // — and the ownership table drains.
+    const PROCS: usize = 4;
+    const TXS: usize = 12;
+    let decode = StmSim::new(PROCS, 2, 2, StmConfig::default());
+    let mut fuzzer = FaultFuzzer::new(0xfa1715, PROCS, 1);
+    for round in 0..30 {
+        let plan = fuzzer.next_plan();
+        let sim = StmSim::new(PROCS, 2, 2, StmConfig::default())
+            .seed(round)
+            .jitter(3)
+            .trace(200_000)
+            .faults(plan.clone());
+        let report = sim.run(BusModel::for_procs(PROCS), |_p, ops| {
+            move |mut port: SimPort| {
+                for _ in 0..TXS {
+                    ops.fetch_add(&mut port, 0, 1);
+                }
+            }
+        });
+        let ctx = format!("round {round}, plan [{plan}]");
+        assert!(
+            report.trace.len() < 200_000,
+            "{ctx}: trace overflowed; commit count would be unreliable"
+        );
+        let commits = decode.commit_count(&report) as u32;
+        assert_eq!(
+            decode.cell_value(&report, 0),
+            commits,
+            "{ctx}: every commit must be applied exactly once"
+        );
+        assert!(decode.leaked_ownerships(&report).is_empty(), "{ctx}");
+        assert_eq!(LivenessChecker::with_budget(80_000).check(&report), None, "{ctx}");
+    }
+}
+
+#[test]
+fn version_counter_wraparound_is_harmless_under_contention() {
+    // The record version lives only as truncations: 40 bits in status and
+    // ownership words, 15 bits in old-value entries (see
+    // `stm_core::word::VERSION_BITS` / `OLDVAL_VERSION_BITS`). Pre-seed every
+    // processor's counter just below each boundary so a short contended run
+    // drives all of them across the wrap mid-protocol — helping, agreement,
+    // and release must keep working across the discontinuity.
+    let decode = StmSim::new(3, 2, 2, StmConfig::default());
+    for preset in [(1u64 << 40) - 3, (1u64 << 15) - 3] {
+        sweep(
+            matrix_seeds(),
+            |seed| {
+                let mut sim =
+                    StmSim::new(3, 2, 2, StmConfig::default()).seed(seed).jitter(3).trace(100_000);
+                for p in 0..3 {
+                    sim.preset_status_version(p, preset);
+                }
+                sim.run(BusModel::for_procs(3), |_p, ops| {
+                    move |mut port: SimPort| {
+                        for _ in 0..10 {
+                            ops.fetch_add(&mut port, 0, 1);
+                        }
+                    }
+                })
+            },
+            |seed, report| {
+                let ctx = format!("preset {preset:#x}, seed {seed}");
+                assert_eq!(decode.cell_value(report, 0), 30, "{ctx}: increments lost at wrap");
+                assert!(decode.leaked_ownerships(report).is_empty(), "{ctx}");
+                assert_eq!(LivenessChecker::with_budget(60_000).check(report), None, "{ctx}");
+            },
+        );
+    }
+}
+
+/// Run the contended counter under the sabotaged protocol (release before
+/// update) and report whether the harness catches the bug.
+fn sabotage_fails(seed: u64, plan: &FaultPlan) -> bool {
+    let config = StmConfig { sabotage: Sabotage::ReleaseBeforeUpdate, ..Default::default() };
+    let sim = StmSim::new(3, 2, 2, config)
+        .seed(seed)
+        .jitter(3)
+        .trace(200_000)
+        .faults(plan.clone());
+    let report = sim.run(BusModel::for_procs(3), |_p, ops| {
+        move |mut port: SimPort| {
+            for _ in 0..15 {
+                ops.fetch_add(&mut port, 0, 1);
+            }
+        }
+    });
+    let commits = sim.commit_count(&report) as u32;
+    sim.cell_value(&report, 0) != commits
+        || !sim.leaked_ownerships(&report).is_empty()
+        || LivenessChecker::with_budget(80_000).check(&report).is_some()
+}
+
+#[test]
+fn sabotaged_protocol_is_caught_and_shrunk_to_a_minimal_reproducer() {
+    // Harness validation: a protocol that releases ownership before
+    // installing updates breaks exactly-once effect application. The fault
+    // fuzzer must find a failing (seed, plan), and the shrinker must reduce
+    // it to a minimal reproducer with a readable trace dump.
+    //
+    // Stalling a committer between its release and its update (the
+    // UpdateWrite step sits in that window under sabotage) lets a rival
+    // transaction read the pre-update value — a lost update. Seed the search
+    // with that canonical plan plus fuzzed plans, and let the empty plan
+    // compete too (pure schedule jitter can expose the race on its own).
+    let canonical = FaultPlan::new().stall_at_step(0, StepKind::UpdateWrite, Some(0), 5000);
+    let mut fuzzer = FaultFuzzer::new(7, 3, 1);
+    let mut candidates = vec![FaultPlan::new(), canonical];
+    for _ in 0..20 {
+        candidates.push(fuzzer.next_plan());
+    }
+
+    let mut failing: Option<(u64, FaultPlan)> = None;
+    'search: for seed in 0..10u64 {
+        for plan in &candidates {
+            if sabotage_fails(seed, plan) {
+                failing = Some((seed, plan.clone()));
+                break 'search;
+            }
+        }
+    }
+    let (seed, plan) = failing.expect(
+        "the sabotaged protocol evaded the fault harness: checker has no teeth",
+    );
+
+    let (min_seed, min_plan) = shrink(seed, &plan, sabotage_fails);
+    assert!(sabotage_fails(min_seed, &min_plan), "shrunk reproducer must still fail");
+    assert!(
+        min_plan.faults.len() <= plan.faults.len(),
+        "shrinking must never grow the plan"
+    );
+
+    // Correctness control: the same reproducer passes on the real protocol.
+    {
+        let sim = StmSim::new(3, 2, 2, StmConfig::default())
+            .seed(min_seed)
+            .jitter(3)
+            .trace(200_000)
+            .faults(min_plan.clone());
+        let report = sim.run(BusModel::for_procs(3), |_p, ops| {
+            move |mut port: SimPort| {
+                for _ in 0..15 {
+                    ops.fetch_add(&mut port, 0, 1);
+                }
+            }
+        });
+        assert_eq!(sim.cell_value(&report, 0), sim.commit_count(&report) as u32);
+        assert!(sim.leaked_ownerships(&report).is_empty());
+    }
+
+    // Render the counterexample the way a human would receive it.
+    let config = StmConfig { sabotage: Sabotage::ReleaseBeforeUpdate, ..Default::default() };
+    let sim = StmSim::new(3, 2, 2, config)
+        .seed(min_seed)
+        .jitter(3)
+        .trace(200_000)
+        .faults(min_plan.clone());
+    let report = sim.run(BusModel::for_procs(3), |_p, ops| {
+        move |mut port: SimPort| {
+            for _ in 0..15 {
+                ops.fetch_add(&mut port, 0, 1);
+            }
+        }
+    });
+    let dump = render_trace(&report.trace, 60);
+    println!("minimal reproducer: seed {min_seed}, plan [{min_plan}]");
+    println!("{dump}");
+    assert!(dump.contains("step "), "dump must show protocol steps:\n{dump}");
+    assert!(dump.lines().count() >= 10, "dump too short:\n{dump}");
+}

@@ -100,27 +100,46 @@ fn crashed_multiword_transaction_is_completed() {
 
 /// With helping disabled (the ablation), a crashed undecided transaction
 /// wedges the cell forever — demonstrating that helping, not luck, provides
-/// the liveness. The survivors must time out on the watchdog.
+/// the liveness. The run must end in a structured watchdog violation, with
+/// the victim's ownership still leaked and the survivors' work lost.
 #[test]
 fn without_helping_a_crash_wedges_the_system() {
+    use stm_sim::engine::Violation;
+
     const PROCS: usize = 3;
     let config = StmConfig { helping: false, ..Default::default() };
-    let result = std::panic::catch_unwind(|| {
-        let sim = StmSim::new(PROCS, 2, 2, config).seed(1).jitter(2).max_cycles(200_000);
-        sim.run(BusModel::for_procs(PROCS), |p, ops| {
-            move |mut port: SimPort| {
-                if p == 0 {
-                    let builtins = ops.builtins();
-                    let cells = [0usize];
-                    ops.stm()
-                        .inject_crash_after_acquire(&mut port, &TxSpec::new(builtins.add, &[1], &cells));
-                    return;
-                }
-                ops.fetch_add(&mut port, 0, 1); // can never commit
+    let sim = StmSim::new(PROCS, 2, 2, config)
+        .seed(1)
+        .jitter(2)
+        .max_cycles(200_000)
+        .trace(100_000);
+    let report = sim.run(BusModel::for_procs(PROCS), |p, ops| {
+        move |mut port: SimPort| {
+            if p == 0 {
+                let builtins = ops.builtins();
+                let cells = [0usize];
+                ops.stm()
+                    .inject_crash_after_acquire(&mut port, &TxSpec::new(builtins.add, &[1], &cells));
+                return;
             }
-        })
+            ops.fetch_add(&mut port, 0, 1); // can never commit
+        }
     });
-    assert!(result.is_err(), "survivors should spin until the watchdog trips");
+    match report.violation {
+        Some(Violation::Watchdog { at, limit, .. }) => {
+            assert_eq!(limit, 200_000);
+            assert!(at > limit, "watchdog trips only past the limit");
+        }
+        ref other => panic!("expected a watchdog violation, got {other:?}"),
+    }
+    // The liveness monitor reaches the same verdict from the report.
+    assert!(
+        stm_sim::liveness::LivenessChecker::with_budget(50_000).check(&report).is_some(),
+        "the liveness checker must flag the wedged run"
+    );
+    // The dead transaction's ownership is never released: that is the wedge.
+    assert_eq!(sim.leaked_ownerships(&report), vec![0]);
+    assert_eq!(sim.cell_value(&report, 0), 0, "no survivor increment can commit");
 }
 
 /// The blocking baselines do NOT survive a crash inside the critical
@@ -128,29 +147,33 @@ fn without_helping_a_crash_wedges_the_system() {
 #[test]
 fn lock_based_counter_wedges_on_crash_in_critical_section() {
     use stm_core::machine::MemPort;
-    use stm_sim::engine::{SimConfig, Simulation};
+    use stm_sim::engine::{SimConfig, Simulation, Violation};
     use stm_sync::TtasLock;
 
-    let result = std::panic::catch_unwind(|| {
-        let lock = TtasLock::new(0);
-        Simulation::new(
-            SimConfig { n_words: 2, seed: 3, jitter: 2, max_cycles: 200_000, ..Default::default() },
-            BusModel::for_procs(2),
-        )
-        .run(2, |p| {
-            move |mut port: SimPort| {
-                if p == 0 {
-                    lock.lock(&mut port);
-                    return; // die holding the lock
-                }
-                lock.with(&mut port, |port| {
-                    let v = port.read(1);
-                    port.write(1, v + 1);
-                });
+    let lock = TtasLock::new(0);
+    let report = Simulation::new(
+        SimConfig { n_words: 2, seed: 3, jitter: 2, max_cycles: 200_000, ..Default::default() },
+        BusModel::for_procs(2),
+    )
+    .run(2, |p| {
+        move |mut port: SimPort| {
+            if p == 0 {
+                lock.lock(&mut port);
+                return; // die holding the lock
             }
-        })
+            lock.with(&mut port, |port| {
+                let v = port.read(1);
+                port.write(1, v + 1);
+            });
+        }
     });
-    assert!(result.is_err(), "the survivor must wedge on the orphaned lock");
+    match report.violation {
+        Some(Violation::Watchdog { proc, .. }) => {
+            assert_eq!(proc, 1, "the survivor is the one spinning on the orphaned lock");
+        }
+        ref other => panic!("expected a watchdog violation, got {other:?}"),
+    }
+    assert_eq!(report.memory[1], 0, "the survivor's critical section never ran");
 }
 
 /// Heavy symmetric contention with helping: the system always makes global

@@ -246,6 +246,61 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    /// After any single injected crash — random protocol step, random
+    /// architecture, random schedule — the helpers drain the victim: no
+    /// ownership stays claimed, and the victim's committed effect is applied
+    /// exactly as the helping oracle demands (once if the crash left
+    /// anything claimed, never otherwise).
+    #[test]
+    fn single_injected_fault_is_drained_by_helpers(
+        point_idx in 0usize..13,
+        mesh: bool,
+        seed in 0u64..1000,
+    ) {
+        use stm_sim::explore::crash_matrix;
+        use stm_sim::liveness::LivenessChecker;
+
+        let matrix = crash_matrix(0, 2);
+        let point = &matrix[point_idx];
+        let sim = StmSim::new(3, 4, 4, StmConfig::default())
+            .seed(seed)
+            .jitter(2)
+            .trace(100_000)
+            .faults(point.plan.clone());
+        let body = |p: usize, ops: StmOps| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    // The victim: one 2-cell transaction, crashed by the plan.
+                    ops.fetch_add_many(&mut port, &[0, 1], &[100, 100]);
+                    return;
+                }
+                // Survivors start late (so the victim reaches its crash point
+                // first) and then contend on the victim's cells.
+                port.delay(5000);
+                for _ in 0..5 {
+                    ops.fetch_add_many(&mut port, &[0, 1], &[1, 1]);
+                }
+            }
+        };
+        let report = if mesh {
+            sim.run(stm_sim::arch::MeshModel::for_procs(3), body)
+        } else {
+            sim.run(BusModel::for_procs(3), body)
+        };
+        let want = if point.expect_effect { 110 } else { 10 };
+        for cell in 0..2 {
+            prop_assert_eq!(
+                sim.cell_value(&report, cell), want,
+                "crash@{} cell {}", point.label, cell
+            );
+        }
+        prop_assert!(sim.leaked_ownerships(&report).is_empty(), "crash@{}", point.label);
+        prop_assert_eq!(LivenessChecker::with_budget(60_000).check(&report), None);
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Heap property tests (priority-queue substrate)
 // ---------------------------------------------------------------------------

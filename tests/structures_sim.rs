@@ -245,7 +245,7 @@ fn deque_two_ended_traffic_across_schedules() {
                 let d = d.clone();
                 move |mut port: SimPort| {
                     let mut h = d.handle(&port);
-                    let my_end = if p % 2 == 0 { End::Front } else { End::Back };
+                    let my_end = if p.is_multiple_of(2) { End::Front } else { End::Back };
                     for i in 0..15u32 {
                         while !h.push(&mut port, my_end, i) {
                             stm_core::machine::MemPort::delay(&mut port, 16);
@@ -287,7 +287,7 @@ fn list_set_concurrent_churn_across_schedules() {
                     for _ in 0..25 {
                         x = x.wrapping_mul(1_664_525).wrapping_add(1_013_904_223);
                         let k = x % 8;
-                        if x % 2 == 0 {
+                        if x.is_multiple_of(2) {
                             let _ = set.insert(&mut port, k);
                         } else {
                             let _ = set.remove(&mut port, k);

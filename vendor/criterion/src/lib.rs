@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides just enough of criterion's API for the workspace's benches to
+//! compile and produce useful numbers: `Criterion` with
+//! `bench_function`/`benchmark_group`, `Bencher::iter`/`iter_custom`,
+//! `BenchmarkId`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: a warm-up call, then `sample_size`
+//! timed samples whose per-iteration mean and minimum are printed. No
+//! statistical analysis, no HTML reports, no comparison against saved
+//! baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard optimization barrier.
+pub use std::hint::black_box;
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for the timed samples of one benchmark.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Time spent warming up before measuring.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Run one benchmark under `id`.
+    pub fn bench_function(&mut self, id: &str, mut f: impl FnMut(&mut Bencher)) {
+        run_bench(self, id, &mut f);
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into() }
+    }
+}
+
+/// A named group of benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Benchmark `f` against `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.0);
+        run_bench(self.criterion, &full, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// An id that is just the parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// A `name/parameter` id.
+    pub fn new(name: impl Into<String>, p: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", name.into(), p))
+    }
+}
+
+/// Passed to the benchmark closure to drive timed iterations.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `f` over this sample's iteration count.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Custom timing: `f` receives the iteration count and returns the
+    /// elapsed time it measured itself.
+    pub fn iter_custom(&mut self, mut f: impl FnMut(u64) -> Duration) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn time_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
+    let mut b = Bencher { iters, elapsed: Duration::ZERO };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    // Warm up and estimate the per-iteration cost.
+    let mut iters = 1u64;
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < c.warm_up_time {
+        let d = time_once(f, iters);
+        per_iter = (d / iters as u32).max(Duration::from_nanos(1));
+        if d < Duration::from_millis(1) {
+            iters = iters.saturating_mul(2);
+        }
+    }
+    // Size samples so the whole measurement fits the time budget.
+    let budget_per_sample = c.measurement_time / c.sample_size as u32;
+    let iters_per_sample =
+        (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u64::MAX as u128)
+            as u64;
+    let mut total = Duration::ZERO;
+    let mut min = Duration::MAX;
+    for _ in 0..c.sample_size {
+        let d = time_once(f, iters_per_sample);
+        let per = d / iters_per_sample as u32;
+        total += d;
+        min = min.min(per);
+    }
+    let mean = total / (c.sample_size as u32 * iters_per_sample as u32).max(1);
+    println!(
+        "bench {id:<40} mean {mean:>12?}  min {min:>12?}  ({} samples x {iters_per_sample} iters)",
+        c.sample_size
+    );
+}
+
+/// Declare a group of benchmark functions; both the simple and the
+/// `name/config/targets` forms are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_prints() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(20))
+            .warm_up_time(Duration::from_millis(5));
+        let mut count = 0u64;
+        c.bench_function("smoke/add", |b| b.iter(|| count = count.wrapping_add(1)));
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn group_and_iter_custom() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        let mut group = c.benchmark_group("g");
+        group.bench_with_input(BenchmarkId::from_parameter(3), &3u64, |b, &x| {
+            b.iter_custom(|iters| {
+                let start = Instant::now();
+                let mut acc = 0u64;
+                for _ in 0..iters {
+                    acc = acc.wrapping_add(x);
+                }
+                black_box(acc);
+                start.elapsed()
+            })
+        });
+        group.finish();
+    }
+}

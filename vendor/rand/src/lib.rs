@@ -1,0 +1,159 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so this vendored crate
+//! provides the subset of `rand 0.8`'s API the workspace uses: the
+//! [`SeedableRng`]/[`RngCore`]/[`Rng`] traits, integer `gen_range` over
+//! half-open and inclusive ranges, and [`rngs::SmallRng`] (xoshiro256**,
+//! seeded via splitmix64 — deterministic on every platform).
+//!
+//! The statistical-quality and distribution machinery of the real crate is
+//! intentionally absent; uniformity is "good enough for seeded simulation
+//! jitter", which is all this workspace asks of it.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Deterministic construction of an RNG from a seed.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed (expanded via splitmix64).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Range-sampling extension methods, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniformly sample from `range` (empty ranges panic).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// Bernoulli trial with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        debug_assert!((0.0..=1.0).contains(&p));
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that [`Rng::gen_range`] can sample a `T` from.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample using `rng`.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain: every word is a valid sample.
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add((rng.next_u64() % span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_range!(u8, u16, u32, u64, usize);
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator (xoshiro256**).
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut st = seed;
+            SmallRng {
+                s: [
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                    splitmix64(&mut st),
+                ],
+            }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..=1000), b.gen_range(0u64..=1000));
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        let same = (0..32).all(|_| a.gen_range(0u32..100) == c.gen_range(0u32..100));
+        assert!(!same, "different seeds should diverge");
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 5];
+        for _ in 0..500 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+            assert!(v < 5);
+            let w = rng.gen_range(10u64..=12);
+            assert!((10..=12).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}
