@@ -22,6 +22,7 @@
 
 use std::path::PathBuf;
 
+use stm_bench::report::write_bench_json;
 use stm_bench::runner::{summarize, Sweep, PAPER_PROCS, QUICK_PROCS};
 use stm_bench::table::{render_table, write_csv};
 use stm_bench::workloads::{ArchKind, Bench, DataPoint};
@@ -106,22 +107,31 @@ fn main() {
     let opts = parse_args();
     let mut all_points: Vec<DataPoint> = Vec::new();
 
+    let mut figure_points: Vec<DataPoint> = Vec::new();
+
     for exp in &opts.experiments {
         match exp.as_str() {
             "summary" => {} // handled after the sweeps
-            "ablate-helping" => run_ablate_helping(&opts),
+            "ablate-helping" => all_points.extend(run_ablate_helping(&opts)),
             "ablate-backoff" => run_ablate_backoff(&opts),
-            "ablate-arch" => run_ablate_arch(&opts),
+            "ablate-arch" => all_points.extend(run_ablate_arch(&opts)),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
+                figure_points.extend(points.iter().cloned());
                 all_points.extend(points);
             }
         }
     }
 
     if opts.experiments.iter().any(|e| e == "summary") {
-        run_summary(&all_points);
+        run_summary(&figure_points);
+    }
+
+    if !all_points.is_empty() {
+        let path = opts.out.join("BENCH_stm.json");
+        write_bench_json(&path, &all_points).expect("write BENCH_stm.json");
+        eprintln!("[figures] wrote {} ({} points)", path.display(), all_points.len());
     }
 }
 
@@ -213,7 +223,8 @@ fn run_summary(points: &[DataPoint]) {
 
 /// A1: the paper's core mechanism — helping on vs off, on the two workloads
 /// where conflicts matter most.
-fn run_ablate_helping(opts: &Options) {
+fn run_ablate_helping(opts: &Options) -> Vec<DataPoint> {
+    let mut all = Vec::new();
     for (bench, name) in
         [(Bench::Counting, "ablate-helping-counting"), (Bench::Resource, "ablate-helping-resource")]
     {
@@ -230,12 +241,15 @@ fn run_ablate_helping(opts: &Options) {
         let title = format!("A1 — STM helping ablation, {bench} benchmark on the bus machine");
         println!("{}", render_table(&title, &points));
         write_csv(&opts.out.join(format!("{name}.csv")), &points).expect("write CSV");
+        all.extend(points);
     }
+    all
 }
 
 /// A3: architecture ablation — the STM's resource-allocation curve on the
 /// plain mesh vs the coherently-caching mesh (Alewife-style).
-fn run_ablate_arch(opts: &Options) {
+fn run_ablate_arch(opts: &Options) -> Vec<DataPoint> {
+    let mut all = Vec::new();
     for arch in [ArchKind::Mesh, ArchKind::MeshCached] {
         let sweep = Sweep {
             bench: Bench::Resource,
@@ -250,7 +264,9 @@ fn run_ablate_arch(opts: &Options) {
         let title = format!("A3 — architecture ablation, resource benchmark on the {arch} machine");
         println!("{}", render_table(&title, &points));
         write_csv(&opts.out.join(format!("ablate-arch-{arch}.csv")), &points).expect("write CSV");
+        all.extend(points);
     }
+    all
 }
 
 /// A2: Herlihy's method with different back-off policies (its performance is

@@ -10,6 +10,8 @@
 //!   (architecture, method, processor-count) configuration.
 //! * [`runner`] — parameter sweeps and the summary/crossover analysis.
 //! * [`table`] — aligned table printing and CSV output.
+//! * [`report`] — the machine-readable `BENCH_stm.json` report (throughput
+//!   plus per-point conflict/help/retry rates).
 //!
 //! The `figures` binary (`cargo run -p stm-bench --release --bin figures`)
 //! regenerates every experiment; see `DESIGN.md` §6 for the experiment
@@ -18,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod report;
 pub mod runner;
 pub mod table;
 pub mod workloads;

@@ -1,0 +1,102 @@
+//! Machine-readable benchmark report (`BENCH_stm.json`).
+//!
+//! The figure runner snapshots every data point it produced — throughput
+//! plus the protocol-level conflict/help/retry rates — into one JSON
+//! document, so downstream tooling (CI artifacts, plotting scripts,
+//! regression diffs) can consume the sweep without re-parsing CSV tables.
+
+use std::io;
+use std::path::Path;
+
+use crate::workloads::DataPoint;
+
+/// Schema identifier written into the report, bumped on layout changes.
+pub const BENCH_SCHEMA: &str = "stm-bench/v1";
+
+/// Build the JSON document for a set of data points.
+///
+/// Layout: `{"schema": ..., "points": [{bench, arch, method, procs,
+/// total_ops, cycles, throughput, commits, conflicts, helps,
+/// conflict_rate, help_rate, retry_rate}, ...]}`. The protocol fields are
+/// zero for lock baselines, which never enter the STM protocol.
+pub fn bench_json(points: &[DataPoint]) -> serde_json::Value {
+    let rows = points
+        .iter()
+        .map(|p| {
+            serde_json::Value::Object(vec![
+                ("bench".into(), p.bench.to_string().into()),
+                ("arch".into(), p.arch.to_string().into()),
+                ("method".into(), p.method.to_string().into()),
+                ("procs".into(), (p.procs as u64).into()),
+                ("total_ops".into(), p.total_ops.into()),
+                ("cycles".into(), p.cycles.into()),
+                ("throughput".into(), p.throughput.into()),
+                ("commits".into(), p.commits.into()),
+                ("conflicts".into(), p.conflicts.into()),
+                ("helps".into(), p.helps.into()),
+                ("conflict_rate".into(), p.conflict_rate().into()),
+                ("help_rate".into(), p.help_rate().into()),
+                ("retry_rate".into(), p.retry_rate().into()),
+            ])
+        })
+        .collect();
+    serde_json::Value::Object(vec![
+        ("schema".into(), BENCH_SCHEMA.into()),
+        ("points".into(), serde_json::Value::Array(rows)),
+    ])
+}
+
+/// Write [`bench_json`] for `points` to `path`, creating parent directories.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating directories or writing the file.
+pub fn write_bench_json(path: &Path, points: &[DataPoint]) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let doc = serde_json::to_string_pretty(&bench_json(points)).expect("bench values are finite");
+    std::fs::write(path, doc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads::{run_point, ArchKind, Bench};
+    use stm_structures::Method;
+
+    #[test]
+    fn report_round_trips_with_protocol_rates() {
+        let points = vec![
+            run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 2, 64, 1),
+            run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 2, 64, 1),
+        ];
+        let doc = serde_json::to_string_pretty(&bench_json(&points)).unwrap();
+        let v = serde_json::from_str(&doc).expect("report must be valid JSON");
+        assert_eq!(v["schema"].as_str(), Some(BENCH_SCHEMA));
+        let rows = v["points"].as_array().unwrap();
+        assert_eq!(rows.len(), 2);
+        let stm = &rows[0];
+        assert_eq!(stm["method"].as_str(), Some("STM"));
+        assert_eq!(stm["commits"].as_u64(), Some(points[0].commits));
+        assert_eq!(stm["total_ops"].as_u64(), Some(64));
+        assert!(stm["throughput"].as_f64().unwrap() > 0.0);
+        assert!(stm["conflict_rate"].as_f64().unwrap() >= 0.0);
+        let lock = &rows[1];
+        assert_eq!(lock["method"].as_str(), Some("MCS-lock"));
+        assert_eq!(lock["commits"].as_u64(), Some(0));
+        assert_eq!(lock["retry_rate"].as_f64(), Some(0.0));
+    }
+
+    #[test]
+    fn writer_creates_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("stm_bench_report_{}", std::process::id()));
+        let path = dir.join("nested/BENCH_stm.json");
+        let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
+        write_bench_json(&path, &points).unwrap();
+        let doc = std::fs::read_to_string(&path).unwrap();
+        let v = serde_json::from_str(&doc).unwrap();
+        assert_eq!(v["points"].as_array().unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

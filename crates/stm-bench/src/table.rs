@@ -49,14 +49,32 @@ pub fn render_table(title: &str, points: &[DataPoint]) -> String {
 }
 
 /// Serialize data points as CSV (`bench,arch,method,procs,total_ops,cycles,
-/// throughput`).
+/// throughput,commits,conflicts,helps,conflict_rate,help_rate,retry_rate`).
+///
+/// The protocol columns are zero for the lock baselines, which do not run
+/// the STM protocol.
 pub fn to_csv(points: &[DataPoint]) -> String {
-    let mut out = String::from("bench,arch,method,procs,total_ops,cycles,throughput\n");
+    let mut out = String::from(
+        "bench,arch,method,procs,total_ops,cycles,throughput,\
+         commits,conflicts,helps,conflict_rate,help_rate,retry_rate\n",
+    );
     for p in points {
         let _ = writeln!(
             out,
-            "{},{},{},{},{},{},{:.3}",
-            p.bench, p.arch, p.method, p.procs, p.total_ops, p.cycles, p.throughput
+            "{},{},{},{},{},{},{:.3},{},{},{},{:.4},{:.4},{:.4}",
+            p.bench,
+            p.arch,
+            p.method,
+            p.procs,
+            p.total_ops,
+            p.cycles,
+            p.throughput,
+            p.commits,
+            p.conflicts,
+            p.helps,
+            p.conflict_rate(),
+            p.help_rate(),
+            p.retry_rate()
         );
     }
     out
@@ -88,6 +106,9 @@ mod tests {
             total_ops: 100,
             cycles: 1000,
             throughput: thr,
+            commits: 100,
+            conflicts: 25,
+            helps: 5,
         }
     }
 
@@ -119,7 +140,15 @@ mod tests {
         let pts = vec![point(Method::Herlihy, 4, 12.5)];
         let csv = to_csv(&pts);
         let mut lines = csv.lines();
-        assert_eq!(lines.next().unwrap(), "bench,arch,method,procs,total_ops,cycles,throughput");
-        assert_eq!(lines.next().unwrap(), "counting,bus,Herlihy,4,100,1000,12.500");
+        assert_eq!(
+            lines.next().unwrap(),
+            "bench,arch,method,procs,total_ops,cycles,throughput,\
+             commits,conflicts,helps,conflict_rate,help_rate,retry_rate"
+        );
+        // conflict_rate 25/125, help_rate 5/125, retry_rate 25/100.
+        assert_eq!(
+            lines.next().unwrap(),
+            "counting,bus,Herlihy,4,100,1000,12.500,100,25,5,0.2000,0.0400,0.2500"
+        );
     }
 }

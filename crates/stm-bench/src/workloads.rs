@@ -5,7 +5,7 @@ use rand::{Rng, SeedableRng};
 use stm_core::machine::MemPort;
 use stm_core::word::Word;
 use stm_sim::arch::{BusModel, CachedMeshModel, CostModel, MeshModel, UniformModel};
-use stm_sim::engine::{SimConfig, SimPort, Simulation};
+use stm_sim::engine::{SimConfig, SimPort, SimReport, Simulation};
 use stm_structures::counter::Counter;
 use stm_structures::prio::PrioQueue;
 use stm_structures::queue::FifoQueue;
@@ -106,6 +106,46 @@ pub struct DataPoint {
     pub cycles: u64,
     /// Throughput in operations per million cycles (the paper's metric).
     pub throughput: f64,
+    /// Transactions committed during the run (0 for the lock methods, which
+    /// announce no protocol steps).
+    pub commits: u64,
+    /// Transaction attempts failed on an ownership conflict.
+    pub conflicts: u64,
+    /// Helping spans entered (the paper's non-redundant helping at work).
+    pub helps: u64,
+}
+
+impl DataPoint {
+    /// Fraction of transaction attempts that failed on a conflict
+    /// (`conflicts / (commits + conflicts)`; 0 when no attempts were
+    /// announced, e.g. the lock methods).
+    pub fn conflict_rate(&self) -> f64 {
+        let attempts = self.commits + self.conflicts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / attempts as f64
+        }
+    }
+
+    /// Helping spans per transaction attempt.
+    pub fn help_rate(&self) -> f64 {
+        let attempts = self.commits + self.conflicts;
+        if attempts == 0 {
+            0.0
+        } else {
+            self.helps as f64 / attempts as f64
+        }
+    }
+
+    /// Failed attempts per committed transaction (the retry overhead).
+    pub fn retry_rate(&self) -> f64 {
+        if self.commits == 0 {
+            0.0
+        } else {
+            self.conflicts as f64 / self.commits as f64
+        }
+    }
 }
 
 /// Boxed cost model wrapper so `Simulation::new` (which takes a sized model)
@@ -147,14 +187,26 @@ pub fn run_point(
 ) -> DataPoint {
     let per_proc = (total_ops / procs as u64).max(1);
     let actual_total = per_proc * procs as u64;
-    let (cycles, ops) = match bench {
+    let (report, ops) = match bench {
         Bench::Counting => run_counting(arch, method, procs, per_proc, seed),
         Bench::Queue => run_queue(arch, method, procs, per_proc, seed),
         Bench::Resource => run_resource(arch, method, procs, per_proc, seed),
         Bench::Prio => run_prio(arch, method, procs, per_proc, seed),
     };
     debug_assert_eq!(ops, actual_total);
-    DataPoint { bench, arch, method, procs, total_ops: ops, cycles, throughput: throughput(ops, cycles) }
+    let cycles = report.cycles;
+    DataPoint {
+        bench,
+        arch,
+        method,
+        procs,
+        total_ops: ops,
+        cycles,
+        throughput: throughput(ops, cycles),
+        commits: report.stats.commits(),
+        conflicts: report.stats.aborts(),
+        helps: report.stats.helps(),
+    }
 }
 
 fn sim_config(n_words: usize, seed: u64, init: Vec<(usize, Word)>) -> SimConfig {
@@ -167,7 +219,7 @@ fn run_counting(
     procs: usize,
     per_proc: u64,
     seed: u64,
-) -> (u64, u64) {
+) -> (SimReport, u64) {
     let counter = Counter::new(method, 0, procs);
     let config = sim_config(Counter::words_needed(method, procs), seed, counter.init_words(0));
     let report =
@@ -191,7 +243,7 @@ fn run_counting(
         decode_counter(&c, &report.memory)
     };
     assert_eq!(final_value as u64, per_proc * procs as u64, "lost updates in counting benchmark");
-    (report.cycles, per_proc * procs as u64)
+    (report, per_proc * procs as u64)
 }
 
 /// Decode a counter's final value from a raw memory image.
@@ -220,7 +272,13 @@ fn decode_counter(counter: &Counter, memory: &[Word]) -> u32 {
     value.load(std::sync::atomic::Ordering::SeqCst)
 }
 
-fn run_queue(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: u64) -> (u64, u64) {
+fn run_queue(
+    arch: ArchKind,
+    method: Method,
+    procs: usize,
+    per_proc: u64,
+    seed: u64,
+) -> (SimReport, u64) {
     let capacity = (2 * procs).max(16);
     let queue = FifoQueue::new(method, 0, procs, capacity);
     let config =
@@ -246,7 +304,7 @@ fn run_queue(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: 
     // Correctness gate: balanced enq/deq leave the queue empty.
     let len = decode_queue_len(&queue, &report.memory);
     assert_eq!(len, 0, "queue must drain with balanced enqueue/dequeue");
-    (report.cycles, 2 * rounds * procs as u64)
+    (report, 2 * rounds * procs as u64)
 }
 
 fn decode_queue_len(queue: &FifoQueue, memory: &[Word]) -> usize {
@@ -279,7 +337,7 @@ fn run_resource(
     procs: usize,
     per_proc: u64,
     seed: u64,
-) -> (u64, u64) {
+) -> (SimReport, u64) {
     let pool = ResourcePool::new(method, 0, procs, RESOURCES);
     let config = sim_config(
         ResourcePool::words_needed(method, procs, RESOURCES),
@@ -306,7 +364,7 @@ fn run_resource(
         RESOURCES as u64 * RESOURCE_UNITS as u64,
         "resource units must be conserved"
     );
-    (report.cycles, per_proc * procs as u64)
+    (report, per_proc * procs as u64)
 }
 
 fn decode_resources(pool: &ResourcePool, memory: &[Word]) -> Vec<u32> {
@@ -345,7 +403,13 @@ fn distinct_indices(rng: &mut SmallRng, k: usize, m: usize) -> Vec<usize> {
 
 const PRIO_CAPACITY: usize = 32;
 
-fn run_prio(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: u64) -> (u64, u64) {
+fn run_prio(
+    arch: ArchKind,
+    method: Method,
+    procs: usize,
+    per_proc: u64,
+    seed: u64,
+) -> (SimReport, u64) {
     let q = PrioQueue::new(method, 0, procs, PRIO_CAPACITY);
     let config =
         sim_config(PrioQueue::words_needed(method, procs, PRIO_CAPACITY), seed, q.init_words());
@@ -368,7 +432,7 @@ fn run_prio(arch: ArchKind, method: Method, procs: usize, per_proc: u64, seed: u
     });
     let len = decode_prio_len(&q, &report.memory);
     assert_eq!(len, 0, "priority queue must drain with balanced insert/extract");
-    (report.cycles, 2 * rounds * procs as u64)
+    (report, 2 * rounds * procs as u64)
 }
 
 fn decode_prio_len(q: &PrioQueue, memory: &[Word]) -> usize {
@@ -403,6 +467,20 @@ mod tests {
             assert!(p.cycles > 0);
             assert!(p.throughput > 0.0);
         }
+    }
+
+    #[test]
+    fn stm_points_carry_protocol_rates_and_lock_points_do_not() {
+        let stm = run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 4, 64, 1);
+        // Every completed operation is a committed transaction.
+        assert_eq!(stm.commits, stm.total_ops, "one commit per op");
+        assert!(stm.conflict_rate() >= 0.0 && stm.conflict_rate() < 1.0);
+        assert!(stm.retry_rate() >= 0.0);
+        let lock = run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 4, 64, 1);
+        assert_eq!((lock.commits, lock.conflicts, lock.helps), (0, 0, 0));
+        assert_eq!(lock.conflict_rate(), 0.0);
+        assert_eq!(lock.help_rate(), 0.0);
+        assert_eq!(lock.retry_rate(), 0.0);
     }
 
     #[test]

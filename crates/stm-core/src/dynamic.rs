@@ -160,6 +160,22 @@ impl DynamicStm {
     pub fn run<P: MemPort, R>(
         &self,
         port: &mut P,
+        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
+    ) -> (R, TxStats) {
+        self.run_observed(port, &mut crate::observe::NoopObserver, body)
+    }
+
+    /// [`DynamicStm::run`] with a [`TxObserver`](crate::observe::TxObserver)
+    /// receiving the lifecycle events of each validate-and-write commit
+    /// transaction (one observed static execution per body attempt).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`DynamicStm::run`].
+    pub fn run_observed<P: MemPort, R, O: crate::observe::TxObserver>(
+        &self,
+        port: &mut P,
+        obs: &mut O,
         mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
     ) -> (R, TxStats) {
         let mut stats = TxStats::default();
@@ -200,10 +216,11 @@ impl DynamicStm {
                 })
                 .collect();
             port.step(crate::step::StepPoint::DynCommit);
-            let out = self
-                .ops
-                .stm()
-                .execute(port, &TxSpec::new(self.ops.builtins().mwcas, &params, &cells));
+            let out = self.ops.stm().execute_observed(
+                port,
+                &TxSpec::new(self.ops.builtins().mwcas, &params, &cells),
+                obs,
+            );
             // `attempts` counts body executions; fold in only the commit's
             // conflict/help counters.
             stats.helps += out.stats.helps;

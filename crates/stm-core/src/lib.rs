@@ -80,6 +80,8 @@ pub mod dynamic;
 pub mod history;
 pub mod layout;
 pub mod machine;
+pub mod metrics;
+pub mod observe;
 pub mod ops;
 pub mod program;
 pub mod step;
@@ -87,6 +89,8 @@ pub mod stm;
 pub mod word;
 
 pub use machine::MemPort;
+pub use metrics::{Log2Histogram, TxMetrics};
+pub use observe::{NoopObserver, RecordingObserver, TxEvent, TxObserver};
 pub use step::{StepKind, StepPoint};
 pub use ops::StmOps;
 pub use program::{OpCode, ProgramTable, TxProgram};

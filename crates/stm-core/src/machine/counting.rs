@@ -160,6 +160,25 @@ mod tests {
     }
 
     #[test]
+    fn noop_observer_adds_zero_footprint() {
+        // The acceptance bar for the telemetry layer: the default observer
+        // must cost nothing. Identical op counts, not merely "close".
+        use crate::observe::NoopObserver;
+        use crate::stm::TxSpec;
+        let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = CountingPort::new(m.port(0));
+        let spec = TxSpec::new(ops.builtins().add, &[1], &[0]);
+        ops.stm().execute(&mut port, &spec); // warm-up (first stamp)
+        port.reset();
+        ops.stm().execute(&mut port, &spec);
+        let plain = port.counts();
+        port.reset();
+        ops.stm().execute_observed(&mut port, &spec, &mut NoopObserver);
+        assert_eq!(port.counts(), plain, "NoopObserver must be free");
+    }
+
+    #[test]
     fn footprint_scales_linearly_with_dataset() {
         let ops = StmOps::new(0, 16, 1, 16, StmConfig::default());
         let m = HostMachine::new(ops.stm().layout().words_needed(), 1);

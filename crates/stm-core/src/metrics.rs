@@ -1,0 +1,474 @@
+//! Aggregating transaction metrics: log2-bucket histograms, hot-cell
+//! contention counters, and helping-chain accounting.
+//!
+//! [`TxMetrics`] is a [`TxObserver`] that condenses the lifecycle event
+//! stream into the quantities the paper's evaluation argues about:
+//!
+//! * **attempts-to-commit** — how many attempts each committed transaction
+//!   needed (1 = first try; the tail measures retry pressure);
+//! * **cycles-per-attempt** — virtual cycles from attempt publication to its
+//!   terminal commit/abort (host runs report 0-cycle durations);
+//! * **help duration** — cycles spent inside helping spans;
+//! * **hot cells** — per-address conflict counts (which cells fail
+//!   transactions), the contention heatmap;
+//! * **helping depth** — the observer-side check of the paper's one-level
+//!   *non-redundant helping* bound: helpers never recurse, so the observed
+//!   maximum depth of nested `help_begin`/`help_end` spans must be ≤ 1.
+//!
+//! Observers are per-port (one processor's view); aggregate a
+//! multiprocessor run by [`TxMetrics::merge`]-ing the per-processor
+//! instances.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::observe::TxObserver;
+use crate::word::CellIdx;
+
+/// Number of buckets in a [`Log2Histogram`]: one for zero plus one per
+/// possible `floor(log2(v)) + 1` of a non-zero `u64`.
+pub const LOG2_BUCKETS: usize = 65;
+
+/// A fixed-size histogram over `u64` values with logarithmic buckets.
+///
+/// Bucket `0` holds exactly the value `0`; bucket `i ≥ 1` holds the values
+/// in `[2^(i-1), 2^i)`. Recording is O(1) with no allocation, so the
+/// histogram is cheap enough to live on the transaction fast path.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Log2Histogram {
+    buckets: [u64; LOG2_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Log2Histogram {
+    fn default() -> Self {
+        Log2Histogram { buckets: [0; LOG2_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl Log2Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Bucket index of `value` (`0` for zero, else `floor(log2) + 1`).
+    pub fn bucket_of(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            64 - value.leading_zeros() as usize
+        }
+    }
+
+    /// Inclusive lower bound of bucket `i`.
+    pub fn bucket_low(i: usize) -> u64 {
+        match i {
+            0 => 0,
+            1 => 1,
+            _ => 1u64 << (i - 1),
+        }
+    }
+
+    /// Record one observation.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_of(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of observations (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean observation (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Observations in bucket `i` (see [`Log2Histogram::bucket_of`]).
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// `(bucket_low, count)` for every non-empty bucket, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(i, &n)| (Self::bucket_low(i), n))
+            .collect()
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &Log2Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Debug for Log2Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Log2Histogram")
+            .field("count", &self.count)
+            .field("mean", &self.mean())
+            .field("max", &self.max)
+            .field("nonzero_buckets", &self.nonzero_buckets())
+            .finish()
+    }
+}
+
+impl fmt::Display for Log2Histogram {
+    /// Compact one-line rendering: `n=<count> mean=<mean> max=<max> [lo:n ...]`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n={} mean={:.1} max={} [", self.count, self.mean(), self.max)?;
+        for (k, (low, n)) in self.nonzero_buckets().iter().enumerate() {
+            if k > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "≥{low}:{n}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Metrics accumulated from one processor's transaction lifecycle events.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::machine::host::HostMachine;
+/// use stm_core::metrics::TxMetrics;
+/// use stm_core::ops::StmOps;
+/// use stm_core::stm::{StmConfig, TxSpec};
+///
+/// let ops = StmOps::new(0, 8, 1, 4, StmConfig::default());
+/// let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
+/// let mut port = machine.port(0);
+/// let mut metrics = TxMetrics::new();
+/// for _ in 0..10 {
+///     ops.stm().execute_observed(
+///         &mut port,
+///         &TxSpec::new(ops.builtins().add, &[1], &[0]),
+///         &mut metrics,
+///     );
+/// }
+/// assert_eq!(metrics.commits(), 10);
+/// assert_eq!(metrics.attempts_to_commit.mean(), 1.0); // uncontended
+/// assert!(metrics.helping_is_non_redundant());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TxMetrics {
+    /// Histogram of attempts needed per committed transaction.
+    pub attempts_to_commit: Log2Histogram,
+    /// Histogram of cycles from attempt publication to its terminal event.
+    pub cycles_per_attempt: Log2Histogram,
+    /// Histogram of cycles spent per helping span.
+    pub help_cycles: Log2Histogram,
+    commits: u64,
+    aborts: u64,
+    conflicts: u64,
+    helps: u64,
+    write_backs: u64,
+    releases: u64,
+    contention: BTreeMap<CellIdx, u64>,
+    attempt_start: Option<u64>,
+    help_start: Option<u64>,
+    help_depth: u32,
+    max_help_depth: u32,
+}
+
+impl TxMetrics {
+    /// Fresh, empty metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Committed transactions observed.
+    pub fn commits(&self) -> u64 {
+        self.commits
+    }
+
+    /// Failed (aborted) attempts observed.
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Conflict events observed (equals [`TxMetrics::aborts`] by the event
+    /// grammar; kept separate as a cross-check).
+    pub fn conflicts(&self) -> u64 {
+        self.conflicts
+    }
+
+    /// Helping spans entered.
+    pub fn helps(&self) -> u64 {
+        self.helps
+    }
+
+    /// Values installed (write-backs; logical reads excluded).
+    pub fn write_backs(&self) -> u64 {
+        self.write_backs
+    }
+
+    /// Ownership releases performed.
+    pub fn releases(&self) -> u64 {
+        self.releases
+    }
+
+    /// Total attempts observed (commits + aborts).
+    pub fn attempts(&self) -> u64 {
+        self.commits + self.aborts
+    }
+
+    /// Deepest observed nesting of helping spans. The paper's non-redundant
+    /// helping bound says helpers never help transitively, so this must
+    /// never exceed 1.
+    pub fn max_help_depth(&self) -> u32 {
+        self.max_help_depth
+    }
+
+    /// Whether the observed helping chains respected the one-level bound.
+    pub fn helping_is_non_redundant(&self) -> bool {
+        self.max_help_depth <= 1
+    }
+
+    /// Per-cell conflict counts (the contention heatmap), every observed
+    /// cell, ascending cell index.
+    pub fn contention(&self) -> &BTreeMap<CellIdx, u64> {
+        &self.contention
+    }
+
+    /// The `k` most conflicted cells as `(cell, conflicts)`, hottest first
+    /// (ties broken by ascending cell index).
+    pub fn hot_cells(&self, k: usize) -> Vec<(CellIdx, u64)> {
+        let mut v: Vec<(CellIdx, u64)> = self.contention.iter().map(|(&c, &n)| (c, n)).collect();
+        v.sort_by_key(|&(c, n)| (std::cmp::Reverse(n), c));
+        v.truncate(k);
+        v
+    }
+
+    /// Fold another processor's metrics into this one (aggregate a
+    /// multiprocessor run). In-flight attempt/help timing state is not
+    /// merged — merge finished observers.
+    pub fn merge(&mut self, other: &TxMetrics) {
+        self.attempts_to_commit.merge(&other.attempts_to_commit);
+        self.cycles_per_attempt.merge(&other.cycles_per_attempt);
+        self.help_cycles.merge(&other.help_cycles);
+        self.commits += other.commits;
+        self.aborts += other.aborts;
+        self.conflicts += other.conflicts;
+        self.helps += other.helps;
+        self.write_backs += other.write_backs;
+        self.releases += other.releases;
+        for (&c, &n) in &other.contention {
+            *self.contention.entry(c).or_default() += n;
+        }
+        self.max_help_depth = self.max_help_depth.max(other.max_help_depth);
+    }
+
+    /// Multi-line human-readable summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "commits {}  aborts {}  helps {}  installs {}  releases {}\n",
+            self.commits, self.aborts, self.helps, self.write_backs, self.releases
+        ));
+        out.push_str(&format!("attempts/commit:   {}\n", self.attempts_to_commit));
+        out.push_str(&format!("cycles/attempt:    {}\n", self.cycles_per_attempt));
+        out.push_str(&format!("help cycles:       {}\n", self.help_cycles));
+        out.push_str(&format!(
+            "help depth:        max {} ({})\n",
+            self.max_help_depth,
+            if self.helping_is_non_redundant() { "non-redundant bound held" } else { "BOUND VIOLATED" }
+        ));
+        let hot = self.hot_cells(8);
+        if !hot.is_empty() {
+            out.push_str("hot cells:        ");
+            for (c, n) in hot {
+                out.push_str(&format!(" c{c}:{n}"));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TxObserver for TxMetrics {
+    fn attempt_begin(&mut self, _proc: usize, _attempt: u64, now: u64) {
+        self.attempt_start = Some(now);
+    }
+
+    fn conflict(&mut self, _proc: usize, cell: Option<CellIdx>, _now: u64) {
+        self.conflicts += 1;
+        if let Some(c) = cell {
+            *self.contention.entry(c).or_default() += 1;
+        }
+    }
+
+    fn help_begin(&mut self, _proc: usize, _owner: usize, now: u64) {
+        self.helps += 1;
+        self.help_depth += 1;
+        self.max_help_depth = self.max_help_depth.max(self.help_depth);
+        if self.help_depth == 1 {
+            self.help_start = Some(now);
+        }
+    }
+
+    fn help_end(&mut self, _proc: usize, _owner: usize, now: u64) {
+        if self.help_depth == 1 {
+            if let Some(t0) = self.help_start.take() {
+                self.help_cycles.record(now.saturating_sub(t0));
+            }
+        }
+        self.help_depth = self.help_depth.saturating_sub(1);
+    }
+
+    fn write_back(&mut self, _proc: usize, _cell: CellIdx, _now: u64) {
+        self.write_backs += 1;
+    }
+
+    fn released(&mut self, _proc: usize, _cell: CellIdx, _now: u64) {
+        self.releases += 1;
+    }
+
+    fn committed(&mut self, _proc: usize, attempts: u64, now: u64) {
+        self.commits += 1;
+        self.attempts_to_commit.record(attempts);
+        if let Some(t0) = self.attempt_start.take() {
+            self.cycles_per_attempt.record(now.saturating_sub(t0));
+        }
+    }
+
+    fn aborted(&mut self, _proc: usize, _at: usize, now: u64) {
+        self.aborts += 1;
+        if let Some(t0) = self.attempt_start.take() {
+            self.cycles_per_attempt.record(now.saturating_sub(t0));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log2_buckets_partition_u64() {
+        assert_eq!(Log2Histogram::bucket_of(0), 0);
+        assert_eq!(Log2Histogram::bucket_of(1), 1);
+        assert_eq!(Log2Histogram::bucket_of(2), 2);
+        assert_eq!(Log2Histogram::bucket_of(3), 2);
+        assert_eq!(Log2Histogram::bucket_of(4), 3);
+        assert_eq!(Log2Histogram::bucket_of(u64::MAX), 64);
+        for i in 1..LOG2_BUCKETS {
+            assert_eq!(Log2Histogram::bucket_of(Log2Histogram::bucket_low(i)), i);
+        }
+    }
+
+    #[test]
+    fn histogram_records_and_merges() {
+        let mut a = Log2Histogram::new();
+        a.record(0);
+        a.record(1);
+        a.record(5);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.sum(), 6);
+        assert_eq!(a.max(), 5);
+        assert_eq!(a.bucket(0), 1);
+        assert_eq!(a.bucket(3), 1); // 5 ∈ [4, 8)
+        let mut b = Log2Histogram::new();
+        b.record(5);
+        b.record(100);
+        a.merge(&b);
+        assert_eq!(a.count(), 5);
+        assert_eq!(a.max(), 100);
+        assert_eq!(a.bucket(3), 2);
+        assert_eq!(a.nonzero_buckets(), vec![(0, 1), (1, 1), (4, 2), (64, 1)]);
+    }
+
+    #[test]
+    fn metrics_track_a_synthetic_lifecycle() {
+        let mut m = TxMetrics::new();
+        // Attempt 1: conflict on cell 3, help P2, abort.
+        m.attempt_begin(0, 1, 100);
+        m.cell_acquired(0, 1, 110);
+        m.conflict(0, Some(3), 120);
+        m.help_begin(0, 2, 125);
+        m.cell_acquired(0, 3, 130);
+        m.help_end(0, 2, 140);
+        m.aborted(0, 1, 150);
+        // Attempt 2: commit.
+        m.attempt_begin(0, 2, 200);
+        m.cell_acquired(0, 1, 210);
+        m.write_back(0, 1, 220);
+        m.released(0, 1, 230);
+        m.committed(0, 2, 240);
+
+        assert_eq!(m.commits(), 1);
+        assert_eq!(m.aborts(), 1);
+        assert_eq!(m.attempts(), 2);
+        assert_eq!(m.conflicts(), 1);
+        assert_eq!(m.helps(), 1);
+        assert_eq!(m.write_backs(), 1);
+        assert_eq!(m.releases(), 1);
+        assert_eq!(m.hot_cells(4), vec![(3, 1)]);
+        assert_eq!(m.max_help_depth(), 1);
+        assert!(m.helping_is_non_redundant());
+        assert_eq!(m.attempts_to_commit.count(), 1);
+        assert_eq!(m.cycles_per_attempt.count(), 2);
+        assert_eq!(m.cycles_per_attempt.sum(), 50 + 40);
+        assert_eq!(m.help_cycles.sum(), 15);
+        assert!(m.summary().contains("non-redundant bound held"));
+    }
+
+    #[test]
+    fn nested_help_would_violate_the_bound() {
+        let mut m = TxMetrics::new();
+        m.help_begin(0, 1, 0);
+        m.help_begin(0, 2, 1); // transitive helping: must be flagged
+        m.help_end(0, 2, 2);
+        m.help_end(0, 1, 3);
+        assert_eq!(m.max_help_depth(), 2);
+        assert!(!m.helping_is_non_redundant());
+        assert!(m.summary().contains("BOUND VIOLATED"));
+    }
+
+    #[test]
+    fn merge_aggregates_across_processors() {
+        let mut a = TxMetrics::new();
+        a.attempt_begin(0, 1, 0);
+        a.committed(0, 1, 10);
+        a.conflict(0, Some(7), 0);
+        let mut b = TxMetrics::new();
+        b.attempt_begin(1, 1, 0);
+        b.aborted(1, 0, 5);
+        b.conflict(1, Some(7), 0);
+        a.merge(&b);
+        assert_eq!(a.commits(), 1);
+        assert_eq!(a.aborts(), 1);
+        assert_eq!(a.contention()[&7], 2);
+        assert_eq!(a.cycles_per_attempt.count(), 2);
+    }
+}

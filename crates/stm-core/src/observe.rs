@@ -1,0 +1,281 @@
+//! Transaction lifecycle observers — zero-cost telemetry hooks.
+//!
+//! The protocol in [`crate::stm`] (and the dynamic layer in
+//! [`crate::dynamic`]) reports every externally meaningful event of a
+//! transaction's life to a [`TxObserver`]: attempt begin, per-cell
+//! acquisition, the conflict that failed an attempt, the helping span spent
+//! on another processor's transaction, installs, releases, and the terminal
+//! commit/abort of each attempt. The observer parameter is **monomorphized**
+//! ([`Stm::execute_observed`](crate::stm::Stm::execute_observed) is generic
+//! over `O: TxObserver`), and every callback has an empty `#[inline]`
+//! default, so the uninstrumented path — [`NoopObserver`] — compiles to
+//! exactly the code the plain [`Stm::execute`](crate::stm::Stm::execute)
+//! fast path had before observers existed. The counting-port footprint test
+//! in [`crate::machine::counting`] pins that equivalence.
+//!
+//! Timestamps come from [`MemPort::now`](crate::machine::MemPort::now): real
+//! virtual cycles on the `stm-sim` simulator, `0` on the host machine (where
+//! duration metrics degenerate to counts).
+//!
+//! Two observers ship with the crate:
+//!
+//! * [`NoopObserver`] — the default; costs nothing.
+//! * [`RecordingObserver`] — appends every callback as a [`TxEvent`], for
+//!   tests and tooling (the observer-ordering property tests are built on
+//!   it).
+//!
+//! [`crate::metrics::TxMetrics`] is the aggregating observer: histograms,
+//! hot-cell contention counters, and helping-chain accounting.
+//!
+//! # Event grammar
+//!
+//! Per [`Stm::execute_observed`](crate::stm::Stm::execute_observed) call, the
+//! emitted sequence is:
+//!
+//! ```text
+//! ( attempt_begin
+//!     cell_acquired*                     ascending cell order
+//!     [ conflict
+//!       [ help_begin ...helped work... help_end ]
+//!       aborted ]                        terminal for a failed attempt
+//! )*
+//! attempt_begin cell_acquired* write_back* released* committed
+//! ```
+//!
+//! Events between `help_begin` and `help_end` (acquire/install/release)
+//! belong to the *helped* transaction, executed by this processor on the
+//! owner's behalf — helping is one level deep, so help spans never nest.
+
+use crate::word::CellIdx;
+
+/// Observer of one processor's transaction lifecycle events.
+///
+/// All callbacks default to empty inline bodies, so an observer only pays
+/// for what it overrides and [`NoopObserver`] pays for nothing. `proc` is
+/// always the *acting* processor (the one running the protocol code); `now`
+/// is that processor's local time per
+/// [`MemPort::now`](crate::machine::MemPort::now).
+pub trait TxObserver {
+    /// A new attempt (1-based `attempt` counter) of this processor's own
+    /// transaction was published.
+    #[inline]
+    fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
+        let _ = (proc, attempt, now);
+    }
+
+    /// Ownership of `cell` is now held for the running transaction (claimed
+    /// by this participant or found already claimed by a co-participant).
+    /// Emitted in ascending cell order within each acquisition pass.
+    #[inline]
+    fn cell_acquired(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        let _ = (proc, cell, now);
+    }
+
+    /// This processor's own attempt was decided `Failure` because `cell`
+    /// (if known — `None` only for a malformed failure index) was owned by
+    /// a live conflicting transaction. Emitted exactly once per
+    /// [`TxStats::conflicts`](crate::stm::TxStats::conflicts) increment.
+    #[inline]
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
+        let _ = (proc, cell, now);
+    }
+
+    /// This processor is about to help the transaction initiated by `owner`
+    /// (the paper's non-redundant helping; one level only). Emitted exactly
+    /// once per [`TxStats::helps`](crate::stm::TxStats::helps) increment.
+    #[inline]
+    fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
+        let _ = (proc, owner, now);
+    }
+
+    /// The helping span opened by the matching [`TxObserver::help_begin`]
+    /// finished (the helped transaction is complete or was already done).
+    #[inline]
+    fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
+        let _ = (proc, owner, now);
+    }
+
+    /// This participant is about to install a changed value into `cell`
+    /// (positions whose new value equals the old are logical reads and are
+    /// not reported).
+    #[inline]
+    fn write_back(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        let _ = (proc, cell, now);
+    }
+
+    /// This participant is about to release ownership of `cell`.
+    #[inline]
+    fn released(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        let _ = (proc, cell, now);
+    }
+
+    /// This processor's own transaction committed after `attempts` attempts.
+    /// Terminal event of the final attempt.
+    #[inline]
+    fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
+        let _ = (proc, attempts, now);
+    }
+
+    /// This processor's own attempt was decided `Failure` at data-set
+    /// position `at` (program order). Terminal event of a failed attempt;
+    /// emitted after any conflict/help events of that attempt.
+    #[inline]
+    fn aborted(&mut self, proc: usize, at: usize, now: u64) {
+        let _ = (proc, at, now);
+    }
+}
+
+/// The default observer: every callback is a no-op, and the monomorphized
+/// protocol code is identical to the unobserved path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NoopObserver;
+
+impl TxObserver for NoopObserver {}
+
+/// One recorded lifecycle event (see [`RecordingObserver`]).
+///
+/// Field meanings match the corresponding [`TxObserver`] callback; `at` is
+/// the port-local timestamp.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)] // fields mirror the TxObserver callback parameters
+pub enum TxEvent {
+    /// [`TxObserver::attempt_begin`].
+    AttemptBegin { proc: usize, attempt: u64, at: u64 },
+    /// [`TxObserver::cell_acquired`].
+    Acquired { proc: usize, cell: CellIdx, at: u64 },
+    /// [`TxObserver::conflict`].
+    Conflict { proc: usize, cell: Option<CellIdx>, at: u64 },
+    /// [`TxObserver::help_begin`].
+    HelpBegin { proc: usize, owner: usize, at: u64 },
+    /// [`TxObserver::help_end`].
+    HelpEnd { proc: usize, owner: usize, at: u64 },
+    /// [`TxObserver::write_back`].
+    WriteBack { proc: usize, cell: CellIdx, at: u64 },
+    /// [`TxObserver::released`].
+    Released { proc: usize, cell: CellIdx, at: u64 },
+    /// [`TxObserver::committed`].
+    Committed { proc: usize, attempts: u64, at: u64 },
+    /// [`TxObserver::aborted`].
+    Aborted { proc: usize, at_pos: usize, at: u64 },
+}
+
+/// An observer that appends every event to a vector — the test and tooling
+/// workhorse.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingObserver {
+    events: Vec<TxEvent>,
+}
+
+impl RecordingObserver {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The events recorded so far, in emission order.
+    pub fn events(&self) -> &[TxEvent] {
+        &self.events
+    }
+
+    /// Drain and return the recorded events (the recorder is reusable).
+    pub fn take(&mut self) -> Vec<TxEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+impl TxObserver for RecordingObserver {
+    fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
+        self.events.push(TxEvent::AttemptBegin { proc, attempt, at: now });
+    }
+    fn cell_acquired(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.events.push(TxEvent::Acquired { proc, cell, at: now });
+    }
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
+        self.events.push(TxEvent::Conflict { proc, cell, at: now });
+    }
+    fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
+        self.events.push(TxEvent::HelpBegin { proc, owner, at: now });
+    }
+    fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
+        self.events.push(TxEvent::HelpEnd { proc, owner, at: now });
+    }
+    fn write_back(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.events.push(TxEvent::WriteBack { proc, cell, at: now });
+    }
+    fn released(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.events.push(TxEvent::Released { proc, cell, at: now });
+    }
+    fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.events.push(TxEvent::Committed { proc, attempts, at: now });
+    }
+    fn aborted(&mut self, proc: usize, at: usize, now: u64) {
+        self.events.push(TxEvent::Aborted { proc, at_pos: at, at: now });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::host::HostMachine;
+    use crate::ops::StmOps;
+    use crate::stm::{StmConfig, TxSpec};
+
+    #[test]
+    fn uncontended_commit_emits_the_expected_sequence() {
+        let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = m.port(0);
+        let mut rec = RecordingObserver::new();
+        let out = ops.stm().execute_observed(
+            &mut port,
+            &TxSpec::new(ops.builtins().add, &[5, 7], &[2, 0]),
+            &mut rec,
+        );
+        assert_eq!(out.stats.attempts, 1);
+        let ev = rec.events();
+        // attempt begin, two acquires (ascending cell order: 0 then 2), two
+        // installs, two releases, commit.
+        assert!(matches!(ev[0], TxEvent::AttemptBegin { proc: 0, attempt: 1, .. }), "{ev:?}");
+        assert!(matches!(ev[1], TxEvent::Acquired { cell: 0, .. }), "{ev:?}");
+        assert!(matches!(ev[2], TxEvent::Acquired { cell: 2, .. }), "{ev:?}");
+        assert!(
+            matches!(ev.last(), Some(TxEvent::Committed { proc: 0, attempts: 1, .. })),
+            "{ev:?}"
+        );
+        let installs = ev.iter().filter(|e| matches!(e, TxEvent::WriteBack { .. })).count();
+        let releases = ev.iter().filter(|e| matches!(e, TxEvent::Released { .. })).count();
+        assert_eq!(installs, 2);
+        assert_eq!(releases, 2);
+        assert_eq!(
+            ev.iter().filter(|e| matches!(e, TxEvent::Committed { .. })).count(),
+            1,
+            "exactly one terminal event"
+        );
+    }
+
+    #[test]
+    fn logical_reads_emit_no_write_back() {
+        let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = m.port(0);
+        let mut rec = RecordingObserver::new();
+        let _ = ops.stm().execute_observed(
+            &mut port,
+            &TxSpec::new(ops.builtins().read, &[], &[1, 3]),
+            &mut rec,
+        );
+        assert_eq!(
+            rec.events().iter().filter(|e| matches!(e, TxEvent::WriteBack { .. })).count(),
+            0,
+            "identity transaction installs nothing"
+        );
+    }
+
+    #[test]
+    fn recorder_take_drains() {
+        let mut rec = RecordingObserver::new();
+        rec.attempt_begin(0, 1, 0);
+        assert_eq!(rec.take().len(), 1);
+        assert!(rec.events().is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 
 use crate::layout::MAX_PARAMS;
 use crate::machine::MemPort;
+use crate::observe::{NoopObserver, TxObserver};
 use crate::program::OpCode;
 use crate::step::StepPoint;
 use crate::word::{
@@ -67,15 +68,20 @@ pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSp
     }
     port.write(l.status(me), pack_status(version, TxStatus::Null));
     let view = TxView::from_spec(spec);
-    acquire_ownerships(stm, port, me, version, &view);
+    acquire_ownerships(stm, port, me, version, &view, &mut NoopObserver);
     // ... and vanish: no decision handling, no release, no retry.
 }
 
 /// Run `spec` to completion (the paper's retry loop with helping).
-pub(super) fn execute<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+pub(super) fn execute<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    spec: &TxSpec<'_>,
+    obs: &mut O,
+) -> TxOutcome {
     let mut stats = TxStats::default();
     loop {
-        match attempt(stm, port, spec, &mut stats) {
+        match attempt(stm, port, spec, &mut stats, obs) {
             Ok((old, old_stamps)) => return TxOutcome { old, old_stamps, stats },
             Err(_) => {
                 let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
@@ -88,13 +94,14 @@ pub(super) fn execute<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSpec<'_>) ->
 }
 
 /// Run `spec` once.
-pub(super) fn try_execute<P: MemPort>(
+pub(super) fn try_execute<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     spec: &TxSpec<'_>,
+    obs: &mut O,
 ) -> Result<TxOutcome, TxConflict> {
     let mut stats = TxStats::default();
-    match attempt(stm, port, spec, &mut stats) {
+    match attempt(stm, port, spec, &mut stats, obs) {
         Ok((old, old_stamps)) => Ok(TxOutcome { old, old_stamps, stats }),
         Err(at) => Err(TxConflict { at }),
     }
@@ -104,14 +111,16 @@ pub(super) fn try_execute<P: MemPort>(
 /// transaction, and on failure help the obstructing transaction once
 /// (non-redundant helping). Returns the old values on commit, or the failing
 /// data-set position.
-fn attempt<P: MemPort>(
+fn attempt<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     spec: &TxSpec<'_>,
     stats: &mut TxStats,
+    obs: &mut O,
 ) -> Result<(Vec<u32>, Vec<u16>), usize> {
     stats.attempts += 1;
     let me = port.proc_id();
+    obs.attempt_begin(me, stats.attempts, port.now());
     let l = *stm.layout();
 
     // New version: successor of whatever version the record last carried.
@@ -136,7 +145,7 @@ fn attempt<P: MemPort>(
     port.step(StepPoint::TxPublished);
 
     let view = TxView::from_spec(spec);
-    run_transaction(stm, port, me, version, &view);
+    run_transaction(stm, port, me, version, &view, obs);
 
     // Only the owner advances its record's version, so the status read below
     // necessarily still belongs to `version`, and is decided.
@@ -153,21 +162,26 @@ fn attempt<P: MemPort>(
                 old.push(cell_value(cw));
                 old_stamps.push(crate::word::cell_stamp(cw));
             }
+            obs.committed(me, stats.attempts, port.now());
             Ok((old, old_stamps))
         }
         TxStatus::Failure(j) => {
             stats.conflicts += 1;
+            obs.conflict(me, view.cells.get(j).copied(), port.now());
             if stm.config.helping {
                 if let Some(&cell) = view.cells.get(j) {
                     if let Some((p2, v2)) = unpack_owner(port.read(l.ownership(cell))) {
                         if p2 != me {
                             stats.helps += 1;
                             port.step(StepPoint::HelpBegin { owner: p2 });
-                            help(stm, port, p2, v2);
+                            obs.help_begin(me, p2, port.now());
+                            help(stm, port, p2, v2, obs);
+                            obs.help_end(me, p2, port.now());
                         }
                     }
                 }
             }
+            obs.aborted(me, j, port.now());
             Err(j)
         }
         TxStatus::Null | TxStatus::Initializing => {
@@ -179,23 +193,36 @@ fn attempt<P: MemPort>(
 /// Help another processor's transaction `(owner, version)` to completion —
 /// the paper's non-redundant helping (helpers never recurse into further
 /// helping).
-fn help<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u64) {
+fn help<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    obs: &mut O,
+) {
     if let Some(view) = snapshot_view(stm, port, owner, version) {
-        run_transaction(stm, port, owner, version, &view);
+        run_transaction(stm, port, owner, version, &view, obs);
     }
 }
 
 /// The paper's `transaction` procedure, executed identically by the owner
 /// and by helpers.
-fn run_transaction<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u64, view: &TxView) {
+fn run_transaction<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: &TxView,
+    obs: &mut O,
+) {
     let l = *stm.layout();
-    acquire_ownerships(stm, port, owner, version, view);
+    acquire_ownerships(stm, port, owner, version, view, obs);
 
     let stw = port.read(l.status(owner));
     if !status_is_version(stw, version) {
         // The transaction finished while we worked; free anything we may
         // still hold for it (exact-tag CAS makes this safe).
-        release_ownerships(stm, port, owner, version, view);
+        release_ownerships(stm, port, owner, version, view, obs);
         return;
     }
     match unpack_status(stw).1 {
@@ -203,41 +230,42 @@ fn run_transaction<P: MemPort>(stm: &Stm, port: &mut P, owner: usize, version: u
             if stm.config.sabotage == crate::stm::Sabotage::ReleaseBeforeUpdate {
                 // Deliberately broken ordering for harness validation: free
                 // the locations first, then install. See [`crate::stm::Sabotage`].
-                release_ownerships(stm, port, owner, version, view);
+                release_ownerships(stm, port, owner, version, view, obs);
                 if agree_old_values(stm, port, owner, version, view) {
                     if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                        update_memory(stm, port, version, view, &olds);
+                        update_memory(stm, port, version, view, &olds, obs);
                     }
                 }
                 return;
             }
             if agree_old_values(stm, port, owner, version, view) {
                 if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                    update_memory(stm, port, version, view, &olds);
+                    update_memory(stm, port, version, view, &olds, obs);
                 }
             }
-            release_ownerships(stm, port, owner, version, view);
+            release_ownerships(stm, port, owner, version, view, obs);
         }
         TxStatus::Failure(_) => {
-            release_ownerships(stm, port, owner, version, view);
+            release_ownerships(stm, port, owner, version, view, obs);
         }
         TxStatus::Null | TxStatus::Initializing => {
             // `acquire_ownerships` always decides the status before returning
             // while the version matches; defensively release and leave.
             debug_assert!(false, "undecided status after acquisition");
-            release_ownerships(stm, port, owner, version, view);
+            release_ownerships(stm, port, owner, version, view, obs);
         }
     }
 }
 
 /// The paper's `acquireOwnerships`: claim every data-set location in
 /// ascending cell order, failing the transaction on a live conflict.
-fn acquire_ownerships<P: MemPort>(
+fn acquire_ownerships<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
     view: &TxView,
+    obs: &mut O,
 ) {
     let l = *stm.layout();
     let mine = pack_owner(owner, version);
@@ -281,6 +309,7 @@ fn acquire_ownerships<P: MemPort>(
             return;
         }
         port.step(StepPoint::Acquired { j });
+        obs.cell_acquired(port.proc_id(), view.cells[j], port.now());
     }
     // Every location is held by `(owner, version)`: decide success. If the
     // CAS fails, another participant decided first — equally final.
@@ -346,7 +375,14 @@ fn read_agreed<P: MemPort>(
 /// The paper's `updateMemory`: apply the commit function and install the new
 /// values. Each install is a CAS from the agreed pre-image (stamp included),
 /// so replays by other participants — or stale helpers — are rejected.
-fn update_memory<P: MemPort>(stm: &Stm, port: &mut P, _version: u64, view: &TxView, olds: &[Word]) {
+fn update_memory<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    _version: u64,
+    view: &TxView,
+    olds: &[Word],
+    obs: &mut O,
+) {
     let l = *stm.layout();
     let old_values: Vec<u32> = olds.iter().map(|&w| cell_value(w)).collect();
     let mut new_values = old_values.clone();
@@ -356,6 +392,7 @@ fn update_memory<P: MemPort>(stm: &Stm, port: &mut P, _version: u64, view: &TxVi
         if new_values[j] == old_values[j] {
             continue; // logical read: leave the cell (and its stamp) untouched
         }
+        obs.write_back(port.proc_id(), view.cells[j], port.now());
         let _ = port.compare_exchange(
             l.cell(view.cells[j]),
             olds[j],
@@ -366,17 +403,19 @@ fn update_memory<P: MemPort>(stm: &Stm, port: &mut P, _version: u64, view: &TxVi
 
 /// The paper's `releaseOwnerships`: free exactly the locations held by
 /// `(owner, version)` — an exact-tag CAS per location.
-fn release_ownerships<P: MemPort>(
+fn release_ownerships<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
     view: &TxView,
+    obs: &mut O,
 ) {
     let l = *stm.layout();
     let mine = pack_owner(owner, version);
     for (j, &c) in view.cells.iter().enumerate() {
         port.step(StepPoint::BeforeRelease { j });
+        obs.released(port.proc_id(), c, port.now());
         let _ = port.compare_exchange(l.ownership(c), mine, OWNER_FREE);
     }
 }

@@ -51,8 +51,10 @@ use crate::word::{cell_value, Addr, CellIdx, Word};
 pub enum BackoffPolicy {
     /// Retry immediately (the paper's configuration).
     None,
-    /// Exponential back-off: wait `base << min(attempt, ...)` cycles, capped
-    /// at `max` (randomization is deterministic per processor/attempt).
+    /// Exponential back-off: retry `k` (1-based) waits from a window of
+    /// `base << min(k - 1, 16)` cycles, capped at `max` — so the *first*
+    /// retry draws from `1..=base`, the initial back-off (randomization is
+    /// deterministic per processor/attempt).
     Exponential {
         /// Initial back-off in cycles.
         base: u64,
@@ -67,7 +69,9 @@ impl BackoffPolicy {
         match *self {
             BackoffPolicy::None => 0,
             BackoffPolicy::Exponential { base, max } => {
-                let shift = attempt.min(16) as u32;
+                // 1-based attempts: the first retry keeps the initial window
+                // (shift 0), doubling from there.
+                let shift = attempt.saturating_sub(1).min(16) as u32;
                 let window = (base.saturating_mul(1 << shift)).min(max).max(1);
                 // Cheap deterministic jitter: hash proc and attempt.
                 let h = (proc as u64)
@@ -259,8 +263,28 @@ impl Stm {
     /// out-of-range cell index, duplicate cells, or an opcode foreign to this
     /// instance's table.
     pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+        self.execute_observed(port, spec, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`Stm::execute`] with a [`TxObserver`](crate::observe::TxObserver)
+    /// receiving the transaction's lifecycle events (see
+    /// [`crate::observe`] for the event grammar).
+    ///
+    /// The observer is monomorphized; with
+    /// [`NoopObserver`](crate::observe::NoopObserver) this compiles to the
+    /// exact unobserved path (`execute` itself delegates here).
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Stm::execute`].
+    pub fn execute_observed<P: MemPort, O: crate::observe::TxObserver>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        obs: &mut O,
+    ) -> TxOutcome {
         self.validate_spec(port, spec);
-        algo::execute(self, port, spec)
+        algo::execute(self, port, spec, obs)
     }
 
     /// Attempt `spec` exactly once (still helping the conflicting transaction
@@ -279,8 +303,28 @@ impl Stm {
         port: &mut P,
         spec: &TxSpec<'_>,
     ) -> Result<TxOutcome, TxConflict> {
+        self.try_execute_observed(port, spec, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`Stm::try_execute`] with a
+    /// [`TxObserver`](crate::observe::TxObserver) receiving the attempt's
+    /// lifecycle events.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Stm::try_execute`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Stm::execute`].
+    pub fn try_execute_observed<P: MemPort, O: crate::observe::TxObserver>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        obs: &mut O,
+    ) -> Result<TxOutcome, TxConflict> {
         self.validate_spec(port, spec);
-        algo::try_execute(self, port, spec)
+        algo::try_execute(self, port, spec, obs)
     }
 
     /// Read one cell's current committed value directly (no transaction).
@@ -457,6 +501,11 @@ mod tests {
                 assert!((1..=1000).contains(&w));
                 assert_eq!(w, p.wait_cycles(proc, attempt));
             }
+            // The first retry draws from the *initial* window `1..=base`
+            // (shift 0), per the "Initial back-off" doc.
+            assert!((1..=4).contains(&p.wait_cycles(proc, 1)));
+            // Second retry: doubled window.
+            assert!((1..=8).contains(&p.wait_cycles(proc, 2)));
         }
         assert_eq!(BackoffPolicy::None.wait_cycles(0, 3), 0);
     }

@@ -164,6 +164,10 @@ pub struct SimReport {
     pub violation: Option<Violation>,
     /// Processors crashed by the fault plan, in ascending order.
     pub crashed: Vec<usize>,
+    /// Events that would have been traced but fell past
+    /// [`SimConfig::trace_limit`]. Nonzero means [`SimReport::trace`] is a
+    /// truncated prefix of the execution, not the whole story.
+    pub trace_dropped: u64,
 }
 
 struct SimState {
@@ -188,12 +192,19 @@ struct SimState {
     crashed: Vec<usize>,
     trace: Vec<crate::trace::TraceEvent>,
     trace_limit: usize,
+    trace_dropped: u64,
 }
 
 impl SimState {
     fn record_trace(&mut self, time: u64, proc: usize, kind: crate::trace::TraceKind) {
         if self.trace.len() < self.trace_limit {
             self.trace.push(crate::trace::TraceEvent { time, proc, kind });
+        } else if self.trace_limit > 0 {
+            // The trace is full: count what it silently loses, so reports
+            // and renderings can say "truncated" instead of lying by
+            // omission. (trace_limit == 0 means tracing is off entirely —
+            // nothing is "dropped" from a trace nobody asked for.)
+            self.trace_dropped += 1;
         }
     }
 }
@@ -483,6 +494,7 @@ impl MemPort for SimPort {
             let t = self.t_local;
             let p = self.proc;
             st.record_trace(t, p, crate::trace::TraceKind::Step(point));
+            st.stats.record_step(p, &point);
         }
         if self.in_fault || self.faults.is_empty() {
             return;
@@ -579,6 +591,7 @@ impl Simulation {
             crashed: Vec::new(),
             trace: Vec::new(),
             trace_limit: self.config.trace_limit,
+            trace_dropped: 0,
         };
         let shared = Arc::new(Shared {
             state: Mutex::new(state),
@@ -649,6 +662,7 @@ impl Simulation {
             trace: st.trace.clone(),
             violation: st.violation.clone(),
             crashed,
+            trace_dropped: st.trace_dropped,
         }
     }
 }

@@ -23,7 +23,10 @@
 //! * [`explore`] — seed-sweeping schedule exploration with failing-seed
 //!   replay, the systematic crash matrix, a seeded fault-plan fuzzer, and a
 //!   counterexample shrinker.
-//! * [`stats`] — per-processor operation counters.
+//! * [`stats`] — per-processor operation and protocol counters.
+//! * [`perfetto`] — Chrome-trace-event (Perfetto) export of engine traces:
+//!   open a fault-injection run at `ui.perfetto.dev` instead of reading a
+//!   text dump.
 //!
 //! Any code written against [`stm_core::machine::MemPort`] runs unmodified on
 //! the simulator — the STM itself, the lock baselines, and the benchmark data
@@ -38,6 +41,7 @@ pub mod explore;
 pub mod faults;
 pub mod harness;
 pub mod liveness;
+pub mod perfetto;
 pub mod stats;
 pub mod trace;
 

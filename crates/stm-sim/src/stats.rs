@@ -1,19 +1,37 @@
 //! Operation statistics collected by the simulation engine.
 
+use stm_core::step::StepPoint;
+
 use crate::arch::OpKind;
 
-/// Per-processor and aggregate counts of simulated memory operations.
+/// Per-processor and aggregate counts of simulated memory operations, plus
+/// protocol-level counters tallied from the [`StepPoint`] announcements
+/// flowing through [`SimPort::step`](crate::engine::SimPort): transaction
+/// decisions (commit/abort) and helping spans. The protocol counters need no
+/// observer threading in the workload — every run gets them for free.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SimStats {
     reads: Vec<u64>,
     writes: Vec<u64>,
     cas: Vec<u64>,
+    commits: Vec<u64>,
+    aborts: Vec<u64>,
+    helps: Vec<u64>,
+    steps: Vec<u64>,
 }
 
 impl SimStats {
     /// Fresh counters for `n_procs` processors.
     pub fn new(n_procs: usize) -> Self {
-        SimStats { reads: vec![0; n_procs], writes: vec![0; n_procs], cas: vec![0; n_procs] }
+        SimStats {
+            reads: vec![0; n_procs],
+            writes: vec![0; n_procs],
+            cas: vec![0; n_procs],
+            commits: vec![0; n_procs],
+            aborts: vec![0; n_procs],
+            helps: vec![0; n_procs],
+            steps: vec![0; n_procs],
+        }
     }
 
     /// Record one operation by `proc`.
@@ -22,6 +40,20 @@ impl SimStats {
             OpKind::Read => self.reads[proc] += 1,
             OpKind::Write => self.writes[proc] += 1,
             OpKind::Cas => self.cas[proc] += 1,
+        }
+    }
+
+    /// Record one protocol step announcement by `proc`. Decisions are
+    /// credited to the *announcing* processor (a helper that decides another
+    /// processor's transaction counts it here), so the totals count every
+    /// decided transaction exactly once.
+    pub fn record_step(&mut self, proc: usize, point: &StepPoint) {
+        self.steps[proc] += 1;
+        match *point {
+            StepPoint::Decided { committed: true } => self.commits[proc] += 1,
+            StepPoint::Decided { committed: false } => self.aborts[proc] += 1,
+            StepPoint::HelpBegin { .. } => self.helps[proc] += 1,
+            _ => {}
         }
     }
 
@@ -46,6 +78,32 @@ impl SimStats {
         (self.reads[p], self.writes[p], self.cas[p])
     }
 
+    /// Total transaction commit decisions announced.
+    pub fn commits(&self) -> u64 {
+        self.commits.iter().sum()
+    }
+
+    /// Total transaction abort (failure) decisions announced.
+    pub fn aborts(&self) -> u64 {
+        self.aborts.iter().sum()
+    }
+
+    /// Total helping spans entered.
+    pub fn helps(&self) -> u64 {
+        self.helps.iter().sum()
+    }
+
+    /// Total protocol step announcements.
+    pub fn steps(&self) -> u64 {
+        self.steps.iter().sum()
+    }
+
+    /// Protocol counters of processor `p`: (commits, aborts, helps, steps)
+    /// announced by that processor.
+    pub fn protocol_per_proc(&self, p: usize) -> (u64, u64, u64, u64) {
+        (self.commits[p], self.aborts[p], self.helps[p], self.steps[p])
+    }
+
     /// Number of processors tracked.
     pub fn n_procs(&self) -> usize {
         self.reads.len()
@@ -67,5 +125,21 @@ mod tests {
         assert_eq!(s.per_proc(0), (1, 0, 1));
         assert_eq!(s.per_proc(1), (0, 1, 0));
         assert_eq!(s.n_procs(), 2);
+    }
+
+    #[test]
+    fn records_protocol_steps() {
+        let mut s = SimStats::new(2);
+        s.record_step(0, &StepPoint::TxPublished);
+        s.record_step(0, &StepPoint::Decided { committed: true });
+        s.record_step(1, &StepPoint::Decided { committed: false });
+        s.record_step(1, &StepPoint::HelpBegin { owner: 0 });
+        s.record_step(1, &StepPoint::Decided { committed: true });
+        assert_eq!(s.commits(), 2);
+        assert_eq!(s.aborts(), 1);
+        assert_eq!(s.helps(), 1);
+        assert_eq!(s.steps(), 5);
+        assert_eq!(s.protocol_per_proc(0), (1, 0, 0, 2));
+        assert_eq!(s.protocol_per_proc(1), (1, 1, 1, 3));
     }
 }

@@ -44,10 +44,15 @@ pub enum TraceKind {
 /// dump — one line per event, sorted by virtual time. This is what the
 /// counterexample shrinker attaches to a minimal reproducer.
 ///
+/// `dropped` is the engine's count of events lost past the trace limit
+/// ([`SimReport::trace_dropped`](crate::engine::SimReport::trace_dropped));
+/// when nonzero the rendering says so, instead of presenting a truncated
+/// trace as complete.
+///
 /// Events are recorded at issue in grant order, which is not globally sorted
 /// by completion time; this sorts a copy (stably, so simultaneous events keep
 /// their recording order).
-pub fn render_trace(trace: &[TraceEvent], last_n: usize) -> String {
+pub fn render_trace(trace: &[TraceEvent], last_n: usize, dropped: u64) -> String {
     let mut sorted: Vec<&TraceEvent> = trace.iter().collect();
     sorted.sort_by_key(|e| e.time);
     let skip = sorted.len().saturating_sub(last_n);
@@ -66,6 +71,9 @@ pub fn render_trace(trace: &[TraceEvent], last_n: usize) -> String {
         };
         out.push_str(&format!("t={:>8}  P{}  {}\n", e.time, e.proc, what));
     }
+    if dropped > 0 {
+        out.push_str(&format!("... {dropped} events dropped at the trace limit ...\n"));
+    }
     out
 }
 
@@ -82,6 +90,16 @@ pub struct TraceAnalysis {
     pub ops_over_time: Vec<u64>,
     /// Bucket width used for `ops_over_time`.
     pub bucket: u64,
+    /// Transaction commit decisions announced in the trace.
+    pub commits: u64,
+    /// Transaction abort (failure) decisions announced in the trace.
+    pub aborts: u64,
+    /// Helping spans entered in the trace.
+    pub helps: u64,
+    /// Scripted fault deliveries (crash/stall/slow) in the trace.
+    pub faults: u64,
+    /// Protocol step announcements per processor.
+    pub steps_per_proc: Vec<u64>,
 }
 
 impl TraceAnalysis {
@@ -92,24 +110,54 @@ impl TraceAnalysis {
         let end = trace.iter().map(|e| e.time).max().unwrap_or(0).max(1);
         let bucket = end.div_ceil(buckets as u64).max(1);
         let mut ops_per_proc = vec![0u64; n_procs];
+        let mut steps_per_proc = vec![0u64; n_procs];
         let mut ops_over_time = vec![0u64; buckets];
         let mut addr_counts: std::collections::HashMap<Addr, u64> = std::collections::HashMap::new();
         let mut events = 0;
+        let (mut commits, mut aborts, mut helps, mut faults) = (0u64, 0u64, 0u64, 0u64);
         for e in trace {
             events += 1;
-            if let TraceKind::Mem(_, addr) = e.kind {
-                if e.proc < n_procs {
-                    ops_per_proc[e.proc] += 1;
+            match e.kind {
+                TraceKind::Mem(_, addr) => {
+                    if e.proc < n_procs {
+                        ops_per_proc[e.proc] += 1;
+                    }
+                    *addr_counts.entry(addr).or_default() += 1;
+                    let b = ((e.time / bucket) as usize).min(buckets - 1);
+                    ops_over_time[b] += 1;
                 }
-                *addr_counts.entry(addr).or_default() += 1;
-                let b = ((e.time / bucket) as usize).min(buckets - 1);
-                ops_over_time[b] += 1;
+                TraceKind::Step(p) => {
+                    if e.proc < n_procs {
+                        steps_per_proc[e.proc] += 1;
+                    }
+                    match p {
+                        stm_core::step::StepPoint::Decided { committed: true } => commits += 1,
+                        stm_core::step::StepPoint::Decided { committed: false } => aborts += 1,
+                        stm_core::step::StepPoint::HelpBegin { .. } => helps += 1,
+                        _ => {}
+                    }
+                }
+                TraceKind::FaultCrash | TraceKind::FaultStall(_) | TraceKind::FaultSlow(_) => {
+                    faults += 1;
+                }
+                TraceKind::Delay(_) => {}
             }
         }
         let mut hot_addresses: Vec<(Addr, u64)> = addr_counts.into_iter().collect();
         hot_addresses.sort_by_key(|&(a, n)| (std::cmp::Reverse(n), a));
         hot_addresses.truncate(16);
-        TraceAnalysis { events, ops_per_proc, hot_addresses, ops_over_time, bucket }
+        TraceAnalysis {
+            events,
+            ops_per_proc,
+            hot_addresses,
+            ops_over_time,
+            bucket,
+            commits,
+            aborts,
+            helps,
+            faults,
+            steps_per_proc,
+        }
     }
 
     /// The single most-accessed address, if any memory op was traced.
@@ -140,6 +188,36 @@ mod tests {
         assert_eq!(a.ops_per_proc, vec![2, 2]);
         assert_eq!(a.hottest(), Some(5));
         assert_eq!(a.ops_over_time.iter().sum::<u64>(), 4);
+        assert_eq!((a.commits, a.aborts, a.helps, a.faults), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn analysis_tallies_protocol_and_fault_events() {
+        use stm_core::step::StepPoint;
+        let step = |time, proc, p| TraceEvent { time, proc, kind: TraceKind::Step(p) };
+        let trace = vec![
+            step(1, 0, StepPoint::TxPublished),
+            step(2, 0, StepPoint::Decided { committed: true }),
+            step(3, 1, StepPoint::HelpBegin { owner: 0 }),
+            step(4, 1, StepPoint::Decided { committed: false }),
+            TraceEvent { time: 5, proc: 1, kind: TraceKind::FaultCrash },
+            TraceEvent { time: 6, proc: 0, kind: TraceKind::FaultStall(10) },
+        ];
+        let a = TraceAnalysis::of(&trace, 2, 1);
+        assert_eq!(a.commits, 1);
+        assert_eq!(a.aborts, 1);
+        assert_eq!(a.helps, 1);
+        assert_eq!(a.faults, 2);
+        assert_eq!(a.steps_per_proc, vec![2, 2]);
+    }
+
+    #[test]
+    fn render_reports_dropped_events() {
+        let trace = vec![ev(1, 0, 0)];
+        let full = render_trace(&trace, 10, 0);
+        assert!(!full.contains("dropped"), "{full}");
+        let truncated = render_trace(&trace, 10, 42);
+        assert!(truncated.contains("... 42 events dropped at the trace limit ..."), "{truncated}");
     }
 
     #[test]
@@ -193,5 +271,6 @@ mod tests {
             }
         });
         assert_eq!(report.trace.len(), 7);
+        assert_eq!(report.trace_dropped, 50 - 7, "every lost event is accounted for");
     }
 }

@@ -49,6 +49,11 @@ fn crash_and_help() {
             }
         }
     });
+    let trace_path = std::path::Path::new("results/fault_injection_trace.json");
+    match stm_sim::perfetto::write_chrome_trace(trace_path, &report) {
+        Ok(()) => println!("perfetto trace:     {} (open at ui.perfetto.dev)", trace_path.display()),
+        Err(e) => println!("perfetto trace:     export failed: {e}"),
+    }
     println!("crashed processors: {:?}", report.crashed);
     println!("final cells:        {:?} (victim's +100 applied exactly once)", sim.all_cells(&report));
     println!("leaked ownerships:  {:?}", sim.leaked_ownerships(&report));
@@ -140,5 +145,5 @@ fn catch_and_shrink() {
         sim.commit_count(&report)
     );
     println!("last cycles of the failing execution:");
-    println!("{}", render_trace(&report.trace, 16));
+    println!("{}", render_trace(&report.trace, 16, report.trace_dropped));
 }

@@ -370,7 +370,7 @@ fn sabotaged_protocol_is_caught_and_shrunk_to_a_minimal_reproducer() {
             }
         }
     });
-    let dump = render_trace(&report.trace, 60);
+    let dump = render_trace(&report.trace, 60, report.trace_dropped);
     println!("minimal reproducer: seed {min_seed}, plan [{min_plan}]");
     println!("{dump}");
     assert!(dump.contains("step "), "dump must show protocol steps:\n{dump}");

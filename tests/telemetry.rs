@@ -1,0 +1,191 @@
+//! Telemetry properties: the observer event stream obeys its grammar on
+//! both simulated architectures, and the Perfetto export is schema-valid
+//! JSON for arbitrary seeds.
+//!
+//! The event grammar checked per `execute_observed` call:
+//!
+//! ```text
+//! call    := attempt* final
+//! attempt := AttemptBegin body Aborted
+//! final   := AttemptBegin body Committed
+//! body    := (Acquired | WriteBack | Released | Conflict | help)*
+//! help    := HelpBegin (Acquired | WriteBack | Released)* HelpEnd
+//! ```
+//!
+//! plus the cross-cutting invariants: event counts match the call's
+//! [`TxStats`] exactly, and ownership acquisitions outside help spans are
+//! strictly ascending in cell order (the paper's deadlock-avoidance
+//! discipline, observed from the outside).
+
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use stm_core::stm::{StmConfig, TxSpec, TxStats};
+use stm_core::{RecordingObserver, TxEvent};
+use stm_sim::arch::{BusModel, CostModel, MeshModel};
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+/// Validate one call's event stream against the grammar and its stats.
+fn check_stream(events: &[TxEvent], stats: &TxStats) -> Result<(), String> {
+    let count = |f: fn(&TxEvent) -> bool| events.iter().filter(|e| f(e)).count() as u64;
+    let begins = count(|e| matches!(e, TxEvent::AttemptBegin { .. }));
+    let commits = count(|e| matches!(e, TxEvent::Committed { .. }));
+    let aborts = count(|e| matches!(e, TxEvent::Aborted { .. }));
+    let conflicts = count(|e| matches!(e, TxEvent::Conflict { .. }));
+    let help_begins = count(|e| matches!(e, TxEvent::HelpBegin { .. }));
+    let help_ends = count(|e| matches!(e, TxEvent::HelpEnd { .. }));
+
+    if begins != stats.attempts {
+        return Err(format!("{begins} AttemptBegin for {} attempts", stats.attempts));
+    }
+    if conflicts != stats.conflicts {
+        return Err(format!("{conflicts} Conflict events for {} conflicts", stats.conflicts));
+    }
+    if help_begins != stats.helps || help_ends != stats.helps {
+        return Err(format!(
+            "help events {help_begins}/{help_ends} for {} helps",
+            stats.helps
+        ));
+    }
+    if commits != 1 || aborts != stats.attempts - 1 {
+        return Err(format!(
+            "terminals {commits} Committed / {aborts} Aborted for {} attempts",
+            stats.attempts
+        ));
+    }
+
+    // Walk the stream: terminals close attempts, help spans never nest, and
+    // acquires outside help spans ascend strictly within each attempt.
+    let mut in_attempt = false;
+    let mut help_depth = 0u32;
+    let mut last_cell: Option<usize> = None;
+    for e in events {
+        match *e {
+            TxEvent::AttemptBegin { attempt, .. } => {
+                if in_attempt || help_depth != 0 {
+                    return Err(format!("AttemptBegin inside open attempt: {e:?}"));
+                }
+                in_attempt = true;
+                last_cell = None;
+                let _ = attempt;
+            }
+            TxEvent::Committed { .. } | TxEvent::Aborted { .. } => {
+                if !in_attempt || help_depth != 0 {
+                    return Err(format!("terminal outside attempt: {e:?}"));
+                }
+                in_attempt = false;
+            }
+            TxEvent::HelpBegin { .. } => {
+                if !in_attempt || help_depth != 0 {
+                    return Err(format!("nested or stray HelpBegin: {e:?}"));
+                }
+                help_depth = 1;
+            }
+            TxEvent::HelpEnd { .. } => {
+                if help_depth != 1 {
+                    return Err(format!("HelpEnd without HelpBegin: {e:?}"));
+                }
+                help_depth = 0;
+            }
+            TxEvent::Acquired { cell, .. } => {
+                if !in_attempt {
+                    return Err(format!("Acquired outside attempt: {e:?}"));
+                }
+                if help_depth == 0 {
+                    if let Some(prev) = last_cell {
+                        if cell <= prev {
+                            return Err(format!("acquires not ascending: {prev} then {cell}"));
+                        }
+                    }
+                    last_cell = Some(cell);
+                }
+            }
+            TxEvent::WriteBack { .. } | TxEvent::Released { .. } | TxEvent::Conflict { .. } => {
+                if !in_attempt {
+                    return Err(format!("{e:?} outside attempt"));
+                }
+            }
+        }
+    }
+    if in_attempt || help_depth != 0 {
+        return Err("stream ends with an open attempt or help span".into());
+    }
+    if let Some(last) = events.last() {
+        if !matches!(last, TxEvent::Committed { .. }) {
+            return Err(format!("stream must end in Committed, ended in {last:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Run a contended workload and check every call's event stream.
+fn run_ordering_check(model: impl CostModel + 'static, procs: usize, seed: u64, jitter: u64) {
+    const TXS: usize = 12;
+    let sim = StmSim::new(procs, 4, 3, StmConfig::default()).seed(seed).jitter(jitter);
+    let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+    let total_helps = Arc::new(Mutex::new(0u64));
+    let report = sim.run(model, |p, ops| {
+        let violations = Arc::clone(&violations);
+        let total_helps = Arc::clone(&total_helps);
+        move |mut port: SimPort| {
+            let mut helps = 0;
+            for i in 0..TXS {
+                let mut rec = RecordingObserver::default();
+                // Overlapping 2- and 3-cell sets centered on shared cell 0.
+                let cells = if i % 2 == 0 { vec![0, 1 + (p + i) % 3] } else { vec![0, 1, 3] };
+                let spec = TxSpec::new(ops.builtins().add, &[1; 3][..cells.len()], &cells);
+                let out = ops.stm().execute_observed(&mut port, &spec, &mut rec);
+                helps += out.stats.helps;
+                if let Err(msg) = check_stream(rec.events(), &out.stats) {
+                    violations.lock().unwrap().push(format!("P{p} tx{i}: {msg}"));
+                }
+            }
+            *total_helps.lock().unwrap() += helps;
+        }
+    });
+    assert_eq!(report.crashed, Vec::<usize>::new());
+    let v = violations.lock().unwrap();
+    assert!(v.is_empty(), "observer grammar violations: {v:#?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn observer_ordering_holds_on_bus(seed in 0u64..1000, jitter in 0u64..4, procs in 2usize..6) {
+        run_ordering_check(BusModel::for_procs(procs), procs, seed, jitter);
+    }
+
+    #[test]
+    fn observer_ordering_holds_on_mesh(seed in 0u64..1000, jitter in 0u64..4, procs in 2usize..6) {
+        run_ordering_check(MeshModel::for_procs(procs), procs, seed, jitter);
+    }
+
+    #[test]
+    fn perfetto_export_is_schema_valid_for_any_seed(seed in 0u64..1000, procs in 2usize..5) {
+        let sim = StmSim::new(procs, 2, 2, StmConfig::default()).seed(seed).jitter(2).trace(100_000);
+        let report = sim.run(BusModel::for_procs(procs), |_p, ops| {
+            move |mut port: SimPort| {
+                for _ in 0..6 {
+                    ops.fetch_add_many(&mut port, &[0, 1], &[1, 1]);
+                }
+            }
+        });
+        let json = stm_sim::perfetto::chrome_trace_json(&report);
+        let v: serde_json::Value = serde_json::from_str(&json).expect("export must parse");
+        let evs = v["traceEvents"].as_array().expect("traceEvents is an array");
+        // Every event carries the required Trace Event Format fields.
+        for e in evs {
+            prop_assert!(e["ph"].as_str().is_some(), "missing ph: {e:?}");
+            prop_assert!(e["pid"].as_u64().is_some(), "missing pid: {e:?}");
+        }
+        // Commit spans mirror the engine's commit count exactly.
+        let commit_spans = evs
+            .iter()
+            .filter(|e| e["ph"].as_str() == Some("X") && e["name"].as_str() == Some("tx commit"))
+            .count() as u64;
+        prop_assert_eq!(commit_spans, report.stats.commits());
+        prop_assert_eq!(v["otherData"]["trace_dropped"].as_u64(), Some(0));
+    }
+}
