@@ -1,0 +1,364 @@
+//! Contention management for the real-thread runtime.
+//!
+//! The paper's lock-freedom guarantee is a *system-wide* progress property:
+//! some transaction always completes. An individual processor can still
+//! starve — repeatedly losing `acquireOwnerships` to the same neighbour — and
+//! the paper itself notes that practical throughput leans on (unspecified)
+//! back-off. This module supplies that layer for the host machine as a
+//! pluggable policy:
+//!
+//! * [`ContentionManager`] — the policy trait consulted once per failed
+//!   attempt by the managed execution paths
+//!   ([`Stm::execute_for`](crate::stm::Stm::execute_for) /
+//!   [`Stm::try_execute_within`](crate::stm::Stm::try_execute_within));
+//! * [`AdaptiveManager`] — the default policy: a **wait lattice** escalating
+//!   `spin → yield → parked exponential back-off`, with deterministic
+//!   per-processor jitter, plus **starvation detection** that switches the
+//!   transaction into *help-first mode* (helping the obstructing owner even
+//!   when [`StmConfig::helping`](crate::stm::StmConfig::helping) is off, and
+//!   skipping further waits) after repeatedly losing cells to the same owner;
+//! * [`ImmediateRetry`] — the paper's configuration: never wait, never
+//!   escalate (useful as a rigged pessimistic policy in tests).
+//!
+//! Waits are expressed as machine-agnostic [`WaitAction`]s and realized
+//! through [`MemPort::yield_now`](crate::machine::MemPort::yield_now) /
+//! [`MemPort::park_micros`](crate::machine::MemPort::park_micros): real
+//! thread yields and parks on the host, deterministic virtual-clock delays on
+//! the simulator. Escalations and waits are reported through the
+//! [`TxObserver`](crate::observe::TxObserver) hooks
+//! (`backoff_wait` / `starvation_escalated`), so [`crate::metrics::TxMetrics`]
+//! can assert on them.
+
+use crate::word::CellIdx;
+
+/// How to wait before the next retry, as directed by a
+/// [`ContentionManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WaitAction {
+    /// Retry immediately.
+    None,
+    /// Spin for approximately this many cycles
+    /// ([`MemPort::delay`](crate::machine::MemPort::delay)).
+    Spin(u64),
+    /// Give up the processor's timeslice
+    /// ([`MemPort::yield_now`](crate::machine::MemPort::yield_now)).
+    Yield,
+    /// Park the thread for approximately `micros` microseconds
+    /// ([`MemPort::park_micros`](crate::machine::MemPort::park_micros)).
+    Park {
+        /// Park duration in microseconds.
+        micros: u64,
+    },
+}
+
+/// What the protocol knows about one failed attempt, handed to
+/// [`ContentionManager::on_conflict`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConflictInfo {
+    /// The losing processor.
+    pub proc: usize,
+    /// Failed attempts of this call so far (1-based; includes this one).
+    pub attempt: u64,
+    /// The contended cell, if the failure index was well-formed.
+    pub cell: Option<CellIdx>,
+    /// The processor whose transaction held the cell when re-inspected after
+    /// the failure (best-effort: the owner may already have moved on).
+    pub owner: Option<usize>,
+}
+
+/// The manager's directive for the next retry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryDecision {
+    /// How to wait before retrying.
+    pub wait: WaitAction,
+    /// `true` exactly when this conflict tripped the starvation detector
+    /// (reported once per escalation via
+    /// [`TxObserver::starvation_escalated`](crate::observe::TxObserver::starvation_escalated)).
+    pub newly_escalated: bool,
+}
+
+impl RetryDecision {
+    /// Retry immediately, no escalation.
+    pub fn immediate() -> Self {
+        RetryDecision { wait: WaitAction::None, newly_escalated: false }
+    }
+}
+
+/// A per-transaction contention-management policy.
+///
+/// The managed execution paths call [`ContentionManager::on_conflict`] once
+/// per failed attempt and obey the returned [`RetryDecision`]; while
+/// [`ContentionManager::help_first`] is `true` the next attempts run with
+/// helping forced on (even if the instance was configured with
+/// `helping: false`) so a starving transaction can clear the obstruction
+/// itself. [`ContentionManager::on_commit`] resets per-transaction state.
+pub trait ContentionManager {
+    /// Record a failed attempt and decide how to retry.
+    fn on_conflict(&mut self, info: &ConflictInfo) -> RetryDecision;
+
+    /// The transaction committed (or the call is returning): reset state.
+    fn on_commit(&mut self);
+
+    /// Whether retries should run in help-first mode.
+    fn help_first(&self) -> bool {
+        false
+    }
+}
+
+/// The paper's configuration: retry immediately, never wait, never escalate.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ImmediateRetry;
+
+impl ContentionManager for ImmediateRetry {
+    fn on_conflict(&mut self, _info: &ConflictInfo) -> RetryDecision {
+        RetryDecision::immediate()
+    }
+    fn on_commit(&mut self) {}
+}
+
+/// Tuning knobs of the [`AdaptiveManager`] wait lattice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdaptiveConfig {
+    /// Attempts `1..=spin_attempts` spin (doubling window from
+    /// `spin_base`, capped at `spin_max`, jittered).
+    pub spin_attempts: u64,
+    /// Initial spin window in cycles.
+    pub spin_base: u64,
+    /// Spin cap in cycles.
+    pub spin_max: u64,
+    /// After spinning, this many further attempts yield the timeslice.
+    pub yield_attempts: u64,
+    /// Beyond yielding, park with exponential duration starting here
+    /// (microseconds, jittered).
+    pub park_base_micros: u64,
+    /// Park duration cap in microseconds.
+    pub park_max_micros: u64,
+    /// Consecutive losses to the *same* owner that trip the starvation
+    /// detector into help-first mode.
+    pub starvation_losses: u64,
+    /// Total consecutive failed attempts that trip the detector regardless
+    /// of owner (covers owners that cannot be identified).
+    pub starvation_attempts: u64,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            spin_attempts: 4,
+            spin_base: 64,
+            spin_max: 1 << 14,
+            yield_attempts: 4,
+            park_base_micros: 50,
+            park_max_micros: 10_000,
+            starvation_losses: 3,
+            starvation_attempts: 16,
+        }
+    }
+}
+
+/// The default adaptive policy: spin → yield → parked exponential back-off,
+/// with starvation detection escalating to help-first mode.
+///
+/// Jitter is deterministic per `(proc, attempt)` (same hash family as
+/// [`BackoffPolicy::Exponential`](crate::stm::BackoffPolicy)), so simulator
+/// runs using this manager replay exactly.
+#[derive(Debug, Clone)]
+pub struct AdaptiveManager {
+    proc: usize,
+    cfg: AdaptiveConfig,
+    /// Consecutive failed attempts since the last commit.
+    fails: u64,
+    /// The owner observed at the last conflict, and how many consecutive
+    /// conflicts were lost to it.
+    last_owner: Option<usize>,
+    owner_losses: u64,
+    escalated: bool,
+}
+
+impl AdaptiveManager {
+    /// A manager for `proc` with the default [`AdaptiveConfig`].
+    pub fn new(proc: usize) -> Self {
+        Self::with_config(proc, AdaptiveConfig::default())
+    }
+
+    /// A manager for `proc` with explicit tuning.
+    pub fn with_config(proc: usize, cfg: AdaptiveConfig) -> Self {
+        AdaptiveManager { proc, cfg, fails: 0, last_owner: None, owner_losses: 0, escalated: false }
+    }
+
+    /// Consecutive failed attempts since the last commit.
+    pub fn consecutive_failures(&self) -> u64 {
+        self.fails
+    }
+
+    /// Whether the starvation detector has escalated to help-first mode.
+    pub fn is_escalated(&self) -> bool {
+        self.escalated
+    }
+
+    /// Deterministic jitter: a value in `1..=window` hashed from
+    /// `(proc, attempt)`.
+    fn jitter(&self, attempt: u64, window: u64) -> u64 {
+        let window = window.max(1);
+        let h = (self.proc as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        (splitmix64(h) % window) + 1
+    }
+}
+
+impl ContentionManager for AdaptiveManager {
+    fn on_conflict(&mut self, info: &ConflictInfo) -> RetryDecision {
+        self.fails += 1;
+        match (info.owner, self.last_owner) {
+            (Some(o), Some(prev)) if o == prev => self.owner_losses += 1,
+            (Some(_), _) => self.owner_losses = 1,
+            (None, _) => self.owner_losses = 0,
+        }
+        self.last_owner = info.owner;
+
+        let starved = (self.owner_losses >= self.cfg.starvation_losses)
+            || (self.fails >= self.cfg.starvation_attempts);
+        let newly_escalated = starved && !self.escalated;
+        self.escalated = self.escalated || starved;
+
+        let wait = if self.escalated {
+            // Help-first mode: clearing the obstruction is the priority;
+            // waiting would only delay the help excursion.
+            WaitAction::None
+        } else if self.fails <= self.cfg.spin_attempts {
+            let shift = (self.fails - 1).min(16) as u32;
+            let window = self.cfg.spin_base.saturating_mul(1 << shift).min(self.cfg.spin_max);
+            WaitAction::Spin(self.jitter(self.fails, window))
+        } else if self.fails <= self.cfg.spin_attempts + self.cfg.yield_attempts {
+            WaitAction::Yield
+        } else {
+            let k = (self.fails - self.cfg.spin_attempts - self.cfg.yield_attempts - 1).min(16);
+            let window =
+                self.cfg.park_base_micros.saturating_mul(1 << k).min(self.cfg.park_max_micros);
+            WaitAction::Park { micros: self.jitter(self.fails, window) }
+        };
+        RetryDecision { wait, newly_escalated }
+    }
+
+    fn on_commit(&mut self) {
+        self.fails = 0;
+        self.last_owner = None;
+        self.owner_losses = 0;
+        self.escalated = false;
+    }
+
+    fn help_first(&self) -> bool {
+        self.escalated
+    }
+}
+
+/// SplitMix64 finalizer — the jitter hash (no external RNG dependency).
+pub(crate) fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lost_to(owner: usize, attempt: u64) -> ConflictInfo {
+        ConflictInfo { proc: 1, attempt, cell: Some(0), owner: Some(owner) }
+    }
+
+    #[test]
+    fn lattice_escalates_spin_yield_park() {
+        let cfg = AdaptiveConfig::default();
+        let mut m = AdaptiveManager::with_config(1, cfg);
+        // Alternate owners so the same-owner detector never trips.
+        for a in 1..=cfg.spin_attempts {
+            let d = m.on_conflict(&lost_to(a as usize % 2, a));
+            assert!(matches!(d.wait, WaitAction::Spin(_)), "attempt {a}: {d:?}");
+            assert!(!d.newly_escalated);
+        }
+        for a in cfg.spin_attempts + 1..=cfg.spin_attempts + cfg.yield_attempts {
+            let d = m.on_conflict(&lost_to(a as usize % 2, a));
+            assert_eq!(d.wait, WaitAction::Yield, "attempt {a}");
+        }
+        let a = cfg.spin_attempts + cfg.yield_attempts + 1;
+        let d = m.on_conflict(&lost_to(a as usize % 2, a));
+        assert!(matches!(d.wait, WaitAction::Park { .. }), "attempt {a}: {d:?}");
+    }
+
+    #[test]
+    fn spin_and_park_windows_are_bounded_and_deterministic() {
+        let cfg = AdaptiveConfig::default();
+        for proc in 0..4 {
+            let mut a = AdaptiveManager::with_config(proc, cfg);
+            let mut b = AdaptiveManager::with_config(proc, cfg);
+            for attempt in 1..30 {
+                let da = a.on_conflict(&lost_to(attempt as usize % 2, attempt));
+                let db = b.on_conflict(&lost_to(attempt as usize % 2, attempt));
+                assert_eq!(da, db, "same proc and history must decide identically");
+                match da.wait {
+                    WaitAction::Spin(c) => assert!((1..=cfg.spin_max).contains(&c)),
+                    WaitAction::Park { micros } => {
+                        assert!((1..=cfg.park_max_micros).contains(&micros))
+                    }
+                    _ => {}
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_losses_to_same_owner_escalate_to_help_first() {
+        let cfg = AdaptiveConfig::default();
+        let mut m = AdaptiveManager::with_config(1, cfg);
+        for a in 1..cfg.starvation_losses {
+            let d = m.on_conflict(&lost_to(0, a));
+            assert!(!d.newly_escalated);
+            assert!(!m.help_first());
+        }
+        let d = m.on_conflict(&lost_to(0, cfg.starvation_losses));
+        assert!(d.newly_escalated, "losing {} times to one owner must escalate", cfg.starvation_losses);
+        assert!(m.help_first());
+        assert_eq!(d.wait, WaitAction::None, "help-first mode retries immediately");
+        // Escalation reports once; further conflicts stay escalated silently.
+        let d = m.on_conflict(&lost_to(0, cfg.starvation_losses + 1));
+        assert!(!d.newly_escalated);
+        assert!(m.help_first());
+        // Commit resets everything.
+        m.on_commit();
+        assert!(!m.help_first());
+        assert_eq!(m.consecutive_failures(), 0);
+    }
+
+    #[test]
+    fn attempt_count_alone_escalates_when_owner_is_unknown() {
+        let cfg = AdaptiveConfig::default();
+        let mut m = AdaptiveManager::with_config(0, cfg);
+        for a in 1..cfg.starvation_attempts {
+            let info = ConflictInfo { proc: 0, attempt: a, cell: None, owner: None };
+            assert!(!m.on_conflict(&info).newly_escalated);
+        }
+        let info = ConflictInfo { proc: 0, attempt: cfg.starvation_attempts, cell: None, owner: None };
+        assert!(m.on_conflict(&info).newly_escalated);
+    }
+
+    #[test]
+    fn immediate_retry_never_waits_or_escalates() {
+        let mut m = ImmediateRetry;
+        for a in 1..100 {
+            let d = m.on_conflict(&lost_to(0, a));
+            assert_eq!(d, RetryDecision::immediate());
+            assert!(!m.help_first());
+        }
+    }
+
+    #[test]
+    fn splitmix_spreads_consecutive_seeds() {
+        let a = splitmix64(1);
+        let b = splitmix64(2);
+        assert_ne!(a, b);
+        assert_ne!(a >> 32, b >> 32, "high bits must differ too");
+    }
+}

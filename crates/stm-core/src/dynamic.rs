@@ -43,11 +43,12 @@
 //! assert_eq!(dstm.read_cell(&mut port, 0), 1);
 //! ```
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::contention::{AdaptiveManager, ContentionManager};
 use crate::machine::MemPort;
 use crate::ops::StmOps;
-use crate::stm::{Stm, StmConfig, TxSpec, TxStats};
+use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxSpec, TxStats};
 use crate::word::{cell_value, Addr, CellIdx, Word};
 
 /// A software transactional memory supporting dynamic transactions.
@@ -229,6 +230,161 @@ impl DynamicStm {
                 cells.iter().zip(&out.old).all(|(c, &old)| old == reads[c].0);
             if validated {
                 return (result, stats);
+            }
+            // Validation failed: some read was stale; re-run the body.
+        }
+    }
+
+    /// [`DynamicStm::run`] under a [`TxBudget`], with an adaptive contention
+    /// manager driving the commit retries and panic containment around the
+    /// body — the hardened dynamic entry point.
+    ///
+    /// See [`DynamicStm::run_within_observed`] for the budget semantics.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::BudgetExhausted`] when the budget runs out before a
+    /// validated commit; [`TxError::OpPanicked`] when the body panics.
+    pub fn run_within<P: MemPort, R>(
+        &self,
+        port: &mut P,
+        budget: TxBudget,
+        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
+    ) -> Result<(R, TxStats), TxError> {
+        let mut cm = AdaptiveManager::new(port.proc_id());
+        self.run_within_observed(port, budget, &mut cm, &mut crate::observe::NoopObserver, body)
+    }
+
+    /// [`DynamicStm::run_within`] with an explicit [`ContentionManager`] and
+    /// [`TxObserver`](crate::observe::TxObserver).
+    ///
+    /// Budget semantics: `max_attempts` bounds *body executions* (the first
+    /// always runs); `max_cycles`/`max_wall` bound the whole call, with the
+    /// remaining allowance handed to each validate-and-write commit (so a
+    /// commit cannot overrun the caller's deadline by retrying internally).
+    /// The contention manager persists across body retries, so starvation
+    /// pressure accumulates over the whole dynamic transaction.
+    ///
+    /// Unlike [`DynamicStm::run`], a panicking body here is *contained*: the
+    /// local read/write log is discarded (nothing was shared yet, so there is
+    /// nothing to release) and [`TxError::OpPanicked`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`DynamicStm::run_within`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the transaction's footprint exceeds the instance's
+    /// `max_locs`.
+    pub fn run_within_observed<P, R, C, O>(
+        &self,
+        port: &mut P,
+        budget: TxBudget,
+        cm: &mut C,
+        obs: &mut O,
+        mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
+    ) -> Result<(R, TxStats), TxError>
+    where
+        P: MemPort,
+        C: ContentionManager,
+        O: crate::observe::TxObserver,
+    {
+        let mut stats = TxStats::default();
+        let mut contended: BTreeSet<CellIdx> = BTreeSet::new();
+        let started = std::time::Instant::now();
+        let cycles0 = port.now();
+        loop {
+            if stats.attempts > 0
+                && budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
+            {
+                return Err(TxError::BudgetExhausted {
+                    attempts: stats.attempts,
+                    cells_contended: contended.len() as u64,
+                });
+            }
+            let (result, reads, writes) = {
+                let mut tx = DynamicTx {
+                    stm: self.ops.stm(),
+                    port: &mut *port,
+                    reads: BTreeMap::new(),
+                    writes: BTreeMap::new(),
+                };
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx)));
+                match caught {
+                    Ok(result) => (result, tx.reads, tx.writes),
+                    Err(_payload) => {
+                        // The body only touched its local log; dropping the
+                        // log is the whole abort.
+                        drop(tx);
+                        stats.attempts += 1;
+                        obs.op_panicked(port.proc_id(), stats.attempts, port.now());
+                        return Err(TxError::OpPanicked { attempts: stats.attempts });
+                    }
+                }
+            };
+            stats.attempts += 1;
+
+            if writes.is_empty() && reads.is_empty() {
+                return Ok((result, stats)); // pure computation, nothing to commit
+            }
+
+            let cells: Vec<CellIdx> = reads.keys().copied().collect();
+            assert!(
+                cells.len() <= self.ops.stm().layout().max_locs(),
+                "dynamic transaction footprint {} exceeds max_locs {}",
+                cells.len(),
+                self.ops.stm().layout().max_locs()
+            );
+            let params: Vec<Word> = cells
+                .iter()
+                .map(|c| {
+                    let expected = reads[c].0;
+                    let new = writes.get(c).copied().unwrap_or(expected);
+                    ((expected as Word) << 32) | new as Word
+                })
+                .collect();
+            // Hand the commit whatever time remains; attempt budgeting stays
+            // at this level (it counts body executions, not commit CASes).
+            let commit_budget = TxBudget {
+                max_attempts: None,
+                max_cycles: budget
+                    .max_cycles
+                    .map(|m| m.saturating_sub(port.now().saturating_sub(cycles0))),
+                max_wall: budget.max_wall.map(|m| m.saturating_sub(started.elapsed())),
+            };
+            port.step(crate::step::StepPoint::DynCommit);
+            let spec = TxSpec::new(self.ops.builtins().mwcas, &params, &cells);
+            let out = match self.ops.stm().try_execute_within(
+                port,
+                &spec,
+                commit_budget,
+                cm,
+                obs,
+            ) {
+                Ok(out) => out,
+                Err(TxError::BudgetExhausted { cells_contended, .. }) => {
+                    return Err(TxError::BudgetExhausted {
+                        attempts: stats.attempts,
+                        cells_contended: cells_contended.max(contended.len() as u64),
+                    });
+                }
+                Err(TxError::OpPanicked { .. }) => {
+                    return Err(TxError::OpPanicked { attempts: stats.attempts });
+                }
+            };
+            stats.helps += out.stats.helps;
+            stats.conflicts += out.stats.conflicts;
+            let mut validated = true;
+            for (c, &old) in cells.iter().zip(&out.old) {
+                if old != reads[c].0 {
+                    validated = false;
+                    contended.insert(*c);
+                }
+            }
+            if validated {
+                return Ok((result, stats));
             }
             // Validation failed: some read was stale; re-run the body.
         }

@@ -217,7 +217,12 @@ impl HistoryChecker {
                 if let Some(readers) = ev.readers.get(&stamp) {
                     for &ri in readers {
                         let r = &self.records[ri];
-                        let j = r.cells.iter().position(|&c| c == cell).expect("indexed");
+                        // `ri` was indexed under `cell` above, so the position
+                        // must exist; a miss means the record was mutated
+                        // concurrently — report it rather than panic.
+                        let Some(j) = r.cells.iter().position(|&c| c == cell) else {
+                            return Err(HistoryError::Malformed { id: r.id });
+                        };
                         if r.old_values[j] != current {
                             return Err(HistoryError::ValueChainBroken {
                                 id: r.id,
@@ -231,7 +236,9 @@ impl HistoryChecker {
                 match ev.writers.get(&stamp) {
                     Some(&(ri, new)) => {
                         let r = &self.records[ri];
-                        let j = r.cells.iter().position(|&c| c == cell).expect("indexed");
+                        let Some(j) = r.cells.iter().position(|&c| c == cell) else {
+                            return Err(HistoryError::Malformed { id: r.id });
+                        };
                         if r.old_values[j] != current {
                             return Err(HistoryError::ValueChainBroken {
                                 id: r.id,

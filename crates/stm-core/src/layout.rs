@@ -106,21 +106,21 @@ impl StmLayout {
     /// Panics (in debug builds) if `idx` is out of range.
     #[inline]
     pub fn cell(&self, idx: CellIdx) -> Addr {
-        debug_assert!(idx < self.n_cells);
+        debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
         self.base + idx
     }
 
     /// Address of the ownership word guarding cell `idx`.
     #[inline]
     pub fn ownership(&self, idx: CellIdx) -> Addr {
-        debug_assert!(idx < self.n_cells);
+        debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
         self.base + self.n_cells + idx
     }
 
     /// Base address of processor `proc`'s record.
     #[inline]
     pub fn record(&self, proc: usize) -> Addr {
-        debug_assert!(proc < self.n_procs);
+        debug_assert!(proc < self.n_procs, "processor id {proc} out of range");
         self.base + 2 * self.n_cells + proc * self.record_stride()
     }
 
@@ -151,21 +151,21 @@ impl StmLayout {
     /// Address of `proc`'s `i`-th parameter word.
     #[inline]
     pub fn param(&self, proc: usize, i: usize) -> Addr {
-        debug_assert!(i < MAX_PARAMS);
+        debug_assert!(i < MAX_PARAMS, "parameter index {i} out of range");
         self.record(proc) + rec::PARAMS + i
     }
 
     /// Address of `proc`'s `j`-th data-set address word.
     #[inline]
     pub fn addr_slot(&self, proc: usize, j: usize) -> Addr {
-        debug_assert!(j < self.max_locs);
+        debug_assert!(j < self.max_locs, "data-set position {j} out of range");
         self.record(proc) + rec::ADDRS + j
     }
 
     /// Address of `proc`'s `j`-th old-value agreement entry.
     #[inline]
     pub fn oldval_slot(&self, proc: usize, j: usize) -> Addr {
-        debug_assert!(j < self.max_locs);
+        debug_assert!(j < self.max_locs, "data-set position {j} out of range");
         self.record(proc) + rec::ADDRS + self.max_locs + j
     }
 }

@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod contention;
 pub mod dynamic;
 pub mod history;
 pub mod layout;
@@ -88,11 +89,18 @@ pub mod step;
 pub mod stm;
 pub mod word;
 
+pub use contention::{
+    AdaptiveConfig, AdaptiveManager, ConflictInfo, ContentionManager, ImmediateRetry,
+    RetryDecision, WaitAction,
+};
+pub use machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog, WatchdogHandle};
 pub use machine::MemPort;
 pub use metrics::{Log2Histogram, TxMetrics};
 pub use observe::{NoopObserver, RecordingObserver, TxEvent, TxObserver};
 pub use step::{StepKind, StepPoint};
 pub use ops::StmOps;
 pub use program::{OpCode, ProgramTable, TxProgram};
-pub use stm::{BackoffPolicy, Sabotage, Stm, StmConfig, TxOutcome, TxSpec, TxStats};
+pub use stm::{
+    BackoffPolicy, Sabotage, Stm, StmConfig, TxBudget, TxError, TxOutcome, TxSpec, TxStats,
+};
 pub use word::{Addr, CellIdx, Word};

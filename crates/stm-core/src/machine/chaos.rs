@@ -1,0 +1,410 @@
+//! Real-thread chaos testing: random preemption injected at protocol step
+//! points, plus a host-side watchdog for commit progress.
+//!
+//! The simulator (`stm-sim`) explores adversarial schedules *deterministically*;
+//! this module attacks the same protocol on the real host machine, where the
+//! OS scheduler is the adversary. [`ChaosPort`] wraps any [`MemPort`] (in
+//! practice [`HostPort`](crate::machine::host::HostPort)) and, at every
+//! instrumented [`MemPort::step`] point the protocol passes through, rolls a
+//! deterministic per-proc die and injects one of:
+//!
+//! * a **yield** (`std::thread::yield_now`) — hands the core to a rival at
+//!   the worst possible instant;
+//! * a **sleep** (`std::thread::sleep`, bounded microseconds) — simulates a
+//!   long preemption, e.g. the owner being descheduled mid-acquisition, the
+//!   exact scenario the paper's helping mechanism exists for;
+//! * a **spin** (bounded `delay`) — skews relative thread speeds.
+//!
+//! The *decision* sequence is a pure function of the seed and proc id
+//! (splitmix64), so a failing run's injection pattern is reproducible even
+//! though the OS interleaving is not.
+//!
+//! [`Watchdog`] is the liveness side: worker threads tick a shared per-proc
+//! commit counter through a [`WatchdogHandle`], and a monitor thread calls
+//! [`Watchdog::scan`] periodically; a scan interval in which a thread made no
+//! progress yields a structured [`WatchdogReport`] naming the stalled procs.
+//!
+//! See `examples/chaos_tour.rs` for the full harness: chaos-injected
+//! transactions audited post-hoc by the serializability checker in
+//! [`crate::history`].
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::contention::splitmix64;
+use crate::machine::MemPort;
+use crate::step::StepPoint;
+use crate::word::{Addr, Word};
+
+/// Injection mix for a [`ChaosPort`], in events per thousand step points.
+///
+/// The defaults are tuned so a few thousand transactions still complete in
+/// well under a second of wall time while every protocol phase gets hit:
+/// yields are common (cheap), sleeps are rare (expensive but the most
+/// adversarial — they strand ownerships for other threads to help past).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChaosConfig {
+    /// Base RNG seed; each port folds in its proc id, so ports draw
+    /// independent (but reproducible) streams.
+    pub seed: u64,
+    /// Per-mille of step points that yield the thread.
+    pub yield_per_mille: u32,
+    /// Per-mille of step points that sleep the thread.
+    pub sleep_per_mille: u32,
+    /// Upper bound (exclusive of 0: draws land in `1..=max`) on one
+    /// injected sleep, in microseconds.
+    pub max_sleep_micros: u64,
+    /// Per-mille of step points that burn a bounded local spin.
+    pub spin_per_mille: u32,
+    /// Upper bound on one injected spin, in delay cycles.
+    pub max_spin_cycles: u64,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0x5EED,
+            yield_per_mille: 20,
+            sleep_per_mille: 5,
+            max_sleep_micros: 200,
+            spin_per_mille: 50,
+            max_spin_cycles: 256,
+        }
+    }
+}
+
+impl ChaosConfig {
+    /// Same mix, different seed (vary per run or per proc group).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// Counters of what a [`ChaosPort`] actually injected.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosStats {
+    /// Step points observed.
+    pub steps: u64,
+    /// Yields injected.
+    pub yields: u64,
+    /// Sleeps injected.
+    pub sleeps: u64,
+    /// Spins injected.
+    pub spins: u64,
+}
+
+impl ChaosStats {
+    /// Fold another port's counters into this one.
+    pub fn merge(&mut self, other: &ChaosStats) {
+        self.steps += other.steps;
+        self.yields += other.yields;
+        self.sleeps += other.sleeps;
+        self.spins += other.spins;
+    }
+}
+
+/// A [`MemPort`] adapter that injects random preemption at step points.
+///
+/// All memory operations pass straight through to the wrapped port; only
+/// [`MemPort::step`] gains behaviour (the injection roll), which is exactly
+/// where the protocol is most interruption-sensitive — between an acquire
+/// and its decision, before a release, mid-install.
+#[derive(Debug)]
+pub struct ChaosPort<P: MemPort> {
+    inner: P,
+    cfg: ChaosConfig,
+    rng: u64,
+    stats: ChaosStats,
+}
+
+impl<P: MemPort> ChaosPort<P> {
+    /// Wrap `inner`, folding its proc id into the seed so sibling ports
+    /// draw distinct streams.
+    pub fn new(inner: P, cfg: ChaosConfig) -> Self {
+        let rng = splitmix64(cfg.seed ^ (inner.proc_id() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ChaosPort { inner, cfg, rng, stats: ChaosStats::default() }
+    }
+
+    /// Injection counters so far.
+    pub fn stats(&self) -> ChaosStats {
+        self.stats
+    }
+
+    /// Unwrap, returning the inner port and the final counters.
+    pub fn into_inner(self) -> (P, ChaosStats) {
+        (self.inner, self.stats)
+    }
+
+    fn draw(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.rng)
+    }
+}
+
+impl<P: MemPort> MemPort for ChaosPort<P> {
+    fn proc_id(&self) -> usize {
+        self.inner.proc_id()
+    }
+    fn n_procs(&self) -> usize {
+        self.inner.n_procs()
+    }
+    fn read(&mut self, addr: Addr) -> Word {
+        self.inner.read(addr)
+    }
+    fn write(&mut self, addr: Addr, value: Word) {
+        self.inner.write(addr, value)
+    }
+    fn compare_exchange(&mut self, addr: Addr, expected: Word, new: Word) -> Result<(), Word> {
+        self.inner.compare_exchange(addr, expected, new)
+    }
+    fn delay(&mut self, cycles: u64) {
+        self.inner.delay(cycles)
+    }
+    fn now(&self) -> u64 {
+        self.inner.now()
+    }
+    fn yield_now(&mut self) {
+        self.inner.yield_now()
+    }
+    fn park_micros(&mut self, micros: u64) {
+        self.inner.park_micros(micros)
+    }
+
+    fn step(&mut self, point: StepPoint) {
+        self.stats.steps += 1;
+        let roll = self.draw();
+        let die = (roll % 1000) as u32;
+        let y = self.cfg.yield_per_mille;
+        let s = y + self.cfg.sleep_per_mille;
+        let p = s + self.cfg.spin_per_mille;
+        if die < y {
+            self.stats.yields += 1;
+            std::thread::yield_now();
+        } else if die < s {
+            self.stats.sleeps += 1;
+            let micros = 1 + (roll >> 10) % self.cfg.max_sleep_micros.max(1);
+            std::thread::sleep(std::time::Duration::from_micros(micros));
+        } else if die < p {
+            self.stats.spins += 1;
+            let cycles = 1 + (roll >> 10) % self.cfg.max_spin_cycles.max(1);
+            self.inner.delay(cycles);
+        }
+        self.inner.step(point);
+    }
+}
+
+/// Shared commit-progress counters; see module docs.
+#[derive(Debug)]
+struct WatchState {
+    commits: Vec<AtomicU64>,
+}
+
+/// Per-worker ticker: call [`WatchdogHandle::commit`] after every committed
+/// transaction. Cloneable and cheap (an `Arc` bump plus an index).
+#[derive(Debug, Clone)]
+pub struct WatchdogHandle {
+    state: Arc<WatchState>,
+    proc: usize,
+}
+
+impl WatchdogHandle {
+    /// Record one committed transaction for this proc.
+    pub fn commit(&self) {
+        self.state.commits[self.proc].fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Progress of one proc over one watchdog scan interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProcProgress {
+    /// Processor id.
+    pub proc: usize,
+    /// Total commits so far.
+    pub commits: u64,
+    /// Commits since the previous [`Watchdog::scan`].
+    pub delta: u64,
+}
+
+/// One watchdog scan: per-proc totals and deltas, structured for diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WatchdogReport {
+    /// Per-proc progress, ascending proc id.
+    pub procs: Vec<ProcProgress>,
+}
+
+impl WatchdogReport {
+    /// Procs that made no commit progress this interval.
+    pub fn stalled(&self) -> Vec<usize> {
+        self.procs.iter().filter(|p| p.delta == 0).map(|p| p.proc).collect()
+    }
+
+    /// Whether any proc made no progress this interval.
+    pub fn any_stalled(&self) -> bool {
+        self.procs.iter().any(|p| p.delta == 0)
+    }
+
+    /// Total commits across procs.
+    pub fn total_commits(&self) -> u64 {
+        self.procs.iter().map(|p| p.commits).sum()
+    }
+}
+
+impl std::fmt::Display for WatchdogReport {
+    /// One line per proc: `p<id>: <total> commits (+<delta>)`, with `STALLED`
+    /// appended for zero-delta procs.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        for p in &self.procs {
+            writeln!(
+                f,
+                "p{}: {} commits (+{}){}",
+                p.proc,
+                p.commits,
+                p.delta,
+                if p.delta == 0 { "  STALLED" } else { "" }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Host-side liveness monitor: flags threads making no commit progress
+/// between scans.
+///
+/// A stalled scan is a *signal*, not proof of a bug — a thread may simply be
+/// parked in backoff or starved by the OS — but under the paper's lock-freedom
+/// claim the *system* must progress, so "every proc stalled for an interval"
+/// is the red flag the chaos harness asserts against.
+#[derive(Debug)]
+pub struct Watchdog {
+    state: Arc<WatchState>,
+    last: Vec<u64>,
+}
+
+impl Watchdog {
+    /// A watchdog over `n_procs` workers, all counters zero.
+    pub fn new(n_procs: usize) -> Self {
+        let commits = (0..n_procs).map(|_| AtomicU64::new(0)).collect();
+        Watchdog { state: Arc::new(WatchState { commits }), last: vec![0; n_procs] }
+    }
+
+    /// The ticker for worker `proc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `proc` is out of range.
+    pub fn handle(&self, proc: usize) -> WatchdogHandle {
+        assert!(proc < self.last.len(), "proc {proc} out of watchdog range");
+        WatchdogHandle { state: Arc::clone(&self.state), proc }
+    }
+
+    /// Snapshot progress since the previous scan (the first scan's deltas
+    /// are measured from zero).
+    pub fn scan(&mut self) -> WatchdogReport {
+        let procs = self
+            .state
+            .commits
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let commits = c.load(Ordering::Relaxed);
+                let delta = commits - self.last[i];
+                self.last[i] = commits;
+                ProcProgress { proc: i, commits, delta }
+            })
+            .collect();
+        WatchdogReport { procs }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::host::HostMachine;
+
+    fn drained_stats(cfg: ChaosConfig, steps: usize) -> ChaosStats {
+        let m = HostMachine::new(4, 1);
+        let mut port = ChaosPort::new(m.port(0), cfg);
+        for _ in 0..steps {
+            port.step(StepPoint::TxPublished);
+        }
+        port.stats()
+    }
+
+    #[test]
+    fn injection_decisions_are_deterministic_per_seed() {
+        let cfg = ChaosConfig::default();
+        let a = drained_stats(cfg, 5000);
+        let b = drained_stats(cfg, 5000);
+        assert_eq!(a, b, "same seed, same proc: identical injection counts");
+        let c = drained_stats(cfg.with_seed(0xDEAD), 5000);
+        assert_ne!(a, c, "different seed: different stream");
+    }
+
+    #[test]
+    fn injection_rates_track_the_config() {
+        let cfg = ChaosConfig {
+            seed: 7,
+            yield_per_mille: 100,
+            sleep_per_mille: 0, // keep the unit test fast
+            max_sleep_micros: 1,
+            spin_per_mille: 100,
+            max_spin_cycles: 8,
+        };
+        let s = drained_stats(cfg, 10_000);
+        assert_eq!(s.steps, 10_000);
+        assert_eq!(s.sleeps, 0);
+        // ~10% each with a wide tolerance (splitmix is uniform enough).
+        assert!((500..2000).contains(&s.yields), "yields {}", s.yields);
+        assert!((500..2000).contains(&s.spins), "spins {}", s.spins);
+    }
+
+    #[test]
+    fn zero_rates_inject_nothing() {
+        let cfg = ChaosConfig {
+            seed: 1,
+            yield_per_mille: 0,
+            sleep_per_mille: 0,
+            max_sleep_micros: 1,
+            spin_per_mille: 0,
+            max_spin_cycles: 1,
+        };
+        let s = drained_stats(cfg, 1000);
+        assert_eq!((s.yields, s.sleeps, s.spins), (0, 0, 0));
+        assert_eq!(s.steps, 1000);
+    }
+
+    #[test]
+    fn chaos_port_passes_memory_traffic_through() {
+        let m = HostMachine::new(8, 1);
+        let mut port = ChaosPort::new(m.port(0), ChaosConfig::default());
+        port.write(3, 17);
+        assert_eq!(port.read(3), 17);
+        assert_eq!(port.compare_exchange(3, 17, 18), Ok(()));
+        assert_eq!(port.compare_exchange(3, 17, 19), Err(18));
+        assert_eq!(port.proc_id(), 0);
+        assert_eq!(port.n_procs(), 1);
+        let (_inner, stats) = port.into_inner();
+        assert_eq!(stats.steps, 0, "memory ops are not step points");
+    }
+
+    #[test]
+    fn watchdog_flags_the_stalled_proc() {
+        let mut dog = Watchdog::new(3);
+        let h0 = dog.handle(0);
+        let h2 = dog.handle(2);
+        h0.commit();
+        h0.commit();
+        h2.commit();
+        let r = dog.scan();
+        assert_eq!(r.stalled(), vec![1]);
+        assert!(r.any_stalled());
+        assert_eq!(r.total_commits(), 3);
+        assert!(r.to_string().contains("p1: 0 commits (+0)  STALLED"), "{r}");
+        // Next interval: only proc 1 progresses.
+        dog.handle(1).commit();
+        let r = dog.scan();
+        assert_eq!(r.stalled(), vec![0, 2]);
+        assert_eq!(r.procs[1], ProcProgress { proc: 1, commits: 1, delta: 1 });
+    }
+}

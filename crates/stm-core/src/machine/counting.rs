@@ -169,12 +169,12 @@ mod tests {
         let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
         let mut port = CountingPort::new(m.port(0));
         let spec = TxSpec::new(ops.builtins().add, &[1], &[0]);
-        ops.stm().execute(&mut port, &spec); // warm-up (first stamp)
+        let _ = ops.stm().execute(&mut port, &spec); // warm-up (first stamp)
         port.reset();
-        ops.stm().execute(&mut port, &spec);
+        let _ = ops.stm().execute(&mut port, &spec);
         let plain = port.counts();
         port.reset();
-        ops.stm().execute_observed(&mut port, &spec, &mut NoopObserver);
+        let _ = ops.stm().execute_observed(&mut port, &spec, &mut NoopObserver);
         assert_eq!(port.counts(), plain, "NoopObserver must be free");
     }
 

@@ -121,6 +121,16 @@ impl MemPort for HostPort {
             std::hint::spin_loop();
         }
     }
+
+    fn yield_now(&mut self) {
+        std::thread::yield_now();
+    }
+
+    fn park_micros(&mut self, micros: u64) {
+        // `park_timeout` tolerates spurious wakeups — fine for backoff, which
+        // only needs "roughly this long, maybe less".
+        std::thread::park_timeout(std::time::Duration::from_micros(micros));
+    }
 }
 
 #[cfg(test)]

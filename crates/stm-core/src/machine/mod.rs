@@ -14,6 +14,7 @@
 //!   an architecture-dependent cycle cost — this is how every figure of the
 //!   paper is regenerated.
 
+pub mod chaos;
 pub mod counting;
 pub mod host;
 
@@ -76,6 +77,23 @@ pub trait MemPort {
     /// this to record the step in the trace and deliver scripted faults.
     #[inline(always)]
     fn step(&mut self, _point: StepPoint) {}
+
+    /// Yield the processor to other runnable work — the middle rung of the
+    /// contention-management lattice. The host machine maps this to
+    /// `std::thread::yield_now()`; the default (used by the simulator and
+    /// test ports) charges one local cycle, keeping deterministic machines
+    /// deterministic.
+    fn yield_now(&mut self) {
+        self.delay(1);
+    }
+
+    /// Block the processor for roughly `micros` microseconds — the top rung
+    /// of the contention-management lattice. The host machine parks the OS
+    /// thread (`std::thread::park_timeout`); the default charges `micros`
+    /// local cycles so deterministic machines stay deterministic.
+    fn park_micros(&mut self, micros: u64) {
+        self.delay(micros);
+    }
 }
 
 /// Blanket impl so `&mut P` can be passed where a port is consumed by value
@@ -104,6 +122,12 @@ impl<P: MemPort + ?Sized> MemPort for &mut P {
     }
     fn step(&mut self, point: StepPoint) {
         (**self).step(point)
+    }
+    fn yield_now(&mut self) {
+        (**self).yield_now()
+    }
+    fn park_micros(&mut self, micros: u64) {
+        (**self).park_micros(micros)
     }
 }
 

@@ -188,12 +188,17 @@ pub struct TxMetrics {
     pub cycles_per_attempt: Log2Histogram,
     /// Histogram of cycles spent per helping span.
     pub help_cycles: Log2Histogram,
+    /// Histogram of contention-manager wait amounts (spin cycles or park
+    /// microseconds; yields record 0). Managed retry paths only.
+    pub backoff_waits: Log2Histogram,
     commits: u64,
     aborts: u64,
     conflicts: u64,
     helps: u64,
     write_backs: u64,
     releases: u64,
+    starvation_escalations: u64,
+    op_panics: u64,
     contention: BTreeMap<CellIdx, u64>,
     attempt_start: Option<u64>,
     help_start: Option<u64>,
@@ -243,6 +248,16 @@ impl TxMetrics {
         self.commits + self.aborts
     }
 
+    /// Starvation escalations to help-first mode (managed retry paths only).
+    pub fn starvation_escalations(&self) -> u64 {
+        self.starvation_escalations
+    }
+
+    /// Commit programs contained after panicking mid-transaction.
+    pub fn op_panics(&self) -> u64 {
+        self.op_panics
+    }
+
     /// Deepest observed nesting of helping spans. The paper's non-redundant
     /// helping bound says helpers never help transitively, so this must
     /// never exceed 1.
@@ -277,12 +292,15 @@ impl TxMetrics {
         self.attempts_to_commit.merge(&other.attempts_to_commit);
         self.cycles_per_attempt.merge(&other.cycles_per_attempt);
         self.help_cycles.merge(&other.help_cycles);
+        self.backoff_waits.merge(&other.backoff_waits);
         self.commits += other.commits;
         self.aborts += other.aborts;
         self.conflicts += other.conflicts;
         self.helps += other.helps;
         self.write_backs += other.write_backs;
         self.releases += other.releases;
+        self.starvation_escalations += other.starvation_escalations;
+        self.op_panics += other.op_panics;
         for (&c, &n) in &other.contention {
             *self.contention.entry(c).or_default() += n;
         }
@@ -299,6 +317,15 @@ impl TxMetrics {
         out.push_str(&format!("attempts/commit:   {}\n", self.attempts_to_commit));
         out.push_str(&format!("cycles/attempt:    {}\n", self.cycles_per_attempt));
         out.push_str(&format!("help cycles:       {}\n", self.help_cycles));
+        if self.backoff_waits.count() > 0 || self.starvation_escalations > 0 || self.op_panics > 0
+        {
+            out.push_str(&format!(
+                "contention mgmt:   backoff-waits {} escalations {} op-panics {}\n",
+                self.backoff_waits.count(),
+                self.starvation_escalations,
+                self.op_panics
+            ));
+        }
         out.push_str(&format!(
             "help depth:        max {} ({})\n",
             self.max_help_depth,
@@ -367,6 +394,18 @@ impl TxObserver for TxMetrics {
         if let Some(t0) = self.attempt_start.take() {
             self.cycles_per_attempt.record(now.saturating_sub(t0));
         }
+    }
+
+    fn backoff_wait(&mut self, _proc: usize, _attempt: u64, amount: u64, _now: u64) {
+        self.backoff_waits.record(amount);
+    }
+
+    fn starvation_escalated(&mut self, _proc: usize, _owner: Option<usize>, _attempts: u64, _now: u64) {
+        self.starvation_escalations += 1;
+    }
+
+    fn op_panicked(&mut self, _proc: usize, _attempts: u64, _now: u64) {
+        self.op_panics += 1;
     }
 }
 

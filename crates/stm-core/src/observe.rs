@@ -123,6 +123,37 @@ pub trait TxObserver {
     fn aborted(&mut self, proc: usize, at: usize, now: u64) {
         let _ = (proc, at, now);
     }
+
+    /// The managed retry loop ([`Stm::try_execute_within`](crate::stm::Stm::try_execute_within))
+    /// is about to wait between attempts on a [`ContentionManager`](crate::contention::ContentionManager)
+    /// decision. `amount` is the spin window in cycles for a spin wait, the
+    /// park duration in microseconds for a parked wait, and `0` for a plain
+    /// yield. Never emitted by the classic `execute`/`execute_observed`
+    /// paths (which use the static [`BackoffPolicy`](crate::stm::BackoffPolicy)),
+    /// so it sits outside the core event grammar above.
+    #[inline]
+    fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
+        let _ = (proc, attempt, amount, now);
+    }
+
+    /// The contention manager detected starvation (repeated losses to the
+    /// same owner, or too many attempts overall) and escalated this
+    /// processor to help-first mode. `owner` is the obstructing owner at the
+    /// moment of escalation, if still visible. Managed paths only.
+    #[inline]
+    fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
+        let _ = (proc, owner, attempts, now);
+    }
+
+    /// A commit program panicked inside this processor's own attempt. The
+    /// transaction installed nothing, all ownerships were released, and the
+    /// panic is being surfaced (re-raised by the classic paths,
+    /// [`TxError::OpPanicked`](crate::stm::TxError::OpPanicked) on the
+    /// managed paths).
+    #[inline]
+    fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
+        let _ = (proc, attempts, now);
+    }
 }
 
 /// The default observer: every callback is a no-op, and the monomorphized
@@ -157,6 +188,12 @@ pub enum TxEvent {
     Committed { proc: usize, attempts: u64, at: u64 },
     /// [`TxObserver::aborted`].
     Aborted { proc: usize, at_pos: usize, at: u64 },
+    /// [`TxObserver::backoff_wait`] (managed retry paths only).
+    BackoffWait { proc: usize, attempt: u64, amount: u64, at: u64 },
+    /// [`TxObserver::starvation_escalated`] (managed retry paths only).
+    StarvationEscalated { proc: usize, owner: Option<usize>, attempts: u64, at: u64 },
+    /// [`TxObserver::op_panicked`].
+    OpPanicked { proc: usize, attempts: u64, at: u64 },
 }
 
 /// An observer that appends every event to a vector — the test and tooling
@@ -210,6 +247,15 @@ impl TxObserver for RecordingObserver {
     }
     fn aborted(&mut self, proc: usize, at: usize, now: u64) {
         self.events.push(TxEvent::Aborted { proc, at_pos: at, at: now });
+    }
+    fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
+        self.events.push(TxEvent::BackoffWait { proc, attempt, amount, at: now });
+    }
+    fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
+        self.events.push(TxEvent::StarvationEscalated { proc, owner, attempts, at: now });
+    }
+    fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.events.push(TxEvent::OpPanicked { proc, attempts, at: now });
     }
 }
 

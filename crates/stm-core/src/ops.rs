@@ -75,6 +75,9 @@ impl StmOps {
     /// Atomically add `delta` (wrapping) to `cell`, returning the old value.
     pub fn fetch_add<P: MemPort>(&self, port: &mut P, cell: CellIdx, delta: u32) -> u32 {
         let out = self.stm.execute(port, &TxSpec::new(self.ops.add, &[delta as Word], &[cell]));
+        // Invariant: `TxOutcome::old` has exactly one entry per data-set
+        // cell, established by the agreement phase before commit.
+        debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
         out.old[0]
     }
 
@@ -97,7 +100,9 @@ impl StmOps {
 
     /// Atomically replace `cell` with `value`, returning the old value.
     pub fn swap<P: MemPort>(&self, port: &mut P, cell: CellIdx, value: u32) -> u32 {
-        self.stm.execute(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell])).old[0]
+        let out = self.stm.execute(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell]));
+        debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
+        out.old[0]
     }
 
     /// Atomic multi-cell snapshot (an identity transaction over `cells`).

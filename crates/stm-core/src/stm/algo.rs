@@ -8,6 +8,9 @@
 //! in [`crate::word`], so redundant execution is harmless — exactly the
 //! paper's design.
 
+use std::any::Any;
+
+use crate::contention::{ConflictInfo, ContentionManager, WaitAction};
 use crate::layout::MAX_PARAMS;
 use crate::machine::MemPort;
 use crate::observe::{NoopObserver, TxObserver};
@@ -19,7 +22,23 @@ use crate::word::{
     Word, OWNER_FREE,
 };
 
-use super::{Stm, TxConflict, TxOutcome, TxSpec, TxStats};
+use super::{Stm, TxBudget, TxConflict, TxError, TxOutcome, TxSpec, TxStats};
+
+/// A contained panic payload from a user commit program (re-raised or
+/// surfaced as [`TxError::OpPanicked`] by the caller, after cleanup).
+type PanicPayload = Box<dyn Any + Send + 'static>;
+
+/// Why one [`attempt`] did not commit.
+enum AttemptError {
+    /// The attempt was decided `Failure` at data-set position `at`.
+    Conflict {
+        at: usize,
+    },
+    /// The attempt was decided `Success` but the commit program panicked;
+    /// nothing was installed, every ownership was released, and the machine
+    /// is clean. Carries the payload for re-raising.
+    Panicked(PanicPayload),
+}
 
 /// A participant's view of one transaction: the commit program and the data
 /// set, in program order, plus the ascending acquisition order.
@@ -73,6 +92,9 @@ pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSp
 }
 
 /// Run `spec` to completion (the paper's retry loop with helping).
+///
+/// A panicking commit program is contained while ownerships are held (see
+/// [`update_memory`]) and re-raised here, after the machine is clean.
 pub(super) fn execute<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
@@ -81,14 +103,15 @@ pub(super) fn execute<P: MemPort, O: TxObserver>(
 ) -> TxOutcome {
     let mut stats = TxStats::default();
     loop {
-        match attempt(stm, port, spec, &mut stats, obs) {
+        match attempt(stm, port, spec, &mut stats, obs, stm.config.helping) {
             Ok((old, old_stamps)) => return TxOutcome { old, old_stamps, stats },
-            Err(_) => {
+            Err(AttemptError::Conflict { .. }) => {
                 let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
                 if wait > 0 {
                     port.delay(wait);
                 }
             }
+            Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
         }
     }
 }
@@ -101,23 +124,106 @@ pub(super) fn try_execute<P: MemPort, O: TxObserver>(
     obs: &mut O,
 ) -> Result<TxOutcome, TxConflict> {
     let mut stats = TxStats::default();
-    match attempt(stm, port, spec, &mut stats, obs) {
+    match attempt(stm, port, spec, &mut stats, obs, stm.config.helping) {
         Ok((old, old_stamps)) => Ok(TxOutcome { old, old_stamps, stats }),
-        Err(at) => Err(TxConflict { at }),
+        Err(AttemptError::Conflict { at }) => Err(TxConflict { at }),
+        Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
+    }
+}
+
+/// Run `spec` under a [`TxBudget`], consulting a [`ContentionManager`]
+/// between attempts — the hardened retry loop behind
+/// [`Stm::execute_for`](crate::stm::Stm::execute_for) and
+/// [`Stm::try_execute_within`](crate::stm::Stm::try_execute_within).
+///
+/// While the manager reports help-first mode, attempts run with helping
+/// forced on regardless of [`StmConfig::helping`](crate::stm::StmConfig) —
+/// the starvation escape hatch. Panicking commit programs surface as
+/// [`TxError::OpPanicked`] instead of unwinding.
+pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    spec: &TxSpec<'_>,
+    budget: TxBudget,
+    cm: &mut C,
+    obs: &mut O,
+) -> Result<TxOutcome, TxError> {
+    let mut stats = TxStats::default();
+    let mut contended = std::collections::BTreeSet::new();
+    let started = std::time::Instant::now();
+    let cycles0 = port.now();
+    loop {
+        let help = stm.config.helping || cm.help_first();
+        match attempt(stm, port, spec, &mut stats, obs, help) {
+            Ok((old, old_stamps)) => {
+                cm.on_commit();
+                return Ok(TxOutcome { old, old_stamps, stats });
+            }
+            Err(AttemptError::Panicked(_payload)) => {
+                // The attempt already released everything; drop the payload
+                // and surface the typed error.
+                return Err(TxError::OpPanicked { attempts: stats.attempts });
+            }
+            Err(AttemptError::Conflict { at }) => {
+                let me = port.proc_id();
+                let cell = spec.cells.get(at).copied();
+                if let Some(c) = cell {
+                    contended.insert(c);
+                }
+                if budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
+                {
+                    return Err(TxError::BudgetExhausted {
+                        attempts: stats.attempts,
+                        cells_contended: contended.len() as u64,
+                    });
+                }
+                // Best-effort re-inspection of the obstructing owner (it may
+                // already have moved on) — the starvation detector's input.
+                let owner = cell.and_then(|c| {
+                    unpack_owner(port.read(stm.layout().ownership(c)))
+                        .map(|(p2, _)| p2)
+                        .filter(|&p2| p2 != me)
+                });
+                let info = ConflictInfo { proc: me, attempt: stats.attempts, cell, owner };
+                let decision = cm.on_conflict(&info);
+                if decision.newly_escalated {
+                    obs.starvation_escalated(me, owner, stats.attempts, port.now());
+                }
+                match decision.wait {
+                    WaitAction::None => {}
+                    WaitAction::Spin(cycles) => {
+                        obs.backoff_wait(me, stats.attempts, cycles, port.now());
+                        port.delay(cycles);
+                    }
+                    WaitAction::Yield => {
+                        obs.backoff_wait(me, stats.attempts, 0, port.now());
+                        port.yield_now();
+                    }
+                    WaitAction::Park { micros } => {
+                        obs.backoff_wait(me, stats.attempts, micros, port.now());
+                        port.park_micros(micros);
+                    }
+                }
+            }
+        }
     }
 }
 
 /// One attempt by the record owner: initialize the record, run the
 /// transaction, and on failure help the obstructing transaction once
-/// (non-redundant helping). Returns the old values on commit, or the failing
-/// data-set position.
+/// (non-redundant helping) when `help` is set. Returns the old values on
+/// commit, or an [`AttemptError`].
+///
+/// `help` is [`StmConfig::helping`](crate::stm::StmConfig) on the classic
+/// paths; the managed path forces it on in help-first mode.
 fn attempt<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     spec: &TxSpec<'_>,
     stats: &mut TxStats,
     obs: &mut O,
-) -> Result<(Vec<u32>, Vec<u16>), usize> {
+    help_on_conflict: bool,
+) -> Result<(Vec<u32>, Vec<u16>), AttemptError> {
     stats.attempts += 1;
     let me = port.proc_id();
     obs.attempt_begin(me, stats.attempts, port.now());
@@ -145,7 +251,7 @@ fn attempt<P: MemPort, O: TxObserver>(
     port.step(StepPoint::TxPublished);
 
     let view = TxView::from_spec(spec);
-    run_transaction(stm, port, me, version, &view, obs);
+    let panicked = run_transaction(stm, port, me, version, &view, obs);
 
     // Only the owner advances its record's version, so the status read below
     // necessarily still belongs to `version`, and is decided.
@@ -153,10 +259,21 @@ fn attempt<P: MemPort, O: TxObserver>(
     debug_assert!(status_is_version(stw, version), "own status moved without owner");
     match unpack_status(stw).1 {
         TxStatus::Success => {
+            if let Some(payload) = panicked {
+                // The commit program panicked in our own `update_memory` call:
+                // nothing was installed and `run_transaction` already released
+                // every ownership, so memory is untouched and the machine is
+                // helpable. Surface the containment instead of the old values.
+                obs.op_panicked(me, stats.attempts, port.now());
+                return Err(AttemptError::Panicked(payload));
+            }
             let mut old = Vec::with_capacity(view.cells.len());
             let mut old_stamps = Vec::with_capacity(view.cells.len());
             for j in 0..view.cells.len() {
                 let entry = port.read(l.oldval_slot(me, j));
+                // Invariant, not an error path: `Success` is only decided once
+                // every location is owned, and release requires the agreement
+                // phase to have fixed every pre-image for this version first.
                 let cw = oldval_for_version(entry, version)
                     .expect("committed transaction must have agreed old values");
                 old.push(cell_value(cw));
@@ -168,7 +285,7 @@ fn attempt<P: MemPort, O: TxObserver>(
         TxStatus::Failure(j) => {
             stats.conflicts += 1;
             obs.conflict(me, view.cells.get(j).copied(), port.now());
-            if stm.config.helping {
+            if help_on_conflict {
                 if let Some(&cell) = view.cells.get(j) {
                     if let Some((p2, v2)) = unpack_owner(port.read(l.ownership(cell))) {
                         if p2 != me {
@@ -182,7 +299,7 @@ fn attempt<P: MemPort, O: TxObserver>(
                 }
             }
             obs.aborted(me, j, port.now());
-            Err(j)
+            Err(AttemptError::Conflict { at: j })
         }
         TxStatus::Null | TxStatus::Initializing => {
             unreachable!("initiator returned with undecided status")
@@ -193,6 +310,11 @@ fn attempt<P: MemPort, O: TxObserver>(
 /// Help another processor's transaction `(owner, version)` to completion —
 /// the paper's non-redundant helping (helpers never recurse into further
 /// helping).
+///
+/// If the helped commit program panics, the payload is swallowed here: the
+/// helper's own transaction is unaffected, and the *owner* observes the same
+/// panic from its own `run_transaction` call (commit programs are pure
+/// functions of the agreed pre-images, so every participant panics alike).
 fn help<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
@@ -201,12 +323,18 @@ fn help<P: MemPort, O: TxObserver>(
     obs: &mut O,
 ) {
     if let Some(view) = snapshot_view(stm, port, owner, version) {
-        run_transaction(stm, port, owner, version, &view, obs);
+        let _swallowed = run_transaction(stm, port, owner, version, &view, obs);
     }
 }
 
 /// The paper's `transaction` procedure, executed identically by the owner
 /// and by helpers.
+///
+/// Returns the contained panic payload if the commit program panicked in
+/// *this* participant's [`update_memory`] call (`None` otherwise). Whatever
+/// happens, every path performs exactly one release sweep for the ownerships
+/// this `(owner, version)` pair may hold — a panicking program can never
+/// strand (or double-free) an ownership record.
 fn run_transaction<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
@@ -214,7 +342,7 @@ fn run_transaction<P: MemPort, O: TxObserver>(
     version: u64,
     view: &TxView,
     obs: &mut O,
-) {
+) -> Option<PanicPayload> {
     let l = *stm.layout();
     acquire_ownerships(stm, port, owner, version, view, obs);
 
@@ -223,36 +351,42 @@ fn run_transaction<P: MemPort, O: TxObserver>(
         // The transaction finished while we worked; free anything we may
         // still hold for it (exact-tag CAS makes this safe).
         release_ownerships(stm, port, owner, version, view, obs);
-        return;
+        return None;
     }
     match unpack_status(stw).1 {
         TxStatus::Success => {
             if stm.config.sabotage == crate::stm::Sabotage::ReleaseBeforeUpdate {
                 // Deliberately broken ordering for harness validation: free
                 // the locations first, then install. See [`crate::stm::Sabotage`].
+                // The sweep already happened — return the payload directly so
+                // the unwind cleanup cannot release a second time.
                 release_ownerships(stm, port, owner, version, view, obs);
                 if agree_old_values(stm, port, owner, version, view) {
                     if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                        update_memory(stm, port, version, view, &olds, obs);
+                        return update_memory(stm, port, version, view, &olds, obs);
                     }
                 }
-                return;
+                return None;
             }
+            let mut panicked = None;
             if agree_old_values(stm, port, owner, version, view) {
                 if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                    update_memory(stm, port, version, view, &olds, obs);
+                    panicked = update_memory(stm, port, version, view, &olds, obs);
                 }
             }
             release_ownerships(stm, port, owner, version, view, obs);
+            panicked
         }
         TxStatus::Failure(_) => {
             release_ownerships(stm, port, owner, version, view, obs);
+            None
         }
         TxStatus::Null | TxStatus::Initializing => {
             // `acquire_ownerships` always decides the status before returning
             // while the version matches; defensively release and leave.
             debug_assert!(false, "undecided status after acquisition");
             release_ownerships(stm, port, owner, version, view, obs);
+            None
         }
     }
 }
@@ -290,6 +424,8 @@ fn acquire_ownerships<P: MemPort, O: TxObserver>(
                     Err(_) => continue,
                 }
             }
+            // Invariant: `cur != OWNER_FREE` was checked just above, and every
+            // non-free ownership word is a packed `(proc, version)` pair.
             let (p2, v2) = unpack_owner(cur).expect("non-free ownership");
             if !status_is_version(port.read(l.status(p2)), v2) {
                 // The owning transaction already finished: this ownership is
@@ -375,6 +511,14 @@ fn read_agreed<P: MemPort>(
 /// The paper's `updateMemory`: apply the commit function and install the new
 /// values. Each install is a CAS from the agreed pre-image (stamp included),
 /// so replays by other participants — or stale helpers — are rejected.
+///
+/// The commit program is the only user code the protocol ever runs, so this
+/// is the one containment point: it executes under `catch_unwind`, and a
+/// panic installs *nothing* (an identity commit — the `new == old` skip below
+/// means untouched cells keep their stamps). Since commit programs are pure
+/// functions of `(params, old_values)`, every participant replaying this
+/// version panics identically, so no participant can install a torn subset.
+/// The payload is returned for the caller to surface after release.
 fn update_memory<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
@@ -382,11 +526,16 @@ fn update_memory<P: MemPort, O: TxObserver>(
     view: &TxView,
     olds: &[Word],
     obs: &mut O,
-) {
+) -> Option<PanicPayload> {
     let l = *stm.layout();
     let old_values: Vec<u32> = olds.iter().map(|&w| cell_value(w)).collect();
     let mut new_values = old_values.clone();
-    stm.table().run(view.op, &view.params, &old_values, &mut new_values);
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.table().run(view.op, &view.params, &old_values, &mut new_values);
+    }));
+    if let Err(payload) = run {
+        return Some(payload);
+    }
     for j in 0..view.cells.len() {
         port.step(StepPoint::UpdateWrite { j });
         if new_values[j] == old_values[j] {
@@ -399,6 +548,7 @@ fn update_memory<P: MemPort, O: TxObserver>(
             cell_successor(olds[j], new_values[j]),
         );
     }
+    None
 }
 
 /// The paper's `releaseOwnerships`: free exactly the locations held by

@@ -165,6 +165,7 @@ impl TxStats {
 /// The result of a committed transaction: the data set's old values (in
 /// program order) plus retry statistics.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a committed transaction's old values are its return value"]
 pub struct TxOutcome {
     /// Pre-commit value of each cell in the data set, in the order given in
     /// [`TxSpec::cells`]. A static transaction is a k-word
@@ -193,6 +194,107 @@ impl fmt::Display for TxConflict {
 }
 
 impl std::error::Error for TxConflict {}
+
+/// Typed failure of a budgeted execution
+/// ([`Stm::execute_for`] / [`Stm::try_execute_within`] /
+/// [`DynamicStm::run_within`](crate::dynamic::DynamicStm::run_within)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use = "a budgeted transaction's failure must be handled, not dropped"]
+pub enum TxError {
+    /// The transaction did not commit within its [`TxBudget`]. The machine is
+    /// left clean: no ownerships held, no values installed by this call's
+    /// undecided attempts.
+    BudgetExhausted {
+        /// Attempts made before giving up.
+        attempts: u64,
+        /// Distinct cells this call lost an acquisition on.
+        cells_contended: u64,
+    },
+    /// The transaction's commit program panicked. The panic was contained:
+    /// the attempt was decided, **no values were installed** (an identity
+    /// commit), and every acquired ownership was released — the machine
+    /// stays helpable, never poisoned.
+    OpPanicked {
+        /// Attempts made, including the one whose program panicked.
+        attempts: u64,
+    },
+}
+
+impl fmt::Display for TxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxError::BudgetExhausted { attempts, cells_contended } => write!(
+                f,
+                "transaction budget exhausted after {attempts} attempts \
+                 ({cells_contended} distinct cells contended)"
+            ),
+            TxError::OpPanicked { attempts } => write!(
+                f,
+                "transaction program panicked on attempt {attempts} \
+                 (aborted cleanly; all ownerships released)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TxError {}
+
+/// A retry budget for [`Stm::execute_for`] / [`Stm::try_execute_within`].
+///
+/// Any combination of limits may be set; the first one hit ends the call
+/// with [`TxError::BudgetExhausted`]. Limits are checked *between* attempts,
+/// so at least one attempt always runs and a started attempt is never
+/// abandoned mid-protocol (the machine is left clean).
+///
+/// * `max_attempts` — protocol attempts (deterministic on any machine);
+/// * `max_cycles` — local-clock cycles per
+///   [`MemPort::now`](crate::machine::MemPort::now) (meaningful on the
+///   simulator; the host clock reports 0, so this limit is inert there);
+/// * `max_wall` — wall-clock time (meaningful on the host).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TxBudget {
+    /// Maximum attempts (`None` = unlimited).
+    pub max_attempts: Option<u64>,
+    /// Maximum elapsed local-clock cycles (`None` = unlimited).
+    pub max_cycles: Option<u64>,
+    /// Maximum elapsed wall-clock time (`None` = unlimited).
+    pub max_wall: Option<std::time::Duration>,
+}
+
+impl TxBudget {
+    /// No limits: retry forever (the [`Stm::execute`] behaviour).
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+
+    /// Limit to `n` attempts.
+    pub fn attempts(n: u64) -> Self {
+        TxBudget { max_attempts: Some(n), ..Self::default() }
+    }
+
+    /// Limit to `n` elapsed local-clock cycles.
+    pub fn cycles(n: u64) -> Self {
+        TxBudget { max_cycles: Some(n), ..Self::default() }
+    }
+
+    /// Limit to `d` of wall-clock time.
+    pub fn wall(d: std::time::Duration) -> Self {
+        TxBudget { max_wall: Some(d), ..Self::default() }
+    }
+
+    /// Whether any limit has been hit after `attempts` attempts,
+    /// `cycles_elapsed` local cycles, and wall time since `started`.
+    pub(crate) fn is_exhausted(
+        &self,
+        attempts: u64,
+        cycles_elapsed: u64,
+        started: std::time::Instant,
+    ) -> bool {
+        self.max_attempts.is_some_and(|m| attempts >= m)
+            || self.max_cycles.is_some_and(|m| cycles_elapsed >= m)
+            || self.max_wall.is_some_and(|m| started.elapsed() >= m)
+    }
+}
 
 /// A Shavit–Touitou software transactional memory instance.
 ///
@@ -325,6 +427,68 @@ impl Stm {
     ) -> Result<TxOutcome, TxConflict> {
         self.validate_spec(port, spec);
         algo::try_execute(self, port, spec, obs)
+    }
+
+    /// Execute `spec` under a [`TxBudget`] with the default
+    /// [`AdaptiveManager`](crate::contention::AdaptiveManager) contention
+    /// policy (spin → yield → parked back-off, starvation escalation to
+    /// help-first mode).
+    ///
+    /// This is the bounded counterpart of [`Stm::execute`]: instead of
+    /// looping forever under pathological contention it returns
+    /// [`TxError::BudgetExhausted`], and instead of letting a panicking
+    /// commit program unwind through the protocol it returns
+    /// [`TxError::OpPanicked`] after releasing every acquired ownership.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::BudgetExhausted`] when the budget runs out before a commit;
+    /// [`TxError::OpPanicked`] when the commit program panicked.
+    ///
+    /// # Panics
+    ///
+    /// Same spec validation as [`Stm::execute`].
+    pub fn execute_for<P: MemPort>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        budget: TxBudget,
+    ) -> Result<TxOutcome, TxError> {
+        let mut cm = crate::contention::AdaptiveManager::new(port.proc_id());
+        self.try_execute_within(port, spec, budget, &mut cm, &mut crate::observe::NoopObserver)
+    }
+
+    /// [`Stm::execute_for`] with an explicit
+    /// [`ContentionManager`](crate::contention::ContentionManager) and
+    /// [`TxObserver`](crate::observe::TxObserver).
+    ///
+    /// The manager is consulted once per failed attempt; while it reports
+    /// [`help_first`](crate::contention::ContentionManager::help_first) the
+    /// retries run with helping forced on, even if this instance was
+    /// configured with `helping: false` — the starvation escape hatch.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Stm::execute_for`].
+    ///
+    /// # Panics
+    ///
+    /// Same spec validation as [`Stm::execute`].
+    pub fn try_execute_within<P, C, O>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        budget: TxBudget,
+        cm: &mut C,
+        obs: &mut O,
+    ) -> Result<TxOutcome, TxError>
+    where
+        P: MemPort,
+        C: crate::contention::ContentionManager,
+        O: crate::observe::TxObserver,
+    {
+        self.validate_spec(port, spec);
+        algo::execute_within(self, port, spec, budget, cm, obs)
     }
 
     /// Read one cell's current committed value directly (no transaction).
@@ -533,7 +697,7 @@ mod tests {
         let mut port = m.port(0);
         const N: u32 = (1 << 16) + 33;
         for _ in 0..N {
-            stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[1]));
+            let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[1]));
         }
         assert_eq!(stm.read_cell(&mut port, 1), N);
     }
@@ -550,7 +714,7 @@ mod tests {
                 s.spawn(move || {
                     let mut port = m.port(p);
                     for _ in 0..PER {
-                        stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[2]));
+                        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[2]));
                     }
                 });
             }
@@ -586,7 +750,7 @@ mod tests {
                         // add -1 (wrapping) to from, +1 to to
                         let params = [1u32.wrapping_neg() as u64, 1];
                         let cells = [from, to];
-                        stm.execute(&mut port, &TxSpec::new(ops.add, &params, &cells));
+                        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &params, &cells));
                     }
                 });
             }

@@ -62,7 +62,7 @@ fn main() {
                     let to = (from + 1 + (i % (ACCOUNTS - 1))) % ACCOUNTS;
                     let amount = (x % 50) as Word;
                     let cells = [from, to];
-                    ops.execute(&mut port, &TxSpec::new(transfer, &[amount], &cells));
+                    let _ = ops.execute(&mut port, &TxSpec::new(transfer, &[amount], &cells));
                 }
             });
         }

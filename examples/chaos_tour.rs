@@ -1,0 +1,214 @@
+//! Chaos tour: the hardened host runtime under random preemption.
+//!
+//! Four real threads run randomized multi-cell transactions through a
+//! [`ChaosPort`] that injects yields, sleeps, and spins at every instrumented
+//! protocol step point — the OS scheduler plus deliberate preemption at the
+//! protocol's most interruption-sensitive instants. Meanwhile:
+//!
+//! * every worker drives the managed retry loop (`try_execute_within` with an
+//!   [`AdaptiveManager`]) and aggregates [`TxMetrics`];
+//! * a watchdog thread scans commit progress every 50 ms and prints a
+//!   structured report for any interval in which a thread stalled;
+//! * every committed transaction's `(cells, old, stamps, new)` witness is
+//!   collected and, at the end, the full history is checked for
+//!   serializability by [`HistoryChecker`].
+//!
+//! The run *fails* (non-zero exit) if the committed-transaction count is
+//! short, the counters are inexact, or the serializability audit finds a
+//! violation. Set `CHAOS_TOUR_TOTAL` to change the transaction count
+//! (default 10 000).
+//!
+//! ```sh
+//! cargo run --release --example chaos_tour
+//! CHAOS_TOUR_TOTAL=2000 cargo run --release --example chaos_tour
+//! ```
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use stm_core::contention::AdaptiveManager;
+use stm_core::history::{CommitRecord, HistoryChecker};
+use stm_core::machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog};
+use stm_core::machine::host::HostMachine;
+use stm_core::metrics::TxMetrics;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxBudget, TxSpec};
+use stm_core::word::{CellIdx, Word};
+
+const PROCS: usize = 4;
+const CELLS: usize = 16;
+const MAX_LOCS: usize = 8;
+
+/// Local splitmix64 for workload generation (the chaos port has its own).
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn main() {
+    let total: u64 = std::env::var("CHAOS_TOUR_TOTAL")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10_000);
+    let per = total / PROCS as u64;
+    let total = per * PROCS as u64;
+
+    let ops = StmOps::new(0, CELLS, PROCS, MAX_LOCS, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), PROCS);
+    let mut dog = Watchdog::new(PROCS);
+    let handles: Vec<_> = (0..PROCS).map(|p| dog.handle(p)).collect();
+    let done = AtomicBool::new(false);
+
+    let records: Mutex<Vec<CommitRecord>> = Mutex::new(Vec::with_capacity(total as usize));
+    let metrics_all = Mutex::new(TxMetrics::new());
+    let chaos_all = Mutex::new(ChaosStats::default());
+    let stalled_intervals = Mutex::new(0u64);
+
+    println!("chaos tour: {PROCS} threads x {per} transactions over {CELLS} cells");
+    let started = Instant::now();
+
+    std::thread::scope(|s| {
+        // Watchdog monitor: scan every 50 ms until the workers are done.
+        let monitor = s.spawn(|| {
+            let mut stalls = 0u64;
+            while !done.load(Ordering::Acquire) {
+                std::thread::sleep(Duration::from_millis(50));
+                let report = dog.scan();
+                if report.any_stalled() && !done.load(Ordering::Acquire) {
+                    stalls += 1;
+                    println!("watchdog: stalled interval #{stalls}\n{report}");
+                }
+            }
+            *stalled_intervals.lock().unwrap() = stalls;
+            dog.scan()
+        });
+
+        let workers: Vec<_> = (0..PROCS)
+            .map(|p| {
+                let ops = ops.clone();
+                let machine = machine.clone();
+                let handle = handles[p].clone();
+                let records = &records;
+                let metrics_all = &metrics_all;
+                let chaos_all = &chaos_all;
+                s.spawn(move || {
+                    let cfg = ChaosConfig::default().with_seed(0xC4A0_5EED ^ p as u64);
+                    let mut port = ChaosPort::new(machine.port(p), cfg);
+                    let mut cm = AdaptiveManager::new(p);
+                    let mut metrics = TxMetrics::new();
+                    let mut mine = Vec::with_capacity(per as usize);
+                    let mut rng = 0xFEED ^ (p as u64) << 32;
+
+                    for i in 0..per {
+                        // 2..=4 distinct cells, delta 1..=7 each.
+                        rng = splitmix64(rng);
+                        let n = 2 + (rng % 3) as usize;
+                        let mut cells: Vec<CellIdx> = Vec::with_capacity(n);
+                        while cells.len() < n {
+                            rng = splitmix64(rng);
+                            let c = (rng % CELLS as u64) as CellIdx;
+                            if !cells.contains(&c) {
+                                cells.push(c);
+                            }
+                        }
+                        let deltas: Vec<u32> = (0..n)
+                            .map(|_| {
+                                rng = splitmix64(rng);
+                                1 + (rng % 7) as u32
+                            })
+                            .collect();
+                        let params: Vec<Word> = deltas.iter().map(|&d| d as Word).collect();
+                        let spec = TxSpec::new(ops.builtins().add, &params, &cells);
+                        let out = ops
+                            .stm()
+                            .try_execute_within(
+                                &mut port,
+                                &spec,
+                                TxBudget::unlimited(),
+                                &mut cm,
+                                &mut metrics,
+                            )
+                            .expect("unlimited budget cannot exhaust");
+                        handle.commit();
+                        let new_values: Vec<u32> = out
+                            .old
+                            .iter()
+                            .zip(&deltas)
+                            .map(|(&o, &d)| o.wrapping_add(d))
+                            .collect();
+                        mine.push(CommitRecord {
+                            id: p * per as usize + i as usize,
+                            cells,
+                            old_values: out.old,
+                            old_stamps: out.old_stamps,
+                            new_values,
+                        });
+                    }
+                    records.lock().unwrap().extend(mine);
+                    metrics_all.lock().unwrap().merge(&metrics);
+                    chaos_all.lock().unwrap().merge(&port.stats());
+                })
+            })
+            .collect();
+
+        for w in workers {
+            w.join().expect("worker panicked");
+        }
+        done.store(true, Ordering::Release);
+        // The final scan runs after the workers finished, so its deltas are
+        // zero by construction — report totals only.
+        let final_report = monitor.join().expect("monitor panicked");
+        for p in &final_report.procs {
+            println!("p{}: {} commits", p.proc, p.commits);
+        }
+    });
+
+    let elapsed = started.elapsed();
+    let metrics = metrics_all.into_inner().unwrap();
+    let chaos = chaos_all.into_inner().unwrap();
+    let stalls = stalled_intervals.into_inner().unwrap();
+
+    println!(
+        "chaos injected: {} steps, {} yields, {} sleeps, {} spins",
+        chaos.steps, chaos.yields, chaos.sleeps, chaos.spins
+    );
+    println!("stalled watchdog intervals: {stalls}");
+    println!("--- merged metrics ---\n{}", metrics.summary());
+
+    // Exactness: the sum of all cells must equal the sum of all deltas.
+    let records = records.into_inner().unwrap();
+    assert_eq!(records.len() as u64, total, "every transaction committed");
+    assert_eq!(metrics.commits(), total, "metrics agree");
+    assert!(metrics.helping_is_non_redundant(), "one-level helping bound");
+    // Quiescent, so per-cell reads are an exact snapshot (a transactional
+    // snapshot would need CELLS ≤ max_locs).
+    let mut port = machine.port(0);
+    let installed: u64 =
+        (0..CELLS).map(|c| ops.stm().read_cell(&mut port, c) as u64).sum();
+    let intended: u64 = records
+        .iter()
+        .map(|r| {
+            r.new_values
+                .iter()
+                .zip(&r.old_values)
+                .map(|(&n, &o)| (n - o) as u64)
+                .sum::<u64>()
+        })
+        .sum();
+    assert_eq!(installed, intended, "every delta landed exactly once");
+
+    // Serializability audit over the full history.
+    let mut checker = HistoryChecker::new(vec![0; CELLS]);
+    for r in records {
+        checker.add(r);
+    }
+    let order = checker.check().expect("serializability audit");
+    println!(
+        "serializability audit passed: {} commits form a serial order ({:.2?} wall)",
+        order.len(),
+        elapsed
+    );
+}

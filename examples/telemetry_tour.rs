@@ -46,14 +46,14 @@ fn zero_cost_hooks() {
     let spec = |params: &'static [u64]| TxSpec::new(ops.builtins().add, params, &[1, 4]);
 
     // Footprint of a plain (unobserved) transaction...
-    ops.stm().execute(&mut port, &spec(&[1, 1]));
+    let _ = ops.stm().execute(&mut port, &spec(&[1, 1]));
     port.reset();
-    ops.stm().execute(&mut port, &spec(&[1, 1]));
+    let _ = ops.stm().execute(&mut port, &spec(&[1, 1]));
     let plain = port.counts();
 
     // ...equals the footprint with the no-op observer threaded through.
     port.reset();
-    ops.stm().execute_observed(&mut port, &spec(&[1, 1]), &mut NoopObserver);
+    let _ = ops.stm().execute_observed(&mut port, &spec(&[1, 1]), &mut NoopObserver);
     let observed = port.counts();
     println!("plain footprint:    {plain:?}");
     println!("noop-observed:      {observed:?}");
@@ -61,7 +61,7 @@ fn zero_cost_hooks() {
 
     // A RecordingObserver sees the full lifecycle of the same transaction.
     let mut rec = RecordingObserver::default();
-    ops.stm().execute_observed(&mut port, &spec(&[2, 2]), &mut rec);
+    let _ = ops.stm().execute_observed(&mut port, &spec(&[2, 2]), &mut rec);
     println!("lifecycle events:");
     for e in rec.events() {
         println!("  {e:?}");
@@ -84,7 +84,7 @@ fn contention_metrics() -> stm_sim::SimReport {
                 // Everyone hammers cell 0; cell 1..3 spread the rest.
                 let cells = [0, 1 + (p + i) % 3];
                 let spec = TxSpec::new(ops.builtins().add, &[1, 1], &cells);
-                ops.stm().execute_observed(&mut port, &spec, &mut metrics);
+                let _ = ops.stm().execute_observed(&mut port, &spec, &mut metrics);
             }
             collected.lock().unwrap().push(metrics);
         }

@@ -106,6 +106,13 @@ fn check_stream(events: &[TxEvent], stats: &TxStats) -> Result<(), String> {
                     return Err(format!("{e:?} outside attempt"));
                 }
             }
+            TxEvent::BackoffWait { .. }
+            | TxEvent::StarvationEscalated { .. }
+            | TxEvent::OpPanicked { .. } => {
+                // Managed-retry-loop events; the classic execute_observed
+                // path under test never emits them.
+                return Err(format!("managed-path event on classic path: {e:?}"));
+            }
         }
     }
     if in_attempt || help_depth != 0 {
