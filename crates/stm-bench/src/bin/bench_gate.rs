@@ -1,0 +1,168 @@
+//! CI regression gate for the read-only fast path.
+//!
+//! ```text
+//! cargo run -p stm-bench --release --bin bench_gate -- [OPTIONS]
+//!
+//! OPTIONS
+//!   --baseline PATH   committed report to gate against
+//!                     (default results/BENCH_stm.json)
+//!   --tolerance PCT   allowed throughput regression in percent (default 15)
+//! ```
+//!
+//! Replays every `read_heavy` row of the committed `BENCH_stm.json`
+//! baseline — same workload, architecture, fast-path mode, processor
+//! count, operation count, and seed, so on an unchanged protocol the
+//! simulated cycle counts reproduce bit-exactly — and fails (exit 1) if
+//! any row's fresh throughput falls more than the tolerance below the
+//! committed number. Also enforces the structural invariant that the
+//! fast-read mode beats classic on every (bench, arch, procs)
+//! configuration: the fast path must stay a win, not just avoid decay.
+//!
+//! Host (`host` section) rows are wall-clock and are deliberately ignored.
+
+use std::path::PathBuf;
+
+use stm_bench::read_heavy::{run_read_point, ReadBench, ReadMode, ReadPoint};
+use stm_bench::workloads::ArchKind;
+
+struct Options {
+    baseline: PathBuf,
+    tolerance: f64,
+}
+
+fn parse_args() -> Options {
+    let mut opts =
+        Options { baseline: PathBuf::from("results/BENCH_stm.json"), tolerance: 15.0 };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => opts.baseline = PathBuf::from(val("--baseline")),
+            "--tolerance" => {
+                opts.tolerance = val("--tolerance").parse().expect("--tolerance PCT")
+            }
+            "--help" | "-h" => {
+                eprintln!("usage: bench_gate [--baseline PATH] [--tolerance PCT]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// A baseline row's replay parameters plus its committed throughput.
+struct BaselineRow {
+    bench: ReadBench,
+    arch: ArchKind,
+    mode: ReadMode,
+    procs: usize,
+    total_ops: u64,
+    seed: u64,
+    throughput: f64,
+}
+
+fn parse_baseline(doc: &serde_json::Value) -> Vec<BaselineRow> {
+    let rows = doc["read_heavy"]
+        .as_array()
+        .unwrap_or_else(|| die("baseline has no read_heavy section (schema too old?)"));
+    rows.iter()
+        .map(|r| BaselineRow {
+            bench: ReadBench::from_label(r["bench"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown bench label in baseline")),
+            arch: ArchKind::from_label(r["arch"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown arch label in baseline")),
+            mode: ReadMode::from_label(r["config"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown config label in baseline")),
+            procs: r["procs"].as_u64().unwrap_or_else(|| die("missing procs")) as usize,
+            total_ops: r["total_ops"].as_u64().unwrap_or_else(|| die("missing total_ops")),
+            seed: r["seed"].as_u64().unwrap_or_else(|| die("missing seed")),
+            throughput: r["throughput"].as_f64().unwrap_or_else(|| die("missing throughput")),
+        })
+        .collect()
+}
+
+fn die<T>(msg: &str) -> T {
+    eprintln!("[bench-gate] error: {msg}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let opts = parse_args();
+    let text = std::fs::read_to_string(&opts.baseline).unwrap_or_else(|e| {
+        die(&format!("cannot read {}: {e}", opts.baseline.display()))
+    });
+    let doc: serde_json::Value =
+        serde_json::from_str(&text).unwrap_or_else(|e| die(&format!("bad baseline JSON: {e}")));
+    let baseline = parse_baseline(&doc);
+    if baseline.is_empty() {
+        die::<()>("baseline read_heavy section is empty; regenerate with `figures read-heavy`");
+    }
+    eprintln!(
+        "[bench-gate] replaying {} read-heavy rows from {} (tolerance {}%)",
+        baseline.len(),
+        opts.baseline.display(),
+        opts.tolerance
+    );
+
+    let floor = 1.0 - opts.tolerance / 100.0;
+    let mut fresh: Vec<ReadPoint> = Vec::with_capacity(baseline.len());
+    let mut failures = 0usize;
+    for row in &baseline {
+        let p = run_read_point(row.bench, row.arch, row.mode, row.procs, row.total_ops, row.seed);
+        let ratio = if row.throughput > 0.0 { p.throughput / row.throughput } else { 1.0 };
+        let ok = ratio >= floor;
+        println!(
+            "{} {:>14} {:>5} {:>10} P={:<3} baseline {:>10.1} fresh {:>10.1} ({:+.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+            row.bench.label(),
+            row.arch.label(),
+            row.mode.label(),
+            row.procs,
+            row.throughput,
+            p.throughput,
+            (ratio - 1.0) * 100.0
+        );
+        if !ok {
+            failures += 1;
+        }
+        fresh.push(p);
+    }
+
+    // Structural invariant: fast-read must beat classic in the fresh run on
+    // every configuration both modes cover.
+    for f in fresh.iter().filter(|p| p.mode == ReadMode::Fast) {
+        if let Some(c) = fresh.iter().find(|p| {
+            p.mode == ReadMode::Classic
+                && p.bench == f.bench
+                && p.arch == f.arch
+                && p.procs == f.procs
+        }) {
+            if f.throughput <= c.throughput {
+                println!(
+                    "FAIL {:>14} {:>5} P={:<3} fast-read {:.1} does not beat classic {:.1}",
+                    f.bench.label(),
+                    f.arch.label(),
+                    f.procs,
+                    f.throughput,
+                    c.throughput
+                );
+                failures += 1;
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("[bench-gate] {failures} regression(s) beyond {}% tolerance", opts.tolerance);
+        std::process::exit(1);
+    }
+    eprintln!("[bench-gate] all rows within tolerance; fast path still a win");
+}

@@ -6,7 +6,8 @@
 //! EXPERIMENTS (any subset; default: all)
 //!   counting-bus counting-mesh queue-bus queue-mesh
 //!   resource-bus resource-mesh prio-bus prio-mesh
-//!   summary ablate-helping ablate-backoff
+//!   summary ablate-helping ablate-backoff ablate-arch
+//!   read-heavy read-heavy-host
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -22,6 +23,9 @@
 
 use std::path::PathBuf;
 
+use stm_bench::read_heavy::{
+    run_host_point, run_read_point, HostPoint, ReadBench, ReadMode, ReadPoint, HOST_CONFIGS,
+};
 use stm_bench::report::write_bench_json;
 use stm_bench::runner::{summarize, Sweep, PAPER_PROCS, QUICK_PROCS};
 use stm_bench::table::{render_table, write_csv};
@@ -38,7 +42,7 @@ struct Options {
     out: PathBuf,
 }
 
-const ALL_EXPERIMENTS: [&str; 12] = [
+const ALL_EXPERIMENTS: [&str; 14] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -51,6 +55,8 @@ const ALL_EXPERIMENTS: [&str; 12] = [
     "ablate-helping",
     "ablate-backoff",
     "ablate-arch",
+    "read-heavy",
+    "read-heavy-host",
 ];
 
 fn parse_args() -> Options {
@@ -106,6 +112,8 @@ fn expect_val(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
 fn main() {
     let opts = parse_args();
     let mut all_points: Vec<DataPoint> = Vec::new();
+    let mut read_points: Vec<ReadPoint> = Vec::new();
+    let mut host_points: Vec<HostPoint> = Vec::new();
 
     let mut figure_points: Vec<DataPoint> = Vec::new();
 
@@ -115,6 +123,8 @@ fn main() {
             "ablate-helping" => all_points.extend(run_ablate_helping(&opts)),
             "ablate-backoff" => run_ablate_backoff(&opts),
             "ablate-arch" => all_points.extend(run_ablate_arch(&opts)),
+            "read-heavy" => read_points.extend(run_read_heavy(&opts)),
+            "read-heavy-host" => host_points.extend(run_read_heavy_host(&opts)),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
@@ -128,10 +138,17 @@ fn main() {
         run_summary(&figure_points);
     }
 
-    if !all_points.is_empty() {
+    if !all_points.is_empty() || !read_points.is_empty() || !host_points.is_empty() {
         let path = opts.out.join("BENCH_stm.json");
-        write_bench_json(&path, &all_points).expect("write BENCH_stm.json");
-        eprintln!("[figures] wrote {} ({} points)", path.display(), all_points.len());
+        write_bench_json(&path, &all_points, &read_points, &host_points)
+            .expect("write BENCH_stm.json");
+        eprintln!(
+            "[figures] wrote {} ({} points, {} read-heavy, {} host)",
+            path.display(),
+            all_points.len(),
+            read_points.len(),
+            host_points.len()
+        );
     }
 }
 
@@ -267,6 +284,82 @@ fn run_ablate_arch(opts: &Options) -> Vec<DataPoint> {
         all.extend(points);
     }
     all
+}
+
+/// R1: the read-heavy fast-path sweep — snapshot-dominated and 90/10
+/// read/write workloads, classic (fast path off) vs fast-read, on the bus
+/// and mesh machines. Deterministic; the rows CI gates against the
+/// committed `BENCH_stm.json` baseline.
+fn run_read_heavy(opts: &Options) -> Vec<ReadPoint> {
+    let mut all = Vec::new();
+    let mut csv = String::from(
+        "bench,arch,config,procs,total_ops,seed,cycles,throughput,commits,conflicts,helps\n",
+    );
+    println!("# R1 — read-heavy fast-path sweep ({} ops/point, seed {:#x})", opts.ops, opts.seed);
+    println!("# throughput: operations per million simulated cycles");
+    for bench in ReadBench::ALL {
+        for arch in [ArchKind::Bus, ArchKind::Mesh] {
+            print!("{:>14} {:>5} {:>6}", bench.label(), arch.label(), "procs:");
+            println!();
+            for mode in ReadMode::ALL {
+                print!("{:>27}", mode.label());
+                for &procs in &opts.procs {
+                    let p = run_read_point(bench, arch, mode, procs, opts.ops, opts.seed);
+                    print!(" {:>10.1}", p.throughput);
+                    csv.push_str(&format!(
+                        "{},{},{},{},{},{},{},{:.3},{},{},{}\n",
+                        p.bench, p.arch, p.mode, p.procs, p.total_ops, p.seed, p.cycles,
+                        p.throughput, p.commits, p.conflicts, p.helps
+                    ));
+                    all.push(p);
+                }
+                println!();
+            }
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("read-heavy.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("read-heavy.csv").display());
+    all
+}
+
+/// R2: the host-machine ladder — the snapshot-dominated workload on real
+/// threads, from the pre-fast-path protocol (`classic-dense`) through the
+/// fast path (`fast-dense`) to the cache-aligned layout (`fast-padded`).
+/// Wall-clock, so informational only: recorded in `BENCH_stm.json` but
+/// never CI-gated.
+fn run_read_heavy_host(opts: &Options) -> Vec<HostPoint> {
+    let host_procs: Vec<usize> =
+        opts.procs.iter().copied().filter(|&p| p <= num_cpus_cap()).collect();
+    // Host ops need to be large enough to outlast thread startup.
+    let ops = (opts.ops * 64).max(50_000);
+    let mut all = Vec::new();
+    let mut csv = String::from("workload,config,procs,total_ops,nanos,ops_per_sec\n");
+    println!("# R2 — host snapshot ladder ({ops} ops/point, wall-clock, informational)");
+    println!("{:>6} {:>15} {:>14} {:>14}", "procs", "config", "nanos", "ops/sec");
+    for &procs in &host_procs {
+        for (label, fast, padded) in HOST_CONFIGS {
+            let p = run_host_point(label, fast, padded, procs, ops);
+            println!("{:>6} {:>15} {:>14} {:>14.0}", p.procs, p.config, p.nanos, p.ops_per_sec);
+            csv.push_str(&format!(
+                "snapshot,{},{},{},{},{:.1}\n",
+                p.config, p.procs, p.total_ops, p.nanos, p.ops_per_sec
+            ));
+            all.push(p);
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("read-heavy-host.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("read-heavy-host.csv").display());
+    all
+}
+
+/// Cap host-ladder thread counts at the machine's parallelism (sweeping 64
+/// simulated processors is fine; 64 real threads on a 4-core runner is not).
+fn num_cpus_cap() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get())
 }
 
 /// A2: Herlihy's method with different back-off policies (its performance is

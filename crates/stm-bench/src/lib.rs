@@ -8,10 +8,15 @@
 //! * [`workloads`] — one driver per benchmark (counting, queue, resource
 //!   allocation, priority queue), returning a [`workloads::DataPoint`] per
 //!   (architecture, method, processor-count) configuration.
+//! * [`read_heavy`] — snapshot-dominated and 90/10 read/write workloads
+//!   measuring the invisible-read fast path (classic vs fast-read modes on
+//!   the simulator, plus a wall-clock host ladder for the cache-aligned
+//!   layout).
 //! * [`runner`] — parameter sweeps and the summary/crossover analysis.
 //! * [`table`] — aligned table printing and CSV output.
 //! * [`report`] — the machine-readable `BENCH_stm.json` report (throughput
-//!   plus per-point conflict/help/retry rates).
+//!   plus per-point conflict/help/retry rates). The read-heavy section is
+//!   the CI regression baseline checked by the `bench_gate` binary.
 //!
 //! The `figures` binary (`cargo run -p stm-bench --release --bin figures`)
 //! regenerates every experiment; see `DESIGN.md` §6 for the experiment
@@ -20,6 +25,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod read_heavy;
 pub mod report;
 pub mod runner;
 pub mod table;

@@ -1,0 +1,387 @@
+//! Read-heavy workloads gauging the invisible-read fast path.
+//!
+//! The paper's benchmarks are write-dominated (every operation commits a
+//! mutating transaction), so they cannot show what the validated
+//! double-collect read ([`stm_core::stm::Stm::try_read_only`]) buys. The two
+//! workloads here fill that gap:
+//!
+//! * **snapshot** — snapshot-dominated: each processor mostly takes an
+//!   atomic 8-cell snapshot, with one lockstep 8-cell increment every
+//!   [`WRITE_EVERY`] operations. Every snapshot asserts all cells equal —
+//!   a torn (inconsistent-cut) read fails the run immediately, so every
+//!   data point doubles as a serializability witness.
+//! * **readmix** — a 90/10 read/write mix over single cells, the classic
+//!   read-mostly key-value shape.
+//!
+//! Each workload runs in both modes of [`ReadMode`]: `classic` disables the
+//! fast path (`fast_read_rounds = 0`, every read pays the full acquiring
+//! protocol) and `fast` is the default configuration. Both use the dense
+//! `pad_shift = 0` layout, which the simulator's cost models are calibrated
+//! against, so the cycle deltas isolate the fast path's effect on shared
+//! memory traffic. The simulator is deterministic: the same
+//! `(bench, arch, mode, procs, ops, seed)` tuple always yields the same
+//! cycle count, which is what lets CI gate on the committed
+//! `BENCH_stm.json` baseline (see the `bench_gate` binary).
+//!
+//! [`run_host_point`] complements the simulated points with wall-clock
+//! measurements on the real host machine, where the cache-aligned
+//! [`StmConfig::host_tuned`] layout (`pad_shift = 3`) matters; those rows
+//! are informational (wall-clock is not reproducible across machines) and
+//! are **not** gated by CI.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use stm_core::machine::host::HostMachine;
+use stm_core::ops::StmOps;
+use stm_core::stm::StmConfig;
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+use crate::workloads::{ArchKind, DynModel};
+
+/// Cells in the read-heavy working set (and snapshot width).
+pub const READ_CELLS: usize = 8;
+
+/// In the snapshot workload, one write per this many operations.
+pub const WRITE_EVERY: u64 = 16;
+
+/// Which read-heavy workload to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadBench {
+    /// Snapshot-dominated: 8-cell snapshots with a lockstep write every
+    /// [`WRITE_EVERY`] ops.
+    Snapshot,
+    /// 90/10 single-cell read/write mix.
+    ReadMix,
+}
+
+impl ReadBench {
+    /// Both read-heavy workloads.
+    pub const ALL: [ReadBench; 2] = [ReadBench::Snapshot, ReadBench::ReadMix];
+
+    /// Short name used in tables, CSV, and `BENCH_stm.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadBench::Snapshot => "snapshot",
+            ReadBench::ReadMix => "readmix-90-10",
+        }
+    }
+
+    /// Inverse of [`ReadBench::label`] (used by the CI gate to replay
+    /// baseline rows).
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|b| b.label() == s)
+    }
+}
+
+impl std::fmt::Display for ReadBench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Fast-path mode under measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReadMode {
+    /// Fast path disabled (`fast_read_rounds = 0`): the pre-fast-path
+    /// protocol, every read commits through the acquiring path.
+    Classic,
+    /// The default configuration: validated double-collect reads with
+    /// bounded fallback.
+    Fast,
+}
+
+impl ReadMode {
+    /// Both modes.
+    pub const ALL: [ReadMode; 2] = [ReadMode::Classic, ReadMode::Fast];
+
+    /// The STM configuration this mode measures (dense layout in both, so
+    /// the simulated cost models stay address-faithful).
+    pub fn config(self) -> StmConfig {
+        match self {
+            ReadMode::Classic => StmConfig { fast_read_rounds: 0, ..StmConfig::default() },
+            ReadMode::Fast => StmConfig::default(),
+        }
+    }
+
+    /// Short name used in tables, CSV, and `BENCH_stm.json`.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadMode::Classic => "classic",
+            ReadMode::Fast => "fast-read",
+        }
+    }
+
+    /// Inverse of [`ReadMode::label`].
+    pub fn from_label(s: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|m| m.label() == s)
+    }
+}
+
+impl std::fmt::Display for ReadMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One measured read-heavy configuration (simulated machine).
+#[derive(Debug, Clone)]
+pub struct ReadPoint {
+    /// Workload.
+    pub bench: ReadBench,
+    /// Machine.
+    pub arch: ArchKind,
+    /// Fast-path mode.
+    pub mode: ReadMode,
+    /// Simulated processors.
+    pub procs: usize,
+    /// Completed operations across all processors.
+    pub total_ops: u64,
+    /// Schedule seed (recorded so the CI gate can replay the row exactly).
+    pub seed: u64,
+    /// Virtual cycles for the whole run.
+    pub cycles: u64,
+    /// Operations per million simulated cycles.
+    pub throughput: f64,
+    /// Transactions committed through the acquiring protocol. Fast-path
+    /// reads never enter it, so under `fast-read` this collapses towards
+    /// the write count — itself evidence the fast path carried the reads.
+    pub commits: u64,
+    /// Attempts failed on an ownership conflict.
+    pub conflicts: u64,
+    /// Helping spans entered.
+    pub helps: u64,
+}
+
+/// Run one read-heavy configuration on the simulated machine.
+///
+/// # Panics
+///
+/// Panics if any snapshot is torn (cells out of lockstep), if updates are
+/// lost, or if the run leaks an ownership — a benchmark that produces wrong
+/// answers must never emit a data point.
+pub fn run_read_point(
+    bench: ReadBench,
+    arch: ArchKind,
+    mode: ReadMode,
+    procs: usize,
+    total_ops: u64,
+    seed: u64,
+) -> ReadPoint {
+    let per_proc = (total_ops / procs as u64).max(1);
+    let actual_total = per_proc * procs as u64;
+    let sim = StmSim::new(procs, READ_CELLS, READ_CELLS, mode.config()).seed(seed).jitter(2);
+    let adds = Arc::new(AtomicU64::new(0));
+    let report = match bench {
+        ReadBench::Snapshot => sim.run(DynModel(arch.model(procs)), |_p, ops| {
+            let adds = Arc::clone(&adds);
+            move |mut port: SimPort| {
+                let cells: Vec<usize> = (0..READ_CELLS).collect();
+                for i in 0..per_proc {
+                    if i % WRITE_EVERY == 0 {
+                        ops.fetch_add_many(&mut port, &cells, &[1; READ_CELLS]);
+                        adds.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let snap = ops.snapshot(&mut port, &cells);
+                        assert!(
+                            snap.windows(2).all(|w| w[0] == w[1]),
+                            "torn snapshot (inconsistent cut): {snap:?}"
+                        );
+                    }
+                }
+            }
+        }),
+        ReadBench::ReadMix => sim.run(DynModel(arch.model(procs)), |p, ops| {
+            let adds = Arc::clone(&adds);
+            move |mut port: SimPort| {
+                use rand::{Rng, SeedableRng};
+                let mut rng = rand::rngs::SmallRng::seed_from_u64(
+                    seed ^ (p as u64).wrapping_mul(0x9E37_79B9),
+                );
+                for _ in 0..per_proc {
+                    let c = rng.gen_range(0..READ_CELLS);
+                    if rng.gen_range(0..10u32) == 0 {
+                        ops.fetch_add(&mut port, c, 1);
+                        adds.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let _ = ops.snapshot(&mut port, &[c]);
+                    }
+                }
+            }
+        }),
+    };
+    // Correctness gates: conservation and protocol quiescence.
+    let writes = adds.load(Ordering::Relaxed);
+    let cells = sim.all_cells(&report);
+    match bench {
+        ReadBench::Snapshot => {
+            assert!(
+                cells.iter().all(|&v| v as u64 == writes),
+                "lockstep cells must all equal the write count {writes}: {cells:?}"
+            );
+        }
+        ReadBench::ReadMix => {
+            let sum: u64 = cells.iter().map(|&v| v as u64).sum();
+            assert_eq!(sum, writes, "lost updates in read/write mix");
+        }
+    }
+    assert!(sim.leaked_ownerships(&report).is_empty(), "run must end protocol-quiescent");
+    let cycles = report.cycles;
+    ReadPoint {
+        bench,
+        arch,
+        mode,
+        procs,
+        total_ops: actual_total,
+        seed,
+        cycles,
+        throughput: if cycles == 0 {
+            0.0
+        } else {
+            actual_total as f64 * 1_000_000.0 / cycles as f64
+        },
+        commits: report.stats.commits(),
+        conflicts: report.stats.aborts(),
+        helps: report.stats.helps(),
+    }
+}
+
+/// One wall-clock measurement on the real host machine (informational; not
+/// CI-gated).
+#[derive(Debug, Clone)]
+pub struct HostPoint {
+    /// Configuration label (`classic-dense`, `fast-dense`, `fast-padded`).
+    pub config: &'static str,
+    /// Real threads.
+    pub procs: usize,
+    /// Completed operations across all threads.
+    pub total_ops: u64,
+    /// Wall-clock nanoseconds for the whole run.
+    pub nanos: u64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+}
+
+/// The host configuration ladder: the trajectory from the pre-fast-path
+/// protocol to the cache-aligned fast path.
+pub const HOST_CONFIGS: [(&str, bool, bool); 3] = [
+    // (label, fast path on, padded layout)
+    ("classic-dense", false, false),
+    ("fast-dense", true, false),
+    ("fast-padded", true, true),
+];
+
+/// Run the snapshot-dominated workload on the real host machine with real
+/// threads, measuring wall-clock time.
+///
+/// `fast` toggles the read-only fast path; `padded` selects the
+/// cache-aligned [`StmConfig::host_tuned`] layout over the dense one.
+///
+/// # Panics
+///
+/// Panics on a torn snapshot or lost update, as in [`run_read_point`].
+pub fn run_host_point(
+    config_label: &'static str,
+    fast: bool,
+    padded: bool,
+    procs: usize,
+    total_ops: u64,
+) -> HostPoint {
+    let mut config = if padded { StmConfig::host_tuned() } else { StmConfig::default() };
+    if !fast {
+        config.fast_read_rounds = 0;
+    }
+    let ops = StmOps::new(0, READ_CELLS, procs, READ_CELLS, config);
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
+    let per_proc = (total_ops / procs as u64).max(1);
+    let actual_total = per_proc * procs as u64;
+    let adds = Arc::new(AtomicU64::new(0));
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..procs {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            let adds = Arc::clone(&adds);
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let cells: Vec<usize> = (0..READ_CELLS).collect();
+                for i in 0..per_proc {
+                    if i % WRITE_EVERY == 0 {
+                        ops.fetch_add_many(&mut port, &cells, &[1; READ_CELLS]);
+                        adds.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        let snap = ops.snapshot(&mut port, &cells);
+                        assert!(
+                            snap.windows(2).all(|w| w[0] == w[1]),
+                            "torn snapshot on host: {snap:?}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+    let nanos = start.elapsed().as_nanos() as u64;
+    let writes = adds.load(Ordering::Relaxed);
+    let mut port = machine.port(0);
+    let cells: Vec<usize> = (0..READ_CELLS).collect();
+    let finals = ops.snapshot(&mut port, &cells);
+    assert!(
+        finals.iter().all(|&v| v as u64 == writes),
+        "lockstep cells must all equal the write count {writes}: {finals:?}"
+    );
+    HostPoint {
+        config: config_label,
+        procs,
+        total_ops: actual_total,
+        nanos,
+        ops_per_sec: if nanos == 0 {
+            0.0
+        } else {
+            actual_total as f64 * 1e9 / nanos as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_mode_beats_classic_on_snapshot_workload() {
+        // The headline delta: invisible reads cut shared-memory traffic, so
+        // the same workload takes fewer simulated cycles.
+        for arch in [ArchKind::Bus, ArchKind::Mesh] {
+            let classic =
+                run_read_point(ReadBench::Snapshot, arch, ReadMode::Classic, 4, 256, 7);
+            let fast = run_read_point(ReadBench::Snapshot, arch, ReadMode::Fast, 4, 256, 7);
+            assert!(
+                fast.throughput > classic.throughput,
+                "{arch}: fast {:.1} must beat classic {:.1}",
+                fast.throughput,
+                classic.throughput
+            );
+            // Fast-path reads bypass the acquiring protocol entirely, so
+            // protocol commits collapse towards the write count.
+            assert!(fast.commits < classic.commits, "{arch}: reads must leave the protocol");
+        }
+    }
+
+    #[test]
+    fn read_mix_conserves_and_is_deterministic() {
+        let a = run_read_point(ReadBench::ReadMix, ArchKind::Bus, ReadMode::Fast, 3, 120, 11);
+        let b = run_read_point(ReadBench::ReadMix, ArchKind::Bus, ReadMode::Fast, 3, 120, 11);
+        assert_eq!(a.cycles, b.cycles, "simulated runs must be reproducible");
+        assert_eq!(a.total_ops, 120);
+        assert!(a.throughput > 0.0);
+    }
+
+    #[test]
+    fn host_ladder_runs_and_checks() {
+        for (label, fast, padded) in HOST_CONFIGS {
+            let p = run_host_point(label, fast, padded, 2, 2_000);
+            assert_eq!(p.total_ops, 2_000);
+            assert!(p.ops_per_sec > 0.0, "{label}");
+        }
+    }
+}

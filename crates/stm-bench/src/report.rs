@@ -4,22 +4,40 @@
 //! plus the protocol-level conflict/help/retry rates — into one JSON
 //! document, so downstream tooling (CI artifacts, plotting scripts,
 //! regression diffs) can consume the sweep without re-parsing CSV tables.
+//!
+//! Since `stm-bench/v2` the document carries three sections:
+//!
+//! * `points` — the paper-figure sweeps ([`DataPoint`]).
+//! * `read_heavy` — the simulated read-heavy fast-path points
+//!   ([`ReadPoint`]); deterministic, and the rows the `bench_gate` binary
+//!   replays against the committed baseline on every PR.
+//! * `host` — wall-clock host-machine measurements ([`HostPoint`]);
+//!   informational only, never gated (wall-clock does not reproduce across
+//!   machines).
 
 use std::io;
 use std::path::Path;
 
+use crate::read_heavy::{HostPoint, ReadPoint};
 use crate::workloads::DataPoint;
 
 /// Schema identifier written into the report, bumped on layout changes.
-pub const BENCH_SCHEMA: &str = "stm-bench/v1";
+pub const BENCH_SCHEMA: &str = "stm-bench/v2";
 
 /// Build the JSON document for a set of data points.
 ///
-/// Layout: `{"schema": ..., "points": [{bench, arch, method, procs,
+/// Layout: `{"schema": ..., "points": [...], "read_heavy": [...],
+/// "host": [...]}`. `points` rows carry `{bench, arch, method, procs,
 /// total_ops, cycles, throughput, commits, conflicts, helps,
-/// conflict_rate, help_rate, retry_rate}, ...]}`. The protocol fields are
-/// zero for lock baselines, which never enter the STM protocol.
-pub fn bench_json(points: &[DataPoint]) -> serde_json::Value {
+/// conflict_rate, help_rate, retry_rate}` (protocol fields zero for lock
+/// baselines); `read_heavy` rows swap `method` for the fast-path `config`
+/// and record the `seed` so the row can be replayed bit-exactly; `host`
+/// rows are `{workload, config, procs, total_ops, nanos, ops_per_sec}`.
+pub fn bench_json(
+    points: &[DataPoint],
+    read_heavy: &[ReadPoint],
+    host: &[HostPoint],
+) -> serde_json::Value {
     let rows = points
         .iter()
         .map(|p| {
@@ -40,28 +58,68 @@ pub fn bench_json(points: &[DataPoint]) -> serde_json::Value {
             ])
         })
         .collect();
+    let read_rows = read_heavy
+        .iter()
+        .map(|p| {
+            serde_json::Value::Object(vec![
+                ("bench".into(), p.bench.to_string().into()),
+                ("arch".into(), p.arch.to_string().into()),
+                ("config".into(), p.mode.to_string().into()),
+                ("procs".into(), (p.procs as u64).into()),
+                ("total_ops".into(), p.total_ops.into()),
+                ("seed".into(), p.seed.into()),
+                ("cycles".into(), p.cycles.into()),
+                ("throughput".into(), p.throughput.into()),
+                ("commits".into(), p.commits.into()),
+                ("conflicts".into(), p.conflicts.into()),
+                ("helps".into(), p.helps.into()),
+            ])
+        })
+        .collect();
+    let host_rows = host
+        .iter()
+        .map(|p| {
+            serde_json::Value::Object(vec![
+                ("workload".into(), "snapshot".into()),
+                ("config".into(), p.config.into()),
+                ("procs".into(), (p.procs as u64).into()),
+                ("total_ops".into(), p.total_ops.into()),
+                ("nanos".into(), p.nanos.into()),
+                ("ops_per_sec".into(), p.ops_per_sec.into()),
+            ])
+        })
+        .collect();
     serde_json::Value::Object(vec![
         ("schema".into(), BENCH_SCHEMA.into()),
         ("points".into(), serde_json::Value::Array(rows)),
+        ("read_heavy".into(), serde_json::Value::Array(read_rows)),
+        ("host".into(), serde_json::Value::Array(host_rows)),
     ])
 }
 
-/// Write [`bench_json`] for `points` to `path`, creating parent directories.
+/// Write [`bench_json`] to `path`, creating parent directories.
 ///
 /// # Errors
 ///
 /// Returns any I/O error from creating directories or writing the file.
-pub fn write_bench_json(path: &Path, points: &[DataPoint]) -> io::Result<()> {
+pub fn write_bench_json(
+    path: &Path,
+    points: &[DataPoint],
+    read_heavy: &[ReadPoint],
+    host: &[HostPoint],
+) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let doc = serde_json::to_string_pretty(&bench_json(points)).expect("bench values are finite");
+    let doc = serde_json::to_string_pretty(&bench_json(points, read_heavy, host))
+        .expect("bench values are finite");
     std::fs::write(path, doc)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::read_heavy::{run_host_point, run_read_point, ReadBench, ReadMode};
     use crate::workloads::{run_point, ArchKind, Bench};
     use stm_structures::Method;
 
@@ -71,7 +129,7 @@ mod tests {
             run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 2, 64, 1),
             run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 2, 64, 1),
         ];
-        let doc = serde_json::to_string_pretty(&bench_json(&points)).unwrap();
+        let doc = serde_json::to_string_pretty(&bench_json(&points, &[], &[])).unwrap();
         let v = serde_json::from_str(&doc).expect("report must be valid JSON");
         assert_eq!(v["schema"].as_str(), Some(BENCH_SCHEMA));
         let rows = v["points"].as_array().unwrap();
@@ -86,6 +144,27 @@ mod tests {
         assert_eq!(lock["method"].as_str(), Some("MCS-lock"));
         assert_eq!(lock["commits"].as_u64(), Some(0));
         assert_eq!(lock["retry_rate"].as_f64(), Some(0.0));
+        assert!(v["read_heavy"].as_array().unwrap().is_empty());
+        assert!(v["host"].as_array().unwrap().is_empty());
+    }
+
+    #[test]
+    fn read_heavy_rows_carry_replay_parameters() {
+        let rp = run_read_point(ReadBench::Snapshot, ArchKind::Bus, ReadMode::Fast, 2, 64, 5);
+        let hp = run_host_point("fast-dense", true, false, 1, 256);
+        let v = bench_json(&[], &[rp.clone()], &[hp]);
+        let row = &v["read_heavy"].as_array().unwrap()[0];
+        // The gate replays rows from these fields alone; losing one breaks it.
+        assert_eq!(row["bench"].as_str(), Some("snapshot"));
+        assert_eq!(row["arch"].as_str(), Some("bus"));
+        assert_eq!(row["config"].as_str(), Some("fast-read"));
+        assert_eq!(row["procs"].as_u64(), Some(2));
+        assert_eq!(row["total_ops"].as_u64(), Some(64));
+        assert_eq!(row["seed"].as_u64(), Some(5));
+        assert_eq!(row["cycles"].as_u64(), Some(rp.cycles));
+        let host = &v["host"].as_array().unwrap()[0];
+        assert_eq!(host["config"].as_str(), Some("fast-dense"));
+        assert!(host["ops_per_sec"].as_f64().unwrap() > 0.0);
     }
 
     #[test]
@@ -93,7 +172,7 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("stm_bench_report_{}", std::process::id()));
         let path = dir.join("nested/BENCH_stm.json");
         let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
-        write_bench_json(&path, &points).unwrap();
+        write_bench_json(&path, &points, &[], &[]).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = serde_json::from_str(&doc).unwrap();
         assert_eq!(v["points"].as_array().unwrap().len(), 1);

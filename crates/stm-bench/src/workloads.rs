@@ -81,6 +81,14 @@ impl ArchKind {
             ArchKind::Uniform => "uniform",
         }
     }
+
+    /// Inverse of [`ArchKind::label`] (used by the CI gate to replay
+    /// baseline rows).
+    pub fn from_label(s: &str) -> Option<Self> {
+        [ArchKind::Bus, ArchKind::Mesh, ArchKind::MeshCached, ArchKind::Uniform]
+            .into_iter()
+            .find(|a| a.label() == s)
+    }
 }
 
 impl std::fmt::Display for ArchKind {
@@ -150,7 +158,7 @@ impl DataPoint {
 
 /// Boxed cost model wrapper so `Simulation::new` (which takes a sized model)
 /// can accept `ArchKind::model`'s trait object.
-struct DynModel(Box<dyn CostModel>);
+pub(crate) struct DynModel(pub(crate) Box<dyn CostModel>);
 
 impl CostModel for DynModel {
     fn access(&mut self, t: u64, proc: usize, kind: stm_sim::arch::OpKind, addr: usize) -> u64 {

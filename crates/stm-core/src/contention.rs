@@ -103,6 +103,34 @@ pub trait ContentionManager {
     fn help_first(&self) -> bool {
         false
     }
+
+    /// Whether [`ConflictInfo::owner`] should be populated. Re-inspecting the
+    /// obstructing owner costs one shared-memory read per conflict; a manager
+    /// that ignores the owner (like [`ImmediateRetry`]) declines it, keeping
+    /// the default [`Stm::run`](crate::stm::Stm::run) retry loop's memory
+    /// traffic identical to the paper's classic loop.
+    fn wants_conflict_owner(&self) -> bool {
+        true
+    }
+}
+
+/// A mutable reference to a manager is itself a manager, so callers can keep
+/// ownership of a long-lived manager (accumulating starvation pressure across
+/// transactions) while handing it to [`TxOptions`](crate::stm::TxOptions) by
+/// value: `TxOptions::new().manager(&mut manager)`.
+impl<C: ContentionManager + ?Sized> ContentionManager for &mut C {
+    fn on_conflict(&mut self, info: &ConflictInfo) -> RetryDecision {
+        (**self).on_conflict(info)
+    }
+    fn on_commit(&mut self) {
+        (**self).on_commit()
+    }
+    fn help_first(&self) -> bool {
+        (**self).help_first()
+    }
+    fn wants_conflict_owner(&self) -> bool {
+        (**self).wants_conflict_owner()
+    }
 }
 
 /// The paper's configuration: retry immediately, never wait, never escalate.
@@ -114,6 +142,9 @@ impl ContentionManager for ImmediateRetry {
         RetryDecision::immediate()
     }
     fn on_commit(&mut self) {}
+    fn wants_conflict_owner(&self) -> bool {
+        false
+    }
 }
 
 /// Tuning knobs of the [`AdaptiveManager`] wait lattice.

@@ -19,12 +19,20 @@
 //! no panics driven by impossible states; use [`DynamicTx::read`]'s values
 //! only to compute).
 //!
+//! **Read-only transactions take a fast path**: a body that never calls
+//! [`DynamicTx::write`] commits by *validating* its read set against memory
+//! ([`Stm::validate_read_set`]) instead of running the acquiring commit
+//! transaction — zero shared-memory writes when the validation holds. After
+//! [`StmConfig::fast_read_rounds`](crate::stm::StmConfig::fast_read_rounds)
+//! failed validations the commit falls back to the full acquiring protocol
+//! (an identity MWCAS), which helps blockers and preserves lock-freedom.
+//!
 //! # Examples
 //!
 //! ```
 //! use stm_core::dynamic::DynamicStm;
 //! use stm_core::machine::host::HostMachine;
-//! use stm_core::stm::StmConfig;
+//! use stm_core::stm::{StmConfig, TxOptions};
 //!
 //! let dstm = DynamicStm::new(0, 16, 1, StmConfig::default());
 //! let machine = HostMachine::new(dstm.stm().layout().words_needed(), 1);
@@ -39,7 +47,7 @@
 //!     }
 //!     let v = tx.read(at);
 //!     tx.write(at, v + 1);
-//! });
+//! }, &mut TxOptions::new()).unwrap();
 //! assert_eq!(dstm.read_cell(&mut port, 0), 1);
 //! ```
 
@@ -48,8 +56,8 @@ use std::collections::{BTreeMap, BTreeSet};
 use crate::contention::{AdaptiveManager, ContentionManager};
 use crate::machine::MemPort;
 use crate::ops::StmOps;
-use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxSpec, TxStats};
-use crate::word::{cell_value, Addr, CellIdx, Word};
+use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxOptions, TxSpec, TxStats};
+use crate::word::{cell_value, pack_cell, Addr, CellIdx, Word};
 
 /// A software transactional memory supporting dynamic transactions.
 ///
@@ -147,32 +155,192 @@ impl DynamicStm {
         self.ops.stm().init_cell(port, cell, value)
     }
 
-    /// Run `body` as an atomic dynamic transaction, retrying until its
-    /// footprint commits; returns the body's result and cumulative retry
+    /// Run `body` as an atomic dynamic transaction under the given
+    /// [`TxOptions`]; returns the body's result and cumulative retry
     /// statistics.
     ///
     /// `body` may run several times; it must be pure (compute only from the
     /// values [`DynamicTx::read`] returns).
     ///
+    /// A body that never writes commits via the **read-only fast path**: its
+    /// read set is validated in place ([`Stm::validate_read_set`]) with zero
+    /// shared-memory writes. After
+    /// [`StmConfig::fast_read_rounds`](crate::stm::StmConfig::fast_read_rounds)
+    /// failed validations, the commit falls back to the acquiring identity
+    /// transaction, which helps blockers (lock-freedom preserved).
+    ///
+    /// Budget semantics: `max_attempts` bounds *body executions* (the first
+    /// always runs); `max_cycles`/`max_wall` bound the whole call, with the
+    /// remaining allowance handed to each validate-and-write commit (so a
+    /// commit cannot overrun the caller's deadline by retrying internally).
+    /// The contention manager persists across body retries, so starvation
+    /// pressure accumulates over the whole dynamic transaction.
+    ///
+    /// A panicking body is *contained*: the local read/write log is
+    /// discarded (nothing was shared yet, so there is nothing to release)
+    /// and [`TxError::OpPanicked`] is returned.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::BudgetExhausted`] when the budget runs out before a
+    /// validated commit; [`TxError::OpPanicked`] when the body panics.
+    ///
     /// # Panics
     ///
     /// Panics if the transaction's footprint exceeds the instance's
     /// `max_locs`.
-    pub fn run<P: MemPort, R>(
+    pub fn run<P, R, O, C>(
         &self,
         port: &mut P,
-        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
-    ) -> (R, TxStats) {
-        self.run_observed(port, &mut crate::observe::NoopObserver, body)
+        mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
+        opts: &mut TxOptions<O, C>,
+    ) -> Result<(R, TxStats), TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: ContentionManager,
+    {
+        let budget = opts.budget;
+        let cm = &mut opts.manager;
+        let obs = &mut opts.observer;
+        let mut stats = TxStats::default();
+        let mut contended: BTreeSet<CellIdx> = BTreeSet::new();
+        let mut fast_fails: u64 = 0;
+        let started = std::time::Instant::now();
+        let cycles0 = port.now();
+        loop {
+            if stats.attempts > 0
+                && budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
+            {
+                return Err(TxError::BudgetExhausted {
+                    attempts: stats.attempts,
+                    cells_contended: contended.len() as u64,
+                });
+            }
+            let (result, reads, writes) = {
+                let mut tx = DynamicTx {
+                    stm: self.ops.stm(),
+                    port: &mut *port,
+                    reads: BTreeMap::new(),
+                    writes: BTreeMap::new(),
+                };
+                let caught =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx)));
+                match caught {
+                    Ok(result) => (result, tx.reads, tx.writes),
+                    Err(_payload) => {
+                        // The body only touched its local log; dropping the
+                        // log is the whole abort.
+                        drop(tx);
+                        stats.attempts += 1;
+                        obs.op_panicked(port.proc_id(), stats.attempts, port.now());
+                        return Err(TxError::OpPanicked { attempts: stats.attempts });
+                    }
+                }
+            };
+            stats.attempts += 1;
+
+            if writes.is_empty() && reads.is_empty() {
+                return Ok((result, stats)); // pure computation, nothing to commit
+            }
+
+            // Read-only fast commit: the cached (value, stamp) pairs are the
+            // collect; validating them in place is the second collect. On
+            // success the transaction linearizes at the validation point with
+            // zero shared-memory writes.
+            if writes.is_empty() && fast_fails < u64::from(self.stm().config().fast_read_rounds) {
+                let entries: Vec<(CellIdx, Word)> =
+                    reads.iter().map(|(&c, &(value, stamp))| (c, pack_cell(stamp, value))).collect();
+                port.step(crate::step::StepPoint::DynCommit);
+                if self.stm().validate_read_set(port, &entries) {
+                    return Ok((result, stats));
+                }
+                // A writer or live owner intervened; re-run the body for a
+                // fresh cut. After fast_read_rounds misses, fall through to
+                // the acquiring commit below, which helps blockers.
+                fast_fails += 1;
+                stats.conflicts += 1;
+                continue;
+            }
+
+            // Commit: one static validate-and-write transaction over the
+            // whole footprint. Each location's parameter packs
+            // (expected_old << 32 | new); the program writes only if every
+            // expected value matches — exactly the builtin MWCAS, reused.
+            let cells: Vec<CellIdx> = reads.keys().copied().collect();
+            assert!(
+                cells.len() <= self.ops.stm().layout().max_locs(),
+                "dynamic transaction footprint {} exceeds max_locs {}",
+                cells.len(),
+                self.ops.stm().layout().max_locs()
+            );
+            let params: Vec<Word> = cells
+                .iter()
+                .map(|c| {
+                    let expected = reads[c].0;
+                    let new = writes.get(c).copied().unwrap_or(expected);
+                    ((expected as Word) << 32) | new as Word
+                })
+                .collect();
+            // Hand the commit whatever time remains; attempt budgeting stays
+            // at this level (it counts body executions, not commit CASes).
+            let commit_budget = TxBudget {
+                max_attempts: None,
+                max_cycles: budget
+                    .max_cycles
+                    .map(|m| m.saturating_sub(port.now().saturating_sub(cycles0))),
+                max_wall: budget.max_wall.map(|m| m.saturating_sub(started.elapsed())),
+            };
+            port.step(crate::step::StepPoint::DynCommit);
+            let spec = TxSpec::new(self.ops.builtins().mwcas, &params, &cells);
+            let mut commit_opts =
+                TxOptions::new().observer(&mut *obs).manager(&mut *cm).budget(commit_budget);
+            let out = match self.ops.stm().run(port, &spec, &mut commit_opts) {
+                Ok(out) => out,
+                Err(TxError::BudgetExhausted { cells_contended, .. }) => {
+                    return Err(TxError::BudgetExhausted {
+                        attempts: stats.attempts,
+                        cells_contended: cells_contended.max(contended.len() as u64),
+                    });
+                }
+                Err(TxError::OpPanicked { .. }) => {
+                    return Err(TxError::OpPanicked { attempts: stats.attempts });
+                }
+            };
+            stats.helps += out.stats.helps;
+            stats.conflicts += out.stats.conflicts;
+            let mut validated = true;
+            for (c, &old) in cells.iter().zip(&out.old) {
+                if old != reads[c].0 {
+                    validated = false;
+                    contended.insert(*c);
+                }
+            }
+            if validated {
+                return Ok((result, stats));
+            }
+            // Validation failed: some read was stale; re-run the body.
+        }
     }
 
     /// [`DynamicStm::run`] with a [`TxObserver`](crate::observe::TxObserver)
     /// receiving the lifecycle events of each validate-and-write commit
     /// transaction (one observed static execution per body attempt).
     ///
+    /// Legacy semantics: retries forever, body panics propagate, and every
+    /// commit runs the acquiring transaction (no read-only fast path).
+    ///
     /// # Panics
     ///
-    /// Same as [`DynamicStm::run`].
+    /// Panics if the transaction's footprint exceeds the instance's
+    /// `max_locs`, or if `body` panics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DynamicStm::run`, lending the observer via \
+                `TxOptions::new().observer(&mut *obs)`; note it returns \
+                `Result` and contains body panics as `TxError::OpPanicked`"
+    )]
+    #[allow(deprecated)] // wrapper delegates along the legacy chain
     pub fn run_observed<P: MemPort, R, O: crate::observe::TxObserver>(
         &self,
         port: &mut P,
@@ -237,37 +405,29 @@ impl DynamicStm {
 
     /// [`DynamicStm::run`] under a [`TxBudget`], with an adaptive contention
     /// manager driving the commit retries and panic containment around the
-    /// body — the hardened dynamic entry point.
-    ///
-    /// See [`DynamicStm::run_within_observed`] for the budget semantics.
+    /// body.
     ///
     /// # Errors
     ///
     /// [`TxError::BudgetExhausted`] when the budget runs out before a
     /// validated commit; [`TxError::OpPanicked`] when the body panics.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DynamicStm::run` with \
+                `TxOptions::new().manager(AdaptiveManager::new(port.proc_id())).budget(budget)`"
+    )]
     pub fn run_within<P: MemPort, R>(
         &self,
         port: &mut P,
         budget: TxBudget,
         body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
     ) -> Result<(R, TxStats), TxError> {
-        let mut cm = AdaptiveManager::new(port.proc_id());
-        self.run_within_observed(port, budget, &mut cm, &mut crate::observe::NoopObserver, body)
+        let cm = AdaptiveManager::new(port.proc_id());
+        self.run(port, body, &mut TxOptions::new().manager(cm).budget(budget))
     }
 
     /// [`DynamicStm::run_within`] with an explicit [`ContentionManager`] and
     /// [`TxObserver`](crate::observe::TxObserver).
-    ///
-    /// Budget semantics: `max_attempts` bounds *body executions* (the first
-    /// always runs); `max_cycles`/`max_wall` bound the whole call, with the
-    /// remaining allowance handed to each validate-and-write commit (so a
-    /// commit cannot overrun the caller's deadline by retrying internally).
-    /// The contention manager persists across body retries, so starvation
-    /// pressure accumulates over the whole dynamic transaction.
-    ///
-    /// Unlike [`DynamicStm::run`], a panicking body here is *contained*: the
-    /// local read/write log is discarded (nothing was shared yet, so there is
-    /// nothing to release) and [`TxError::OpPanicked`] is returned.
     ///
     /// # Errors
     ///
@@ -277,117 +437,29 @@ impl DynamicStm {
     ///
     /// Panics if the transaction's footprint exceeds the instance's
     /// `max_locs`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DynamicStm::run`, lending the manager and observer via \
+                `TxOptions::new().manager(&mut *cm).observer(&mut *obs).budget(budget)`"
+    )]
     pub fn run_within_observed<P, R, C, O>(
         &self,
         port: &mut P,
         budget: TxBudget,
         cm: &mut C,
         obs: &mut O,
-        mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
+        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
     ) -> Result<(R, TxStats), TxError>
     where
         P: MemPort,
         C: ContentionManager,
         O: crate::observe::TxObserver,
     {
-        let mut stats = TxStats::default();
-        let mut contended: BTreeSet<CellIdx> = BTreeSet::new();
-        let started = std::time::Instant::now();
-        let cycles0 = port.now();
-        loop {
-            if stats.attempts > 0
-                && budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
-            {
-                return Err(TxError::BudgetExhausted {
-                    attempts: stats.attempts,
-                    cells_contended: contended.len() as u64,
-                });
-            }
-            let (result, reads, writes) = {
-                let mut tx = DynamicTx {
-                    stm: self.ops.stm(),
-                    port: &mut *port,
-                    reads: BTreeMap::new(),
-                    writes: BTreeMap::new(),
-                };
-                let caught =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx)));
-                match caught {
-                    Ok(result) => (result, tx.reads, tx.writes),
-                    Err(_payload) => {
-                        // The body only touched its local log; dropping the
-                        // log is the whole abort.
-                        drop(tx);
-                        stats.attempts += 1;
-                        obs.op_panicked(port.proc_id(), stats.attempts, port.now());
-                        return Err(TxError::OpPanicked { attempts: stats.attempts });
-                    }
-                }
-            };
-            stats.attempts += 1;
-
-            if writes.is_empty() && reads.is_empty() {
-                return Ok((result, stats)); // pure computation, nothing to commit
-            }
-
-            let cells: Vec<CellIdx> = reads.keys().copied().collect();
-            assert!(
-                cells.len() <= self.ops.stm().layout().max_locs(),
-                "dynamic transaction footprint {} exceeds max_locs {}",
-                cells.len(),
-                self.ops.stm().layout().max_locs()
-            );
-            let params: Vec<Word> = cells
-                .iter()
-                .map(|c| {
-                    let expected = reads[c].0;
-                    let new = writes.get(c).copied().unwrap_or(expected);
-                    ((expected as Word) << 32) | new as Word
-                })
-                .collect();
-            // Hand the commit whatever time remains; attempt budgeting stays
-            // at this level (it counts body executions, not commit CASes).
-            let commit_budget = TxBudget {
-                max_attempts: None,
-                max_cycles: budget
-                    .max_cycles
-                    .map(|m| m.saturating_sub(port.now().saturating_sub(cycles0))),
-                max_wall: budget.max_wall.map(|m| m.saturating_sub(started.elapsed())),
-            };
-            port.step(crate::step::StepPoint::DynCommit);
-            let spec = TxSpec::new(self.ops.builtins().mwcas, &params, &cells);
-            let out = match self.ops.stm().try_execute_within(
-                port,
-                &spec,
-                commit_budget,
-                cm,
-                obs,
-            ) {
-                Ok(out) => out,
-                Err(TxError::BudgetExhausted { cells_contended, .. }) => {
-                    return Err(TxError::BudgetExhausted {
-                        attempts: stats.attempts,
-                        cells_contended: cells_contended.max(contended.len() as u64),
-                    });
-                }
-                Err(TxError::OpPanicked { .. }) => {
-                    return Err(TxError::OpPanicked { attempts: stats.attempts });
-                }
-            };
-            stats.helps += out.stats.helps;
-            stats.conflicts += out.stats.conflicts;
-            let mut validated = true;
-            for (c, &old) in cells.iter().zip(&out.old) {
-                if old != reads[c].0 {
-                    validated = false;
-                    contended.insert(*c);
-                }
-            }
-            if validated {
-                return Ok((result, stats));
-            }
-            // Validation failed: some read was stale; re-run the body.
-        }
+        self.run(
+            port,
+            body,
+            &mut TxOptions::new().manager(&mut *cm).observer(&mut *obs).budget(budget),
+        )
     }
 }
 
@@ -410,7 +482,7 @@ mod tests {
             assert_eq!(tx.read(3), 0);
             tx.write(3, 42);
             assert_eq!(tx.read(3), 42, "read-own-write");
-        });
+        }, &mut TxOptions::new()).unwrap();
         assert_eq!(stats.attempts, 1);
         assert_eq!(d.read_cell(&mut port, 3), 42);
     }
@@ -427,7 +499,7 @@ mod tests {
             let v = tx.read(idx);
             tx.write(idx, v + 1);
             v
-        });
+        }, &mut TxOptions::new()).unwrap();
         assert_eq!(seen, 100);
         assert_eq!(d.read_cell(&mut port, 5), 101);
     }
@@ -436,7 +508,7 @@ mod tests {
     fn pure_body_commits_without_memory() {
         let (d, m) = setup(4, 1);
         let mut port = m.port(0);
-        let (x, stats) = d.run(&mut port, |_tx| 7);
+        let (x, stats) = d.run(&mut port, |_tx| 7, &mut TxOptions::new()).unwrap();
         assert_eq!(x, 7);
         assert_eq!(stats.attempts, 1);
     }
@@ -447,7 +519,7 @@ mod tests {
         let mut port = m.port(0);
         let ((), _) = d.run(&mut port, |tx| {
             tx.write(2, 9); // no prior read
-        });
+        }, &mut TxOptions::new()).unwrap();
         assert_eq!(d.read_cell(&mut port, 2), 9);
     }
 
@@ -466,7 +538,7 @@ mod tests {
                         d.run(&mut port, |tx| {
                             let v = tx.read(1);
                             tx.write(1, v + 1);
-                        });
+                        }, &mut TxOptions::new()).unwrap();
                     }
                 });
             }
@@ -506,7 +578,7 @@ mod tests {
                                 tx.write(4 + a, va - 1);
                                 tx.write(4 + b, vb + 1);
                             }
-                        });
+                        }, &mut TxOptions::new()).unwrap();
                     }
                 });
             }
@@ -525,7 +597,7 @@ mod tests {
         let ((), stats) = d.run(&mut port, |tx| {
             let v = tx.read(0);
             tx.write(0, v + 1);
-        });
+        }, &mut TxOptions::new()).unwrap();
         assert!(stats.attempts >= 1);
     }
 }

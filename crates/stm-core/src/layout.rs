@@ -10,6 +10,18 @@
 //!   word, the declared data set (size + sorted cell indices), the
 //!   transaction's code reference (opcode + parameters), and the old-value
 //!   agreement entries.
+//!
+//! # Cache alignment
+//!
+//! The layout supports an optional `pad_shift`: with `pad_shift = s`, cells
+//! and ownership words are spread one per `1 << s` words, and each record
+//! base is rounded up to a `1 << s`-word boundary. On a real machine with
+//! 64-byte cache lines (8 × 8-byte words), `pad_shift = 3` puts every cell,
+//! every ownership word, and every record on its own cache line, eliminating
+//! false sharing between processors hammering adjacent protocol words. The
+//! default (`pad_shift = 0`) is the dense, address-faithful layout that the
+//! `stm-sim` bus/mesh cost models assume — simulated figures stay comparable
+//! to the paper's.
 
 use crate::word::{Addr, CellIdx, MAX_DATASET, MAX_PROCS};
 
@@ -45,6 +57,11 @@ pub(crate) mod rec {
 /// assert!(layout.words_needed() > 128 * 2);
 /// assert_eq!(layout.cell(0), 0);
 /// assert_eq!(layout.ownership(0), 128);
+///
+/// // Cache-aligned: one word per 64-byte line (8 words) on the host.
+/// let padded = StmLayout::with_pad_shift(0, 128, 4, 8, 3);
+/// assert_eq!(padded.cell(1) - padded.cell(0), 8);
+/// assert_eq!(padded.record(0) % 8, 0);
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StmLayout {
@@ -52,6 +69,7 @@ pub struct StmLayout {
     n_cells: usize,
     n_procs: usize,
     max_locs: usize,
+    pad_shift: u8,
 }
 
 impl StmLayout {
@@ -64,9 +82,41 @@ impl StmLayout {
     /// Panics if `max_locs` is 0 or exceeds [`MAX_DATASET`], or if `n_procs`
     /// is 0 or exceeds [`MAX_PROCS`].
     pub fn new(base: Addr, n_cells: usize, n_procs: usize, max_locs: usize) -> Self {
+        Self::with_pad_shift(base, n_cells, n_procs, max_locs, 0)
+    }
+
+    /// Like [`StmLayout::new`], but spreading protocol words so that each
+    /// cell, each ownership word, and each record starts on a
+    /// `1 << pad_shift`-word boundary (its own cache line for
+    /// `pad_shift = 3` on 64-byte-line hosts).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same out-of-range arguments as [`StmLayout::new`], or
+    /// if `pad_shift` exceeds 6 (128 words per line is already absurd).
+    pub fn with_pad_shift(
+        base: Addr,
+        n_cells: usize,
+        n_procs: usize,
+        max_locs: usize,
+        pad_shift: u8,
+    ) -> Self {
         assert!(max_locs > 0 && max_locs <= MAX_DATASET, "max_locs out of range");
         assert!(n_procs > 0 && n_procs <= MAX_PROCS, "n_procs out of range");
-        StmLayout { base, n_cells, n_procs, max_locs }
+        assert!(pad_shift <= 6, "pad_shift out of range");
+        StmLayout { base, n_cells, n_procs, max_locs, pad_shift }
+    }
+
+    /// The configured padding shift (0 = dense, address-faithful layout).
+    pub fn pad_shift(&self) -> u8 {
+        self.pad_shift
+    }
+
+    /// Words per padding unit (`1 << pad_shift`); consecutive cells,
+    /// ownership words, and record bases are this many words apart.
+    #[inline]
+    pub fn pad_unit(&self) -> usize {
+        1 << self.pad_shift
     }
 
     /// Number of transactional cells.
@@ -84,14 +134,17 @@ impl StmLayout {
         self.max_locs
     }
 
-    /// Words occupied by one record.
+    /// Words occupied by one record, including any trailing padding needed
+    /// to keep consecutive record bases on distinct padding units.
     pub fn record_stride(&self) -> usize {
-        rec::ADDRS + 2 * self.max_locs
+        let dense = rec::ADDRS + 2 * self.max_locs;
+        let unit = self.pad_unit();
+        dense.div_ceil(unit) * unit
     }
 
     /// Total words this instance occupies starting at its base address.
     pub fn words_needed(&self) -> usize {
-        2 * self.n_cells + self.n_procs * self.record_stride()
+        2 * self.n_cells * self.pad_unit() + self.n_procs * self.record_stride()
     }
 
     /// One-past-the-end address of the region.
@@ -107,21 +160,21 @@ impl StmLayout {
     #[inline]
     pub fn cell(&self, idx: CellIdx) -> Addr {
         debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
-        self.base + idx
+        self.base + (idx << self.pad_shift)
     }
 
     /// Address of the ownership word guarding cell `idx`.
     #[inline]
     pub fn ownership(&self, idx: CellIdx) -> Addr {
         debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
-        self.base + self.n_cells + idx
+        self.base + ((self.n_cells + idx) << self.pad_shift)
     }
 
     /// Base address of processor `proc`'s record.
     #[inline]
     pub fn record(&self, proc: usize) -> Addr {
         debug_assert!(proc < self.n_procs, "processor id {proc} out of range");
-        self.base + 2 * self.n_cells + proc * self.record_stride()
+        self.base + ((2 * self.n_cells) << self.pad_shift) + proc * self.record_stride()
     }
 
     /// Address of `proc`'s status word.
@@ -174,31 +227,85 @@ impl StmLayout {
 mod tests {
     use super::*;
 
+    fn all_addrs(l: &StmLayout) -> Vec<Addr> {
+        let mut v = Vec::new();
+        for i in 0..l.n_cells() {
+            v.push(l.cell(i));
+        }
+        for i in 0..l.n_cells() {
+            v.push(l.ownership(i));
+        }
+        for p in 0..l.n_procs() {
+            v.push(l.status(p));
+            v.push(l.size(p));
+            v.push(l.opcode(p));
+            v.push(l.nparams(p));
+            for i in 0..MAX_PARAMS {
+                v.push(l.param(p, i));
+            }
+            for j in 0..l.max_locs() {
+                v.push(l.addr_slot(p, j));
+                v.push(l.oldval_slot(p, j));
+            }
+        }
+        v
+    }
+
     #[test]
     fn regions_do_not_overlap() {
         let l = StmLayout::new(10, 100, 8, 16);
-        let mut seen = std::collections::HashSet::new();
-        for i in 0..l.n_cells() {
-            assert!(seen.insert(l.cell(i)));
-        }
-        for i in 0..l.n_cells() {
-            assert!(seen.insert(l.ownership(i)));
-        }
-        for p in 0..l.n_procs() {
-            assert!(seen.insert(l.status(p)));
-            assert!(seen.insert(l.size(p)));
-            assert!(seen.insert(l.opcode(p)));
-            assert!(seen.insert(l.nparams(p)));
-            for i in 0..MAX_PARAMS {
-                assert!(seen.insert(l.param(p, i)));
-            }
-            for j in 0..l.max_locs() {
-                assert!(seen.insert(l.addr_slot(p, j)));
-                assert!(seen.insert(l.oldval_slot(p, j)));
-            }
-        }
+        let addrs = all_addrs(&l);
+        let seen: std::collections::HashSet<Addr> = addrs.iter().copied().collect();
+        assert_eq!(seen.len(), addrs.len(), "duplicate addresses");
+        // Dense layout wastes no words.
         assert_eq!(seen.len(), l.words_needed());
         assert!(seen.iter().all(|&a| a >= 10 && a < l.end()));
+    }
+
+    #[test]
+    fn padded_regions_do_not_overlap() {
+        for shift in [1u8, 3, 6] {
+            let l = StmLayout::with_pad_shift(10, 100, 8, 16, shift);
+            let addrs = all_addrs(&l);
+            let seen: std::collections::HashSet<Addr> = addrs.iter().copied().collect();
+            assert_eq!(seen.len(), addrs.len(), "duplicate addresses at shift {shift}");
+            // Padded layout leaves gaps, but never escapes its region.
+            assert!(seen.len() <= l.words_needed());
+            assert!(seen.iter().all(|&a| a >= 10 && a < l.end()));
+        }
+    }
+
+    #[test]
+    fn pad_shift_separates_cache_lines() {
+        // With pad_shift = 3 (64-byte lines of 8-byte words), every cell,
+        // every ownership word, and every record lives on its own line.
+        let l = StmLayout::with_pad_shift(0, 32, 4, 8, 3);
+        let line = |a: Addr| a / 8;
+        let mut lines = std::collections::HashSet::new();
+        for i in 0..l.n_cells() {
+            assert!(lines.insert(line(l.cell(i))), "cell {i} shares a line");
+        }
+        for i in 0..l.n_cells() {
+            assert!(lines.insert(line(l.ownership(i))), "ownership {i} shares a line");
+        }
+        for p in 0..l.n_procs() {
+            // Records are multi-word; only their *bases* must start fresh
+            // lines so two processors' status words never share one.
+            assert!(lines.insert(line(l.record(p))), "record {p} shares a line");
+            assert_eq!(l.record(p) % 8, 0, "record {p} not line-aligned");
+        }
+    }
+
+    #[test]
+    fn dense_layout_is_address_faithful() {
+        // The simulator's bus/mesh cost models rely on the dense layout the
+        // paper assumes: consecutive cells at consecutive addresses.
+        let l = StmLayout::new(0, 16, 2, 4);
+        assert_eq!(l.pad_shift(), 0);
+        for i in 0..16 {
+            assert_eq!(l.cell(i), i);
+            assert_eq!(l.ownership(i), 16 + i);
+        }
     }
 
     #[test]

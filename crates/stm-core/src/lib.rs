@@ -93,6 +93,7 @@ pub use contention::{
     AdaptiveConfig, AdaptiveManager, ConflictInfo, ContentionManager, ImmediateRetry,
     RetryDecision, WaitAction,
 };
+pub use dynamic::{DynamicStm, DynamicTx};
 pub use machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog, WatchdogHandle};
 pub use machine::MemPort;
 pub use metrics::{Log2Histogram, TxMetrics};
@@ -101,6 +102,47 @@ pub use step::{StepKind, StepPoint};
 pub use ops::StmOps;
 pub use program::{OpCode, ProgramTable, TxProgram};
 pub use stm::{
-    BackoffPolicy, Sabotage, Stm, StmConfig, TxBudget, TxError, TxOutcome, TxSpec, TxStats,
+    BackoffPolicy, Sabotage, Stm, StmConfig, TxBudget, TxError, TxOptions, TxOutcome, TxSpec,
+    TxStats,
 };
 pub use word::{Addr, CellIdx, Word};
+
+/// The one-stop import for typical users of the crate.
+///
+/// Curates the types needed to build an STM instance, run static and dynamic
+/// transactions through the unified [`Stm::run`] / [`DynamicStm::run`] entry
+/// points, and tune them via [`TxOptions`]:
+///
+/// ```
+/// use stm_core::prelude::*;
+///
+/// let ops = StmOps::new(0, 16, 1, 8, StmConfig::default());
+/// let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
+/// let mut port = machine.port(0);
+/// ops.fetch_add(&mut port, 0, 7);
+/// let out = ops
+///     .run(
+///         &mut port,
+///         &TxSpec::new(ops.builtins().read, &[], &[0]),
+///         &mut TxOptions::new().budget(TxBudget::attempts(4)),
+///     )
+///     .unwrap();
+/// assert_eq!(out.old, vec![7]);
+/// ```
+///
+/// Deliberately excluded: the packed-word helpers ([`word`]), layout
+/// internals, simulation hooks ([`step`]), and the telemetry/chaos machinery
+/// — import those from their modules when a test or tool needs them.
+pub mod prelude {
+    pub use crate::contention::{AdaptiveManager, ContentionManager, ImmediateRetry};
+    pub use crate::dynamic::{DynamicStm, DynamicTx};
+    pub use crate::machine::host::HostMachine;
+    pub use crate::machine::MemPort;
+    pub use crate::observe::{NoopObserver, TxObserver};
+    pub use crate::ops::StmOps;
+    pub use crate::program::{OpCode, ProgramTable, TxProgram};
+    pub use crate::stm::{
+        Stm, StmConfig, TxBudget, TxError, TxOptions, TxOutcome, TxSpec, TxStats,
+    };
+    pub use crate::word::{Addr, CellIdx, Word};
+}

@@ -163,19 +163,38 @@ mod tests {
     fn noop_observer_adds_zero_footprint() {
         // The acceptance bar for the telemetry layer: the default observer
         // must cost nothing. Identical op counts, not merely "close".
-        use crate::observe::NoopObserver;
-        use crate::stm::TxSpec;
+        use crate::observe::RecordingObserver;
+        use crate::stm::{TxOptions, TxSpec};
         let ops = StmOps::new(0, 4, 1, 4, StmConfig::default());
         let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
         let mut port = CountingPort::new(m.port(0));
         let spec = TxSpec::new(ops.builtins().add, &[1], &[0]);
-        let _ = ops.stm().execute(&mut port, &spec); // warm-up (first stamp)
+        let _ = ops.stm().run(&mut port, &spec, &mut TxOptions::new()); // warm-up (first stamp)
         port.reset();
-        let _ = ops.stm().execute(&mut port, &spec);
+        let _ = ops.stm().run(&mut port, &spec, &mut TxOptions::new());
         let plain = port.counts();
         port.reset();
-        let _ = ops.stm().execute_observed(&mut port, &spec, &mut NoopObserver);
-        assert_eq!(port.counts(), plain, "NoopObserver must be free");
+        let mut rec = RecordingObserver::new();
+        let _ = ops.stm().run(&mut port, &spec, &mut TxOptions::new().observer(&mut rec));
+        assert_eq!(port.counts(), plain, "observers cost no shared-memory ops");
+    }
+
+    #[test]
+    fn snapshot_fast_path_commits_with_zero_writes() {
+        // The read-only fast path's acceptance bar: an uncontended snapshot
+        // must not write shared memory at all — no ownership acquisition, no
+        // CAS, just reads.
+        let ops = StmOps::new(0, 8, 1, 8, StmConfig::default());
+        let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+        let mut port = CountingPort::new(m.port(0));
+        ops.fetch_add_many(&mut port, &[0, 1, 2], &[5, 6, 7]);
+        port.reset();
+        let snap = ops.snapshot(&mut port, &[0, 1, 2]);
+        assert_eq!(snap, vec![5, 6, 7]);
+        let c = port.counts();
+        assert_eq!(c.writes, 0, "fast-path snapshot must not write: {c:?}");
+        assert_eq!(c.cas_ok + c.cas_failed, 0, "fast-path snapshot must not CAS: {c:?}");
+        assert!(c.reads > 0, "snapshot obviously has to read");
     }
 
     #[test]

@@ -163,18 +163,20 @@ impl fmt::Display for Log2Histogram {
 /// use stm_core::machine::host::HostMachine;
 /// use stm_core::metrics::TxMetrics;
 /// use stm_core::ops::StmOps;
-/// use stm_core::stm::{StmConfig, TxSpec};
+/// use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 ///
 /// let ops = StmOps::new(0, 8, 1, 4, StmConfig::default());
 /// let machine = HostMachine::new(ops.stm().layout().words_needed(), 1);
 /// let mut port = machine.port(0);
 /// let mut metrics = TxMetrics::new();
 /// for _ in 0..10 {
-///     ops.stm().execute_observed(
-///         &mut port,
-///         &TxSpec::new(ops.builtins().add, &[1], &[0]),
-///         &mut metrics,
-///     );
+///     ops.stm()
+///         .run(
+///             &mut port,
+///             &TxSpec::new(ops.builtins().add, &[1], &[0]),
+///             &mut TxOptions::new().observer(&mut metrics),
+///         )
+///         .unwrap();
 /// }
 /// assert_eq!(metrics.commits(), 10);
 /// assert_eq!(metrics.attempts_to_commit.mean(), 1.0); // uncontended

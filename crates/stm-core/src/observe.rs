@@ -156,6 +156,64 @@ pub trait TxObserver {
     }
 }
 
+/// A mutable reference to an observer is itself an observer, so callers can
+/// keep ownership of a long-lived observer while handing it to
+/// [`TxOptions`](crate::stm::TxOptions) by value:
+/// `TxOptions::new().observer(&mut recorder)`.
+///
+/// Every method forwards explicitly — the trait's empty defaults would
+/// otherwise silently swallow the events.
+impl<O: TxObserver + ?Sized> TxObserver for &mut O {
+    #[inline]
+    fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
+        (**self).attempt_begin(proc, attempt, now)
+    }
+    #[inline]
+    fn cell_acquired(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        (**self).cell_acquired(proc, cell, now)
+    }
+    #[inline]
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
+        (**self).conflict(proc, cell, now)
+    }
+    #[inline]
+    fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
+        (**self).help_begin(proc, owner, now)
+    }
+    #[inline]
+    fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
+        (**self).help_end(proc, owner, now)
+    }
+    #[inline]
+    fn write_back(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        (**self).write_back(proc, cell, now)
+    }
+    #[inline]
+    fn released(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        (**self).released(proc, cell, now)
+    }
+    #[inline]
+    fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
+        (**self).committed(proc, attempts, now)
+    }
+    #[inline]
+    fn aborted(&mut self, proc: usize, at: usize, now: u64) {
+        (**self).aborted(proc, at, now)
+    }
+    #[inline]
+    fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
+        (**self).backoff_wait(proc, attempt, amount, now)
+    }
+    #[inline]
+    fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
+        (**self).starvation_escalated(proc, owner, attempts, now)
+    }
+    #[inline]
+    fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
+        (**self).op_panicked(proc, attempts, now)
+    }
+}
+
 /// The default observer: every callback is a no-op, and the monomorphized
 /// protocol code is identical to the unobserved path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -264,7 +322,7 @@ mod tests {
     use super::*;
     use crate::machine::host::HostMachine;
     use crate::ops::StmOps;
-    use crate::stm::{StmConfig, TxSpec};
+    use crate::stm::{StmConfig, TxOptions, TxSpec};
 
     #[test]
     fn uncontended_commit_emits_the_expected_sequence() {
@@ -272,11 +330,14 @@ mod tests {
         let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
         let mut port = m.port(0);
         let mut rec = RecordingObserver::new();
-        let out = ops.stm().execute_observed(
-            &mut port,
-            &TxSpec::new(ops.builtins().add, &[5, 7], &[2, 0]),
-            &mut rec,
-        );
+        let out = ops
+            .stm()
+            .run(
+                &mut port,
+                &TxSpec::new(ops.builtins().add, &[5, 7], &[2, 0]),
+                &mut TxOptions::new().observer(&mut rec),
+            )
+            .unwrap();
         assert_eq!(out.stats.attempts, 1);
         let ev = rec.events();
         // attempt begin, two acquires (ascending cell order: 0 then 2), two
@@ -305,10 +366,10 @@ mod tests {
         let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
         let mut port = m.port(0);
         let mut rec = RecordingObserver::new();
-        let _ = ops.stm().execute_observed(
+        let _ = ops.stm().run(
             &mut port,
             &TxSpec::new(ops.builtins().read, &[], &[1, 3]),
-            &mut rec,
+            &mut TxOptions::new().observer(&mut rec),
         );
         assert_eq!(
             rec.events().iter().filter(|e| matches!(e, TxEvent::WriteBack { .. })).count(),

@@ -6,6 +6,12 @@
 //! [`StmOps`] bundles an [`Stm`] with the built-in program table so common
 //! operations need no program plumbing.
 //!
+//! [`StmOps::snapshot`] is special: it first attempts the invisible
+//! double-collect read ([`Stm::try_read_only`]), which commits without a
+//! single shared-memory write when no live owner intervenes, and only falls
+//! back to the full acquiring protocol after the configured number of
+//! validation rounds fail.
+//!
 //! # Examples
 //!
 //! ```
@@ -27,7 +33,7 @@ use std::sync::Arc;
 
 use crate::machine::MemPort;
 use crate::program::{register_builtins, Builtins, ProgramTable, ProgramTableBuilder};
-use crate::stm::{Stm, StmConfig, TxOutcome, TxSpec};
+use crate::stm::{Stm, StmConfig, TxError, TxOptions, TxOutcome, TxSpec};
 use crate::word::{Addr, CellIdx, Word};
 
 /// An [`Stm`] instance together with the built-in operation programs.
@@ -72,9 +78,20 @@ impl StmOps {
         self.ops
     }
 
+    /// Run `spec` with default options, retrying until commit.
+    ///
+    /// With an unlimited budget the retry loop cannot observe
+    /// [`TxError::BudgetExhausted`], and built-in programs never panic, so
+    /// the result is unwrapped here.
+    fn run_unlimited<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
+        self.stm
+            .run(port, spec, &mut TxOptions::new())
+            .expect("unlimited budget cannot be exhausted and builtins do not panic")
+    }
+
     /// Atomically add `delta` (wrapping) to `cell`, returning the old value.
     pub fn fetch_add<P: MemPort>(&self, port: &mut P, cell: CellIdx, delta: u32) -> u32 {
-        let out = self.stm.execute(port, &TxSpec::new(self.ops.add, &[delta as Word], &[cell]));
+        let out = self.run_unlimited(port, &TxSpec::new(self.ops.add, &[delta as Word], &[cell]));
         // Invariant: `TxOutcome::old` has exactly one entry per data-set
         // cell, established by the agreement phase before commit.
         debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
@@ -86,7 +103,7 @@ impl StmOps {
     /// # Panics
     ///
     /// Panics if `cells` and `deltas` differ in length (or on any
-    /// [`Stm::execute`] spec violation).
+    /// [`Stm::run`] spec violation).
     pub fn fetch_add_many<P: MemPort>(
         &self,
         port: &mut P,
@@ -95,19 +112,36 @@ impl StmOps {
     ) -> Vec<u32> {
         assert_eq!(cells.len(), deltas.len(), "one delta per cell");
         let params: Vec<Word> = deltas.iter().map(|&d| d as Word).collect();
-        self.stm.execute(port, &TxSpec::new(self.ops.add, &params, cells)).old
+        self.run_unlimited(port, &TxSpec::new(self.ops.add, &params, cells)).old
     }
 
     /// Atomically replace `cell` with `value`, returning the old value.
     pub fn swap<P: MemPort>(&self, port: &mut P, cell: CellIdx, value: u32) -> u32 {
-        let out = self.stm.execute(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell]));
+        let out = self.run_unlimited(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell]));
         debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
         out.old[0]
     }
 
-    /// Atomic multi-cell snapshot (an identity transaction over `cells`).
+    /// Atomic multi-cell snapshot.
+    ///
+    /// First tries the invisible double-collect read
+    /// ([`Stm::try_read_only`]): when it validates, the snapshot commits
+    /// with **zero shared-memory writes**. After
+    /// [`StmConfig::fast_read_rounds`] failed validation rounds (a live
+    /// owner keeps intervening), falls back to the identity transaction over
+    /// `cells`, which acquires ownerships and helps blockers — preserving
+    /// the protocol's lock-freedom guarantee.
+    ///
+    /// The spec-validation rules of the acquiring path (non-empty,
+    /// in-range, within `max_locs`, strictly ascending) are enforced up
+    /// front so both paths accept exactly the same inputs.
     pub fn snapshot<P: MemPort>(&self, port: &mut P, cells: &[CellIdx]) -> Vec<u32> {
-        self.stm.execute(port, &TxSpec::new(self.ops.read, &[], cells)).old
+        let spec = TxSpec::new(self.ops.read, &[], cells);
+        self.stm.validate_spec(port, &spec);
+        if let Some(out) = self.stm.try_read_only(port, cells) {
+            return out.old;
+        }
+        self.run_unlimited(port, &spec).old
     }
 
     /// Multi-word compare-and-swap: atomically, if every `cell` holds its
@@ -125,7 +159,7 @@ impl StmOps {
         let cells: Vec<CellIdx> = entries.iter().map(|e| e.0).collect();
         let params: Vec<Word> =
             entries.iter().map(|&(_, exp, new)| ((exp as Word) << 32) | new as Word).collect();
-        let out = self.stm.execute(port, &TxSpec::new(self.ops.mwcas, &params, &cells));
+        let out = self.run_unlimited(port, &TxSpec::new(self.ops.mwcas, &params, &cells));
         let matched = entries.iter().zip(&out.old).all(|(&(_, exp, _), &old)| old == exp);
         if matched {
             Ok(())
@@ -134,8 +168,29 @@ impl StmOps {
         }
     }
 
-    /// Run an arbitrary registered program (see
-    /// [`StmOps::with_programs`]).
+    /// Run an arbitrary registered program (see [`StmOps::with_programs`])
+    /// under the given options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TxError`] from [`Stm::run`]: budget exhaustion or an
+    /// op panic.
+    pub fn run<P: MemPort, O, C>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        opts: &mut TxOptions<O, C>,
+    ) -> Result<TxOutcome, TxError>
+    where
+        O: crate::observe::TxObserver,
+        C: crate::contention::ContentionManager,
+    {
+        self.stm.run(port, spec, opts)
+    }
+
+    /// Run an arbitrary registered program, retrying until commit.
+    #[deprecated(since = "0.2.0", note = "use `StmOps::run` with `TxOptions::new()`")]
+    #[allow(deprecated)] // wrapper delegates along the legacy chain
     pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
         self.stm.execute(port, spec)
     }
@@ -206,6 +261,19 @@ mod tests {
         let snap = ops.snapshot(&mut port, &[0, 1]);
         assert_eq!(snap[0], 400);
         assert_eq!(snap[1], 400);
+    }
+
+    #[test]
+    fn snapshot_duplicate_cells_panic_even_on_fast_path() {
+        // The fast path itself tolerates duplicates, but `snapshot` enforces
+        // the static-spec rules so both paths accept the same inputs
+        // deterministically.
+        let (ops, m) = setup(1);
+        let mut port = m.port(0);
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            ops.snapshot(&mut port, &[3, 3])
+        }));
+        assert!(r.is_err(), "duplicate cells in the data set must be rejected");
     }
 
     #[test]

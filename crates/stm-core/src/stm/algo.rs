@@ -179,18 +179,35 @@ pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
                 }
                 // Best-effort re-inspection of the obstructing owner (it may
                 // already have moved on) — the starvation detector's input.
-                let owner = cell.and_then(|c| {
-                    unpack_owner(port.read(stm.layout().ownership(c)))
-                        .map(|(p2, _)| p2)
-                        .filter(|&p2| p2 != me)
-                });
+                // Skipped (one shared read saved per conflict) for managers
+                // that ignore the owner, so the default options' retry loop
+                // issues exactly the classic loop's memory operations.
+                let owner = if cm.wants_conflict_owner() {
+                    cell.and_then(|c| {
+                        unpack_owner(port.read(stm.layout().ownership(c)))
+                            .map(|(p2, _)| p2)
+                            .filter(|&p2| p2 != me)
+                    })
+                } else {
+                    None
+                };
                 let info = ConflictInfo { proc: me, attempt: stats.attempts, cell, owner };
                 let decision = cm.on_conflict(&info);
                 if decision.newly_escalated {
                     obs.starvation_escalated(me, owner, stats.attempts, port.now());
                 }
                 match decision.wait {
-                    WaitAction::None => {}
+                    WaitAction::None => {
+                        // Preserve the instance's static back-off policy when
+                        // the manager declines to wait (the default
+                        // `ImmediateRetry` + `BackoffPolicy::None` combination
+                        // does nothing here), so `Stm::run` with default
+                        // options retries exactly like the classic loop.
+                        let wait = stm.config.backoff.wait_cycles(me, stats.attempts);
+                        if wait > 0 {
+                            port.delay(wait);
+                        }
+                    }
                     WaitAction::Spin(cycles) => {
                         obs.backoff_wait(me, stats.attempts, cycles, port.now());
                         port.delay(cycles);
@@ -568,6 +585,84 @@ fn release_ownerships<P: MemPort, O: TxObserver>(
         obs.released(port.proc_id(), c, port.now());
         let _ = port.compare_exchange(l.ownership(c), mine, OWNER_FREE);
     }
+}
+
+/// The read-only fast path: a validated double-collect of the cells' packed
+/// words, without acquiring anything — the *invisible read* the acquiring
+/// protocol forgoes (see `docs/protocol.md` §8 for the full argument).
+///
+/// Each round: collect every cell word, check that every guarding ownership
+/// is **free or dead** (held by a transaction whose status word has moved on
+/// from the owning version), then re-collect and require every word
+/// unchanged (value *and* stamp). A round that passes returns a consistent
+/// cut of committed values, linearized at the validation point:
+///
+/// * a *live* owner still mid-install must hold its ownership until after
+///   its last install, so the ownership check catches it;
+/// * a *dead* ownership implies the owning transaction's `run_transaction`
+///   completed — every install of that version is already in memory, and any
+///   straggling helper's install CAS fails against the advanced pre-image;
+/// * an install that raced between the two collects changes the cell's
+///   stamp, so the re-collect catches it.
+///
+/// Performs **zero shared-memory writes**. Returns the packed cell words and
+/// the number of rounds used, or `None` after `max_rounds` failed
+/// validations — the caller's cue to fall back to the acquiring protocol
+/// (which helps, preserving lock-freedom under writer storms).
+pub(super) fn try_read_only<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    cells: &[CellIdx],
+    max_rounds: u32,
+) -> Option<(Vec<Word>, u64)> {
+    let l = *stm.layout();
+    let mut words: Vec<Word> = Vec::with_capacity(cells.len());
+    for round in 1..=u64::from(max_rounds) {
+        words.clear();
+        for &c in cells {
+            words.push(port.read(l.cell(c)));
+        }
+        let entries: Vec<(CellIdx, Word)> =
+            cells.iter().copied().zip(words.iter().copied()).collect();
+        if validate_read_set(stm, port, &entries) {
+            return Some((words, round));
+        }
+    }
+    None
+}
+
+/// Validate that `entries` — `(cell, packed word)` pairs observed earlier —
+/// still form a consistent cut *now*: every guarding ownership is free or
+/// dead, and every cell still holds exactly the observed word. Zero
+/// shared-memory writes; this is the second collect of the double-collect
+/// (the dynamic layer reuses it with the body's read log as first collect).
+pub(super) fn validate_read_set<P: MemPort>(
+    stm: &Stm,
+    port: &mut P,
+    entries: &[(CellIdx, Word)],
+) -> bool {
+    let l = *stm.layout();
+    for &(c, _) in entries {
+        let ow = port.read(l.ownership(c));
+        if ow == OWNER_FREE {
+            continue;
+        }
+        // Invariant: every non-free ownership word is a packed pair.
+        let (p2, v2) = unpack_owner(ow).expect("non-free ownership");
+        if status_is_version(port.read(l.status(p2)), v2) {
+            // Live owner (undecided, mid-commit, or a crashed transaction a
+            // helper must finish): conservatively fail validation.
+            return false;
+        }
+        // Dead ownership: the owning transaction completed; its installs are
+        // all in memory and the word comparison below is decisive.
+    }
+    for &(c, w) in entries {
+        if port.read(l.cell(c)) != w {
+            return false;
+        }
+    }
+    true
 }
 
 /// Snapshot the record of `(owner, version)` for helping. The two status

@@ -15,7 +15,7 @@
 //! ```
 //! use stm_core::machine::host::HostMachine;
 //! use stm_core::program::{register_builtins, ProgramTable};
-//! use stm_core::stm::{Stm, StmConfig, TxSpec};
+//! use stm_core::stm::{Stm, StmConfig, TxOptions, TxSpec};
 //!
 //! let mut builder = ProgramTable::builder();
 //! let ops = register_builtins(&mut builder);
@@ -25,14 +25,19 @@
 //! let machine = HostMachine::new(stm.layout().words_needed(), 1);
 //! let mut port = machine.port(0);
 //!
-//! // Atomically add 5 to cell 2 and 7 to cell 3.
-//! let outcome = stm.execute(&mut port, &TxSpec::new(ops.add, &[5, 7], &[2, 3]));
+//! // Atomically add 5 to cell 2 and 7 to cell 3. Default options: the
+//! // classic unobserved, unbudgeted lock-free retry loop.
+//! let outcome =
+//!     stm.run(&mut port, &TxSpec::new(ops.add, &[5, 7], &[2, 3]), &mut TxOptions::new()).unwrap();
 //! assert_eq!(outcome.old, vec![0, 0]);
 //! assert_eq!(stm.read_cell(&mut port, 2), 5);
 //! assert_eq!(stm.read_cell(&mut port, 3), 7);
 //! ```
 
 mod algo;
+mod options;
+
+pub use options::TxOptions;
 
 use std::fmt;
 use std::sync::Arc;
@@ -110,11 +115,38 @@ pub struct StmConfig {
     pub backoff: BackoffPolicy,
     /// Deliberate protocol bug for harness validation (default: none).
     pub sabotage: Sabotage,
+    /// Cache-line padding shift for the memory layout (see
+    /// [`StmLayout::with_pad_shift`]). The default `0` is the dense,
+    /// address-faithful layout the paper (and the `stm-sim` cost models)
+    /// assume; `3` gives every cell, ownership word, and record its own
+    /// 64-byte line on the host.
+    pub pad_shift: u8,
+    /// Rounds of the validated double-collect read-only fast path
+    /// ([`Stm::try_read_only`]) before callers fall back to the acquiring
+    /// protocol. `0` disables the fast path entirely.
+    pub fast_read_rounds: u32,
 }
 
 impl Default for StmConfig {
     fn default() -> Self {
-        StmConfig { helping: true, backoff: BackoffPolicy::None, sabotage: Sabotage::None }
+        StmConfig {
+            helping: true,
+            backoff: BackoffPolicy::None,
+            sabotage: Sabotage::None,
+            pad_shift: 0,
+            fast_read_rounds: 8,
+        }
+    }
+}
+
+impl StmConfig {
+    /// The host-machine preset: the default protocol on a cache-aligned
+    /// layout (`pad_shift = 3`, one 64-byte line per protocol word), killing
+    /// false sharing between processors under contention. Simulated runs
+    /// should keep [`StmConfig::default`]'s dense layout, which the bus/mesh
+    /// cost models are calibrated against.
+    pub fn host_tuned() -> Self {
+        StmConfig { pad_shift: 3, ..Self::default() }
     }
 }
 
@@ -248,7 +280,7 @@ impl std::error::Error for TxError {}
 ///
 /// * `max_attempts` — protocol attempts (deterministic on any machine);
 /// * `max_cycles` — local-clock cycles per
-///   [`MemPort::now`](crate::machine::MemPort::now) (meaningful on the
+///   [`MemPort::now`] (meaningful on the
 ///   simulator; the host clock reports 0, so this limit is inert there);
 /// * `max_wall` — wall-clock time (meaningful on the host).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -336,7 +368,11 @@ impl Stm {
         table: Arc<ProgramTable>,
         config: StmConfig,
     ) -> Self {
-        Stm { layout: StmLayout::new(base, n_cells, n_procs, max_locs), table, config }
+        Stm {
+            layout: StmLayout::with_pad_shift(base, n_cells, n_procs, max_locs, config.pad_shift),
+            table,
+            config,
+        }
     }
 
     /// The memory layout of this instance.
@@ -354,6 +390,101 @@ impl Stm {
         &self.config
     }
 
+    /// Execute `spec` under `opts` — the unified transaction entry point.
+    ///
+    /// This is the paper's `startTransaction` loop, parameterized by one
+    /// [`TxOptions`] value instead of one method per knob combination:
+    /// [`TxOptions::new`] gives the classic unobserved, unbudgeted lock-free
+    /// retry (the old `execute`), a [`TxBudget`] bounds the retries, and the
+    /// observer/manager knobs replace the `*_observed` / `*_within`
+    /// variants. On commit, returns the data set's old values in program
+    /// order.
+    ///
+    /// While the manager reports
+    /// [`help_first`](crate::contention::ContentionManager::help_first),
+    /// retries run with helping forced on even if this instance was
+    /// configured with `helping: false` — the starvation escape hatch. When
+    /// the manager declines to wait, the instance's static
+    /// [`BackoffPolicy`] still applies.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::BudgetExhausted`] when the budget ran out before a commit
+    /// (never with the default unlimited budget);
+    /// [`TxError::OpPanicked`] when the commit program panicked — contained:
+    /// nothing installed, every ownership released.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec is malformed: too many cells or parameters, an
+    /// out-of-range cell index, duplicate cells, or an opcode foreign to this
+    /// instance's table.
+    pub fn run<P, O, C>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        opts: &mut TxOptions<O, C>,
+    ) -> Result<TxOutcome, TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: crate::contention::ContentionManager,
+    {
+        self.validate_spec(port, spec);
+        algo::execute_within(self, port, spec, opts.budget, &mut opts.manager, &mut opts.observer)
+    }
+
+    /// The read-only fast path: snapshot `cells` via a validated
+    /// double-collect — collect the version-tagged cell words, check that no
+    /// guarding ownership is held by a live transaction, re-collect to
+    /// confirm nothing moved — performing **zero shared-memory writes**.
+    ///
+    /// A passing round returns a consistent cut of committed values (`old`,
+    /// with matching `old_stamps`), linearized at the validation point;
+    /// `stats.attempts` reports the rounds used. After
+    /// [`StmConfig::fast_read_rounds`] failed validations the call returns
+    /// `None`: the caller must fall back to the acquiring protocol (e.g. an
+    /// identity transaction via [`Stm::run`]), whose helping preserves
+    /// lock-freedom under writer storms. [`StmOps::snapshot`](crate::ops::StmOps::snapshot)
+    /// packages exactly that fallback.
+    ///
+    /// Unlike the acquiring path, the data set is *not* bounded by the
+    /// layout's `max_locs` (no transaction record is involved) and duplicate
+    /// cells are harmless — but callers intending to fall back must respect
+    /// the static-spec rules.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is empty or contains an out-of-range index.
+    #[must_use = "a failed validation means the snapshot must be retried via the acquiring path"]
+    pub fn try_read_only<P: MemPort>(&self, port: &mut P, cells: &[CellIdx]) -> Option<TxOutcome> {
+        assert!(!cells.is_empty(), "empty data set");
+        for &c in cells {
+            assert!(c < self.layout.n_cells(), "cell index {c} out of range");
+        }
+        let (words, rounds) = algo::try_read_only(self, port, cells, self.config.fast_read_rounds)?;
+        Some(TxOutcome {
+            old: words.iter().map(|&w| cell_value(w)).collect(),
+            old_stamps: words.iter().map(|&w| crate::word::cell_stamp(w)).collect(),
+            stats: TxStats { attempts: rounds, helps: 0, conflicts: rounds - 1 },
+        })
+    }
+
+    /// Validate that `entries` — `(cell, packed word)` pairs observed
+    /// earlier (e.g. by [`Stm::read_cell_word`]) — still form a consistent
+    /// cut: every guarding ownership is free or dead and every cell still
+    /// holds exactly the observed word. Zero shared-memory writes. This is
+    /// the second collect of the double-collect; the dynamic layer commits
+    /// read-only transactions with it.
+    #[must_use = "an invalid read set must be retried or committed via the acquiring path"]
+    pub fn validate_read_set<P: MemPort>(
+        &self,
+        port: &mut P,
+        entries: &[(CellIdx, Word)],
+    ) -> bool {
+        algo::validate_read_set(self, port, entries)
+    }
+
     /// Execute `spec` to completion, retrying (and helping) until it commits.
     ///
     /// This is the paper's `startTransaction` loop. Returns the old values of
@@ -364,6 +495,8 @@ impl Stm {
     /// Panics if the spec is malformed: too many cells or parameters, an
     /// out-of-range cell index, duplicate cells, or an opcode foreign to this
     /// instance's table.
+    #[deprecated(since = "0.2.0", note = "use `Stm::run` with `TxOptions::new()`")]
+    #[allow(deprecated)] // wrappers delegate along the legacy chain
     pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
         self.execute_observed(port, spec, &mut crate::observe::NoopObserver)
     }
@@ -379,6 +512,7 @@ impl Stm {
     /// # Panics
     ///
     /// Same as [`Stm::execute`].
+    #[deprecated(since = "0.2.0", note = "use `Stm::run` with `TxOptions::new().observer(obs)`")]
     pub fn execute_observed<P: MemPort, O: crate::observe::TxObserver>(
         &self,
         port: &mut P,
@@ -400,6 +534,11 @@ impl Stm {
     /// # Panics
     ///
     /// Same as [`Stm::execute`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Stm::run` with `TxOptions::new().budget(TxBudget::attempts(1))`"
+    )]
+    #[allow(deprecated)] // wrappers delegate along the legacy chain
     pub fn try_execute<P: MemPort>(
         &self,
         port: &mut P,
@@ -419,6 +558,10 @@ impl Stm {
     /// # Panics
     ///
     /// Same as [`Stm::execute`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Stm::run` with `TxOptions::new().observer(obs).budget(TxBudget::attempts(1))`"
+    )]
     pub fn try_execute_observed<P: MemPort, O: crate::observe::TxObserver>(
         &self,
         port: &mut P,
@@ -448,6 +591,11 @@ impl Stm {
     /// # Panics
     ///
     /// Same spec validation as [`Stm::execute`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Stm::run` with `TxOptions::new().manager(AdaptiveManager::new(port.proc_id())).budget(budget)`"
+    )]
+    #[allow(deprecated)] // wrappers delegate along the legacy chain
     pub fn execute_for<P: MemPort>(
         &self,
         port: &mut P,
@@ -474,6 +622,10 @@ impl Stm {
     /// # Panics
     ///
     /// Same spec validation as [`Stm::execute`].
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Stm::run` with `TxOptions::new().observer(obs).manager(cm).budget(budget)`"
+    )]
     pub fn try_execute_within<P, C, O>(
         &self,
         port: &mut P,
@@ -499,6 +651,13 @@ impl Stm {
     /// identity transaction (e.g. the `read` builtin) for an atomic snapshot.
     pub fn read_cell<P: MemPort>(&self, port: &mut P, idx: CellIdx) -> u32 {
         cell_value(port.read(self.layout.cell(idx)))
+    }
+
+    /// Read one cell's current packed word (`stamp | value`) directly — the
+    /// raw form of [`Stm::read_cell`], for callers that want to validate the
+    /// observation later via [`Stm::validate_read_set`].
+    pub fn read_cell_word<P: MemPort>(&self, port: &mut P, idx: CellIdx) -> Word {
+        port.read(self.layout.cell(idx))
     }
 
     /// Initialize a cell before concurrent activity starts (bumps the cell's
@@ -534,7 +693,7 @@ impl Stm {
         algo::start_and_abandon(self, port, spec);
     }
 
-    fn validate_spec<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) {
+    pub(crate) fn validate_spec<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) {
         assert!(!spec.cells.is_empty(), "empty data set");
         assert!(
             spec.cells.len() <= self.layout.max_locs(),
@@ -576,10 +735,10 @@ mod tests {
     fn single_threaded_add_and_read() {
         let (stm, m, ops) = setup(16, 1);
         let mut port = m.port(0);
-        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[3], &[5]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.add, &[3], &[5]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![0]);
         assert_eq!(out.stats.attempts, 1);
-        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[4], &[5]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.add, &[4], &[5]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![3]);
         assert_eq!(stm.read_cell(&mut port, 5), 7);
     }
@@ -591,7 +750,7 @@ mod tests {
         stm.init_cell(&mut port, 1, 100);
         stm.init_cell(&mut port, 9, 900);
         // program order deliberately not ascending
-        let out = stm.execute(&mut port, &TxSpec::new(ops.swap, &[11, 99], &[9, 1]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.swap, &[11, 99], &[9, 1]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![900, 100]);
         assert_eq!(stm.read_cell(&mut port, 9), 11);
         assert_eq!(stm.read_cell(&mut port, 1), 99);
@@ -603,7 +762,7 @@ mod tests {
         let mut port = m.port(0);
         stm.init_cell(&mut port, 0, 1);
         stm.init_cell(&mut port, 1, 2);
-        let out = stm.execute(&mut port, &TxSpec::new(ops.read, &[], &[0, 1]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.read, &[], &[0, 1]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![1, 2]);
         assert_eq!(stm.read_cell(&mut port, 0), 1);
     }
@@ -615,10 +774,10 @@ mod tests {
         stm.init_cell(&mut port, 0, 1);
         stm.init_cell(&mut port, 1, 2);
         let pack = |exp: u32, new: u32| ((exp as u64) << 32) | new as u64;
-        let out = stm.execute(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 10), pack(2, 20)], &[0, 1]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 10), pack(2, 20)], &[0, 1]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![1, 2]); // matched
         assert_eq!(stm.read_cell(&mut port, 0), 10);
-        let out = stm.execute(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 5), pack(20, 7)], &[0, 1]));
+        let out = stm.run(&mut port, &TxSpec::new(ops.mwcas, &[pack(1, 5), pack(20, 7)], &[0, 1]), &mut TxOptions::new()).unwrap();
         assert_eq!(out.old, vec![10, 20]); // old[0] != 1 -> no write
         assert_eq!(stm.read_cell(&mut port, 0), 10);
         assert_eq!(stm.read_cell(&mut port, 1), 20);
@@ -629,7 +788,7 @@ mod tests {
     fn duplicate_cells_panic() {
         let (stm, m, ops) = setup(4, 1);
         let mut port = m.port(0);
-        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[1, 1]));
+        let _ = stm.run(&mut port, &TxSpec::new(ops.add, &[], &[1, 1]), &mut TxOptions::new()).unwrap();
     }
 
     #[test]
@@ -637,7 +796,7 @@ mod tests {
     fn empty_dataset_panics() {
         let (stm, m, ops) = setup(4, 1);
         let mut port = m.port(0);
-        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[]));
+        let _ = stm.run(&mut port, &TxSpec::new(ops.add, &[], &[]), &mut TxOptions::new()).unwrap();
     }
 
     #[test]
@@ -645,15 +804,100 @@ mod tests {
     fn cell_out_of_range_panics() {
         let (stm, m, ops) = setup(4, 1);
         let mut port = m.port(0);
-        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[], &[4]));
+        let _ = stm.run(&mut port, &TxSpec::new(ops.add, &[], &[4]), &mut TxOptions::new()).unwrap();
     }
 
     #[test]
-    fn try_execute_succeeds_uncontended() {
+    fn single_attempt_budget_succeeds_uncontended() {
         let (stm, m, ops) = setup(4, 1);
         let mut port = m.port(0);
-        let out = stm.try_execute(&mut port, &TxSpec::new(ops.add, &[1], &[0])).unwrap();
+        let mut opts = TxOptions::new().budget(TxBudget::attempts(1));
+        let out = stm.run(&mut port, &TxSpec::new(ops.add, &[1], &[0]), &mut opts).unwrap();
         assert_eq!(out.old, vec![0]);
+        assert_eq!(out.stats.attempts, 1);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_wrappers_preserve_legacy_semantics() {
+        // The pre-TxOptions entry points must keep working (and agreeing
+        // with the unified path) until removal.
+        let (stm, m, ops) = setup(8, 1);
+        let mut port = m.port(0);
+        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[2], &[0]));
+        assert_eq!(out.old, vec![0]);
+        let out = stm.try_execute(&mut port, &TxSpec::new(ops.add, &[3], &[0])).unwrap();
+        assert_eq!(out.old, vec![2]);
+        let out = stm
+            .execute_for(&mut port, &TxSpec::new(ops.add, &[5], &[0]), TxBudget::unlimited())
+            .unwrap();
+        assert_eq!(out.old, vec![5]);
+        let mut rec = crate::observe::RecordingObserver::new();
+        let out = stm.execute_observed(&mut port, &TxSpec::new(ops.add, &[1], &[0]), &mut rec);
+        assert_eq!(out.old, vec![10]);
+        assert!(!rec.events().is_empty());
+        assert_eq!(stm.read_cell(&mut port, 0), 11);
+    }
+
+    #[test]
+    fn fast_read_agrees_with_identity_transaction() {
+        let (stm, m, ops) = setup(8, 1);
+        let mut port = m.port(0);
+        for c in 0..8 {
+            stm.init_cell(&mut port, c, 100 + c as u32);
+        }
+        let cells = [6, 0, 3];
+        let fast = stm.try_read_only(&mut port, &cells).expect("uncontended fast read");
+        let slow =
+            stm.run(&mut port, &TxSpec::new(ops.read, &[], &cells), &mut TxOptions::new()).unwrap();
+        assert_eq!(fast.old, slow.old);
+        assert_eq!(fast.old_stamps, slow.old_stamps);
+        assert_eq!(fast.stats.attempts, 1, "uncontended: one double-collect round");
+    }
+
+    #[test]
+    fn fast_read_fails_under_a_live_owner() {
+        // A crashed (undecided) transaction holds its cells forever; the
+        // invisible read must refuse to return values it cannot validate.
+        let (stm, m, ops) = setup(4, 2);
+        let mut p1 = m.port(1);
+        stm.inject_crash_after_acquire(&mut p1, &TxSpec::new(ops.add, &[7], &[2]));
+        let mut p0 = m.port(0);
+        assert!(stm.try_read_only(&mut p0, &[2]).is_none(), "live owner must fail validation");
+        // The acquiring path helps the crashed transaction and completes it.
+        let out =
+            stm.run(&mut p0, &TxSpec::new(ops.read, &[], &[2]), &mut TxOptions::new()).unwrap();
+        assert_eq!(out.old, vec![7], "helper completed the crashed +7");
+        // With the obstruction cleared, the fast path works again.
+        assert_eq!(stm.try_read_only(&mut p0, &[2]).unwrap().old, vec![7]);
+    }
+
+    #[test]
+    fn fast_read_disabled_by_config() {
+        let config = StmConfig { fast_read_rounds: 0, ..StmConfig::default() };
+        let mut b = ProgramTable::builder();
+        let _ = register_builtins(&mut b);
+        let stm = Stm::new(0, 4, 1, 4, b.build(), config);
+        let m = HostMachine::new(stm.layout().words_needed(), 1);
+        let mut port = m.port(0);
+        assert!(stm.try_read_only(&mut port, &[0]).is_none());
+    }
+
+    #[test]
+    fn padded_instance_behaves_identically() {
+        let mut b = ProgramTable::builder();
+        let ops = register_builtins(&mut b);
+        let stm = Stm::new(0, 16, 2, 8, b.build(), StmConfig::host_tuned());
+        assert_eq!(stm.layout().pad_shift(), 3);
+        let m = HostMachine::new(stm.layout().words_needed(), 2);
+        let mut port = m.port(0);
+        stm.init_cell(&mut port, 3, 9);
+        let out =
+            stm.run(&mut port, &TxSpec::new(ops.add, &[1, 2], &[3, 7]), &mut TxOptions::new())
+                .unwrap();
+        assert_eq!(out.old, vec![9, 0]);
+        assert_eq!(stm.read_cell(&mut port, 3), 10);
+        assert_eq!(stm.try_read_only(&mut port, &[3, 7]).unwrap().old, vec![10, 2]);
     }
 
     #[test]
@@ -683,7 +927,7 @@ mod tests {
         let mut port = m.port(0);
         const N: u32 = (1 << 15) * 2 + 17;
         for i in 0..N {
-            let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[0]));
+            let out = stm.run(&mut port, &TxSpec::new(ops.add, &[1], &[0]), &mut TxOptions::new()).unwrap();
             assert_eq!(out.old[0], i, "lost update at version {i}");
         }
         assert_eq!(stm.read_cell(&mut port, 0), N);
@@ -697,7 +941,7 @@ mod tests {
         let mut port = m.port(0);
         const N: u32 = (1 << 16) + 33;
         for _ in 0..N {
-            let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[1]));
+            let _ = stm.run(&mut port, &TxSpec::new(ops.add, &[1], &[1]), &mut TxOptions::new()).unwrap();
         }
         assert_eq!(stm.read_cell(&mut port, 1), N);
     }
@@ -714,7 +958,7 @@ mod tests {
                 s.spawn(move || {
                     let mut port = m.port(p);
                     for _ in 0..PER {
-                        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &[1], &[2]));
+                        let _ = stm.run(&mut port, &TxSpec::new(ops.add, &[1], &[2]), &mut TxOptions::new()).unwrap();
                     }
                 });
             }
@@ -750,7 +994,7 @@ mod tests {
                         // add -1 (wrapping) to from, +1 to to
                         let params = [1u32.wrapping_neg() as u64, 1];
                         let cells = [from, to];
-                        let _ = stm.execute(&mut port, &TxSpec::new(ops.add, &params, &cells));
+                        let _ = stm.run(&mut port, &TxSpec::new(ops.add, &params, &cells), &mut TxOptions::new()).unwrap();
                     }
                 });
             }

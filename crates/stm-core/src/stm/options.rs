@@ -1,0 +1,109 @@
+//! Per-call execution options for the unified transaction entry points
+//! ([`Stm::run`](crate::stm::Stm::run) /
+//! [`DynamicStm::run`](crate::dynamic::DynamicStm::run)).
+//!
+//! Historically the observer × budget × contention-manager combinatorics grew
+//! one entry point per combination (`execute`, `execute_observed`,
+//! `try_execute_within`, …). [`TxOptions`] collapses them: one builder value
+//! carries all three knobs, and the defaults — [`NoopObserver`] +
+//! [`ImmediateRetry`] + [`TxBudget::unlimited`] — monomorphize to exactly the
+//! classic unobserved retry loop.
+
+use crate::contention::{ContentionManager, ImmediateRetry};
+use crate::observe::{NoopObserver, TxObserver};
+
+use super::TxBudget;
+
+/// Options for one transaction call: observer, contention manager, and
+/// retry budget.
+///
+/// The defaults cost nothing: [`NoopObserver`] compiles to the unobserved
+/// path, [`ImmediateRetry`] is the paper's retry-immediately policy, and an
+/// unlimited [`TxBudget`] retries until commit. Builder methods swap each
+/// knob, changing the type parameters as needed; both `observer` and
+/// `manager` are held **by value**, and `&mut O` / `&mut C` implement the
+/// traits too, so a long-lived observer or manager can be lent per call.
+///
+/// # Examples
+///
+/// ```
+/// use stm_core::contention::AdaptiveManager;
+/// use stm_core::observe::RecordingObserver;
+/// use stm_core::stm::{TxBudget, TxOptions};
+///
+/// // Everything default: the classic lock-free retry loop.
+/// let _plain = TxOptions::new();
+///
+/// // Bounded, adaptively managed, observed — lending the observer.
+/// let mut rec = RecordingObserver::new();
+/// let _opts = TxOptions::new()
+///     .observer(&mut rec)
+///     .manager(AdaptiveManager::new(0))
+///     .budget(TxBudget::attempts(64));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TxOptions<O = NoopObserver, C = ImmediateRetry> {
+    /// Receiver of the transaction's lifecycle events.
+    pub observer: O,
+    /// Policy consulted between failed attempts.
+    pub manager: C,
+    /// Retry budget; the first limit hit ends the call with
+    /// [`TxError::BudgetExhausted`](crate::stm::TxError::BudgetExhausted).
+    pub budget: TxBudget,
+}
+
+impl TxOptions {
+    /// The default options: unobserved, immediate retry, unlimited budget.
+    pub fn new() -> Self {
+        TxOptions { observer: NoopObserver, manager: ImmediateRetry, budget: TxBudget::unlimited() }
+    }
+}
+
+impl Default for TxOptions {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<O: TxObserver, C: ContentionManager> TxOptions<O, C> {
+    /// Replace the observer (pass `&mut obs` to lend a long-lived one).
+    pub fn observer<O2: TxObserver>(self, observer: O2) -> TxOptions<O2, C> {
+        TxOptions { observer, manager: self.manager, budget: self.budget }
+    }
+
+    /// Replace the contention manager (pass `&mut cm` to lend one whose
+    /// starvation pressure should accumulate across calls).
+    pub fn manager<C2: ContentionManager>(self, manager: C2) -> TxOptions<O, C2> {
+        TxOptions { observer: self.observer, manager, budget: self.budget }
+    }
+
+    /// Replace the retry budget.
+    pub fn budget(mut self, budget: TxBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contention::AdaptiveManager;
+    use crate::observe::RecordingObserver;
+
+    #[test]
+    fn builder_threads_every_knob() {
+        let mut rec = RecordingObserver::new();
+        let opts = TxOptions::new()
+            .budget(TxBudget::attempts(3))
+            .observer(&mut rec)
+            .manager(AdaptiveManager::new(1));
+        assert_eq!(opts.budget.max_attempts, Some(3));
+        assert!(!opts.manager.is_escalated());
+    }
+
+    #[test]
+    fn default_is_unlimited() {
+        let opts = TxOptions::default();
+        assert_eq!(opts.budget, TxBudget::unlimited());
+    }
+}

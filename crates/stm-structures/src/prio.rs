@@ -10,7 +10,7 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::TxSpec;
+use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -257,7 +257,7 @@ impl PrioHandle {
         let cap = self.capacity;
         match &mut self.inner {
             HandleInner::Stm { ops, insert, cells, .. } => {
-                let out = ops.execute(port, &TxSpec::new(*insert, &[v as Word], cells));
+                let out = ops.run(port, &TxSpec::new(*insert, &[v as Word], cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
                 (out.old[0] as usize) < cap
             }
             HandleInner::Herlihy { h } => h.update(port, |o| {
@@ -284,7 +284,7 @@ impl PrioHandle {
         let cap = self.capacity;
         match &mut self.inner {
             HandleInner::Stm { ops, extract, cells, .. } => {
-                let out = ops.execute(port, &TxSpec::new(*extract, &[], cells));
+                let out = ops.run(port, &TxSpec::new(*extract, &[], cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
                 let size = out.old[0] as usize;
                 if size == 0 {
                     None

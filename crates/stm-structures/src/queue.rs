@@ -18,7 +18,7 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::TxSpec;
+use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -179,7 +179,7 @@ impl QueueHandle {
                 let slot = SLOTS + (t as usize % cap);
                 let params = [t as Word, value as Word];
                 let cells = [HEAD, TAIL, slot];
-                let out = ops.execute(port, &TxSpec::new(*enq, &params, &cells));
+                let out = ops.run(port, &TxSpec::new(*enq, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
                 if out.old[1] != t {
                     continue; // tail moved under us; re-speculate
                 }
@@ -215,7 +215,7 @@ impl QueueHandle {
                 let slot = SLOTS + (hd as usize % cap);
                 let params = [hd as Word];
                 let cells = [HEAD, TAIL, slot];
-                let out = ops.execute(port, &TxSpec::new(*deq, &params, &cells));
+                let out = ops.run(port, &TxSpec::new(*deq, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
                 if out.old[0] != hd {
                     continue;
                 }

@@ -10,7 +10,7 @@
 
 use stm_core::machine::host::HostMachine;
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_core::word::Word;
 
 const ACCOUNTS: usize = 8;
@@ -62,7 +62,9 @@ fn main() {
                     let to = (from + 1 + (i % (ACCOUNTS - 1))) % ACCOUNTS;
                     let amount = (x % 50) as Word;
                     let cells = [from, to];
-                    let _ = ops.execute(&mut port, &TxSpec::new(transfer, &[amount], &cells));
+                    let _ = ops
+                        .run(&mut port, &TxSpec::new(transfer, &[amount], &cells), &mut TxOptions::new())
+                        .unwrap();
                 }
             });
         }

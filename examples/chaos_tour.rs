@@ -33,7 +33,7 @@ use stm_core::machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog};
 use stm_core::machine::host::HostMachine;
 use stm_core::metrics::TxMetrics;
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxBudget, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_core::word::{CellIdx, Word};
 
 const PROCS: usize = 4;
@@ -124,12 +124,10 @@ fn main() {
                         let spec = TxSpec::new(ops.builtins().add, &params, &cells);
                         let out = ops
                             .stm()
-                            .try_execute_within(
+                            .run(
                                 &mut port,
                                 &spec,
-                                TxBudget::unlimited(),
-                                &mut cm,
-                                &mut metrics,
+                                &mut TxOptions::new().observer(&mut metrics).manager(&mut cm),
                             )
                             .expect("unlimited budget cannot exhaust");
                         handle.commit();

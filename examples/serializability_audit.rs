@@ -15,7 +15,7 @@ use std::sync::Mutex;
 use stm_core::history::{CommitRecord, HistoryChecker};
 use stm_core::machine::host::HostMachine;
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_core::word::Word;
 
 const THREADS: usize = 4;
@@ -47,8 +47,14 @@ fn main() {
                     let deltas = [1 + (i as u32 % 3), (p as u32) + 2];
                     let cells = [a, b];
                     let params = [deltas[0] as Word, deltas[1] as Word];
-                    let out =
-                        ops.stm().execute(&mut port, &TxSpec::new(builtins.add, &params, &cells));
+                    let out = ops
+                        .stm()
+                        .run(
+                            &mut port,
+                            &TxSpec::new(builtins.add, &params, &cells),
+                            &mut TxOptions::new(),
+                        )
+                        .unwrap();
                     local.push(CommitRecord {
                         id: next_id.fetch_add(1, Ordering::SeqCst),
                         cells: cells.to_vec(),

@@ -23,7 +23,7 @@ use std::sync::{Arc, Mutex};
 use stm_core::machine::counting::CountingPort;
 use stm_core::machine::host::HostMachine;
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_core::{NoopObserver, RecordingObserver, TxMetrics};
 use stm_sim::engine::SimPort;
 use stm_sim::perfetto;
@@ -45,15 +45,15 @@ fn zero_cost_hooks() {
     let mut port = CountingPort::new(machine.port(0));
     let spec = |params: &'static [u64]| TxSpec::new(ops.builtins().add, params, &[1, 4]);
 
-    // Footprint of a plain (unobserved) transaction...
-    let _ = ops.stm().execute(&mut port, &spec(&[1, 1]));
+    // Footprint of a plain (default-options) transaction...
+    let _ = ops.stm().run(&mut port, &spec(&[1, 1]), &mut TxOptions::new());
     port.reset();
-    let _ = ops.stm().execute(&mut port, &spec(&[1, 1]));
+    let _ = ops.stm().run(&mut port, &spec(&[1, 1]), &mut TxOptions::new());
     let plain = port.counts();
 
     // ...equals the footprint with the no-op observer threaded through.
     port.reset();
-    let _ = ops.stm().execute_observed(&mut port, &spec(&[1, 1]), &mut NoopObserver);
+    let _ = ops.stm().run(&mut port, &spec(&[1, 1]), &mut TxOptions::new().observer(NoopObserver));
     let observed = port.counts();
     println!("plain footprint:    {plain:?}");
     println!("noop-observed:      {observed:?}");
@@ -61,7 +61,7 @@ fn zero_cost_hooks() {
 
     // A RecordingObserver sees the full lifecycle of the same transaction.
     let mut rec = RecordingObserver::default();
-    let _ = ops.stm().execute_observed(&mut port, &spec(&[2, 2]), &mut rec);
+    let _ = ops.stm().run(&mut port, &spec(&[2, 2]), &mut TxOptions::new().observer(&mut rec));
     println!("lifecycle events:");
     for e in rec.events() {
         println!("  {e:?}");
@@ -84,7 +84,9 @@ fn contention_metrics() -> stm_sim::SimReport {
                 // Everyone hammers cell 0; cell 1..3 spread the rest.
                 let cells = [0, 1 + (p + i) % 3];
                 let spec = TxSpec::new(ops.builtins().add, &[1, 1], &cells);
-                let _ = ops.stm().execute_observed(&mut port, &spec, &mut metrics);
+                let _ = ops
+                    .stm()
+                    .run(&mut port, &spec, &mut TxOptions::new().observer(&mut metrics));
             }
             collected.lock().unwrap().push(metrics);
         }

@@ -3,7 +3,7 @@
 
 use stm_core::dynamic::DynamicStm;
 use stm_core::machine::host::HostMachine;
-use stm_core::stm::StmConfig;
+use stm_core::stm::{StmConfig, TxOptions};
 use stm_sim::arch::{BusModel, MeshModel};
 use stm_sim::engine::{SimConfig, SimPort, Simulation};
 use stm_sim::explore::sweep;
@@ -34,11 +34,16 @@ fn dynamic_counters_exact_across_schedules() {
                     let d = d.clone();
                     move |mut port: SimPort| {
                         for i in 0..PER {
-                            d.run(&mut port, |tx| {
-                                let c = (p + i as usize) % 2;
-                                let v = tx.read(c);
-                                tx.write(c, v + 1);
-                            });
+                            d.run(
+                                &mut port,
+                                |tx| {
+                                    let c = (p + i as usize) % 2;
+                                    let v = tx.read(c);
+                                    tx.write(c, v + 1);
+                                },
+                                &mut TxOptions::new(),
+                            )
+                            .unwrap();
                         }
                     }
                 },
@@ -71,20 +76,25 @@ fn dynamic_pointer_chase_conserves_on_mesh() {
                     let d = d.clone();
                     move |mut port: SimPort| {
                         for i in 0..12 {
-                            d.run(&mut port, |tx| {
-                                let start = (p + i) % 4;
-                                let a = tx.read(start) as usize % 4;
-                                let b = tx.read(a) as usize % 4;
-                                if a == b {
-                                    return;
-                                }
-                                let va = tx.read(4 + a);
-                                if va > 0 {
-                                    let vb = tx.read(4 + b);
-                                    tx.write(4 + a, va - 1);
-                                    tx.write(4 + b, vb + 1);
-                                }
-                            });
+                            d.run(
+                                &mut port,
+                                |tx| {
+                                    let start = (p + i) % 4;
+                                    let a = tx.read(start) as usize % 4;
+                                    let b = tx.read(a) as usize % 4;
+                                    if a == b {
+                                        return;
+                                    }
+                                    let va = tx.read(4 + a);
+                                    if va > 0 {
+                                        let vb = tx.read(4 + b);
+                                        tx.write(4 + a, va - 1);
+                                        tx.write(4 + b, vb + 1);
+                                    }
+                                },
+                                &mut TxOptions::new(),
+                            )
+                            .unwrap();
                         }
                     }
                 },
@@ -120,12 +130,17 @@ fn dynamic_and_static_transactions_interoperate_on_host() {
                         // optimistic reads are not mutually atomic); the
                         // commit-time validation rejects those attempts, so
                         // the committed effect is still a lockstep +1/+1.
-                        d.run(&mut port, |tx| {
-                            let a = tx.read(0);
-                            let b = tx.read(1);
-                            tx.write(0, a + 1);
-                            tx.write(1, b + 1);
-                        });
+                        d.run(
+                            &mut port,
+                            |tx| {
+                                let a = tx.read(0);
+                                let b = tx.read(1);
+                                tx.write(0, a + 1);
+                                tx.write(1, b + 1);
+                            },
+                            &mut TxOptions::new(),
+                        )
+                        .unwrap();
                     } else {
                         // Static 2-cell add through the same instance's
                         // underlying static STM (shared cells).

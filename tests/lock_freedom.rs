@@ -6,7 +6,7 @@
 //! surviving processors finish their work, completing the crashed
 //! transaction via helping exactly as the paper prescribes.
 
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_sim::arch::{BusModel, MeshModel};
 use stm_sim::engine::SimPort;
 use stm_sim::explore::sweep;
@@ -198,7 +198,12 @@ fn helping_fires_and_preserves_progress_under_symmetric_conflicts() {
                         let cells = if (p + i as usize).is_multiple_of(2) { [0, 1] } else { [1, 0] };
                         let out = ops
                             .stm()
-                            .execute(&mut port, &TxSpec::new(builtins.add, &[1, 1], &cells));
+                            .run(
+                                &mut port,
+                                &TxSpec::new(builtins.add, &[1, 1], &cells),
+                                &mut TxOptions::new(),
+                            )
+                            .unwrap();
                         helps_seen
                             .fetch_add(out.stats.helps, std::sync::atomic::Ordering::Relaxed);
                     }

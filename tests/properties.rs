@@ -10,7 +10,7 @@ use proptest::prelude::*;
 use stm_core::machine::host::HostMachine;
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxBudget, TxOptions, TxSpec};
 use stm_core::word::{
     cell_stamp, cell_successor, cell_value, oldval_for_version, pack_cell, pack_oldval_set,
     pack_oldval_unset, pack_owner, pack_status, unpack_owner, unpack_status, TxStatus,
@@ -160,16 +160,22 @@ proptest! {
         let mut port = machine.port(0);
         let mut reference = [0u32; CELLS];
         for &(c, v, also_neighbour) in &ops_list {
-            let (got, _) = d.run(&mut port, |tx| {
-                let old = tx.read(c);
-                tx.write(c, old ^ v);
-                if also_neighbour {
-                    let n = (c + 1) % CELLS;
-                    let o = tx.read(n);
-                    tx.write(n, o.wrapping_add(1));
-                }
-                old
-            });
+            let (got, _) = d
+                .run(
+                    &mut port,
+                    |tx| {
+                        let old = tx.read(c);
+                        tx.write(c, old ^ v);
+                        if also_neighbour {
+                            let n = (c + 1) % CELLS;
+                            let o = tx.read(n);
+                            tx.write(n, o.wrapping_add(1));
+                        }
+                        old
+                    },
+                    &mut TxOptions::new(),
+                )
+                .unwrap();
             prop_assert_eq!(got, reference[c]);
             reference[c] ^= v;
             if also_neighbour {
@@ -389,11 +395,11 @@ proptest! {
 }
 
 // ---------------------------------------------------------------------------
-// try_execute surfaces conflicts without spinning
+// A single-attempt budget surfaces conflicts without spinning
 // ---------------------------------------------------------------------------
 
 #[test]
-fn try_execute_reports_conflict_against_wedged_owner() {
+fn single_attempt_budget_reports_conflict_against_wedged_owner() {
     // Wedge cell 0 under a crashed, helping-disabled-undecidable... rather:
     // crash a transaction and disable helping in the *prober*, so the probe
     // cannot complete the dead transaction and must report the conflict.
@@ -422,7 +428,8 @@ fn try_execute_reports_conflict_against_wedged_owner() {
             // Give the crasher time to acquire, then probe once.
             port.delay(10_000);
             let spec = TxSpec::new(builtins.add, &[1], &cells);
-            if ops.stm().try_execute(&mut port, &spec).is_err() {
+            let mut once = TxOptions::new().budget(TxBudget::attempts(1));
+            if ops.stm().run(&mut port, &spec, &mut once).is_err() {
                 cs.store(true, std::sync::atomic::Ordering::SeqCst);
             }
         }

@@ -1,0 +1,257 @@
+//! The read-only fast path under adversarial concurrency.
+//!
+//! The validated double-collect read ([`stm_core::stm::Stm::try_read_only`])
+//! commits snapshots with zero shared-memory writes. These tests pin down
+//! the two claims that make it safe to ship:
+//!
+//! 1. **Agreement** — a fast-path snapshot is a consistent cut: it observes
+//!    exactly the states an identity (acquiring) transaction over the same
+//!    cells can observe, never a torn mixture. Checked against lockstep
+//!    writers on the deterministic Bus/Mesh simulators (proptest over
+//!    schedules) and on the real host machine under [`ChaosPort`]
+//!    preemption injection.
+//! 2. **Bounded retry** — when a writer storm (or a stalled owner) keeps
+//!    invalidating the collect, the fast path gives up after
+//!    `fast_read_rounds` and falls back to the acquiring protocol, which
+//!    helps blockers through; reads stay lock-free rather than livelocking.
+//!
+//! The lockstep invariant does the heavy lifting: writers only ever
+//! increment *all* cells in one transaction, so any snapshot in which the
+//! cells differ is an inconsistent cut, and the all-equal value is a
+//! monotone clock that totally orders every observed snapshot.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proptest::prelude::*;
+use stm_core::machine::chaos::{ChaosConfig, ChaosPort};
+use stm_core::machine::counting::CountingPort;
+use stm_core::machine::host::HostMachine;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
+use stm_sim::arch::{BusModel, MeshModel};
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+const CELLS: usize = 4;
+
+/// Assert a snapshot is a consistent cut of the lockstep counter and return
+/// its clock value.
+fn lockstep_value(snap: &[u32]) -> u32 {
+    assert!(
+        snap.windows(2).all(|w| w[0] == w[1]),
+        "torn snapshot (inconsistent cut): {snap:?}"
+    );
+    snap[0]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    /// Simulator agreement witness: under random schedules on both
+    /// machines, fast-path snapshots and identity-transaction snapshots
+    /// interleave into one monotone sequence of consistent lockstep states,
+    /// and after quiescence both report exactly the write count.
+    #[test]
+    fn fast_snapshot_agrees_with_identity_snapshot_on_sims(
+        seed in 0u64..500,
+        jitter in 0u64..5,
+        mesh: bool,
+    ) {
+        const WRITERS: usize = 3;
+        const WRITES_PER: u64 = 15;
+        const READS: u64 = 30;
+        let sim = StmSim::new(WRITERS + 1, CELLS, CELLS, StmConfig::default())
+            .seed(seed)
+            .jitter(jitter);
+        let observed: Arc<Mutex<Vec<(bool, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+        let obs = Arc::clone(&observed);
+        let body = |p: usize, ops: StmOps| {
+            let obs = Arc::clone(&obs);
+            move |mut port: SimPort| {
+                let cells: Vec<usize> = (0..CELLS).collect();
+                if p < WRITERS {
+                    for _ in 0..WRITES_PER {
+                        ops.fetch_add_many(&mut port, &cells, &[1; CELLS]);
+                    }
+                    return;
+                }
+                // The reader: alternate the fast path with the acquiring
+                // identity transaction over the same cells.
+                let spec = TxSpec::new(ops.builtins().read, &[], &cells);
+                for i in 0..READS {
+                    let (fast, snap) = if i % 2 == 0 {
+                        (true, ops.snapshot(&mut port, &cells))
+                    } else {
+                        let out = ops
+                            .run(&mut port, &spec, &mut TxOptions::new())
+                            .expect("unlimited budget");
+                        (false, out.old)
+                    };
+                    obs.lock().unwrap().push((fast, lockstep_value(&snap)));
+                }
+            }
+        };
+        let report = if mesh {
+            sim.run(MeshModel::for_procs(WRITERS + 1), body)
+        } else {
+            sim.run(BusModel::for_procs(WRITERS + 1), body)
+        };
+        // Both snapshot kinds linearize into one monotone clock.
+        let seq = observed.lock().unwrap();
+        prop_assert_eq!(seq.len() as u64, READS);
+        for w in seq.windows(2) {
+            prop_assert!(
+                w[1].1 >= w[0].1,
+                "snapshots ran backwards: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // Quiescent agreement: every cell holds exactly the write count.
+        let want = (WRITERS as u64 * WRITES_PER) as u32;
+        prop_assert_eq!(sim.all_cells(&report), vec![want; CELLS]);
+        prop_assert!(sim.leaked_ownerships(&report).is_empty());
+    }
+}
+
+/// Host agreement witness: the same interleaved reader against real-thread
+/// writers, with [`ChaosPort`] injecting yields/sleeps/spins at every
+/// protocol step point. The OS scheduler is the adversary; the lockstep
+/// invariant is the oracle.
+#[test]
+fn fast_snapshot_agrees_under_chaos_on_host() {
+    const WRITERS: usize = 3;
+    const WRITES_PER: u64 = 60;
+    const READS: u64 = 120;
+    for seed in [0x5EED, 0xB0A7] {
+        let ops = StmOps::new(0, CELLS, WRITERS + 1, CELLS, StmConfig::default());
+        let machine = HostMachine::new(ops.stm().layout().words_needed(), WRITERS + 1);
+        let writes_done = AtomicU64::new(0);
+        std::thread::scope(|s| {
+            for p in 0..WRITERS {
+                let ops = ops.clone();
+                let machine = machine.clone();
+                let writes_done = &writes_done;
+                s.spawn(move || {
+                    let mut port =
+                        ChaosPort::new(machine.port(p), ChaosConfig::default().with_seed(seed));
+                    let cells: Vec<usize> = (0..CELLS).collect();
+                    for _ in 0..WRITES_PER {
+                        ops.fetch_add_many(&mut port, &cells, &[1; CELLS]);
+                        writes_done.fetch_add(1, Ordering::SeqCst);
+                    }
+                });
+            }
+            let ops = ops.clone();
+            let machine = machine.clone();
+            s.spawn(move || {
+                let mut port = ChaosPort::new(
+                    machine.port(WRITERS),
+                    ChaosConfig::default().with_seed(seed ^ 1),
+                );
+                let cells: Vec<usize> = (0..CELLS).collect();
+                let spec = TxSpec::new(ops.builtins().read, &[], &cells);
+                let mut last = 0u32;
+                for i in 0..READS {
+                    let snap = if i % 2 == 0 {
+                        ops.snapshot(&mut port, &cells)
+                    } else {
+                        ops.run(&mut port, &spec, &mut TxOptions::new())
+                            .expect("unlimited budget")
+                            .old
+                    };
+                    let v = lockstep_value(&snap);
+                    assert!(v >= last, "snapshots ran backwards: {last} then {v}");
+                    last = v;
+                }
+            });
+        });
+        // Quiescent agreement between the two paths and the write count.
+        let mut port = machine.port(0);
+        let cells: Vec<usize> = (0..CELLS).collect();
+        let fast = ops.stm().try_read_only(&mut port, &cells).expect("no live owner remains");
+        let want = writes_done.load(Ordering::SeqCst) as u32;
+        assert_eq!(fast.old, vec![want; CELLS], "seed {seed:#x}");
+        let identity = ops
+            .run(&mut port, &TxSpec::new(ops.builtins().read, &[], &cells), &mut TxOptions::new())
+            .unwrap();
+        assert_eq!(identity.old, fast.old, "seed {seed:#x}");
+    }
+}
+
+/// Writer storm: with the fast path bounded to a single validation round,
+/// saturating writers keep invalidating the reader's collects, so some
+/// snapshots must take the acquiring fallback — visible in the simulator as
+/// protocol commits beyond what the writers alone account for. The reads
+/// still finish and still observe only consistent cuts: the escape hatch
+/// engages instead of livelocking.
+#[test]
+fn writer_storm_forces_fallback_through_acquiring_path() {
+    const WRITERS: usize = 3;
+    const WRITES_PER: u64 = 40;
+    const READS: u64 = 40;
+    let config = StmConfig { fast_read_rounds: 1, ..StmConfig::default() };
+    let sim = StmSim::new(WRITERS + 1, CELLS, CELLS, config).seed(9).jitter(3).trace(200_000);
+    let report = sim.run(BusModel::for_procs(WRITERS + 1), |p, ops| {
+        move |mut port: SimPort| {
+            let cells: Vec<usize> = (0..CELLS).collect();
+            if p < WRITERS {
+                for _ in 0..WRITES_PER {
+                    ops.fetch_add_many(&mut port, &cells, &[1; CELLS]);
+                }
+                return;
+            }
+            for _ in 0..READS {
+                let snap = ops.snapshot(&mut port, &cells);
+                lockstep_value(&snap);
+            }
+        }
+    });
+    let writer_commits = WRITERS as u64 * WRITES_PER;
+    let commits = report.stats.commits();
+    assert!(
+        commits > writer_commits,
+        "the storm must push at least one snapshot onto the acquiring path \
+         ({commits} commits vs {writer_commits} writer transactions)"
+    );
+    assert_eq!(sim.all_cells(&report), vec![(writer_commits) as u32; CELLS]);
+    assert!(sim.leaked_ownerships(&report).is_empty());
+}
+
+/// Deterministic fallback proof on the host: a transaction crashed after
+/// acquiring ownership wedges the cells, so every validation round sees a
+/// live owner. The bounded fast path refuses, and `snapshot` falls back to
+/// the acquiring path — which performs shared-memory writes (helping the
+/// wedged transaction through) where the fast path performed none.
+#[test]
+fn wedged_owner_forces_fallback_and_fallback_writes() {
+    let ops = StmOps::new(0, CELLS, 2, CELLS, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), 2);
+
+    // Proc 1 acquires cells 0..2 for a (+5, +5) add, then dies.
+    let mut p1 = machine.port(1);
+    ops.stm()
+        .inject_crash_after_acquire(&mut p1, &TxSpec::new(ops.builtins().add, &[5, 5], &[0, 1]));
+
+    let mut port = CountingPort::new(machine.port(0));
+    // The bounded fast path burns its rounds against the live owner without
+    // a single shared-memory write, then refuses.
+    assert!(ops.stm().try_read_only(&mut port, &[0, 1]).is_none(), "live owner must block");
+    let c = port.counts();
+    assert!(c.reads > 0, "validation rounds read shared memory");
+    assert_eq!(c.writes + c.cas_ok + c.cas_failed, 0, "the refusing fast path writes nothing");
+
+    // The full snapshot falls back, helps the corpse through, and returns
+    // the post-help values — at the cost of shared-memory writes.
+    port.reset();
+    assert_eq!(ops.snapshot(&mut port, &[0, 1]), vec![5, 5]);
+    let c = port.counts();
+    assert!(
+        c.writes + c.cas_ok + c.cas_failed > 0,
+        "the acquiring fallback must write (it helped the wedged transaction)"
+    );
+
+    // Obstruction cleared: the fast path is zero-write again.
+    port.reset();
+    assert_eq!(ops.snapshot(&mut port, &[0, 1]), vec![5, 5]);
+    let c = port.counts();
+    assert_eq!(c.writes + c.cas_ok + c.cas_failed, 0, "uncontended snapshots stay invisible");
+}

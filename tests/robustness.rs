@@ -16,7 +16,7 @@ use stm_core::metrics::TxMetrics;
 use stm_core::observe::{RecordingObserver, TxEvent};
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{Sabotage, StmConfig, TxBudget, TxError, TxSpec};
+use stm_core::stm::{Sabotage, StmConfig, TxBudget, TxError, TxOptions, TxSpec};
 use stm_core::word::Word;
 
 /// Ops with an extra "boom" program that always panics mid-commit.
@@ -45,7 +45,11 @@ fn panicking_op_releases_ownerships_and_cells_stay_usable() {
 
     let err = ops
         .stm()
-        .execute_for(&mut p0, &TxSpec::new(boom, &[], &[2, 3]), TxBudget::unlimited())
+        .run(
+            &mut p0,
+            &TxSpec::new(boom, &[], &[2, 3]),
+            &mut TxOptions::new().manager(AdaptiveManager::new(0)),
+        )
         .unwrap_err();
     assert_eq!(err, TxError::OpPanicked { attempts: 1 });
 
@@ -55,15 +59,21 @@ fn panicking_op_releases_ownerships_and_cells_stay_usable() {
     let mut p1 = m.port(1);
     let out = ops
         .stm()
-        .try_execute(&mut p1, &TxSpec::new(ops.builtins().add, &[5, 5], &[2, 3]))
+        .run(
+            &mut p1,
+            &TxSpec::new(ops.builtins().add, &[5, 5], &[2, 3]),
+            &mut TxOptions::new().budget(TxBudget::attempts(1)),
+        )
         .expect("cells must be free after the contained panic");
     assert_eq!(out.old, vec![10, 20], "panicked transaction installed nothing");
     assert_eq!(ops.snapshot(&mut p1, &[2, 3]), vec![15, 25]);
 }
 
 /// The classic `execute` path re-raises the panic — but only after cleanup,
-/// so the machine stays usable underneath the unwind.
+/// so the machine stays usable underneath the unwind. (Deprecation test:
+/// deliberately exercises the legacy wrapper until removal.)
 #[test]
+#[allow(deprecated)]
 fn legacy_execute_reraises_the_panic_after_cleanup() {
     let (ops, boom) = ops_with_boom(2, StmConfig::default());
     let m = HostMachine::new(ops.stm().layout().words_needed(), 2);
@@ -91,12 +101,10 @@ fn op_panic_is_counted_by_metrics() {
     let mut cm = AdaptiveManager::new(0);
     let err = ops
         .stm()
-        .try_execute_within(
+        .run(
             &mut p0,
             &TxSpec::new(boom, &[], &[4]),
-            TxBudget::unlimited(),
-            &mut cm,
-            &mut metrics,
+            &mut TxOptions::new().observer(&mut metrics).manager(&mut cm),
         )
         .unwrap_err();
     assert!(matches!(err, TxError::OpPanicked { .. }));
@@ -108,8 +116,8 @@ fn op_panic_is_counted_by_metrics() {
 // Budgets
 // ---------------------------------------------------------------------------
 
-/// Acceptance: `try_execute_within` returns `BudgetExhausted` under a rigged
-/// pathological conflict workload instead of hanging.
+/// Acceptance: a budgeted `Stm::run` returns `BudgetExhausted` under a
+/// rigged pathological conflict workload instead of hanging.
 #[test]
 fn attempt_budget_exhausts_against_an_abandoned_owner() {
     // Helping off: the abandoned transaction can never be completed by the
@@ -125,12 +133,10 @@ fn attempt_budget_exhausts_against_an_abandoned_owner() {
     let mut cm = ImmediateRetry;
     let err = ops
         .stm()
-        .try_execute_within(
+        .run(
             &mut p1,
             &TxSpec::new(ops.builtins().add, &[1, 1], &[0, 1]),
-            TxBudget::attempts(16),
-            &mut cm,
-            &mut stm_core::observe::NoopObserver,
+            &mut TxOptions::new().manager(&mut cm).budget(TxBudget::attempts(16)),
         )
         .unwrap_err();
     assert_eq!(err, TxError::BudgetExhausted { attempts: 16, cells_contended: 1 });
@@ -147,18 +153,16 @@ fn wall_budget_returns_promptly_under_permanent_conflict() {
     ops.stm().inject_crash_after_acquire(&mut p0, &TxSpec::new(ops.builtins().add, &[1], &[3]));
 
     // ImmediateRetry never escalates to help-first, so with helping off the
-    // conflict really is permanent (execute_for's adaptive manager would
-    // rescue itself by helping — tested elsewhere).
+    // conflict really is permanent (an adaptive manager would rescue itself
+    // by helping — tested elsewhere).
     let mut p1 = m.port(1);
     let started = Instant::now();
     let err = ops
         .stm()
-        .try_execute_within(
+        .run(
             &mut p1,
             &TxSpec::new(ops.builtins().add, &[1], &[3]),
-            TxBudget::wall(Duration::from_millis(50)),
-            &mut ImmediateRetry,
-            &mut stm_core::observe::NoopObserver,
+            &mut TxOptions::new().budget(TxBudget::wall(Duration::from_millis(50))),
         )
         .unwrap_err();
     assert!(matches!(err, TxError::BudgetExhausted { attempts, .. } if attempts >= 1), "{err:?}");
@@ -174,10 +178,10 @@ fn zero_budget_still_runs_one_attempt() {
     let mut p0 = m.port(0);
     let out = ops
         .stm()
-        .execute_for(
+        .run(
             &mut p0,
             &TxSpec::new(ops.builtins().add, &[9], &[5]),
-            TxBudget::wall(Duration::ZERO),
+            &mut TxOptions::new().budget(TxBudget::wall(Duration::ZERO)),
         )
         .expect("uncontended first attempt commits within any budget");
     assert_eq!(out.old, vec![0]);
@@ -207,12 +211,10 @@ fn repeated_losses_to_one_owner_trigger_help_first_within_bound() {
     let mut metrics = TxMetrics::new();
     let out = ops
         .stm()
-        .try_execute_within(
+        .run(
             &mut p1,
             &TxSpec::new(ops.builtins().add, &[1], &[7]),
-            TxBudget::unlimited(),
-            &mut cm,
-            &mut metrics,
+            &mut TxOptions::new().observer(&mut metrics).manager(&mut cm),
         )
         .expect("help-first escalation must rescue the starved proc");
 
@@ -246,12 +248,10 @@ fn sabotaged_release_plus_panic_does_not_double_release() {
     let mut cm = AdaptiveManager::new(0);
     let err = ops
         .stm()
-        .try_execute_within(
+        .run(
             &mut p0,
             &TxSpec::new(boom, &[], &cells),
-            TxBudget::unlimited(),
-            &mut cm,
-            &mut rec,
+            &mut TxOptions::new().observer(&mut rec).manager(&mut cm),
         )
         .unwrap_err();
     assert!(matches!(err, TxError::OpPanicked { .. }));
@@ -267,7 +267,11 @@ fn sabotaged_release_plus_panic_does_not_double_release() {
     let mut p1 = m.port(1);
     let out = ops
         .stm()
-        .try_execute(&mut p1, &TxSpec::new(ops.builtins().add, &[1, 1, 1], &cells))
+        .run(
+            &mut p1,
+            &TxSpec::new(ops.builtins().add, &[1, 1, 1], &cells),
+            &mut TxOptions::new().budget(TxBudget::attempts(1)),
+        )
         .expect("no stranded ownership after sabotage + panic");
     assert_eq!(out.old, vec![0, 0, 0]);
 }
@@ -328,20 +332,28 @@ fn dynamic_body_panic_is_contained_and_stm_reusable() {
     let mut port = m.port(0);
 
     let err = d
-        .run_within(&mut port, TxBudget::unlimited(), |tx| {
-            let v = tx.read(0);
-            tx.write(0, v + 1);
-            panic!("dynamic body blows up");
-        })
+        .run(
+            &mut port,
+            |tx| {
+                let v = tx.read(0);
+                tx.write(0, v + 1);
+                panic!("dynamic body blows up");
+            },
+            &mut TxOptions::new(),
+        )
         .unwrap_err();
     assert_eq!(err, TxError::OpPanicked { attempts: 1 });
     assert_eq!(d.read_cell(&mut port, 0), 0, "aborted body must install nothing");
 
     let (_, stats) = d
-        .run_within(&mut port, TxBudget::unlimited(), |tx| {
-            let v = tx.read(0);
-            tx.write(0, v + 1);
-        })
+        .run(
+            &mut port,
+            |tx| {
+                let v = tx.read(0);
+                tx.write(0, v + 1);
+            },
+            &mut TxOptions::new(),
+        )
         .expect("dynamic STM usable after contained panic");
     assert_eq!(stats.attempts, 1);
     assert_eq!(d.read_cell(&mut port, 0), 1);
@@ -364,11 +376,15 @@ fn dynamic_attempt_budget_bounds_body_executions() {
     // transaction, and the dynamic transaction still commits — budget intact.
     let mut p1 = m.port(1);
     let (seen, stats) = d
-        .run_within(&mut p1, TxBudget::unlimited(), |tx| {
-            let v = tx.read(0);
-            tx.write(0, v + 10);
-            v
-        })
+        .run(
+            &mut p1,
+            |tx| {
+                let v = tx.read(0);
+                tx.write(0, v + 10);
+                v
+            },
+            &mut TxOptions::new().manager(AdaptiveManager::new(1)),
+        )
         .expect("escalation rescues the dynamic commit");
     // The abandoned add(+1) may land before or after our first read; either
     // way the final value reflects both transactions.
@@ -384,10 +400,14 @@ fn dynamic_zero_wall_budget_still_commits_uncontended() {
     let m = HostMachine::new(d.stm().layout().words_needed(), 1);
     let mut port = m.port(0);
     let ((), stats) = d
-        .run_within(&mut port, TxBudget::wall(Duration::ZERO), |tx| {
-            let v = tx.read(3);
-            tx.write(3, v + 2);
-        })
+        .run(
+            &mut port,
+            |tx| {
+                let v = tx.read(3);
+                tx.write(3, v + 2);
+            },
+            &mut TxOptions::new().budget(TxBudget::wall(Duration::ZERO)),
+        )
         .expect("first body + first commit attempt always run");
     assert_eq!(stats.attempts, 1);
     assert_eq!(d.read_cell(&mut port, 3), 2);

@@ -13,7 +13,7 @@
 //!   duplicated commits, even with helping replaying work).
 
 use stm_core::ops::StmOps;
-use stm_core::stm::{StmConfig, TxSpec};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
 use stm_core::word::Word;
 use stm_sim::arch::{BusModel, MeshModel};
 use stm_sim::engine::SimPort;
@@ -155,7 +155,9 @@ fn guarded_transactions_never_go_negative() {
                     for i in 0..25 {
                         let c = (p + i) % CELLS;
                         let cells = [c];
-                        let _ = ops.execute(&mut port, &TxSpec::new(dec, &[], &cells));
+                        let _ = ops
+                            .run(&mut port, &TxSpec::new(dec, &[], &cells), &mut TxOptions::new())
+                            .unwrap();
                     }
                 }
             })
@@ -239,7 +241,12 @@ fn recorded_histories_are_serializable() {
                     let params = [deltas[0] as Word, deltas[1] as Word];
                     let out = ops
                         .stm()
-                        .execute(&mut port, &TxSpec::new(builtins.add, &params, &cells));
+                        .run(
+                            &mut port,
+                            &TxSpec::new(builtins.add, &params, &cells),
+                            &mut TxOptions::new(),
+                        )
+                        .unwrap();
                     let new_values: Vec<u32> = out
                         .old
                         .iter()

@@ -2,7 +2,7 @@
 //! both simulated architectures, and the Perfetto export is schema-valid
 //! JSON for arbitrary seeds.
 //!
-//! The event grammar checked per `execute_observed` call:
+//! The event grammar checked per observed [`Stm::run`] call:
 //!
 //! ```text
 //! call    := attempt* final
@@ -20,7 +20,7 @@
 use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
-use stm_core::stm::{StmConfig, TxSpec, TxStats};
+use stm_core::stm::{StmConfig, TxOptions, TxSpec, TxStats};
 use stm_core::{RecordingObserver, TxEvent};
 use stm_sim::arch::{BusModel, CostModel, MeshModel};
 use stm_sim::engine::SimPort;
@@ -142,7 +142,10 @@ fn run_ordering_check(model: impl CostModel + 'static, procs: usize, seed: u64, 
                 // Overlapping 2- and 3-cell sets centered on shared cell 0.
                 let cells = if i % 2 == 0 { vec![0, 1 + (p + i) % 3] } else { vec![0, 1, 3] };
                 let spec = TxSpec::new(ops.builtins().add, &[1; 3][..cells.len()], &cells);
-                let out = ops.stm().execute_observed(&mut port, &spec, &mut rec);
+                let out = ops
+                    .stm()
+                    .run(&mut port, &spec, &mut TxOptions::new().observer(&mut rec))
+                    .unwrap();
                 helps += out.stats.helps;
                 if let Err(msg) = check_stream(rec.events(), &out.stats) {
                     violations.lock().unwrap().push(format!("P{p} tx{i}: {msg}"));

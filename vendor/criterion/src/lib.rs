@@ -131,6 +131,13 @@ fn time_once(f: &mut dyn FnMut(&mut Bencher), iters: u64) -> Duration {
     b.elapsed
 }
 
+/// `d / iters` without the `Duration / u32` width limit: iteration counts
+/// can exceed `u32::MAX` when the benched closure folds to constant time.
+fn per_iter_of(d: Duration, iters: u64) -> Duration {
+    let nanos = d.as_nanos() / u128::from(iters.max(1));
+    Duration::from_nanos(nanos.min(u128::from(u64::MAX)) as u64)
+}
+
 fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     // Warm up and estimate the per-iteration cost.
     let mut iters = 1u64;
@@ -138,7 +145,7 @@ fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut per_iter = Duration::from_nanos(1);
     while warm_start.elapsed() < c.warm_up_time {
         let d = time_once(f, iters);
-        per_iter = (d / iters as u32).max(Duration::from_nanos(1));
+        per_iter = per_iter_of(d, iters).max(Duration::from_nanos(1));
         if d < Duration::from_millis(1) {
             iters = iters.saturating_mul(2);
         }
@@ -152,11 +159,11 @@ fn run_bench(c: &Criterion, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut min = Duration::MAX;
     for _ in 0..c.sample_size {
         let d = time_once(f, iters_per_sample);
-        let per = d / iters_per_sample as u32;
+        let per = per_iter_of(d, iters_per_sample);
         total += d;
         min = min.min(per);
     }
-    let mean = total / (c.sample_size as u32 * iters_per_sample as u32).max(1);
+    let mean = per_iter_of(total, (c.sample_size as u64).saturating_mul(iters_per_sample));
     println!(
         "bench {id:<40} mean {mean:>12?}  min {min:>12?}  ({} samples x {iters_per_sample} iters)",
         c.sample_size
