@@ -9,21 +9,28 @@
 //!   --tolerance PCT   allowed throughput regression in percent (default 15)
 //! ```
 //!
-//! Replays every `read_heavy` row of the committed `BENCH_stm.json`
-//! baseline — same workload, architecture, fast-path mode, processor
-//! count, operation count, and seed, so on an unchanged protocol the
-//! simulated cycle counts reproduce bit-exactly — and fails (exit 1) if
-//! any row's fresh throughput falls more than the tolerance below the
-//! committed number. Also enforces the structural invariant that the
-//! fast-read mode beats classic on every (bench, arch, procs)
-//! configuration: the fast path must stay a win, not just avoid decay.
+//! Replays every `read_heavy` row and every write-path `points` row of the
+//! committed `BENCH_stm.json` baseline — same workload, architecture, mode,
+//! processor count, operation count, and seed, so on an unchanged protocol
+//! the simulated cycle counts reproduce bit-exactly — and fails (exit 1)
+//! if any row's fresh throughput falls more than the tolerance below the
+//! committed number. Also enforces two structural invariants on the fresh
+//! run: the fast-read mode beats classic on every read-heavy
+//! (bench, arch, procs) configuration, and the write path's interpreted
+//! and compiled modes agree cycle-for-cycle on every (kernel, arch, procs)
+//! configuration — the standing bit-identity witness for the compiled-plan
+//! layer.
 //!
-//! Host (`host` section) rows are wall-clock and are deliberately ignored.
+//! Write-path rows are recognized inside `points` by `"bench":
+//! "write-path"`; figure rows (no seed) are not replayable and are
+//! skipped. Host (`host` section) rows are wall-clock and are deliberately
+//! ignored.
 
 use std::path::PathBuf;
 
 use stm_bench::read_heavy::{run_read_point, ReadBench, ReadMode, ReadPoint};
 use stm_bench::workloads::ArchKind;
+use stm_bench::write_path::{k_from_label, k_label, run_write_point, WriteMode, WritePoint};
 
 struct Options {
     baseline: PathBuf,
@@ -90,6 +97,37 @@ fn parse_baseline(doc: &serde_json::Value) -> Vec<BaselineRow> {
         .collect()
 }
 
+/// A baseline write-path row's replay parameters plus its committed
+/// throughput.
+struct WriteRow {
+    k: usize,
+    arch: ArchKind,
+    mode: WriteMode,
+    procs: usize,
+    total_ops: u64,
+    seed: u64,
+    throughput: f64,
+}
+
+fn parse_write_baseline(doc: &serde_json::Value) -> Vec<WriteRow> {
+    let Some(rows) = doc["points"].as_array() else { return Vec::new() };
+    rows.iter()
+        .filter(|r| r["bench"].as_str() == Some("write-path"))
+        .map(|r| WriteRow {
+            k: k_from_label(r["kernel"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown kernel label in baseline")),
+            arch: ArchKind::from_label(r["arch"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown arch label in baseline")),
+            mode: WriteMode::from_label(r["method"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown method label in baseline")),
+            procs: r["procs"].as_u64().unwrap_or_else(|| die("missing procs")) as usize,
+            total_ops: r["total_ops"].as_u64().unwrap_or_else(|| die("missing total_ops")),
+            seed: r["seed"].as_u64().unwrap_or_else(|| die("missing seed")),
+            throughput: r["throughput"].as_f64().unwrap_or_else(|| die("missing throughput")),
+        })
+        .collect()
+}
+
 fn die<T>(msg: &str) -> T {
     eprintln!("[bench-gate] error: {msg}");
     std::process::exit(2);
@@ -106,9 +144,14 @@ fn main() {
     if baseline.is_empty() {
         die::<()>("baseline read_heavy section is empty; regenerate with `figures read-heavy`");
     }
+    let write_baseline = parse_write_baseline(&doc);
+    if write_baseline.is_empty() {
+        die::<()>("baseline has no write-path points; regenerate with `figures write-path`");
+    }
     eprintln!(
-        "[bench-gate] replaying {} read-heavy rows from {} (tolerance {}%)",
+        "[bench-gate] replaying {} read-heavy + {} write-path rows from {} (tolerance {}%)",
         baseline.len(),
+        write_baseline.len(),
         opts.baseline.display(),
         opts.tolerance
     );
@@ -160,9 +203,59 @@ fn main() {
         }
     }
 
+    // Write-path rows: same replay-and-compare, against the kernel ladder.
+    let mut fresh_write: Vec<WritePoint> = Vec::with_capacity(write_baseline.len());
+    for row in &write_baseline {
+        let p = run_write_point(row.k, row.arch, row.mode, row.procs, row.total_ops, row.seed);
+        let ratio = if row.throughput > 0.0 { p.throughput / row.throughput } else { 1.0 };
+        let ok = ratio >= floor;
+        println!(
+            "{} {:>14} {:>5} {:>12} P={:<3} baseline {:>10.1} fresh {:>10.1} ({:+.1}%)",
+            if ok { "ok  " } else { "FAIL" },
+            format!("write-path/{}", k_label(row.k)),
+            row.arch.label(),
+            row.mode.label(),
+            row.procs,
+            row.throughput,
+            p.throughput,
+            (ratio - 1.0) * 100.0
+        );
+        if !ok {
+            failures += 1;
+        }
+        fresh_write.push(p);
+    }
+
+    // Structural invariant: compiled plans must replay the interpreted
+    // schedule cycle-for-cycle on every configuration both modes cover —
+    // the bit-identity constraint of the compiled-plan layer, checked
+    // against fresh runs on every PR.
+    for c in fresh_write.iter().filter(|p| p.mode == WriteMode::Compiled) {
+        if let Some(i) = fresh_write.iter().find(|p| {
+            p.mode == WriteMode::Interpreted
+                && p.k == c.k
+                && p.arch == c.arch
+                && p.procs == c.procs
+        }) {
+            if c.cycles != i.cycles {
+                println!(
+                    "FAIL {:>14} {:>5} P={:<3} compiled {} cycles != interpreted {} cycles",
+                    format!("write-path/{}", k_label(c.k)),
+                    c.arch.label(),
+                    c.procs,
+                    c.cycles,
+                    i.cycles
+                );
+                failures += 1;
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!("[bench-gate] {failures} regression(s) beyond {}% tolerance", opts.tolerance);
         std::process::exit(1);
     }
-    eprintln!("[bench-gate] all rows within tolerance; fast path still a win");
+    eprintln!(
+        "[bench-gate] all rows within tolerance; fast path still a win; compiled plans bit-identical"
+    );
 }

@@ -7,7 +7,7 @@
 //!   counting-bus counting-mesh queue-bus queue-mesh
 //!   resource-bus resource-mesh prio-bus prio-mesh
 //!   summary ablate-helping ablate-backoff ablate-arch
-//!   read-heavy read-heavy-host
+//!   read-heavy read-heavy-host write-path write-path-host plan-cache
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -30,6 +30,10 @@ use stm_bench::report::write_bench_json;
 use stm_bench::runner::{summarize, Sweep, PAPER_PROCS, QUICK_PROCS};
 use stm_bench::table::{render_table, write_csv};
 use stm_bench::workloads::{ArchKind, Bench, DataPoint};
+use stm_bench::write_path::{
+    compiled_speedups, k_label, run_cache_point, run_write_host_point, run_write_point,
+    WriteHostPoint, WriteMode, WritePoint, CACHE_SCENARIOS, WRITE_KS, WRITE_PROCS,
+};
 use stm_core::stm::BackoffPolicy;
 use stm_structures::Method;
 
@@ -42,7 +46,7 @@ struct Options {
     out: PathBuf,
 }
 
-const ALL_EXPERIMENTS: [&str; 14] = [
+const ALL_EXPERIMENTS: [&str; 17] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -57,6 +61,9 @@ const ALL_EXPERIMENTS: [&str; 14] = [
     "ablate-arch",
     "read-heavy",
     "read-heavy-host",
+    "write-path",
+    "write-path-host",
+    "plan-cache",
 ];
 
 fn parse_args() -> Options {
@@ -112,8 +119,10 @@ fn expect_val(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
 fn main() {
     let opts = parse_args();
     let mut all_points: Vec<DataPoint> = Vec::new();
+    let mut write_points: Vec<WritePoint> = Vec::new();
     let mut read_points: Vec<ReadPoint> = Vec::new();
     let mut host_points: Vec<HostPoint> = Vec::new();
+    let mut write_host_points: Vec<WriteHostPoint> = Vec::new();
 
     let mut figure_points: Vec<DataPoint> = Vec::new();
 
@@ -125,6 +134,9 @@ fn main() {
             "ablate-arch" => all_points.extend(run_ablate_arch(&opts)),
             "read-heavy" => read_points.extend(run_read_heavy(&opts)),
             "read-heavy-host" => host_points.extend(run_read_heavy_host(&opts)),
+            "write-path" => write_points.extend(run_write_path(&opts)),
+            "write-path-host" => write_host_points.extend(run_write_path_host(&opts)),
+            "plan-cache" => run_plan_cache(&opts),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
@@ -138,16 +150,29 @@ fn main() {
         run_summary(&figure_points);
     }
 
-    if !all_points.is_empty() || !read_points.is_empty() || !host_points.is_empty() {
+    if !all_points.is_empty()
+        || !write_points.is_empty()
+        || !read_points.is_empty()
+        || !host_points.is_empty()
+        || !write_host_points.is_empty()
+    {
         let path = opts.out.join("BENCH_stm.json");
-        write_bench_json(&path, &all_points, &read_points, &host_points)
-            .expect("write BENCH_stm.json");
+        write_bench_json(
+            &path,
+            &all_points,
+            &write_points,
+            &read_points,
+            &host_points,
+            &write_host_points,
+        )
+        .expect("write BENCH_stm.json");
         eprintln!(
-            "[figures] wrote {} ({} points, {} read-heavy, {} host)",
+            "[figures] wrote {} ({} points, {} write-path, {} read-heavy, {} host)",
             path.display(),
-            all_points.len(),
+            all_points.len() + write_points.len(),
+            write_points.len(),
             read_points.len(),
-            host_points.len()
+            host_points.len() + write_host_points.len()
         );
     }
 }
@@ -354,6 +379,113 @@ fn run_read_heavy_host(opts: &Options) -> Vec<HostPoint> {
     std::fs::write(opts.out.join("read-heavy-host.csv"), csv).expect("write CSV");
     eprintln!("[figures] wrote {}", opts.out.join("read-heavy-host.csv").display());
     all
+}
+
+/// W1: the write-path kernel ladder — committing `add` transactions over
+/// k = 1..4 cells (k = 1, 2, 4 hit the monomorphized MWCAS kernels, k = 3
+/// the general sweep), interpreted vs compiled, on the bus and mesh
+/// machines at the pinned processor counts. Deterministic; the rows CI
+/// gates against the committed `BENCH_stm.json` baseline, where the two
+/// modes must also agree cycle-for-cycle (bit-identity witness).
+fn run_write_path(opts: &Options) -> Vec<WritePoint> {
+    let mut all = Vec::new();
+    let mut csv = String::from(
+        "kernel,arch,mode,procs,total_ops,seed,cycles,throughput,commits,conflicts,helps\n",
+    );
+    println!(
+        "# W1 — write-path kernel ladder ({} ops/point, seed {:#x})",
+        opts.ops, opts.seed
+    );
+    println!("# throughput: committed transactions per million simulated cycles");
+    for k in WRITE_KS {
+        for arch in [ArchKind::Bus, ArchKind::Mesh] {
+            print!("{:>4} {:>5} {:>6}", k_label(k), arch.label(), "procs:");
+            println!();
+            for mode in WriteMode::ALL {
+                print!("{:>27}", mode.label());
+                for procs in WRITE_PROCS {
+                    let p = run_write_point(k, arch, mode, procs, opts.ops, opts.seed);
+                    print!(" {:>10.1}", p.throughput);
+                    csv.push_str(&format!(
+                        "{},{},{},{},{},{},{},{:.3},{},{},{}\n",
+                        k_label(p.k), p.arch, p.mode, p.procs, p.total_ops, p.seed, p.cycles,
+                        p.throughput, p.commits, p.conflicts, p.helps
+                    ));
+                    all.push(p);
+                }
+                println!();
+            }
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("write-path.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("write-path.csv").display());
+    all
+}
+
+/// W1 (host half): the wall-clock write-path ladder — the same kernel tiers
+/// on one real uncontended thread, interpreted vs compiled. This is where
+/// the compiled path's speedup is visible (the simulator charges memory
+/// traffic, not allocator traffic); the small-k rows carry the ≥ 1.5×
+/// claim recorded in `EXPERIMENTS.md`. Wall-clock, so informational only:
+/// recorded in `BENCH_stm.json` but never CI-gated.
+fn run_write_path_host(opts: &Options) -> Vec<WriteHostPoint> {
+    // Host ops need to be large enough to outlast thread startup.
+    let ops = (opts.ops * 64).max(100_000);
+    let mut all = Vec::new();
+    let mut csv = String::from("kernel,mode,procs,total_ops,nanos,ops_per_sec\n");
+    println!("# W1 (host) — write-path ladder ({ops} ops/point, wall-clock, informational)");
+    println!("{:>4} {:>13} {:>14} {:>14}", "k", "mode", "nanos", "ops/sec");
+    for k in WRITE_KS {
+        for mode in WriteMode::ALL {
+            let p = run_write_host_point(k, mode, 1, ops);
+            println!("{:>4} {:>13} {:>14} {:>14.0}", k_label(p.k), p.mode, p.nanos, p.ops_per_sec);
+            csv.push_str(&format!(
+                "{},{},{},{},{},{:.1}\n",
+                k_label(p.k), p.mode, p.procs, p.total_ops, p.nanos, p.ops_per_sec
+            ));
+            all.push(p);
+        }
+    }
+    for (k, procs, speedup) in compiled_speedups(&all) {
+        println!("{:>4} P={procs} compiled/interpreted speedup: {speedup:.2}x", k_label(k));
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("write-path-host.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("write-path-host.csv").display());
+    all
+}
+
+/// W2: the plan-cache hit-rate ablation — the k = 2 host write path with
+/// the number of distinct transaction shapes as the only variable:
+/// `resident` fits the bounded cache, `churn` cycles through 1.5× its
+/// capacity (the adversarial pattern for move-to-front LRU — every lookup
+/// misses and recompiles). Wall-clock, informational only.
+fn run_plan_cache(opts: &Options) {
+    let ops = (opts.ops * 16).max(50_000);
+    println!("# W2 — plan-cache hit-rate ablation ({ops} ops/point, wall-clock, informational)");
+    println!(
+        "{:>10} {:>7} {:>10} {:>10} {:>9} {:>14}",
+        "scenario", "shapes", "hits", "misses", "hit-rate", "ops/sec"
+    );
+    let mut csv = String::from("scenario,shapes,total_ops,hits,misses,hit_rate,nanos,ops_per_sec\n");
+    for (scenario, shapes) in CACHE_SCENARIOS {
+        let p = run_cache_point(scenario, shapes, ops);
+        println!(
+            "{:>10} {:>7} {:>10} {:>10} {:>9.3} {:>14.0}",
+            p.scenario, p.shapes, p.hits, p.misses, p.hit_rate, p.ops_per_sec
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{:.4},{},{:.1}\n",
+            p.scenario, p.shapes, p.total_ops, p.hits, p.misses, p.hit_rate, p.nanos, p.ops_per_sec
+        ));
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("plan-cache.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("plan-cache.csv").display());
 }
 
 /// Cap host-ladder thread counts at the machine's parallelism (sweeping 64

@@ -12,11 +12,17 @@
 //!   measuring the invisible-read fast path (classic vs fast-read modes on
 //!   the simulator, plus a wall-clock host ladder for the cache-aligned
 //!   layout).
+//! * [`write_path`] — the compiled-plan/MWCAS-kernel ladder: committing
+//!   `add` transactions over k = 1..4 cells, interpreted (per-call spec
+//!   build) vs compiled (cached allocation-free plans), on the simulator
+//!   (deterministic, CI-gated, bit-identity witness) and as a wall-clock
+//!   host ladder (the compiled path's speedup claim).
 //! * [`runner`] — parameter sweeps and the summary/crossover analysis.
 //! * [`table`] — aligned table printing and CSV output.
 //! * [`report`] — the machine-readable `BENCH_stm.json` report (throughput
-//!   plus per-point conflict/help/retry rates). The read-heavy section is
-//!   the CI regression baseline checked by the `bench_gate` binary.
+//!   plus per-point conflict/help/retry rates). The read-heavy section and
+//!   the write-path rows of the points section are the CI regression
+//!   baseline checked by the `bench_gate` binary.
 //!
 //! The `figures` binary (`cargo run -p stm-bench --release --bin figures`)
 //! regenerates every experiment; see `DESIGN.md` §6 for the experiment
@@ -30,3 +36,4 @@ pub mod report;
 pub mod runner;
 pub mod table;
 pub mod workloads;
+pub mod write_path;

@@ -7,19 +7,23 @@
 //!
 //! Since `stm-bench/v2` the document carries three sections:
 //!
-//! * `points` — the paper-figure sweeps ([`DataPoint`]).
+//! * `points` — the paper-figure sweeps ([`DataPoint`]) plus the
+//!   write-path/MWCAS-kernel ladder ([`WritePoint`]); write-path rows carry
+//!   `"bench": "write-path"` and a `seed`, and are the second row family
+//!   the `bench_gate` binary replays.
 //! * `read_heavy` — the simulated read-heavy fast-path points
 //!   ([`ReadPoint`]); deterministic, and the rows the `bench_gate` binary
 //!   replays against the committed baseline on every PR.
-//! * `host` — wall-clock host-machine measurements ([`HostPoint`]);
-//!   informational only, never gated (wall-clock does not reproduce across
-//!   machines).
+//! * `host` — wall-clock host-machine measurements ([`HostPoint`] and
+//!   [`WriteHostPoint`], told apart by `workload`); informational only,
+//!   never gated (wall-clock does not reproduce across machines).
 
 use std::io;
 use std::path::Path;
 
 use crate::read_heavy::{HostPoint, ReadPoint};
 use crate::workloads::DataPoint;
+use crate::write_path::{WriteHostPoint, WritePoint};
 
 /// Schema identifier written into the report, bumped on layout changes.
 pub const BENCH_SCHEMA: &str = "stm-bench/v2";
@@ -27,18 +31,25 @@ pub const BENCH_SCHEMA: &str = "stm-bench/v2";
 /// Build the JSON document for a set of data points.
 ///
 /// Layout: `{"schema": ..., "points": [...], "read_heavy": [...],
-/// "host": [...]}`. `points` rows carry `{bench, arch, method, procs,
-/// total_ops, cycles, throughput, commits, conflicts, helps,
+/// "host": [...]}`. Figure `points` rows carry `{bench, arch, method,
+/// procs, total_ops, cycles, throughput, commits, conflicts, helps,
 /// conflict_rate, help_rate, retry_rate}` (protocol fields zero for lock
-/// baselines); `read_heavy` rows swap `method` for the fast-path `config`
-/// and record the `seed` so the row can be replayed bit-exactly; `host`
-/// rows are `{workload, config, procs, total_ops, nanos, ops_per_sec}`.
+/// baselines); write-path `points` rows carry `{bench: "write-path",
+/// kernel, arch, method, procs, total_ops, seed, cycles, throughput,
+/// commits, conflicts, helps}` — the `seed` marks them replayable, which
+/// is how the CI gate tells the two row families apart. `read_heavy` rows
+/// swap `method` for the fast-path `config` and record the `seed` so the
+/// row can be replayed bit-exactly; `host` rows are `{workload, config,
+/// procs, total_ops, nanos, ops_per_sec}` with `workload` `"snapshot"`
+/// (read ladder) or `"write-path"` (kernel ladder).
 pub fn bench_json(
     points: &[DataPoint],
+    write: &[WritePoint],
     read_heavy: &[ReadPoint],
     host: &[HostPoint],
+    write_host: &[WriteHostPoint],
 ) -> serde_json::Value {
-    let rows = points
+    let mut rows: Vec<serde_json::Value> = points
         .iter()
         .map(|p| {
             serde_json::Value::Object(vec![
@@ -58,6 +69,22 @@ pub fn bench_json(
             ])
         })
         .collect();
+    rows.extend(write.iter().map(|p| {
+        serde_json::Value::Object(vec![
+            ("bench".into(), "write-path".into()),
+            ("kernel".into(), crate::write_path::k_label(p.k).into()),
+            ("arch".into(), p.arch.to_string().into()),
+            ("method".into(), p.mode.to_string().into()),
+            ("procs".into(), (p.procs as u64).into()),
+            ("total_ops".into(), p.total_ops.into()),
+            ("seed".into(), p.seed.into()),
+            ("cycles".into(), p.cycles.into()),
+            ("throughput".into(), p.throughput.into()),
+            ("commits".into(), p.commits.into()),
+            ("conflicts".into(), p.conflicts.into()),
+            ("helps".into(), p.helps.into()),
+        ])
+    }));
     let read_rows = read_heavy
         .iter()
         .map(|p| {
@@ -76,7 +103,7 @@ pub fn bench_json(
             ])
         })
         .collect();
-    let host_rows = host
+    let mut host_rows: Vec<serde_json::Value> = host
         .iter()
         .map(|p| {
             serde_json::Value::Object(vec![
@@ -89,6 +116,16 @@ pub fn bench_json(
             ])
         })
         .collect();
+    host_rows.extend(write_host.iter().map(|p| {
+        serde_json::Value::Object(vec![
+            ("workload".into(), "write-path".into()),
+            ("config".into(), p.config().into()),
+            ("procs".into(), (p.procs as u64).into()),
+            ("total_ops".into(), p.total_ops.into()),
+            ("nanos".into(), p.nanos.into()),
+            ("ops_per_sec".into(), p.ops_per_sec.into()),
+        ])
+    }));
     serde_json::Value::Object(vec![
         ("schema".into(), BENCH_SCHEMA.into()),
         ("points".into(), serde_json::Value::Array(rows)),
@@ -105,13 +142,15 @@ pub fn bench_json(
 pub fn write_bench_json(
     path: &Path,
     points: &[DataPoint],
+    write: &[WritePoint],
     read_heavy: &[ReadPoint],
     host: &[HostPoint],
+    write_host: &[WriteHostPoint],
 ) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let doc = serde_json::to_string_pretty(&bench_json(points, read_heavy, host))
+    let doc = serde_json::to_string_pretty(&bench_json(points, write, read_heavy, host, write_host))
         .expect("bench values are finite");
     std::fs::write(path, doc)
 }
@@ -121,6 +160,7 @@ mod tests {
     use super::*;
     use crate::read_heavy::{run_host_point, run_read_point, ReadBench, ReadMode};
     use crate::workloads::{run_point, ArchKind, Bench};
+    use crate::write_path::{run_write_host_point, run_write_point, WriteMode};
     use stm_structures::Method;
 
     #[test]
@@ -129,7 +169,7 @@ mod tests {
             run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 2, 64, 1),
             run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 2, 64, 1),
         ];
-        let doc = serde_json::to_string_pretty(&bench_json(&points, &[], &[])).unwrap();
+        let doc = serde_json::to_string_pretty(&bench_json(&points, &[], &[], &[], &[])).unwrap();
         let v = serde_json::from_str(&doc).expect("report must be valid JSON");
         assert_eq!(v["schema"].as_str(), Some(BENCH_SCHEMA));
         let rows = v["points"].as_array().unwrap();
@@ -152,7 +192,7 @@ mod tests {
     fn read_heavy_rows_carry_replay_parameters() {
         let rp = run_read_point(ReadBench::Snapshot, ArchKind::Bus, ReadMode::Fast, 2, 64, 5);
         let hp = run_host_point("fast-dense", true, false, 1, 256);
-        let v = bench_json(&[], &[rp.clone()], &[hp]);
+        let v = bench_json(&[], &[], &[rp.clone()], &[hp], &[]);
         let row = &v["read_heavy"].as_array().unwrap()[0];
         // The gate replays rows from these fields alone; losing one breaks it.
         assert_eq!(row["bench"].as_str(), Some("snapshot"));
@@ -168,11 +208,33 @@ mod tests {
     }
 
     #[test]
+    fn write_path_rows_carry_replay_parameters() {
+        let wp = run_write_point(2, ArchKind::Bus, WriteMode::Compiled, 2, 64, 5);
+        let wh = run_write_host_point(2, WriteMode::Compiled, 1, 256);
+        let v = bench_json(&[], &[wp.clone()], &[], &[], &[wh]);
+        let row = &v["points"].as_array().unwrap()[0];
+        // The gate replays write-path rows from these fields alone; losing
+        // one breaks it. The seed is also the family discriminator.
+        assert_eq!(row["bench"].as_str(), Some("write-path"));
+        assert_eq!(row["kernel"].as_str(), Some("k2"));
+        assert_eq!(row["arch"].as_str(), Some("bus"));
+        assert_eq!(row["method"].as_str(), Some("compiled"));
+        assert_eq!(row["procs"].as_u64(), Some(2));
+        assert_eq!(row["total_ops"].as_u64(), Some(64));
+        assert_eq!(row["seed"].as_u64(), Some(5));
+        assert_eq!(row["cycles"].as_u64(), Some(wp.cycles));
+        let host = &v["host"].as_array().unwrap()[0];
+        assert_eq!(host["workload"].as_str(), Some("write-path"));
+        assert_eq!(host["config"].as_str(), Some("k2-compiled"));
+        assert!(host["ops_per_sec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
     fn writer_creates_parent_directories() {
         let dir = std::env::temp_dir().join(format!("stm_bench_report_{}", std::process::id()));
         let path = dir.join("nested/BENCH_stm.json");
         let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
-        write_bench_json(&path, &points, &[], &[]).unwrap();
+        write_bench_json(&path, &points, &[], &[], &[], &[]).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = serde_json::from_str(&doc).unwrap();
         assert_eq!(v["points"].as_array().unwrap().len(), 1);

@@ -51,12 +51,10 @@
 //! assert_eq!(dstm.read_cell(&mut port, 0), 1);
 //! ```
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use crate::contention::{AdaptiveManager, ContentionManager};
 use crate::machine::MemPort;
 use crate::ops::StmOps;
-use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxOptions, TxSpec, TxStats};
+use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxOptions, TxScratch, TxSpec, TxStats};
 use crate::word::{cell_value, pack_cell, Addr, CellIdx, Word};
 
 /// A software transactional memory supporting dynamic transactions.
@@ -69,14 +67,20 @@ pub struct DynamicStm {
 }
 
 /// The per-attempt transaction context handed to the body.
+///
+/// The read/write logs are sorted vectors borrowed from the enclosing
+/// [`DynamicStm::run`] call and reused across body retries (`clear`, not
+/// reallocate), so re-running a body allocates nothing once the logs are
+/// warm. Footprints are bounded by `max_locs`, so the binary-searched
+/// vectors also beat tree maps on locality at these sizes.
 #[derive(Debug)]
 pub struct DynamicTx<'a, P: MemPort> {
     stm: &'a Stm,
     port: &'a mut P,
-    /// Read set: first-observed (value, stamp) per cell.
-    reads: BTreeMap<CellIdx, (u32, u16)>,
-    /// Write set: last value written per cell.
-    writes: BTreeMap<CellIdx, u32>,
+    /// Read set: first-observed `(cell, value, stamp)`, sorted by cell.
+    reads: &'a mut Vec<(CellIdx, u32, u16)>,
+    /// Write set: last value written per cell, sorted by cell.
+    writes: &'a mut Vec<(CellIdx, u32)>,
 }
 
 impl<'a, P: MemPort> DynamicTx<'a, P> {
@@ -90,16 +94,18 @@ impl<'a, P: MemPort> DynamicTx<'a, P> {
     ///
     /// Panics if `cell` is out of range.
     pub fn read(&mut self, cell: CellIdx) -> u32 {
-        if let Some(&v) = self.writes.get(&cell) {
-            return v;
+        if let Ok(at) = self.writes.binary_search_by_key(&cell, |e| e.0) {
+            return self.writes[at].1;
         }
-        if let Some(&(v, _)) = self.reads.get(&cell) {
-            return v;
+        match self.reads.binary_search_by_key(&cell, |e| e.0) {
+            Ok(at) => self.reads[at].1,
+            Err(at) => {
+                let w = self.port.read(self.stm.layout().cell(cell));
+                let (value, stamp) = (cell_value(w), crate::word::cell_stamp(w));
+                self.reads.insert(at, (cell, value, stamp));
+                value
+            }
         }
-        let w = self.port.read(self.stm.layout().cell(cell));
-        let (value, stamp) = (cell_value(w), crate::word::cell_stamp(w));
-        self.reads.insert(cell, (value, stamp));
-        value
     }
 
     /// Transactional write of `cell` (buffered until commit).
@@ -110,16 +116,26 @@ impl<'a, P: MemPort> DynamicTx<'a, P> {
     pub fn write(&mut self, cell: CellIdx, value: u32) {
         assert!(cell < self.stm.layout().n_cells(), "cell index {cell} out of range");
         // Track the pre-image too, so validation covers blind writes.
-        if !self.reads.contains_key(&cell) {
+        if let Err(at) = self.reads.binary_search_by_key(&cell, |e| e.0) {
             let w = self.port.read(self.stm.layout().cell(cell));
-            self.reads.insert(cell, (cell_value(w), crate::word::cell_stamp(w)));
+            self.reads.insert(at, (cell, cell_value(w), crate::word::cell_stamp(w)));
         }
-        self.writes.insert(cell, value);
+        match self.writes.binary_search_by_key(&cell, |e| e.0) {
+            Ok(at) => self.writes[at].1 = value,
+            Err(at) => self.writes.insert(at, (cell, value)),
+        }
     }
 
     /// Number of distinct cells in the transaction's footprint so far.
     pub fn footprint(&self) -> usize {
         self.reads.len().max(self.writes.len())
+    }
+}
+
+/// Sorted-insert dedup for small cell sets (bounded by `max_locs`).
+fn note_cell(set: &mut Vec<CellIdx>, cell: CellIdx) {
+    if let Err(at) = set.binary_search(&cell) {
+        set.insert(at, cell);
     }
 }
 
@@ -204,7 +220,18 @@ impl DynamicStm {
         let cm = &mut opts.manager;
         let obs = &mut opts.observer;
         let mut stats = TxStats::default();
-        let mut contended: BTreeSet<CellIdx> = BTreeSet::new();
+        // Per-call buffers, reused across body retries: the read/write logs,
+        // the commit footprint and its packed parameters, and the static
+        // commit's execution scratch. After the first attempt warms them, a
+        // retry (body re-run + validate-and-write commit) allocates nothing
+        // beyond what the body itself allocates.
+        let mut read_log: Vec<(CellIdx, u32, u16)> = Vec::new();
+        let mut write_log: Vec<(CellIdx, u32)> = Vec::new();
+        let mut entries: Vec<(CellIdx, Word)> = Vec::new();
+        let mut cells: Vec<CellIdx> = Vec::new();
+        let mut params: Vec<Word> = Vec::new();
+        let mut contended: Vec<CellIdx> = Vec::new();
+        let mut scratch = TxScratch::new();
         let mut fast_fails: u64 = 0;
         let started = std::time::Instant::now();
         let cycles0 = port.now();
@@ -217,21 +244,23 @@ impl DynamicStm {
                     cells_contended: contended.len() as u64,
                 });
             }
-            let (result, reads, writes) = {
+            read_log.clear();
+            write_log.clear();
+            let result = {
                 let mut tx = DynamicTx {
                     stm: self.ops.stm(),
                     port: &mut *port,
-                    reads: BTreeMap::new(),
-                    writes: BTreeMap::new(),
+                    reads: &mut read_log,
+                    writes: &mut write_log,
                 };
                 let caught =
                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut tx)));
                 match caught {
-                    Ok(result) => (result, tx.reads, tx.writes),
+                    Ok(result) => result,
                     Err(_payload) => {
-                        // The body only touched its local log; dropping the
-                        // log is the whole abort.
-                        drop(tx);
+                        // The body only touched its local log; clearing the
+                        // log (next attempt, or never) is the whole abort.
+                        let _ = tx;
                         stats.attempts += 1;
                         obs.op_panicked(port.proc_id(), stats.attempts, port.now());
                         return Err(TxError::OpPanicked { attempts: stats.attempts });
@@ -240,7 +269,7 @@ impl DynamicStm {
             };
             stats.attempts += 1;
 
-            if writes.is_empty() && reads.is_empty() {
+            if write_log.is_empty() && read_log.is_empty() {
                 return Ok((result, stats)); // pure computation, nothing to commit
             }
 
@@ -248,9 +277,12 @@ impl DynamicStm {
             // collect; validating them in place is the second collect. On
             // success the transaction linearizes at the validation point with
             // zero shared-memory writes.
-            if writes.is_empty() && fast_fails < u64::from(self.stm().config().fast_read_rounds) {
-                let entries: Vec<(CellIdx, Word)> =
-                    reads.iter().map(|(&c, &(value, stamp))| (c, pack_cell(stamp, value))).collect();
+            if write_log.is_empty() && fast_fails < u64::from(self.stm().config().fast_read_rounds)
+            {
+                entries.clear();
+                entries.extend(
+                    read_log.iter().map(|&(c, value, stamp)| (c, pack_cell(stamp, value))),
+                );
                 port.step(crate::step::StepPoint::DynCommit);
                 if self.stm().validate_read_set(port, &entries) {
                     return Ok((result, stats));
@@ -266,22 +298,25 @@ impl DynamicStm {
             // Commit: one static validate-and-write transaction over the
             // whole footprint. Each location's parameter packs
             // (expected_old << 32 | new); the program writes only if every
-            // expected value matches — exactly the builtin MWCAS, reused.
-            let cells: Vec<CellIdx> = reads.keys().copied().collect();
+            // expected value matches — exactly the builtin MWCAS, reused
+            // through the ops handle's plan cache (repeated closures with a
+            // stable footprint skip compilation and pick up the small-k
+            // kernels).
+            cells.clear();
+            cells.extend(read_log.iter().map(|e| e.0));
             assert!(
                 cells.len() <= self.ops.stm().layout().max_locs(),
                 "dynamic transaction footprint {} exceeds max_locs {}",
                 cells.len(),
                 self.ops.stm().layout().max_locs()
             );
-            let params: Vec<Word> = cells
-                .iter()
-                .map(|c| {
-                    let expected = reads[c].0;
-                    let new = writes.get(c).copied().unwrap_or(expected);
-                    ((expected as Word) << 32) | new as Word
-                })
-                .collect();
+            params.clear();
+            params.extend(read_log.iter().map(|&(c, expected, _)| {
+                let new = write_log
+                    .binary_search_by_key(&c, |e| e.0)
+                    .map_or(expected, |at| write_log[at].1);
+                ((expected as Word) << 32) | new as Word
+            }));
             // Hand the commit whatever time remains; attempt budgeting stays
             // at this level (it counts body executions, not commit CASes).
             let commit_budget = TxBudget {
@@ -292,10 +327,16 @@ impl DynamicStm {
                 max_wall: budget.max_wall.map(|m| m.saturating_sub(started.elapsed())),
             };
             port.step(crate::step::StepPoint::DynCommit);
-            let spec = TxSpec::new(self.ops.builtins().mwcas, &params, &cells);
+            let plan = self.ops.plan_for(self.ops.builtins().mwcas, &cells);
             let mut commit_opts =
                 TxOptions::new().observer(&mut *obs).manager(&mut *cm).budget(commit_budget);
-            let out = match self.ops.stm().run(port, &spec, &mut commit_opts) {
+            let out = match self.ops.stm().run_plan_in(
+                port,
+                &plan,
+                &params,
+                &mut commit_opts,
+                &mut scratch,
+            ) {
                 Ok(out) => out,
                 Err(TxError::BudgetExhausted { cells_contended, .. }) => {
                     return Err(TxError::BudgetExhausted {
@@ -306,14 +347,18 @@ impl DynamicStm {
                 Err(TxError::OpPanicked { .. }) => {
                     return Err(TxError::OpPanicked { attempts: stats.attempts });
                 }
+                Err(TxError::DuplicateCell { .. }) => {
+                    // The footprint is a sorted log of distinct cells.
+                    unreachable!("dynamic commit footprint is deduplicated by construction")
+                }
             };
-            stats.helps += out.stats.helps;
-            stats.conflicts += out.stats.conflicts;
+            stats.helps += out.helps;
+            stats.conflicts += out.conflicts;
             let mut validated = true;
-            for (c, &old) in cells.iter().zip(&out.old) {
-                if old != reads[c].0 {
+            for (i, &old) in scratch.old().iter().enumerate() {
+                if old != read_log[i].1 {
                     validated = false;
-                    contended.insert(*c);
+                    note_cell(&mut contended, cells[i]);
                 }
             }
             if validated {
@@ -348,20 +393,23 @@ impl DynamicStm {
         mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
     ) -> (R, TxStats) {
         let mut stats = TxStats::default();
+        let mut read_log: Vec<(CellIdx, u32, u16)> = Vec::new();
+        let mut write_log: Vec<(CellIdx, u32)> = Vec::new();
         loop {
-            let (result, reads, writes) = {
+            read_log.clear();
+            write_log.clear();
+            let result = {
                 let mut tx = DynamicTx {
                     stm: self.ops.stm(),
                     port,
-                    reads: BTreeMap::new(),
-                    writes: BTreeMap::new(),
+                    reads: &mut read_log,
+                    writes: &mut write_log,
                 };
-                let result = body(&mut tx);
-                (result, tx.reads, tx.writes)
+                body(&mut tx)
             };
             stats.attempts += 1;
 
-            if writes.is_empty() && reads.is_empty() {
+            if write_log.is_empty() && read_log.is_empty() {
                 return (result, stats); // pure computation, nothing to commit
             }
 
@@ -369,18 +417,19 @@ impl DynamicStm {
             // whole footprint. Each location's parameter packs
             // (expected_old << 32 | new); the program writes only if every
             // expected value matches — exactly the builtin MWCAS, reused.
-            let cells: Vec<CellIdx> = reads.keys().copied().collect();
+            let cells: Vec<CellIdx> = read_log.iter().map(|e| e.0).collect();
             assert!(
                 cells.len() <= self.ops.stm().layout().max_locs(),
                 "dynamic transaction footprint {} exceeds max_locs {}",
                 cells.len(),
                 self.ops.stm().layout().max_locs()
             );
-            let params: Vec<Word> = cells
+            let params: Vec<Word> = read_log
                 .iter()
-                .map(|c| {
-                    let expected = reads[c].0;
-                    let new = writes.get(c).copied().unwrap_or(expected);
+                .map(|&(c, expected, _)| {
+                    let new = write_log
+                        .binary_search_by_key(&c, |e| e.0)
+                        .map_or(expected, |at| write_log[at].1);
                     ((expected as Word) << 32) | new as Word
                 })
                 .collect();
@@ -395,7 +444,7 @@ impl DynamicStm {
             stats.helps += out.stats.helps;
             stats.conflicts += out.stats.conflicts;
             let validated =
-                cells.iter().zip(&out.old).all(|(c, &old)| old == reads[c].0);
+                read_log.iter().zip(&out.old).all(|(&(_, expected, _), &old)| old == expected);
             if validated {
                 return (result, stats);
             }

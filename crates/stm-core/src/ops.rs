@@ -29,18 +29,79 @@
 //! assert_eq!(ops.snapshot(&mut port, &[3, 4]), vec![100, 200]);
 //! ```
 
-use std::sync::Arc;
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use crate::machine::MemPort;
-use crate::program::{register_builtins, Builtins, ProgramTable, ProgramTableBuilder};
-use crate::stm::{Stm, StmConfig, TxError, TxOptions, TxOutcome, TxSpec};
+use crate::program::{register_builtins, Builtins, OpCode, ProgramTable, ProgramTableBuilder};
+use crate::stm::{Stm, StmConfig, TxError, TxOptions, TxOutcome, TxPlan, TxScratch, TxSpec};
 use crate::word::{Addr, CellIdx, Word};
 
+/// Upper bound on cached compiled plans per [`StmOps`] instance. Repeated
+/// static transactions (counters, queue pointers, fixed MWCAS footprints)
+/// cycle through a handful of `(op, cells)` shapes, so a small
+/// move-to-front list captures nearly all of them; on overflow the
+/// least-recently-used plan is dropped and will simply be recompiled on
+/// next use.
+pub const PLAN_CACHE_CAPACITY: usize = 32;
+
+/// Cumulative hit/miss counters of an [`StmOps`] plan cache (see
+/// [`StmOps::plan_cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Lookups served by an already-compiled plan.
+    pub hits: u64,
+    /// Lookups that had to compile (including cold-start compiles).
+    pub misses: u64,
+}
+
+impl PlanCacheStats {
+    /// Hit rate in `[0, 1]`; `0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded move-to-front cache of compiled plans keyed by `(op, cells)`.
+///
+/// The vector is ordered most-recently-used first; hits migrate the plan to
+/// the front, insertions evict the tail. Plans are shared out as
+/// `Arc<TxPlan>` so a lookup never holds the lock during execution.
+#[derive(Debug, Default)]
+struct PlanCache {
+    plans: Mutex<Vec<Arc<TxPlan>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+thread_local! {
+    /// Per-thread execution arena for the cached-plan entry points: one warm
+    /// scratch per OS thread means the built-in hot ops run allocation-free
+    /// no matter how many `StmOps` handles the thread touches.
+    static OPS_SCRATCH: RefCell<TxScratch> = RefCell::new(TxScratch::new());
+}
+
 /// An [`Stm`] instance together with the built-in operation programs.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct StmOps {
     stm: Stm,
     ops: Builtins,
+    cache: PlanCache,
+}
+
+impl Clone for StmOps {
+    /// Cloning shares the STM instance but starts a fresh (empty) plan
+    /// cache: plans are cheap to recompile, and per-clone caches keep the
+    /// common clone-per-thread pattern free of cross-thread lock traffic.
+    fn clone(&self) -> Self {
+        StmOps { stm: self.stm.clone(), ops: self.ops, cache: PlanCache::default() }
+    }
 }
 
 impl StmOps {
@@ -65,7 +126,14 @@ impl StmOps {
         let ops = register_builtins(&mut builder);
         let x = extra(&mut builder);
         let table: Arc<ProgramTable> = builder.build();
-        (StmOps { stm: Stm::new(base, n_cells, n_procs, max_locs, table, config), ops }, x)
+        (
+            StmOps {
+                stm: Stm::new(base, n_cells, n_procs, max_locs, table, config),
+                ops,
+                cache: PlanCache::default(),
+            },
+            x,
+        )
     }
 
     /// The underlying STM instance.
@@ -78,24 +146,97 @@ impl StmOps {
         self.ops
     }
 
-    /// Run `spec` with default options, retrying until commit.
+    /// The cumulative hit/miss counters of this handle's plan cache (the
+    /// W2 ablation's measurement hook). Clones start at zero — each clone
+    /// has its own cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            hits: self.cache.hits.load(Ordering::Relaxed),
+            misses: self.cache.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fetch (or compile and cache) the plan for `(op, cells)`.
     ///
-    /// With an unlimited budget the retry loop cannot observe
-    /// [`TxError::BudgetExhausted`], and built-in programs never panic, so
-    /// the result is unwrapped here.
-    fn run_unlimited<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
-        self.stm
-            .run(port, spec, &mut TxOptions::new())
-            .expect("unlimited budget cannot be exhausted and builtins do not panic")
+    /// Cached plans capture no parameter words — parameters vary per call
+    /// and are supplied to [`Stm::run_plan_in`] explicitly — so one plan
+    /// serves every call that shares the `(op, cells)` shape. The cache is
+    /// bounded (32 entries, move-to-front); evicted plans are recompiled on
+    /// next use.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any malformed data set, duplicate cells included —
+    /// matching the spec-validating entry points' behaviour.
+    pub fn plan_for(&self, op: OpCode, cells: &[CellIdx]) -> Arc<TxPlan> {
+        let mut plans = self.cache.plans.lock().expect("plan cache lock");
+        if let Some(at) = plans.iter().position(|p| p.matches(op, cells)) {
+            self.cache.hits.fetch_add(1, Ordering::Relaxed);
+            let plan = plans.remove(at);
+            plans.insert(0, Arc::clone(&plan));
+            return plan;
+        }
+        self.cache.misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(
+            self.stm
+                .compile(&TxSpec::new(op, &[], cells))
+                .unwrap_or_else(|e| panic!("{e}")),
+        );
+        if plans.len() >= PLAN_CACHE_CAPACITY {
+            plans.truncate(PLAN_CACHE_CAPACITY - 1);
+        }
+        plans.insert(0, Arc::clone(&plan));
+        plan
+    }
+
+    /// Run `(op, params, cells)` through the plan cache with default options
+    /// (unlimited budget — retries until commit) and the thread-local
+    /// scratch, handing the committed old values to `read_out` while the
+    /// scratch borrow is live.
+    ///
+    /// This is the allocation-free hot path for registered programs with
+    /// recurring `(op, cells)` shapes: the plan is compiled at most once per
+    /// shape (see [`StmOps::plan_for`]) and execution reuses a per-thread
+    /// [`TxScratch`], so a warm call performs zero heap allocations. The
+    /// built-in derived ops ([`StmOps::fetch_add`], [`StmOps::swap`],
+    /// [`StmOps::mwcas`], …) and the `stm-structures` containers all route
+    /// through here.
+    ///
+    /// # Panics
+    ///
+    /// Panics on any malformed data set (empty, over `max_locs`, duplicate
+    /// or out-of-range cells, unregistered opcode) with the same messages as
+    /// the spec-validating [`StmOps::run`], and if the registered program
+    /// itself panics.
+    pub fn run_planned<P: MemPort, R>(
+        &self,
+        port: &mut P,
+        op: OpCode,
+        params: &[Word],
+        cells: &[CellIdx],
+        read_out: impl FnOnce(&[u32]) -> R,
+    ) -> R {
+        let plan = self.plan_for(op, cells);
+        OPS_SCRATCH.with(|s| {
+            let mut scratch = s.borrow_mut();
+            let _stats = self
+                .stm
+                .run_plan_in(port, &plan, params, &mut TxOptions::new(), &mut scratch)
+                .expect("unlimited budget cannot be exhausted and builtins do not panic");
+            read_out(scratch.old())
+        })
     }
 
     /// Atomically add `delta` (wrapping) to `cell`, returning the old value.
+    /// Runs off a cached single-cell plan ([`Kernel::K1`](crate::stm::Kernel)):
+    /// allocation-free once the cache and the thread's scratch are warm.
     pub fn fetch_add<P: MemPort>(&self, port: &mut P, cell: CellIdx, delta: u32) -> u32 {
-        let out = self.run_unlimited(port, &TxSpec::new(self.ops.add, &[delta as Word], &[cell]));
-        // Invariant: `TxOutcome::old` has exactly one entry per data-set
-        // cell, established by the agreement phase before commit.
-        debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
-        out.old[0]
+        self.run_planned(port, self.ops.add, &[delta as Word], &[cell], |old| {
+            // Invariant: `TxOutcome::old` has exactly one entry per data-set
+            // cell, established by the agreement phase before commit.
+            debug_assert_eq!(old.len(), 1, "one old value per data-set cell");
+            old[0]
+        })
     }
 
     /// Atomically add per-cell deltas to several cells, returning old values.
@@ -112,14 +253,16 @@ impl StmOps {
     ) -> Vec<u32> {
         assert_eq!(cells.len(), deltas.len(), "one delta per cell");
         let params: Vec<Word> = deltas.iter().map(|&d| d as Word).collect();
-        self.run_unlimited(port, &TxSpec::new(self.ops.add, &params, cells)).old
+        self.run_planned(port, self.ops.add, &params, cells, |old| old.to_vec())
     }
 
     /// Atomically replace `cell` with `value`, returning the old value.
+    /// Runs off a cached single-cell plan, like [`StmOps::fetch_add`].
     pub fn swap<P: MemPort>(&self, port: &mut P, cell: CellIdx, value: u32) -> u32 {
-        let out = self.run_unlimited(port, &TxSpec::new(self.ops.swap, &[value as Word], &[cell]));
-        debug_assert_eq!(out.old.len(), 1, "one old value per data-set cell");
-        out.old[0]
+        self.run_planned(port, self.ops.swap, &[value as Word], &[cell], |old| {
+            debug_assert_eq!(old.len(), 1, "one old value per data-set cell");
+            old[0]
+        })
     }
 
     /// Atomic multi-cell snapshot.
@@ -141,7 +284,7 @@ impl StmOps {
         if let Some(out) = self.stm.try_read_only(port, cells) {
             return out.old;
         }
-        self.run_unlimited(port, &spec).old
+        self.run_planned(port, self.ops.read, &[], cells, |old| old.to_vec())
     }
 
     /// Multi-word compare-and-swap: atomically, if every `cell` holds its
@@ -159,13 +302,14 @@ impl StmOps {
         let cells: Vec<CellIdx> = entries.iter().map(|e| e.0).collect();
         let params: Vec<Word> =
             entries.iter().map(|&(_, exp, new)| ((exp as Word) << 32) | new as Word).collect();
-        let out = self.run_unlimited(port, &TxSpec::new(self.ops.mwcas, &params, &cells));
-        let matched = entries.iter().zip(&out.old).all(|(&(_, exp, _), &old)| old == exp);
-        if matched {
-            Ok(())
-        } else {
-            Err(out.old)
-        }
+        self.run_planned(port, self.ops.mwcas, &params, &cells, |old| {
+            let matched = entries.iter().zip(old).all(|(&(_, exp, _), &o)| o == exp);
+            if matched {
+                Ok(())
+            } else {
+                Err(old.to_vec())
+            }
+        })
     }
 
     /// Run an arbitrary registered program (see [`StmOps::with_programs`])

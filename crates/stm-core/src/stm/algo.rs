@@ -7,21 +7,29 @@
 //! all steps are idempotent under the version-tagged CAS discipline described
 //! in [`crate::word`], so redundant execution is harmless — exactly the
 //! paper's design.
+//!
+//! The protocol executes off a borrowed [`ViewRef`] (compiled plan or
+//! per-call view) plus reusable [`TxScratch`] buffers, so the retry loop and
+//! the helping path allocate nothing per attempt. The per-cell protocol
+//! steps live in `*_cell` functions shared by the general slice-driven
+//! sweeps and the monomorphized small-k kernels ([`Kernel::K1`]/[`K2`]/
+//! [`K4`](Kernel::K4)), which guarantees every kernel issues the identical
+//! sequence of shared-memory operations and [`StepPoint`] hooks.
 
 use std::any::Any;
 
 use crate::contention::{ConflictInfo, ContentionManager, WaitAction};
-use crate::layout::MAX_PARAMS;
 use crate::machine::MemPort;
 use crate::observe::{NoopObserver, TxObserver};
 use crate::program::OpCode;
 use crate::step::StepPoint;
 use crate::word::{
     cell_successor, cell_value, oldval_for_version, pack_oldval_set, pack_oldval_unset,
-    pack_owner, pack_status, status_is_version, unpack_owner, unpack_status, CellIdx, TxStatus,
-    Word, OWNER_FREE,
+    pack_owner, pack_status, status_is_version, unpack_owner, unpack_status, Addr, CellIdx,
+    TxStatus, Word, OWNER_FREE,
 };
 
+use super::plan::{Kernel, ProtoBuf, TxScratch, ViewBuf, ViewRef};
 use super::{Stm, TxBudget, TxConflict, TxError, TxOutcome, TxSpec, TxStats};
 
 /// A contained panic payload from a user commit program (re-raised or
@@ -40,29 +48,14 @@ enum AttemptError {
     Panicked(PanicPayload),
 }
 
-/// A participant's view of one transaction: the commit program and the data
-/// set, in program order, plus the ascending acquisition order.
-struct TxView {
-    op: OpCode,
-    params: Vec<Word>,
-    cells: Vec<CellIdx>,
-    /// Permutation of `0..cells.len()` sorting positions by ascending cell
-    /// index — the paper's global acquisition order.
-    order: Vec<usize>,
-}
-
-impl TxView {
-    fn from_spec(spec: &TxSpec<'_>) -> Self {
-        let cells = spec.cells.to_vec();
-        let order = ascending_order(&cells);
-        TxView { op: spec.op, params: spec.params.to_vec(), cells, order }
+/// Build a [`TxOutcome`] out of the scratch's committed old values,
+/// consuming the buffers (only for call-local scratches).
+fn take_outcome(scratch: &mut TxScratch, stats: TxStats) -> TxOutcome {
+    TxOutcome {
+        old: std::mem::take(&mut scratch.out_old),
+        old_stamps: std::mem::take(&mut scratch.out_stamps),
+        stats,
     }
-}
-
-fn ascending_order(cells: &[CellIdx]) -> Vec<usize> {
-    let mut order: Vec<usize> = (0..cells.len()).collect();
-    order.sort_by_key(|&j| cells[j]);
-    order
 }
 
 /// Fault injection for tests: initialize the record and acquire ownerships
@@ -86,25 +79,34 @@ pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSp
         port.write(l.oldval_slot(me, j), pack_oldval_unset(version));
     }
     port.write(l.status(me), pack_status(version, TxStatus::Null));
-    let view = TxView::from_spec(spec);
-    acquire_ownerships(stm, port, me, version, &view, &mut NoopObserver);
+    let mut vb = ViewBuf::default();
+    vb.fill_from_spec(&l, spec);
+    acquire_general(stm, port, me, version, vb.view(spec.op), &mut NoopObserver);
     // ... and vanish: no decision handling, no release, no retry.
 }
 
 /// Run `spec` to completion (the paper's retry loop with helping).
 ///
 /// A panicking commit program is contained while ownerships are held (see
-/// [`update_memory`]) and re-raised here, after the machine is clean.
+/// [`update_general`]) and re-raised here, after the machine is clean.
 pub(super) fn execute<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     spec: &TxSpec<'_>,
     obs: &mut O,
 ) -> TxOutcome {
+    // The view is attempt-invariant: build (and sort) it once per call, not
+    // once per retry.
+    let mut vb = ViewBuf::default();
+    vb.fill_from_spec(stm.layout(), spec);
+    let view = vb.view(spec.op);
+    let mut scratch = TxScratch::new();
+    scratch.reserve_for(stm.layout());
     let mut stats = TxStats::default();
     loop {
-        match attempt(stm, port, spec, &mut stats, obs, stm.config.helping) {
-            Ok((old, old_stamps)) => return TxOutcome { old, old_stamps, stats },
+        match attempt(stm, port, view, Kernel::General, &mut stats, obs, stm.config.helping, &mut scratch)
+        {
+            Ok(()) => return take_outcome(&mut scratch, stats),
             Err(AttemptError::Conflict { .. }) => {
                 let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
                 if wait > 0 {
@@ -123,41 +125,54 @@ pub(super) fn try_execute<P: MemPort, O: TxObserver>(
     spec: &TxSpec<'_>,
     obs: &mut O,
 ) -> Result<TxOutcome, TxConflict> {
+    let mut vb = ViewBuf::default();
+    vb.fill_from_spec(stm.layout(), spec);
+    let mut scratch = TxScratch::new();
+    scratch.reserve_for(stm.layout());
     let mut stats = TxStats::default();
-    match attempt(stm, port, spec, &mut stats, obs, stm.config.helping) {
-        Ok((old, old_stamps)) => Ok(TxOutcome { old, old_stamps, stats }),
+    match attempt(stm, port, vb.view(spec.op), Kernel::General, &mut stats, obs, stm.config.helping, &mut scratch)
+    {
+        Ok(()) => Ok(take_outcome(&mut scratch, stats)),
         Err(AttemptError::Conflict { at }) => Err(TxConflict { at }),
         Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
     }
 }
 
-/// Run `spec` under a [`TxBudget`], consulting a [`ContentionManager`]
-/// between attempts — the hardened retry loop behind
-/// [`Stm::execute_for`](crate::stm::Stm::execute_for) and
-/// [`Stm::try_execute_within`](crate::stm::Stm::try_execute_within).
+/// The retry loop behind every budgeted/managed entry point
+/// ([`Stm::run`](crate::stm::Stm::run) and
+/// [`Stm::run_plan_in`](crate::stm::Stm::run_plan_in)): run `view` under a
+/// [`TxBudget`], consulting a [`ContentionManager`] between attempts.
+///
+/// On commit the data set's old values are left in `scratch`
+/// ([`TxScratch::old`]/[`TxScratch::old_stamps`]) — with a warm scratch the
+/// whole loop, helping included, performs **zero heap allocations per
+/// attempt**.
 ///
 /// While the manager reports help-first mode, attempts run with helping
 /// forced on regardless of [`StmConfig::helping`](crate::stm::StmConfig) —
 /// the starvation escape hatch. Panicking commit programs surface as
 /// [`TxError::OpPanicked`] instead of unwinding.
-pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
+#[allow(clippy::too_many_arguments)] // the one hot loop behind every entry point
+pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
-    spec: &TxSpec<'_>,
+    view: ViewRef<'_>,
+    kernel: Kernel,
     budget: TxBudget,
     cm: &mut C,
     obs: &mut O,
-) -> Result<TxOutcome, TxError> {
+    scratch: &mut TxScratch,
+) -> Result<TxStats, TxError> {
     let mut stats = TxStats::default();
-    let mut contended = std::collections::BTreeSet::new();
+    scratch.contended.clear();
     let started = std::time::Instant::now();
     let cycles0 = port.now();
     loop {
         let help = stm.config.helping || cm.help_first();
-        match attempt(stm, port, spec, &mut stats, obs, help) {
-            Ok((old, old_stamps)) => {
+        match attempt(stm, port, view, kernel, &mut stats, obs, help, scratch) {
+            Ok(()) => {
                 cm.on_commit();
-                return Ok(TxOutcome { old, old_stamps, stats });
+                return Ok(stats);
             }
             Err(AttemptError::Panicked(_payload)) => {
                 // The attempt already released everything; drop the payload
@@ -166,15 +181,15 @@ pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
             }
             Err(AttemptError::Conflict { at }) => {
                 let me = port.proc_id();
-                let cell = spec.cells.get(at).copied();
+                let cell = view.cells.get(at).copied();
                 if let Some(c) = cell {
-                    contended.insert(c);
+                    scratch.note_contended(c);
                 }
                 if budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
                 {
                     return Err(TxError::BudgetExhausted {
                         attempts: stats.attempts,
-                        cells_contended: contended.len() as u64,
+                        cells_contended: scratch.contended.len() as u64,
                     });
                 }
                 // Best-effort re-inspection of the obstructing owner (it may
@@ -183,8 +198,8 @@ pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
                 // that ignore the owner, so the default options' retry loop
                 // issues exactly the classic loop's memory operations.
                 let owner = if cm.wants_conflict_owner() {
-                    cell.and_then(|c| {
-                        unpack_owner(port.read(stm.layout().ownership(c)))
+                    view.own_addrs.get(at).and_then(|&own_addr| {
+                        unpack_owner(port.read(own_addr))
                             .map(|(p2, _)| p2)
                             .filter(|&p2| p2 != me)
                     })
@@ -228,19 +243,22 @@ pub(super) fn execute_within<P: MemPort, C: ContentionManager, O: TxObserver>(
 
 /// One attempt by the record owner: initialize the record, run the
 /// transaction, and on failure help the obstructing transaction once
-/// (non-redundant helping) when `help` is set. Returns the old values on
-/// commit, or an [`AttemptError`].
+/// (non-redundant helping) when `help` is set. On commit, leaves the old
+/// values in `scratch`; otherwise returns an [`AttemptError`].
 ///
-/// `help` is [`StmConfig::helping`](crate::stm::StmConfig) on the classic
-/// paths; the managed path forces it on in help-first mode.
+/// `help_on_conflict` is [`StmConfig::helping`](crate::stm::StmConfig) on
+/// the classic paths; the managed path forces it on in help-first mode.
+#[allow(clippy::too_many_arguments)] // internal: one call site per entry point
 fn attempt<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
-    spec: &TxSpec<'_>,
+    view: ViewRef<'_>,
+    kernel: Kernel,
     stats: &mut TxStats,
     obs: &mut O,
     help_on_conflict: bool,
-) -> Result<(Vec<u32>, Vec<u16>), AttemptError> {
+    scratch: &mut TxScratch,
+) -> Result<(), AttemptError> {
     stats.attempts += 1;
     let me = port.proc_id();
     obs.attempt_begin(me, stats.attempts, port.now());
@@ -253,13 +271,13 @@ fn attempt<P: MemPort, O: TxObserver>(
     // (1) Fence: helpers that land mid-rewrite see `Initializing` and bail.
     port.write(l.status(me), pack_status(version, TxStatus::Initializing));
     // (2) Record body: code reference + data set + fresh agreement entries.
-    port.write(l.size(me), spec.cells.len() as Word);
-    port.write(l.opcode(me), spec.op.index() as Word);
-    port.write(l.nparams(me), spec.params.len() as Word);
-    for (i, &p) in spec.params.iter().enumerate() {
+    port.write(l.size(me), view.cells.len() as Word);
+    port.write(l.opcode(me), view.op.index() as Word);
+    port.write(l.nparams(me), view.params.len() as Word);
+    for (i, &p) in view.params.iter().enumerate() {
         port.write(l.param(me, i), p);
     }
-    for (j, &c) in spec.cells.iter().enumerate() {
+    for (j, &c) in view.cells.iter().enumerate() {
         port.write(l.addr_slot(me, j), c as Word);
         port.write(l.oldval_slot(me, j), pack_oldval_unset(version));
     }
@@ -267,8 +285,7 @@ fn attempt<P: MemPort, O: TxObserver>(
     port.write(l.status(me), pack_status(version, TxStatus::Null));
     port.step(StepPoint::TxPublished);
 
-    let view = TxView::from_spec(spec);
-    let panicked = run_transaction(stm, port, me, version, &view, obs);
+    let panicked = run_transaction(stm, port, me, version, view, kernel, &mut scratch.proto, obs);
 
     // Only the owner advances its record's version, so the status read below
     // necessarily still belongs to `version`, and is decided.
@@ -284,8 +301,8 @@ fn attempt<P: MemPort, O: TxObserver>(
                 obs.op_panicked(me, stats.attempts, port.now());
                 return Err(AttemptError::Panicked(payload));
             }
-            let mut old = Vec::with_capacity(view.cells.len());
-            let mut old_stamps = Vec::with_capacity(view.cells.len());
+            scratch.out_old.clear();
+            scratch.out_stamps.clear();
             for j in 0..view.cells.len() {
                 let entry = port.read(l.oldval_slot(me, j));
                 // Invariant, not an error path: `Success` is only decided once
@@ -293,23 +310,25 @@ fn attempt<P: MemPort, O: TxObserver>(
                 // phase to have fixed every pre-image for this version first.
                 let cw = oldval_for_version(entry, version)
                     .expect("committed transaction must have agreed old values");
-                old.push(cell_value(cw));
-                old_stamps.push(crate::word::cell_stamp(cw));
+                scratch.out_old.push(cell_value(cw));
+                scratch.out_stamps.push(crate::word::cell_stamp(cw));
             }
             obs.committed(me, stats.attempts, port.now());
-            Ok((old, old_stamps))
+            Ok(())
         }
         TxStatus::Failure(j) => {
             stats.conflicts += 1;
             obs.conflict(me, view.cells.get(j).copied(), port.now());
             if help_on_conflict {
-                if let Some(&cell) = view.cells.get(j) {
-                    if let Some((p2, v2)) = unpack_owner(port.read(l.ownership(cell))) {
+                if let (Some(&_cell), Some(&own_addr)) =
+                    (view.cells.get(j), view.own_addrs.get(j))
+                {
+                    if let Some((p2, v2)) = unpack_owner(port.read(own_addr)) {
                         if p2 != me {
                             stats.helps += 1;
                             port.step(StepPoint::HelpBegin { owner: p2 });
                             obs.help_begin(me, p2, port.now());
-                            help(stm, port, p2, v2, obs);
+                            help(stm, port, p2, v2, scratch, obs);
                             obs.help_end(me, p2, port.now());
                         }
                     }
@@ -328,6 +347,10 @@ fn attempt<P: MemPort, O: TxObserver>(
 /// the paper's non-redundant helping (helpers never recurse into further
 /// helping).
 ///
+/// The snapshot and the replay run out of the scratch's dedicated `help_*`
+/// buffers: the helper's own plan view stays borrowed while it replays the
+/// victim's commit, so the two transactions must never share storage.
+///
 /// If the helped commit program panics, the payload is swallowed here: the
 /// helper's own transaction is unaffected, and the *owner* observes the same
 /// panic from its own `run_transaction` call (commit programs are pure
@@ -337,132 +360,354 @@ fn help<P: MemPort, O: TxObserver>(
     port: &mut P,
     owner: usize,
     version: u64,
+    scratch: &mut TxScratch,
     obs: &mut O,
 ) {
-    if let Some(view) = snapshot_view(stm, port, owner, version) {
-        let _swallowed = run_transaction(stm, port, owner, version, &view, obs);
+    let TxScratch { help_view, help_proto, .. } = scratch;
+    if let Some(op) = snapshot_into(stm, port, owner, version, help_view) {
+        // Helped data sets have dynamic size; the general sweep handles any k.
+        let _swallowed =
+            run_transaction_general(stm, port, owner, version, help_view.view(op), help_proto, obs);
     }
 }
 
 /// The paper's `transaction` procedure, executed identically by the owner
-/// and by helpers.
+/// and by helpers, dispatched to the plan's commit kernel.
+///
+/// Every kernel issues the identical shared-memory operation and step
+/// sequence (they share the `*_cell` building blocks); the small-k variants
+/// only replace the slice-driven sweeps with fully unrolled, stack-resident
+/// ones.
 ///
 /// Returns the contained panic payload if the commit program panicked in
-/// *this* participant's [`update_memory`] call (`None` otherwise). Whatever
-/// happens, every path performs exactly one release sweep for the ownerships
-/// this `(owner, version)` pair may hold — a panicking program can never
-/// strand (or double-free) an ownership record.
+/// *this* participant's update sweep (`None` otherwise). Whatever happens,
+/// every path performs exactly one release sweep for the ownerships this
+/// `(owner, version)` pair may hold — a panicking program can never strand
+/// (or double-free) an ownership record.
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
 fn run_transaction<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
-    view: &TxView,
+    view: ViewRef<'_>,
+    kernel: Kernel,
+    proto: &mut ProtoBuf,
+    obs: &mut O,
+) -> Option<PanicPayload> {
+    match kernel {
+        Kernel::K1 => run_transaction_k::<1, P, O>(stm, port, owner, version, view, obs),
+        Kernel::K2 => run_transaction_k::<2, P, O>(stm, port, owner, version, view, obs),
+        Kernel::K4 => run_transaction_k::<4, P, O>(stm, port, owner, version, view, obs),
+        Kernel::General => run_transaction_general(stm, port, owner, version, view, proto, obs),
+    }
+}
+
+/// The general slice-driven `transaction` body (any data-set size; also the
+/// helping path's kernel).
+fn run_transaction_general<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: ViewRef<'_>,
+    proto: &mut ProtoBuf,
     obs: &mut O,
 ) -> Option<PanicPayload> {
     let l = *stm.layout();
-    acquire_ownerships(stm, port, owner, version, view, obs);
+    acquire_general(stm, port, owner, version, view, obs);
 
     let stw = port.read(l.status(owner));
     if !status_is_version(stw, version) {
         // The transaction finished while we worked; free anything we may
         // still hold for it (exact-tag CAS makes this safe).
-        release_ownerships(stm, port, owner, version, view, obs);
+        release_general(port, owner, version, view, obs);
         return None;
     }
     match unpack_status(stw).1 {
         TxStatus::Success => {
+            // Agreement entries are contiguous per record; resolve the base
+            // once and index by data-set position.
+            let oldval_base = l.oldval_slot(owner, 0);
+            let ProtoBuf { olds, old_values, new_values } = proto;
             if stm.config.sabotage == crate::stm::Sabotage::ReleaseBeforeUpdate {
                 // Deliberately broken ordering for harness validation: free
                 // the locations first, then install. See [`crate::stm::Sabotage`].
                 // The sweep already happened — return the payload directly so
                 // the unwind cleanup cannot release a second time.
-                release_ownerships(stm, port, owner, version, view, obs);
-                if agree_old_values(stm, port, owner, version, view) {
-                    if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                        return update_memory(stm, port, version, view, &olds, obs);
-                    }
+                release_general(port, owner, version, view, obs);
+                if agree_general(port, oldval_base, version, view)
+                    && read_agreed_general(port, oldval_base, version, view.cells.len(), olds)
+                {
+                    return update_general(stm, port, view, olds, old_values, new_values, obs);
                 }
                 return None;
             }
             let mut panicked = None;
-            if agree_old_values(stm, port, owner, version, view) {
-                if let Some(olds) = read_agreed(stm, port, owner, version, view) {
-                    panicked = update_memory(stm, port, version, view, &olds, obs);
-                }
+            if agree_general(port, oldval_base, version, view)
+                && read_agreed_general(port, oldval_base, version, view.cells.len(), olds)
+            {
+                panicked = update_general(stm, port, view, olds, old_values, new_values, obs);
             }
-            release_ownerships(stm, port, owner, version, view, obs);
+            release_general(port, owner, version, view, obs);
             panicked
         }
         TxStatus::Failure(_) => {
-            release_ownerships(stm, port, owner, version, view, obs);
+            release_general(port, owner, version, view, obs);
             None
         }
         TxStatus::Null | TxStatus::Initializing => {
-            // `acquire_ownerships` always decides the status before returning
+            // `acquire_general` always decides the status before returning
             // while the version matches; defensively release and leave.
             debug_assert!(false, "undecided status after acquisition");
-            release_ownerships(stm, port, owner, version, view, obs);
+            release_general(port, owner, version, view, obs);
             None
         }
     }
 }
 
-/// The paper's `acquireOwnerships`: claim every data-set location in
-/// ascending cell order, failing the transaction on a live conflict.
-fn acquire_ownerships<P: MemPort, O: TxObserver>(
+/// The monomorphized `transaction` body for a data set of exactly `K` cells:
+/// every buffer is a stack array and every sweep bound is a compile-time
+/// constant, so the compiler fully unrolls the k-word CAS.
+fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
-    view: &TxView,
+    view: ViewRef<'_>,
     obs: &mut O,
-) {
+) -> Option<PanicPayload> {
+    debug_assert_eq!(view.cells.len(), K, "kernel width must match the data set");
     let l = *stm.layout();
+    let mut cells = [0 as CellIdx; K];
+    cells.copy_from_slice(view.cells);
+    let mut order = [0usize; K];
+    order.copy_from_slice(view.order);
+    let mut cell_addrs = [0 as Addr; K];
+    cell_addrs.copy_from_slice(view.cell_addrs);
+    let mut own_addrs = [0 as Addr; K];
+    own_addrs.copy_from_slice(view.own_addrs);
+
     let mine = pack_owner(owner, version);
     let status_addr = l.status(owner);
     let live = pack_status(version, TxStatus::Null);
 
-    for &j in &view.order {
-        let own_addr = l.ownership(view.cells[j]);
-        loop {
-            port.step(StepPoint::AcquireAttempt { j });
-            // Another participant may have decided the outcome already.
-            if port.read(status_addr) != live {
-                return;
-            }
-            let cur = port.read(own_addr);
-            if cur == mine {
-                break; // already claimed (by us or a co-participant)
-            }
-            if cur == OWNER_FREE {
-                match port.compare_exchange(own_addr, OWNER_FREE, mine) {
-                    Ok(()) => break,
-                    Err(_) => continue,
+    // acquireOwnerships, unrolled.
+    let mut all_acquired = true;
+    for &j in &order {
+        if !acquire_cell(&l, port, status_addr, live, mine, version, j, cells[j], own_addrs[j], obs)
+        {
+            all_acquired = false;
+            break;
+        }
+    }
+    if all_acquired {
+        port.step(StepPoint::BeforeDecisionCas);
+        if port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Success)).is_ok()
+        {
+            port.step(StepPoint::Decided { committed: true });
+        }
+    }
+
+    let stw = port.read(status_addr);
+    if !status_is_version(stw, version) {
+        release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
+        return None;
+    }
+    match unpack_status(stw).1 {
+        TxStatus::Success => {
+            let oldval_base = l.oldval_slot(owner, 0);
+            let mut olds = [0 as Word; K];
+            if stm.config.sabotage == crate::stm::Sabotage::ReleaseBeforeUpdate {
+                release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
+                if agree_k::<K, P>(port, oldval_base, version, &cell_addrs)
+                    && read_agreed_k::<K, P>(port, oldval_base, version, &mut olds)
+                {
+                    return update_k::<K, P, O>(
+                        stm, port, view.op, view.params, &cells, &cell_addrs, &olds, obs,
+                    );
                 }
+                return None;
             }
-            // Invariant: `cur != OWNER_FREE` was checked just above, and every
-            // non-free ownership word is a packed `(proc, version)` pair.
-            let (p2, v2) = unpack_owner(cur).expect("non-free ownership");
-            if !status_is_version(port.read(l.status(p2)), v2) {
-                // The owning transaction already finished: this ownership is
-                // a stale leftover (e.g. installed by a slow helper after the
-                // fact). Reclaim it; all of that transaction's effects are
-                // tag-guarded, so freeing early is safe.
-                let _ = port.compare_exchange(own_addr, cur, OWNER_FREE);
-                continue;
-            }
-            // Live conflict: fail this transaction at data-set position `j`.
-            if port
-                .compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)))
-                .is_ok()
+            let mut panicked = None;
+            if agree_k::<K, P>(port, oldval_base, version, &cell_addrs)
+                && read_agreed_k::<K, P>(port, oldval_base, version, &mut olds)
             {
-                port.step(StepPoint::Decided { committed: false });
+                panicked = update_k::<K, P, O>(
+                    stm, port, view.op, view.params, &cells, &cell_addrs, &olds, obs,
+                );
             }
+            release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
+            panicked
+        }
+        TxStatus::Failure(_) => {
+            release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
+            None
+        }
+        TxStatus::Null | TxStatus::Initializing => {
+            debug_assert!(false, "undecided status after acquisition");
+            release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
+            None
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-cell protocol steps (shared by the general sweeps and the kernels)
+// ---------------------------------------------------------------------------
+
+/// Claim one data-set location for `(owner, version)` — the body of the
+/// paper's `acquireOwnerships` loop for position `j`. Returns `false` when
+/// the sweep must stop: the status moved, or a live conflict failed the
+/// transaction at `j`.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn acquire_cell<P: MemPort, O: TxObserver>(
+    l: &crate::layout::StmLayout,
+    port: &mut P,
+    status_addr: Addr,
+    live: Word,
+    mine: Word,
+    version: u64,
+    j: usize,
+    cell: CellIdx,
+    own_addr: Addr,
+    obs: &mut O,
+) -> bool {
+    loop {
+        port.step(StepPoint::AcquireAttempt { j });
+        // Another participant may have decided the outcome already.
+        if port.read(status_addr) != live {
+            return false;
+        }
+        let cur = port.read(own_addr);
+        if cur == mine {
+            break; // already claimed (by us or a co-participant)
+        }
+        if cur == OWNER_FREE {
+            match port.compare_exchange(own_addr, OWNER_FREE, mine) {
+                Ok(()) => break,
+                Err(_) => continue,
+            }
+        }
+        // Invariant: `cur != OWNER_FREE` was checked just above, and every
+        // non-free ownership word is a packed `(proc, version)` pair.
+        let (p2, v2) = unpack_owner(cur).expect("non-free ownership");
+        if !status_is_version(port.read(l.status(p2)), v2) {
+            // The owning transaction already finished: this ownership is
+            // a stale leftover (e.g. installed by a slow helper after the
+            // fact). Reclaim it; all of that transaction's effects are
+            // tag-guarded, so freeing early is safe.
+            let _ = port.compare_exchange(own_addr, cur, OWNER_FREE);
+            continue;
+        }
+        // Live conflict: fail this transaction at data-set position `j`.
+        if port
+            .compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)))
+            .is_ok()
+        {
+            port.step(StepPoint::Decided { committed: false });
+        }
+        return false;
+    }
+    port.step(StepPoint::Acquired { j });
+    obs.cell_acquired(port.proc_id(), cell, port.now());
+    true
+}
+
+/// Fix the pre-image of one location exactly once per version — the body of
+/// the paper's `agreeOldValues` loop. Returns `false` if the record moved to
+/// another version.
+#[inline(always)]
+fn agree_cell<P: MemPort>(port: &mut P, slot: Addr, cell_addr: Addr, version: u64) -> bool {
+    loop {
+        let entry = port.read(slot);
+        match oldval_for_version(entry, version) {
+            Ok(_) => return true,
+            Err(false) => return false,
+            Err(true) => {
+                // Entry still unset for our version: the location is
+                // still owned (release requires full agreement first), so
+                // the cell word is the frozen pre-image.
+                let cw = port.read(cell_addr);
+                if port.compare_exchange(slot, entry, pack_oldval_set(version, cw)).is_ok() {
+                    return true;
+                }
+                // Lost the race; re-inspect the slot.
+            }
+        }
+    }
+}
+
+/// Read back one agreed pre-image; `None` if the record moved versions.
+#[inline(always)]
+fn read_agreed_cell<P: MemPort>(port: &mut P, slot: Addr, version: u64) -> Option<Word> {
+    oldval_for_version(port.read(slot), version).ok()
+}
+
+/// Install one location's new value — the body of the paper's `updateMemory`
+/// loop. A CAS from the agreed pre-image (stamp included) rejects replays by
+/// other participants or stale helpers.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn install_cell<P: MemPort, O: TxObserver>(
+    port: &mut P,
+    j: usize,
+    cell: CellIdx,
+    cell_addr: Addr,
+    old: Word,
+    old_value: u32,
+    new_value: u32,
+    obs: &mut O,
+) {
+    port.step(StepPoint::UpdateWrite { j });
+    if new_value == old_value {
+        return; // logical read: leave the cell (and its stamp) untouched
+    }
+    obs.write_back(port.proc_id(), cell, port.now());
+    let _ = port.compare_exchange(cell_addr, old, cell_successor(old, new_value));
+}
+
+/// Free one location iff it is still held by `(owner, version)` — the body
+/// of the paper's `releaseOwnerships` loop (an exact-tag CAS).
+#[inline(always)]
+fn release_cell<P: MemPort, O: TxObserver>(
+    port: &mut P,
+    j: usize,
+    cell: CellIdx,
+    own_addr: Addr,
+    mine: Word,
+    obs: &mut O,
+) {
+    port.step(StepPoint::BeforeRelease { j });
+    obs.released(port.proc_id(), cell, port.now());
+    let _ = port.compare_exchange(own_addr, mine, OWNER_FREE);
+}
+
+// ---------------------------------------------------------------------------
+// General (slice-driven) sweeps
+// ---------------------------------------------------------------------------
+
+/// The paper's `acquireOwnerships`: claim every data-set location in
+/// ascending cell order, failing the transaction on a live conflict.
+fn acquire_general<P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    view: ViewRef<'_>,
+    obs: &mut O,
+) {
+    let l = stm.layout();
+    let mine = pack_owner(owner, version);
+    let status_addr = l.status(owner);
+    let live = pack_status(version, TxStatus::Null);
+
+    for &j in view.order {
+        if !acquire_cell(l, port, status_addr, live, mine, version, j, view.cells[j], view.own_addrs[j], obs)
+        {
             return;
         }
-        port.step(StepPoint::Acquired { j });
-        obs.cell_acquired(port.proc_id(), view.cells[j], port.now());
     }
     // Every location is held by `(owner, version)`: decide success. If the
     // CAS fails, another participant decided first — equally final.
@@ -472,120 +717,171 @@ fn acquire_ownerships<P: MemPort, O: TxObserver>(
     }
 }
 
-/// The paper's `agreeOldValues`: fix the pre-image of every location exactly
-/// once per version via CAS from the unset entry. Returns `false` if the
-/// record moved to another version mid-way.
-fn agree_old_values<P: MemPort>(
-    stm: &Stm,
+/// The paper's `agreeOldValues` over the whole data set. Returns `false` if
+/// the record moved to another version mid-way.
+fn agree_general<P: MemPort>(
     port: &mut P,
-    owner: usize,
+    oldval_base: Addr,
     version: u64,
-    view: &TxView,
+    view: ViewRef<'_>,
 ) -> bool {
-    let l = *stm.layout();
     for j in 0..view.cells.len() {
-        let slot = l.oldval_slot(owner, j);
-        loop {
-            let entry = port.read(slot);
-            match oldval_for_version(entry, version) {
-                Ok(_) => break,
-                Err(false) => return false,
-                Err(true) => {
-                    // Entry still unset for our version: the location is
-                    // still owned (release requires full agreement first), so
-                    // the cell word is the frozen pre-image.
-                    let cw = port.read(l.cell(view.cells[j]));
-                    if port.compare_exchange(slot, entry, pack_oldval_set(version, cw)).is_ok() {
-                        break;
-                    }
-                    // Lost the race; re-inspect the slot.
-                }
-            }
+        if !agree_cell(port, oldval_base + j, view.cell_addrs[j], version) {
+            return false;
         }
         port.step(StepPoint::OldValAgreed { j });
     }
     true
 }
 
-/// Read back the agreed pre-images (packed cell words) in program order;
-/// `None` if the record moved to another version.
-fn read_agreed<P: MemPort>(
-    stm: &Stm,
+/// Read back the agreed pre-images (packed cell words) in program order into
+/// `olds`; `false` if the record moved to another version.
+fn read_agreed_general<P: MemPort>(
     port: &mut P,
-    owner: usize,
+    oldval_base: Addr,
     version: u64,
-    view: &TxView,
-) -> Option<Vec<Word>> {
-    let l = *stm.layout();
-    let mut olds = Vec::with_capacity(view.cells.len());
-    for j in 0..view.cells.len() {
-        let entry = port.read(l.oldval_slot(owner, j));
-        olds.push(oldval_for_version(entry, version).ok()?);
+    k: usize,
+    olds: &mut Vec<Word>,
+) -> bool {
+    olds.clear();
+    for j in 0..k {
+        match read_agreed_cell(port, oldval_base + j, version) {
+            Some(w) => olds.push(w),
+            None => return false,
+        }
     }
-    Some(olds)
+    true
 }
 
 /// The paper's `updateMemory`: apply the commit function and install the new
-/// values. Each install is a CAS from the agreed pre-image (stamp included),
-/// so replays by other participants — or stale helpers — are rejected.
+/// values.
 ///
 /// The commit program is the only user code the protocol ever runs, so this
 /// is the one containment point: it executes under `catch_unwind`, and a
-/// panic installs *nothing* (an identity commit — the `new == old` skip below
-/// means untouched cells keep their stamps). Since commit programs are pure
-/// functions of `(params, old_values)`, every participant replaying this
-/// version panics identically, so no participant can install a torn subset.
-/// The payload is returned for the caller to surface after release.
-fn update_memory<P: MemPort, O: TxObserver>(
+/// panic installs *nothing* (an identity commit — the `new == old` skip in
+/// [`install_cell`] means untouched cells keep their stamps). Since commit
+/// programs are pure functions of `(params, old_values)`, every participant
+/// replaying this version panics identically, so no participant can install
+/// a torn subset. The payload is returned for the caller to surface after
+/// release.
+fn update_general<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
-    _version: u64,
-    view: &TxView,
+    view: ViewRef<'_>,
     olds: &[Word],
+    old_values: &mut Vec<u32>,
+    new_values: &mut Vec<u32>,
     obs: &mut O,
 ) -> Option<PanicPayload> {
-    let l = *stm.layout();
-    let old_values: Vec<u32> = olds.iter().map(|&w| cell_value(w)).collect();
-    let mut new_values = old_values.clone();
+    old_values.clear();
+    old_values.extend(olds.iter().map(|&w| cell_value(w)));
+    new_values.clear();
+    new_values.extend_from_slice(old_values);
+    let (op, params) = (view.op, view.params);
     let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        stm.table().run(view.op, &view.params, &old_values, &mut new_values);
+        stm.table().run(op, params, old_values, new_values);
     }));
     if let Err(payload) = run {
         return Some(payload);
     }
     for j in 0..view.cells.len() {
-        port.step(StepPoint::UpdateWrite { j });
-        if new_values[j] == old_values[j] {
-            continue; // logical read: leave the cell (and its stamp) untouched
-        }
-        obs.write_back(port.proc_id(), view.cells[j], port.now());
-        let _ = port.compare_exchange(
-            l.cell(view.cells[j]),
-            olds[j],
-            cell_successor(olds[j], new_values[j]),
-        );
+        install_cell(port, j, view.cells[j], view.cell_addrs[j], olds[j], old_values[j], new_values[j], obs);
     }
     None
 }
 
 /// The paper's `releaseOwnerships`: free exactly the locations held by
-/// `(owner, version)` — an exact-tag CAS per location.
-fn release_ownerships<P: MemPort, O: TxObserver>(
-    stm: &Stm,
+/// `(owner, version)`.
+fn release_general<P: MemPort, O: TxObserver>(
     port: &mut P,
     owner: usize,
     version: u64,
-    view: &TxView,
+    view: ViewRef<'_>,
     obs: &mut O,
 ) {
-    let l = *stm.layout();
     let mine = pack_owner(owner, version);
     for (j, &c) in view.cells.iter().enumerate() {
-        port.step(StepPoint::BeforeRelease { j });
-        obs.released(port.proc_id(), c, port.now());
-        let _ = port.compare_exchange(l.ownership(c), mine, OWNER_FREE);
+        release_cell(port, j, c, view.own_addrs[j], mine, obs);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Monomorphized small-k sweeps
+// ---------------------------------------------------------------------------
+
+fn agree_k<const K: usize, P: MemPort>(
+    port: &mut P,
+    oldval_base: Addr,
+    version: u64,
+    cell_addrs: &[Addr; K],
+) -> bool {
+    for (j, &cell_addr) in cell_addrs.iter().enumerate() {
+        if !agree_cell(port, oldval_base + j, cell_addr, version) {
+            return false;
+        }
+        port.step(StepPoint::OldValAgreed { j });
+    }
+    true
+}
+
+fn read_agreed_k<const K: usize, P: MemPort>(
+    port: &mut P,
+    oldval_base: Addr,
+    version: u64,
+    olds: &mut [Word; K],
+) -> bool {
+    for (j, old) in olds.iter_mut().enumerate() {
+        match read_agreed_cell(port, oldval_base + j, version) {
+            Some(w) => *old = w,
+            None => return false,
+        }
+    }
+    true
+}
+
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn update_k<const K: usize, P: MemPort, O: TxObserver>(
+    stm: &Stm,
+    port: &mut P,
+    op: OpCode,
+    params: &[Word],
+    cells: &[CellIdx; K],
+    cell_addrs: &[Addr; K],
+    olds: &[Word; K],
+    obs: &mut O,
+) -> Option<PanicPayload> {
+    let mut old_values = [0u32; K];
+    for j in 0..K {
+        old_values[j] = cell_value(olds[j]);
+    }
+    let mut new_values = old_values;
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        stm.table().run(op, params, &old_values, &mut new_values);
+    }));
+    if let Err(payload) = run {
+        return Some(payload);
+    }
+    for j in 0..K {
+        install_cell(port, j, cells[j], cell_addrs[j], olds[j], old_values[j], new_values[j], obs);
+    }
+    None
+}
+
+fn release_k<const K: usize, P: MemPort, O: TxObserver>(
+    port: &mut P,
+    cells: &[CellIdx; K],
+    own_addrs: &[Addr; K],
+    mine: Word,
+    obs: &mut O,
+) {
+    for j in 0..K {
+        release_cell(port, j, cells[j], own_addrs[j], mine, obs);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Read-only fast path & helping snapshot
+// ---------------------------------------------------------------------------
 
 /// The read-only fast path: a validated double-collect of the cells' packed
 /// words, without acquiring anything — the *invisible read* the acquiring
@@ -665,16 +961,18 @@ pub(super) fn validate_read_set<P: MemPort>(
     true
 }
 
-/// Snapshot the record of `(owner, version)` for helping. The two status
-/// validations bracket the body reads; the owner publishes `Initializing`
-/// before rewriting the body for a new version, so a bracketed snapshot is
-/// never torn.
-fn snapshot_view<P: MemPort>(
+/// Snapshot the record of `(owner, version)` into `buf` for helping,
+/// returning the resolved opcode. The two status validations bracket the
+/// body reads; the owner publishes `Initializing` before rewriting the body
+/// for a new version, so a bracketed snapshot is never torn. Allocation-free
+/// once `buf` is warm.
+fn snapshot_into<P: MemPort>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
-) -> Option<TxView> {
+    buf: &mut ViewBuf,
+) -> Option<OpCode> {
     let l = *stm.layout();
     let ok = |w: Word| status_is_version(w, version) && unpack_status(w).1 != TxStatus::Initializing;
 
@@ -686,35 +984,23 @@ fn snapshot_view<P: MemPort>(
         return None;
     }
     let op_raw = port.read(l.opcode(owner));
-    let nparams = (port.read(l.nparams(owner)) as usize).min(MAX_PARAMS);
-    let mut params = Vec::with_capacity(nparams);
+    let nparams = (port.read(l.nparams(owner)) as usize).min(crate::layout::MAX_PARAMS);
+    buf.params.clear();
     for i in 0..nparams {
-        params.push(port.read(l.param(owner, i)));
+        buf.params.push(port.read(l.param(owner, i)));
     }
-    let mut cells = Vec::with_capacity(size);
+    buf.cells.clear();
     for j in 0..size {
-        cells.push(port.read(l.addr_slot(owner, j)) as CellIdx);
+        buf.cells.push(port.read(l.addr_slot(owner, j)) as CellIdx);
     }
     if !ok(port.read(l.status(owner))) {
         return None;
     }
     // The snapshot is consistent; validate it came from a well-formed spec.
     let op = stm.table().resolve_raw(op_raw)?;
-    if cells.iter().any(|&c| c >= l.n_cells()) {
+    if buf.cells.iter().any(|&c| c >= l.n_cells()) {
         return None;
     }
-    let order = ascending_order(&cells);
-    Some(TxView { op, params, cells, order })
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn ascending_order_permutes_by_cell() {
-        assert_eq!(ascending_order(&[9, 1, 5]), vec![1, 2, 0]);
-        assert_eq!(ascending_order(&[1]), vec![0]);
-        assert_eq!(ascending_order(&[2, 3, 4]), vec![0, 1, 2]);
-    }
+    buf.finish(&l);
+    Some(op)
 }

@@ -36,8 +36,10 @@
 
 mod algo;
 mod options;
+mod plan;
 
 pub use options::TxOptions;
+pub use plan::{Kernel, TxPlan, TxScratch};
 
 use std::fmt;
 use std::sync::Arc;
@@ -250,6 +252,17 @@ pub enum TxError {
         /// Attempts made, including the one whose program panicked.
         attempts: u64,
     },
+    /// The spec's data set lists the same cell twice ([`Stm::compile`]).
+    /// Duplicates would double-acquire the cell's ownership under the
+    /// ascending sweep: the second acquisition sees the first's claim as
+    /// "already mine" and proceeds, but release then frees the cell once
+    /// while a helper may still be replaying the other position — so the
+    /// compiler rejects the spec instead of running it. (The spec-validating
+    /// entry points keep their historical panic for the same condition.)
+    DuplicateCell {
+        /// The repeated cell index.
+        cell: CellIdx,
+    },
 }
 
 impl fmt::Display for TxError {
@@ -265,6 +278,9 @@ impl fmt::Display for TxError {
                 "transaction program panicked on attempt {attempts} \
                  (aborted cleanly; all ownerships released)"
             ),
+            TxError::DuplicateCell { cell } => {
+                write!(f, "duplicate cell {cell} in data set")
+            }
         }
     }
 }
@@ -431,7 +447,153 @@ impl Stm {
         C: crate::contention::ContentionManager,
     {
         self.validate_spec(port, spec);
-        algo::execute_within(self, port, spec, opts.budget, &mut opts.manager, &mut opts.observer)
+        self.run_spec_inner(port, spec, opts.budget, &mut opts.manager, &mut opts.observer)
+    }
+
+    /// Run an already-validated spec: build the per-call view once (the view
+    /// is attempt-invariant — retries reuse it) and drive the general
+    /// kernel's retry loop out of a call-local scratch.
+    fn run_spec_inner<P, C, O>(
+        &self,
+        port: &mut P,
+        spec: &TxSpec<'_>,
+        budget: TxBudget,
+        cm: &mut C,
+        obs: &mut O,
+    ) -> Result<TxOutcome, TxError>
+    where
+        P: MemPort,
+        C: crate::contention::ContentionManager,
+        O: crate::observe::TxObserver,
+    {
+        let mut vb = plan::ViewBuf::default();
+        vb.fill_from_spec(&self.layout, spec);
+        let mut scratch = TxScratch::new();
+        scratch.reserve_for(&self.layout);
+        let stats = algo::execute_loop(
+            self,
+            port,
+            vb.view(spec.op),
+            Kernel::General,
+            budget,
+            cm,
+            obs,
+            &mut scratch,
+        )?;
+        Ok(TxOutcome {
+            old: std::mem::take(&mut scratch.out_old),
+            old_stamps: std::mem::take(&mut scratch.out_stamps),
+            stats,
+        })
+    }
+
+    /// Compile `spec` into a reusable [`TxPlan`]: duplicate-checked cells,
+    /// the ascending acquisition order, resolved cell/ownership addresses,
+    /// and the commit [`Kernel`] (a monomorphized small-k sweep for data
+    /// sets of 1, 2, or 4 cells) — everything the protocol would otherwise
+    /// recompute per call, done once.
+    ///
+    /// Plans are immutable and port-agnostic: share one across threads with
+    /// `Arc` and run it on any port of this instance via [`Stm::run_plan`] /
+    /// [`Stm::run_plan_in`]. [`StmOps`](crate::ops::StmOps) keeps a bounded
+    /// cache of them keyed by `(op, cells)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TxError::DuplicateCell`] when the data set lists a cell twice (the
+    /// condition the spec-validating entry points panic on).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the other malformed-spec conditions, matching
+    /// [`Stm::run`]: empty or oversized data set, too many parameters, an
+    /// out-of-range cell index, or a foreign opcode.
+    pub fn compile(&self, spec: &TxSpec<'_>) -> Result<TxPlan, TxError> {
+        TxPlan::compile(self, spec)
+    }
+
+    /// Execute a compiled plan with its captured parameters, allocating only
+    /// the returned [`TxOutcome`]. Convenience wrapper over
+    /// [`Stm::run_plan_in`] for callers that do not hold a
+    /// [`TxScratch`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Stm::run`].
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Stm::run_plan_in`].
+    pub fn run_plan<P, O, C>(
+        &self,
+        port: &mut P,
+        plan: &TxPlan,
+        opts: &mut TxOptions<O, C>,
+    ) -> Result<TxOutcome, TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: crate::contention::ContentionManager,
+    {
+        let mut scratch = TxScratch::new();
+        let stats = self.run_plan_in(port, plan, plan.params(), opts, &mut scratch)?;
+        Ok(TxOutcome {
+            old: std::mem::take(&mut scratch.out_old),
+            old_stamps: std::mem::take(&mut scratch.out_stamps),
+            stats,
+        })
+    }
+
+    /// Execute a compiled plan out of a caller-owned [`TxScratch`] — the
+    /// allocation-free hot path. With a warm scratch, the entire call (the
+    /// retry loop, the commit sweeps, and any helping of other processors'
+    /// transactions) performs **zero heap allocations**; on commit the data
+    /// set's old values are left in the scratch ([`TxScratch::old`] /
+    /// [`TxScratch::old_stamps`]).
+    ///
+    /// `params` are the parameter words for this call (pass
+    /// [`TxPlan::params`] to use the ones captured at compile time): one
+    /// plan serves every call sharing `(op, cells)`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Stm::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the plan was compiled against a different layout than this
+    /// instance's, if `params` exceeds [`MAX_PARAMS`], or if the port's
+    /// processor id is out of range.
+    pub fn run_plan_in<P, O, C>(
+        &self,
+        port: &mut P,
+        plan: &TxPlan,
+        params: &[Word],
+        opts: &mut TxOptions<O, C>,
+        scratch: &mut TxScratch,
+    ) -> Result<TxStats, TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: crate::contention::ContentionManager,
+    {
+        assert!(
+            *plan.layout() == self.layout,
+            "plan compiled against a different STM layout"
+        );
+        assert!(params.len() <= MAX_PARAMS, "too many parameter words");
+        assert!(port.proc_id() < self.layout.n_procs(), "port processor id out of range for this STM");
+        scratch.reserve_for(&self.layout);
+        algo::execute_loop(
+            self,
+            port,
+            plan.view(params),
+            plan.kernel(),
+            opts.budget,
+            &mut opts.manager,
+            &mut opts.observer,
+            scratch,
+        )
     }
 
     /// The read-only fast path: snapshot `cells` via a validated
@@ -640,7 +802,7 @@ impl Stm {
         O: crate::observe::TxObserver,
     {
         self.validate_spec(port, spec);
-        algo::execute_within(self, port, spec, budget, cm, obs)
+        self.run_spec_inner(port, spec, budget, cm, obs)
     }
 
     /// Read one cell's current committed value directly (no transaction).

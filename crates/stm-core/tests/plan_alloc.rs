@@ -1,0 +1,115 @@
+//! Certifies the compiled-plan write path is allocation-free: with a warm
+//! plan cache and scratch, neither `Stm::run_plan_in` nor the cached
+//! `StmOps` entry points perform a single heap allocation per attempt.
+//!
+//! A counting `#[global_allocator]` wraps the system allocator. The count is
+//! kept **per thread** (const-initialized TLS, so reading it never allocates)
+//! because the libtest harness's own threads may allocate concurrently;
+//! only what the measuring thread itself allocates is attributable to the
+//! transaction path under test.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use stm_core::machine::host::HostMachine;
+use stm_core::ops::StmOps;
+use stm_core::stm::{Kernel, StmConfig, TxOptions, TxScratch, TxSpec};
+
+struct CountingAlloc;
+
+thread_local! {
+    static THREAD_ALLOCS: Cell<u64> = const { Cell::new(0) };
+}
+
+fn bump() {
+    // `try_with`: TLS may be mid-teardown when a destructor allocates.
+    let _ = THREAD_ALLOCS.try_with(|c| c.set(c.get() + 1));
+}
+
+// SAFETY: delegates verbatim to `System`; the counter has no safety role.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        bump();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        bump();
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    THREAD_ALLOCS.with(|c| c.get())
+}
+
+#[test]
+fn warm_plan_execution_allocates_nothing() {
+    const ITERS: u32 = 1_000;
+    let ops = StmOps::new(0, 32, 1, 8, StmConfig::default());
+    let m = HostMachine::new(ops.stm().layout().words_needed(), 1);
+    let mut port = m.port(0);
+    let add = ops.builtins().add;
+
+    // One plan per kernel tier: k = 1, 2, 4 (monomorphized) and k = 3
+    // (general sweep), all compiled once up front.
+    let shapes: [&[usize]; 4] = [&[0], &[1, 2], &[3, 4, 5], &[6, 7, 8, 9]];
+    let plans: Vec<_> = shapes
+        .iter()
+        .map(|cells| ops.stm().compile(&TxSpec::new(add, &[], cells)).unwrap())
+        .collect();
+    assert_eq!(
+        plans.iter().map(|p| p.kernel()).collect::<Vec<_>>(),
+        vec![Kernel::K1, Kernel::K2, Kernel::General, Kernel::K4],
+    );
+
+    let mut scratch = TxScratch::new();
+    let params = [1u64, 1, 1, 1];
+
+    // Warm everything once: scratch growth, the thread-local scratch used
+    // by the cached `StmOps` entry points, and the plan cache itself.
+    for (plan, cells) in plans.iter().zip(&shapes) {
+        ops.stm()
+            .run_plan_in(&mut port, plan, &params[..cells.len()], &mut TxOptions::new(), &mut scratch)
+            .unwrap();
+    }
+    ops.fetch_add(&mut port, 10, 1);
+    ops.swap(&mut port, 11, 5);
+    ops.mwcas(&mut port, &[(12, 0, 1), (13, 0, 1)]).unwrap();
+
+    // Measure: every warm path must leave the allocation counter untouched.
+    let before = allocs();
+    for _ in 0..ITERS {
+        for (plan, cells) in plans.iter().zip(&shapes) {
+            ops.stm()
+                .run_plan_in(
+                    &mut port,
+                    plan,
+                    &params[..cells.len()],
+                    &mut TxOptions::new(),
+                    &mut scratch,
+                )
+                .unwrap();
+        }
+        ops.fetch_add(&mut port, 10, 1);
+        ops.swap(&mut port, 11, 7);
+    }
+    let after = allocs();
+    assert_eq!(
+        after - before,
+        0,
+        "warm compiled-plan execution must be allocation-free \
+         ({} allocations over {} transactions)",
+        after - before,
+        ITERS * 6,
+    );
+
+    // Sanity: the workload really ran.
+    assert_eq!(ops.snapshot(&mut port, &[0]), vec![1 + ITERS]);
+    assert_eq!(ops.snapshot(&mut port, &[10]), vec![1 + ITERS]);
+}

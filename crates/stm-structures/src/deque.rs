@@ -25,7 +25,6 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -328,8 +327,9 @@ impl DequeHandle {
                 let cells = [FREE, HEAD, TAIL, LEN, nf, nf + 1, nf + 2, neighbour];
                 let params = [f as Word, end_ptr as Word, value as Word];
                 let op = if front { progs.push_front } else { progs.push_back };
-                let out = ops.run(port, &TxSpec::new(op, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                let applied = out.old[0] == f && out.old[if front { 1 } else { 2 }] == end_ptr;
+                let applied = ops.run_planned(port, op, &params, &cells, |old| {
+                    old[0] == f && old[if front { 1 } else { 2 }] == end_ptr
+                });
                 if applied {
                     return true;
                 }
@@ -371,12 +371,15 @@ impl DequeHandle {
                 let cells = [FREE, HEAD, TAIL, LEN, nc, nc + 1, nc + 2, neighbour];
                 let params = [n as Word, adj as Word];
                 let op = if front { progs.pop_front } else { progs.pop_back };
-                let out = ops.run(port, &TxSpec::new(op, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                let applied = out.old[if front { 1 } else { 2 }] == n
-                    && out.old[if front { 5 } else { 6 }] == adj;
-                if applied {
-                    return Some(out.old[4]);
+                let applied = ops.run_planned(port, op, &params, &cells, |old| {
+                    let ok = old[if front { 1 } else { 2 }] == n
+                        && old[if front { 5 } else { 6 }] == adj;
+                    ok.then_some(old[4])
+                });
+                if let Some(v) = applied {
+                    return Some(v);
                 }
+                // stale speculation; retry
             },
             HandleInner::Herlihy { h } => h.update(port, |o| ring_pop(o, cap, front)),
             HandleInner::Ttas { lock, data } => {

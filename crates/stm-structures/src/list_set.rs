@@ -28,7 +28,7 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{StmConfig, TxOptions, TxSpec};
+use stm_core::stm::StmConfig;
 use stm_core::word::{pack_cell, Addr, Word};
 
 const HEAD: usize = 0;
@@ -215,9 +215,11 @@ impl ListSet {
                 prev_seq as Word,
                 (prev == 0) as Word,
             ];
-            let out = self.ops.run(port, &TxSpec::new(self.insert_op, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-            let prev_live = prev == 0 || out.old[2] == prev_seq;
-            if out.old[0] == f && out.old[1] == succ && prev_live {
+            let applied = self.ops.run_planned(port, self.insert_op, &params, &cells, |old| {
+                let prev_live = prev == 0 || old[2] == prev_seq;
+                old[0] == f && old[1] == succ && prev_live
+            });
+            if applied {
                 return true; // validated and applied
             }
         }
@@ -236,9 +238,11 @@ impl ListSet {
             let cells = self.window_cells(prev, victim);
             let params =
                 [victim as Word, key as Word, prev_seq as Word, (prev == 0) as Word];
-            let out = self.ops.run(port, &TxSpec::new(self.remove_op, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-            let prev_live = prev == 0 || out.old[2] == prev_seq;
-            if out.old[1] == victim && out.old[3] == key && prev_live {
+            let applied = self.ops.run_planned(port, self.remove_op, &params, &cells, |old| {
+                let prev_live = prev == 0 || old[2] == prev_seq;
+                old[1] == victim && old[3] == key && prev_live
+            });
+            if applied {
                 return true;
             }
         }

@@ -10,7 +10,6 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -257,8 +256,8 @@ impl PrioHandle {
         let cap = self.capacity;
         match &mut self.inner {
             HandleInner::Stm { ops, insert, cells, .. } => {
-                let out = ops.run(port, &TxSpec::new(*insert, &[v as Word], cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                (out.old[0] as usize) < cap
+                let size = ops.run_planned(port, *insert, &[v as Word], cells, |old| old[0]);
+                (size as usize) < cap
             }
             HandleInner::Herlihy { h } => h.update(port, |o| {
                 let mut state: Vec<u32> = o.iter().map(|&w| w as u32).collect();
@@ -284,12 +283,12 @@ impl PrioHandle {
         let cap = self.capacity;
         match &mut self.inner {
             HandleInner::Stm { ops, extract, cells, .. } => {
-                let out = ops.run(port, &TxSpec::new(*extract, &[], cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                let size = out.old[0] as usize;
+                let (size, min) =
+                    ops.run_planned(port, *extract, &[], cells, |old| (old[0], old[1]));
                 if size == 0 {
                     None
                 } else {
-                    Some(out.old[1])
+                    Some(min)
                 }
             }
             HandleInner::Herlihy { h } => h.update(port, |o| {

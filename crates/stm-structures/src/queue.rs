@@ -18,7 +18,6 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -179,11 +178,12 @@ impl QueueHandle {
                 let slot = SLOTS + (t as usize % cap);
                 let params = [t as Word, value as Word];
                 let cells = [HEAD, TAIL, slot];
-                let out = ops.run(port, &TxSpec::new(*enq, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                if out.old[1] != t {
+                let (h0, t0) =
+                    ops.run_planned(port, *enq, &params, &cells, |old| (old[0], old[1]));
+                if t0 != t {
                     continue; // tail moved under us; re-speculate
                 }
-                return out.old[1].wrapping_sub(out.old[0]) < cap as u32;
+                return t0.wrapping_sub(h0) < cap as u32;
             },
             HandleInner::Herlihy { h } => h.update(port, |o| {
                 let (hd, t) = (o[0] as u32, o[1] as u32);
@@ -215,14 +215,15 @@ impl QueueHandle {
                 let slot = SLOTS + (hd as usize % cap);
                 let params = [hd as Word];
                 let cells = [HEAD, TAIL, slot];
-                let out = ops.run(port, &TxSpec::new(*deq, &params, &cells), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                if out.old[0] != hd {
+                let (h0, t0, v) =
+                    ops.run_planned(port, *deq, &params, &cells, |old| (old[0], old[1], old[2]));
+                if h0 != hd {
                     continue;
                 }
-                if out.old[0] == out.old[1] {
+                if h0 == t0 {
                     return None; // empty
                 }
-                return Some(out.old[2]);
+                return Some(v);
             },
             HandleInner::Herlihy { h } => h.update(port, |o| {
                 let (hd, t) = (o[0] as u32, o[1] as u32);

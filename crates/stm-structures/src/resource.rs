@@ -17,7 +17,6 @@
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
 use stm_core::program::OpCode;
-use stm_core::stm::{TxOptions, TxSpec};
 use stm_core::word::{pack_cell, Addr, Word};
 use stm_sync::{HerlihyHandle, HerlihyObject, McsLock, TtasLock};
 
@@ -168,8 +167,7 @@ impl ResourceHandle {
         self.check_indices(indices);
         match &mut self.inner {
             HandleInner::Stm { ops, acquire } => {
-                let out = ops.run(port, &TxSpec::new(*acquire, &[], indices), &mut TxOptions::new()).expect("unlimited budget cannot be exhausted");
-                out.old.iter().all(|&v| v > 0)
+                ops.run_planned(port, *acquire, &[], indices, |old| old.iter().all(|&v| v > 0))
             }
             HandleInner::Herlihy { h } => h.update(port, |o| {
                 if indices.iter().all(|&r| o[r] > 0) {
