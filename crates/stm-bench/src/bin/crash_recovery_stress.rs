@@ -1,0 +1,261 @@
+//! Host crash-recovery stress: `kill -9` a committing child, recover, audit.
+//!
+//! The process re-executes itself in two roles:
+//!
+//! * **Child** (`STM_STRESS_CHILD` set to the journal path): truncates any
+//!   torn tail left by the previous crash, recovers the heap from the
+//!   journal, seeds a fresh [`HostMachine`] with the recovered image, and
+//!   then commits `add` transactions from `STM_STRESS_PROCS` contending
+//!   threads through a shared fsync'd [`FileJournal`] — forever, until
+//!   killed.
+//! * **Parent** (no env var): for each round, spawns the child, lets it run
+//!   for a random 20–200 ms, delivers `SIGKILL` at an arbitrary point of the
+//!   commit pipeline (possibly mid-`write(2)` or mid-`fsync`), then replays
+//!   the full journal from the empty base image and audits the recovered
+//!   heap against the durability contract. A failing round copies the
+//!   journal into the artifact directory (CI uploads it) and exits nonzero.
+//!
+//! Audited invariants, cumulative across rounds:
+//!
+//! 1. both counters are monotone non-decreasing (a crash never loses a
+//!    flushed commit, and replay never double-applies one);
+//! 2. cell 0 ≥ cell 1 (threads alternate `add` on `[0]` and on `[0, 1]`, so
+//!    any prefix of the serialization order preserves the inequality);
+//! 3. the verified record count is monotone (the journal is append-only and
+//!    tails are truncated, never resynchronized past corruption).
+//!
+//! Usage: `crash_recovery_stress [--rounds N] [--procs N] [--artifacts DIR]
+//! [--journal PATH]`.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
+
+use stm_core::durable::{read_journal, recover, scan_journal, FileJournal};
+use stm_core::machine::host::HostMachine;
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
+use stm_core::word::{cell_value, pack_cell, Word};
+
+const CHILD_ENV: &str = "STM_STRESS_CHILD";
+const PROCS_ENV: &str = "STM_STRESS_PROCS";
+const N_CELLS: usize = 2;
+/// A child orphaned by a dying parent stops committing on its own.
+const CHILD_MAX_RUNTIME: Duration = Duration::from_secs(60);
+
+fn new_ops(procs: usize) -> StmOps {
+    StmOps::new(0, N_CELLS, procs, 2, StmConfig::default())
+}
+
+fn base_image() -> Vec<Word> {
+    vec![pack_cell(0, 0); N_CELLS]
+}
+
+// ---------------------------------------------------------------------------
+// Child: recover, seed, commit forever
+// ---------------------------------------------------------------------------
+
+fn run_child(journal_path: &Path, procs: usize) {
+    // A crash can tear the last record; truncate the file back to its
+    // verified prefix so this generation's appends stay scannable.
+    let bytes = read_journal(journal_path).unwrap_or_default();
+    let scan = scan_journal(&bytes);
+    let intact = bytes.len() - scan.tail_discarded;
+    if scan.tail_discarded > 0 {
+        let f = std::fs::OpenOptions::new()
+            .write(true)
+            .open(journal_path)
+            .expect("open journal for truncation");
+        f.set_len(intact as u64).expect("truncate torn tail");
+        f.sync_data().expect("fsync truncation");
+    }
+
+    let mut recovered = base_image();
+    recover(&mut recovered, &bytes[..intact]);
+
+    let ops = new_ops(procs);
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
+    {
+        // Seed the fresh heap with the recovered image (exact packed words,
+        // stamps included) so new records' pre-images continue the history.
+        let mut port = machine.port(0);
+        let layout = ops.stm().layout();
+        for (i, &w) in recovered.iter().enumerate() {
+            port.write(layout.cell(i), w);
+        }
+    }
+
+    let journal = FileJournal::open_append(journal_path).expect("reopen journal");
+    let deadline = Instant::now() + CHILD_MAX_RUNTIME;
+    std::thread::scope(|s| {
+        for p in 0..procs {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            let mut jrn = journal.handle();
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let add = ops.builtins().add;
+                // Alternate a single-cell and a two-cell commit so the
+                // journal mixes record sizes; both preserve cell0 >= cell1.
+                while Instant::now() < deadline {
+                    let spec = TxSpec::new(add, &[1 as Word], &[0]);
+                    let _ = ops
+                        .run(&mut port, &spec, &mut TxOptions::new().journal(&mut jrn))
+                        .expect("unlimited budget cannot be exhausted");
+                    let spec = TxSpec::new(add, &[1 as Word, 1 as Word], &[0, 1]);
+                    let _ = ops
+                        .run(&mut port, &spec, &mut TxOptions::new().journal(&mut jrn))
+                        .expect("unlimited budget cannot be exhausted");
+                }
+            });
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Parent: kill, recover, audit
+// ---------------------------------------------------------------------------
+
+struct Options {
+    rounds: u32,
+    procs: usize,
+    journal: PathBuf,
+    artifacts: PathBuf,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        rounds: 8,
+        procs: 4,
+        journal: std::env::temp_dir()
+            .join(format!("stm-crash-stress-{}.journal", std::process::id())),
+        artifacts: PathBuf::from("target/stress-artifacts"),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| panic!("{name} needs a value"));
+        match arg.as_str() {
+            "--rounds" => opts.rounds = val("--rounds").parse().expect("--rounds: integer"),
+            "--procs" => opts.procs = val("--procs").parse().expect("--procs: integer"),
+            "--journal" => opts.journal = PathBuf::from(val("--journal")),
+            "--artifacts" => opts.artifacts = PathBuf::from(val("--artifacts")),
+            other => {
+                eprintln!("unknown option: {other}");
+                eprintln!("usage: crash_recovery_stress [--rounds N] [--procs N] \
+                           [--artifacts DIR] [--journal PATH]");
+                std::process::exit(2);
+            }
+        }
+    }
+    opts
+}
+
+/// Splitmix-style PRNG for kill timing; seeded from the wall clock so every
+/// nightly run probes different crash points.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+struct Audit {
+    counters: [u64; N_CELLS],
+    records: u64,
+}
+
+fn audit_round(round: u32, bytes: &[u8], prev: &Audit) -> Result<Audit, String> {
+    let mut recovered = base_image();
+    let report = recover(&mut recovered, bytes);
+    let counters = [cell_value(recovered[0]) as u64, cell_value(recovered[1]) as u64];
+    let next = Audit { counters, records: report.records_scanned };
+    for (i, (&now, &before)) in counters.iter().zip(&prev.counters).enumerate() {
+        if now < before {
+            return Err(format!(
+                "round {round}: cell {i} went backwards ({before} -> {now})"
+            ));
+        }
+    }
+    if counters[0] < counters[1] {
+        return Err(format!(
+            "round {round}: cell0 ({}) < cell1 ({}) — impossible under the workload",
+            counters[0], counters[1]
+        ));
+    }
+    if next.records < prev.records {
+        return Err(format!(
+            "round {round}: verified records went backwards ({} -> {})",
+            prev.records, next.records
+        ));
+    }
+    println!(
+        "round {round:>3}: counters {:?}  records {}  torn-tail {} B",
+        counters, next.records, report.tail_discarded
+    );
+    Ok(next)
+}
+
+fn run_parent(opts: &Options) {
+    let exe = std::env::current_exe().expect("own executable path");
+    let seed = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x5eed)
+        | 1;
+    let mut rng = Rng(seed);
+    println!(
+        "# crash-recovery stress: {} rounds, {} child threads, kill seed {seed:#x}",
+        opts.rounds, opts.procs
+    );
+    std::fs::remove_file(&opts.journal).ok();
+    let mut prev = Audit { counters: [0; N_CELLS], records: 0 };
+    for round in 1..=opts.rounds {
+        let mut child = Command::new(&exe)
+            .env(CHILD_ENV, &opts.journal)
+            .env(PROCS_ENV, opts.procs.to_string())
+            .stdout(Stdio::null())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .expect("spawn child");
+        let ms = 20 + rng.next() % 181; // 20..=200 ms of committing
+        std::thread::sleep(Duration::from_millis(ms));
+        child.kill().expect("SIGKILL child");
+        child.wait().expect("reap child");
+
+        let bytes = read_journal(&opts.journal).expect("read journal after crash");
+        match audit_round(round, &bytes, &prev) {
+            Ok(next) => prev = next,
+            Err(why) => {
+                std::fs::create_dir_all(&opts.artifacts).ok();
+                let artifact = opts.artifacts.join(format!("failing-round{round}.journal"));
+                std::fs::copy(&opts.journal, &artifact).ok();
+                eprintln!("FAIL: {why}");
+                eprintln!("journal preserved at {}", artifact.display());
+                std::process::exit(1);
+            }
+        }
+    }
+    std::fs::remove_file(&opts.journal).ok();
+    println!(
+        "# OK: {} crashes survived; final counters {:?}, {} records",
+        opts.rounds, prev.counters, prev.records
+    );
+}
+
+fn main() {
+    if let Some(path) = std::env::var_os(CHILD_ENV) {
+        let procs = std::env::var(PROCS_ENV)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(4);
+        run_child(Path::new(&path), procs);
+        return;
+    }
+    run_parent(&parse_args());
+}

@@ -8,6 +8,7 @@
 //!   resource-bus resource-mesh prio-bus prio-mesh
 //!   summary ablate-helping ablate-backoff ablate-arch
 //!   read-heavy read-heavy-host write-path write-path-host plan-cache
+//!   durable durable-host
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -23,6 +24,9 @@
 
 use std::path::PathBuf;
 
+use stm_bench::durable::{
+    run_durable_host_point, run_durable_point, DURABLE_FLUSH_COSTS, DURABLE_PROCS,
+};
 use stm_bench::read_heavy::{
     run_host_point, run_read_point, HostPoint, ReadBench, ReadMode, ReadPoint, HOST_CONFIGS,
 };
@@ -46,7 +50,7 @@ struct Options {
     out: PathBuf,
 }
 
-const ALL_EXPERIMENTS: [&str; 17] = [
+const ALL_EXPERIMENTS: [&str; 19] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -64,6 +68,8 @@ const ALL_EXPERIMENTS: [&str; 17] = [
     "write-path",
     "write-path-host",
     "plan-cache",
+    "durable",
+    "durable-host",
 ];
 
 fn parse_args() -> Options {
@@ -137,6 +143,8 @@ fn main() {
             "write-path" => write_points.extend(run_write_path(&opts)),
             "write-path-host" => write_host_points.extend(run_write_path_host(&opts)),
             "plan-cache" => run_plan_cache(&opts),
+            "durable" => run_durable(&opts),
+            "durable-host" => run_durable_host(&opts),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
@@ -486,6 +494,69 @@ fn run_plan_cache(opts: &Options) {
     std::fs::create_dir_all(&opts.out).expect("create output dir");
     std::fs::write(opts.out.join("plan-cache.csv"), csv).expect("write CSV");
     eprintln!("[figures] wrote {}", opts.out.join("plan-cache.csv").display());
+}
+
+/// D1: the durable-commit latency ladder — the contended single-cell write
+/// path with the durability backend as the variable: no journal (the
+/// compiled-out default) against memory journals of rising flush cost.
+/// Deterministic; every point re-verifies recovery equivalence before it is
+/// emitted. CSV-only (the CI gate replays other row families).
+fn run_durable(opts: &Options) {
+    println!(
+        "# D1 — durable-commit latency ladder ({} ops/point, seed {:#x})",
+        opts.ops, opts.seed
+    );
+    println!("# throughput: committed transactions per million simulated cycles");
+    let mut csv =
+        String::from("config,arch,procs,total_ops,seed,cycles,throughput,flushes\n");
+    let configs: Vec<Option<u64>> =
+        std::iter::once(None).chain(DURABLE_FLUSH_COSTS.into_iter().map(Some)).collect();
+    for arch in [ArchKind::Bus, ArchKind::Mesh] {
+        println!("{:>5} {:>6}", arch.label(), "procs:");
+        for &flush_cost in &configs {
+            print!("{:>22}", stm_bench::durable::durable_config(flush_cost));
+            for procs in DURABLE_PROCS {
+                let p = run_durable_point(arch, flush_cost, procs, opts.ops, opts.seed);
+                print!(" {:>10.1}", p.throughput);
+                csv.push_str(&format!(
+                    "{},{},{},{},{},{},{:.3},{}\n",
+                    p.config, p.arch, p.procs, p.total_ops, p.seed, p.cycles, p.throughput,
+                    p.flushes
+                ));
+            }
+            println!();
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("durable.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("durable.csv").display());
+}
+
+/// D1 (host half): the same ladder on real threads against an fsync'd file
+/// journal. Wall-clock, so informational only — fsync latency is a property
+/// of the machine's storage stack, not of the protocol.
+fn run_durable_host(opts: &Options) {
+    let host_procs: Vec<usize> =
+        DURABLE_PROCS.iter().copied().filter(|&p| p <= num_cpus_cap()).collect();
+    let ops = (opts.ops * 4).max(4_000);
+    println!("# D1 (host) — durable-commit ladder ({ops} ops/point, wall-clock, informational)");
+    println!("{:>6} {:>12} {:>14} {:>14}", "procs", "config", "nanos", "ops/sec");
+    let mut csv = String::from("config,procs,total_ops,nanos,ops_per_sec\n");
+    for &procs in &host_procs {
+        for journaled in [false, true] {
+            let p = run_durable_host_point(journaled, procs, ops);
+            println!("{:>6} {:>12} {:>14} {:>14.0}", p.procs, p.config, p.nanos, p.ops_per_sec);
+            csv.push_str(&format!(
+                "{},{},{},{},{:.1}\n",
+                p.config, p.procs, p.total_ops, p.nanos, p.ops_per_sec
+            ));
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("durable-host.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("durable-host.csv").display());
 }
 
 /// Cap host-ladder thread counts at the machine's parallelism (sweeping 64

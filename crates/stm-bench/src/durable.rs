@@ -1,0 +1,270 @@
+//! Durable-commit latency ladder: what write-ahead journaling costs.
+//!
+//! Every operation is a committing `add` transaction over one shared cell —
+//! the same contended write path as the kernel ladder — with the durability
+//! backend as the independent variable:
+//!
+//! * on the **simulated** machines ([`run_durable_point`]), `nojournal`
+//!   (the compiled-out [`stm_core::durable::NoJournal`] default) against a
+//!   [`stm_core::durable::MemJournal`] ladder of flush costs
+//!   ([`DURABLE_FLUSH_COSTS`] virtual cycles per fsync) — deterministic,
+//!   showing how commit throughput degrades as stable storage gets slower;
+//! * on the **host** machine ([`run_durable_host_point`]), `nojournal`
+//!   against an fsync'd [`stm_core::durable::FileJournal`] — wall-clock,
+//!   informational only (fsync latency does not reproduce across machines).
+//!
+//! Every simulated point re-verifies the durability contract before it is
+//! emitted: the heap recovered from the journal must equal the live final
+//! heap bit-for-bit — a benchmark that measures a broken journal must never
+//! produce a data point.
+
+use std::sync::{Arc, Mutex};
+
+use stm_core::durable::{recover, DurableMem, FileJournal, read_journal};
+use stm_core::machine::host::HostMachine;
+use stm_core::metrics::TxMetrics;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
+use stm_core::word::{cell_value, pack_cell, Word};
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+use crate::workloads::{ArchKind, DynModel};
+
+/// Simulated fsync costs (virtual cycles) for the journal ladder. Zero
+/// isolates the journaling overhead itself (encoding + step points); the
+/// larger costs model progressively slower stable storage.
+pub const DURABLE_FLUSH_COSTS: [u64; 3] = [0, 300, 3000];
+
+/// Processor counts for the simulated ladder, matching the write-path
+/// ladder's pinning: 1 isolates uncontended commit cost, 4 adds conflicts,
+/// helping, and duplicate journaling by helpers.
+pub const DURABLE_PROCS: [usize; 2] = [1, 4];
+
+/// Label for one rung of the simulated ladder: `None` is the compiled-out
+/// no-journal baseline, `Some(c)` a memory journal with flush cost `c`.
+pub fn durable_config(flush_cost: Option<u64>) -> String {
+    match flush_cost {
+        None => "nojournal".to_owned(),
+        Some(c) => format!("flush{c}"),
+    }
+}
+
+/// One measured durable-commit configuration (simulated machine).
+#[derive(Debug, Clone)]
+pub struct DurablePoint {
+    /// Ladder rung label (see [`durable_config`]).
+    pub config: String,
+    /// Machine.
+    pub arch: ArchKind,
+    /// Simulated processors.
+    pub procs: usize,
+    /// Committed transactions across all processors.
+    pub total_ops: u64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Virtual cycles for the whole run.
+    pub cycles: u64,
+    /// Committed transactions per million simulated cycles.
+    pub throughput: f64,
+    /// Journal flushes observed (helpers journaling a rival's commit
+    /// included); zero on the no-journal baseline.
+    pub flushes: u64,
+}
+
+/// Run one durable-commit configuration on the simulated machine.
+///
+/// Every processor commits `total_ops / procs` `add(+1)` transactions on one
+/// shared cell. With a journal, every commit appends and flushes a redo
+/// record before installing.
+///
+/// # Panics
+///
+/// Panics if updates are lost, the run leaks an ownership, or (with a
+/// journal) replaying the durable byte stream over the base image fails to
+/// reproduce the live final heap exactly.
+pub fn run_durable_point(
+    arch: ArchKind,
+    flush_cost: Option<u64>,
+    procs: usize,
+    total_ops: u64,
+    seed: u64,
+) -> DurablePoint {
+    let per_proc = (total_ops / procs as u64).max(1);
+    let actual_total = per_proc * procs as u64;
+    let sim = StmSim::new(procs, 2, 2, StmConfig::default()).seed(seed).jitter(2);
+    let storage = DurableMem::new();
+    let metrics = Arc::new(Mutex::new(TxMetrics::default()));
+    let report = sim.run(DynModel(arch.model(procs)), |_p, ops| {
+        let mut jrn = flush_cost.map(|c| storage.handle().flush_cost(c));
+        let metrics = Arc::clone(&metrics);
+        move |mut port: SimPort| {
+            let spec_add = ops.builtins().add;
+            let mut local = TxMetrics::default();
+            for _ in 0..per_proc {
+                let spec = TxSpec::new(spec_add, &[1 as Word], &[0]);
+                let r = match jrn.as_mut() {
+                    Some(jrn) => ops.run(
+                        &mut port,
+                        &spec,
+                        &mut TxOptions::new().observer(&mut local).journal(&mut *jrn),
+                    ),
+                    None => ops.run(
+                        &mut port,
+                        &spec,
+                        &mut TxOptions::new().observer(&mut local),
+                    ),
+                };
+                let _ = r.expect("unlimited budget cannot be exhausted");
+            }
+            metrics.lock().expect("metrics poisoned").merge(&local);
+        }
+    });
+    // Correctness gates: conservation, quiescence, recovery equivalence.
+    assert_eq!(sim.cell_value(&report, 0) as u64, actual_total, "lost updates ({arch})");
+    assert!(sim.leaked_ownerships(&report).is_empty(), "run must end protocol-quiescent");
+    if flush_cost.is_some() {
+        let layout = sim.ops().stm().layout();
+        let mut recovered: Vec<Word> = vec![pack_cell(0, 0); layout.n_cells()];
+        recover(&mut recovered, &storage.bytes());
+        let live: Vec<Word> =
+            (0..layout.n_cells()).map(|i| report.memory[layout.cell(i)]).collect();
+        assert_eq!(recovered, live, "journal replay must reproduce the live heap");
+    }
+    let flushes = metrics.lock().expect("metrics poisoned").journal_flushes();
+    let cycles = report.cycles;
+    DurablePoint {
+        config: durable_config(flush_cost),
+        arch,
+        procs,
+        total_ops: actual_total,
+        seed,
+        cycles,
+        throughput: if cycles == 0 {
+            0.0
+        } else {
+            actual_total as f64 * 1_000_000.0 / cycles as f64
+        },
+        flushes,
+    }
+}
+
+/// One wall-clock durable-commit measurement on the real host machine
+/// (informational; never CI-gated — fsync latency is hardware-dependent).
+#[derive(Debug, Clone)]
+pub struct DurableHostPoint {
+    /// `"nojournal"` or `"fsync"`.
+    pub config: &'static str,
+    /// Real threads.
+    pub procs: usize,
+    /// Committed transactions across all threads.
+    pub total_ops: u64,
+    /// Wall-clock nanoseconds for the whole run.
+    pub nanos: u64,
+    /// Transactions per second.
+    pub ops_per_sec: f64,
+}
+
+/// Run one durable-commit configuration on the real host machine: every
+/// thread commits `add(+1)` transactions on one shared cell, either without
+/// a journal or through a shared fsync'd [`FileJournal`].
+///
+/// # Panics
+///
+/// Panics on a lost update, on journal I/O errors, or if replaying the
+/// journal file over the base image fails to reproduce the final counter.
+pub fn run_durable_host_point(journaled: bool, procs: usize, total_ops: u64) -> DurableHostPoint {
+    let ops = StmOps::new(0, 2, procs, 2, StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
+    let per_proc = (total_ops / procs as u64).max(1);
+    let actual_total = per_proc * procs as u64;
+    let path = std::env::temp_dir()
+        .join(format!("stm-bench-durable-{}-{procs}.journal", std::process::id()));
+    let base = if journaled {
+        Some(FileJournal::create(&path).expect("create journal file"))
+    } else {
+        None
+    };
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for p in 0..procs {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            let mut jrn = base.as_ref().map(|b| b.handle());
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let spec_add = ops.builtins().add;
+                for _ in 0..per_proc {
+                    let spec = TxSpec::new(spec_add, &[1 as Word], &[0]);
+                    let r = match jrn.as_mut() {
+                        Some(jrn) => {
+                            ops.run(&mut port, &spec, &mut TxOptions::new().journal(&mut *jrn))
+                        }
+                        None => ops.run(&mut port, &spec, &mut TxOptions::new()),
+                    };
+                    let _ = r.expect("unlimited budget cannot be exhausted");
+                }
+            });
+        }
+    });
+    let nanos = start.elapsed().as_nanos() as u64;
+    let mut port = machine.port(0);
+    let finals = ops.snapshot(&mut port, &[0, 1]);
+    assert_eq!(finals[0] as u64, actual_total, "lost updates on the host");
+    if journaled {
+        let bytes = read_journal(&path).expect("read journal back");
+        std::fs::remove_file(&path).ok();
+        let mut recovered: Vec<Word> = vec![pack_cell(0, 0); 2];
+        recover(&mut recovered, &bytes);
+        assert_eq!(
+            cell_value(recovered[0]) as u64,
+            actual_total,
+            "journal replay must reproduce the final counter"
+        );
+    }
+    DurableHostPoint {
+        config: if journaled { "fsync" } else { "nojournal" },
+        procs,
+        total_ops: actual_total,
+        nanos,
+        ops_per_sec: if nanos == 0 {
+            0.0
+        } else {
+            actual_total as f64 * 1e9 / nanos as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sim_ladder_is_deterministic_and_monotone_in_flush_cost() {
+        let a = run_durable_point(ArchKind::Bus, Some(300), 2, 64, 5);
+        let b = run_durable_point(ArchKind::Bus, Some(300), 2, 64, 5);
+        assert_eq!(a.cycles, b.cycles, "simulated runs must be reproducible");
+        assert!(a.flushes >= a.total_ops, "every commit flushes at least once");
+
+        let free = run_durable_point(ArchKind::Bus, None, 2, 64, 5);
+        let cheap = run_durable_point(ArchKind::Bus, Some(0), 2, 64, 5);
+        let slow = run_durable_point(ArchKind::Bus, Some(3000), 2, 64, 5);
+        assert_eq!(free.flushes, 0);
+        assert!(
+            free.cycles <= cheap.cycles && cheap.cycles < slow.cycles,
+            "journaling must cost cycles, and slower storage more: {} / {} / {}",
+            free.cycles,
+            cheap.cycles,
+            slow.cycles
+        );
+    }
+
+    #[test]
+    fn host_ladder_runs_and_verifies_replay() {
+        for journaled in [false, true] {
+            let p = run_durable_host_point(journaled, 2, 400);
+            assert_eq!(p.total_ops, 400);
+            assert!(p.ops_per_sec > 0.0, "{}", p.config);
+        }
+    }
+}

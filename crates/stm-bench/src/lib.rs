@@ -17,6 +17,12 @@
 //!   build) vs compiled (cached allocation-free plans), on the simulator
 //!   (deterministic, CI-gated, bit-identity witness) and as a wall-clock
 //!   host ladder (the compiled path's speedup claim).
+//! * [`durable`] — the durable-commit latency ladder: the contended write
+//!   path with write-ahead journaling as the variable, from the compiled-out
+//!   no-journal baseline through a simulated flush-cost ladder
+//!   (deterministic) to an fsync'd file journal on the host (wall-clock,
+//!   informational). Every simulated point re-verifies recovery equivalence
+//!   before it is emitted.
 //! * [`runner`] — parameter sweeps and the summary/crossover analysis.
 //! * [`table`] — aligned table printing and CSV output.
 //! * [`report`] — the machine-readable `BENCH_stm.json` report (throughput
@@ -31,6 +37,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod durable;
 pub mod read_heavy;
 pub mod report;
 pub mod runner;

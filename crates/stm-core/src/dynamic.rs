@@ -205,20 +205,22 @@ impl DynamicStm {
     ///
     /// Panics if the transaction's footprint exceeds the instance's
     /// `max_locs`.
-    pub fn run<P, R, O, C>(
+    pub fn run<P, R, O, C, J>(
         &self,
         port: &mut P,
         mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
-        opts: &mut TxOptions<O, C>,
+        opts: &mut TxOptions<O, C, J>,
     ) -> Result<(R, TxStats), TxError>
     where
         P: MemPort,
         O: crate::observe::TxObserver,
         C: ContentionManager,
+        J: crate::durable::Journal,
     {
         let budget = opts.budget;
         let cm = &mut opts.manager;
         let obs = &mut opts.observer;
+        let jrn = &mut opts.journal;
         let mut stats = TxStats::default();
         // Per-call buffers, reused across body retries: the read/write logs,
         // the commit footprint and its packed parameters, and the static
@@ -328,8 +330,11 @@ impl DynamicStm {
             };
             port.step(crate::step::StepPoint::DynCommit);
             let plan = self.ops.plan_for(self.ops.builtins().mwcas, &cells);
-            let mut commit_opts =
-                TxOptions::new().observer(&mut *obs).manager(&mut *cm).budget(commit_budget);
+            let mut commit_opts = TxOptions::new()
+                .observer(&mut *obs)
+                .manager(&mut *cm)
+                .budget(commit_budget)
+                .journal(&mut *jrn);
             let out = match self.ops.stm().run_plan_in(
                 port,
                 &plan,

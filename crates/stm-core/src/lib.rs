@@ -77,6 +77,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod contention;
+pub mod durable;
 pub mod dynamic;
 pub mod history;
 pub mod layout;
@@ -92,6 +93,9 @@ pub mod word;
 pub use contention::{
     AdaptiveConfig, AdaptiveManager, ConflictInfo, ContentionManager, ImmediateRetry,
     RetryDecision, WaitAction,
+};
+pub use durable::{
+    DurableMem, FileJournal, FlushInfo, Journal, MemJournal, NoJournal, RecoveryReport, RedoRecord,
 };
 pub use dynamic::{DynamicStm, DynamicTx};
 pub use machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog, WatchdogHandle};
@@ -135,6 +139,7 @@ pub use word::{Addr, CellIdx, Word};
 /// — import those from their modules when a test or tool needs them.
 pub mod prelude {
     pub use crate::contention::{AdaptiveManager, ContentionManager, ImmediateRetry};
+    pub use crate::durable::{FileJournal, Journal, MemJournal, NoJournal};
     pub use crate::dynamic::{DynamicStm, DynamicTx};
     pub use crate::machine::host::HostMachine;
     pub use crate::machine::MemPort;

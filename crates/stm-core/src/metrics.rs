@@ -193,6 +193,11 @@ pub struct TxMetrics {
     /// Histogram of contention-manager wait amounts (spin cycles or park
     /// microseconds; yields record 0). Managed retry paths only.
     pub backoff_waits: Log2Histogram,
+    /// Histogram of journal flush latencies (virtual cycles on the
+    /// simulator, nanoseconds on the host). Durable backends only.
+    pub flush_latency: Log2Histogram,
+    /// Histogram of cell installs replayed per recovery pass.
+    pub recovery_replays: Log2Histogram,
     commits: u64,
     aborts: u64,
     conflicts: u64,
@@ -201,6 +206,8 @@ pub struct TxMetrics {
     releases: u64,
     starvation_escalations: u64,
     op_panics: u64,
+    journal_records: u64,
+    journal_bytes: u64,
     contention: BTreeMap<CellIdx, u64>,
     attempt_start: Option<u64>,
     help_start: Option<u64>,
@@ -260,6 +267,26 @@ impl TxMetrics {
         self.op_panics
     }
 
+    /// Journal flushes observed (durable backends only).
+    pub fn journal_flushes(&self) -> u64 {
+        self.flush_latency.count()
+    }
+
+    /// Redo records made durable across all observed flushes.
+    pub fn journal_records(&self) -> u64 {
+        self.journal_records
+    }
+
+    /// Encoded journal bytes made durable across all observed flushes.
+    pub fn journal_bytes(&self) -> u64 {
+        self.journal_bytes
+    }
+
+    /// Recovery passes observed.
+    pub fn recoveries(&self) -> u64 {
+        self.recovery_replays.count()
+    }
+
     /// Deepest observed nesting of helping spans. The paper's non-redundant
     /// helping bound says helpers never help transitively, so this must
     /// never exceed 1.
@@ -295,6 +322,8 @@ impl TxMetrics {
         self.cycles_per_attempt.merge(&other.cycles_per_attempt);
         self.help_cycles.merge(&other.help_cycles);
         self.backoff_waits.merge(&other.backoff_waits);
+        self.flush_latency.merge(&other.flush_latency);
+        self.recovery_replays.merge(&other.recovery_replays);
         self.commits += other.commits;
         self.aborts += other.aborts;
         self.conflicts += other.conflicts;
@@ -303,6 +332,8 @@ impl TxMetrics {
         self.releases += other.releases;
         self.starvation_escalations += other.starvation_escalations;
         self.op_panics += other.op_panics;
+        self.journal_records += other.journal_records;
+        self.journal_bytes += other.journal_bytes;
         for (&c, &n) in &other.contention {
             *self.contention.entry(c).or_default() += n;
         }
@@ -327,6 +358,18 @@ impl TxMetrics {
                 self.starvation_escalations,
                 self.op_panics
             ));
+        }
+        if self.flush_latency.count() > 0 || self.recovery_replays.count() > 0 {
+            out.push_str(&format!(
+                "journal:           flushes {} records {} bytes {}\n",
+                self.journal_flushes(),
+                self.journal_records,
+                self.journal_bytes
+            ));
+            out.push_str(&format!("flush latency:     {}\n", self.flush_latency));
+            if self.recovery_replays.count() > 0 {
+                out.push_str(&format!("recovery replays:  {}\n", self.recovery_replays));
+            }
         }
         out.push_str(&format!(
             "help depth:        max {} ({})\n",
@@ -408,6 +451,16 @@ impl TxObserver for TxMetrics {
 
     fn op_panicked(&mut self, _proc: usize, _attempts: u64, _now: u64) {
         self.op_panics += 1;
+    }
+
+    fn journal_flush(&mut self, _proc: usize, records: u64, bytes: u64, latency: u64, _now: u64) {
+        self.flush_latency.record(latency);
+        self.journal_records += records;
+        self.journal_bytes += bytes;
+    }
+
+    fn recovery_replayed(&mut self, _records: u64, installed: u64, _now: u64) {
+        self.recovery_replays.record(installed);
     }
 }
 
@@ -494,6 +547,28 @@ mod tests {
         assert_eq!(m.max_help_depth(), 2);
         assert!(!m.helping_is_non_redundant());
         assert!(m.summary().contains("BOUND VIOLATED"));
+    }
+
+    #[test]
+    fn journal_and_recovery_hooks_aggregate() {
+        let mut a = TxMetrics::new();
+        a.journal_flush(0, 2, 96, 150, 0);
+        a.journal_flush(0, 1, 48, 90, 0);
+        assert_eq!(a.journal_flushes(), 2);
+        assert_eq!(a.journal_records(), 3);
+        assert_eq!(a.journal_bytes(), 144);
+        assert_eq!(a.flush_latency.max(), 150);
+        let mut b = TxMetrics::new();
+        b.recovery_replayed(5, 4, 0);
+        assert_eq!(b.recoveries(), 1);
+        assert_eq!(b.recovery_replays.sum(), 4);
+        a.merge(&b);
+        assert_eq!(a.recoveries(), 1);
+        assert_eq!(a.journal_records(), 3);
+        let s = a.summary();
+        assert!(s.contains("journal:"), "{s}");
+        assert!(s.contains("recovery replays:"), "{s}");
+        assert!(!TxMetrics::new().summary().contains("journal:"));
     }
 
     #[test]

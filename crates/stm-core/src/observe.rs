@@ -154,6 +154,26 @@ pub trait TxObserver {
     fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
         let _ = (proc, attempts, now);
     }
+
+    /// A durable backend ([`Journal`](crate::durable::Journal)) flushed
+    /// `records` redo records (`bytes` encoded bytes) to stable storage
+    /// before this participant installed any value. `latency` is in the
+    /// port's time units (virtual cycles on the simulator, nanoseconds on
+    /// the host). Emitted once per non-empty journal flush, by whichever
+    /// participant (owner or helper) performed it.
+    #[inline]
+    fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
+        let _ = (proc, records, bytes, latency, now);
+    }
+
+    /// A recovery pass ([`recover_with`](crate::durable::recover_with))
+    /// finished: `records` verified records were scanned and `installed`
+    /// individual cell installs were replayed. `now` is `0` — recovery runs
+    /// before any port exists.
+    #[inline]
+    fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
+        let _ = (records, installed, now);
+    }
 }
 
 /// A mutable reference to an observer is itself an observer, so callers can
@@ -212,6 +232,14 @@ impl<O: TxObserver + ?Sized> TxObserver for &mut O {
     fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
         (**self).op_panicked(proc, attempts, now)
     }
+    #[inline]
+    fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
+        (**self).journal_flush(proc, records, bytes, latency, now)
+    }
+    #[inline]
+    fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
+        (**self).recovery_replayed(records, installed, now)
+    }
 }
 
 /// The default observer: every callback is a no-op, and the monomorphized
@@ -252,6 +280,10 @@ pub enum TxEvent {
     StarvationEscalated { proc: usize, owner: Option<usize>, attempts: u64, at: u64 },
     /// [`TxObserver::op_panicked`].
     OpPanicked { proc: usize, attempts: u64, at: u64 },
+    /// [`TxObserver::journal_flush`].
+    JournalFlush { proc: usize, records: u64, bytes: u64, latency: u64, at: u64 },
+    /// [`TxObserver::recovery_replayed`].
+    RecoveryReplayed { records: u64, installed: u64, at: u64 },
 }
 
 /// An observer that appends every event to a vector — the test and tooling
@@ -314,6 +346,12 @@ impl TxObserver for RecordingObserver {
     }
     fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
         self.events.push(TxEvent::OpPanicked { proc, attempts, at: now });
+    }
+    fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
+        self.events.push(TxEvent::JournalFlush { proc, records, bytes, latency, at: now });
+    }
+    fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
+        self.events.push(TxEvent::RecoveryReplayed { records, installed, at: now });
     }
 }
 

@@ -319,15 +319,16 @@ impl StmOps {
     ///
     /// Propagates [`TxError`] from [`Stm::run`]: budget exhaustion or an
     /// op panic.
-    pub fn run<P: MemPort, O, C>(
+    pub fn run<P: MemPort, O, C, J>(
         &self,
         port: &mut P,
         spec: &TxSpec<'_>,
-        opts: &mut TxOptions<O, C>,
+        opts: &mut TxOptions<O, C, J>,
     ) -> Result<TxOutcome, TxError>
     where
         O: crate::observe::TxObserver,
         C: crate::contention::ContentionManager,
+        J: crate::durable::Journal,
     {
         self.stm.run(port, spec, opts)
     }

@@ -53,6 +53,18 @@ pub enum StepPoint {
         /// Program-order data-set position.
         j: usize,
     },
+    /// A durable backend is active and the participant is about to append
+    /// this transaction's redo record to its journal buffer. Crashing here
+    /// models dying before the record exists anywhere.
+    JournalAppend,
+    /// The redo record is buffered and the participant is about to flush it
+    /// to stable storage. Crashing here (or during the flush itself) models
+    /// power failing before — or during — the fsync: the record is lost.
+    JournalFlush,
+    /// The flush returned: the redo record is durable, but no new value has
+    /// been installed yet. Crashing here is the decided-durable-but-
+    /// uninstalled case that recovery must replay exactly once.
+    JournalDurable,
     /// The participant is about to install the new value of data-set
     /// position `j` (including positions whose value is unchanged and will
     /// be skipped).
@@ -87,6 +99,9 @@ impl StepPoint {
             StepPoint::BeforeDecisionCas => StepKind::BeforeDecisionCas,
             StepPoint::Decided { .. } => StepKind::Decided,
             StepPoint::OldValAgreed { .. } => StepKind::OldValAgreed,
+            StepPoint::JournalAppend => StepKind::JournalAppend,
+            StepPoint::JournalFlush => StepKind::JournalFlush,
+            StepPoint::JournalDurable => StepKind::JournalDurable,
             StepPoint::UpdateWrite { .. } => StepKind::UpdateWrite,
             StepPoint::BeforeRelease { .. } => StepKind::BeforeRelease,
             StepPoint::HelpBegin { .. } => StepKind::HelpBegin,
@@ -116,6 +131,9 @@ impl std::fmt::Display for StepPoint {
             StepPoint::BeforeDecisionCas => write!(f, "BeforeDecisionCas"),
             StepPoint::Decided { committed } => write!(f, "Decided{{committed={committed}}}"),
             StepPoint::OldValAgreed { j } => write!(f, "OldValAgreed{{{j}}}"),
+            StepPoint::JournalAppend => write!(f, "JournalAppend"),
+            StepPoint::JournalFlush => write!(f, "JournalFlush"),
+            StepPoint::JournalDurable => write!(f, "JournalDurable"),
             StepPoint::UpdateWrite { j } => write!(f, "UpdateWrite{{{j}}}"),
             StepPoint::BeforeRelease { j } => write!(f, "BeforeRelease{{{j}}}"),
             StepPoint::HelpBegin { owner } => write!(f, "HelpBegin{{P{owner}}}"),
@@ -140,6 +158,12 @@ pub enum StepKind {
     Decided,
     /// See [`StepPoint::OldValAgreed`].
     OldValAgreed,
+    /// See [`StepPoint::JournalAppend`].
+    JournalAppend,
+    /// See [`StepPoint::JournalFlush`].
+    JournalFlush,
+    /// See [`StepPoint::JournalDurable`].
+    JournalDurable,
     /// See [`StepPoint::UpdateWrite`].
     UpdateWrite,
     /// See [`StepPoint::BeforeRelease`].
@@ -165,6 +189,13 @@ impl StepKind {
         StepKind::BeforeRelease,
         StepKind::HelpBegin,
     ];
+
+    /// The step kinds announced only when a durable backend is active
+    /// ([`Journal::ACTIVE`](crate::durable::Journal::ACTIVE)), in protocol
+    /// order: they sit between old-value agreement and the first
+    /// [`StepKind::UpdateWrite`].
+    pub const JOURNAL: [StepKind; 3] =
+        [StepKind::JournalAppend, StepKind::JournalFlush, StepKind::JournalDurable];
 
     /// Does this kind carry a data-set position?
     pub fn has_index(&self) -> bool {
@@ -198,6 +229,9 @@ mod tests {
             StepPoint::BeforeDecisionCas,
             StepPoint::Decided { committed: true },
             StepPoint::OldValAgreed { j: 0 },
+            StepPoint::JournalAppend,
+            StepPoint::JournalFlush,
+            StepPoint::JournalDurable,
             StepPoint::UpdateWrite { j: 1 },
             StepPoint::BeforeRelease { j: 1 },
             StepPoint::HelpBegin { owner: 3 },
@@ -215,5 +249,17 @@ mod tests {
         assert_eq!(StepPoint::AcquireAttempt { j: 3 }.to_string(), "AcquireAttempt{3}");
         assert_eq!(StepPoint::HelpBegin { owner: 2 }.to_string(), "HelpBegin{P2}");
         assert_eq!(StepKind::UpdateWrite.to_string(), "UpdateWrite");
+        assert_eq!(StepPoint::JournalDurable.to_string(), "JournalDurable");
+    }
+
+    #[test]
+    fn journal_kinds_carry_no_index_and_stay_out_of_protocol() {
+        for kind in StepKind::JOURNAL {
+            assert!(!kind.has_index(), "{kind}");
+            assert!(
+                !StepKind::PROTOCOL.contains(&kind),
+                "non-durable sweeps must not announce {kind}"
+            );
+        }
     }
 }

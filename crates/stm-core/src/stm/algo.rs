@@ -19,6 +19,7 @@
 use std::any::Any;
 
 use crate::contention::{ConflictInfo, ContentionManager, WaitAction};
+use crate::durable::{Journal, NoJournal, RedoRecord};
 use crate::machine::MemPort;
 use crate::observe::{NoopObserver, TxObserver};
 use crate::program::OpCode;
@@ -104,8 +105,17 @@ pub(super) fn execute<P: MemPort, O: TxObserver>(
     scratch.reserve_for(stm.layout());
     let mut stats = TxStats::default();
     loop {
-        match attempt(stm, port, view, Kernel::General, &mut stats, obs, stm.config.helping, &mut scratch)
-        {
+        match attempt(
+            stm,
+            port,
+            view,
+            Kernel::General,
+            &mut stats,
+            obs,
+            &mut NoJournal,
+            stm.config.helping,
+            &mut scratch,
+        ) {
             Ok(()) => return take_outcome(&mut scratch, stats),
             Err(AttemptError::Conflict { .. }) => {
                 let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
@@ -130,8 +140,17 @@ pub(super) fn try_execute<P: MemPort, O: TxObserver>(
     let mut scratch = TxScratch::new();
     scratch.reserve_for(stm.layout());
     let mut stats = TxStats::default();
-    match attempt(stm, port, vb.view(spec.op), Kernel::General, &mut stats, obs, stm.config.helping, &mut scratch)
-    {
+    match attempt(
+        stm,
+        port,
+        vb.view(spec.op),
+        Kernel::General,
+        &mut stats,
+        obs,
+        &mut NoJournal,
+        stm.config.helping,
+        &mut scratch,
+    ) {
         Ok(()) => Ok(take_outcome(&mut scratch, stats)),
         Err(AttemptError::Conflict { at }) => Err(TxConflict { at }),
         Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
@@ -153,7 +172,7 @@ pub(super) fn try_execute<P: MemPort, O: TxObserver>(
 /// the starvation escape hatch. Panicking commit programs surface as
 /// [`TxError::OpPanicked`] instead of unwinding.
 #[allow(clippy::too_many_arguments)] // the one hot loop behind every entry point
-pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver>(
+pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     view: ViewRef<'_>,
@@ -161,6 +180,7 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver>(
     budget: TxBudget,
     cm: &mut C,
     obs: &mut O,
+    jrn: &mut J,
     scratch: &mut TxScratch,
 ) -> Result<TxStats, TxError> {
     let mut stats = TxStats::default();
@@ -169,7 +189,7 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver>(
     let cycles0 = port.now();
     loop {
         let help = stm.config.helping || cm.help_first();
-        match attempt(stm, port, view, kernel, &mut stats, obs, help, scratch) {
+        match attempt(stm, port, view, kernel, &mut stats, obs, &mut *jrn, help, scratch) {
             Ok(()) => {
                 cm.on_commit();
                 return Ok(stats);
@@ -249,13 +269,14 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver>(
 /// `help_on_conflict` is [`StmConfig::helping`](crate::stm::StmConfig) on
 /// the classic paths; the managed path forces it on in help-first mode.
 #[allow(clippy::too_many_arguments)] // internal: one call site per entry point
-fn attempt<P: MemPort, O: TxObserver>(
+fn attempt<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     view: ViewRef<'_>,
     kernel: Kernel,
     stats: &mut TxStats,
     obs: &mut O,
+    mut jrn: J,
     help_on_conflict: bool,
     scratch: &mut TxScratch,
 ) -> Result<(), AttemptError> {
@@ -285,7 +306,8 @@ fn attempt<P: MemPort, O: TxObserver>(
     port.write(l.status(me), pack_status(version, TxStatus::Null));
     port.step(StepPoint::TxPublished);
 
-    let panicked = run_transaction(stm, port, me, version, view, kernel, &mut scratch.proto, obs);
+    let panicked =
+        run_transaction(stm, port, me, version, view, kernel, &mut scratch.proto, obs, &mut jrn);
 
     // Only the owner advances its record's version, so the status read below
     // necessarily still belongs to `version`, and is decided.
@@ -328,7 +350,7 @@ fn attempt<P: MemPort, O: TxObserver>(
                             stats.helps += 1;
                             port.step(StepPoint::HelpBegin { owner: p2 });
                             obs.help_begin(me, p2, port.now());
-                            help(stm, port, p2, v2, scratch, obs);
+                            help(stm, port, p2, v2, scratch, obs, &mut jrn);
                             obs.help_end(me, p2, port.now());
                         }
                     }
@@ -355,19 +377,31 @@ fn attempt<P: MemPort, O: TxObserver>(
 /// helper's own transaction is unaffected, and the *owner* observes the same
 /// panic from its own `run_transaction` call (commit programs are pure
 /// functions of the agreed pre-images, so every participant panics alike).
-fn help<P: MemPort, O: TxObserver>(
+fn help<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
     scratch: &mut TxScratch,
     obs: &mut O,
+    jrn: &mut J,
 ) {
     let TxScratch { help_view, help_proto, .. } = scratch;
     if let Some(op) = snapshot_into(stm, port, owner, version, help_view) {
-        // Helped data sets have dynamic size; the general sweep handles any k.
-        let _swallowed =
-            run_transaction_general(stm, port, owner, version, help_view.view(op), help_proto, obs);
+        // Helped data sets have dynamic size; the general sweep handles any
+        // k. The helper journals with its *own* backend: if the owner died
+        // before its flush, the helper's record is the one recovery replays
+        // (duplicates collapse at replay via the pre-image CAS discipline).
+        let _swallowed = run_transaction_general(
+            stm,
+            port,
+            owner,
+            version,
+            help_view.view(op),
+            help_proto,
+            obs,
+            jrn,
+        );
     }
 }
 
@@ -385,7 +419,7 @@ fn help<P: MemPort, O: TxObserver>(
 /// `(owner, version)` pair may hold — a panicking program can never strand
 /// (or double-free) an ownership record.
 #[allow(clippy::too_many_arguments)] // flattened hot-loop state
-fn run_transaction<P: MemPort, O: TxObserver>(
+fn run_transaction<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
@@ -394,18 +428,22 @@ fn run_transaction<P: MemPort, O: TxObserver>(
     kernel: Kernel,
     proto: &mut ProtoBuf,
     obs: &mut O,
+    jrn: &mut J,
 ) -> Option<PanicPayload> {
     match kernel {
-        Kernel::K1 => run_transaction_k::<1, P, O>(stm, port, owner, version, view, obs),
-        Kernel::K2 => run_transaction_k::<2, P, O>(stm, port, owner, version, view, obs),
-        Kernel::K4 => run_transaction_k::<4, P, O>(stm, port, owner, version, view, obs),
-        Kernel::General => run_transaction_general(stm, port, owner, version, view, proto, obs),
+        Kernel::K1 => run_transaction_k::<1, P, O, J>(stm, port, owner, version, view, obs, jrn),
+        Kernel::K2 => run_transaction_k::<2, P, O, J>(stm, port, owner, version, view, obs, jrn),
+        Kernel::K4 => run_transaction_k::<4, P, O, J>(stm, port, owner, version, view, obs, jrn),
+        Kernel::General => {
+            run_transaction_general(stm, port, owner, version, view, proto, obs, jrn)
+        }
     }
 }
 
 /// The general slice-driven `transaction` body (any data-set size; also the
 /// helping path's kernel).
-fn run_transaction_general<P: MemPort, O: TxObserver>(
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn run_transaction_general<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
@@ -413,6 +451,7 @@ fn run_transaction_general<P: MemPort, O: TxObserver>(
     view: ViewRef<'_>,
     proto: &mut ProtoBuf,
     obs: &mut O,
+    jrn: &mut J,
 ) -> Option<PanicPayload> {
     let l = *stm.layout();
     acquire_general(stm, port, owner, version, view, obs);
@@ -439,7 +478,9 @@ fn run_transaction_general<P: MemPort, O: TxObserver>(
                 if agree_general(port, oldval_base, version, view)
                     && read_agreed_general(port, oldval_base, version, view.cells.len(), olds)
                 {
-                    return update_general(stm, port, view, olds, old_values, new_values, obs);
+                    return update_general(
+                        stm, port, owner, version, view, olds, old_values, new_values, obs, jrn,
+                    );
                 }
                 return None;
             }
@@ -447,7 +488,9 @@ fn run_transaction_general<P: MemPort, O: TxObserver>(
             if agree_general(port, oldval_base, version, view)
                 && read_agreed_general(port, oldval_base, version, view.cells.len(), olds)
             {
-                panicked = update_general(stm, port, view, olds, old_values, new_values, obs);
+                panicked = update_general(
+                    stm, port, owner, version, view, olds, old_values, new_values, obs, jrn,
+                );
             }
             release_general(port, owner, version, view, obs);
             panicked
@@ -469,13 +512,15 @@ fn run_transaction_general<P: MemPort, O: TxObserver>(
 /// The monomorphized `transaction` body for a data set of exactly `K` cells:
 /// every buffer is a stack array and every sweep bound is a compile-time
 /// constant, so the compiler fully unrolls the k-word CAS.
-fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver>(
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
     owner: usize,
     version: u64,
     view: ViewRef<'_>,
     obs: &mut O,
+    jrn: &mut J,
 ) -> Option<PanicPayload> {
     debug_assert_eq!(view.cells.len(), K, "kernel width must match the data set");
     let l = *stm.layout();
@@ -523,8 +568,9 @@ fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver>(
                 if agree_k::<K, P>(port, oldval_base, version, &cell_addrs)
                     && read_agreed_k::<K, P>(port, oldval_base, version, &mut olds)
                 {
-                    return update_k::<K, P, O>(
-                        stm, port, view.op, view.params, &cells, &cell_addrs, &olds, obs,
+                    return update_k::<K, P, O, J>(
+                        stm, port, owner, version, view.op, view.params, &cells, &cell_addrs,
+                        &olds, obs, jrn,
                     );
                 }
                 return None;
@@ -533,8 +579,9 @@ fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver>(
             if agree_k::<K, P>(port, oldval_base, version, &cell_addrs)
                 && read_agreed_k::<K, P>(port, oldval_base, version, &mut olds)
             {
-                panicked = update_k::<K, P, O>(
-                    stm, port, view.op, view.params, &cells, &cell_addrs, &olds, obs,
+                panicked = update_k::<K, P, O, J>(
+                    stm, port, owner, version, view.op, view.params, &cells, &cell_addrs, &olds,
+                    obs, jrn,
                 );
             }
             release_k::<K, P, O>(port, &cells, &own_addrs, mine, obs);
@@ -764,14 +811,22 @@ fn read_agreed_general<P: MemPort>(
 /// replaying this version panics identically, so no participant can install
 /// a torn subset. The payload is returned for the caller to surface after
 /// release.
-fn update_general<P: MemPort, O: TxObserver>(
+///
+/// With an active [`Journal`], the redo record is appended and flushed
+/// *between* the commit computation and the first install — the write-ahead
+/// invariant recovery relies on (`docs/protocol.md` §11).
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn update_general<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
+    owner: usize,
+    version: u64,
     view: ViewRef<'_>,
     olds: &[Word],
     old_values: &mut Vec<u32>,
     new_values: &mut Vec<u32>,
     obs: &mut O,
+    jrn: &mut J,
 ) -> Option<PanicPayload> {
     old_values.clear();
     old_values.extend(olds.iter().map(|&w| cell_value(w)));
@@ -784,10 +839,53 @@ fn update_general<P: MemPort, O: TxObserver>(
     if let Err(payload) = run {
         return Some(payload);
     }
+    let journal_late =
+        J::ACTIVE && stm.config.sabotage == crate::stm::Sabotage::JournalAfterInstall;
+    if J::ACTIVE && !journal_late {
+        journal_commit(port, owner, version, view.cells, olds, new_values, obs, jrn);
+    }
     for j in 0..view.cells.len() {
         install_cell(port, j, view.cells[j], view.cell_addrs[j], olds[j], old_values[j], new_values[j], obs);
     }
+    if journal_late {
+        journal_commit(port, owner, version, view.cells, olds, new_values, obs, jrn);
+    }
     None
+}
+
+/// Make a decided-`Success` transaction durable *before* any install: append
+/// its redo record (identity of the transaction, agreed pre-images, new
+/// values) and flush. Every participant that reaches the update sweep
+/// journals — owner and helpers alike — so the record survives whichever of
+/// them lives long enough to flush; duplicates collapse at replay.
+///
+/// Identity commits (every new value equals its pre-image) install nothing,
+/// so there is nothing to redo; the skip is deterministic across
+/// participants because commit programs are pure.
+///
+/// Callers gate on [`Journal::ACTIVE`], so the inactive path compiles to
+/// nothing — including the three `Journal*` step announcements, keeping
+/// non-durable schedules bit-identical.
+#[allow(clippy::too_many_arguments)] // flattened hot-loop state
+fn journal_commit<P: MemPort, O: TxObserver, J: Journal>(
+    port: &mut P,
+    owner: usize,
+    version: u64,
+    cells: &[CellIdx],
+    pre: &[Word],
+    new: &[u32],
+    obs: &mut O,
+    jrn: &mut J,
+) {
+    if pre.iter().zip(new).all(|(&p, &n)| cell_value(p) == n) {
+        return;
+    }
+    port.step(StepPoint::JournalAppend);
+    jrn.append(&RedoRecord { owner, version, cells, pre, new });
+    port.step(StepPoint::JournalFlush);
+    let info = jrn.flush(port);
+    obs.journal_flush(port.proc_id(), info.records, info.bytes, info.latency, port.now());
+    port.step(StepPoint::JournalDurable);
 }
 
 /// The paper's `releaseOwnerships`: free exactly the locations held by
@@ -840,15 +938,18 @@ fn read_agreed_k<const K: usize, P: MemPort>(
 }
 
 #[allow(clippy::too_many_arguments)] // flattened hot-loop state
-fn update_k<const K: usize, P: MemPort, O: TxObserver>(
+fn update_k<const K: usize, P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
     port: &mut P,
+    owner: usize,
+    version: u64,
     op: OpCode,
     params: &[Word],
     cells: &[CellIdx; K],
     cell_addrs: &[Addr; K],
     olds: &[Word; K],
     obs: &mut O,
+    jrn: &mut J,
 ) -> Option<PanicPayload> {
     let mut old_values = [0u32; K];
     for j in 0..K {
@@ -861,8 +962,16 @@ fn update_k<const K: usize, P: MemPort, O: TxObserver>(
     if let Err(payload) = run {
         return Some(payload);
     }
+    let journal_late =
+        J::ACTIVE && stm.config.sabotage == crate::stm::Sabotage::JournalAfterInstall;
+    if J::ACTIVE && !journal_late {
+        journal_commit(port, owner, version, cells, olds, &new_values, obs, jrn);
+    }
     for j in 0..K {
         install_cell(port, j, cells[j], cell_addrs[j], olds[j], old_values[j], new_values[j], obs);
+    }
+    if journal_late {
+        journal_commit(port, owner, version, cells, olds, &new_values, obs, jrn);
     }
     None
 }

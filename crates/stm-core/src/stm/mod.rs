@@ -105,6 +105,14 @@ pub enum Sabotage {
     /// no helper can finish (helpers need the ownerships to be obliged to
     /// run the update).
     ReleaseBeforeUpdate,
+    /// Journal the redo record *after* installing the new values instead of
+    /// before. This breaks the write-ahead invariant durability relies on: a
+    /// crash between the installs and the flush leaves a committed
+    /// transaction visible in live memory but absent from the journal, so
+    /// recovery rebuilds a heap that silently lost it. Exists to prove the
+    /// recovery-equivalence checker in the sim has teeth. No effect without
+    /// an active [`Journal`](crate::durable::Journal).
+    JournalAfterInstall,
 }
 
 /// Configuration of the STM protocol.
@@ -435,36 +443,46 @@ impl Stm {
     /// Panics if the spec is malformed: too many cells or parameters, an
     /// out-of-range cell index, duplicate cells, or an opcode foreign to this
     /// instance's table.
-    pub fn run<P, O, C>(
+    pub fn run<P, O, C, J>(
         &self,
         port: &mut P,
         spec: &TxSpec<'_>,
-        opts: &mut TxOptions<O, C>,
+        opts: &mut TxOptions<O, C, J>,
     ) -> Result<TxOutcome, TxError>
     where
         P: MemPort,
         O: crate::observe::TxObserver,
         C: crate::contention::ContentionManager,
+        J: crate::durable::Journal,
     {
         self.validate_spec(port, spec);
-        self.run_spec_inner(port, spec, opts.budget, &mut opts.manager, &mut opts.observer)
+        self.run_spec_inner(
+            port,
+            spec,
+            opts.budget,
+            &mut opts.manager,
+            &mut opts.observer,
+            &mut opts.journal,
+        )
     }
 
     /// Run an already-validated spec: build the per-call view once (the view
     /// is attempt-invariant — retries reuse it) and drive the general
     /// kernel's retry loop out of a call-local scratch.
-    fn run_spec_inner<P, C, O>(
+    fn run_spec_inner<P, C, O, J>(
         &self,
         port: &mut P,
         spec: &TxSpec<'_>,
         budget: TxBudget,
         cm: &mut C,
         obs: &mut O,
+        jrn: &mut J,
     ) -> Result<TxOutcome, TxError>
     where
         P: MemPort,
         C: crate::contention::ContentionManager,
         O: crate::observe::TxObserver,
+        J: crate::durable::Journal,
     {
         let mut vb = plan::ViewBuf::default();
         vb.fill_from_spec(&self.layout, spec);
@@ -478,6 +496,7 @@ impl Stm {
             budget,
             cm,
             obs,
+            jrn,
             &mut scratch,
         )?;
         Ok(TxOutcome {
@@ -524,16 +543,17 @@ impl Stm {
     /// # Panics
     ///
     /// Same as [`Stm::run_plan_in`].
-    pub fn run_plan<P, O, C>(
+    pub fn run_plan<P, O, C, J>(
         &self,
         port: &mut P,
         plan: &TxPlan,
-        opts: &mut TxOptions<O, C>,
+        opts: &mut TxOptions<O, C, J>,
     ) -> Result<TxOutcome, TxError>
     where
         P: MemPort,
         O: crate::observe::TxObserver,
         C: crate::contention::ContentionManager,
+        J: crate::durable::Journal,
     {
         let mut scratch = TxScratch::new();
         let stats = self.run_plan_in(port, plan, plan.params(), opts, &mut scratch)?;
@@ -564,18 +584,19 @@ impl Stm {
     /// Panics if the plan was compiled against a different layout than this
     /// instance's, if `params` exceeds [`MAX_PARAMS`], or if the port's
     /// processor id is out of range.
-    pub fn run_plan_in<P, O, C>(
+    pub fn run_plan_in<P, O, C, J>(
         &self,
         port: &mut P,
         plan: &TxPlan,
         params: &[Word],
-        opts: &mut TxOptions<O, C>,
+        opts: &mut TxOptions<O, C, J>,
         scratch: &mut TxScratch,
     ) -> Result<TxStats, TxError>
     where
         P: MemPort,
         O: crate::observe::TxObserver,
         C: crate::contention::ContentionManager,
+        J: crate::durable::Journal,
     {
         assert!(
             *plan.layout() == self.layout,
@@ -592,6 +613,7 @@ impl Stm {
             opts.budget,
             &mut opts.manager,
             &mut opts.observer,
+            &mut opts.journal,
             scratch,
         )
     }
@@ -802,7 +824,7 @@ impl Stm {
         O: crate::observe::TxObserver,
     {
         self.validate_spec(port, spec);
-        self.run_spec_inner(port, spec, budget, cm, obs)
+        self.run_spec_inner(port, spec, budget, cm, obs, &mut crate::durable::NoJournal)
     }
 
     /// Read one cell's current committed value directly (no transaction).

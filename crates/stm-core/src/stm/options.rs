@@ -10,24 +10,28 @@
 //! classic unobserved retry loop.
 
 use crate::contention::{ContentionManager, ImmediateRetry};
+use crate::durable::{Journal, NoJournal};
 use crate::observe::{NoopObserver, TxObserver};
 
 use super::TxBudget;
 
-/// Options for one transaction call: observer, contention manager, and
-/// retry budget.
+/// Options for one transaction call: observer, contention manager, retry
+/// budget, and durability backend.
 ///
 /// The defaults cost nothing: [`NoopObserver`] compiles to the unobserved
-/// path, [`ImmediateRetry`] is the paper's retry-immediately policy, and an
-/// unlimited [`TxBudget`] retries until commit. Builder methods swap each
-/// knob, changing the type parameters as needed; both `observer` and
-/// `manager` are held **by value**, and `&mut O` / `&mut C` implement the
-/// traits too, so a long-lived observer or manager can be lent per call.
+/// path, [`ImmediateRetry`] is the paper's retry-immediately policy, an
+/// unlimited [`TxBudget`] retries until commit, and [`NoJournal`] compiles
+/// the durability path out entirely. Builder methods swap each knob,
+/// changing the type parameters as needed; `observer`, `manager`, and
+/// `journal` are held **by value**, and `&mut O` / `&mut C` / `&mut J`
+/// implement the traits too, so a long-lived observer, manager, or journal
+/// can be lent per call.
 ///
 /// # Examples
 ///
 /// ```
 /// use stm_core::contention::AdaptiveManager;
+/// use stm_core::durable::DurableMem;
 /// use stm_core::observe::RecordingObserver;
 /// use stm_core::stm::{TxBudget, TxOptions};
 ///
@@ -40,9 +44,13 @@ use super::TxBudget;
 ///     .observer(&mut rec)
 ///     .manager(AdaptiveManager::new(0))
 ///     .budget(TxBudget::attempts(64));
+///
+/// // Durable: every commit writes an fsync-ordered redo record.
+/// let storage = DurableMem::new();
+/// let _durable = TxOptions::new().journal(storage.handle());
 /// ```
 #[derive(Debug, Clone)]
-pub struct TxOptions<O = NoopObserver, C = ImmediateRetry> {
+pub struct TxOptions<O = NoopObserver, C = ImmediateRetry, J = NoJournal> {
     /// Receiver of the transaction's lifecycle events.
     pub observer: O,
     /// Policy consulted between failed attempts.
@@ -50,12 +58,21 @@ pub struct TxOptions<O = NoopObserver, C = ImmediateRetry> {
     /// Retry budget; the first limit hit ends the call with
     /// [`TxError::BudgetExhausted`](crate::stm::TxError::BudgetExhausted).
     pub budget: TxBudget,
+    /// Durability backend: redo records are appended and flushed here before
+    /// any new value is installed.
+    pub journal: J,
 }
 
 impl TxOptions {
-    /// The default options: unobserved, immediate retry, unlimited budget.
+    /// The default options: unobserved, immediate retry, unlimited budget,
+    /// no durability.
     pub fn new() -> Self {
-        TxOptions { observer: NoopObserver, manager: ImmediateRetry, budget: TxBudget::unlimited() }
+        TxOptions {
+            observer: NoopObserver,
+            manager: ImmediateRetry,
+            budget: TxBudget::unlimited(),
+            journal: NoJournal,
+        }
     }
 }
 
@@ -65,22 +82,28 @@ impl Default for TxOptions {
     }
 }
 
-impl<O: TxObserver, C: ContentionManager> TxOptions<O, C> {
+impl<O: TxObserver, C: ContentionManager, J: Journal> TxOptions<O, C, J> {
     /// Replace the observer (pass `&mut obs` to lend a long-lived one).
-    pub fn observer<O2: TxObserver>(self, observer: O2) -> TxOptions<O2, C> {
-        TxOptions { observer, manager: self.manager, budget: self.budget }
+    pub fn observer<O2: TxObserver>(self, observer: O2) -> TxOptions<O2, C, J> {
+        TxOptions { observer, manager: self.manager, budget: self.budget, journal: self.journal }
     }
 
     /// Replace the contention manager (pass `&mut cm` to lend one whose
     /// starvation pressure should accumulate across calls).
-    pub fn manager<C2: ContentionManager>(self, manager: C2) -> TxOptions<O, C2> {
-        TxOptions { observer: self.observer, manager, budget: self.budget }
+    pub fn manager<C2: ContentionManager>(self, manager: C2) -> TxOptions<O, C2, J> {
+        TxOptions { observer: self.observer, manager, budget: self.budget, journal: self.journal }
     }
 
     /// Replace the retry budget.
     pub fn budget(mut self, budget: TxBudget) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Replace the durability backend (pass `&mut jrn` to lend a long-lived
+    /// journal handle).
+    pub fn journal<J2: Journal>(self, journal: J2) -> TxOptions<O, C, J2> {
+        TxOptions { observer: self.observer, manager: self.manager, budget: self.budget, journal }
     }
 }
 
@@ -96,9 +119,11 @@ mod tests {
         let opts = TxOptions::new()
             .budget(TxBudget::attempts(3))
             .observer(&mut rec)
-            .manager(AdaptiveManager::new(1));
+            .manager(AdaptiveManager::new(1))
+            .journal(crate::durable::DurableMem::new().handle());
         assert_eq!(opts.budget.max_attempts, Some(3));
         assert!(!opts.manager.is_escalated());
+        assert!(<crate::durable::MemJournal as crate::durable::Journal>::ACTIVE);
     }
 
     #[test]

@@ -137,6 +137,39 @@ pub fn crash_matrix(victim: usize, dataset_len: usize) -> Vec<MatrixPoint> {
         .collect()
 }
 
+/// Enumerate the crash matrix for a **durable** victim: every point of
+/// [`crash_matrix`] plus one per journal step point
+/// ([`StepKind::JOURNAL`]), inserted in protocol order between the last
+/// `OldValAgreed` and the first `UpdateWrite`.
+///
+/// All three journal points come *after* the decision CAS, so the helping
+/// oracle is the same as for any post-decision crash: a survivor that
+/// conflicts with the victim must complete its transaction, and the effect
+/// appears exactly once. What distinguishes them is what recovery must do —
+/// a crash at `JournalAppend` or `JournalFlush` may lose the redo record
+/// (un-flushed bytes die with the process), while a crash at
+/// `JournalDurable` guarantees the record is on stable storage; the
+/// recovery-equivalence check in the durable test suite exercises both
+/// regimes.
+pub fn durable_crash_matrix(victim: usize, dataset_len: usize) -> Vec<MatrixPoint> {
+    let mut points = crash_matrix(victim, dataset_len);
+    let insert_at = points
+        .iter()
+        .position(|p| p.label.starts_with("UpdateWrite"))
+        .unwrap_or(points.len());
+    for (offset, &kind) in StepKind::JOURNAL.iter().enumerate() {
+        points.insert(
+            insert_at + offset,
+            MatrixPoint {
+                label: kind.to_string(),
+                plan: FaultPlan::new().crash_at_step(victim, kind, None),
+                expect_effect: true,
+            },
+        );
+    }
+    points
+}
+
 /// A seeded generator of random fault plans, for property tests that sweep
 /// the fault space beyond the systematic matrix.
 ///
@@ -148,6 +181,7 @@ pub struct FaultFuzzer {
     dataset_len: usize,
     max_faults: usize,
     max_cycle: u64,
+    kinds: Vec<StepKind>,
 }
 
 impl FaultFuzzer {
@@ -157,12 +191,28 @@ impl FaultFuzzer {
     /// the others' abandoned transactions.
     pub fn new(seed: u64, n_procs: usize, dataset_len: usize) -> Self {
         assert!(n_procs >= 2, "need a survivor and at least one faultable processor");
-        FaultFuzzer { rng: SmallRng::seed_from_u64(seed), n_procs, dataset_len, max_faults: 2, max_cycle: 50_000 }
+        FaultFuzzer {
+            rng: SmallRng::seed_from_u64(seed),
+            n_procs,
+            dataset_len,
+            max_faults: 2,
+            max_cycle: 50_000,
+            kinds: StepKind::PROTOCOL.to_vec(),
+        }
     }
 
     /// Cap the number of faults per plan (default 2).
     pub fn max_faults(mut self, max: usize) -> Self {
         self.max_faults = max;
+        self
+    }
+
+    /// Also target the journal step points ([`StepKind::JOURNAL`]), for
+    /// fuzzing crash-durable runs. Without this the fuzzer sticks to the
+    /// classic protocol steps, so plans stay replayable on non-durable
+    /// configurations.
+    pub fn durable(mut self) -> Self {
+        self.kinds.extend(StepKind::JOURNAL);
         self
     }
 
@@ -174,7 +224,7 @@ impl FaultFuzzer {
         for _ in 0..n {
             let proc = self.rng.gen_range(0..self.n_procs - 1);
             let trigger = if self.rng.gen_bool(0.7) {
-                let kind = StepKind::PROTOCOL[self.rng.gen_range(0..StepKind::PROTOCOL.len())];
+                let kind = self.kinds[self.rng.gen_range(0..self.kinds.len())];
                 let index = if kind.has_index() {
                     Some(self.rng.gen_range(0..self.dataset_len))
                 } else {
@@ -200,7 +250,8 @@ impl FaultFuzzer {
 /// `fails(seed, plan)` must return `true` when the candidate still
 /// reproduces the failure (it is the caller's full run-and-check pipeline).
 /// The shrinker first drops whole faults, then simplifies the survivors
-/// (occurrence counts to 0, stall/slow/deadline magnitudes halved), then
+/// (occurrence counts to 0, per-location step indices dropped,
+/// stall/slow/deadline magnitudes halved), then
 /// tries a handful of smaller seeds; every accepted candidate still fails.
 /// Deterministic delivery makes the result an exact reproducer.
 pub fn shrink(
@@ -264,8 +315,15 @@ pub fn shrink(
 fn simplifications(f: &Fault) -> Vec<Fault> {
     let mut out = Vec::new();
     match f.trigger {
-        Trigger::Step { kind, index, nth } if nth > 0 => {
-            out.push(Fault { trigger: Trigger::Step { kind, index, nth: 0 }, ..*f });
+        Trigger::Step { kind, index, nth } => {
+            if nth > 0 {
+                out.push(Fault { trigger: Trigger::Step { kind, index, nth: 0 }, ..*f });
+            }
+            // Dropping the index matches the *first* step of this kind —
+            // simpler to read and earlier in the schedule.
+            if index.is_some() {
+                out.push(Fault { trigger: Trigger::Step { kind, index: None, nth }, ..*f });
+            }
         }
         Trigger::Cycle { at } if at > 0 => {
             out.push(Fault { trigger: Trigger::Cycle { at: at / 2 }, ..*f });
@@ -344,6 +402,59 @@ mod tests {
         for p in &matrix {
             assert_eq!(p.plan.faults.len(), 1, "{}", p.label);
             assert_eq!(p.plan.faults[0].proc, 0);
+        }
+    }
+
+    #[test]
+    fn durable_matrix_adds_journal_points_in_protocol_order() {
+        let matrix = durable_crash_matrix(0, 2);
+        assert_eq!(matrix.len(), 16, "13 classic points + 3 journal points");
+        let labels: Vec<&str> = matrix.iter().map(|p| p.label.as_str()).collect();
+        let append = labels.iter().position(|l| *l == "JournalAppend").unwrap();
+        let flush = labels.iter().position(|l| *l == "JournalFlush").unwrap();
+        let durable = labels.iter().position(|l| *l == "JournalDurable").unwrap();
+        let last_agreed = labels.iter().rposition(|l| l.starts_with("OldValAgreed")).unwrap();
+        let first_write = labels.iter().position(|l| l.starts_with("UpdateWrite")).unwrap();
+        assert!(last_agreed < append && append + 1 == flush && flush + 1 == durable);
+        assert!(durable < first_write, "journal points must precede the installs");
+        for p in &matrix {
+            if p.label.starts_with("Journal") {
+                assert!(p.expect_effect, "{}: post-decision crash must be helped", p.label);
+            }
+        }
+    }
+
+    #[test]
+    fn fuzzer_targets_journal_steps_only_when_durable() {
+        let hits_journal = |mut f: FaultFuzzer| {
+            (0..200).any(|_| {
+                f.next_plan().faults.iter().any(|f| {
+                    matches!(f.trigger, Trigger::Step { kind, .. }
+                        if StepKind::JOURNAL.contains(&kind))
+                })
+            })
+        };
+        assert!(!hits_journal(FaultFuzzer::new(5, 4, 2)), "default fuzzer must stay classic");
+        assert!(hits_journal(FaultFuzzer::new(5, 4, 2).durable()), "durable fuzzer never hit a journal step");
+    }
+
+    #[test]
+    fn shrink_drops_step_indices() {
+        let plan = FaultPlan::new().crash_at_step(0, StepKind::Acquired, Some(1));
+        // The failure does not depend on which location the crash lands on.
+        let fails = |_seed: u64, p: &FaultPlan| {
+            p.faults.iter().any(|f| {
+                f.kind == crate::faults::FaultKind::Crash
+                    && matches!(f.trigger, crate::faults::Trigger::Step { kind, .. }
+                        if kind == StepKind::Acquired)
+            })
+        };
+        let (_seed, shrunk) = shrink(3, &plan, fails);
+        match shrunk.faults[0].trigger {
+            crate::faults::Trigger::Step { index, .. } => {
+                assert_eq!(index, None, "index must be dropped when irrelevant")
+            }
+            t => panic!("unexpected trigger {t:?}"),
         }
     }
 

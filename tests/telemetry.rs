@@ -108,9 +108,11 @@ fn check_stream(events: &[TxEvent], stats: &TxStats) -> Result<(), String> {
             }
             TxEvent::BackoffWait { .. }
             | TxEvent::StarvationEscalated { .. }
-            | TxEvent::OpPanicked { .. } => {
-                // Managed-retry-loop events; the classic execute_observed
-                // path under test never emits them.
+            | TxEvent::OpPanicked { .. }
+            | TxEvent::JournalFlush { .. }
+            | TxEvent::RecoveryReplayed { .. } => {
+                // Managed-retry-loop / durability events; the classic
+                // execute_observed path under test never emits them.
                 return Err(format!("managed-path event on classic path: {e:?}"));
             }
         }
