@@ -32,6 +32,7 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 use stm_core::durable::{read_journal, recover, scan_journal, FileJournal};
+use stm_core::export::{snapshot_json, MetricsRegistry};
 use stm_core::machine::host::HostMachine;
 use stm_core::machine::MemPort;
 use stm_core::ops::StmOps;
@@ -87,30 +88,74 @@ fn run_child(journal_path: &Path, procs: usize) {
     }
 
     let journal = FileJournal::open_append(journal_path).expect("reopen journal");
+    // Flight recorders for the post-mortem: a sidecar snapshot is rewritten
+    // atomically every ~50 ms so whatever the parent's SIGKILL interrupts,
+    // the last completed dump survives for the failure artifact.
+    let registry = MetricsRegistry::new(procs, 1 << 14);
+    registry.register_op(1, "add1");
+    registry.register_op(2, "add2");
+    let flight_path = flight_sidecar(journal_path);
     let deadline = Instant::now() + CHILD_MAX_RUNTIME;
     std::thread::scope(|s| {
         for p in 0..procs {
             let ops = ops.clone();
             let machine = machine.clone();
             let mut jrn = journal.handle();
+            let registry = registry.clone();
             s.spawn(move || {
                 let mut port = machine.port(p);
+                let mut rec = registry.recorder(p);
                 let add = ops.builtins().add;
                 // Alternate a single-cell and a two-cell commit so the
                 // journal mixes record sizes; both preserve cell0 >= cell1.
                 while Instant::now() < deadline {
                     let spec = TxSpec::new(add, &[1 as Word], &[0]);
+                    rec.set_op(1);
                     let _ = ops
-                        .run(&mut port, &spec, &mut TxOptions::new().journal(&mut jrn))
+                        .run(
+                            &mut port,
+                            &spec,
+                            &mut TxOptions::new().observer(&mut rec).journal(&mut jrn),
+                        )
                         .expect("unlimited budget cannot be exhausted");
                     let spec = TxSpec::new(add, &[1 as Word, 1 as Word], &[0, 1]);
+                    rec.set_op(2);
                     let _ = ops
-                        .run(&mut port, &spec, &mut TxOptions::new().journal(&mut jrn))
+                        .run(
+                            &mut port,
+                            &spec,
+                            &mut TxOptions::new().observer(&mut rec).journal(&mut jrn),
+                        )
                         .expect("unlimited budget cannot be exhausted");
                 }
             });
         }
+        // Sidecar writer: fold the rings and persist a snapshot until the
+        // workers stop (or the parent kills the whole process).
+        s.spawn(move || {
+            while Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(50));
+                write_flight_sidecar(&flight_path, &registry);
+            }
+        });
     });
+}
+
+/// Path of the flight-snapshot sidecar kept next to the journal.
+fn flight_sidecar(journal_path: &Path) -> PathBuf {
+    let mut os = journal_path.as_os_str().to_os_string();
+    os.push(".flight.json");
+    PathBuf::from(os)
+}
+
+/// Atomically replace the sidecar with a fresh snapshot (write to a temp
+/// file, then rename) so a SIGKILL mid-write never leaves a torn dump.
+fn write_flight_sidecar(path: &Path, registry: &MetricsRegistry) {
+    let snap = registry.snapshot();
+    let tmp = path.with_extension("json.tmp");
+    if std::fs::write(&tmp, snapshot_json(&snap)).is_ok() {
+        let _ = std::fs::rename(&tmp, path);
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -237,11 +282,23 @@ fn run_parent(opts: &Options) {
                 std::fs::copy(&opts.journal, &artifact).ok();
                 eprintln!("FAIL: {why}");
                 eprintln!("journal preserved at {}", artifact.display());
+                // Preserve the child's last flight snapshot alongside the
+                // journal: it names the cells and op pairs that were hot
+                // when the crash landed.
+                let sidecar = flight_sidecar(&opts.journal);
+                if sidecar.exists() {
+                    let flight =
+                        opts.artifacts.join(format!("failing-round{round}.flight.json"));
+                    std::fs::copy(&sidecar, &flight).ok();
+                    eprintln!("flight snapshot preserved at {}", flight.display());
+                }
                 std::process::exit(1);
             }
         }
     }
+    let sidecar = flight_sidecar(&opts.journal);
     std::fs::remove_file(&opts.journal).ok();
+    std::fs::remove_file(&sidecar).ok();
     println!(
         "# OK: {} crashes survived; final counters {:?}, {} records",
         opts.rounds, prev.counters, prev.records

@@ -1,0 +1,362 @@
+//! `stm_top` — live observability console for the host STM runtime.
+//!
+//! Drives a deliberately contended workload (a small hot cell set shared by
+//! every thread) with a per-thread [`stm_core::FlightRecorder`] attached, aggregates
+//! the rings through a [`stm_core::MetricsRegistry`], and renders a refreshing table
+//! of commit/abort/help rates, log2-latency quantiles per op, starvation
+//! escalations, and the hot-cell blame leaderboard.
+//!
+//! ```sh
+//! cargo run --release --bin stm_top                 # live view, 10 s
+//! cargo run --release --bin stm_top -- --once \
+//!     --json snap.json --openmetrics snap.om        # one-shot for CI
+//! ```
+//!
+//! Options:
+//!
+//!   --threads N       worker threads (default 4)
+//!   --cells N         size of the shared hot cell set (default 8)
+//!   --secs S          run duration in seconds (default 10; 2 with --once)
+//!   --interval MS     refresh period in milliseconds (default 1000)
+//!   --hot K           rows in the hot-cell leaderboard (default 8)
+//!   --once            run headless, print one final report, then exit;
+//!                     fails (exit 1) if the emitted OpenMetrics does not
+//!                     round-trip through the parser or the blame table is
+//!                     empty despite running multi-threaded
+//!   --json PATH       write the final snapshot as JSON
+//!   --openmetrics PATH
+//!                     write the final snapshot as OpenMetrics text
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+use stm_core::contention::AdaptiveManager;
+use stm_core::export::{
+    encode_openmetrics, parse_openmetrics, snapshot_json, MetricsRegistry, MetricsSnapshot,
+};
+use stm_core::machine::host::HostMachine;
+use stm_core::metrics::Log2Histogram;
+use stm_core::ops::StmOps;
+use stm_core::stm::{StmConfig, TxOptions, TxSpec};
+use stm_core::word::{CellIdx, Word};
+use stm_core::DEFAULT_FLIGHT_CAPACITY;
+
+use stm_bench::table::render_columns;
+
+/// Workload op tags (flight-recorder `op` field; 0 is reserved for
+/// "untagged").
+const OP_HOT_ADD: u32 = 1;
+const OP_TRANSFER: u32 = 2;
+const OP_SWEEP: u32 = 3;
+
+struct Options {
+    threads: usize,
+    cells: usize,
+    secs: f64,
+    interval_ms: u64,
+    hot: usize,
+    once: bool,
+    json: Option<PathBuf>,
+    openmetrics: Option<PathBuf>,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        threads: 4,
+        cells: 8,
+        secs: f64::NAN,
+        interval_ms: 1000,
+        hot: 8,
+        once: false,
+        json: None,
+        openmetrics: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("{flag} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--threads" => opts.threads = val("--threads").parse().expect("--threads N"),
+            "--cells" => opts.cells = val("--cells").parse().expect("--cells N"),
+            "--secs" => opts.secs = val("--secs").parse().expect("--secs S"),
+            "--interval" => {
+                opts.interval_ms = val("--interval").parse().expect("--interval MS")
+            }
+            "--hot" => opts.hot = val("--hot").parse().expect("--hot K"),
+            "--once" => opts.once = true,
+            "--json" => opts.json = Some(PathBuf::from(val("--json"))),
+            "--openmetrics" => opts.openmetrics = Some(PathBuf::from(val("--openmetrics"))),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: stm_top [--threads N] [--cells N] [--secs S] [--interval MS] \
+                     [--hot K] [--once] [--json PATH] [--openmetrics PATH]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown option {other}; see --help");
+                std::process::exit(2);
+            }
+        }
+    }
+    if opts.secs.is_nan() {
+        opts.secs = if opts.once { 2.0 } else { 10.0 };
+    }
+    if opts.threads == 0 || opts.cells < 2 {
+        eprintln!("need at least 1 thread and 2 cells");
+        std::process::exit(2);
+    }
+    opts
+}
+
+/// Local splitmix64 for workload generation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fmt_rate(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}k", v / 1e3)
+    } else {
+        format!("{v:.0}")
+    }
+}
+
+fn fmt_ns(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2}ms", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1}us", v / 1e3)
+    } else {
+        format!("{v:.0}ns")
+    }
+}
+
+/// Render one snapshot as the three stacked tables of the live view.
+fn render(snap: &MetricsSnapshot, hot: usize) -> String {
+    let t = &snap.totals;
+    let overview = render_columns(
+        "stm_top overview",
+        &[
+            "commits", "aborts", "helps", "esc", "waits", "flushes", "dropped", "commit/s",
+            "abort/s", "help/s",
+        ],
+        &[vec![
+            t.commits.to_string(),
+            t.aborts.to_string(),
+            t.helps.to_string(),
+            t.escalations.to_string(),
+            t.backoff_waits.to_string(),
+            t.journal_flushes.to_string(),
+            t.dropped.to_string(),
+            fmt_rate(snap.commit_rate),
+            fmt_rate(snap.abort_rate),
+            fmt_rate(snap.help_rate),
+        ]],
+    );
+
+    let lat_rows: Vec<Vec<String>> = snap
+        .latency
+        .iter()
+        .filter(|l| l.hist.count() > 0)
+        .map(|l| {
+            vec![
+                l.name.clone(),
+                l.hist.count().to_string(),
+                fmt_ns(l.hist.percentile(50.0)),
+                fmt_ns(l.hist.percentile(90.0)),
+                fmt_ns(l.hist.percentile(99.0)),
+                fmt_ns(l.hist.max() as f64),
+            ]
+        })
+        .collect();
+    let latency = render_columns(
+        "per-op latency (workload wall-clock)",
+        &["op", "count", "p50", "p90", "p99", "max"],
+        &lat_rows,
+    );
+
+    let blame_rows: Vec<Vec<String>> = snap
+        .attribution
+        .top_cells(hot)
+        .into_iter()
+        .map(|(cell, b)| {
+            vec![
+                cell.to_string(),
+                b.aborts.to_string(),
+                b.helps.to_string(),
+                b.cycles_lost.to_string(),
+                format!("{:.1}", b.mean_cycles_lost()),
+            ]
+        })
+        .collect();
+    let blame = render_columns(
+        "hot-cell blame leaderboard",
+        &["cell", "aborts", "helps", "cycles_lost", "mean_lost"],
+        &blame_rows,
+    );
+
+    format!("{overview}\n{latency}\n{blame}")
+}
+
+fn main() {
+    let opts = parse_args();
+    let procs = opts.threads;
+    let cells = opts.cells;
+
+    let ops = StmOps::new(0, cells, procs, cells.min(8), StmConfig::default());
+    let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
+    // Deeper rings than the library default: stm_top's whole job is to fold
+    // the stream, so spend some memory to keep drops low between drains.
+    let registry = MetricsRegistry::new(procs, DEFAULT_FLIGHT_CAPACITY * 16);
+    registry.register_op(OP_HOT_ADD, "hot-add");
+    registry.register_op(OP_TRANSFER, "transfer");
+    registry.register_op(OP_SWEEP, "sweep");
+
+    let stop = AtomicBool::new(false);
+    let deadline = Instant::now() + Duration::from_secs_f64(opts.secs);
+
+    std::thread::scope(|s| {
+        for p in 0..procs {
+            let ops = ops.clone();
+            let machine = machine.clone();
+            let registry = registry.clone();
+            let stop = &stop;
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let mut rec = registry.recorder(p);
+                let mut cm = AdaptiveManager::new(p);
+                let mut hists = [
+                    Log2Histogram::new(),
+                    Log2Histogram::new(),
+                    Log2Histogram::new(),
+                ];
+                let mut rng = 0x51E_ED00 ^ (p as u64) << 32;
+                let mut since_flush = 0u32;
+                let add = ops.builtins().add;
+
+                while !stop.load(Ordering::Relaxed) {
+                    rng = splitmix64(rng);
+                    // 60% single-cell hot adds, 30% transfers, 10% sweeps:
+                    // the mix keeps a few cells glowing so attribution has
+                    // something to blame.
+                    let (tag, n) = match rng % 10 {
+                        0..=5 => (OP_HOT_ADD, 1),
+                        6..=8 => (OP_TRANSFER, 2),
+                        _ => (OP_SWEEP, 4.min(cells)),
+                    };
+                    let mut tx_cells: Vec<CellIdx> = Vec::with_capacity(n);
+                    while tx_cells.len() < n {
+                        rng = splitmix64(rng);
+                        // Square the draw to bias toward low cell indices —
+                        // cell 0 and 1 become the hottest.
+                        let c = ((rng % cells as u64) * (rng % cells as u64)
+                            / cells.max(1) as u64) as CellIdx;
+                        if !tx_cells.contains(&c) {
+                            tx_cells.push(c);
+                        }
+                    }
+                    let params: Vec<Word> = (0..n).map(|_| 1 as Word).collect();
+                    let spec = TxSpec::new(add, &params, &tx_cells);
+                    rec.set_op(tag);
+                    let began = Instant::now();
+                    let _ = ops
+                        .stm()
+                        .run(
+                            &mut port,
+                            &spec,
+                            &mut TxOptions::new().observer(&mut rec).manager(&mut cm),
+                        )
+                        .expect("unlimited budget cannot exhaust");
+                    let nanos = began.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                    hists[(tag - 1) as usize].record(nanos);
+
+                    since_flush += 1;
+                    if since_flush >= 1024 {
+                        since_flush = 0;
+                        for (i, h) in hists.iter_mut().enumerate() {
+                            registry.merge_latency(i as u32 + 1, h);
+                            *h = Log2Histogram::new();
+                        }
+                    }
+                }
+                for (i, h) in hists.iter().enumerate() {
+                    registry.merge_latency(i as u32 + 1, h);
+                }
+            });
+        }
+
+        // Aggregator loop on the main thread: drain the rings every 100 ms
+        // so overwrite drops stay low, render every `interval_ms` (unless
+        // headless). Snapshots are cumulative, so frequent drains only
+        // affect the rate window, not the totals.
+        let drain_tick = Duration::from_millis(100.min(opts.interval_ms));
+        let mut next_render = Instant::now() + Duration::from_millis(opts.interval_ms);
+        while Instant::now() < deadline {
+            let tick = drain_tick.min(deadline.saturating_duration_since(Instant::now()));
+            std::thread::sleep(tick);
+            let snap = registry.snapshot();
+            if !opts.once && Instant::now() >= next_render {
+                next_render += Duration::from_millis(opts.interval_ms);
+                println!("\n{}", render(&snap, opts.hot));
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+    });
+
+    // Final snapshot after every worker has flushed its histograms.
+    let snap = registry.snapshot();
+    println!("\n{}", render(&snap, opts.hot));
+
+    let om = encode_openmetrics(&snap);
+    if let Some(path) = &opts.openmetrics {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, &om).expect("write openmetrics");
+        println!("wrote OpenMetrics to {}", path.display());
+    }
+    if let Some(path) = &opts.json {
+        if let Some(parent) = path.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        std::fs::write(path, snapshot_json(&snap)).expect("write json snapshot");
+        println!("wrote JSON snapshot to {}", path.display());
+    }
+
+    // Self-check: the text we export must round-trip through our own
+    // OpenMetrics parser, and a contended multi-thread run must have
+    // produced a non-empty blame table.
+    match parse_openmetrics(&om) {
+        Ok(parsed) => {
+            let commits: f64 = parsed
+                .samples
+                .iter()
+                .filter(|s| s.name == "stm_commits_total")
+                .map(|s| s.value)
+                .sum();
+            println!(
+                "openmetrics self-parse ok: {} samples, {commits} commits",
+                parsed.samples.len()
+            );
+        }
+        Err(e) => {
+            eprintln!("openmetrics self-parse FAILED: {e}");
+            std::process::exit(1);
+        }
+    }
+    if opts.threads > 1 && snap.attribution.is_empty() {
+        eprintln!("no conflicts attributed despite {} contending threads", opts.threads);
+        std::process::exit(1);
+    }
+}

@@ -48,6 +48,37 @@ pub fn render_table(title: &str, points: &[DataPoint]) -> String {
     out
 }
 
+/// Render an arbitrary grid as an aligned table: a `# title` line, a header
+/// row, then one row per entry, every column right-aligned to its widest
+/// cell. Rows shorter than the header render empty trailing cells. Used by
+/// `stm_top`'s live view alongside the sweep-shaped [`render_table`].
+pub fn render_columns(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "# {title}");
+    fn emit(out: &mut String, widths: &[usize], cell: impl Fn(usize) -> String) {
+        for (i, &w) in widths.iter().enumerate() {
+            if i > 0 {
+                out.push_str("  ");
+            }
+            let _ = write!(out, "{:>w$}", cell(i), w = w);
+        }
+        out.push('\n');
+    }
+    emit(&mut out, &widths, |i| headers[i].to_string());
+    for row in rows {
+        emit(&mut out, &widths, |i| row.get(i).cloned().unwrap_or_default());
+    }
+    out
+}
+
 /// Serialize data points as CSV (`bench,arch,method,procs,total_ops,cycles,
 /// throughput,commits,conflicts,helps,conflict_rate,help_rate,retry_rate`).
 ///
@@ -133,6 +164,21 @@ mod tests {
         let pts = vec![point(Method::Stm, 1, 10.0), point(Method::Mcs, 2, 21.0)];
         let t = render_table("demo", &pts);
         assert!(t.contains('-'));
+    }
+
+    #[test]
+    fn generic_columns_align_and_pad() {
+        let rows = vec![
+            vec!["hot-add".to_string(), "123456".to_string(), "9.5".to_string()],
+            vec!["scan".to_string(), "7".to_string()],
+        ];
+        let t = render_columns("live", &["op", "commits", "p99"], &rows);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], "# live");
+        // Every body line is as wide as the header line (aligned grid).
+        assert!(lines[2].len() == lines[1].len() && lines[3].len() == lines[1].len());
+        assert!(lines[2].contains("hot-add") && lines[2].contains("123456"));
     }
 
     #[test]

@@ -382,6 +382,98 @@ pub fn run_cache_point(scenario: &'static str, shapes: usize, total_ops: u64) ->
     }
 }
 
+/// Observer under measurement in [`run_observer_ladder`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObserverMode {
+    /// `NoopObserver` — the unobserved baseline.
+    Noop,
+    /// A per-thread [`FlightRecorder`](stm_core::flight::FlightRecorder)
+    /// appending into a [`stm_core::DEFAULT_FLIGHT_CAPACITY`]-event ring on a shared
+    /// [`OpBoard`](stm_core::flight::OpBoard) — the always-on production
+    /// configuration.
+    Flight,
+}
+
+impl ObserverMode {
+    /// Short name used by `bench_gate` output.
+    pub fn label(self) -> &'static str {
+        match self {
+            ObserverMode::Noop => "noop",
+            ObserverMode::Flight => "flight",
+        }
+    }
+}
+
+/// Run the full W1 host kernel ladder (compiled plans, `k` = 1..=4, every
+/// thread committing `ops_per_k` `add` transactions per tier) under the
+/// given observer, returning total wall-clock nanoseconds.
+///
+/// This is the measurement behind the ≤5% flight-recorder overhead gate:
+/// `bench_gate` runs it interleaved for both [`ObserverMode`]s and compares
+/// minima, so the recorder's per-event cost is priced on exactly the
+/// shortest (most allocation-free) committing path the runtime has.
+///
+/// # Panics
+///
+/// Panics on a lost update, as in [`run_write_host_point`].
+pub fn run_observer_ladder(mode: ObserverMode, procs: usize, ops_per_k: u64) -> u64 {
+    use stm_core::flight::{FlightRecorder, OpBoard, DEFAULT_FLIGHT_CAPACITY};
+    use stm_core::stm::TxScratch;
+
+    let mut nanos = 0u64;
+    for k in WRITE_KS {
+        let ops = StmOps::new(0, WRITE_CELLS, procs, WRITE_CELLS, StmConfig::default());
+        let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
+        let board = Arc::new(OpBoard::new(procs));
+        let start = std::time::Instant::now();
+        std::thread::scope(|s| {
+            for p in 0..procs {
+                let ops = ops.clone();
+                let machine = machine.clone();
+                let board = Arc::clone(&board);
+                s.spawn(move || {
+                    let mut port = machine.port(p);
+                    let add = ops.builtins().add;
+                    let cells: Vec<usize> = (0..k).collect();
+                    let params = vec![1 as Word; k];
+                    let plan = ops.plan_for(add, &cells);
+                    let mut scratch = TxScratch::new();
+                    match mode {
+                        ObserverMode::Noop => {
+                            let mut opts = TxOptions::new();
+                            for _ in 0..ops_per_k {
+                                ops.stm()
+                                    .run_plan_in(&mut port, &plan, &params, &mut opts, &mut scratch)
+                                    .expect("unlimited budget cannot be exhausted");
+                            }
+                        }
+                        ObserverMode::Flight => {
+                            let mut rec =
+                                FlightRecorder::with_board(p, DEFAULT_FLIGHT_CAPACITY, board);
+                            rec.set_op(k as u32);
+                            let mut opts = TxOptions::new().observer(&mut rec);
+                            for _ in 0..ops_per_k {
+                                ops.stm()
+                                    .run_plan_in(&mut port, &plan, &params, &mut opts, &mut scratch)
+                                    .expect("unlimited budget cannot be exhausted");
+                            }
+                        }
+                    }
+                });
+            }
+        });
+        nanos += start.elapsed().as_nanos() as u64;
+        let mut port = machine.port(0);
+        let finals = ops.snapshot(&mut port, &(0..WRITE_CELLS).collect::<Vec<_>>());
+        let want = ops_per_k * procs as u64;
+        for (c, &v) in finals.iter().enumerate() {
+            let expect = if c < k { want } else { 0 };
+            assert_eq!(v as u64, expect, "cell {c} must equal the committed count (k={k})");
+        }
+    }
+    nanos
+}
+
 /// Compiled-over-interpreted wall-clock speedups, one per (k, procs) pair
 /// present in both modes.
 pub fn compiled_speedups(points: &[WriteHostPoint]) -> Vec<(usize, usize, f64)> {
@@ -447,6 +539,14 @@ mod tests {
         let (churn_label, churn_shapes) = CACHE_SCENARIOS[1];
         let c = run_cache_point(churn_label, churn_shapes, 1_000);
         assert_eq!(c.hits, 0, "cyclic churn beyond capacity defeats LRU entirely");
+    }
+
+    #[test]
+    fn observer_ladder_runs_under_both_modes() {
+        for mode in [ObserverMode::Noop, ObserverMode::Flight] {
+            let nanos = run_observer_ladder(mode, 2, 500);
+            assert!(nanos > 0, "{}", mode.label());
+        }
     }
 
     #[test]

@@ -1,0 +1,260 @@
+//! Conflict attribution: fold flight-recorder events into a blame table.
+//!
+//! The Shavit–Touitou protocol makes every abort *attributable*: a failing
+//! acquisition names the cell it lost and (when helping is on) the owner
+//! it lost to. [`Attribution`] folds a stream of [`FlightEvent`]s into
+//! per-cell abort/help counts with cycles lost, and victim-op → aborter-op
+//! pair counts — the "who keeps killing whom, where, and how expensive is
+//! it" table that Kuznetsov–Ravi-style abort-cost analyses need. It is
+//! merged into [`TxMetrics`](crate::metrics::TxMetrics) so existing
+//! end-of-run reports pick it up, and exported live by
+//! [`MetricsRegistry`](crate::export::MetricsRegistry).
+
+use std::collections::BTreeMap;
+
+use crate::flight::{FlightEvent, FlightKind, NO_OP_TAG};
+
+/// Per-cell blame counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CellBlame {
+    /// Aborts in which acquiring this cell failed.
+    pub aborts: u64,
+    /// Help episodes triggered by conflicts on this cell.
+    pub helps: u64,
+    /// Total attempt cycles thrown away by those aborts (virtual cycles on
+    /// the sim; 0 on hosts without a cycle source).
+    pub cycles_lost: u64,
+}
+
+impl CellBlame {
+    /// Mean cycles lost per abort on this cell (0 when no aborts).
+    pub fn mean_cycles_lost(&self) -> f64 {
+        if self.aborts == 0 {
+            0.0
+        } else {
+            self.cycles_lost as f64 / self.aborts as f64
+        }
+    }
+}
+
+/// Blame table folded from flight-recorder events.
+///
+/// All fields are integer counters, so snapshots compare with `==` and
+/// merge associatively across threads and time windows.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Attribution {
+    cells: BTreeMap<u64, CellBlame>,
+    pairs: BTreeMap<(u32, u32), u64>,
+    aborts: u64,
+    helps: u64,
+    cycles_lost: u64,
+}
+
+impl Attribution {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fold `events` (one recorder's drain, oldest first) and return the
+    /// resulting table.
+    pub fn from_events(events: &[FlightEvent]) -> Self {
+        let mut a = Self::new();
+        a.fold(events);
+        a
+    }
+
+    /// Fold one drain worth of events into the table.
+    ///
+    /// `Conflict` charges the named cell (and the victim-op → aborter-op
+    /// pair when the owner is known); the `Aborted` that follows on the
+    /// same proc charges the attempt's lost cycles to that cell;
+    /// `HelpBegin` after a conflict credits the cell with a help episode.
+    /// Per-proc pending state is local to the call, so events for one
+    /// abort must arrive in the same drain to be cycle-attributed — counts
+    /// themselves are never lost across drains.
+    pub fn fold(&mut self, events: &[FlightEvent]) {
+        // proc -> cell of its most recent unresolved conflict.
+        let mut pending: BTreeMap<u32, Option<u64>> = BTreeMap::new();
+        for ev in events {
+            match ev.kind {
+                FlightKind::Conflict => {
+                    self.aborts += 1;
+                    let cell = ev.conflict_cell().map(|c| c as u64);
+                    if let Some(c) = cell {
+                        self.cells.entry(c).or_default().aborts += 1;
+                    }
+                    if let Some((_, aborter_op)) = ev.conflict_owner() {
+                        *self.pairs.entry((ev.op, aborter_op)).or_default() += 1;
+                    }
+                    pending.insert(ev.proc, cell);
+                }
+                FlightKind::HelpBegin => {
+                    self.helps += 1;
+                    if let Some(Some(c)) = pending.get(&ev.proc) {
+                        self.cells.entry(*c).or_default().helps += 1;
+                    }
+                }
+                FlightKind::Aborted => {
+                    let cycles = ev.cycles();
+                    self.cycles_lost += cycles;
+                    if let Some(Some(c)) = pending.remove(&ev.proc) {
+                        self.cells.entry(c).or_default().cycles_lost += cycles;
+                    }
+                }
+                FlightKind::Committed => {
+                    pending.remove(&ev.proc);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Merge another table into this one (associative, commutative).
+    pub fn merge(&mut self, other: &Attribution) {
+        for (&cell, blame) in &other.cells {
+            let e = self.cells.entry(cell).or_default();
+            e.aborts += blame.aborts;
+            e.helps += blame.helps;
+            e.cycles_lost += blame.cycles_lost;
+        }
+        for (&pair, &n) in &other.pairs {
+            *self.pairs.entry(pair).or_default() += n;
+        }
+        self.aborts += other.aborts;
+        self.helps += other.helps;
+        self.cycles_lost += other.cycles_lost;
+    }
+
+    /// True when nothing has been attributed yet.
+    pub fn is_empty(&self) -> bool {
+        self.aborts == 0 && self.helps == 0 && self.cells.is_empty() && self.pairs.is_empty()
+    }
+
+    /// Total attributed aborts (conflict events folded).
+    pub fn aborts(&self) -> u64 {
+        self.aborts
+    }
+
+    /// Total help episodes folded.
+    pub fn helps(&self) -> u64 {
+        self.helps
+    }
+
+    /// Total attempt cycles lost to aborts.
+    pub fn cycles_lost(&self) -> u64 {
+        self.cycles_lost
+    }
+
+    /// Per-cell blame counters, keyed by cell index.
+    pub fn cells(&self) -> &BTreeMap<u64, CellBlame> {
+        &self.cells
+    }
+
+    /// Victim-op → aborter-op conflict counts ([`NO_OP_TAG`] = untagged).
+    pub fn pairs(&self) -> &BTreeMap<(u32, u32), u64> {
+        &self.pairs
+    }
+
+    /// The `k` hottest cells by abort count (descending; ties by cell
+    /// index for determinism).
+    pub fn top_cells(&self, k: usize) -> Vec<(u64, CellBlame)> {
+        let mut v: Vec<(u64, CellBlame)> = self.cells.iter().map(|(&c, &b)| (c, b)).collect();
+        v.sort_by(|a, b| b.1.aborts.cmp(&a.1.aborts).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Multi-line human-readable blame summary (top `k` cells + pairs).
+    pub fn summary(&self, k: usize) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "attribution: {} aborts, {} helps, {} cycles lost",
+            self.aborts, self.helps, self.cycles_lost
+        );
+        for (cell, blame) in self.top_cells(k) {
+            let _ = writeln!(
+                s,
+                "  cell {cell:>4}: {:>6} aborts  {:>5} helps  {:>8} cyc lost  ({:.1} cyc/abort)",
+                blame.aborts,
+                blame.helps,
+                blame.cycles_lost,
+                blame.mean_cycles_lost()
+            );
+        }
+        let mut pairs: Vec<((u32, u32), u64)> = self.pairs.iter().map(|(&p, &n)| (p, n)).collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        for ((victim, aborter), n) in pairs.into_iter().take(k) {
+            let name = |t: u32| {
+                if t == NO_OP_TAG {
+                    "untagged".to_string()
+                } else {
+                    format!("op{t}")
+                }
+            };
+            let _ = writeln!(s, "  {} aborted-by {}: {n}", name(victim), name(aborter));
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flight::FlightRecorder;
+    use crate::observe::TxObserver;
+
+    #[test]
+    fn folds_conflict_help_abort_chain() {
+        let mut rec = FlightRecorder::new(0, 64);
+        rec.set_op(3);
+        rec.attempt_begin(0, 0, 100);
+        rec.conflict(0, Some(5), Some(1), 150);
+        rec.help_begin(0, 1, 150);
+        rec.help_end(0, 1, 160);
+        rec.aborted(0, 0, 180);
+        rec.attempt_begin(0, 1, 180);
+        rec.committed(0, 2, 250);
+        let attr = Attribution::from_events(&rec.drain());
+        assert_eq!(attr.aborts(), 1);
+        assert_eq!(attr.helps(), 1);
+        assert_eq!(attr.cycles_lost(), 80); // 180 - 100
+        let blame = attr.cells()[&5];
+        assert_eq!(blame.aborts, 1);
+        assert_eq!(blame.helps, 1);
+        assert_eq!(blame.cycles_lost, 80);
+        // Victim op 3 aborted by whatever owner proc 1 was running
+        // (untagged here: no board attached).
+        assert_eq!(attr.pairs()[&(3, NO_OP_TAG)], 1);
+    }
+
+    #[test]
+    fn merge_is_additive_and_top_cells_rank() {
+        let mut rec = FlightRecorder::new(0, 64);
+        rec.attempt_begin(0, 0, 0);
+        rec.conflict(0, Some(1), None, 5);
+        rec.aborted(0, 0, 10);
+        rec.attempt_begin(0, 1, 10);
+        rec.conflict(0, Some(2), None, 12);
+        rec.aborted(0, 0, 20);
+        rec.attempt_begin(0, 2, 20);
+        rec.conflict(0, Some(2), None, 22);
+        rec.aborted(0, 0, 30);
+        let one = Attribution::from_events(&rec.drain());
+        let mut both = one.clone();
+        both.merge(&one);
+        assert_eq!(both.aborts(), 2 * one.aborts());
+        let top = both.top_cells(1);
+        assert_eq!(top[0].0, 2, "cell 2 has the most aborts");
+        assert_eq!(top[0].1.aborts, 4);
+        assert!(!both.summary(4).is_empty());
+    }
+
+    #[test]
+    fn empty_and_eq() {
+        assert!(Attribution::new().is_empty());
+        assert_eq!(Attribution::new(), Attribution::default());
+    }
+}

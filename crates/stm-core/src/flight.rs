@@ -1,0 +1,653 @@
+//! Always-on flight recorder: a lock-free, per-thread ring of compact
+//! transaction events.
+//!
+//! [`FlightRecorder`] is a [`TxObserver`] that appends one fixed-width
+//! record per *coarse* lifecycle event — attempt begin, conflict (with the
+//! owning proc and cell), help, commit, abort, backoff, starvation
+//! escalation, panic, journal flush, recovery replay — into a power-of-two
+//! [`FlightBuffer`]. Per-cell micro events (`cell_acquired`, `write_back`,
+//! `released`) are deliberately *not* recorded: they dominate event volume
+//! and would blow the ≤5% overhead budget the bench gate enforces.
+//!
+//! # Memory-ordering argument
+//!
+//! Each buffer has exactly **one writer** (the owning transaction thread)
+//! and any number of concurrent readers (aggregators taking snapshots).
+//! Every slot is a tiny seqlock:
+//!
+//! * the writer stores `seq = 2h + 1` (odd: write in progress, `h` is the
+//!   global event index landing in this slot), publishes the four payload
+//!   words with `Relaxed` stores behind a `Release` fence, then stores
+//!   `seq = 2h + 2` (even: slot holds event `h`) with `Release`, and
+//!   finally advances the shared head with `Release`;
+//! * a reader loads `seq` with `Acquire`, copies the payload, issues an
+//!   `Acquire` fence, and re-loads `seq`. The copy is coherent **iff** both
+//!   loads observed the same even value `2h + 2`; otherwise the slot was
+//!   concurrently overwritten and the reader counts it as dropped instead
+//!   of surfacing torn data.
+//!
+//! The writer never waits, never loops, and never takes a branch that
+//! depends on readers — appends are wait-free and the recorder adds no
+//! [`MemPort`](crate::machine::MemPort) traffic, so attaching it to a
+//! simulated run leaves default-config schedules bit-identical (the
+//! `telemetry` test suite pins this with a proptest oracle).
+
+use std::sync::atomic::{fence, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::observe::TxObserver;
+use crate::word::CellIdx;
+
+/// Default per-thread ring capacity (events) used by convenience
+/// constructors; callers with tighter memory budgets can pass their own.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 4096;
+
+/// Operation tag meaning "no operation registered" on an [`OpBoard`].
+pub const NO_OP_TAG: u32 = 0;
+
+/// Operation tags are truncated to this many bits when packed into a slot.
+const OP_TAG_BITS: u32 = 24;
+const OP_TAG_MASK: u32 = (1 << OP_TAG_BITS) - 1;
+
+/// Sentinel for "no cell" in a [`FlightKind::Conflict`] record's `a` word.
+const NO_CELL: u64 = u64::MAX;
+
+// ---------------------------------------------------------------------------
+// Event encoding
+// ---------------------------------------------------------------------------
+
+/// Discriminant of a [`FlightEvent`]. Only coarse lifecycle events are
+/// recorded; see the module docs for why per-cell events are omitted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum FlightKind {
+    /// A transaction attempt started (`a` = attempt ordinal).
+    AttemptBegin = 1,
+    /// The attempt lost to a conflicting owner (`a` = cell or `NO_CELL`,
+    /// `b` = packed owner; see [`FlightEvent::conflict_owner`]).
+    Conflict = 2,
+    /// The victim started helping the obstructing owner (`a` = owner proc).
+    HelpBegin = 3,
+    /// Helping the owner finished (`a` = owner proc).
+    HelpEnd = 4,
+    /// The transaction committed (`a` = attempts used, `b` = cycles since
+    /// the last `AttemptBegin`).
+    Committed = 5,
+    /// The attempt aborted (`a` = failing acquisition position, `b` =
+    /// cycles since the last `AttemptBegin` — the cycles lost to the
+    /// conflict).
+    Aborted = 6,
+    /// The contention manager imposed a wait (`a` = attempt, `b` = amount).
+    BackoffWait = 7,
+    /// Starvation escalation fired (`a` = attempts, `b` = owner proc + 1,
+    /// or 0 when no specific owner was blamed).
+    StarvationEscalated = 8,
+    /// The user operation panicked (`a` = attempts so far).
+    OpPanicked = 9,
+    /// A journal batch was flushed (`a` = records `<< 32 |` bytes, `b` =
+    /// flush latency in cycles).
+    JournalFlush = 10,
+    /// Recovery replayed a journal (`a` = records scanned, `b` = installed).
+    RecoveryReplayed = 11,
+}
+
+impl FlightKind {
+    fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => Self::AttemptBegin,
+            2 => Self::Conflict,
+            3 => Self::HelpBegin,
+            4 => Self::HelpEnd,
+            5 => Self::Committed,
+            6 => Self::Aborted,
+            7 => Self::BackoffWait,
+            8 => Self::StarvationEscalated,
+            9 => Self::OpPanicked,
+            10 => Self::JournalFlush,
+            11 => Self::RecoveryReplayed,
+            _ => return None,
+        })
+    }
+
+    /// Short human-readable label, stable for dumps and tests.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::AttemptBegin => "attempt_begin",
+            Self::Conflict => "conflict",
+            Self::HelpBegin => "help_begin",
+            Self::HelpEnd => "help_end",
+            Self::Committed => "committed",
+            Self::Aborted => "aborted",
+            Self::BackoffWait => "backoff_wait",
+            Self::StarvationEscalated => "starvation_escalated",
+            Self::OpPanicked => "op_panicked",
+            Self::JournalFlush => "journal_flush",
+            Self::RecoveryReplayed => "recovery_replayed",
+        }
+    }
+}
+
+/// One decoded flight-recorder record: 32 bytes of payload in the ring.
+///
+/// `a` and `b` are kind-specific (documented on [`FlightKind`]); the typed
+/// accessors below decode the packed forms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FlightEvent {
+    /// What happened.
+    pub kind: FlightKind,
+    /// The proc the event happened on.
+    pub proc: u32,
+    /// Operation tag of the recording proc's current op (24 bits;
+    /// [`NO_OP_TAG`] when untagged). See [`FlightRecorder::set_op`].
+    pub op: u32,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+    /// `MemPort::now()` at record time (virtual cycles on the sim, 0 on
+    /// hosts without a cycle source).
+    pub at: u64,
+}
+
+impl FlightEvent {
+    /// For [`FlightKind::Conflict`]: the cell whose acquisition failed,
+    /// when the protocol could identify one.
+    pub fn conflict_cell(&self) -> Option<CellIdx> {
+        if self.kind == FlightKind::Conflict && self.a != NO_CELL {
+            Some(self.a as CellIdx)
+        } else {
+            None
+        }
+    }
+
+    /// For [`FlightKind::Conflict`]: `(owner proc, owner op tag)` of the
+    /// transaction that held the contested ownership, when known.
+    pub fn conflict_owner(&self) -> Option<(u32, u32)> {
+        if self.kind == FlightKind::Conflict && self.b >> 63 == 1 {
+            Some((self.b as u32, (self.b >> 32) as u32 & OP_TAG_MASK))
+        } else {
+            None
+        }
+    }
+
+    /// For [`FlightKind::Committed`] / [`FlightKind::Aborted`]: cycles
+    /// elapsed since the attempt began (0 on hosts without a cycle source).
+    pub fn cycles(&self) -> u64 {
+        match self.kind {
+            FlightKind::Committed | FlightKind::Aborted => self.b,
+            _ => 0,
+        }
+    }
+
+    fn encode(&self) -> [u64; 4] {
+        let w0 = ((self.kind as u64) << 56)
+            | (u64::from(self.op & OP_TAG_MASK) << 32)
+            | u64::from(self.proc);
+        [w0, self.a, self.b, self.at]
+    }
+
+    fn decode(w: [u64; 4]) -> Option<Self> {
+        Some(Self {
+            kind: FlightKind::from_u8((w[0] >> 56) as u8)?,
+            proc: w[0] as u32,
+            op: (w[0] >> 32) as u32 & OP_TAG_MASK,
+            a: w[1],
+            b: w[2],
+            at: w[3],
+        })
+    }
+
+    fn conflict(proc: u32, op: u32, cell: Option<CellIdx>, owner: Option<(u32, u32)>, at: u64) -> Self {
+        let b = match owner {
+            Some((p, tag)) => (1u64 << 63) | (u64::from(tag & OP_TAG_MASK) << 32) | u64::from(p),
+            None => 0,
+        };
+        Self {
+            kind: FlightKind::Conflict,
+            proc,
+            op,
+            a: cell.map_or(NO_CELL, |c| c as u64),
+            b,
+            at,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ring buffer
+// ---------------------------------------------------------------------------
+
+struct Slot {
+    /// Seqlock word: 0 = never written, `2h + 1` = event `h` in flight,
+    /// `2h + 2` = event `h` published.
+    seq: AtomicU64,
+    w: [AtomicU64; 4],
+}
+
+impl Slot {
+    fn empty() -> Self {
+        Self {
+            seq: AtomicU64::new(0),
+            w: [
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+                AtomicU64::new(0),
+            ],
+        }
+    }
+}
+
+/// Result of [`FlightBuffer::read_since`].
+#[derive(Debug, Clone, Default)]
+pub struct RingRead {
+    /// Events recovered coherently, oldest first.
+    pub events: Vec<FlightEvent>,
+    /// Events lost since the caller's cursor: overwritten before they were
+    /// read, plus any slot torn by a concurrent write during this read.
+    pub dropped: u64,
+    /// Cursor to pass to the next `read_since` call.
+    pub cursor: u64,
+}
+
+/// Fixed-size power-of-two ring of [`FlightEvent`]s with one wait-free
+/// writer and lock-free snapshot readers. See the module docs for the
+/// seqlock protocol and memory-ordering argument.
+pub struct FlightBuffer {
+    mask: u64,
+    head: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+impl std::fmt::Debug for FlightBuffer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlightBuffer")
+            .field("capacity", &self.slots.len())
+            .field("written", &self.written())
+            .finish()
+    }
+}
+
+impl FlightBuffer {
+    /// Allocate a ring holding `capacity` events (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(8).next_power_of_two();
+        let slots: Vec<Slot> = (0..cap).map(|_| Slot::empty()).collect();
+        Self {
+            mask: (cap - 1) as u64,
+            head: AtomicU64::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// Number of event slots in the ring.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total events ever appended (monotone; not bounded by capacity).
+    pub fn written(&self) -> u64 {
+        self.head.load(Ordering::Acquire)
+    }
+
+    /// Append one event. Wait-free; must only be called from the single
+    /// owning writer thread (enforced by [`FlightRecorder`] holding the
+    /// only append path).
+    #[inline]
+    pub fn append(&self, ev: &FlightEvent) {
+        let h = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(h & self.mask) as usize];
+        let words = ev.encode();
+        slot.seq.store(2 * h + 1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        for (w, &v) in slot.w.iter().zip(&words) {
+            w.store(v, Ordering::Relaxed);
+        }
+        slot.seq.store(2 * h + 2, Ordering::Release);
+        self.head.store(h + 1, Ordering::Release);
+    }
+
+    /// Copy out every event with index `>= cursor` that is still resident,
+    /// counting anything already overwritten (or torn mid-read) as dropped.
+    pub fn read_since(&self, cursor: u64) -> RingRead {
+        let head = self.written();
+        let cap = self.slots.len() as u64;
+        let lo = cursor.max(head.saturating_sub(cap));
+        let mut out = RingRead {
+            events: Vec::with_capacity((head - lo) as usize),
+            dropped: lo - cursor,
+            cursor: head,
+        };
+        for idx in lo..head {
+            let slot = &self.slots[(idx & self.mask) as usize];
+            let expect = 2 * idx + 2;
+            let s1 = slot.seq.load(Ordering::Acquire);
+            if s1 != expect {
+                // Already recycled for a newer event (or still in flight
+                // after a torn writer death): the record is gone.
+                out.dropped += 1;
+                continue;
+            }
+            let words = [
+                slot.w[0].load(Ordering::Relaxed),
+                slot.w[1].load(Ordering::Relaxed),
+                slot.w[2].load(Ordering::Relaxed),
+                slot.w[3].load(Ordering::Relaxed),
+            ];
+            fence(Ordering::Acquire);
+            let s2 = slot.seq.load(Ordering::Relaxed);
+            match (s2 == s1, FlightEvent::decode(words)) {
+                (true, Some(ev)) => out.events.push(ev),
+                _ => out.dropped += 1,
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op board
+// ---------------------------------------------------------------------------
+
+/// Shared proc → operation-tag board.
+///
+/// Each worker publishes the tag of the operation it is currently running
+/// ([`FlightRecorder::set_op`]); a victim reads the *aborter's* tag here at
+/// conflict time, giving the attribution layer victim-op → aborter-op
+/// pairs without touching the transactional memory port (so simulated
+/// schedules stay untouched).
+#[derive(Debug)]
+pub struct OpBoard {
+    tags: Box<[AtomicU32]>,
+}
+
+impl OpBoard {
+    /// Board for `procs` workers, all initially [`NO_OP_TAG`].
+    pub fn new(procs: usize) -> Self {
+        Self {
+            tags: (0..procs).map(|_| AtomicU32::new(NO_OP_TAG)).collect(),
+        }
+    }
+
+    /// Publish `tag` as proc `proc`'s current operation.
+    #[inline]
+    pub fn set(&self, proc: usize, tag: u32) {
+        if let Some(t) = self.tags.get(proc) {
+            t.store(tag & OP_TAG_MASK, Ordering::Relaxed);
+        }
+    }
+
+    /// Read proc `proc`'s current operation tag ([`NO_OP_TAG`] if unknown).
+    #[inline]
+    pub fn get(&self, proc: usize) -> u32 {
+        self.tags.get(proc).map_or(NO_OP_TAG, |t| t.load(Ordering::Relaxed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder
+// ---------------------------------------------------------------------------
+
+/// Per-thread flight recorder: a [`TxObserver`] appending compact records
+/// into its [`FlightBuffer`].
+///
+/// Construct one per worker thread (e.g. via
+/// [`MetricsRegistry::recorder`](crate::export::MetricsRegistry::recorder))
+/// and pass it to [`TxOptions::observer`](crate::stm::TxOptions::observer).
+/// The buffer is shared (`Arc`), so aggregators can snapshot concurrently
+/// while the worker keeps committing.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    buf: Arc<FlightBuffer>,
+    board: Option<Arc<OpBoard>>,
+    proc: u32,
+    op: u32,
+    attempt_started: u64,
+    cursor: u64,
+    dropped: u64,
+}
+
+impl FlightRecorder {
+    /// Recorder for `proc` with a private ring of `capacity` events.
+    pub fn new(proc: usize, capacity: usize) -> Self {
+        Self::from_parts(proc, Arc::new(FlightBuffer::new(capacity)), None)
+    }
+
+    /// Recorder for `proc` publishing its op tag on (and reading aborter
+    /// tags from) a shared [`OpBoard`].
+    pub fn with_board(proc: usize, capacity: usize, board: Arc<OpBoard>) -> Self {
+        Self::from_parts(proc, Arc::new(FlightBuffer::new(capacity)), Some(board))
+    }
+
+    /// Recorder over an existing shared buffer (used by the registry).
+    pub fn from_parts(proc: usize, buf: Arc<FlightBuffer>, board: Option<Arc<OpBoard>>) -> Self {
+        Self {
+            buf,
+            board,
+            proc: proc as u32,
+            op: NO_OP_TAG,
+            attempt_started: 0,
+            cursor: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Tag subsequent events (and this proc's [`OpBoard`] entry) with
+    /// operation `tag`. Tags are app-defined, truncated to 24 bits;
+    /// [`NO_OP_TAG`] means untagged.
+    #[inline]
+    pub fn set_op(&mut self, tag: u32) {
+        self.op = tag & OP_TAG_MASK;
+        if let Some(b) = &self.board {
+            b.set(self.proc as usize, self.op);
+        }
+    }
+
+    /// The shared ring this recorder appends to.
+    pub fn buffer(&self) -> Arc<FlightBuffer> {
+        Arc::clone(&self.buf)
+    }
+
+    /// The proc this recorder was built for.
+    pub fn proc(&self) -> usize {
+        self.proc as usize
+    }
+
+    /// Cumulative events lost to ring overwrite across all [`drain`]
+    /// calls so far.
+    ///
+    /// [`drain`]: Self::drain
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain every event recorded since the previous drain (oldest first).
+    /// Events overwritten before this call are counted in [`dropped`],
+    /// never silently lost.
+    ///
+    /// [`dropped`]: Self::dropped
+    pub fn drain(&mut self) -> Vec<FlightEvent> {
+        let read = self.buf.read_since(self.cursor);
+        self.cursor = read.cursor;
+        self.dropped += read.dropped;
+        read.events
+    }
+
+    #[inline]
+    fn push(&mut self, kind: FlightKind, proc: usize, a: u64, b: u64, at: u64) {
+        self.buf.append(&FlightEvent {
+            kind,
+            proc: proc as u32,
+            op: self.op,
+            a,
+            b,
+            at,
+        });
+    }
+}
+
+impl TxObserver for FlightRecorder {
+    #[inline]
+    fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
+        self.attempt_started = now;
+        self.push(FlightKind::AttemptBegin, proc, attempt, 0, now);
+    }
+
+    #[inline]
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, owner: Option<usize>, now: u64) {
+        let owner = owner.map(|p| {
+            let tag = self.board.as_ref().map_or(NO_OP_TAG, |b| b.get(p));
+            (p as u32, tag)
+        });
+        self.buf
+            .append(&FlightEvent::conflict(proc as u32, self.op, cell, owner, now));
+    }
+
+    #[inline]
+    fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
+        self.push(FlightKind::HelpBegin, proc, owner as u64, 0, now);
+    }
+
+    #[inline]
+    fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
+        self.push(FlightKind::HelpEnd, proc, owner as u64, 0, now);
+    }
+
+    #[inline]
+    fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
+        let cycles = now.saturating_sub(self.attempt_started);
+        self.push(FlightKind::Committed, proc, attempts, cycles, now);
+    }
+
+    #[inline]
+    fn aborted(&mut self, proc: usize, at: usize, now: u64) {
+        let cycles = now.saturating_sub(self.attempt_started);
+        self.push(FlightKind::Aborted, proc, at as u64, cycles, now);
+    }
+
+    #[inline]
+    fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
+        self.push(FlightKind::BackoffWait, proc, attempt, amount, now);
+    }
+
+    #[inline]
+    fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
+        let owner = owner.map_or(0, |p| p as u64 + 1);
+        self.push(FlightKind::StarvationEscalated, proc, attempts, owner, now);
+    }
+
+    #[inline]
+    fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.push(FlightKind::OpPanicked, proc, attempts, 0, now);
+    }
+
+    #[inline]
+    fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
+        let a = (records.min(u64::from(u32::MAX)) << 32) | bytes.min(u64::from(u32::MAX));
+        self.push(FlightKind::JournalFlush, proc, a, latency, now);
+    }
+
+    #[inline]
+    fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
+        let proc = self.proc as usize;
+        self.push(FlightKind::RecoveryReplayed, proc, records, installed, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(kind: FlightKind, proc: u32, a: u64, b: u64, at: u64) -> FlightEvent {
+        FlightEvent { kind, proc, op: 7, a, b, at }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = [
+            ev(FlightKind::AttemptBegin, 3, 9, 0, 100),
+            FlightEvent::conflict(1, 2, Some(42), Some((5, 0xabcdef)), 77),
+            FlightEvent::conflict(1, 2, None, None, 78),
+            ev(FlightKind::Committed, 0, 4, 880, 999),
+            ev(FlightKind::JournalFlush, 2, (3 << 32) | 128, 17, 5),
+        ];
+        for c in cases {
+            assert_eq!(FlightEvent::decode(c.encode()), Some(c));
+        }
+        let conflicted = FlightEvent::conflict(1, 2, Some(42), Some((5, 0xabcdef)), 77);
+        assert_eq!(conflicted.conflict_cell(), Some(42));
+        assert_eq!(conflicted.conflict_owner(), Some((5, 0xabcdef)));
+        assert_eq!(FlightEvent::conflict(1, 2, None, None, 0).conflict_owner(), None);
+    }
+
+    #[test]
+    fn ring_drains_in_order_and_counts_overflow() {
+        let buf = FlightBuffer::new(8);
+        for i in 0..20u64 {
+            buf.append(&ev(FlightKind::AttemptBegin, 0, i, 0, i));
+        }
+        let read = buf.read_since(0);
+        // Capacity 8: only the last 8 events survive, 12 are dropped.
+        assert_eq!(read.dropped, 12);
+        assert_eq!(read.events.len(), 8);
+        assert_eq!(read.events.first().map(|e| e.a), Some(12));
+        assert_eq!(read.events.last().map(|e| e.a), Some(19));
+        assert_eq!(read.cursor, 20);
+        // A second read from the returned cursor sees nothing new.
+        let again = buf.read_since(read.cursor);
+        assert!(again.events.is_empty());
+        assert_eq!(again.dropped, 0);
+    }
+
+    #[test]
+    fn recorder_drain_preserves_written_accounting() {
+        let mut rec = FlightRecorder::new(1, 8);
+        let buf = rec.buffer();
+        for i in 0..30 {
+            rec.attempt_begin(1, i, i);
+        }
+        let drained = rec.drain();
+        assert_eq!(drained.len() as u64 + rec.dropped(), buf.written());
+        assert!(rec.dropped() > 0, "tiny ring must overflow");
+    }
+
+    #[test]
+    fn board_attribution_tags_conflicts() {
+        let board = Arc::new(OpBoard::new(4));
+        board.set(2, 0x1234);
+        let mut rec = FlightRecorder::with_board(0, 32, Arc::clone(&board));
+        rec.set_op(0x42);
+        rec.conflict(0, Some(7), Some(2), 10);
+        let events = rec.drain();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].op, 0x42);
+        assert_eq!(events[0].conflict_cell(), Some(7));
+        assert_eq!(events[0].conflict_owner(), Some((2, 0x1234)));
+    }
+
+    #[test]
+    fn concurrent_reader_never_sees_torn_slots() {
+        let buf = Arc::new(FlightBuffer::new(64));
+        let writer = {
+            let buf = Arc::clone(&buf);
+            std::thread::spawn(move || {
+                for i in 0..200_000u64 {
+                    buf.append(&ev(FlightKind::Committed, 0, i, i.wrapping_mul(3), i));
+                }
+            })
+        };
+        let mut cursor = 0;
+        let mut seen = 0u64;
+        while seen < 50_000 {
+            let read = buf.read_since(cursor);
+            cursor = read.cursor;
+            for e in &read.events {
+                // Payload invariant: b == 3*a for every coherent record.
+                assert_eq!(e.b, e.a.wrapping_mul(3), "torn slot surfaced");
+            }
+            seen += read.events.len() as u64 + read.dropped;
+        }
+        writer.join().unwrap();
+    }
+}

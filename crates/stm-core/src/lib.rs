@@ -76,8 +76,11 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod attribution;
 pub mod contention;
 pub mod durable;
+pub mod export;
+pub mod flight;
 pub mod dynamic;
 pub mod history;
 pub mod layout;
@@ -90,6 +93,7 @@ pub mod step;
 pub mod stm;
 pub mod word;
 
+pub use attribution::{Attribution, CellBlame};
 pub use contention::{
     AdaptiveConfig, AdaptiveManager, ConflictInfo, ContentionManager, ImmediateRetry,
     RetryDecision, WaitAction,
@@ -98,6 +102,14 @@ pub use durable::{
     DurableMem, FileJournal, FlushInfo, Journal, MemJournal, NoJournal, RecoveryReport, RedoRecord,
 };
 pub use dynamic::{DynamicStm, DynamicTx};
+pub use export::{
+    encode_openmetrics, parse_openmetrics, snapshot_json, MetricsRegistry, MetricsSnapshot,
+    OpLatency, ProcCounters,
+};
+pub use flight::{
+    FlightBuffer, FlightEvent, FlightKind, FlightRecorder, OpBoard, RingRead,
+    DEFAULT_FLIGHT_CAPACITY, NO_OP_TAG,
+};
 pub use machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog, WatchdogHandle};
 pub use machine::MemPort;
 pub use metrics::{Log2Histogram, TxMetrics};

@@ -22,6 +22,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::attribution::Attribution;
 use crate::observe::TxObserver;
 use crate::word::CellIdx;
 
@@ -119,6 +120,44 @@ impl Log2Histogram {
             .collect()
     }
 
+    /// Estimated `p`-th percentile (`0.0 ..= 100.0`) by linear
+    /// interpolation inside the owning log2 bucket.
+    ///
+    /// The rank-selected bucket `[2^(i-1), 2^i)` is assumed uniformly
+    /// filled; the estimate interpolates by the rank's position among that
+    /// bucket's observations, clamped to the recorded [`max`](Self::max)
+    /// so the top bucket (whose nominal width can exceed the data) never
+    /// overstates the tail. Returns 0.0 on an empty histogram.
+    pub fn percentile(&self, p: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        // 1-based rank of the order statistic: ceil(p/100 * count), >= 1.
+        let rank = ((p / 100.0 * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            if seen + n >= rank {
+                let low = Self::bucket_low(i) as f64;
+                // Exclusive upper bound of bucket i; bucket 64's nominal
+                // 2^64 would overflow `bucket_low(65)`, and `max + 1`
+                // bounds it tighter anyway.
+                let high = if i + 1 < LOG2_BUCKETS {
+                    (Self::bucket_low(i + 1) as f64).min(self.max as f64 + 1.0)
+                } else {
+                    self.max as f64 + 1.0
+                };
+                let into = (rank - seen) as f64 / n as f64;
+                return (low + (high - low) * into).min(self.max as f64);
+            }
+            seen += n;
+        }
+        self.max as f64
+    }
+
     /// Fold another histogram into this one.
     pub fn merge(&mut self, other: &Log2Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -198,6 +237,10 @@ pub struct TxMetrics {
     pub flush_latency: Log2Histogram,
     /// Histogram of cell installs replayed per recovery pass.
     pub recovery_replays: Log2Histogram,
+    /// Conflict blame folded from flight-recorder drains (see
+    /// [`Attribution`]); empty unless the workload merges one in via
+    /// [`TxMetrics::absorb_attribution`].
+    pub attribution: Attribution,
     commits: u64,
     aborts: u64,
     conflicts: u64,
@@ -337,7 +380,14 @@ impl TxMetrics {
         for (&c, &n) in &other.contention {
             *self.contention.entry(c).or_default() += n;
         }
+        self.attribution.merge(&other.attribution);
         self.max_help_depth = self.max_help_depth.max(other.max_help_depth);
+    }
+
+    /// Fold a flight-recorder blame table into these metrics so existing
+    /// reports (summary, merge trees) carry conflict attribution.
+    pub fn absorb_attribution(&mut self, attr: &Attribution) {
+        self.attribution.merge(attr);
     }
 
     /// Multi-line human-readable summary.
@@ -384,6 +434,9 @@ impl TxMetrics {
             }
             out.push('\n');
         }
+        if !self.attribution.is_empty() {
+            out.push_str(&self.attribution.summary(8));
+        }
         out
     }
 }
@@ -393,7 +446,7 @@ impl TxObserver for TxMetrics {
         self.attempt_start = Some(now);
     }
 
-    fn conflict(&mut self, _proc: usize, cell: Option<CellIdx>, _now: u64) {
+    fn conflict(&mut self, _proc: usize, cell: Option<CellIdx>, _owner: Option<usize>, _now: u64) {
         self.conflicts += 1;
         if let Some(c) = cell {
             *self.contention.entry(c).or_default() += 1;
@@ -503,12 +556,42 @@ mod tests {
     }
 
     #[test]
+    fn percentiles_interpolate_within_buckets() {
+        assert_eq!(Log2Histogram::new().percentile(50.0), 0.0);
+
+        let mut h = Log2Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        // Coarse log2 buckets: percentiles must be monotone, within the
+        // observed range, and land in the right bucket's span.
+        let p50 = h.percentile(50.0);
+        let p90 = h.percentile(90.0);
+        let p99 = h.percentile(99.0);
+        assert!(p50 <= p90 && p90 <= p99, "monotone: {p50} {p90} {p99}");
+        assert!(p99 <= 100.0, "clamped to max, got {p99}");
+        assert!((32.0..=64.0).contains(&p50), "rank 50 is in [32,64): {p50}");
+        assert!((64.0..=100.0).contains(&p90), "rank 90 is in [64,128): {p90}");
+
+        // Exact cases: a single-value histogram pins every percentile.
+        let mut one = Log2Histogram::new();
+        one.record(7);
+        assert_eq!(one.percentile(0.0), 7.0);
+        assert_eq!(one.percentile(100.0), 7.0);
+
+        // The max-value bucket (bucket 64) must not overflow bucket_low(65).
+        let mut top = Log2Histogram::new();
+        top.record(u64::MAX);
+        assert_eq!(top.percentile(99.0), u64::MAX as f64);
+    }
+
+    #[test]
     fn metrics_track_a_synthetic_lifecycle() {
         let mut m = TxMetrics::new();
         // Attempt 1: conflict on cell 3, help P2, abort.
         m.attempt_begin(0, 1, 100);
         m.cell_acquired(0, 1, 110);
-        m.conflict(0, Some(3), 120);
+        m.conflict(0, Some(3), Some(2), 120);
         m.help_begin(0, 2, 125);
         m.cell_acquired(0, 3, 130);
         m.help_end(0, 2, 140);
@@ -576,11 +659,11 @@ mod tests {
         let mut a = TxMetrics::new();
         a.attempt_begin(0, 1, 0);
         a.committed(0, 1, 10);
-        a.conflict(0, Some(7), 0);
+        a.conflict(0, Some(7), None, 0);
         let mut b = TxMetrics::new();
         b.attempt_begin(1, 1, 0);
         b.aborted(1, 0, 5);
-        b.conflict(1, Some(7), 0);
+        b.conflict(1, Some(7), None, 0);
         a.merge(&b);
         assert_eq!(a.commits(), 1);
         assert_eq!(a.aborts(), 1);

@@ -73,11 +73,14 @@ pub trait TxObserver {
 
     /// This processor's own attempt was decided `Failure` because `cell`
     /// (if known — `None` only for a malformed failure index) was owned by
-    /// a live conflicting transaction. Emitted exactly once per
+    /// a live conflicting transaction. `owner` is the processor that held
+    /// the obstructing ownership, when the protocol re-read it (helping
+    /// paths do; pure-backoff paths report `None` rather than pay an extra
+    /// ownership read). Emitted exactly once per
     /// [`TxStats::conflicts`](crate::stm::TxStats::conflicts) increment.
     #[inline]
-    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
-        let _ = (proc, cell, now);
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, owner: Option<usize>, now: u64) {
+        let _ = (proc, cell, owner, now);
     }
 
     /// This processor is about to help the transaction initiated by `owner`
@@ -193,8 +196,8 @@ impl<O: TxObserver + ?Sized> TxObserver for &mut O {
         (**self).cell_acquired(proc, cell, now)
     }
     #[inline]
-    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
-        (**self).conflict(proc, cell, now)
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, owner: Option<usize>, now: u64) {
+        (**self).conflict(proc, cell, owner, now)
     }
     #[inline]
     fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
@@ -242,6 +245,83 @@ impl<O: TxObserver + ?Sized> TxObserver for &mut O {
     }
 }
 
+/// A pair of observers is an observer: every event is forwarded to both
+/// elements, in order. This is the zero-allocation way to tee one run into
+/// two sinks, e.g. end-of-run metrics plus a live flight recorder:
+/// `TxOptions::new().observer((&mut metrics, &mut recorder))`.
+impl<A: TxObserver, B: TxObserver> TxObserver for (A, B) {
+    #[inline]
+    fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
+        self.0.attempt_begin(proc, attempt, now);
+        self.1.attempt_begin(proc, attempt, now);
+    }
+    #[inline]
+    fn cell_acquired(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.0.cell_acquired(proc, cell, now);
+        self.1.cell_acquired(proc, cell, now);
+    }
+    #[inline]
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, owner: Option<usize>, now: u64) {
+        self.0.conflict(proc, cell, owner, now);
+        self.1.conflict(proc, cell, owner, now);
+    }
+    #[inline]
+    fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
+        self.0.help_begin(proc, owner, now);
+        self.1.help_begin(proc, owner, now);
+    }
+    #[inline]
+    fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
+        self.0.help_end(proc, owner, now);
+        self.1.help_end(proc, owner, now);
+    }
+    #[inline]
+    fn write_back(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.0.write_back(proc, cell, now);
+        self.1.write_back(proc, cell, now);
+    }
+    #[inline]
+    fn released(&mut self, proc: usize, cell: CellIdx, now: u64) {
+        self.0.released(proc, cell, now);
+        self.1.released(proc, cell, now);
+    }
+    #[inline]
+    fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.0.committed(proc, attempts, now);
+        self.1.committed(proc, attempts, now);
+    }
+    #[inline]
+    fn aborted(&mut self, proc: usize, at: usize, now: u64) {
+        self.0.aborted(proc, at, now);
+        self.1.aborted(proc, at, now);
+    }
+    #[inline]
+    fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
+        self.0.backoff_wait(proc, attempt, amount, now);
+        self.1.backoff_wait(proc, attempt, amount, now);
+    }
+    #[inline]
+    fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
+        self.0.starvation_escalated(proc, owner, attempts, now);
+        self.1.starvation_escalated(proc, owner, attempts, now);
+    }
+    #[inline]
+    fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.0.op_panicked(proc, attempts, now);
+        self.1.op_panicked(proc, attempts, now);
+    }
+    #[inline]
+    fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
+        self.0.journal_flush(proc, records, bytes, latency, now);
+        self.1.journal_flush(proc, records, bytes, latency, now);
+    }
+    #[inline]
+    fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
+        self.0.recovery_replayed(records, installed, now);
+        self.1.recovery_replayed(records, installed, now);
+    }
+}
+
 /// The default observer: every callback is a no-op, and the monomorphized
 /// protocol code is identical to the unobserved path.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -261,7 +341,7 @@ pub enum TxEvent {
     /// [`TxObserver::cell_acquired`].
     Acquired { proc: usize, cell: CellIdx, at: u64 },
     /// [`TxObserver::conflict`].
-    Conflict { proc: usize, cell: Option<CellIdx>, at: u64 },
+    Conflict { proc: usize, cell: Option<CellIdx>, owner: Option<usize>, at: u64 },
     /// [`TxObserver::help_begin`].
     HelpBegin { proc: usize, owner: usize, at: u64 },
     /// [`TxObserver::help_end`].
@@ -286,17 +366,40 @@ pub enum TxEvent {
     RecoveryReplayed { records: u64, installed: u64, at: u64 },
 }
 
+/// Default [`RecordingObserver`] capacity: generous for tests and tours,
+/// but bounded so a long chaos/stress run cannot grow the vector forever.
+pub const DEFAULT_RECORDING_CAPACITY: usize = 1 << 20;
+
 /// An observer that appends every event to a vector — the test and tooling
 /// workhorse.
-#[derive(Debug, Clone, Default)]
+///
+/// Capacity-bounded: once `capacity` events are held, further events are
+/// counted in [`dropped`](Self::dropped) instead of stored. [`take`]
+/// drains the vector, so periodic consumers never hit the bound.
+///
+/// [`take`]: Self::take
+#[derive(Debug, Clone)]
 pub struct RecordingObserver {
     events: Vec<TxEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl Default for RecordingObserver {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_RECORDING_CAPACITY)
+    }
 }
 
 impl RecordingObserver {
-    /// An empty recorder.
+    /// An empty recorder with the default capacity bound.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty recorder holding at most `capacity` events at a time.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self { events: Vec::new(), capacity, dropped: 0 }
     }
 
     /// The events recorded so far, in emission order.
@@ -304,54 +407,70 @@ impl RecordingObserver {
         &self.events
     }
 
-    /// Drain and return the recorded events (the recorder is reusable).
+    /// Events discarded because the recorder was at capacity (cumulative;
+    /// not reset by [`take`](Self::take)).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Drain and return the recorded events (the recorder is reusable and
+    /// regains its full capacity).
     pub fn take(&mut self) -> Vec<TxEvent> {
         std::mem::take(&mut self.events)
+    }
+
+    #[inline]
+    fn push(&mut self, ev: TxEvent) {
+        if self.events.len() < self.capacity {
+            self.events.push(ev);
+        } else {
+            self.dropped += 1;
+        }
     }
 }
 
 impl TxObserver for RecordingObserver {
     fn attempt_begin(&mut self, proc: usize, attempt: u64, now: u64) {
-        self.events.push(TxEvent::AttemptBegin { proc, attempt, at: now });
+        self.push(TxEvent::AttemptBegin { proc, attempt, at: now });
     }
     fn cell_acquired(&mut self, proc: usize, cell: CellIdx, now: u64) {
-        self.events.push(TxEvent::Acquired { proc, cell, at: now });
+        self.push(TxEvent::Acquired { proc, cell, at: now });
     }
-    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, now: u64) {
-        self.events.push(TxEvent::Conflict { proc, cell, at: now });
+    fn conflict(&mut self, proc: usize, cell: Option<CellIdx>, owner: Option<usize>, now: u64) {
+        self.push(TxEvent::Conflict { proc, cell, owner, at: now });
     }
     fn help_begin(&mut self, proc: usize, owner: usize, now: u64) {
-        self.events.push(TxEvent::HelpBegin { proc, owner, at: now });
+        self.push(TxEvent::HelpBegin { proc, owner, at: now });
     }
     fn help_end(&mut self, proc: usize, owner: usize, now: u64) {
-        self.events.push(TxEvent::HelpEnd { proc, owner, at: now });
+        self.push(TxEvent::HelpEnd { proc, owner, at: now });
     }
     fn write_back(&mut self, proc: usize, cell: CellIdx, now: u64) {
-        self.events.push(TxEvent::WriteBack { proc, cell, at: now });
+        self.push(TxEvent::WriteBack { proc, cell, at: now });
     }
     fn released(&mut self, proc: usize, cell: CellIdx, now: u64) {
-        self.events.push(TxEvent::Released { proc, cell, at: now });
+        self.push(TxEvent::Released { proc, cell, at: now });
     }
     fn committed(&mut self, proc: usize, attempts: u64, now: u64) {
-        self.events.push(TxEvent::Committed { proc, attempts, at: now });
+        self.push(TxEvent::Committed { proc, attempts, at: now });
     }
     fn aborted(&mut self, proc: usize, at: usize, now: u64) {
-        self.events.push(TxEvent::Aborted { proc, at_pos: at, at: now });
+        self.push(TxEvent::Aborted { proc, at_pos: at, at: now });
     }
     fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
-        self.events.push(TxEvent::BackoffWait { proc, attempt, amount, at: now });
+        self.push(TxEvent::BackoffWait { proc, attempt, amount, at: now });
     }
     fn starvation_escalated(&mut self, proc: usize, owner: Option<usize>, attempts: u64, now: u64) {
-        self.events.push(TxEvent::StarvationEscalated { proc, owner, attempts, at: now });
+        self.push(TxEvent::StarvationEscalated { proc, owner, attempts, at: now });
     }
     fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
-        self.events.push(TxEvent::OpPanicked { proc, attempts, at: now });
+        self.push(TxEvent::OpPanicked { proc, attempts, at: now });
     }
     fn journal_flush(&mut self, proc: usize, records: u64, bytes: u64, latency: u64, now: u64) {
-        self.events.push(TxEvent::JournalFlush { proc, records, bytes, latency, at: now });
+        self.push(TxEvent::JournalFlush { proc, records, bytes, latency, at: now });
     }
     fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
-        self.events.push(TxEvent::RecoveryReplayed { records, installed, at: now });
+        self.push(TxEvent::RecoveryReplayed { records, installed, at: now });
     }
 }
 
@@ -422,5 +541,36 @@ mod tests {
         rec.attempt_begin(0, 1, 0);
         assert_eq!(rec.take().len(), 1);
         assert!(rec.events().is_empty());
+    }
+
+    #[test]
+    fn recorder_capacity_counts_drops_and_take_restores_room() {
+        let mut rec = RecordingObserver::with_capacity(2);
+        for i in 0..5 {
+            rec.attempt_begin(0, i, 0);
+        }
+        assert_eq!(rec.events().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        assert_eq!(rec.take().len(), 2);
+        rec.attempt_begin(0, 9, 0);
+        assert_eq!(rec.events().len(), 1, "take() frees capacity");
+        assert_eq!(rec.dropped(), 3, "drop counter is cumulative");
+    }
+
+    #[test]
+    fn tuple_observer_tees_to_both() {
+        let mut a = RecordingObserver::new();
+        let mut b = RecordingObserver::new();
+        {
+            let mut tee = (&mut a, &mut b);
+            tee.attempt_begin(1, 1, 0);
+            tee.conflict(1, Some(3), Some(2), 5);
+        }
+        assert_eq!(a.events(), b.events());
+        assert_eq!(a.events().len(), 2);
+        assert!(matches!(
+            a.events()[1],
+            TxEvent::Conflict { proc: 1, cell: Some(3), owner: Some(2), .. }
+        ));
     }
 }

@@ -340,21 +340,37 @@ fn attempt<P: MemPort, O: TxObserver, J: Journal>(
         }
         TxStatus::Failure(j) => {
             stats.conflicts += 1;
-            obs.conflict(me, view.cells.get(j).copied(), port.now());
+            // When helping is on, the obstructing ownership word is re-read
+            // *before* the conflict callback so the observer learns who won
+            // the cell (conflict attribution). The port-op sequence is
+            // identical to the pre-attribution code — the read always
+            // happened here on helping paths, only the callback moved after
+            // it — so simulated schedules stay bit-identical. Pure-backoff
+            // paths still pay no extra read and report `owner: None`.
+            let mut obstructor: Option<(usize, u64)> = None;
             if help_on_conflict {
                 if let (Some(&_cell), Some(&own_addr)) =
                     (view.cells.get(j), view.own_addrs.get(j))
                 {
                     if let Some((p2, v2)) = unpack_owner(port.read(own_addr)) {
                         if p2 != me {
-                            stats.helps += 1;
-                            port.step(StepPoint::HelpBegin { owner: p2 });
-                            obs.help_begin(me, p2, port.now());
-                            help(stm, port, p2, v2, scratch, obs, &mut jrn);
-                            obs.help_end(me, p2, port.now());
+                            obstructor = Some((p2, v2));
                         }
                     }
                 }
+            }
+            obs.conflict(
+                me,
+                view.cells.get(j).copied(),
+                obstructor.map(|(p2, _)| p2),
+                port.now(),
+            );
+            if let Some((p2, v2)) = obstructor {
+                stats.helps += 1;
+                port.step(StepPoint::HelpBegin { owner: p2 });
+                obs.help_begin(me, p2, port.now());
+                help(stm, port, p2, v2, scratch, obs, &mut jrn);
+                obs.help_end(me, p2, port.now());
             }
             obs.aborted(me, j, port.now());
             Err(AttemptError::Conflict { at: j })

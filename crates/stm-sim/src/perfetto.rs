@@ -28,6 +28,7 @@
 use std::io::Write as _;
 use std::path::Path;
 
+use stm_core::attribution::Attribution;
 use stm_core::step::StepPoint;
 
 use crate::engine::SimReport;
@@ -35,6 +36,20 @@ use crate::trace::TraceKind;
 
 /// The Perfetto process id under which all processor tracks are grouped.
 const PID: u64 = 0;
+
+/// Flight-recorder aggregate attached to an exported trace: drained event
+/// and drop totals plus the folded [`Attribution`] blame table. Surfaced in
+/// the trace's `otherData` alongside the engine's own `trace_dropped`, so a
+/// post-mortem carries both truncation accountings and the blame summary.
+#[derive(Debug, Clone, Default)]
+pub struct FlightDump {
+    /// Flight-recorder events drained across all procs.
+    pub events: u64,
+    /// Flight-recorder events lost to ring overwrite.
+    pub dropped: u64,
+    /// Conflict blame folded from the drained events.
+    pub attribution: Attribution,
+}
 
 /// Build the Chrome-trace-event JSON document for `report` as a
 /// [`serde_json::Value`] tree.
@@ -45,6 +60,13 @@ const PID: u64 = 0;
 /// step and per fault delivery) plus an `otherData` summary (cycles, commit
 /// and abort totals, dropped-event count).
 pub fn chrome_trace(report: &SimReport) -> serde_json::Value {
+    chrome_trace_with(report, None)
+}
+
+/// [`chrome_trace`] with an optional flight-recorder aggregate folded into
+/// `otherData`: `flight_events` / `flight_dropped` totals, attributed
+/// abort/help/cycles-lost counters, and the top hot cells by blame.
+pub fn chrome_trace_with(report: &SimReport, flight: Option<&FlightDump>) -> serde_json::Value {
     let n_procs = report.stats.n_procs();
     let mut events: Vec<serde_json::Value> = Vec::new();
 
@@ -104,26 +126,50 @@ pub fn chrome_trace(report: &SimReport) -> serde_json::Value {
         events.push(instant(&name, cat, e.proc as u64, e.time));
     }
 
+    let mut other: Vec<(String, serde_json::Value)> = vec![
+        ("source".into(), "stm-sim".into()),
+        ("cycles".into(), report.cycles.into()),
+        ("commits".into(), report.stats.commits().into()),
+        ("aborts".into(), report.stats.aborts().into()),
+        ("helps".into(), report.stats.helps().into()),
+        ("trace_dropped".into(), report.trace_dropped.into()),
+    ];
+    if let Some(fl) = flight {
+        other.push(("flight_events".into(), fl.events.into()));
+        other.push(("flight_dropped".into(), fl.dropped.into()));
+        other.push(("attributed_aborts".into(), fl.attribution.aborts().into()));
+        other.push(("attributed_helps".into(), fl.attribution.helps().into()));
+        other.push(("attributed_cycles_lost".into(), fl.attribution.cycles_lost().into()));
+        let hot: Vec<serde_json::Value> = fl
+            .attribution
+            .top_cells(8)
+            .into_iter()
+            .map(|(cell, blame)| {
+                serde_json::Value::Object(vec![
+                    ("cell".into(), cell.into()),
+                    ("aborts".into(), blame.aborts.into()),
+                    ("helps".into(), blame.helps.into()),
+                    ("cycles_lost".into(), blame.cycles_lost.into()),
+                ])
+            })
+            .collect();
+        other.push(("hot_cells".into(), serde_json::Value::Array(hot)));
+    }
     serde_json::Value::Object(vec![
         ("traceEvents".into(), serde_json::Value::Array(events)),
         ("displayTimeUnit".into(), "ns".into()),
-        (
-            "otherData".into(),
-            serde_json::Value::Object(vec![
-                ("source".into(), "stm-sim".into()),
-                ("cycles".into(), report.cycles.into()),
-                ("commits".into(), report.stats.commits().into()),
-                ("aborts".into(), report.stats.aborts().into()),
-                ("helps".into(), report.stats.helps().into()),
-                ("trace_dropped".into(), report.trace_dropped.into()),
-            ]),
-        ),
+        ("otherData".into(), serde_json::Value::Object(other)),
     ])
 }
 
 /// [`chrome_trace`] rendered as a compact JSON string.
 pub fn chrome_trace_json(report: &SimReport) -> String {
     serde_json::to_string(&chrome_trace(report)).expect("trace values are finite")
+}
+
+/// [`chrome_trace_with`] rendered as a compact JSON string.
+pub fn chrome_trace_json_with(report: &SimReport, flight: Option<&FlightDump>) -> String {
+    serde_json::to_string(&chrome_trace_with(report, flight)).expect("trace values are finite")
 }
 
 /// Write the Chrome-trace JSON for `report` to `path` (openable at
@@ -133,11 +179,24 @@ pub fn chrome_trace_json(report: &SimReport) -> String {
 ///
 /// Propagates filesystem errors from creating or writing the file.
 pub fn write_chrome_trace(path: &Path, report: &SimReport) -> std::io::Result<()> {
+    write_chrome_trace_with(path, report, None)
+}
+
+/// [`write_chrome_trace`] with a flight-recorder aggregate in `otherData`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from creating or writing the file.
+pub fn write_chrome_trace_with(
+    path: &Path,
+    report: &SimReport,
+    flight: Option<&FlightDump>,
+) -> std::io::Result<()> {
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut f = std::fs::File::create(path)?;
-    f.write_all(chrome_trace_json(report).as_bytes())
+    f.write_all(chrome_trace_json_with(report, flight).as_bytes())
 }
 
 fn meta(name: &str, pid: u64, tid: Option<u64>, value: &str) -> serde_json::Value {
@@ -261,6 +320,31 @@ mod tests {
         assert_eq!(crashes.len(), 1, "one scripted crash, one fault instant");
         assert_eq!(crashes[0]["name"].as_str(), Some("crash"));
         assert_eq!(crashes[0]["tid"].as_u64(), Some(0));
+    }
+
+    #[test]
+    fn flight_dump_lands_in_other_data() {
+        use stm_core::flight::FlightRecorder;
+        use stm_core::observe::TxObserver as _;
+        let report = contended_report();
+        let mut rec = FlightRecorder::new(0, 64);
+        rec.attempt_begin(0, 1, 0);
+        rec.conflict(0, Some(1), Some(2), 5);
+        rec.aborted(0, 0, 9);
+        let events = rec.drain();
+        let dump = FlightDump {
+            events: events.len() as u64,
+            dropped: rec.dropped(),
+            attribution: Attribution::from_events(&events),
+        };
+        let v = chrome_trace_with(&report, Some(&dump));
+        assert_eq!(v["otherData"]["flight_events"].as_u64(), Some(3));
+        assert_eq!(v["otherData"]["flight_dropped"].as_u64(), Some(0));
+        assert_eq!(v["otherData"]["attributed_aborts"].as_u64(), Some(1));
+        assert_eq!(v["otherData"]["hot_cells"][0]["cell"].as_u64(), Some(1));
+        // The baseline export carries no flight keys at all.
+        let plain = chrome_trace(&report);
+        assert!(plain["otherData"].get("flight_events").is_none());
     }
 
     #[test]

@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use stm_core::contention::AdaptiveManager;
+use stm_core::export::{snapshot_json, MetricsRegistry};
 use stm_core::history::{CommitRecord, HistoryChecker};
 use stm_core::machine::chaos::{ChaosConfig, ChaosPort, ChaosStats, Watchdog};
 use stm_core::machine::host::HostMachine;
@@ -58,6 +59,12 @@ fn main() {
 
     let ops = StmOps::new(0, CELLS, PROCS, MAX_LOCS, StmConfig::default());
     let machine = HostMachine::new(ops.stm().layout().words_needed(), PROCS);
+    // Always-on flight recorders: one ring per worker, folded into a blame
+    // table after the tour for the post-mortem dump.
+    let registry = MetricsRegistry::new(PROCS, 1 << 16);
+    for n in 2..=4u32 {
+        registry.register_op(n, &format!("add{n}"));
+    }
     let mut dog = Watchdog::new(PROCS);
     let handles: Vec<_> = (0..PROCS).map(|p| dog.handle(p)).collect();
     let done = AtomicBool::new(false);
@@ -94,11 +101,13 @@ fn main() {
                 let records = &records;
                 let metrics_all = &metrics_all;
                 let chaos_all = &chaos_all;
+                let registry = registry.clone();
                 s.spawn(move || {
                     let cfg = ChaosConfig::default().with_seed(0xC4A0_5EED ^ p as u64);
                     let mut port = ChaosPort::new(machine.port(p), cfg);
                     let mut cm = AdaptiveManager::new(p);
                     let mut metrics = TxMetrics::new();
+                    let mut rec = registry.recorder(p);
                     let mut mine = Vec::with_capacity(per as usize);
                     let mut rng = 0xFEED ^ (p as u64) << 32;
 
@@ -122,12 +131,14 @@ fn main() {
                             .collect();
                         let params: Vec<Word> = deltas.iter().map(|&d| d as Word).collect();
                         let spec = TxSpec::new(ops.builtins().add, &params, &cells);
+                        rec.set_op(n as u32);
+                        let mut tee = (&mut metrics, &mut rec);
                         let out = ops
                             .stm()
                             .run(
                                 &mut port,
                                 &spec,
-                                &mut TxOptions::new().observer(&mut metrics).manager(&mut cm),
+                                &mut TxOptions::new().observer(&mut tee).manager(&mut cm),
                             )
                             .expect("unlimited budget cannot exhaust");
                         handle.commit();
@@ -175,6 +186,25 @@ fn main() {
     );
     println!("stalled watchdog intervals: {stalls}");
     println!("--- merged metrics ---\n{}", metrics.summary());
+
+    // Post-mortem: fold every flight ring into a snapshot, print the blame
+    // table, and dump the machine-readable form next to the bench results.
+    let snap = registry.snapshot();
+    println!(
+        "--- flight recorder: {} events folded, {} dropped ---",
+        snap.totals.events, snap.totals.dropped
+    );
+    if !snap.attribution.is_empty() {
+        print!("{}", snap.attribution.summary(8));
+    }
+    let dump = std::path::Path::new("results/chaos_tour_flight.json");
+    if let Some(parent) = dump.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::write(dump, snapshot_json(&snap)) {
+        Ok(()) => println!("flight snapshot written to {}", dump.display()),
+        Err(e) => println!("flight snapshot not written ({e})"),
+    }
 
     // Exactness: the sum of all cells must equal the sum of all deltas.
     let records = records.into_inner().unwrap();

@@ -17,9 +17,14 @@
 //!
 //! Run with: `cargo run --release --example fault_injection`
 
+use std::sync::Arc;
+
+use stm_core::attribution::Attribution;
+use stm_core::flight::{FlightBuffer, FlightRecorder};
 use stm_core::step::StepKind;
-use stm_core::stm::{Sabotage, StmConfig};
+use stm_core::stm::{Sabotage, StmConfig, TxOptions, TxSpec};
 use stm_sim::engine::SimPort;
+use stm_sim::perfetto::FlightDump;
 use stm_sim::explore::{shrink, FaultFuzzer};
 use stm_sim::trace::render_trace;
 use stm_sim::{BusModel, FaultPlan, LivenessChecker, StmSim};
@@ -36,21 +41,50 @@ fn crash_and_help() {
     println!("--- act 1: crash at Acquired{{1}}, helpers drain the victim ---");
     let plan = FaultPlan::new().crash_at_step(0, StepKind::Acquired, Some(1));
     println!("plan: {plan}");
+    // One flight ring per processor, shared with the workload closures so
+    // the recordings survive the run (including the crashed victim's).
+    let rings: Vec<Arc<FlightBuffer>> =
+        (0..3).map(|_| Arc::new(FlightBuffer::new(4096))).collect();
     let sim = StmSim::new(3, 2, 2, StmConfig::default()).seed(1).jitter(2).trace(100_000).faults(plan);
     let report = sim.run(BusModel::for_procs(3), |p, ops| {
+        let ring = Arc::clone(&rings[p]);
         move |mut port: SimPort| {
+            let mut rec = FlightRecorder::from_parts(p, ring, None);
             if p == 0 {
                 // One 2-cell transaction; the plan kills us mid-acquire.
-                ops.fetch_add_many(&mut port, &[0, 1], &[100, 100]);
+                let spec = TxSpec::new(ops.builtins().add, &[100, 100], &[0, 1]);
+                let _ = ops
+                    .stm()
+                    .run(&mut port, &spec, &mut TxOptions::new().observer(&mut rec))
+                    .unwrap();
                 return;
             }
             for _ in 0..10 {
-                ops.fetch_add_many(&mut port, &[0, 1], &[1, 1]);
+                let spec = TxSpec::new(ops.builtins().add, &[1, 1], &[0, 1]);
+                let _ = ops
+                    .stm()
+                    .run(&mut port, &spec, &mut TxOptions::new().observer(&mut rec))
+                    .unwrap();
             }
         }
     });
+    // Fold the rings into the post-mortem dump embedded in the trace.
+    let mut flight = FlightDump::default();
+    let mut attribution = Attribution::new();
+    for ring in &rings {
+        let read = ring.read_since(0);
+        flight.events += read.events.len() as u64;
+        flight.dropped += read.dropped;
+        attribution.fold(&read.events);
+    }
+    flight.attribution = attribution;
+    println!(
+        "flight recorder:    {} events, {} aborts attributed",
+        flight.events,
+        flight.attribution.aborts()
+    );
     let trace_path = std::path::Path::new("results/fault_injection_trace.json");
-    match stm_sim::perfetto::write_chrome_trace(trace_path, &report) {
+    match stm_sim::perfetto::write_chrome_trace_with(trace_path, &report, Some(&flight)) {
         Ok(()) => println!("perfetto trace:     {} (open at ui.perfetto.dev)", trace_path.display()),
         Err(e) => println!("perfetto trace:     export failed: {e}"),
     }

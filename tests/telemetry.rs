@@ -21,7 +21,7 @@ use std::sync::{Arc, Mutex};
 
 use proptest::prelude::*;
 use stm_core::stm::{StmConfig, TxOptions, TxSpec, TxStats};
-use stm_core::{RecordingObserver, TxEvent};
+use stm_core::{FlightEvent, FlightKind, FlightRecorder, RecordingObserver, TxEvent};
 use stm_sim::arch::{BusModel, CostModel, MeshModel};
 use stm_sim::engine::SimPort;
 use stm_sim::harness::StmSim;
@@ -161,8 +161,209 @@ fn run_ordering_check(model: impl CostModel + 'static, procs: usize, seed: u64, 
     assert!(v.is_empty(), "observer grammar violations: {v:#?}");
 }
 
+/// The coarse projection of a full observer stream: what the flight
+/// recorder is specified to capture (everything except the per-cell micro
+/// events `Acquired` / `WriteBack` / `Released`).
+fn coarse_projection(events: &[TxEvent]) -> Vec<FlightKind> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TxEvent::AttemptBegin { .. } => Some(FlightKind::AttemptBegin),
+            TxEvent::Conflict { .. } => Some(FlightKind::Conflict),
+            TxEvent::HelpBegin { .. } => Some(FlightKind::HelpBegin),
+            TxEvent::HelpEnd { .. } => Some(FlightKind::HelpEnd),
+            TxEvent::Committed { .. } => Some(FlightKind::Committed),
+            TxEvent::Aborted { .. } => Some(FlightKind::Aborted),
+            TxEvent::BackoffWait { .. } => Some(FlightKind::BackoffWait),
+            TxEvent::StarvationEscalated { .. } => Some(FlightKind::StarvationEscalated),
+            TxEvent::OpPanicked { .. } => Some(FlightKind::OpPanicked),
+            TxEvent::JournalFlush { .. } => Some(FlightKind::JournalFlush),
+            TxEvent::RecoveryReplayed { .. } => Some(FlightKind::RecoveryReplayed),
+            TxEvent::Acquired { .. } | TxEvent::WriteBack { .. } | TxEvent::Released { .. } => {
+                None
+            }
+        })
+        .collect()
+}
+
+/// Check a drained flight stream against the reference observer stream:
+/// same coarse kind sequence, and every `Conflict` record carries the same
+/// cell and blamed owner as the reference event.
+fn check_flight_against_reference(
+    flight: &[FlightEvent],
+    reference: &[TxEvent],
+) -> Result<(), String> {
+    let expected = coarse_projection(reference);
+    let got: Vec<FlightKind> = flight.iter().map(|e| e.kind).collect();
+    if got != expected {
+        return Err(format!("kind sequence diverged:\n  flight {got:?}\n  ref    {expected:?}"));
+    }
+    let ref_conflicts: Vec<(Option<usize>, Option<usize>)> = reference
+        .iter()
+        .filter_map(|e| match *e {
+            TxEvent::Conflict { cell, owner, .. } => Some((cell, owner)),
+            _ => None,
+        })
+        .collect();
+    let flight_conflicts: Vec<(Option<usize>, Option<usize>)> = flight
+        .iter()
+        .filter(|e| e.kind == FlightKind::Conflict)
+        .map(|e| {
+            (e.conflict_cell(), e.conflict_owner().map(|(p, _)| p as usize))
+        })
+        .collect();
+    if flight_conflicts != ref_conflicts {
+        return Err(format!(
+            "conflict attribution diverged:\n  flight {flight_conflicts:?}\n  ref    {ref_conflicts:?}"
+        ));
+    }
+    Ok(())
+}
+
+/// Fingerprint of a sim run for schedule-identity comparisons: virtual
+/// cycles, full aggregate stats, and final memory image.
+fn run_fingerprint(
+    model: impl CostModel + 'static,
+    procs: usize,
+    seed: u64,
+    with_recorder: bool,
+) -> (u64, stm_sim::stats::SimStats, Vec<stm_core::word::Word>) {
+    const TXS: usize = 10;
+    let sim = StmSim::new(procs, 4, 3, StmConfig::default()).seed(seed);
+    let report = sim.run(model, |p, ops| {
+        move |mut port: SimPort| {
+            let mut rec = FlightRecorder::new(p, 64);
+            for i in 0..TXS {
+                let cells = if i % 2 == 0 { vec![0, 1 + (p + i) % 3] } else { vec![0, 1, 3] };
+                let spec = TxSpec::new(ops.builtins().add, &[1; 3][..cells.len()], &cells);
+                if with_recorder {
+                    let _ = ops
+                        .stm()
+                        .run(&mut port, &spec, &mut TxOptions::new().observer(&mut rec))
+                        .unwrap();
+                } else {
+                    let _ = ops.stm().run(&mut port, &spec, &mut TxOptions::new()).unwrap();
+                }
+            }
+        }
+    });
+    assert_eq!(report.crashed, Vec::<usize>::new());
+    (report.cycles, report.stats, report.memory)
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// S4a: draining the flight ring reconstructs the observer event
+    /// grammar — the recorder's stream is exactly the coarse projection of
+    /// the reference `RecordingObserver` stream, conflicts attributed to
+    /// the same cell and owner. The tee observer `(A, B)` feeds both from
+    /// the same callbacks, so any divergence is the ring's fault.
+    #[test]
+    fn flight_ring_reconstructs_observer_grammar(
+        seed in 0u64..1000,
+        jitter in 0u64..4,
+        procs in 2usize..6,
+    ) {
+        const TXS: usize = 10;
+        let sim = StmSim::new(procs, 4, 3, StmConfig::default()).seed(seed).jitter(jitter);
+        let violations: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let report = sim.run(BusModel::for_procs(procs), |p, ops| {
+            let violations = Arc::clone(&violations);
+            move |mut port: SimPort| {
+                // Large enough that nothing wraps: drops would break the
+                // reconstruction and are tested separately below.
+                let mut tee = (RecordingObserver::default(), FlightRecorder::new(p, 4096));
+                for i in 0..TXS {
+                    let cells =
+                        if i % 2 == 0 { vec![0, 1 + (p + i) % 3] } else { vec![0, 1, 3] };
+                    let spec = TxSpec::new(ops.builtins().add, &[1; 3][..cells.len()], &cells);
+                    let _ = ops
+                        .stm()
+                        .run(&mut port, &spec, &mut TxOptions::new().observer(&mut tee))
+                        .unwrap();
+                }
+                let (reference, mut rec) = tee;
+                assert_eq!(rec.dropped(), 0, "ring sized to never wrap");
+                if let Err(msg) = check_flight_against_reference(&rec.drain(), reference.events())
+                {
+                    violations.lock().unwrap().push(format!("P{p}: {msg}"));
+                }
+            }
+        });
+        prop_assert_eq!(report.crashed, Vec::<usize>::new());
+        let v = violations.lock().unwrap();
+        prop_assert!(v.is_empty(), "flight reconstruction violations: {:#?}", *v);
+    }
+
+    /// S4b: overflowing a deliberately tiny ring loses the oldest events to
+    /// overwrite, but the accounting is exact — drained + dropped equals
+    /// the number of events written, and what survives is a suffix of the
+    /// coarse projection.
+    #[test]
+    fn flight_overflow_drops_are_counted_not_lost(
+        seed in 0u64..1000,
+        procs in 2usize..5,
+    ) {
+        const TXS: usize = 12;
+        let sim = StmSim::new(procs, 4, 3, StmConfig::default()).seed(seed);
+        let failures: Arc<Mutex<Vec<String>>> = Arc::new(Mutex::new(Vec::new()));
+        let report = sim.run(BusModel::for_procs(procs), |p, ops| {
+            let failures = Arc::clone(&failures);
+            move |mut port: SimPort| {
+                // 8 slots: guaranteed to wrap (each tx writes >= 2 events).
+                let mut tee = (RecordingObserver::default(), FlightRecorder::new(p, 8));
+                for i in 0..TXS {
+                    let cells =
+                        if i % 2 == 0 { vec![0, 1 + (p + i) % 3] } else { vec![0, 1, 3] };
+                    let spec = TxSpec::new(ops.builtins().add, &[1; 3][..cells.len()], &cells);
+                    let _ = ops
+                        .stm()
+                        .run(&mut port, &spec, &mut TxOptions::new().observer(&mut tee))
+                        .unwrap();
+                }
+                let (reference, mut rec) = tee;
+                let written = rec.buffer().written();
+                let drained = rec.drain();
+                if drained.len() as u64 + rec.dropped() != written {
+                    failures.lock().unwrap().push(format!(
+                        "P{p}: {} drained + {} dropped != {written} written",
+                        drained.len(),
+                        rec.dropped()
+                    ));
+                }
+                let expected = coarse_projection(reference.events());
+                let got: Vec<FlightKind> = drained.iter().map(|e| e.kind).collect();
+                if written != expected.len() as u64 || !expected.ends_with(&got) {
+                    failures
+                        .lock()
+                        .unwrap()
+                        .push(format!("P{p}: surviving tail is not a suffix: {got:?}"));
+                }
+            }
+        });
+        prop_assert_eq!(report.crashed, Vec::<usize>::new());
+        let v = failures.lock().unwrap();
+        prop_assert!(v.is_empty(), "overflow accounting violations: {:#?}", *v);
+    }
+
+    /// S4c: attaching the flight recorder leaves default-config schedules
+    /// bit-identical on both architectures — same virtual cycle count, same
+    /// aggregate stats, same final memory image. The recorder performs no
+    /// port operations, so the simulated interleaving cannot observe it.
+    #[test]
+    fn schedules_bit_identical_with_recorder_attached(
+        seed in 0u64..1000,
+        procs in 2usize..6,
+    ) {
+        let bare = run_fingerprint(BusModel::for_procs(procs), procs, seed, false);
+        let observed = run_fingerprint(BusModel::for_procs(procs), procs, seed, true);
+        prop_assert_eq!(bare, observed, "bus schedule diverged under observation");
+
+        let bare = run_fingerprint(MeshModel::for_procs(procs), procs, seed, false);
+        let observed = run_fingerprint(MeshModel::for_procs(procs), procs, seed, true);
+        prop_assert_eq!(bare, observed, "mesh schedule diverged under observation");
+    }
 
     #[test]
     fn observer_ordering_holds_on_bus(seed in 0u64..1000, jitter in 0u64..4, procs in 2usize..6) {
