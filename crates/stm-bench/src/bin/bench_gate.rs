@@ -14,17 +14,19 @@
 //!                     the overhead measurement (default 50000)
 //! ```
 //!
-//! Replays every `read_heavy` row and every write-path `points` row of the
-//! committed `BENCH_stm.json` baseline — same workload, architecture, mode,
-//! processor count, operation count, and seed, so on an unchanged protocol
-//! the simulated cycle counts reproduce bit-exactly — and fails (exit 1)
-//! if any row's fresh throughput falls more than the tolerance below the
-//! committed number. Also enforces two structural invariants on the fresh
-//! run: the fast-read mode beats classic on every read-heavy
-//! (bench, arch, procs) configuration, and the write path's interpreted
-//! and compiled modes agree cycle-for-cycle on every (kernel, arch, procs)
-//! configuration — the standing bit-identity witness for the compiled-plan
-//! layer.
+//! Replays every `read_heavy` row, every write-path `points` row, and every
+//! `fairness` row of the committed `BENCH_stm.json` baseline — same
+//! workload, architecture, mode, processor count, operation count, and
+//! seed, so on an unchanged protocol the simulated cycle counts reproduce
+//! bit-exactly — and fails (exit 1) if any row's fresh throughput falls
+//! more than the tolerance below the committed number. Also enforces
+//! structural invariants on the fresh run: the fast-read mode beats classic
+//! on every read-heavy (bench, arch, procs) configuration; the write path's
+//! interpreted and compiled modes agree cycle-for-cycle on every
+//! (kernel, arch, procs) configuration — the standing bit-identity witness
+//! for the compiled-plan layer; and on the fairness rows, a fresh
+//! `max_losses` must never exceed the committed one (starvation must not
+//! regress), with every escalation row inside its N+M `loss_bound`.
 //!
 //! Write-path rows are recognized inside `points` by `"bench":
 //! "write-path"`; figure rows (no seed) are not replayable and are
@@ -33,6 +35,7 @@
 
 use std::path::PathBuf;
 
+use stm_bench::fairness::{run_fairness_point, FairMode};
 use stm_bench::read_heavy::{run_read_point, ReadBench, ReadMode, ReadPoint};
 use stm_bench::workloads::ArchKind;
 use stm_bench::write_path::{
@@ -152,6 +155,34 @@ fn parse_write_baseline(doc: &serde_json::Value) -> Vec<WriteRow> {
         .collect()
 }
 
+/// A baseline fairness row's replay parameters plus its committed numbers.
+struct FairRow {
+    arch: ArchKind,
+    mode: FairMode,
+    total_ops: u64,
+    seed: u64,
+    throughput: f64,
+    max_losses: u64,
+    loss_bound: u64,
+}
+
+fn parse_fairness_baseline(doc: &serde_json::Value) -> Vec<FairRow> {
+    let Some(rows) = doc["fairness"].as_array() else { return Vec::new() };
+    rows.iter()
+        .map(|r| FairRow {
+            arch: ArchKind::from_label(r["arch"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown arch label in baseline")),
+            mode: FairMode::from_label(r["config"].as_str().unwrap_or_default())
+                .unwrap_or_else(|| die("unknown fairness config label in baseline")),
+            total_ops: r["total_ops"].as_u64().unwrap_or_else(|| die("missing total_ops")),
+            seed: r["seed"].as_u64().unwrap_or_else(|| die("missing seed")),
+            throughput: r["throughput"].as_f64().unwrap_or_else(|| die("missing throughput")),
+            max_losses: r["max_losses"].as_u64().unwrap_or_else(|| die("missing max_losses")),
+            loss_bound: r["loss_bound"].as_u64().unwrap_or_else(|| die("missing loss_bound")),
+        })
+        .collect()
+}
+
 fn die<T>(msg: &str) -> T {
     eprintln!("[bench-gate] error: {msg}");
     std::process::exit(2);
@@ -172,10 +203,16 @@ fn main() {
     if write_baseline.is_empty() {
         die::<()>("baseline has no write-path points; regenerate with `figures write-path`");
     }
+    let fairness_baseline = parse_fairness_baseline(&doc);
+    if fairness_baseline.is_empty() {
+        die::<()>("baseline has no fairness rows; regenerate with `figures fairness`");
+    }
     eprintln!(
-        "[bench-gate] replaying {} read-heavy + {} write-path rows from {} (tolerance {}%)",
+        "[bench-gate] replaying {} read-heavy + {} write-path + {} fairness rows from {} \
+         (tolerance {}%)",
         baseline.len(),
         write_baseline.len(),
+        fairness_baseline.len(),
         opts.baseline.display(),
         opts.tolerance
     );
@@ -275,6 +312,50 @@ fn main() {
         }
     }
 
+    // Fairness rows: replay-and-compare on throughput like the other
+    // families, plus the starvation gate — a fresh row may never lose more
+    // than the committed baseline did, and an escalation row must stay
+    // inside its N+M loss bound (run_fairness_point also asserts the bound
+    // internally, so a broken ladder aborts loudly rather than emitting).
+    for row in &fairness_baseline {
+        let p = run_fairness_point(row.arch, row.mode, row.total_ops, row.seed);
+        let ratio = if row.throughput > 0.0 { p.throughput / row.throughput } else { 1.0 };
+        let mut ok = ratio >= floor;
+        let mut note = String::new();
+        if p.max_losses > row.max_losses {
+            ok = false;
+            note = format!(
+                "  max-losses {} regressed past committed {}",
+                p.max_losses, row.max_losses
+            );
+        }
+        if row.mode == FairMode::Escalation && p.max_losses > row.loss_bound {
+            ok = false;
+            note.push_str(&format!(
+                "  max-losses {} above the N+M bound {}",
+                p.max_losses, row.loss_bound
+            ));
+        }
+        println!(
+            "{} {:>14} {:>5} {:>10} P={:<3} baseline {:>10.1} fresh {:>10.1} ({:+.1}%) \
+             losses {}/{}{}",
+            if ok { "ok  " } else { "FAIL" },
+            "storm",
+            row.arch.label(),
+            row.mode.label(),
+            p.procs,
+            row.throughput,
+            p.throughput,
+            (ratio - 1.0) * 100.0,
+            p.max_losses,
+            row.max_losses,
+            note
+        );
+        if !ok {
+            failures += 1;
+        }
+    }
+
     // Observer-overhead gate: the always-on flight recorder must cost at
     // most `observer_tolerance` percent over NoopObserver on the W1 host
     // kernel ladder. Wall-clock measurements are noisy, so trials are
@@ -317,6 +398,6 @@ fn main() {
     }
     eprintln!(
         "[bench-gate] all rows within tolerance; fast path still a win; compiled plans \
-         bit-identical; flight recorder within the overhead budget"
+         bit-identical; starvation still bounded; flight recorder within the overhead budget"
     );
 }

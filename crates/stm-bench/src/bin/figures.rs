@@ -8,7 +8,7 @@
 //!   resource-bus resource-mesh prio-bus prio-mesh
 //!   summary ablate-helping ablate-backoff ablate-arch
 //!   read-heavy read-heavy-host write-path write-path-host plan-cache
-//!   durable durable-host
+//!   durable durable-host fairness
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -27,6 +27,7 @@ use std::path::PathBuf;
 use stm_bench::durable::{
     run_durable_host_point, run_durable_point, DURABLE_FLUSH_COSTS, DURABLE_PROCS,
 };
+use stm_bench::fairness::{run_fairness_point, FairMode, FairnessPoint, FAIR_BIG_K};
 use stm_bench::read_heavy::{
     run_host_point, run_read_point, HostPoint, ReadBench, ReadMode, ReadPoint, HOST_CONFIGS,
 };
@@ -50,7 +51,7 @@ struct Options {
     out: PathBuf,
 }
 
-const ALL_EXPERIMENTS: [&str; 19] = [
+const ALL_EXPERIMENTS: [&str; 20] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -70,6 +71,7 @@ const ALL_EXPERIMENTS: [&str; 19] = [
     "plan-cache",
     "durable",
     "durable-host",
+    "fairness",
 ];
 
 fn parse_args() -> Options {
@@ -127,6 +129,7 @@ fn main() {
     let mut all_points: Vec<DataPoint> = Vec::new();
     let mut write_points: Vec<WritePoint> = Vec::new();
     let mut read_points: Vec<ReadPoint> = Vec::new();
+    let mut fairness_points: Vec<FairnessPoint> = Vec::new();
     let mut host_points: Vec<HostPoint> = Vec::new();
     let mut write_host_points: Vec<WriteHostPoint> = Vec::new();
 
@@ -145,6 +148,7 @@ fn main() {
             "plan-cache" => run_plan_cache(&opts),
             "durable" => run_durable(&opts),
             "durable-host" => run_durable_host(&opts),
+            "fairness" => fairness_points.extend(run_fairness(&opts)),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
@@ -161,6 +165,7 @@ fn main() {
     if !all_points.is_empty()
         || !write_points.is_empty()
         || !read_points.is_empty()
+        || !fairness_points.is_empty()
         || !host_points.is_empty()
         || !write_host_points.is_empty()
     {
@@ -170,16 +175,18 @@ fn main() {
             &all_points,
             &write_points,
             &read_points,
+            &fairness_points,
             &host_points,
             &write_host_points,
         )
         .expect("write BENCH_stm.json");
         eprintln!(
-            "[figures] wrote {} ({} points, {} write-path, {} read-heavy, {} host)",
+            "[figures] wrote {} ({} points, {} write-path, {} read-heavy, {} fairness, {} host)",
             path.display(),
             all_points.len() + write_points.len(),
             write_points.len(),
             read_points.len(),
+            fairness_points.len(),
             host_points.len() + write_host_points.len()
         );
     }
@@ -557,6 +564,57 @@ fn run_durable_host(opts: &Options) {
     std::fs::create_dir_all(&opts.out).expect("create output dir");
     std::fs::write(opts.out.join("durable-host.csv"), csv).expect("write CSV");
     eprintln!("[figures] wrote {}", opts.out.join("durable-host.csv").display());
+}
+
+/// F1 (fairness): the starvation ablation — a big-k transaction under a
+/// small-tx storm, baseline contention manager vs the escalation ladder, on
+/// the bus and mesh machines. The headline columns are the worst
+/// losses-before-commit any single big transaction suffered and the big
+/// transaction's p99 commit latency. Deterministic; the rows CI gates
+/// against the committed `BENCH_stm.json` baseline, where an escalation row
+/// must also respect its N+M loss bound.
+fn run_fairness(opts: &Options) -> Vec<FairnessPoint> {
+    let mut all = Vec::new();
+    let mut csv = String::from(
+        "arch,config,procs,total_ops,seed,cycles,throughput,big_txs,max_losses,loss_bound,\
+         p99_big_latency,escalations,forced,deferrals\n",
+    );
+    println!(
+        "# F1 — starvation ablation, big-{FAIR_BIG_K} transaction under a small-tx storm \
+         ({} ops/point, seed {:#x})",
+        opts.ops, opts.seed
+    );
+    println!(
+        "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "arch", "config", "max-losses", "loss-bound", "p99-big", "throughput", "forced"
+    );
+    for arch in [ArchKind::Bus, ArchKind::Mesh] {
+        for mode in FairMode::ALL {
+            let p = run_fairness_point(arch, mode, opts.ops, opts.seed);
+            println!(
+                "{:>5} {:>12} {:>12} {:>12} {:>12} {:>12.1} {:>8}",
+                p.arch.label(),
+                p.mode.label(),
+                p.max_losses,
+                if p.loss_bound == 0 { "-".to_string() } else { p.loss_bound.to_string() },
+                p.p99_big_latency,
+                p.throughput,
+                p.forced
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{:.3},{},{},{},{},{},{},{}\n",
+                p.arch, p.mode, p.procs, p.total_ops, p.seed, p.cycles, p.throughput,
+                p.big_txs, p.max_losses, p.loss_bound, p.p99_big_latency, p.escalations,
+                p.forced, p.deferrals
+            ));
+            all.push(p);
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("fairness.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("fairness.csv").display());
+    all
 }
 
 /// Cap host-ladder thread counts at the machine's parallelism (sweeping 64

@@ -23,6 +23,13 @@
 //!                     fails (exit 1) if the emitted OpenMetrics does not
 //!                     round-trip through the parser or the blame table is
 //!                     empty despite running multi-threaded
+//!   --storm           fairness storm: thread 0 runs a big-k dynamic
+//!                     transaction over the whole hot set (priority board
+//!                     attached, aggressive escalation thresholds, delta-
+//!                     revalidation on) while the rest hammer small adds;
+//!                     with --once, fails (exit 1) if the run attributes no
+//!                     fairness events (escalations, forced commits,
+//!                     deferrals, or delta commits)
 //!   --json PATH       write the final snapshot as JSON
 //!   --openmetrics PATH
 //!                     write the final snapshot as OpenMetrics text
@@ -31,7 +38,10 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
-use stm_core::contention::AdaptiveManager;
+use std::sync::Arc;
+
+use stm_core::contention::{AdaptiveConfig, AdaptiveManager, PriorityBoard};
+use stm_core::dynamic::DynamicStm;
 use stm_core::export::{
     encode_openmetrics, parse_openmetrics, snapshot_json, MetricsRegistry, MetricsSnapshot,
 };
@@ -49,6 +59,7 @@ use stm_bench::table::render_columns;
 const OP_HOT_ADD: u32 = 1;
 const OP_TRANSFER: u32 = 2;
 const OP_SWEEP: u32 = 3;
+const OP_BIG_K: u32 = 4;
 
 struct Options {
     threads: usize,
@@ -57,6 +68,7 @@ struct Options {
     interval_ms: u64,
     hot: usize,
     once: bool,
+    storm: bool,
     json: Option<PathBuf>,
     openmetrics: Option<PathBuf>,
 }
@@ -69,6 +81,7 @@ fn parse_args() -> Options {
         interval_ms: 1000,
         hot: 8,
         once: false,
+        storm: false,
         json: None,
         openmetrics: None,
     };
@@ -89,12 +102,13 @@ fn parse_args() -> Options {
             }
             "--hot" => opts.hot = val("--hot").parse().expect("--hot K"),
             "--once" => opts.once = true,
+            "--storm" => opts.storm = true,
             "--json" => opts.json = Some(PathBuf::from(val("--json"))),
             "--openmetrics" => opts.openmetrics = Some(PathBuf::from(val("--openmetrics"))),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: stm_top [--threads N] [--cells N] [--secs S] [--interval MS] \
-                     [--hot K] [--once] [--json PATH] [--openmetrics PATH]"
+                     [--hot K] [--once] [--storm] [--json PATH] [--openmetrics PATH]"
                 );
                 std::process::exit(0);
             }
@@ -148,14 +162,17 @@ fn render(snap: &MetricsSnapshot, hot: usize) -> String {
     let overview = render_columns(
         "stm_top overview",
         &[
-            "commits", "aborts", "helps", "esc", "waits", "flushes", "dropped", "commit/s",
-            "abort/s", "help/s",
+            "commits", "aborts", "helps", "esc", "forced", "defer", "delta", "waits", "flushes",
+            "dropped", "commit/s", "abort/s", "help/s",
         ],
         &[vec![
             t.commits.to_string(),
             t.aborts.to_string(),
             t.helps.to_string(),
             t.escalations.to_string(),
+            t.forced_commits.to_string(),
+            t.conflicts_deferred.to_string(),
+            t.delta_commits.to_string(),
             t.backoff_waits.to_string(),
             t.journal_flushes.to_string(),
             t.dropped.to_string(),
@@ -214,7 +231,21 @@ fn main() {
     let procs = opts.threads;
     let cells = opts.cells;
 
-    let ops = StmOps::new(0, cells, procs, cells.min(8), StmConfig::default());
+    // Storm mode turns the fairness machinery on: a shared priority board
+    // (escalation/forced tiers) and delta-revalidation for the big-k
+    // dynamic transaction. The default run keeps both off, matching the
+    // library defaults.
+    let config = if opts.storm {
+        StmConfig { delta_retry_cells: 4, ..StmConfig::default() }
+    } else {
+        StmConfig::default()
+    };
+    let board = opts.storm.then(|| Arc::new(PriorityBoard::new(procs)));
+    let mut ops = StmOps::new(0, cells, procs, cells.min(8), config);
+    if let Some(b) = &board {
+        ops = ops.with_priority_board(Arc::clone(b));
+    }
+    let dstm = opts.storm.then(|| DynamicStm::from_ops(ops.clone()));
     let machine = HostMachine::new(ops.stm().layout().words_needed(), procs);
     // Deeper rings than the library default: stm_top's whole job is to fold
     // the stream, so spend some memory to keep drops low between drains.
@@ -222,6 +253,7 @@ fn main() {
     registry.register_op(OP_HOT_ADD, "hot-add");
     registry.register_op(OP_TRANSFER, "transfer");
     registry.register_op(OP_SWEEP, "sweep");
+    registry.register_op(OP_BIG_K, "big-k");
 
     let stop = AtomicBool::new(false);
     let deadline = Instant::now() + Duration::from_secs_f64(opts.secs);
@@ -231,12 +263,33 @@ fn main() {
             let ops = ops.clone();
             let machine = machine.clone();
             let registry = registry.clone();
+            let board = board.clone();
+            let dstm = dstm.clone();
+            let storm = opts.storm;
             let stop = &stop;
             s.spawn(move || {
                 let mut port = machine.port(p);
                 let mut rec = registry.recorder(p);
-                let mut cm = AdaptiveManager::new(p);
+                // The storm's big-k thread escalates (and forces) fast so a
+                // short run still exercises every fairness tier.
+                let mut cm = if storm && p == 0 {
+                    AdaptiveManager::with_config(
+                        p,
+                        AdaptiveConfig {
+                            starvation_losses: 2,
+                            starvation_attempts: 6,
+                            forced_losses: 2,
+                            ..AdaptiveConfig::default()
+                        },
+                    )
+                } else {
+                    AdaptiveManager::new(p)
+                };
+                if let Some(b) = &board {
+                    cm = cm.with_board(Arc::clone(b));
+                }
                 let mut hists = [
+                    Log2Histogram::new(),
                     Log2Histogram::new(),
                     Log2Histogram::new(),
                     Log2Histogram::new(),
@@ -245,23 +298,84 @@ fn main() {
                 let mut since_flush = 0u32;
                 let add = ops.builtins().add;
 
+                if storm && p == 0 {
+                    // Big-k dynamic read-modify-write over the whole hot
+                    // set: under the small-tx storm its validations keep
+                    // failing a cell or two at a time (delta commits) and
+                    // its commit sweeps keep losing acquisitions
+                    // (escalation, then the forced tier).
+                    let dstm = dstm.expect("storm mode builds the dynamic handle");
+                    let k = cells.min(8);
+                    while !stop.load(Ordering::Relaxed) {
+                        rec.set_op(OP_BIG_K);
+                        let began = Instant::now();
+                        dstm.run(
+                            &mut port,
+                            |tx| {
+                                let mut vals = [0u32; 8];
+                                for (c, v) in vals.iter_mut().enumerate().take(k) {
+                                    *v = tx.read(c as CellIdx);
+                                }
+                                // Widen the read-to-commit window so the
+                                // storm actually invalidates the snapshot
+                                // (the bare loop is too fast on a host).
+                                for _ in 0..500 {
+                                    std::hint::spin_loop();
+                                }
+                                for (c, &v) in vals.iter().enumerate().take(k) {
+                                    tx.write(c as CellIdx, v.wrapping_add(1));
+                                }
+                            },
+                            &mut TxOptions::new().observer(&mut rec).manager(&mut cm),
+                        )
+                        .expect("unlimited budget cannot exhaust");
+                        let nanos =
+                            began.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+                        hists[(OP_BIG_K - 1) as usize].record(nanos);
+                        since_flush += 1;
+                        if since_flush >= 64 {
+                            since_flush = 0;
+                            for (i, h) in hists.iter_mut().enumerate() {
+                                registry.merge_latency(i as u32 + 1, h);
+                                *h = Log2Histogram::new();
+                            }
+                        }
+                    }
+                    for (i, h) in hists.iter().enumerate() {
+                        registry.merge_latency(i as u32 + 1, h);
+                    }
+                    return;
+                }
+
                 while !stop.load(Ordering::Relaxed) {
                     rng = splitmix64(rng);
                     // 60% single-cell hot adds, 30% transfers, 10% sweeps:
                     // the mix keeps a few cells glowing so attribution has
-                    // something to blame.
-                    let (tag, n) = match rng % 10 {
-                        0..=5 => (OP_HOT_ADD, 1),
-                        6..=8 => (OP_TRANSFER, 2),
-                        _ => (OP_SWEEP, 4.min(cells)),
+                    // something to blame. In storm mode the small threads
+                    // concentrate on cells 0-1 so the big-k transaction's
+                    // validation failures touch few cells (delta territory)
+                    // while those two cells stay contended enough to starve
+                    // its acquisition sweeps (escalation territory).
+                    let (tag, n) = if storm {
+                        (OP_HOT_ADD, 1)
+                    } else {
+                        match rng % 10 {
+                            0..=5 => (OP_HOT_ADD, 1),
+                            6..=8 => (OP_TRANSFER, 2),
+                            _ => (OP_SWEEP, 4.min(cells)),
+                        }
                     };
                     let mut tx_cells: Vec<CellIdx> = Vec::with_capacity(n);
                     while tx_cells.len() < n {
                         rng = splitmix64(rng);
-                        // Square the draw to bias toward low cell indices —
-                        // cell 0 and 1 become the hottest.
-                        let c = ((rng % cells as u64) * (rng % cells as u64)
-                            / cells.max(1) as u64) as CellIdx;
+                        let c = if storm {
+                            (rng % 2.min(cells as u64)) as CellIdx
+                        } else {
+                            // Square the draw to bias toward low cell
+                            // indices — cell 0 and 1 become the hottest.
+                            ((rng % cells as u64) * (rng % cells as u64)
+                                / cells.max(1) as u64) as CellIdx
+                        };
                         if !tx_cells.contains(&c) {
                             tx_cells.push(c);
                         }
@@ -358,5 +472,21 @@ fn main() {
     if opts.threads > 1 && snap.attribution.is_empty() {
         eprintln!("no conflicts attributed despite {} contending threads", opts.threads);
         std::process::exit(1);
+    }
+    if opts.storm && opts.once {
+        let t = &snap.totals;
+        let fairness =
+            t.escalations + t.forced_commits + t.conflicts_deferred + t.delta_commits;
+        if fairness == 0 {
+            eprintln!(
+                "storm run attributed no fairness events (escalations, forced commits, \
+                 deferrals, delta commits all zero)"
+            );
+            std::process::exit(1);
+        }
+        println!(
+            "storm fairness attribution: {} escalations, {} forced, {} deferred, {} delta",
+            t.escalations, t.forced_commits, t.conflicts_deferred, t.delta_commits
+        );
     }
 }

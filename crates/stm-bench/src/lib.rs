@@ -23,6 +23,11 @@
 //!   (deterministic) to an fsync'd file journal on the host (wall-clock,
 //!   informational). Every simulated point re-verifies recovery equivalence
 //!   before it is emitted.
+//! * [`fairness`] — the F1 starvation ablation: a big-k transaction under a
+//!   small-tx storm, with the escalation ladder as the variable. Reports
+//!   max-losses-before-commit and the big transaction's p99 tail latency;
+//!   deterministic, CI-gated (an escalation row must respect the N+M loss
+//!   bound).
 //! * [`runner`] — parameter sweeps and the summary/crossover analysis.
 //! * [`table`] — aligned table printing and CSV output.
 //! * [`report`] — the machine-readable `BENCH_stm.json` report (throughput
@@ -38,6 +43,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod durable;
+pub mod fairness;
 pub mod read_heavy;
 pub mod report;
 pub mod runner;

@@ -5,7 +5,7 @@
 //! document, so downstream tooling (CI artifacts, plotting scripts,
 //! regression diffs) can consume the sweep without re-parsing CSV tables.
 //!
-//! Since `stm-bench/v2` the document carries three sections:
+//! Since `stm-bench/v3` the document carries four sections:
 //!
 //! * `points` — the paper-figure sweeps ([`DataPoint`]) plus the
 //!   write-path/MWCAS-kernel ladder ([`WritePoint`]); write-path rows carry
@@ -14,6 +14,11 @@
 //! * `read_heavy` — the simulated read-heavy fast-path points
 //!   ([`ReadPoint`]); deterministic, and the rows the `bench_gate` binary
 //!   replays against the committed baseline on every PR.
+//! * `fairness` — the F1 starvation-ablation points ([`FairnessPoint`]):
+//!   max-losses-before-commit and p99 big-transaction tail latency, baseline
+//!   vs escalation ladder. Deterministic; the third replayed row family,
+//!   where the gate additionally fails if a fresh `max_losses` exceeds the
+//!   committed one or an escalation row breaks its N+M `loss_bound`.
 //! * `host` — wall-clock host-machine measurements ([`HostPoint`] and
 //!   [`WriteHostPoint`], told apart by `workload`); informational only,
 //!   never gated (wall-clock does not reproduce across machines).
@@ -21,12 +26,13 @@
 use std::io;
 use std::path::Path;
 
+use crate::fairness::FairnessPoint;
 use crate::read_heavy::{HostPoint, ReadPoint};
 use crate::workloads::DataPoint;
 use crate::write_path::{WriteHostPoint, WritePoint};
 
 /// Schema identifier written into the report, bumped on layout changes.
-pub const BENCH_SCHEMA: &str = "stm-bench/v2";
+pub const BENCH_SCHEMA: &str = "stm-bench/v3";
 
 /// Build the JSON document for a set of data points.
 ///
@@ -39,13 +45,17 @@ pub const BENCH_SCHEMA: &str = "stm-bench/v2";
 /// commits, conflicts, helps}` — the `seed` marks them replayable, which
 /// is how the CI gate tells the two row families apart. `read_heavy` rows
 /// swap `method` for the fast-path `config` and record the `seed` so the
-/// row can be replayed bit-exactly; `host` rows are `{workload, config,
-/// procs, total_ops, nanos, ops_per_sec}` with `workload` `"snapshot"`
-/// (read ladder) or `"write-path"` (kernel ladder).
+/// row can be replayed bit-exactly; `fairness` rows carry `{bench: "storm",
+/// arch, config, procs, total_ops, seed, cycles, throughput, big_txs,
+/// max_losses, loss_bound, p99_big_latency, escalations, forced,
+/// deferrals}`; `host` rows are `{workload, config, procs, total_ops,
+/// nanos, ops_per_sec}` with `workload` `"snapshot"` (read ladder) or
+/// `"write-path"` (kernel ladder).
 pub fn bench_json(
     points: &[DataPoint],
     write: &[WritePoint],
     read_heavy: &[ReadPoint],
+    fairness: &[FairnessPoint],
     host: &[HostPoint],
     write_host: &[WriteHostPoint],
 ) -> serde_json::Value {
@@ -103,6 +113,28 @@ pub fn bench_json(
             ])
         })
         .collect();
+    let fairness_rows = fairness
+        .iter()
+        .map(|p| {
+            serde_json::Value::Object(vec![
+                ("bench".into(), "storm".into()),
+                ("arch".into(), p.arch.to_string().into()),
+                ("config".into(), p.mode.to_string().into()),
+                ("procs".into(), (p.procs as u64).into()),
+                ("total_ops".into(), p.total_ops.into()),
+                ("seed".into(), p.seed.into()),
+                ("cycles".into(), p.cycles.into()),
+                ("throughput".into(), p.throughput.into()),
+                ("big_txs".into(), p.big_txs.into()),
+                ("max_losses".into(), p.max_losses.into()),
+                ("loss_bound".into(), p.loss_bound.into()),
+                ("p99_big_latency".into(), p.p99_big_latency.into()),
+                ("escalations".into(), p.escalations.into()),
+                ("forced".into(), p.forced.into()),
+                ("deferrals".into(), p.deferrals.into()),
+            ])
+        })
+        .collect();
     let mut host_rows: Vec<serde_json::Value> = host
         .iter()
         .map(|p| {
@@ -130,6 +162,7 @@ pub fn bench_json(
         ("schema".into(), BENCH_SCHEMA.into()),
         ("points".into(), serde_json::Value::Array(rows)),
         ("read_heavy".into(), serde_json::Value::Array(read_rows)),
+        ("fairness".into(), serde_json::Value::Array(fairness_rows)),
         ("host".into(), serde_json::Value::Array(host_rows)),
     ])
 }
@@ -144,14 +177,17 @@ pub fn write_bench_json(
     points: &[DataPoint],
     write: &[WritePoint],
     read_heavy: &[ReadPoint],
+    fairness: &[FairnessPoint],
     host: &[HostPoint],
     write_host: &[WriteHostPoint],
 ) -> io::Result<()> {
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let doc = serde_json::to_string_pretty(&bench_json(points, write, read_heavy, host, write_host))
-        .expect("bench values are finite");
+    let doc = serde_json::to_string_pretty(&bench_json(
+        points, write, read_heavy, fairness, host, write_host,
+    ))
+    .expect("bench values are finite");
     std::fs::write(path, doc)
 }
 
@@ -169,7 +205,8 @@ mod tests {
             run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 2, 64, 1),
             run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 2, 64, 1),
         ];
-        let doc = serde_json::to_string_pretty(&bench_json(&points, &[], &[], &[], &[])).unwrap();
+        let doc =
+            serde_json::to_string_pretty(&bench_json(&points, &[], &[], &[], &[], &[])).unwrap();
         let v = serde_json::from_str(&doc).expect("report must be valid JSON");
         assert_eq!(v["schema"].as_str(), Some(BENCH_SCHEMA));
         let rows = v["points"].as_array().unwrap();
@@ -185,6 +222,7 @@ mod tests {
         assert_eq!(lock["commits"].as_u64(), Some(0));
         assert_eq!(lock["retry_rate"].as_f64(), Some(0.0));
         assert!(v["read_heavy"].as_array().unwrap().is_empty());
+        assert!(v["fairness"].as_array().unwrap().is_empty());
         assert!(v["host"].as_array().unwrap().is_empty());
     }
 
@@ -192,7 +230,7 @@ mod tests {
     fn read_heavy_rows_carry_replay_parameters() {
         let rp = run_read_point(ReadBench::Snapshot, ArchKind::Bus, ReadMode::Fast, 2, 64, 5);
         let hp = run_host_point("fast-dense", true, false, 1, 256);
-        let v = bench_json(&[], &[], &[rp.clone()], &[hp], &[]);
+        let v = bench_json(&[], &[], &[rp.clone()], &[], &[hp], &[]);
         let row = &v["read_heavy"].as_array().unwrap()[0];
         // The gate replays rows from these fields alone; losing one breaks it.
         assert_eq!(row["bench"].as_str(), Some("snapshot"));
@@ -211,7 +249,7 @@ mod tests {
     fn write_path_rows_carry_replay_parameters() {
         let wp = run_write_point(2, ArchKind::Bus, WriteMode::Compiled, 2, 64, 5);
         let wh = run_write_host_point(2, WriteMode::Compiled, 1, 256);
-        let v = bench_json(&[], &[wp.clone()], &[], &[], &[wh]);
+        let v = bench_json(&[], &[wp.clone()], &[], &[], &[], &[wh]);
         let row = &v["points"].as_array().unwrap()[0];
         // The gate replays write-path rows from these fields alone; losing
         // one breaks it. The seed is also the family discriminator.
@@ -230,11 +268,30 @@ mod tests {
     }
 
     #[test]
+    fn fairness_rows_carry_replay_parameters_and_the_bound() {
+        use crate::fairness::{fair_loss_bound, run_fairness_point, FairMode};
+        let fp = run_fairness_point(ArchKind::Bus, FairMode::Escalation, 128, 5);
+        let v = bench_json(&[], &[], &[], &[fp.clone()], &[], &[]);
+        let row = &v["fairness"].as_array().unwrap()[0];
+        // The gate replays rows from these fields alone; losing one breaks it.
+        assert_eq!(row["bench"].as_str(), Some("storm"));
+        assert_eq!(row["arch"].as_str(), Some("bus"));
+        assert_eq!(row["config"].as_str(), Some("escalation"));
+        assert_eq!(row["procs"].as_u64(), Some(fp.procs as u64));
+        assert_eq!(row["total_ops"].as_u64(), Some(fp.total_ops));
+        assert_eq!(row["seed"].as_u64(), Some(5));
+        assert_eq!(row["cycles"].as_u64(), Some(fp.cycles));
+        assert_eq!(row["max_losses"].as_u64(), Some(fp.max_losses));
+        assert_eq!(row["loss_bound"].as_u64(), Some(fair_loss_bound()));
+        assert_eq!(row["p99_big_latency"].as_u64(), Some(fp.p99_big_latency));
+    }
+
+    #[test]
     fn writer_creates_parent_directories() {
         let dir = std::env::temp_dir().join(format!("stm_bench_report_{}", std::process::id()));
         let path = dir.join("nested/BENCH_stm.json");
         let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
-        write_bench_json(&path, &points, &[], &[], &[], &[]).unwrap();
+        write_bench_json(&path, &points, &[], &[], &[], &[], &[]).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = serde_json::from_str(&doc).unwrap();
         assert_eq!(v["points"].as_array().unwrap().len(), 1);

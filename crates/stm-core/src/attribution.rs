@@ -48,6 +48,10 @@ pub struct Attribution {
     aborts: u64,
     helps: u64,
     cycles_lost: u64,
+    escalations: u64,
+    forced_commits: u64,
+    deferrals: u64,
+    delta_commits: u64,
 }
 
 impl Attribution {
@@ -105,6 +109,10 @@ impl Attribution {
                 FlightKind::Committed => {
                     pending.remove(&ev.proc);
                 }
+                FlightKind::StarvationEscalated => self.escalations += 1,
+                FlightKind::ForcedCommit => self.forced_commits += 1,
+                FlightKind::ConflictDeferred => self.deferrals += 1,
+                FlightKind::DeltaCommit => self.delta_commits += 1,
                 _ => {}
             }
         }
@@ -124,11 +132,22 @@ impl Attribution {
         self.aborts += other.aborts;
         self.helps += other.helps;
         self.cycles_lost += other.cycles_lost;
+        self.escalations += other.escalations;
+        self.forced_commits += other.forced_commits;
+        self.deferrals += other.deferrals;
+        self.delta_commits += other.delta_commits;
     }
 
     /// True when nothing has been attributed yet.
     pub fn is_empty(&self) -> bool {
-        self.aborts == 0 && self.helps == 0 && self.cells.is_empty() && self.pairs.is_empty()
+        self.aborts == 0
+            && self.helps == 0
+            && self.cells.is_empty()
+            && self.pairs.is_empty()
+            && self.escalations == 0
+            && self.forced_commits == 0
+            && self.deferrals == 0
+            && self.delta_commits == 0
     }
 
     /// Total attributed aborts (conflict events folded).
@@ -144,6 +163,26 @@ impl Attribution {
     /// Total attempt cycles lost to aborts.
     pub fn cycles_lost(&self) -> u64 {
         self.cycles_lost
+    }
+
+    /// Starvation escalations folded.
+    pub fn escalations(&self) -> u64 {
+        self.escalations
+    }
+
+    /// Forced-tier commits folded.
+    pub fn forced_commits(&self) -> u64 {
+        self.forced_commits
+    }
+
+    /// Deferred conflicts (helpers backing off an escalated owner) folded.
+    pub fn deferrals(&self) -> u64 {
+        self.deferrals
+    }
+
+    /// Delta-revalidation commits folded.
+    pub fn delta_commits(&self) -> u64 {
+        self.delta_commits
     }
 
     /// Per-cell blame counters, keyed by cell index.
@@ -174,6 +213,13 @@ impl Attribution {
             "attribution: {} aborts, {} helps, {} cycles lost",
             self.aborts, self.helps, self.cycles_lost
         );
+        if self.escalations + self.forced_commits + self.deferrals + self.delta_commits > 0 {
+            let _ = writeln!(
+                s,
+                "  fairness: {} escalations, {} forced commits, {} deferrals, {} delta commits",
+                self.escalations, self.forced_commits, self.deferrals, self.delta_commits
+            );
+        }
         for (cell, blame) in self.top_cells(k) {
             let _ = writeln!(
                 s,

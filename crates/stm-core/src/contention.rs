@@ -28,8 +28,142 @@
 //! [`TxObserver`](crate::observe::TxObserver) hooks
 //! (`backoff_wait` / `starvation_escalated`), so [`crate::metrics::TxMetrics`]
 //! can assert on them.
+//!
+//! # Priority escalation
+//!
+//! Help-first mode clears obstructions but cannot stop *other* processors
+//! from failing a starving transaction's record. The escalation ladder built
+//! on a shared [`PriorityBoard`] closes that gap:
+//!
+//! 1. **Escalated** — when the starvation detector trips, the manager
+//!    publishes [`PriorityLevel::Escalated`] for its proc. Helpers that hit a
+//!    live conflict while helping an escalated record *defer* (leave the
+//!    record undecided) instead of failing it, and non-escalated managers
+//!    that lose to an escalated owner back off with a full spin window.
+//! 2. **Forced** — after [`AdaptiveConfig::forced_losses`] further losses,
+//!    the manager claims the board's single forced slot. A forced
+//!    transaction's own acquisition sweep never self-fails: on a live
+//!    conflict it helps the obstructor to completion and resumes the
+//!    ascending sweep while keeping its held prefix (see
+//!    `docs/protocol.md` §13 for the safety argument).
+//!
+//! The board is host-side state (plain atomics, no
+//! [`MemPort`](crate::machine::MemPort) traffic): with no board attached —
+//! the default — every path compiles to today's behavior and simulated
+//! schedules stay bit-identical.
+
+use std::sync::atomic::{AtomicU8, AtomicUsize, Ordering};
+use std::sync::Arc;
 
 use crate::word::CellIdx;
+
+/// Priority of a processor's in-flight transaction, published on a
+/// [`PriorityBoard`]. Ordered: `Normal < Escalated < Forced`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum PriorityLevel {
+    /// No special treatment (the paper's protocol).
+    #[default]
+    Normal = 0,
+    /// Starving: helpers defer instead of failing this proc's record, and
+    /// conflicting managers back off.
+    Escalated = 1,
+    /// Irrevocable: this proc's acquisition sweep never self-fails. At most
+    /// one proc holds this level at a time (single forced slot).
+    Forced = 2,
+}
+
+impl PriorityLevel {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            2 => PriorityLevel::Forced,
+            1 => PriorityLevel::Escalated,
+            _ => PriorityLevel::Normal,
+        }
+    }
+}
+
+/// Sentinel for "no proc holds the forced slot".
+const NO_FORCED: usize = usize::MAX;
+
+/// Shared proc → [`PriorityLevel`] board coordinating the escalation ladder.
+///
+/// Managers publish their level here ([`PriorityBoard::raise`] /
+/// [`PriorityBoard::try_force`] / [`PriorityBoard::clear`]) and the protocol
+/// reads it when deciding whether a helper may fail a record. All state is
+/// host-side (`Relaxed` atomics — the board is advisory: a stale read costs
+/// at most one extra loss, never safety), so attaching a board adds no
+/// shared-memory-port traffic and leaves simulated schedules untouched.
+#[derive(Debug)]
+pub struct PriorityBoard {
+    levels: Box<[AtomicU8]>,
+    forced: AtomicUsize,
+}
+
+impl PriorityBoard {
+    /// A board for `procs` processors, all at [`PriorityLevel::Normal`].
+    pub fn new(procs: usize) -> Self {
+        PriorityBoard {
+            levels: (0..procs).map(|_| AtomicU8::new(0)).collect(),
+            forced: AtomicUsize::new(NO_FORCED),
+        }
+    }
+
+    /// Number of processor slots.
+    pub fn procs(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Current level of `proc` ([`PriorityLevel::Normal`] if out of range).
+    #[inline]
+    pub fn level(&self, proc: usize) -> PriorityLevel {
+        self.levels
+            .get(proc)
+            .map_or(PriorityLevel::Normal, |l| PriorityLevel::from_u8(l.load(Ordering::Relaxed)))
+    }
+
+    /// Raise `proc` to [`PriorityLevel::Escalated`] (never lowers a level).
+    pub fn raise(&self, proc: usize) {
+        if let Some(l) = self.levels.get(proc) {
+            l.fetch_max(PriorityLevel::Escalated as u8, Ordering::Relaxed);
+        }
+    }
+
+    /// Try to claim the single forced slot for `proc`; on success the proc's
+    /// level becomes [`PriorityLevel::Forced`]. Fails (returning `false`)
+    /// while another proc holds the slot.
+    pub fn try_force(&self, proc: usize) -> bool {
+        if proc >= self.levels.len() {
+            return false;
+        }
+        let won = self
+            .forced
+            .compare_exchange(NO_FORCED, proc, Ordering::Relaxed, Ordering::Relaxed)
+            .is_ok()
+            || self.forced.load(Ordering::Relaxed) == proc;
+        if won {
+            self.levels[proc].store(PriorityLevel::Forced as u8, Ordering::Relaxed);
+        }
+        won
+    }
+
+    /// Reset `proc` to [`PriorityLevel::Normal`], releasing the forced slot
+    /// if it held it.
+    pub fn clear(&self, proc: usize) {
+        if let Some(l) = self.levels.get(proc) {
+            l.store(PriorityLevel::Normal as u8, Ordering::Relaxed);
+        }
+        let _ = self.forced.compare_exchange(proc, NO_FORCED, Ordering::Relaxed, Ordering::Relaxed);
+    }
+
+    /// The proc currently holding the forced slot, if any.
+    pub fn forced_holder(&self) -> Option<usize> {
+        match self.forced.load(Ordering::Relaxed) {
+            NO_FORCED => None,
+            p => Some(p),
+        }
+    }
+}
 
 /// How to wait before the next retry, as directed by a
 /// [`ContentionManager`].
@@ -112,6 +246,15 @@ pub trait ContentionManager {
     fn wants_conflict_owner(&self) -> bool {
         true
     }
+
+    /// The priority this manager has secured for the next attempt.
+    /// [`PriorityLevel::Forced`] switches the protocol's acquisition sweep
+    /// into forced mode (never self-fail; help obstructors and resume).
+    /// Defaults to [`PriorityLevel::Normal`], which compiles to the classic
+    /// sweep.
+    fn priority(&self) -> PriorityLevel {
+        PriorityLevel::Normal
+    }
 }
 
 /// A mutable reference to a manager is itself a manager, so callers can keep
@@ -130,6 +273,9 @@ impl<C: ContentionManager + ?Sized> ContentionManager for &mut C {
     }
     fn wants_conflict_owner(&self) -> bool {
         (**self).wants_conflict_owner()
+    }
+    fn priority(&self) -> PriorityLevel {
+        (**self).priority()
     }
 }
 
@@ -170,6 +316,9 @@ pub struct AdaptiveConfig {
     /// Total consecutive failed attempts that trip the detector regardless
     /// of owner (covers owners that cannot be identified).
     pub starvation_attempts: u64,
+    /// Further losses *after* escalation before the manager tries to claim
+    /// the [`PriorityBoard`]'s forced slot (no effect without a board).
+    pub forced_losses: u64,
 }
 
 impl Default for AdaptiveConfig {
@@ -183,6 +332,7 @@ impl Default for AdaptiveConfig {
             park_max_micros: 10_000,
             starvation_losses: 3,
             starvation_attempts: 16,
+            forced_losses: 4,
         }
     }
 }
@@ -204,6 +354,11 @@ pub struct AdaptiveManager {
     last_owner: Option<usize>,
     owner_losses: u64,
     escalated: bool,
+    /// Shared escalation board; `None` keeps the classic two-level behavior.
+    board: Option<Arc<PriorityBoard>>,
+    /// Losses recorded after the escalation that tripped the detector.
+    losses_since_escalation: u64,
+    forced: bool,
 }
 
 impl AdaptiveManager {
@@ -214,7 +369,26 @@ impl AdaptiveManager {
 
     /// A manager for `proc` with explicit tuning.
     pub fn with_config(proc: usize, cfg: AdaptiveConfig) -> Self {
-        AdaptiveManager { proc, cfg, fails: 0, last_owner: None, owner_losses: 0, escalated: false }
+        AdaptiveManager {
+            proc,
+            cfg,
+            fails: 0,
+            last_owner: None,
+            owner_losses: 0,
+            escalated: false,
+            board: None,
+            losses_since_escalation: 0,
+            forced: false,
+        }
+    }
+
+    /// Attach the shared [`PriorityBoard`], enabling the escalation ladder
+    /// (publish Escalated on starvation, claim the forced slot after
+    /// [`AdaptiveConfig::forced_losses`] further losses, and defer to other
+    /// procs' raised transactions).
+    pub fn with_board(mut self, board: Arc<PriorityBoard>) -> Self {
+        self.board = Some(board);
+        self
     }
 
     /// Consecutive failed attempts since the last commit.
@@ -225,6 +399,11 @@ impl AdaptiveManager {
     /// Whether the starvation detector has escalated to help-first mode.
     pub fn is_escalated(&self) -> bool {
         self.escalated
+    }
+
+    /// Whether this manager holds the board's forced slot.
+    pub fn is_forced(&self) -> bool {
+        self.forced
     }
 
     /// Deterministic jitter: a value in `1..=window` hashed from
@@ -253,6 +432,30 @@ impl ContentionManager for AdaptiveManager {
         let newly_escalated = starved && !self.escalated;
         self.escalated = self.escalated || starved;
 
+        if let Some(board) = &self.board {
+            if newly_escalated {
+                board.raise(self.proc);
+            } else if self.escalated && !self.forced {
+                // Losses *after* the escalating conflict count toward forcing.
+                self.losses_since_escalation += 1;
+                if self.losses_since_escalation >= self.cfg.forced_losses {
+                    self.forced = board.try_force(self.proc);
+                }
+            }
+            // Back off from someone else's raised transaction: a full spin
+            // window gives the starving proc a clear shot at its cells.
+            if !self.escalated {
+                if let Some(owner) = info.owner {
+                    if owner != self.proc && board.level(owner) >= PriorityLevel::Escalated {
+                        return RetryDecision {
+                            wait: WaitAction::Spin(self.jitter(self.fails, self.cfg.spin_max)),
+                            newly_escalated,
+                        };
+                    }
+                }
+            }
+        }
+
         let wait = if self.escalated {
             // Help-first mode: clearing the obstruction is the priority;
             // waiting would only delay the help excursion.
@@ -277,10 +480,25 @@ impl ContentionManager for AdaptiveManager {
         self.last_owner = None;
         self.owner_losses = 0;
         self.escalated = false;
+        self.losses_since_escalation = 0;
+        self.forced = false;
+        if let Some(board) = &self.board {
+            board.clear(self.proc);
+        }
     }
 
     fn help_first(&self) -> bool {
         self.escalated
+    }
+
+    fn priority(&self) -> PriorityLevel {
+        if self.forced {
+            PriorityLevel::Forced
+        } else if self.escalated && self.board.is_some() {
+            PriorityLevel::Escalated
+        } else {
+            PriorityLevel::Normal
+        }
     }
 }
 
@@ -383,6 +601,76 @@ mod tests {
             assert_eq!(d, RetryDecision::immediate());
             assert!(!m.help_first());
         }
+    }
+
+    #[test]
+    fn board_ladder_escalates_then_forces_then_clears() {
+        let cfg = AdaptiveConfig::default();
+        let board = Arc::new(PriorityBoard::new(4));
+        let mut m = AdaptiveManager::with_config(1, cfg).with_board(Arc::clone(&board));
+        assert_eq!(m.priority(), PriorityLevel::Normal);
+        // Trip the same-owner detector: board shows Escalated.
+        for a in 1..=cfg.starvation_losses {
+            m.on_conflict(&lost_to(0, a));
+        }
+        assert!(m.is_escalated());
+        assert_eq!(m.priority(), PriorityLevel::Escalated);
+        assert_eq!(board.level(1), PriorityLevel::Escalated);
+        assert_eq!(board.forced_holder(), None);
+        // `forced_losses` further losses claim the forced slot.
+        for a in 1..=cfg.forced_losses {
+            m.on_conflict(&lost_to(0, cfg.starvation_losses + a));
+        }
+        assert!(m.is_forced());
+        assert_eq!(m.priority(), PriorityLevel::Forced);
+        assert_eq!(board.level(1), PriorityLevel::Forced);
+        assert_eq!(board.forced_holder(), Some(1));
+        // Commit releases the slot and resets the level.
+        m.on_commit();
+        assert_eq!(m.priority(), PriorityLevel::Normal);
+        assert_eq!(board.level(1), PriorityLevel::Normal);
+        assert_eq!(board.forced_holder(), None);
+    }
+
+    #[test]
+    fn forced_slot_is_exclusive() {
+        let board = PriorityBoard::new(3);
+        assert!(board.try_force(0));
+        assert!(board.try_force(0), "re-claim by the holder is idempotent");
+        assert!(!board.try_force(1), "slot is single-occupancy");
+        assert_eq!(board.level(1), PriorityLevel::Normal);
+        board.clear(0);
+        assert!(board.try_force(1), "cleared slot is claimable again");
+        assert_eq!(board.forced_holder(), Some(1));
+        board.clear(1);
+    }
+
+    #[test]
+    fn starving_procs_defer_to_escalated_owners() {
+        let cfg = AdaptiveConfig::default();
+        let board = Arc::new(PriorityBoard::new(4));
+        board.raise(2);
+        let mut m = AdaptiveManager::with_config(1, cfg).with_board(Arc::clone(&board));
+        // First loss would normally spin with the tiny first-attempt window;
+        // losing to the escalated proc 2 backs off with the full window knob.
+        let d = m.on_conflict(&lost_to(2, 1));
+        assert!(matches!(d.wait, WaitAction::Spin(_)));
+        // The deferral must not stop this proc's own detector from tripping.
+        for a in 2..=cfg.starvation_losses {
+            m.on_conflict(&lost_to(2, a));
+        }
+        assert!(m.is_escalated(), "deferring proc still escalates eventually");
+    }
+
+    #[test]
+    fn boardless_manager_never_reports_priority() {
+        let cfg = AdaptiveConfig::default();
+        let mut m = AdaptiveManager::with_config(1, cfg);
+        for a in 1..40 {
+            m.on_conflict(&lost_to(0, a));
+            assert_eq!(m.priority(), PriorityLevel::Normal, "no board, no ladder");
+        }
+        assert!(m.is_escalated(), "help-first escalation is board-independent");
     }
 
     #[test]

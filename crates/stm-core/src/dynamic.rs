@@ -150,6 +150,13 @@ impl DynamicStm {
         DynamicStm { ops: StmOps::new(base, n_cells, n_procs, max_locs, config) }
     }
 
+    /// Wrap an existing operations handle, sharing its cells, config, and
+    /// (if attached) priority board with static transactions. Dynamic
+    /// footprints are bounded by the handle's `max_locs`.
+    pub fn from_ops(ops: StmOps) -> Self {
+        DynamicStm { ops }
+    }
+
     /// The underlying static STM instance.
     pub fn stm(&self) -> &Stm {
         self.ops.stm()
@@ -184,6 +191,16 @@ impl DynamicStm {
     /// [`StmConfig::fast_read_rounds`](crate::stm::StmConfig::fast_read_rounds)
     /// failed validations, the commit falls back to the acquiring identity
     /// transaction, which helps blockers (lock-freedom preserved).
+    ///
+    /// When [`StmConfig::delta_retry_cells`](crate::stm::StmConfig::delta_retry_cells)
+    /// is non-zero and a validate-and-write commit fails with at most that
+    /// many read cells changed, the body is **delta re-run**: the read log
+    /// is refreshed in place from the failed commit's atomic snapshot and
+    /// the body re-executes against that consistent cut without re-reading
+    /// its footprint from memory. A commit that lands this way reports
+    /// [`TxObserver::delta_committed`](crate::observe::TxObserver::delta_committed).
+    /// The default (`0`) disables the path, leaving schedules identical to
+    /// the classic full-retry loop.
     ///
     /// Budget semantics: `max_attempts` bounds *body executions* (the first
     /// always runs); `max_cycles`/`max_wall` bound the whole call, with the
@@ -235,18 +252,23 @@ impl DynamicStm {
         let mut contended: Vec<CellIdx> = Vec::new();
         let mut scratch = TxScratch::new();
         let mut fast_fails: u64 = 0;
+        // Cells changed in the last failed validation, when few enough for a
+        // delta re-run (read log already refreshed in place; see below).
+        let mut delta_pending: Option<u64> = None;
         let started = std::time::Instant::now();
         let cycles0 = port.now();
         loop {
-            if stats.attempts > 0
-                && budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
-            {
+            let cycles_lost = port.now().saturating_sub(cycles0);
+            if stats.attempts > 0 && budget.is_exhausted(stats.attempts, cycles_lost, started) {
                 return Err(TxError::BudgetExhausted {
                     attempts: stats.attempts,
                     cells_contended: contended.len() as u64,
+                    cycles_lost,
                 });
             }
-            read_log.clear();
+            if delta_pending.is_none() {
+                read_log.clear();
+            }
             write_log.clear();
             let result = {
                 let mut tx = DynamicTx {
@@ -347,6 +369,7 @@ impl DynamicStm {
                     return Err(TxError::BudgetExhausted {
                         attempts: stats.attempts,
                         cells_contended: cells_contended.max(contended.len() as u64),
+                        cycles_lost: port.now().saturating_sub(cycles0),
                     });
                 }
                 Err(TxError::OpPanicked { .. }) => {
@@ -359,17 +382,40 @@ impl DynamicStm {
             };
             stats.helps += out.helps;
             stats.conflicts += out.conflicts;
-            let mut validated = true;
+            let mut changed: u64 = 0;
             for (i, &old) in scratch.old().iter().enumerate() {
                 if old != read_log[i].1 {
-                    validated = false;
+                    changed += 1;
                     note_cell(&mut contended, cells[i]);
                 }
             }
-            if validated {
+            if changed == 0 {
+                if let Some(cells_changed) = delta_pending {
+                    obs.delta_committed(port.proc_id(), cells_changed, port.now());
+                }
                 return Ok((result, stats));
             }
-            // Validation failed: some read was stale; re-run the body.
+            // Validation failed: some read was stale. If only a few cells
+            // moved (the tunable `delta_retry_cells`; 0 disables the path),
+            // take the **delta re-run**: the failed commit executed as an
+            // identity MWCAS, so `scratch` holds a consistent snapshot of the
+            // whole footprint linearized at that commit. Refresh the read log
+            // from it in place and re-run the body served from the log — no
+            // fresh memory reads for footprint cells, so the body computes
+            // against one atomic cut. This is unconditionally safe: the next
+            // commit re-validates every read atomically, so a refresh gone
+            // stale costs one more retry, never consistency.
+            if changed as usize <= self.stm().config().delta_retry_cells {
+                for ((entry, &old), &stamp) in
+                    read_log.iter_mut().zip(scratch.old()).zip(scratch.old_stamps())
+                {
+                    entry.1 = old;
+                    entry.2 = stamp;
+                }
+                delta_pending = Some(changed);
+            } else {
+                delta_pending = None; // full retry: discard the log
+            }
         }
     }
 

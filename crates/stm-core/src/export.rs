@@ -48,6 +48,12 @@ pub struct ProcCounters {
     pub backoff_waits: u64,
     /// Starvation escalations to help-first mode.
     pub escalations: u64,
+    /// Forced-tier commits (escalated past the forced-losses threshold).
+    pub forced_commits: u64,
+    /// Conflicts a helper deferred on instead of failing the owner.
+    pub conflicts_deferred: u64,
+    /// Dynamic commits that landed via delta-revalidation.
+    pub delta_commits: u64,
     /// Contained op panics.
     pub op_panics: u64,
     /// Journal flushes.
@@ -68,6 +74,9 @@ impl ProcCounters {
             FlightKind::HelpBegin => self.helps += 1,
             FlightKind::BackoffWait => self.backoff_waits += 1,
             FlightKind::StarvationEscalated => self.escalations += 1,
+            FlightKind::ForcedCommit => self.forced_commits += 1,
+            FlightKind::ConflictDeferred => self.conflicts_deferred += 1,
+            FlightKind::DeltaCommit => self.delta_commits += 1,
             FlightKind::OpPanicked => self.op_panics += 1,
             FlightKind::JournalFlush => self.journal_flushes += 1,
             _ => {}
@@ -81,6 +90,9 @@ impl ProcCounters {
         self.helps += o.helps;
         self.backoff_waits += o.backoff_waits;
         self.escalations += o.escalations;
+        self.forced_commits += o.forced_commits;
+        self.conflicts_deferred += o.conflicts_deferred;
+        self.delta_commits += o.delta_commits;
         self.op_panics += o.op_panics;
         self.journal_flushes += o.journal_flushes;
         self.events += o.events;
@@ -326,6 +338,24 @@ pub fn encode_openmetrics(snap: &MetricsSnapshot) -> String {
         "stm_starvation_escalations_total",
         "Starvation escalations to help-first mode.",
         &per_proc(|p| p.escalations),
+    );
+    counter(
+        &mut s,
+        "stm_forced_commits_total",
+        "Commits landed at the forced priority tier.",
+        &per_proc(|p| p.forced_commits),
+    );
+    counter(
+        &mut s,
+        "stm_conflicts_deferred_total",
+        "Conflicts a helper deferred on instead of failing the owner.",
+        &per_proc(|p| p.conflicts_deferred),
+    );
+    counter(
+        &mut s,
+        "stm_delta_commits_total",
+        "Dynamic commits landed via delta-revalidation.",
+        &per_proc(|p| p.delta_commits),
     );
     counter(
         &mut s,
@@ -619,7 +649,8 @@ fn json_escape(s: &str) -> String {
 fn counters_json(pc: &ProcCounters) -> String {
     format!(
         "{{\"attempts\":{},\"commits\":{},\"aborts\":{},\"helps\":{},\
-         \"backoff_waits\":{},\"escalations\":{},\"op_panics\":{},\
+         \"backoff_waits\":{},\"escalations\":{},\"forced_commits\":{},\
+         \"conflicts_deferred\":{},\"delta_commits\":{},\"op_panics\":{},\
          \"journal_flushes\":{},\"events\":{},\"dropped\":{}}}",
         pc.attempts,
         pc.commits,
@@ -627,6 +658,9 @@ fn counters_json(pc: &ProcCounters) -> String {
         pc.helps,
         pc.backoff_waits,
         pc.escalations,
+        pc.forced_commits,
+        pc.conflicts_deferred,
+        pc.delta_commits,
         pc.op_panics,
         pc.journal_flushes,
         pc.events,
@@ -670,10 +704,16 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
     let attr = &snap.attribution;
     let _ = write!(
         s,
-        ",\"attribution\":{{\"aborts\":{},\"helps\":{},\"cycles_lost\":{},\"cells\":[",
+        ",\"attribution\":{{\"aborts\":{},\"helps\":{},\"cycles_lost\":{},\
+         \"escalations\":{},\"forced_commits\":{},\"deferrals\":{},\
+         \"delta_commits\":{},\"cells\":[",
         attr.aborts(),
         attr.helps(),
-        attr.cycles_lost()
+        attr.cycles_lost(),
+        attr.escalations(),
+        attr.forced_commits(),
+        attr.deferrals(),
+        attr.delta_commits()
     );
     for (i, (cell, blame)) in attr.top_cells(16).into_iter().enumerate() {
         if i > 0 {

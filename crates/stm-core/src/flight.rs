@@ -4,7 +4,8 @@
 //! [`FlightRecorder`] is a [`TxObserver`] that appends one fixed-width
 //! record per *coarse* lifecycle event — attempt begin, conflict (with the
 //! owning proc and cell), help, commit, abort, backoff, starvation
-//! escalation, panic, journal flush, recovery replay — into a power-of-two
+//! escalation, panic, journal flush, recovery replay, forced commit,
+//! deferred conflict, delta commit — into a power-of-two
 //! [`FlightBuffer`]. Per-cell micro events (`cell_acquired`, `write_back`,
 //! `released`) are deliberately *not* recorded: they dominate event volume
 //! and would blow the ≤5% overhead budget the bench gate enforces.
@@ -89,6 +90,15 @@ pub enum FlightKind {
     JournalFlush = 10,
     /// Recovery replayed a journal (`a` = records scanned, `b` = installed).
     RecoveryReplayed = 11,
+    /// An escalated transaction committed at the forced tier (`a` =
+    /// attempts used).
+    ForcedCommit = 12,
+    /// A helper declined to fail a higher-priority owner's live transaction
+    /// (`a` = owner proc).
+    ConflictDeferred = 13,
+    /// A dynamic transaction committed via delta-revalidation (`a` = read
+    /// cells that had changed and were refreshed in place).
+    DeltaCommit = 14,
 }
 
 impl FlightKind {
@@ -105,6 +115,9 @@ impl FlightKind {
             9 => Self::OpPanicked,
             10 => Self::JournalFlush,
             11 => Self::RecoveryReplayed,
+            12 => Self::ForcedCommit,
+            13 => Self::ConflictDeferred,
+            14 => Self::DeltaCommit,
             _ => return None,
         })
     }
@@ -123,6 +136,9 @@ impl FlightKind {
             Self::OpPanicked => "op_panicked",
             Self::JournalFlush => "journal_flush",
             Self::RecoveryReplayed => "recovery_replayed",
+            Self::ForcedCommit => "forced_commit",
+            Self::ConflictDeferred => "conflict_deferred",
+            Self::DeltaCommit => "delta_commit",
         }
     }
 }
@@ -552,6 +568,21 @@ impl TxObserver for FlightRecorder {
     fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
         let proc = self.proc as usize;
         self.push(FlightKind::RecoveryReplayed, proc, records, installed, now);
+    }
+
+    #[inline]
+    fn conflict_deferred(&mut self, proc: usize, owner: usize, now: u64) {
+        self.push(FlightKind::ConflictDeferred, proc, owner as u64, 0, now);
+    }
+
+    #[inline]
+    fn forced_commit(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.push(FlightKind::ForcedCommit, proc, attempts, 0, now);
+    }
+
+    #[inline]
+    fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
+        self.push(FlightKind::DeltaCommit, proc, cells_changed, 0, now);
     }
 }
 

@@ -248,6 +248,9 @@ pub struct TxMetrics {
     write_backs: u64,
     releases: u64,
     starvation_escalations: u64,
+    forced_commits: u64,
+    conflicts_deferred: u64,
+    delta_commits: u64,
     op_panics: u64,
     journal_records: u64,
     journal_bytes: u64,
@@ -303,6 +306,24 @@ impl TxMetrics {
     /// Starvation escalations to help-first mode (managed retry paths only).
     pub fn starvation_escalations(&self) -> u64 {
         self.starvation_escalations
+    }
+
+    /// Commits that landed at the forced (escalated-past-threshold)
+    /// priority tier.
+    pub fn forced_commits(&self) -> u64 {
+        self.forced_commits
+    }
+
+    /// Times a helper declined to fail a higher-priority owner's live
+    /// transaction.
+    pub fn conflicts_deferred(&self) -> u64 {
+        self.conflicts_deferred
+    }
+
+    /// Dynamic commits that landed via delta-revalidation (read log
+    /// refreshed in place instead of a full retry).
+    pub fn delta_commits(&self) -> u64 {
+        self.delta_commits
     }
 
     /// Commit programs contained after panicking mid-transaction.
@@ -374,6 +395,9 @@ impl TxMetrics {
         self.write_backs += other.write_backs;
         self.releases += other.releases;
         self.starvation_escalations += other.starvation_escalations;
+        self.forced_commits += other.forced_commits;
+        self.conflicts_deferred += other.conflicts_deferred;
+        self.delta_commits += other.delta_commits;
         self.op_panics += other.op_panics;
         self.journal_records += other.journal_records;
         self.journal_bytes += other.journal_bytes;
@@ -407,6 +431,12 @@ impl TxMetrics {
                 self.backoff_waits.count(),
                 self.starvation_escalations,
                 self.op_panics
+            ));
+        }
+        if self.forced_commits > 0 || self.conflicts_deferred > 0 || self.delta_commits > 0 {
+            out.push_str(&format!(
+                "fairness:          forced-commits {} deferrals {} delta-commits {}\n",
+                self.forced_commits, self.conflicts_deferred, self.delta_commits
             ));
         }
         if self.flush_latency.count() > 0 || self.recovery_replays.count() > 0 {
@@ -514,6 +544,18 @@ impl TxObserver for TxMetrics {
 
     fn recovery_replayed(&mut self, _records: u64, installed: u64, _now: u64) {
         self.recovery_replays.record(installed);
+    }
+
+    fn conflict_deferred(&mut self, _proc: usize, _owner: usize, _now: u64) {
+        self.conflicts_deferred += 1;
+    }
+
+    fn forced_commit(&mut self, _proc: usize, _attempts: u64, _now: u64) {
+        self.forced_commits += 1;
+    }
+
+    fn delta_committed(&mut self, _proc: usize, _cells_changed: u64, _now: u64) {
+        self.delta_commits += 1;
     }
 }
 

@@ -177,6 +177,36 @@ pub trait TxObserver {
     fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
         let _ = (records, installed, now);
     }
+
+    /// A helping excursion hit a live conflict while helping the escalated
+    /// transaction of `owner` and **deferred** — left the record undecided
+    /// instead of failing it (the [`PriorityBoard`](crate::contention::PriorityBoard)
+    /// protection). Only emitted when an escalation board is attached.
+    #[inline]
+    fn conflict_deferred(&mut self, proc: usize, owner: usize, now: u64) {
+        let _ = (proc, owner, now);
+    }
+
+    /// This processor's own transaction committed while holding the forced
+    /// slot (the never-self-fail sweep). Emitted immediately after the
+    /// matching [`TxObserver::committed`]. Only emitted when an escalation
+    /// board is attached and the manager reached
+    /// [`PriorityLevel::Forced`](crate::contention::PriorityLevel).
+    #[inline]
+    fn forced_commit(&mut self, proc: usize, attempts: u64, now: u64) {
+        let _ = (proc, attempts, now);
+    }
+
+    /// The dynamic layer's commit-time validation failed but only
+    /// `cells_changed` read cells moved (at most
+    /// [`StmConfig::delta_retry_cells`](crate::stm::StmConfig::delta_retry_cells)),
+    /// so the transaction re-ran its body against the validated snapshot and
+    /// committed without a full re-read retry. Emitted immediately after the
+    /// delta-committed attempt's [`TxObserver::committed`].
+    #[inline]
+    fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
+        let _ = (proc, cells_changed, now);
+    }
 }
 
 /// A mutable reference to an observer is itself an observer, so callers can
@@ -242,6 +272,18 @@ impl<O: TxObserver + ?Sized> TxObserver for &mut O {
     #[inline]
     fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
         (**self).recovery_replayed(records, installed, now)
+    }
+    #[inline]
+    fn conflict_deferred(&mut self, proc: usize, owner: usize, now: u64) {
+        (**self).conflict_deferred(proc, owner, now)
+    }
+    #[inline]
+    fn forced_commit(&mut self, proc: usize, attempts: u64, now: u64) {
+        (**self).forced_commit(proc, attempts, now)
+    }
+    #[inline]
+    fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
+        (**self).delta_committed(proc, cells_changed, now)
     }
 }
 
@@ -320,6 +362,21 @@ impl<A: TxObserver, B: TxObserver> TxObserver for (A, B) {
         self.0.recovery_replayed(records, installed, now);
         self.1.recovery_replayed(records, installed, now);
     }
+    #[inline]
+    fn conflict_deferred(&mut self, proc: usize, owner: usize, now: u64) {
+        self.0.conflict_deferred(proc, owner, now);
+        self.1.conflict_deferred(proc, owner, now);
+    }
+    #[inline]
+    fn forced_commit(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.0.forced_commit(proc, attempts, now);
+        self.1.forced_commit(proc, attempts, now);
+    }
+    #[inline]
+    fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
+        self.0.delta_committed(proc, cells_changed, now);
+        self.1.delta_committed(proc, cells_changed, now);
+    }
 }
 
 /// The default observer: every callback is a no-op, and the monomorphized
@@ -364,6 +421,12 @@ pub enum TxEvent {
     JournalFlush { proc: usize, records: u64, bytes: u64, latency: u64, at: u64 },
     /// [`TxObserver::recovery_replayed`].
     RecoveryReplayed { records: u64, installed: u64, at: u64 },
+    /// [`TxObserver::conflict_deferred`] (escalation board attached only).
+    ConflictDeferred { proc: usize, owner: usize, at: u64 },
+    /// [`TxObserver::forced_commit`] (escalation board attached only).
+    ForcedCommit { proc: usize, attempts: u64, at: u64 },
+    /// [`TxObserver::delta_committed`] (dynamic layer, delta path enabled).
+    DeltaCommitted { proc: usize, cells_changed: u64, at: u64 },
 }
 
 /// Default [`RecordingObserver`] capacity: generous for tests and tours,
@@ -471,6 +534,15 @@ impl TxObserver for RecordingObserver {
     }
     fn recovery_replayed(&mut self, records: u64, installed: u64, now: u64) {
         self.push(TxEvent::RecoveryReplayed { records, installed, at: now });
+    }
+    fn conflict_deferred(&mut self, proc: usize, owner: usize, now: u64) {
+        self.push(TxEvent::ConflictDeferred { proc, owner, at: now });
+    }
+    fn forced_commit(&mut self, proc: usize, attempts: u64, now: u64) {
+        self.push(TxEvent::ForcedCommit { proc, attempts, at: now });
+    }
+    fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
+        self.push(TxEvent::DeltaCommitted { proc, cells_changed, at: now });
     }
 }
 

@@ -136,6 +136,18 @@ impl StmOps {
         )
     }
 
+    /// Attach a shared [`PriorityBoard`](crate::contention::PriorityBoard)
+    /// to the underlying instance (see
+    /// [`Stm::with_priority_board`](crate::stm::Stm::with_priority_board)).
+    #[must_use]
+    pub fn with_priority_board(
+        mut self,
+        board: Arc<crate::contention::PriorityBoard>,
+    ) -> Self {
+        self.stm = self.stm.with_priority_board(board);
+        self
+    }
+
     /// The underlying STM instance.
     pub fn stm(&self) -> &Stm {
         &self.stm

@@ -38,6 +38,17 @@ pub enum StepPoint {
         /// Program-order data-set position.
         j: usize,
     },
+    /// A [`PriorityLevel::Forced`](crate::contention::PriorityLevel) sweep
+    /// newly claimed a location. Unlike the other indexed steps, `cell` is
+    /// the **cell index** (not the data-set position): a forced episode may
+    /// span several resumed sweeps, and across all of them the newly claimed
+    /// cell indices must be strictly increasing — the ascending-order
+    /// invariant the `stm-sim` checker enforces. Announced only by forced
+    /// sweeps, so classic schedules never carry it.
+    ForcedAcquired {
+        /// Cell index of the newly claimed location.
+        cell: usize,
+    },
     /// Every location is held; the participant is about to CAS the status
     /// word from `Null` to `Success`.
     BeforeDecisionCas,
@@ -96,6 +107,7 @@ impl StepPoint {
             StepPoint::TxPublished => StepKind::TxPublished,
             StepPoint::AcquireAttempt { .. } => StepKind::AcquireAttempt,
             StepPoint::Acquired { .. } => StepKind::Acquired,
+            StepPoint::ForcedAcquired { .. } => StepKind::ForcedAcquired,
             StepPoint::BeforeDecisionCas => StepKind::BeforeDecisionCas,
             StepPoint::Decided { .. } => StepKind::Decided,
             StepPoint::OldValAgreed { .. } => StepKind::OldValAgreed,
@@ -128,6 +140,7 @@ impl std::fmt::Display for StepPoint {
             StepPoint::TxPublished => write!(f, "TxPublished"),
             StepPoint::AcquireAttempt { j } => write!(f, "AcquireAttempt{{{j}}}"),
             StepPoint::Acquired { j } => write!(f, "Acquired{{{j}}}"),
+            StepPoint::ForcedAcquired { cell } => write!(f, "ForcedAcquired{{c{cell}}}"),
             StepPoint::BeforeDecisionCas => write!(f, "BeforeDecisionCas"),
             StepPoint::Decided { committed } => write!(f, "Decided{{committed={committed}}}"),
             StepPoint::OldValAgreed { j } => write!(f, "OldValAgreed{{{j}}}"),
@@ -152,6 +165,10 @@ pub enum StepKind {
     AcquireAttempt,
     /// See [`StepPoint::Acquired`].
     Acquired,
+    /// See [`StepPoint::ForcedAcquired`]. Only forced sweeps announce it, so
+    /// — like the `Journal*` kinds — it stays out of
+    /// [`StepKind::PROTOCOL`].
+    ForcedAcquired,
     /// See [`StepPoint::BeforeDecisionCas`].
     BeforeDecisionCas,
     /// See [`StepPoint::Decided`].
@@ -226,6 +243,9 @@ mod tests {
             StepPoint::TxPublished,
             StepPoint::AcquireAttempt { j: 2 },
             StepPoint::Acquired { j: 2 },
+            // ForcedAcquired carries a *cell index*, not a data-set
+            // position, so `index()` deliberately reports none for it.
+            StepPoint::ForcedAcquired { cell: 5 },
             StepPoint::BeforeDecisionCas,
             StepPoint::Decided { committed: true },
             StepPoint::OldValAgreed { j: 0 },
@@ -261,5 +281,14 @@ mod tests {
                 "non-durable sweeps must not announce {kind}"
             );
         }
+    }
+
+    #[test]
+    fn forced_acquired_stays_out_of_protocol() {
+        assert!(
+            !StepKind::PROTOCOL.contains(&StepKind::ForcedAcquired),
+            "classic sweeps must never announce ForcedAcquired"
+        );
+        assert_eq!(StepPoint::ForcedAcquired { cell: 3 }.to_string(), "ForcedAcquired{c3}");
     }
 }

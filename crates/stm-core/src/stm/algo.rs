@@ -18,7 +18,7 @@
 
 use std::any::Any;
 
-use crate::contention::{ConflictInfo, ContentionManager, WaitAction};
+use crate::contention::{ConflictInfo, ContentionManager, PriorityLevel, WaitAction};
 use crate::durable::{Journal, NoJournal, RedoRecord};
 use crate::machine::MemPort;
 use crate::observe::{NoopObserver, TxObserver};
@@ -47,6 +47,53 @@ enum AttemptError {
     /// nothing was installed, every ownership was released, and the machine
     /// is clean. Carries the payload for re-raising.
     Panicked(PanicPayload),
+}
+
+/// What an acquisition sweep does when it meets a live conflicting owner.
+///
+/// [`SweepMode::Classic`] is the paper's protocol and the only mode reachable
+/// without a [`PriorityBoard`](crate::contention::PriorityBoard) attached —
+/// the other two exist solely for the fairness ladder and add no port
+/// operations to default-config schedules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SweepMode {
+    /// Fail the swept transaction at the conflicting position (the paper).
+    Classic,
+    /// Helping a record whose owner outranks this actor on the board: leave
+    /// the record *undecided* on a live conflict instead of failing it, so
+    /// the escalated owner keeps its progress.
+    Defer,
+    /// The owner's own forced sweep: never self-fail. A live conflict
+    /// reports the blocked position so the caller can help the obstructor to
+    /// completion and resume the sweep (held prefix kept). Newly claimed
+    /// locations are announced via [`StepPoint::ForcedAcquired`] for the
+    /// ascending-order checker.
+    Forced,
+}
+
+/// Result of [`acquire_cell`] for one location.
+enum CellAcquire {
+    /// The location is held by the swept transaction; `newly` iff this
+    /// call's CAS claimed it (as opposed to finding it already claimed).
+    Acquired { newly: bool },
+    /// The sweep must stop: the status moved, or a live conflict failed the
+    /// transaction (Classic mode).
+    Stop,
+    /// Live conflict under [`SweepMode::Defer`]/[`SweepMode::Forced`]: the
+    /// record was left undecided and still holds its ascending prefix.
+    Blocked,
+}
+
+/// Result of one [`run_transaction_general`] sweep.
+enum SweepOutcome {
+    /// The transaction ran to a decided status and this participant's
+    /// release sweep ran; carries the contained panic payload if this
+    /// participant's own update panicked.
+    Completed(Option<PanicPayload>),
+    /// Non-Classic modes only: the sweep stopped *undecided* at data-set
+    /// position `at`. Nothing was released — the record keeps every
+    /// ownership it holds, by design.
+    Blocked { at: usize },
 }
 
 /// Build a [`TxOutcome`] out of the scratch's committed old values,
@@ -82,7 +129,7 @@ pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSp
     port.write(l.status(me), pack_status(version, TxStatus::Null));
     let mut vb = ViewBuf::default();
     vb.fill_from_spec(&l, spec);
-    acquire_general(stm, port, me, version, vb.view(spec.op), &mut NoopObserver);
+    let _ = acquire_general(stm, port, me, version, vb.view(spec.op), &mut NoopObserver, SweepMode::Classic);
     // ... and vanish: no decision handling, no release, no retry.
 }
 
@@ -114,6 +161,7 @@ pub(super) fn execute<P: MemPort, O: TxObserver>(
             obs,
             &mut NoJournal,
             stm.config.helping,
+            PriorityLevel::Normal,
             &mut scratch,
         ) {
             Ok(()) => return take_outcome(&mut scratch, stats),
@@ -149,6 +197,7 @@ pub(super) fn try_execute<P: MemPort, O: TxObserver>(
         obs,
         &mut NoJournal,
         stm.config.helping,
+        PriorityLevel::Normal,
         &mut scratch,
     ) {
         Ok(()) => Ok(take_outcome(&mut scratch, stats)),
@@ -189,7 +238,11 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver, J: J
     let cycles0 = port.now();
     loop {
         let help = stm.config.helping || cm.help_first();
-        match attempt(stm, port, view, kernel, &mut stats, obs, &mut *jrn, help, scratch) {
+        // The level the manager secured before this attempt. The default
+        // implementation returns `Normal`, which compiles the forced branch
+        // away entirely — no port traffic, no schedule change.
+        let level = cm.priority();
+        match attempt(stm, port, view, kernel, &mut stats, obs, &mut *jrn, help, level, scratch) {
             Ok(()) => {
                 cm.on_commit();
                 return Ok(stats);
@@ -205,11 +258,12 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver, J: J
                 if let Some(c) = cell {
                     scratch.note_contended(c);
                 }
-                if budget.is_exhausted(stats.attempts, port.now().saturating_sub(cycles0), started)
-                {
+                let cycles_lost = port.now().saturating_sub(cycles0);
+                if budget.is_exhausted(stats.attempts, cycles_lost, started) {
                     return Err(TxError::BudgetExhausted {
                         attempts: stats.attempts,
                         cells_contended: scratch.contended.len() as u64,
+                        cycles_lost,
                     });
                 }
                 // Best-effort re-inspection of the obstructing owner (it may
@@ -268,6 +322,14 @@ pub(super) fn execute_loop<P: MemPort, C: ContentionManager, O: TxObserver, J: J
 ///
 /// `help_on_conflict` is [`StmConfig::helping`](crate::stm::StmConfig) on
 /// the classic paths; the managed path forces it on in help-first mode.
+///
+/// `level` is the priority the contention manager secured for this attempt.
+/// At [`PriorityLevel::Forced`] the attempt runs the never-self-fail general
+/// sweep: a live conflict blocks, the obstructor is helped to completion
+/// (the same one-level excursion as classic helping), and the sweep resumes
+/// with its held ascending prefix intact — repeated until the transaction is
+/// decided. [`PriorityLevel::Normal`]/[`Escalated`](PriorityLevel::Escalated)
+/// take the classic path, so default-config schedules are untouched.
 #[allow(clippy::too_many_arguments)] // internal: one call site per entry point
 fn attempt<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
@@ -278,6 +340,7 @@ fn attempt<P: MemPort, O: TxObserver, J: Journal>(
     obs: &mut O,
     mut jrn: J,
     help_on_conflict: bool,
+    level: PriorityLevel,
     scratch: &mut TxScratch,
 ) -> Result<(), AttemptError> {
     stats.attempts += 1;
@@ -306,8 +369,51 @@ fn attempt<P: MemPort, O: TxObserver, J: Journal>(
     port.write(l.status(me), pack_status(version, TxStatus::Null));
     port.step(StepPoint::TxPublished);
 
-    let panicked =
-        run_transaction(stm, port, me, version, view, kernel, &mut scratch.proto, obs, &mut jrn);
+    let panicked = if level == PriorityLevel::Forced {
+        // The forced sweep never self-fails: on a live conflict it helps the
+        // obstructor to completion (one level, like classic helping) and
+        // resumes — held cells short-circuit on the re-walk, so the
+        // ascending prefix is kept and acquisition order is preserved.
+        // Always the general kernel: the blocked-resume loop has no
+        // monomorphized counterpart.
+        loop {
+            match run_transaction_general(
+                stm,
+                port,
+                me,
+                version,
+                view,
+                &mut scratch.proto,
+                obs,
+                &mut jrn,
+                SweepMode::Forced,
+            ) {
+                SweepOutcome::Completed(p) => break p,
+                SweepOutcome::Blocked { at } => {
+                    let mut obstructor: Option<(usize, u64)> = None;
+                    if let Some(&own_addr) = view.own_addrs.get(at) {
+                        if let Some((p2, v2)) = unpack_owner(port.read(own_addr)) {
+                            if p2 != me {
+                                obstructor = Some((p2, v2));
+                            }
+                        }
+                    }
+                    if let Some((p2, v2)) = obstructor {
+                        stats.helps += 1;
+                        port.step(StepPoint::HelpBegin { owner: p2 });
+                        obs.help_begin(me, p2, port.now());
+                        help(stm, port, p2, v2, scratch, obs, &mut jrn);
+                        obs.help_end(me, p2, port.now());
+                    }
+                    // The obstructor is decided (or was already gone — the
+                    // re-read raced its release): re-run the sweep; the
+                    // blocked cell is now failable-or-free.
+                }
+            }
+        }
+    } else {
+        run_transaction(stm, port, me, version, view, kernel, &mut scratch.proto, obs, &mut jrn)
+    };
 
     // Only the owner advances its record's version, so the status read below
     // necessarily still belongs to `version`, and is decided.
@@ -336,6 +442,9 @@ fn attempt<P: MemPort, O: TxObserver, J: Journal>(
                 scratch.out_stamps.push(crate::word::cell_stamp(cw));
             }
             obs.committed(me, stats.attempts, port.now());
+            if level == PriorityLevel::Forced {
+                obs.forced_commit(me, stats.attempts, port.now());
+            }
             Ok(())
         }
         TxStatus::Failure(j) => {
@@ -404,11 +513,21 @@ fn help<P: MemPort, O: TxObserver, J: Journal>(
 ) {
     let TxScratch { help_view, help_proto, .. } = scratch;
     if let Some(op) = snapshot_into(stm, port, owner, version, help_view) {
+        // Escalation: when the helped record's owner outranks this actor on
+        // the board, a live conflict defers (leaves the record undecided)
+        // instead of failing it. The level comparison is strict, so a
+        // Forced actor may still fail an Escalated record — no priority
+        // inversion — and without a board the mode is always Classic.
+        let me = port.proc_id();
+        let mode = match stm.priority_board() {
+            Some(board) if board.level(owner) > board.level(me) => SweepMode::Defer,
+            _ => SweepMode::Classic,
+        };
         // Helped data sets have dynamic size; the general sweep handles any
         // k. The helper journals with its *own* backend: if the owner died
         // before its flush, the helper's record is the one recovery replays
         // (duplicates collapse at replay via the pre-image CAS discipline).
-        let _swallowed = run_transaction_general(
+        match run_transaction_general(
             stm,
             port,
             owner,
@@ -417,7 +536,15 @@ fn help<P: MemPort, O: TxObserver, J: Journal>(
             help_proto,
             obs,
             jrn,
-        );
+            mode,
+        ) {
+            SweepOutcome::Completed(_swallowed) => {}
+            SweepOutcome::Blocked { .. } => {
+                // The record is live and keeps its holdings; report the
+                // deferral and leave the escalated owner to finish.
+                obs.conflict_deferred(me, owner, port.now());
+            }
+        }
     }
 }
 
@@ -451,13 +578,31 @@ fn run_transaction<P: MemPort, O: TxObserver, J: Journal>(
         Kernel::K2 => run_transaction_k::<2, P, O, J>(stm, port, owner, version, view, obs, jrn),
         Kernel::K4 => run_transaction_k::<4, P, O, J>(stm, port, owner, version, view, obs, jrn),
         Kernel::General => {
-            run_transaction_general(stm, port, owner, version, view, proto, obs, jrn)
+            match run_transaction_general(
+                stm,
+                port,
+                owner,
+                version,
+                view,
+                proto,
+                obs,
+                jrn,
+                SweepMode::Classic,
+            ) {
+                SweepOutcome::Completed(p) => p,
+                SweepOutcome::Blocked { .. } => unreachable!("classic sweep never blocks"),
+            }
         }
     }
 }
 
 /// The general slice-driven `transaction` body (any data-set size; also the
 /// helping path's kernel).
+///
+/// Non-Classic modes may return [`SweepOutcome::Blocked`]: the record is
+/// still *undecided and live*, keeps every ownership of its ascending
+/// prefix, and **nothing is released** — releasing here would free a live
+/// transaction's holdings out from under it.
 #[allow(clippy::too_many_arguments)] // flattened hot-loop state
 fn run_transaction_general<P: MemPort, O: TxObserver, J: Journal>(
     stm: &Stm,
@@ -468,16 +613,19 @@ fn run_transaction_general<P: MemPort, O: TxObserver, J: Journal>(
     proto: &mut ProtoBuf,
     obs: &mut O,
     jrn: &mut J,
-) -> Option<PanicPayload> {
+    mode: SweepMode,
+) -> SweepOutcome {
     let l = *stm.layout();
-    acquire_general(stm, port, owner, version, view, obs);
+    if let Some(at) = acquire_general(stm, port, owner, version, view, obs, mode) {
+        return SweepOutcome::Blocked { at };
+    }
 
     let stw = port.read(l.status(owner));
     if !status_is_version(stw, version) {
         // The transaction finished while we worked; free anything we may
         // still hold for it (exact-tag CAS makes this safe).
         release_general(port, owner, version, view, obs);
-        return None;
+        return SweepOutcome::Completed(None);
     }
     match unpack_status(stw).1 {
         TxStatus::Success => {
@@ -494,11 +642,11 @@ fn run_transaction_general<P: MemPort, O: TxObserver, J: Journal>(
                 if agree_general(port, oldval_base, version, view)
                     && read_agreed_general(port, oldval_base, version, view.cells.len(), olds)
                 {
-                    return update_general(
+                    return SweepOutcome::Completed(update_general(
                         stm, port, owner, version, view, olds, old_values, new_values, obs, jrn,
-                    );
+                    ));
                 }
-                return None;
+                return SweepOutcome::Completed(None);
             }
             let mut panicked = None;
             if agree_general(port, oldval_base, version, view)
@@ -509,18 +657,19 @@ fn run_transaction_general<P: MemPort, O: TxObserver, J: Journal>(
                 );
             }
             release_general(port, owner, version, view, obs);
-            panicked
+            SweepOutcome::Completed(panicked)
         }
         TxStatus::Failure(_) => {
             release_general(port, owner, version, view, obs);
-            None
+            SweepOutcome::Completed(None)
         }
         TxStatus::Null | TxStatus::Initializing => {
             // `acquire_general` always decides the status before returning
-            // while the version matches; defensively release and leave.
+            // `None` while the version matches; defensively release and
+            // leave. (A `Blocked` sweep returned above, before this read.)
             debug_assert!(false, "undecided status after acquisition");
             release_general(port, owner, version, view, obs);
-            None
+            SweepOutcome::Completed(None)
         }
     }
 }
@@ -553,11 +702,16 @@ fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver, J: Journal>(
     let status_addr = l.status(owner);
     let live = pack_status(version, TxStatus::Null);
 
-    // acquireOwnerships, unrolled.
+    // acquireOwnerships, unrolled. Kernels only ever run the owner's own
+    // non-forced attempts (helping and forced sweeps take the general path),
+    // so the mode is always Classic and `Blocked` is unreachable.
     let mut all_acquired = true;
     for &j in &order {
-        if !acquire_cell(&l, port, status_addr, live, mine, version, j, cells[j], own_addrs[j], obs)
-        {
+        let got = acquire_cell(
+            &l, port, status_addr, live, mine, version, j, cells[j], own_addrs[j], obs,
+            SweepMode::Classic,
+        );
+        if !matches!(got, CellAcquire::Acquired { .. }) {
             all_acquired = false;
             break;
         }
@@ -620,9 +774,11 @@ fn run_transaction_k<const K: usize, P: MemPort, O: TxObserver, J: Journal>(
 // ---------------------------------------------------------------------------
 
 /// Claim one data-set location for `(owner, version)` — the body of the
-/// paper's `acquireOwnerships` loop for position `j`. Returns `false` when
-/// the sweep must stop: the status moved, or a live conflict failed the
-/// transaction at `j`.
+/// paper's `acquireOwnerships` loop for position `j`. Returns
+/// [`CellAcquire::Stop`] when the sweep must stop (the status moved, or a
+/// live conflict failed the transaction at `j` in [`SweepMode::Classic`]),
+/// and [`CellAcquire::Blocked`] when a live conflict was met under a
+/// non-failing mode (the record stays undecided).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)] // flattened hot-loop state
 fn acquire_cell<P: MemPort, O: TxObserver>(
@@ -636,20 +792,26 @@ fn acquire_cell<P: MemPort, O: TxObserver>(
     cell: CellIdx,
     own_addr: Addr,
     obs: &mut O,
-) -> bool {
+    mode: SweepMode,
+) -> CellAcquire {
+    let newly;
     loop {
         port.step(StepPoint::AcquireAttempt { j });
         // Another participant may have decided the outcome already.
         if port.read(status_addr) != live {
-            return false;
+            return CellAcquire::Stop;
         }
         let cur = port.read(own_addr);
         if cur == mine {
+            newly = false;
             break; // already claimed (by us or a co-participant)
         }
         if cur == OWNER_FREE {
             match port.compare_exchange(own_addr, OWNER_FREE, mine) {
-                Ok(()) => break,
+                Ok(()) => {
+                    newly = true;
+                    break;
+                }
                 Err(_) => continue,
             }
         }
@@ -664,6 +826,11 @@ fn acquire_cell<P: MemPort, O: TxObserver>(
             let _ = port.compare_exchange(own_addr, cur, OWNER_FREE);
             continue;
         }
+        if mode != SweepMode::Classic {
+            // Fairness ladder: leave the record undecided (prefix kept) and
+            // let the caller decide how to clear the obstruction.
+            return CellAcquire::Blocked;
+        }
         // Live conflict: fail this transaction at data-set position `j`.
         if port
             .compare_exchange(status_addr, live, pack_status(version, TxStatus::Failure(j)))
@@ -671,11 +838,11 @@ fn acquire_cell<P: MemPort, O: TxObserver>(
         {
             port.step(StepPoint::Decided { committed: false });
         }
-        return false;
+        return CellAcquire::Stop;
     }
     port.step(StepPoint::Acquired { j });
     obs.cell_acquired(port.proc_id(), cell, port.now());
-    true
+    CellAcquire::Acquired { newly }
 }
 
 /// Fix the pre-image of one location exactly once per version — the body of
@@ -752,7 +919,10 @@ fn release_cell<P: MemPort, O: TxObserver>(
 // ---------------------------------------------------------------------------
 
 /// The paper's `acquireOwnerships`: claim every data-set location in
-/// ascending cell order, failing the transaction on a live conflict.
+/// ascending cell order, failing the transaction on a live conflict
+/// ([`SweepMode::Classic`]). Non-Classic modes return `Some(j)` — the
+/// data-set position of a live conflict — with the record undecided and its
+/// ascending prefix still held; Classic always returns `None`.
 fn acquire_general<P: MemPort, O: TxObserver>(
     stm: &Stm,
     port: &mut P,
@@ -760,16 +930,35 @@ fn acquire_general<P: MemPort, O: TxObserver>(
     version: u64,
     view: ViewRef<'_>,
     obs: &mut O,
-) {
+    mode: SweepMode,
+) -> Option<usize> {
     let l = stm.layout();
     let mine = pack_owner(owner, version);
     let status_addr = l.status(owner);
     let live = pack_status(version, TxStatus::Null);
 
     for &j in view.order {
-        if !acquire_cell(l, port, status_addr, live, mine, version, j, view.cells[j], view.own_addrs[j], obs)
-        {
-            return;
+        match acquire_cell(
+            l, port, status_addr, live, mine, version, j, view.cells[j], view.own_addrs[j], obs,
+            mode,
+        ) {
+            CellAcquire::Acquired { newly } => {
+                if newly && mode == SweepMode::Forced {
+                    // Announce the claim for the sim's ascending-order
+                    // checker. A resumed sweep re-walks the whole order but
+                    // held cells short-circuit (`newly == false`), so across
+                    // the entire forced episode the announced cell indices
+                    // are strictly increasing.
+                    let cell = if stm.config.sabotage == crate::stm::Sabotage::ForcedOutOfOrder {
+                        0
+                    } else {
+                        view.cells[j]
+                    };
+                    port.step(StepPoint::ForcedAcquired { cell });
+                }
+            }
+            CellAcquire::Stop => return None,
+            CellAcquire::Blocked => return Some(j),
         }
     }
     // Every location is held by `(owner, version)`: decide success. If the
@@ -778,6 +967,7 @@ fn acquire_general<P: MemPort, O: TxObserver>(
     if port.compare_exchange(status_addr, live, pack_status(version, TxStatus::Success)).is_ok() {
         port.step(StepPoint::Decided { committed: true });
     }
+    None
 }
 
 /// The paper's `agreeOldValues` over the whole data set. Returns `false` if

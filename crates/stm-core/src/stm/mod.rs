@@ -113,6 +113,15 @@ pub enum Sabotage {
     /// recovery-equivalence checker in the sim has teeth. No effect without
     /// an active [`Journal`](crate::durable::Journal).
     JournalAfterInstall,
+    /// Report every forced-mode acquisition as cell 0 instead of the real
+    /// cell index, so any forced sweep that newly claims two or more
+    /// locations announces a non-increasing
+    /// [`StepPoint::ForcedAcquired`](crate::step::StepPoint) sequence. This
+    /// breaks nothing in the protocol itself — it exists to prove the
+    /// ascending-order checker in `stm-sim` has teeth. No effect unless a
+    /// transaction actually runs at
+    /// [`PriorityLevel::Forced`](crate::contention::PriorityLevel).
+    ForcedOutOfOrder,
 }
 
 /// Configuration of the STM protocol.
@@ -135,6 +144,14 @@ pub struct StmConfig {
     /// ([`Stm::try_read_only`]) before callers fall back to the acquiring
     /// protocol. `0` disables the fast path entirely.
     pub fast_read_rounds: u32,
+    /// Delta-revalidation threshold for the dynamic layer
+    /// ([`DynamicStm::run`](crate::dynamic::DynamicStm::run)): when a
+    /// dynamic transaction's commit-time validation fails but at most this
+    /// many read cells changed, the body is re-run against the validated
+    /// snapshot the failed commit linearized, skipping the full
+    /// re-read-from-memory retry. `0` (the default) disables the path
+    /// entirely and keeps retry schedules bit-identical to the classic loop.
+    pub delta_retry_cells: usize,
 }
 
 impl Default for StmConfig {
@@ -145,6 +162,7 @@ impl Default for StmConfig {
             sabotage: Sabotage::None,
             pad_shift: 0,
             fast_read_rounds: 8,
+            delta_retry_cells: 0,
         }
     }
 }
@@ -251,6 +269,11 @@ pub enum TxError {
         attempts: u64,
         /// Distinct cells this call lost an acquisition on.
         cells_contended: u64,
+        /// Local-clock cycles spent across all failed attempts (per
+        /// [`MemPort::now`]; 0 on ports
+        /// without a local clock, e.g. the host) — the starvation
+        /// post-mortem's cost figure.
+        cycles_lost: u64,
     },
     /// The transaction's commit program panicked. The panic was contained:
     /// the attempt was decided, **no values were installed** (an identity
@@ -276,10 +299,10 @@ pub enum TxError {
 impl fmt::Display for TxError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TxError::BudgetExhausted { attempts, cells_contended } => write!(
+            TxError::BudgetExhausted { attempts, cells_contended, cycles_lost } => write!(
                 f,
                 "transaction budget exhausted after {attempts} attempts \
-                 ({cells_contended} distinct cells contended)"
+                 ({cells_contended} distinct cells contended, {cycles_lost} cycles lost)"
             ),
             TxError::OpPanicked { attempts } => write!(
                 f,
@@ -362,6 +385,9 @@ pub struct Stm {
     layout: StmLayout,
     table: Arc<ProgramTable>,
     config: StmConfig,
+    /// Shared escalation board consulted by helpers and forced sweeps.
+    /// `None` (the default) compiles every priority check away.
+    priority: Option<Arc<crate::contention::PriorityBoard>>,
 }
 
 impl fmt::Debug for Stm {
@@ -370,6 +396,7 @@ impl fmt::Debug for Stm {
             .field("layout", &self.layout)
             .field("programs", &self.table.len())
             .field("config", &self.config)
+            .field("priority_board", &self.priority.is_some())
             .finish()
     }
 }
@@ -396,7 +423,26 @@ impl Stm {
             layout: StmLayout::with_pad_shift(base, n_cells, n_procs, max_locs, config.pad_shift),
             table,
             config,
+            priority: None,
         }
+    }
+
+    /// Attach a shared [`PriorityBoard`](crate::contention::PriorityBoard),
+    /// activating the fairness ladder in the protocol: helpers defer to
+    /// records whose owner's published level exceeds their own, and managers
+    /// holding the forced slot run the never-self-fail sweep. Pair the same
+    /// board with each proc's
+    /// [`AdaptiveManager::with_board`](crate::contention::AdaptiveManager::with_board).
+    /// Without a board every priority check compiles to the classic path.
+    #[must_use]
+    pub fn with_priority_board(mut self, board: Arc<crate::contention::PriorityBoard>) -> Self {
+        self.priority = Some(board);
+        self
+    }
+
+    /// The attached escalation board, if any.
+    pub fn priority_board(&self) -> Option<&Arc<crate::contention::PriorityBoard>> {
+        self.priority.as_ref()
     }
 
     /// The memory layout of this instance.

@@ -131,6 +131,20 @@ pub enum Violation {
         /// Protocol steps taken by non-crashed processors in the window.
         steps: usize,
     },
+    /// A forced-priority acquisition sweep claimed locations out of
+    /// ascending cell order — the invariant that makes the forced tier's
+    /// never-self-fail sweep deadlock-free. Produced by
+    /// [`crate::liveness::ForcedOrderChecker`].
+    ForcedOrder {
+        /// Processor whose forced episode regressed.
+        proc: usize,
+        /// Cell index of the previous claim in the episode.
+        prev_cell: usize,
+        /// Cell index of the offending (non-increasing) claim.
+        cell: usize,
+        /// Virtual time of the offending claim.
+        at: u64,
+    },
 }
 
 impl std::fmt::Display for Violation {
@@ -143,6 +157,10 @@ impl std::fmt::Display for Violation {
             Violation::NoProgress { window_start, at, steps } => write!(
                 f,
                 "no progress: {steps} protocol steps between cycles {window_start} and {at} without a commit"
+            ),
+            Violation::ForcedOrder { proc, prev_cell, cell, at } => write!(
+                f,
+                "forced order: P{proc} claimed cell {cell} after cell {prev_cell} at cycle {at}"
             ),
         }
     }

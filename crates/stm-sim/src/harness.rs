@@ -103,6 +103,16 @@ impl StmSim {
         self
     }
 
+    /// Attach a shared [`PriorityBoard`](stm_core::contention::PriorityBoard)
+    /// so helpers consult the escalation ladder. The board is host-side
+    /// (advisory atomics, no simulated-memory traffic), so attaching one
+    /// leaves simulated schedules bit-identical until a manager actually
+    /// raises a level.
+    pub fn priority_board(mut self, board: std::sync::Arc<stm_core::contention::PriorityBoard>) -> Self {
+        self.ops = self.ops.with_priority_board(board);
+        self
+    }
+
     /// Pre-seed processor `proc`'s transaction-record version counter, so a
     /// short run exercises version wraparound. The record starts idle
     /// (`Null`) at `version`; its next transaction uses `version + 1`.

@@ -19,7 +19,9 @@
 //!   processor at any named protocol step (see [`stm_core::step`]) or
 //!   virtual-clock deadline, delivered deterministically by the engine.
 //! * [`liveness`] — [`liveness::LivenessChecker`], a trace-consuming
-//!   progress monitor asserting the paper's lock-freedom bound.
+//!   progress monitor asserting the paper's lock-freedom bound, and
+//!   [`liveness::ForcedOrderChecker`], asserting the forced-priority tier's
+//!   ascending-acquisition invariant.
 //! * [`explore`] — seed-sweeping schedule exploration with failing-seed
 //!   replay, the systematic crash matrix, a seeded fault-plan fuzzer, and a
 //!   counterexample shrinker.
@@ -49,4 +51,4 @@ pub use arch::{BusModel, CostModel, MeshModel, OpKind, UniformModel};
 pub use engine::{SimConfig, SimPort, SimReport, Simulation, Violation};
 pub use faults::{Fault, FaultKind, FaultPlan, Trigger};
 pub use harness::StmSim;
-pub use liveness::LivenessChecker;
+pub use liveness::{ForcedOrderChecker, LivenessChecker};

@@ -16,6 +16,14 @@
 //! Tracing must be enabled ([`SimConfig::trace_limit`](crate::engine::SimConfig)
 //! large enough to hold the run) for the check to be meaningful; an empty
 //! trace trivially passes.
+//!
+//! [`ForcedOrderChecker`] guards the fairness extension the same way: a
+//! forced-priority sweep must claim locations in strictly ascending cell
+//! order across its whole episode (resumed sweeps included), or the
+//! deadlock-freedom argument for the never-self-fail tier collapses. Every
+//! [`StepPoint::ForcedAcquired`] announcement is checked against the
+//! episode's previous claim; a regression is reported as
+//! [`Violation::ForcedOrder`].
 
 use std::collections::HashSet;
 
@@ -94,6 +102,74 @@ impl LivenessChecker {
     }
 }
 
+/// Trace monitor for the forced tier's ascending-order invariant.
+///
+/// A [`PriorityLevel::Forced`](stm_core::contention::PriorityLevel) sweep
+/// never self-fails: on a live conflict it helps the obstructor and resumes
+/// with its held prefix intact. That is deadlock-free *only because* claims
+/// stay in ascending cell order — two forced-style holders claiming out of
+/// order could each block on a cell the other holds. The protocol announces
+/// every newly claimed location of a forced episode as
+/// [`StepPoint::ForcedAcquired`] (cell index, not data-set position); this
+/// checker asserts the announced indices are strictly increasing per
+/// processor within an episode.
+///
+/// An episode ends when the processor publishes a new transaction
+/// ([`StepPoint::TxPublished`]) or its transaction is decided
+/// ([`StepPoint::Decided`]) — either resets the expectation, so consecutive
+/// forced transactions may each start back at a low cell.
+///
+/// Stateless and config-free: the invariant is exact, with no budget to
+/// tune. Crashed processors are *not* exempted — an out-of-order claim is a
+/// protocol bug no matter what happened to the claimant later.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ForcedOrderChecker;
+
+impl ForcedOrderChecker {
+    /// Check a finished run. Returns the engine's own verdict if it halted
+    /// the run, otherwise the first out-of-order forced claim in the trace.
+    pub fn check(&self, report: &SimReport) -> Option<Violation> {
+        if let Some(v) = &report.violation {
+            return Some(v.clone());
+        }
+        self.check_trace(&report.trace)
+    }
+
+    /// Check a raw trace.
+    pub fn check_trace(&self, trace: &[TraceEvent]) -> Option<Violation> {
+        // Sort a copy by time (stable: simultaneous events keep recording
+        // order), as the engine records at issue in grant order.
+        let mut events: Vec<&TraceEvent> = trace.iter().collect();
+        events.sort_by_key(|e| e.time);
+
+        // proc -> last forced claim of the current episode.
+        let mut last: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+        for e in events {
+            match e.kind {
+                TraceKind::Step(StepPoint::ForcedAcquired { cell }) => {
+                    if let Some(&prev) = last.get(&e.proc) {
+                        if cell <= prev {
+                            return Some(Violation::ForcedOrder {
+                                proc: e.proc,
+                                prev_cell: prev,
+                                cell,
+                                at: e.time,
+                            });
+                        }
+                    }
+                    last.insert(e.proc, cell);
+                }
+                TraceKind::Step(StepPoint::TxPublished)
+                | TraceKind::Step(StepPoint::Decided { .. }) => {
+                    last.remove(&e.proc);
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +230,74 @@ mod tests {
             step(5010, 1, StepPoint::BeforeRelease { j: 1 }),
         ];
         assert_eq!(checker.check_trace(&trace, &[]), None);
+    }
+
+    #[test]
+    fn forced_order_accepts_ascending_episodes() {
+        let trace = vec![
+            step(1, 0, StepPoint::TxPublished),
+            step(2, 0, StepPoint::ForcedAcquired { cell: 1 }),
+            step(3, 0, StepPoint::ForcedAcquired { cell: 4 }),
+            step(4, 0, StepPoint::ForcedAcquired { cell: 9 }),
+            step(5, 0, StepPoint::Decided { committed: true }),
+        ];
+        assert_eq!(ForcedOrderChecker.check_trace(&trace), None);
+    }
+
+    #[test]
+    fn forced_order_flags_regression_and_repeat() {
+        // Regression (4 then 2) within one episode.
+        let trace = vec![
+            step(1, 0, StepPoint::ForcedAcquired { cell: 4 }),
+            step(2, 0, StepPoint::ForcedAcquired { cell: 2 }),
+        ];
+        assert_eq!(
+            ForcedOrderChecker.check_trace(&trace),
+            Some(Violation::ForcedOrder { proc: 0, prev_cell: 4, cell: 2, at: 2 })
+        );
+        // A repeated claim is equally fatal: strictly increasing, not
+        // merely non-decreasing (re-walks short-circuit held cells, so a
+        // repeat means the sweep re-claimed).
+        let trace = vec![
+            step(1, 0, StepPoint::ForcedAcquired { cell: 3 }),
+            step(2, 0, StepPoint::ForcedAcquired { cell: 3 }),
+        ];
+        assert!(ForcedOrderChecker.check_trace(&trace).is_some());
+    }
+
+    #[test]
+    fn forced_order_resets_at_episode_boundaries() {
+        // Two forced transactions back to back: each may restart low once
+        // the first is decided / the next is published.
+        let trace = vec![
+            step(1, 0, StepPoint::ForcedAcquired { cell: 5 }),
+            step(2, 0, StepPoint::Decided { committed: true }),
+            step(3, 0, StepPoint::TxPublished),
+            step(4, 0, StepPoint::ForcedAcquired { cell: 1 }),
+            step(5, 0, StepPoint::ForcedAcquired { cell: 2 }),
+        ];
+        assert_eq!(ForcedOrderChecker.check_trace(&trace), None);
+    }
+
+    #[test]
+    fn forced_order_is_per_processor() {
+        // Interleaved episodes on different procs don't constrain each other.
+        let trace = vec![
+            step(1, 0, StepPoint::ForcedAcquired { cell: 7 }),
+            step(2, 1, StepPoint::ForcedAcquired { cell: 3 }),
+            step(3, 0, StepPoint::ForcedAcquired { cell: 8 }),
+            step(4, 1, StepPoint::ForcedAcquired { cell: 4 }),
+        ];
+        assert_eq!(ForcedOrderChecker.check_trace(&trace), None);
+        // ...but a regression on one proc is still caught amid the noise.
+        let trace = vec![
+            step(1, 0, StepPoint::ForcedAcquired { cell: 7 }),
+            step(2, 1, StepPoint::ForcedAcquired { cell: 9 }),
+            step(3, 1, StepPoint::ForcedAcquired { cell: 1 }),
+        ];
+        assert_eq!(
+            ForcedOrderChecker.check_trace(&trace),
+            Some(Violation::ForcedOrder { proc: 1, prev_cell: 9, cell: 1, at: 3 })
+        );
     }
 }

@@ -139,7 +139,10 @@ fn attempt_budget_exhausts_against_an_abandoned_owner() {
             &mut TxOptions::new().manager(&mut cm).budget(TxBudget::attempts(16)),
         )
         .unwrap_err();
-    assert_eq!(err, TxError::BudgetExhausted { attempts: 16, cells_contended: 1 });
+    assert_eq!(
+        err,
+        TxError::BudgetExhausted { attempts: 16, cells_contended: 1, cycles_lost: 0 }
+    );
 }
 
 /// A wall-clock budget bounds the call even when attempts are unlimited.

@@ -110,9 +110,12 @@ fn check_stream(events: &[TxEvent], stats: &TxStats) -> Result<(), String> {
             | TxEvent::StarvationEscalated { .. }
             | TxEvent::OpPanicked { .. }
             | TxEvent::JournalFlush { .. }
-            | TxEvent::RecoveryReplayed { .. } => {
-                // Managed-retry-loop / durability events; the classic
-                // execute_observed path under test never emits them.
+            | TxEvent::RecoveryReplayed { .. }
+            | TxEvent::ConflictDeferred { .. }
+            | TxEvent::ForcedCommit { .. }
+            | TxEvent::DeltaCommitted { .. } => {
+                // Managed-retry-loop / durability / fairness events; the
+                // classic execute_observed path under test never emits them.
                 return Err(format!("managed-path event on classic path: {e:?}"));
             }
         }
@@ -179,6 +182,9 @@ fn coarse_projection(events: &[TxEvent]) -> Vec<FlightKind> {
             TxEvent::OpPanicked { .. } => Some(FlightKind::OpPanicked),
             TxEvent::JournalFlush { .. } => Some(FlightKind::JournalFlush),
             TxEvent::RecoveryReplayed { .. } => Some(FlightKind::RecoveryReplayed),
+            TxEvent::ConflictDeferred { .. } => Some(FlightKind::ConflictDeferred),
+            TxEvent::ForcedCommit { .. } => Some(FlightKind::ForcedCommit),
+            TxEvent::DeltaCommitted { .. } => Some(FlightKind::DeltaCommit),
             TxEvent::Acquired { .. } | TxEvent::WriteBack { .. } | TxEvent::Released { .. } => {
                 None
             }
