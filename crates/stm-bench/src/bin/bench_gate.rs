@@ -20,7 +20,11 @@
 //! seed, so on an unchanged protocol the simulated cycle counts reproduce
 //! bit-exactly — and fails (exit 1) if any row's fresh throughput falls
 //! more than the tolerance below the committed number. Also enforces
-//! structural invariants on the fresh run: the fast-read mode beats classic
+//! structural invariants on the fresh run: every write-path row's fresh
+//! cycle count must equal the committed one exactly — the default
+//! (non-blocking) configuration's schedules are pinned bit-identically, so
+//! an inert-by-design feature (the blocking layer's park/wake hooks, say)
+//! cannot silently perturb them; the fast-read mode beats classic
 //! on every read-heavy (bench, arch, procs) configuration; the write path's
 //! interpreted and compiled modes agree cycle-for-cycle on every
 //! (kernel, arch, procs) configuration — the standing bit-identity witness
@@ -134,6 +138,7 @@ struct WriteRow {
     total_ops: u64,
     seed: u64,
     throughput: f64,
+    cycles: u64,
 }
 
 fn parse_write_baseline(doc: &serde_json::Value) -> Vec<WriteRow> {
@@ -151,6 +156,7 @@ fn parse_write_baseline(doc: &serde_json::Value) -> Vec<WriteRow> {
             total_ops: r["total_ops"].as_u64().unwrap_or_else(|| die("missing total_ops")),
             seed: r["seed"].as_u64().unwrap_or_else(|| die("missing seed")),
             throughput: r["throughput"].as_f64().unwrap_or_else(|| die("missing throughput")),
+            cycles: r["cycles"].as_u64().unwrap_or_else(|| die("missing cycles")),
         })
         .collect()
 }
@@ -269,9 +275,19 @@ fn main() {
     for row in &write_baseline {
         let p = run_write_point(row.k, row.arch, row.mode, row.procs, row.total_ops, row.seed);
         let ratio = if row.throughput > 0.0 { p.throughput / row.throughput } else { 1.0 };
-        let ok = ratio >= floor;
+        let mut ok = ratio >= floor;
+        // These rows run the default (non-blocking) configuration, whose
+        // schedules must replay the committed baseline bit-identically:
+        // any cycle drift means a supposedly-inert feature (the blocking
+        // layer's park/wake hooks, an observer, ...) perturbed the
+        // protocol schedule.
+        let mut note = String::new();
+        if p.cycles != row.cycles {
+            ok = false;
+            note = format!("  cycles {} drifted from committed {}", p.cycles, row.cycles);
+        }
         println!(
-            "{} {:>14} {:>5} {:>12} P={:<3} baseline {:>10.1} fresh {:>10.1} ({:+.1}%)",
+            "{} {:>14} {:>5} {:>12} P={:<3} baseline {:>10.1} fresh {:>10.1} ({:+.1}%){}",
             if ok { "ok  " } else { "FAIL" },
             format!("write-path/{}", k_label(row.k)),
             row.arch.label(),
@@ -279,7 +295,8 @@ fn main() {
             row.procs,
             row.throughput,
             p.throughput,
-            (ratio - 1.0) * 100.0
+            (ratio - 1.0) * 100.0,
+            note
         );
         if !ok {
             failures += 1;
@@ -397,7 +414,8 @@ fn main() {
         std::process::exit(1);
     }
     eprintln!(
-        "[bench-gate] all rows within tolerance; fast path still a win; compiled plans \
-         bit-identical; starvation still bounded; flight recorder within the overhead budget"
+        "[bench-gate] all rows within tolerance; fast path still a win; write-path schedules \
+         bit-identical to the committed baseline; compiled plans bit-identical; starvation \
+         still bounded; flight recorder within the overhead budget"
     );
 }

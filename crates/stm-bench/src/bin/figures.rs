@@ -8,7 +8,7 @@
 //!   resource-bus resource-mesh prio-bus prio-mesh
 //!   summary ablate-helping ablate-backoff ablate-arch
 //!   read-heavy read-heavy-host write-path write-path-host plan-cache
-//!   durable durable-host fairness
+//!   durable durable-host fairness blocking blocking-host
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -24,6 +24,7 @@
 
 use std::path::PathBuf;
 
+use stm_bench::blocking::{run_blocking_host_point, run_blocking_point, BlockMode};
 use stm_bench::durable::{
     run_durable_host_point, run_durable_point, DURABLE_FLUSH_COSTS, DURABLE_PROCS,
 };
@@ -51,7 +52,7 @@ struct Options {
     out: PathBuf,
 }
 
-const ALL_EXPERIMENTS: [&str; 20] = [
+const ALL_EXPERIMENTS: [&str; 22] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -72,6 +73,8 @@ const ALL_EXPERIMENTS: [&str; 20] = [
     "durable",
     "durable-host",
     "fairness",
+    "blocking",
+    "blocking-host",
 ];
 
 fn parse_args() -> Options {
@@ -149,6 +152,8 @@ fn main() {
             "durable" => run_durable(&opts),
             "durable-host" => run_durable_host(&opts),
             "fairness" => fairness_points.extend(run_fairness(&opts)),
+            "blocking" => run_blocking(&opts),
+            "blocking-host" => run_blocking_host(&opts),
             name => {
                 let (bench, arch) = parse_figure(name);
                 let points = run_figure(&opts, name, bench, arch);
@@ -615,6 +620,70 @@ fn run_fairness(opts: &Options) -> Vec<FairnessPoint> {
     std::fs::write(opts.out.join("fairness.csv"), csv).expect("write CSV");
     eprintln!("[figures] wrote {}", opts.out.join("fairness.csv").display());
     all
+}
+
+/// B1: the blocking producer–consumer idle-cost comparison — a consumer
+/// draining a paced bounded queue by parking (`retry`) vs by spin-retrying
+/// `try_pop`, on the bus and mesh machines. The headline column is the
+/// consumer's memory-operation count: the parked consumer takes zero
+/// scheduler steps while it waits. Deterministic; CSV-only (the CI gate's
+/// bit-identity check on the write-path rows already pins the non-blocking
+/// schedules this feature must not perturb).
+fn run_blocking(opts: &Options) {
+    let items = (opts.ops / 16).clamp(16, 512);
+    println!("# B1 — blocking vs spin producer–consumer ({items} items/point, seed {:#x})", opts.seed);
+    println!(
+        "{:>5} {:>10} {:>12} {:>8} {:>8} {:>12} {:>12}",
+        "arch", "mode", "consumer-ops", "parks", "wakeups", "cycles", "throughput"
+    );
+    let mut csv = String::from(
+        "arch,mode,procs,items,seed,cycles,throughput,consumer_ops,parks,wakeups\n",
+    );
+    for arch in [ArchKind::Bus, ArchKind::Mesh] {
+        for mode in BlockMode::ALL {
+            let p = run_blocking_point(arch, mode, items, opts.seed);
+            println!(
+                "{:>5} {:>10} {:>12} {:>8} {:>8} {:>12} {:>12.1}",
+                p.arch.label(),
+                p.mode.label(),
+                p.consumer_ops,
+                p.parks,
+                p.wakeups,
+                p.cycles,
+                p.throughput
+            );
+            csv.push_str(&format!(
+                "{},{},{},{},{},{},{:.3},{},{},{}\n",
+                p.arch, p.mode, p.procs, p.items, p.seed, p.cycles, p.throughput,
+                p.consumer_ops, p.parks, p.wakeups
+            ));
+        }
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("blocking.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("blocking.csv").display());
+}
+
+/// B1 (host half): the same wait on real threads, measuring the consumer
+/// thread's CPU time across a window in which the producer deliberately
+/// delays. Parking must show near-zero CPU where the spinner burns the
+/// whole window. Wall-clock, so informational only.
+fn run_blocking_host(opts: &Options) {
+    let wait = std::time::Duration::from_millis(200);
+    println!("# B1 (host) — idle CPU across a {}ms wait (wall-clock, informational)", wait.as_millis());
+    println!("{:>10} {:>14} {:>14}", "mode", "wall-nanos", "cpu-ticks");
+    let mut csv = String::from("mode,wall_nanos,cpu_ticks\n");
+    for mode in BlockMode::ALL {
+        let p = run_blocking_host_point(mode, wait);
+        let ticks = p.cpu_ticks.map_or("n/a".to_owned(), |t| t.to_string());
+        println!("{:>10} {:>14} {:>14}", p.mode.label(), p.wall_nanos, ticks);
+        csv.push_str(&format!("{},{},{}\n", p.mode, p.wall_nanos, ticks));
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("blocking-host.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("blocking-host.csv").display());
 }
 
 /// Cap host-ladder thread counts at the machine's parallelism (sweeping 64

@@ -23,6 +23,11 @@
 //!   (deterministic) to an fsync'd file journal on the host (wall-clock,
 //!   informational). Every simulated point re-verifies recovery equivalence
 //!   before it is emitted.
+//! * [`blocking`] — the B1 producer–consumer idle-cost comparison: a
+//!   consumer draining a paced bounded queue by parking (`retry`) vs by
+//!   spin-retrying `try_pop`, on the simulator (deterministic; the parked
+//!   consumer takes zero scheduler steps) and on host threads (per-thread
+//!   CPU time across the wait window; wall-clock, informational).
 //! * [`fairness`] — the F1 starvation ablation: a big-k transaction under a
 //!   small-tx storm, with the escalation ladder as the variable. Reports
 //!   max-losses-before-commit and the big transaction's p99 tail latency;
@@ -42,6 +47,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blocking;
 pub mod durable;
 pub mod fairness;
 pub mod read_heavy;

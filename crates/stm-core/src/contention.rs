@@ -8,9 +8,8 @@
 //! pluggable policy:
 //!
 //! * [`ContentionManager`] — the policy trait consulted once per failed
-//!   attempt by the managed execution paths
-//!   ([`Stm::execute_for`](crate::stm::Stm::execute_for) /
-//!   [`Stm::try_execute_within`](crate::stm::Stm::try_execute_within));
+//!   attempt by any run with [`TxOptions::manager`](crate::stm::TxOptions::manager)
+//!   attached;
 //! * [`AdaptiveManager`] — the default policy: a **wait lattice** escalating
 //!   `spin → yield → parked exponential back-off`, with deterministic
 //!   per-processor jitter, plus **starvation detection** that switches the

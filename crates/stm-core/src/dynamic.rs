@@ -51,11 +51,23 @@
 //! assert_eq!(dstm.read_cell(&mut port, 0), 1);
 //! ```
 
-use crate::contention::{AdaptiveManager, ContentionManager};
+use crate::contention::ContentionManager;
 use crate::machine::MemPort;
 use crate::ops::StmOps;
-use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxOptions, TxScratch, TxSpec, TxStats};
+use crate::stm::{Stm, StmConfig, TxBudget, TxError, TxOptions, TxScratch, TxStats};
 use crate::word::{cell_value, pack_cell, Addr, CellIdx, Word};
+
+/// Witness that a transaction body chose to block ([`DynamicTx::retry`]).
+///
+/// Only [`DynamicTx::retry`] produces one, so a body can signal "wait until
+/// my read set changes" but cannot forge the signal from outside a
+/// transaction. Bodies propagate it with `?` or return it directly; the
+/// enclosing [`DynamicStm::run_blocking`] call turns it into a park on the
+/// read set.
+#[derive(Debug)]
+pub struct Retry {
+    _private: (),
+}
 
 /// A software transactional memory supporting dynamic transactions.
 ///
@@ -129,6 +141,44 @@ impl<'a, P: MemPort> DynamicTx<'a, P> {
     /// Number of distinct cells in the transaction's footprint so far.
     pub fn footprint(&self) -> usize {
         self.reads.len().max(self.writes.len())
+    }
+
+    /// Abort this attempt and block until a cell the body has read changes.
+    ///
+    /// Returns `Err(`[`Retry`]`)` for the body to propagate (typically with
+    /// `?` or `return tx.retry()`). The enclosing
+    /// [`DynamicStm::run_blocking`] call then discards the write log,
+    /// registers on every cell in the read set, parks until some watched
+    /// cell's stamped word changes, and re-runs the body. Inside a
+    /// non-blocking [`DynamicStm::run`] body there is no way to return it,
+    /// so non-blocking schedules are unaffected.
+    pub fn retry<T>(&mut self) -> Result<T, Retry> {
+        Err(Retry { _private: () })
+    }
+
+    /// Haskell-style `orElse` composition: run `first`; if it retries, roll
+    /// its writes back and run `second` instead.
+    ///
+    /// The first branch's *reads* are kept: if both branches retry, the
+    /// enclosing [`DynamicStm::run_blocking`] call waits on the **union** of
+    /// both read sets — a change that would unblock either branch re-runs
+    /// the body. The rolled-back writes stay validated too (their pre-images
+    /// were logged on first write), so a committed alternative still
+    /// linearizes against the state the abandoned branch observed. Nests
+    /// freely.
+    pub fn or_else<T>(
+        &mut self,
+        first: impl FnOnce(&mut Self) -> Result<T, Retry>,
+        second: impl FnOnce(&mut Self) -> Result<T, Retry>,
+    ) -> Result<T, Retry> {
+        let saved_writes = self.writes.clone();
+        match first(self) {
+            Ok(v) => Ok(v),
+            Err(Retry { .. }) => {
+                *self.writes = saved_writes;
+                second(self)
+            }
+        }
     }
 }
 
@@ -234,6 +284,111 @@ impl DynamicStm {
         C: ContentionManager,
         J: crate::durable::Journal,
     {
+        self.run_impl(port, |tx| Ok(body(tx)), opts, false)
+    }
+
+    /// Run `body` as a *blocking* dynamic transaction: a body that returns
+    /// `Err(`[`Retry`]`)` (via [`DynamicTx::retry`]) aborts its attempt,
+    /// registers on every cell of its read set, and parks until some watched
+    /// cell's stamped word changes — then re-runs. On the host the OS thread
+    /// parks ([`MemPort::wait_on`]): no spin CPU while idle. On the
+    /// simulator the virtual processor parks without consuming scheduler
+    /// steps and wakes deterministically when a committer installs into a
+    /// watched cell.
+    ///
+    /// All [`DynamicStm::run`] semantics (fast read path, delta re-runs,
+    /// budget, panic containment) apply to each attempt. Additionally
+    /// [`TxBudget::max_wakeups`] bounds the park/wake rounds.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`DynamicStm::run`] returns, plus [`TxError::Retry`] when
+    /// the wakeup budget is exhausted while still blocked or when the body
+    /// retried with an **empty read set** (nothing watched could ever wake
+    /// it).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stm_core::dynamic::DynamicStm;
+    /// use stm_core::machine::host::HostMachine;
+    /// use stm_core::stm::{StmConfig, TxOptions};
+    ///
+    /// let dstm = DynamicStm::new(0, 4, 1, StmConfig::default());
+    /// let machine = HostMachine::new(dstm.stm().layout().words_needed(), 1);
+    /// let mut port = machine.port(0);
+    /// dstm.init_cell(&mut port, 0, 2); // two tokens available
+    ///
+    /// // Take a token, waiting (not spinning) if none are available.
+    /// let (left, _) = dstm
+    ///     .run_blocking(
+    ///         &mut port,
+    ///         |tx| {
+    ///             let n = tx.read(0);
+    ///             if n == 0 {
+    ///                 return tx.retry(); // park until cell 0 changes
+    ///             }
+    ///             tx.write(0, n - 1);
+    ///             Ok(n - 1)
+    ///         },
+    ///         &mut TxOptions::new(),
+    ///     )
+    ///     .unwrap();
+    /// assert_eq!(left, 1);
+    /// ```
+    pub fn run_blocking<P, R, O, C, J>(
+        &self,
+        port: &mut P,
+        body: impl FnMut(&mut DynamicTx<'_, P>) -> Result<R, Retry>,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<(R, TxStats), TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: ContentionManager,
+        J: crate::durable::Journal,
+    {
+        self.run_impl(port, body, opts, true)
+    }
+
+    /// Run `first`, falling back to `second` when it retries — the
+    /// top-level convenience for [`DynamicTx::or_else`]. If both branches
+    /// retry, the transaction parks on the union of both read sets.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`DynamicStm::run_blocking`].
+    pub fn run_or_else<P, R, O, C, J>(
+        &self,
+        port: &mut P,
+        mut first: impl FnMut(&mut DynamicTx<'_, P>) -> Result<R, Retry>,
+        mut second: impl FnMut(&mut DynamicTx<'_, P>) -> Result<R, Retry>,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<(R, TxStats), TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: ContentionManager,
+        J: crate::durable::Journal,
+    {
+        self.run_blocking(port, |tx| tx.or_else(|tx| first(tx), |tx| second(tx)), opts)
+    }
+
+    /// The shared loop behind [`DynamicStm::run`] (where `Retry` is
+    /// unconstructible) and [`DynamicStm::run_blocking`].
+    fn run_impl<P, R, O, C, J>(
+        &self,
+        port: &mut P,
+        mut body: impl FnMut(&mut DynamicTx<'_, P>) -> Result<R, Retry>,
+        opts: &mut TxOptions<O, C, J>,
+        blocking: bool,
+    ) -> Result<(R, TxStats), TxError>
+    where
+        P: MemPort,
+        O: crate::observe::TxObserver,
+        C: ContentionManager,
+        J: crate::durable::Journal,
+    {
         let budget = opts.budget;
         let cm = &mut opts.manager;
         let obs = &mut opts.observer;
@@ -247,6 +402,7 @@ impl DynamicStm {
         let mut read_log: Vec<(CellIdx, u32, u16)> = Vec::new();
         let mut write_log: Vec<(CellIdx, u32)> = Vec::new();
         let mut entries: Vec<(CellIdx, Word)> = Vec::new();
+        let mut watches: Vec<(Addr, Word)> = Vec::new();
         let mut cells: Vec<CellIdx> = Vec::new();
         let mut params: Vec<Word> = Vec::new();
         let mut contended: Vec<CellIdx> = Vec::new();
@@ -292,6 +448,48 @@ impl DynamicStm {
                 }
             };
             stats.attempts += 1;
+
+            let result = match result {
+                Ok(result) => result,
+                // The body chose to block: abort this attempt (the write log
+                // is local, so dropping it is the whole abort), watch the
+                // read set, and park. The watch words are the exact stamped
+                // words the body observed — any commit into a watched cell
+                // after that observation makes some watch differ, so
+                // register-then-revalidate inside `wait_on` cannot miss it
+                // (docs/protocol.md §14).
+                Err(Retry { .. }) if blocking => {
+                    if read_log.is_empty()
+                        || budget.max_wakeups.is_some_and(|m| stats.wakeups >= m)
+                    {
+                        return Err(TxError::Retry { wakeups: stats.wakeups });
+                    }
+                    watches.clear();
+                    watches.extend(read_log.iter().map(|&(c, value, stamp)| {
+                        (self.ops.stm().layout().cell(c), pack_cell(stamp, value))
+                    }));
+                    obs.retry_blocked(port.proc_id(), watches.len() as u64, port.now());
+                    port.step(crate::step::StepPoint::RetryPark);
+                    // Cap a single park at the remaining wall budget so a
+                    // deadline cannot be slept through.
+                    let cap = budget
+                        .max_wall
+                        .map(|m| {
+                            let rem = m.saturating_sub(started.elapsed());
+                            u64::try_from(rem.as_micros()).unwrap_or(u64::MAX)
+                        })
+                        .unwrap_or(u64::MAX);
+                    port.wait_on(&watches, cap);
+                    port.step(crate::step::StepPoint::RetryWake);
+                    stats.wakeups += 1;
+                    obs.retry_woken(port.proc_id(), stats.wakeups, port.now());
+                    delta_pending = None;
+                    continue;
+                }
+                Err(Retry { .. }) => {
+                    unreachable!("Retry is unconstructible outside blocking bodies")
+                }
+            };
 
             if write_log.is_empty() && read_log.is_empty() {
                 return Ok((result, stats)); // pure computation, nothing to commit
@@ -349,6 +547,7 @@ impl DynamicStm {
                     .max_cycles
                     .map(|m| m.saturating_sub(port.now().saturating_sub(cycles0))),
                 max_wall: budget.max_wall.map(|m| m.saturating_sub(started.elapsed())),
+                max_wakeups: None, // commits never block
             };
             port.step(crate::step::StepPoint::DynCommit);
             let plan = self.ops.plan_for(self.ops.builtins().mwcas, &cells);
@@ -378,6 +577,11 @@ impl DynamicStm {
                 Err(TxError::DuplicateCell { .. }) => {
                     // The footprint is a sorted log of distinct cells.
                     unreachable!("dynamic commit footprint is deduplicated by construction")
+                }
+                Err(TxError::Retry { .. }) => {
+                    // Only the blocking loop above constructs Retry, and the
+                    // commit budget carries `max_wakeups: None`.
+                    unreachable!("static commit paths never block")
                 }
             };
             stats.helps += out.helps;
@@ -419,148 +623,6 @@ impl DynamicStm {
         }
     }
 
-    /// [`DynamicStm::run`] with a [`TxObserver`](crate::observe::TxObserver)
-    /// receiving the lifecycle events of each validate-and-write commit
-    /// transaction (one observed static execution per body attempt).
-    ///
-    /// Legacy semantics: retries forever, body panics propagate, and every
-    /// commit runs the acquiring transaction (no read-only fast path).
-    ///
-    /// # Panics
-    ///
-    /// Panics if the transaction's footprint exceeds the instance's
-    /// `max_locs`, or if `body` panics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DynamicStm::run`, lending the observer via \
-                `TxOptions::new().observer(&mut *obs)`; note it returns \
-                `Result` and contains body panics as `TxError::OpPanicked`"
-    )]
-    #[allow(deprecated)] // wrapper delegates along the legacy chain
-    pub fn run_observed<P: MemPort, R, O: crate::observe::TxObserver>(
-        &self,
-        port: &mut P,
-        obs: &mut O,
-        mut body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
-    ) -> (R, TxStats) {
-        let mut stats = TxStats::default();
-        let mut read_log: Vec<(CellIdx, u32, u16)> = Vec::new();
-        let mut write_log: Vec<(CellIdx, u32)> = Vec::new();
-        loop {
-            read_log.clear();
-            write_log.clear();
-            let result = {
-                let mut tx = DynamicTx {
-                    stm: self.ops.stm(),
-                    port,
-                    reads: &mut read_log,
-                    writes: &mut write_log,
-                };
-                body(&mut tx)
-            };
-            stats.attempts += 1;
-
-            if write_log.is_empty() && read_log.is_empty() {
-                return (result, stats); // pure computation, nothing to commit
-            }
-
-            // Commit: one static validate-and-write transaction over the
-            // whole footprint. Each location's parameter packs
-            // (expected_old << 32 | new); the program writes only if every
-            // expected value matches — exactly the builtin MWCAS, reused.
-            let cells: Vec<CellIdx> = read_log.iter().map(|e| e.0).collect();
-            assert!(
-                cells.len() <= self.ops.stm().layout().max_locs(),
-                "dynamic transaction footprint {} exceeds max_locs {}",
-                cells.len(),
-                self.ops.stm().layout().max_locs()
-            );
-            let params: Vec<Word> = read_log
-                .iter()
-                .map(|&(c, expected, _)| {
-                    let new = write_log
-                        .binary_search_by_key(&c, |e| e.0)
-                        .map_or(expected, |at| write_log[at].1);
-                    ((expected as Word) << 32) | new as Word
-                })
-                .collect();
-            port.step(crate::step::StepPoint::DynCommit);
-            let out = self.ops.stm().execute_observed(
-                port,
-                &TxSpec::new(self.ops.builtins().mwcas, &params, &cells),
-                obs,
-            );
-            // `attempts` counts body executions; fold in only the commit's
-            // conflict/help counters.
-            stats.helps += out.stats.helps;
-            stats.conflicts += out.stats.conflicts;
-            let validated =
-                read_log.iter().zip(&out.old).all(|(&(_, expected, _), &old)| old == expected);
-            if validated {
-                return (result, stats);
-            }
-            // Validation failed: some read was stale; re-run the body.
-        }
-    }
-
-    /// [`DynamicStm::run`] under a [`TxBudget`], with an adaptive contention
-    /// manager driving the commit retries and panic containment around the
-    /// body.
-    ///
-    /// # Errors
-    ///
-    /// [`TxError::BudgetExhausted`] when the budget runs out before a
-    /// validated commit; [`TxError::OpPanicked`] when the body panics.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DynamicStm::run` with \
-                `TxOptions::new().manager(AdaptiveManager::new(port.proc_id())).budget(budget)`"
-    )]
-    pub fn run_within<P: MemPort, R>(
-        &self,
-        port: &mut P,
-        budget: TxBudget,
-        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
-    ) -> Result<(R, TxStats), TxError> {
-        let cm = AdaptiveManager::new(port.proc_id());
-        self.run(port, body, &mut TxOptions::new().manager(cm).budget(budget))
-    }
-
-    /// [`DynamicStm::run_within`] with an explicit [`ContentionManager`] and
-    /// [`TxObserver`](crate::observe::TxObserver).
-    ///
-    /// # Errors
-    ///
-    /// See [`DynamicStm::run_within`].
-    ///
-    /// # Panics
-    ///
-    /// Panics if the transaction's footprint exceeds the instance's
-    /// `max_locs`.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `DynamicStm::run`, lending the manager and observer via \
-                `TxOptions::new().manager(&mut *cm).observer(&mut *obs).budget(budget)`"
-    )]
-    pub fn run_within_observed<P, R, C, O>(
-        &self,
-        port: &mut P,
-        budget: TxBudget,
-        cm: &mut C,
-        obs: &mut O,
-        body: impl FnMut(&mut DynamicTx<'_, P>) -> R,
-    ) -> Result<(R, TxStats), TxError>
-    where
-        P: MemPort,
-        C: ContentionManager,
-        O: crate::observe::TxObserver,
-    {
-        self.run(
-            port,
-            body,
-            &mut TxOptions::new().manager(&mut *cm).observer(&mut *obs).budget(budget),
-        )
-    }
 }
 
 #[cfg(test)]
@@ -686,6 +748,91 @@ mod tests {
         let mut port = m.port(0);
         let total: u32 = (4..8).map(|c| d.read_cell(&mut port, c)).sum();
         assert_eq!(total, 200, "money conserved through dynamic transactions");
+    }
+
+    #[test]
+    fn blocking_pop_waits_for_a_concurrent_push() {
+        let (d, m) = setup(4, 2);
+        std::thread::scope(|s| {
+            let d2 = d.clone();
+            let m2 = m.clone();
+            let consumer = s.spawn(move || {
+                let mut port = m2.port(0);
+                d2.run_blocking(
+                    &mut port,
+                    |tx| {
+                        let v = tx.read(0);
+                        if v == 0 {
+                            return tx.retry();
+                        }
+                        tx.write(0, 0);
+                        Ok(v)
+                    },
+                    &mut TxOptions::new(),
+                )
+                .unwrap()
+                .0
+            });
+            std::thread::sleep(std::time::Duration::from_millis(30));
+            let mut port = m.port(1);
+            d.run(&mut port, |tx| tx.write(0, 7), &mut TxOptions::new()).unwrap();
+            assert_eq!(consumer.join().unwrap(), 7);
+        });
+    }
+
+    #[test]
+    fn wakeup_budget_zero_fails_without_parking() {
+        let (d, m) = setup(4, 1);
+        let mut port = m.port(0);
+        let err = d
+            .run_blocking(
+                &mut port,
+                |tx| {
+                    let _ = tx.read(0);
+                    tx.retry::<()>()
+                },
+                &mut TxOptions::new().budget(TxBudget::wakeups(0)),
+            )
+            .unwrap_err();
+        assert_eq!(err, TxError::Retry { wakeups: 0 });
+    }
+
+    #[test]
+    fn retry_with_empty_read_set_errors_instead_of_sleeping_forever() {
+        let (d, m) = setup(4, 1);
+        let mut port = m.port(0);
+        let err =
+            d.run_blocking(&mut port, |tx| tx.retry::<()>(), &mut TxOptions::new()).unwrap_err();
+        assert!(matches!(err, TxError::Retry { wakeups: 0 }));
+    }
+
+    #[test]
+    fn or_else_falls_through_and_rolls_back_the_first_branch_writes() {
+        let (d, m) = setup(4, 1);
+        let mut port = m.port(0);
+        d.init_cell(&mut port, 1, 5);
+        let (v, _) = d
+            .run_or_else(
+                &mut port,
+                |tx| {
+                    tx.write(3, 99); // must be rolled back when the branch retries
+                    let v = tx.read(0);
+                    if v == 0 {
+                        return tx.retry();
+                    }
+                    Ok(v)
+                },
+                |tx| {
+                    let v = tx.read(1);
+                    tx.write(1, 0);
+                    Ok(v)
+                },
+                &mut TxOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(v, 5, "second branch committed");
+        assert_eq!(d.read_cell(&mut port, 3), 0, "first branch's write rolled back");
+        assert_eq!(d.read_cell(&mut port, 1), 0);
     }
 
     #[test]

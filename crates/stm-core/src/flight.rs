@@ -99,6 +99,12 @@ pub enum FlightKind {
     /// A dynamic transaction committed via delta-revalidation (`a` = read
     /// cells that had changed and were refreshed in place).
     DeltaCommit = 14,
+    /// A blocking dynamic transaction parked on its read set (`a` = watched
+    /// cells).
+    RetryBlocked = 15,
+    /// A parked blocking transaction returned from its park (`a` =
+    /// cumulative wakeups for this call).
+    RetryWoken = 16,
 }
 
 impl FlightKind {
@@ -118,6 +124,8 @@ impl FlightKind {
             12 => Self::ForcedCommit,
             13 => Self::ConflictDeferred,
             14 => Self::DeltaCommit,
+            15 => Self::RetryBlocked,
+            16 => Self::RetryWoken,
             _ => return None,
         })
     }
@@ -139,6 +147,8 @@ impl FlightKind {
             Self::ForcedCommit => "forced_commit",
             Self::ConflictDeferred => "conflict_deferred",
             Self::DeltaCommit => "delta_commit",
+            Self::RetryBlocked => "retry_blocked",
+            Self::RetryWoken => "retry_woken",
         }
     }
 }
@@ -583,6 +593,16 @@ impl TxObserver for FlightRecorder {
     #[inline]
     fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
         self.push(FlightKind::DeltaCommit, proc, cells_changed, 0, now);
+    }
+
+    #[inline]
+    fn retry_blocked(&mut self, proc: usize, watched: u64, now: u64) {
+        self.push(FlightKind::RetryBlocked, proc, watched, 0, now);
+    }
+
+    #[inline]
+    fn retry_woken(&mut self, proc: usize, wakeups: u64, now: u64) {
+        self.push(FlightKind::RetryWoken, proc, wakeups, 0, now);
     }
 }
 

@@ -101,7 +101,7 @@ pub use contention::{
 pub use durable::{
     DurableMem, FileJournal, FlushInfo, Journal, MemJournal, NoJournal, RecoveryReport, RedoRecord,
 };
-pub use dynamic::{DynamicStm, DynamicTx};
+pub use dynamic::{DynamicStm, DynamicTx, Retry};
 pub use export::{
     encode_openmetrics, parse_openmetrics, snapshot_json, MetricsRegistry, MetricsSnapshot,
     OpLatency, ProcCounters,
@@ -127,7 +127,9 @@ pub use word::{Addr, CellIdx, Word};
 ///
 /// Curates the types needed to build an STM instance, run static and dynamic
 /// transactions through the unified [`Stm::run`] / [`DynamicStm::run`] entry
-/// points, and tune them via [`TxOptions`]:
+/// points (or block until a wakeup via
+/// [`DynamicStm::run_blocking`](dynamic::DynamicStm::run_blocking)), and tune
+/// them via [`TxOptions`]:
 ///
 /// ```
 /// use stm_core::prelude::*;
@@ -152,7 +154,7 @@ pub use word::{Addr, CellIdx, Word};
 pub mod prelude {
     pub use crate::contention::{AdaptiveManager, ContentionManager, ImmediateRetry};
     pub use crate::durable::{FileJournal, Journal, MemJournal, NoJournal};
-    pub use crate::dynamic::{DynamicStm, DynamicTx};
+    pub use crate::dynamic::{DynamicStm, DynamicTx, Retry};
     pub use crate::machine::host::HostMachine;
     pub use crate::machine::MemPort;
     pub use crate::observe::{NoopObserver, TxObserver};

@@ -170,6 +170,12 @@ impl<P: MemPort> MemPort for ChaosPort<P> {
     fn park_micros(&mut self, micros: u64) {
         self.inner.park_micros(micros)
     }
+    fn wait_on(&mut self, watches: &[(Addr, Word)], max_park_micros: u64) {
+        self.inner.wait_on(watches, max_park_micros)
+    }
+    fn notify(&mut self, addr: Addr) {
+        self.inner.notify(addr)
+    }
 
     fn step(&mut self, point: StepPoint) {
         self.stats.steps += 1;

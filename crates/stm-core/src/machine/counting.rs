@@ -115,6 +115,16 @@ impl<P: MemPort> MemPort for CountingPort<P> {
     fn step(&mut self, point: StepPoint) {
         self.inner.step(point)
     }
+
+    // Blocking hooks forward uncounted: `notify` rides the install hot path
+    // of every committing writer, and counting it would perturb the
+    // footprint-stability baselines for non-blocking workloads.
+    fn wait_on(&mut self, watches: &[(Addr, Word)], max_park_micros: u64) {
+        self.inner.wait_on(watches, max_park_micros)
+    }
+    fn notify(&mut self, addr: Addr) {
+        self.inner.notify(addr)
+    }
 }
 
 #[cfg(test)]

@@ -5,11 +5,33 @@
 //! is evaluated on the simulator runs here at native speed. All operations
 //! are `SeqCst` (see [`MemPort`] for why).
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::machine::MemPort;
 use crate::word::{Addr, Word};
+
+/// Number of hashed waiter buckets; a power of two so the bucket of an
+/// address is a mask.
+const WAITER_BUCKETS: usize = 64;
+
+/// Longest single OS park while blocked, as a belt-and-braces bound: the
+/// registry guarantees a wakeup, but capping each park keeps a waiter
+/// recoverable at negligible CPU cost even if an unpark were somehow lost.
+const PARK_SLICE: Duration = Duration::from_millis(20);
+
+/// One thread blocked in [`MemPort::wait_on`], registered under every
+/// address it watches.
+#[derive(Debug)]
+struct Waiter {
+    woken: AtomicBool,
+    thread: std::thread::Thread,
+}
+
+/// One hashed waiter list: every `(addr, waiter)` registration whose
+/// address hashed into this bucket.
+type WaiterBucket = Mutex<Vec<(Addr, Arc<Waiter>)>>;
 
 /// A shared word-addressed memory on the host, sized at construction.
 ///
@@ -36,6 +58,18 @@ pub struct HostMachine {
 struct HostMem {
     words: Box<[AtomicU64]>,
     n_procs: usize,
+    /// Hashed per-address waiter lists for [`MemPort::wait_on`].
+    waiters: Box<[WaiterBucket]>,
+    /// Number of threads currently registered in `waiters`: lets
+    /// [`MemPort::notify`] on the install hot path bail with one atomic load
+    /// when nobody is blocked.
+    n_waiters: AtomicUsize,
+}
+
+impl HostMem {
+    fn bucket(&self, addr: Addr) -> &WaiterBucket {
+        &self.waiters[addr & (WAITER_BUCKETS - 1)]
+    }
 }
 
 impl HostMachine {
@@ -53,7 +87,11 @@ impl HostMachine {
             crate::word::MAX_PROCS
         );
         let words = (0..n_words).map(|_| AtomicU64::new(0)).collect::<Vec<_>>().into_boxed_slice();
-        HostMachine { inner: Arc::new(HostMem { words, n_procs }) }
+        let waiters =
+            (0..WAITER_BUCKETS).map(|_| Mutex::new(Vec::new())).collect::<Vec<_>>().into_boxed_slice();
+        HostMachine {
+            inner: Arc::new(HostMem { words, n_procs, waiters, n_waiters: AtomicUsize::new(0) }),
+        }
     }
 
     /// Number of shared words.
@@ -131,6 +169,62 @@ impl MemPort for HostPort {
         // only needs "roughly this long, maybe less".
         std::thread::park_timeout(std::time::Duration::from_micros(micros));
     }
+
+    fn wait_on(&mut self, watches: &[(Addr, Word)], max_park_micros: u64) {
+        let me =
+            Arc::new(Waiter { woken: AtomicBool::new(false), thread: std::thread::current() });
+        // Register on every watched address *before* revalidating, so the
+        // SeqCst total order gives: if our revalidation read misses a writer's
+        // install, the install is ordered after it — and therefore after our
+        // registration — so the writer's notify must find us and unpark.
+        for &(addr, _) in watches {
+            self.mem.bucket(addr).lock().unwrap().push((addr, Arc::clone(&me)));
+        }
+        self.mem.n_waiters.fetch_add(1, Ordering::SeqCst);
+        let deadline = Instant::now().checked_add(Duration::from_micros(max_park_micros));
+        loop {
+            if watches.iter().any(|&(a, w)| self.mem.words[a].load(Ordering::SeqCst) != w)
+                || me.woken.load(Ordering::SeqCst)
+            {
+                break;
+            }
+            let slice = match deadline {
+                Some(d) => {
+                    let now = Instant::now();
+                    if now >= d {
+                        break;
+                    }
+                    (d - now).min(PARK_SLICE)
+                }
+                None => PARK_SLICE,
+            };
+            // An unpark that lands before the park hands us a token, so the
+            // park returns immediately: no check-to-park wakeup window.
+            std::thread::park_timeout(slice);
+        }
+        self.mem.n_waiters.fetch_sub(1, Ordering::SeqCst);
+        for &(addr, _) in watches {
+            self.mem
+                .bucket(addr)
+                .lock()
+                .unwrap()
+                .retain(|(a, w)| !(*a == addr && Arc::ptr_eq(w, &me)));
+        }
+    }
+
+    fn notify(&mut self, addr: Addr) {
+        // Install-path fast exit: one load when nobody in the whole machine
+        // is blocked (the common case for non-blocking workloads).
+        if self.mem.n_waiters.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let bucket = self.mem.bucket(addr).lock().unwrap();
+        for (a, waiter) in bucket.iter() {
+            if *a == addr && !waiter.woken.swap(true, Ordering::SeqCst) {
+                waiter.thread.unpark();
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -199,5 +293,48 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<HostMachine>();
         assert_send_sync::<HostPort>();
+    }
+
+    #[test]
+    fn wait_on_returns_immediately_when_a_watch_already_moved() {
+        let m = HostMachine::new(2, 1);
+        let mut p = m.port(0);
+        p.write(1, 5);
+        let t0 = Instant::now();
+        p.wait_on(&[(0, 0), (1, 0)], 60_000_000);
+        assert!(t0.elapsed() < Duration::from_secs(10), "must not sit out the full cap");
+    }
+
+    #[test]
+    fn wait_on_times_out_when_nothing_changes() {
+        let m = HostMachine::new(1, 1);
+        let mut p = m.port(0);
+        p.wait_on(&[(0, 0)], 10_000); // 10 ms cap, no writer: must return
+        assert_eq!(p.read(0), 0);
+        assert_eq!(m.inner.n_waiters.load(Ordering::SeqCst), 0, "deregistered after timeout");
+    }
+
+    #[test]
+    fn notify_unparks_a_cross_thread_waiter() {
+        let m = HostMachine::new(2, 2);
+        std::thread::scope(|s| {
+            let m2 = m.clone();
+            let waiter = s.spawn(move || {
+                let mut port = m2.port(0);
+                let t0 = Instant::now();
+                port.wait_on(&[(0, 0)], 60_000_000); // 60 s cap
+                assert!(
+                    t0.elapsed() < Duration::from_secs(30),
+                    "woken by notify, not by the cap"
+                );
+                port.read(0)
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            let mut writer = m.port(1);
+            writer.write(0, 7);
+            writer.notify(0);
+            assert_eq!(waiter.join().unwrap(), 7);
+        });
+        assert_eq!(m.inner.n_waiters.load(Ordering::SeqCst), 0, "registry drains");
     }
 }

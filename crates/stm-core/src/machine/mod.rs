@@ -94,6 +94,48 @@ pub trait MemPort {
     fn park_micros(&mut self, micros: u64) {
         self.delay(micros);
     }
+
+    /// Block until the word at some watched address differs from the value
+    /// recorded for it, or roughly `max_park_micros` elapse — the blocking
+    /// primitive behind [`DynamicStm::run_blocking`](crate::DynamicStm).
+    ///
+    /// The contract is condition-variable-like: spurious returns are allowed
+    /// (callers revalidate and re-wait), but a return **must not** be lost —
+    /// if a writer changes a watched word after `wait_on` has re-read it as
+    /// unchanged, the waiter must still wake (the writer calls
+    /// [`MemPort::notify`] after every install). The host machine keeps a
+    /// per-address waiter registry and parks the OS thread; the simulator
+    /// parks the virtual processor without consuming scheduler steps and
+    /// wakes it deterministically. The portable default below re-checks the
+    /// watched words between bounded parks, so ports that override neither
+    /// hook still terminate — at polling cost, not wakeup cost.
+    fn wait_on(&mut self, watches: &[(Addr, Word)], max_park_micros: u64) {
+        let mut remaining = max_park_micros;
+        loop {
+            let mut changed = false;
+            for &(addr, seen) in watches {
+                if self.read(addr) != seen {
+                    changed = true;
+                    break;
+                }
+            }
+            if changed || remaining == 0 {
+                return;
+            }
+            let slice = remaining.min(100);
+            self.park_micros(slice);
+            remaining -= slice;
+        }
+    }
+
+    /// Wake any processor parked in [`MemPort::wait_on`] watching `addr`.
+    ///
+    /// The STM install path calls this after every successful value-changing
+    /// CAS. Machines without a waiter registry (and the polling default
+    /// `wait_on`) need no delivery, so the default is a no-op that compiles
+    /// to nothing on such ports.
+    #[inline(always)]
+    fn notify(&mut self, _addr: Addr) {}
 }
 
 /// Blanket impl so `&mut P` can be passed where a port is consumed by value
@@ -128,6 +170,12 @@ impl<P: MemPort + ?Sized> MemPort for &mut P {
     }
     fn park_micros(&mut self, micros: u64) {
         (**self).park_micros(micros)
+    }
+    fn wait_on(&mut self, watches: &[(Addr, Word)], max_park_micros: u64) {
+        (**self).wait_on(watches, max_park_micros)
+    }
+    fn notify(&mut self, addr: Addr) {
+        (**self).notify(addr)
     }
 }
 

@@ -251,6 +251,8 @@ pub struct TxMetrics {
     forced_commits: u64,
     conflicts_deferred: u64,
     delta_commits: u64,
+    retry_blocks: u64,
+    retry_wakeups: u64,
     op_panics: u64,
     journal_records: u64,
     journal_bytes: u64,
@@ -326,6 +328,16 @@ impl TxMetrics {
         self.delta_commits
     }
 
+    /// Times a blocking dynamic transaction parked on its read set.
+    pub fn retry_blocks(&self) -> u64 {
+        self.retry_blocks
+    }
+
+    /// Times a parked blocking transaction returned from its park to re-run.
+    pub fn retry_wakeups(&self) -> u64 {
+        self.retry_wakeups
+    }
+
     /// Commit programs contained after panicking mid-transaction.
     pub fn op_panics(&self) -> u64 {
         self.op_panics
@@ -398,6 +410,8 @@ impl TxMetrics {
         self.forced_commits += other.forced_commits;
         self.conflicts_deferred += other.conflicts_deferred;
         self.delta_commits += other.delta_commits;
+        self.retry_blocks += other.retry_blocks;
+        self.retry_wakeups += other.retry_wakeups;
         self.op_panics += other.op_panics;
         self.journal_records += other.journal_records;
         self.journal_bytes += other.journal_bytes;
@@ -437,6 +451,12 @@ impl TxMetrics {
             out.push_str(&format!(
                 "fairness:          forced-commits {} deferrals {} delta-commits {}\n",
                 self.forced_commits, self.conflicts_deferred, self.delta_commits
+            ));
+        }
+        if self.retry_blocks > 0 || self.retry_wakeups > 0 {
+            out.push_str(&format!(
+                "blocking:          parks {} wakeups {}\n",
+                self.retry_blocks, self.retry_wakeups
             ));
         }
         if self.flush_latency.count() > 0 || self.recovery_replays.count() > 0 {
@@ -556,6 +576,14 @@ impl TxObserver for TxMetrics {
 
     fn delta_committed(&mut self, _proc: usize, _cells_changed: u64, _now: u64) {
         self.delta_commits += 1;
+    }
+
+    fn retry_blocked(&mut self, _proc: usize, _watched: u64, _now: u64) {
+        self.retry_blocks += 1;
+    }
+
+    fn retry_woken(&mut self, _proc: usize, _wakeups: u64, _now: u64) {
+        self.retry_wakeups += 1;
     }
 }
 

@@ -6,10 +6,9 @@
 //! acquisition, the conflict that failed an attempt, the helping span spent
 //! on another processor's transaction, installs, releases, and the terminal
 //! commit/abort of each attempt. The observer parameter is **monomorphized**
-//! ([`Stm::execute_observed`](crate::stm::Stm::execute_observed) is generic
-//! over `O: TxObserver`), and every callback has an empty `#[inline]`
-//! default, so the uninstrumented path — [`NoopObserver`] — compiles to
-//! exactly the code the plain [`Stm::execute`](crate::stm::Stm::execute)
+//! ([`Stm::run`](crate::stm::Stm::run) is generic over `O: TxObserver`), and
+//! every callback has an empty `#[inline]` default, so the uninstrumented
+//! path — [`NoopObserver`] — compiles to exactly the code the unobserved
 //! fast path had before observers existed. The counting-port footprint test
 //! in [`crate::machine::counting`] pins that equivalence.
 //!
@@ -29,8 +28,8 @@
 //!
 //! # Event grammar
 //!
-//! Per [`Stm::execute_observed`](crate::stm::Stm::execute_observed) call, the
-//! emitted sequence is:
+//! Per observed [`Stm::run`](crate::stm::Stm::run) call, the emitted
+//! sequence is:
 //!
 //! ```text
 //! ( attempt_begin
@@ -127,13 +126,11 @@ pub trait TxObserver {
         let _ = (proc, at, now);
     }
 
-    /// The managed retry loop ([`Stm::try_execute_within`](crate::stm::Stm::try_execute_within))
-    /// is about to wait between attempts on a [`ContentionManager`](crate::contention::ContentionManager)
+    /// The managed retry loop ([`Stm::run`](crate::stm::Stm::run)) is about
+    /// to wait between attempts on a [`ContentionManager`](crate::contention::ContentionManager)
     /// decision. `amount` is the spin window in cycles for a spin wait, the
     /// park duration in microseconds for a parked wait, and `0` for a plain
-    /// yield. Never emitted by the classic `execute`/`execute_observed`
-    /// paths (which use the static [`BackoffPolicy`](crate::stm::BackoffPolicy)),
-    /// so it sits outside the core event grammar above.
+    /// yield. Sits outside the core event grammar above.
     #[inline]
     fn backoff_wait(&mut self, proc: usize, attempt: u64, amount: u64, now: u64) {
         let _ = (proc, attempt, amount, now);
@@ -150,9 +147,8 @@ pub trait TxObserver {
 
     /// A commit program panicked inside this processor's own attempt. The
     /// transaction installed nothing, all ownerships were released, and the
-    /// panic is being surfaced (re-raised by the classic paths,
-    /// [`TxError::OpPanicked`](crate::stm::TxError::OpPanicked) on the
-    /// managed paths).
+    /// panic is being surfaced as
+    /// [`TxError::OpPanicked`](crate::stm::TxError::OpPanicked).
     #[inline]
     fn op_panicked(&mut self, proc: usize, attempts: u64, now: u64) {
         let _ = (proc, attempts, now);
@@ -206,6 +202,22 @@ pub trait TxObserver {
     #[inline]
     fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
         let _ = (proc, cells_changed, now);
+    }
+
+    /// A blocking dynamic transaction
+    /// ([`DynamicStm::run_blocking`](crate::dynamic::DynamicStm::run_blocking))
+    /// hit `retry` and is about to park on its read set of `watched` cells.
+    #[inline]
+    fn retry_blocked(&mut self, proc: usize, watched: u64, now: u64) {
+        let _ = (proc, watched, now);
+    }
+
+    /// A blocking dynamic transaction returned from its park (cumulative
+    /// `wakeups` for this call, counting this one) and is about to re-run
+    /// its body.
+    #[inline]
+    fn retry_woken(&mut self, proc: usize, wakeups: u64, now: u64) {
+        let _ = (proc, wakeups, now);
     }
 }
 
@@ -284,6 +296,14 @@ impl<O: TxObserver + ?Sized> TxObserver for &mut O {
     #[inline]
     fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
         (**self).delta_committed(proc, cells_changed, now)
+    }
+    #[inline]
+    fn retry_blocked(&mut self, proc: usize, watched: u64, now: u64) {
+        (**self).retry_blocked(proc, watched, now)
+    }
+    #[inline]
+    fn retry_woken(&mut self, proc: usize, wakeups: u64, now: u64) {
+        (**self).retry_woken(proc, wakeups, now)
     }
 }
 
@@ -377,6 +397,16 @@ impl<A: TxObserver, B: TxObserver> TxObserver for (A, B) {
         self.0.delta_committed(proc, cells_changed, now);
         self.1.delta_committed(proc, cells_changed, now);
     }
+    #[inline]
+    fn retry_blocked(&mut self, proc: usize, watched: u64, now: u64) {
+        self.0.retry_blocked(proc, watched, now);
+        self.1.retry_blocked(proc, watched, now);
+    }
+    #[inline]
+    fn retry_woken(&mut self, proc: usize, wakeups: u64, now: u64) {
+        self.0.retry_woken(proc, wakeups, now);
+        self.1.retry_woken(proc, wakeups, now);
+    }
 }
 
 /// The default observer: every callback is a no-op, and the monomorphized
@@ -427,6 +457,10 @@ pub enum TxEvent {
     ForcedCommit { proc: usize, attempts: u64, at: u64 },
     /// [`TxObserver::delta_committed`] (dynamic layer, delta path enabled).
     DeltaCommitted { proc: usize, cells_changed: u64, at: u64 },
+    /// [`TxObserver::retry_blocked`] (blocking dynamic layer only).
+    RetryBlocked { proc: usize, watched: u64, at: u64 },
+    /// [`TxObserver::retry_woken`] (blocking dynamic layer only).
+    RetryWoken { proc: usize, wakeups: u64, at: u64 },
 }
 
 /// Default [`RecordingObserver`] capacity: generous for tests and tours,
@@ -543,6 +577,12 @@ impl TxObserver for RecordingObserver {
     }
     fn delta_committed(&mut self, proc: usize, cells_changed: u64, now: u64) {
         self.push(TxEvent::DeltaCommitted { proc, cells_changed, at: now });
+    }
+    fn retry_blocked(&mut self, proc: usize, watched: u64, now: u64) {
+        self.push(TxEvent::RetryBlocked { proc, watched, at: now });
+    }
+    fn retry_woken(&mut self, proc: usize, wakeups: u64, now: u64) {
+        self.push(TxEvent::RetryWoken { proc, wakeups, at: now });
     }
 }
 

@@ -344,13 +344,6 @@ impl StmOps {
     {
         self.stm.run(port, spec, opts)
     }
-
-    /// Run an arbitrary registered program, retrying until commit.
-    #[deprecated(since = "0.2.0", note = "use `StmOps::run` with `TxOptions::new()`")]
-    #[allow(deprecated)] // wrapper delegates along the legacy chain
-    pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
-        self.stm.execute(port, spec)
-    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,16 @@ pub enum StepPoint {
     /// The dynamic-transaction layer is about to run its validate-and-write
     /// commit (a static transaction over the collected footprint).
     DynCommit,
+    /// A blocking dynamic transaction hit `retry` and is about to register on
+    /// its read set and park ([`MemPort::wait_on`](crate::machine::MemPort)).
+    /// Crashing here models a processor dying while (about to be) parked.
+    /// Announced only by `run_blocking`, so non-blocking schedules never
+    /// carry it.
+    RetryPark,
+    /// A blocking dynamic transaction returned from its park (a watched cell
+    /// changed, or the wait was capped) and is about to re-run its body.
+    /// Announced only by `run_blocking`.
+    RetryWake,
 }
 
 impl StepPoint {
@@ -118,6 +128,8 @@ impl StepPoint {
             StepPoint::BeforeRelease { .. } => StepKind::BeforeRelease,
             StepPoint::HelpBegin { .. } => StepKind::HelpBegin,
             StepPoint::DynCommit => StepKind::DynCommit,
+            StepPoint::RetryPark => StepKind::RetryPark,
+            StepPoint::RetryWake => StepKind::RetryWake,
         }
     }
 
@@ -151,6 +163,8 @@ impl std::fmt::Display for StepPoint {
             StepPoint::BeforeRelease { j } => write!(f, "BeforeRelease{{{j}}}"),
             StepPoint::HelpBegin { owner } => write!(f, "HelpBegin{{P{owner}}}"),
             StepPoint::DynCommit => write!(f, "DynCommit"),
+            StepPoint::RetryPark => write!(f, "RetryPark"),
+            StepPoint::RetryWake => write!(f, "RetryWake"),
         }
     }
 }
@@ -189,6 +203,12 @@ pub enum StepKind {
     HelpBegin,
     /// See [`StepPoint::DynCommit`].
     DynCommit,
+    /// See [`StepPoint::RetryPark`]. Only blocking (`run_blocking`)
+    /// transactions announce it, so — like [`StepKind::ForcedAcquired`] — it
+    /// stays out of [`StepKind::PROTOCOL`].
+    RetryPark,
+    /// See [`StepPoint::RetryWake`]. Only blocking transactions announce it.
+    RetryWake,
 }
 
 impl StepKind {
@@ -256,6 +276,8 @@ mod tests {
             StepPoint::BeforeRelease { j: 1 },
             StepPoint::HelpBegin { owner: 3 },
             StepPoint::DynCommit,
+            StepPoint::RetryPark,
+            StepPoint::RetryWake,
         ];
         for s in steps {
             assert_eq!(s.kind().has_index(), s.index().is_some(), "{s}");
@@ -281,6 +303,19 @@ mod tests {
                 "non-durable sweeps must not announce {kind}"
             );
         }
+    }
+
+    #[test]
+    fn retry_kinds_stay_out_of_protocol() {
+        for kind in [StepKind::RetryPark, StepKind::RetryWake] {
+            assert!(!kind.has_index(), "{kind}");
+            assert!(
+                !StepKind::PROTOCOL.contains(&kind),
+                "non-blocking sweeps must never announce {kind}"
+            );
+        }
+        assert_eq!(StepPoint::RetryPark.to_string(), "RetryPark");
+        assert_eq!(StepPoint::RetryWake.to_string(), "RetryWake");
     }
 
     #[test]

@@ -19,7 +19,7 @@
 use std::any::Any;
 
 use crate::contention::{ConflictInfo, ContentionManager, PriorityLevel, WaitAction};
-use crate::durable::{Journal, NoJournal, RedoRecord};
+use crate::durable::{Journal, RedoRecord};
 use crate::machine::MemPort;
 use crate::observe::{NoopObserver, TxObserver};
 use crate::program::OpCode;
@@ -31,7 +31,7 @@ use crate::word::{
 };
 
 use super::plan::{Kernel, ProtoBuf, TxScratch, ViewBuf, ViewRef};
-use super::{Stm, TxBudget, TxConflict, TxError, TxOutcome, TxSpec, TxStats};
+use super::{Stm, TxBudget, TxError, TxSpec, TxStats};
 
 /// A contained panic payload from a user commit program (re-raised or
 /// surfaced as [`TxError::OpPanicked`] by the caller, after cleanup).
@@ -96,16 +96,6 @@ enum SweepOutcome {
     Blocked { at: usize },
 }
 
-/// Build a [`TxOutcome`] out of the scratch's committed old values,
-/// consuming the buffers (only for call-local scratches).
-fn take_outcome(scratch: &mut TxScratch, stats: TxStats) -> TxOutcome {
-    TxOutcome {
-        old: std::mem::take(&mut scratch.out_old),
-        old_stamps: std::mem::take(&mut scratch.out_stamps),
-        stats,
-    }
-}
-
 /// Fault injection for tests: initialize the record and acquire ownerships
 /// for `spec`, then abandon the transaction undecided (as a processor that
 /// crashed mid-protocol would). The paper's liveness claim is that other
@@ -131,79 +121,6 @@ pub(super) fn start_and_abandon<P: MemPort>(stm: &Stm, port: &mut P, spec: &TxSp
     vb.fill_from_spec(&l, spec);
     let _ = acquire_general(stm, port, me, version, vb.view(spec.op), &mut NoopObserver, SweepMode::Classic);
     // ... and vanish: no decision handling, no release, no retry.
-}
-
-/// Run `spec` to completion (the paper's retry loop with helping).
-///
-/// A panicking commit program is contained while ownerships are held (see
-/// [`update_general`]) and re-raised here, after the machine is clean.
-pub(super) fn execute<P: MemPort, O: TxObserver>(
-    stm: &Stm,
-    port: &mut P,
-    spec: &TxSpec<'_>,
-    obs: &mut O,
-) -> TxOutcome {
-    // The view is attempt-invariant: build (and sort) it once per call, not
-    // once per retry.
-    let mut vb = ViewBuf::default();
-    vb.fill_from_spec(stm.layout(), spec);
-    let view = vb.view(spec.op);
-    let mut scratch = TxScratch::new();
-    scratch.reserve_for(stm.layout());
-    let mut stats = TxStats::default();
-    loop {
-        match attempt(
-            stm,
-            port,
-            view,
-            Kernel::General,
-            &mut stats,
-            obs,
-            &mut NoJournal,
-            stm.config.helping,
-            PriorityLevel::Normal,
-            &mut scratch,
-        ) {
-            Ok(()) => return take_outcome(&mut scratch, stats),
-            Err(AttemptError::Conflict { .. }) => {
-                let wait = stm.config.backoff.wait_cycles(port.proc_id(), stats.attempts);
-                if wait > 0 {
-                    port.delay(wait);
-                }
-            }
-            Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
-        }
-    }
-}
-
-/// Run `spec` once.
-pub(super) fn try_execute<P: MemPort, O: TxObserver>(
-    stm: &Stm,
-    port: &mut P,
-    spec: &TxSpec<'_>,
-    obs: &mut O,
-) -> Result<TxOutcome, TxConflict> {
-    let mut vb = ViewBuf::default();
-    vb.fill_from_spec(stm.layout(), spec);
-    let mut scratch = TxScratch::new();
-    scratch.reserve_for(stm.layout());
-    let mut stats = TxStats::default();
-    match attempt(
-        stm,
-        port,
-        vb.view(spec.op),
-        Kernel::General,
-        &mut stats,
-        obs,
-        &mut NoJournal,
-        stm.config.helping,
-        PriorityLevel::Normal,
-        &mut scratch,
-    ) {
-        Ok(()) => Ok(take_outcome(&mut scratch, stats)),
-        Err(AttemptError::Conflict { at }) => Err(TxConflict { at }),
-        Err(AttemptError::Panicked(payload)) => std::panic::resume_unwind(payload),
-    }
 }
 
 /// The retry loop behind every budgeted/managed entry point
@@ -896,6 +813,13 @@ fn install_cell<P: MemPort, O: TxObserver>(
     }
     obs.write_back(port.proc_id(), cell, port.now());
     let _ = port.compare_exchange(cell_addr, old, cell_successor(old, new_value));
+    // Wake transactions blocked on this cell. Announced even when the CAS
+    // lost (another participant of the same transaction installed first):
+    // the value changed either way, and notify after the install's SeqCst
+    // point is what rules out the sleep/commit race (docs/protocol.md §14).
+    // Helpers completing a crashed writer's commit pass through here too, so
+    // parked waiters survive crash-while-committing interleavings.
+    port.notify(cell_addr);
 }
 
 /// Free one location iff it is still held by `(owner, version)` — the body

@@ -202,7 +202,8 @@ impl<'a> TxSpec<'a> {
     }
 }
 
-/// Statistics of one [`Stm::execute`] call.
+/// Statistics of one transaction call ([`Stm::run`] /
+/// [`DynamicStm::run`](crate::dynamic::DynamicStm::run)).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxStats {
     /// Number of attempts (1 = committed first try).
@@ -211,6 +212,11 @@ pub struct TxStats {
     pub helps: u64,
     /// Number of ownership conflicts encountered across all attempts.
     pub conflicts: u64,
+    /// Number of times a blocking call
+    /// ([`DynamicStm::run_blocking`](crate::dynamic::DynamicStm::run_blocking))
+    /// parked on its read set and was woken. Always 0 for non-blocking
+    /// entry points.
+    pub wakeups: u64,
 }
 
 impl TxStats {
@@ -219,6 +225,7 @@ impl TxStats {
         self.attempts += other.attempts;
         self.helps += other.helps;
         self.conflicts += other.conflicts;
+        self.wakeups += other.wakeups;
     }
 }
 
@@ -240,24 +247,9 @@ pub struct TxOutcome {
     pub stats: TxStats,
 }
 
-/// Error returned by [`Stm::try_execute`] when the single attempt failed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct TxConflict {
-    /// Cell index (program order position) on which the conflict occurred.
-    pub at: usize,
-}
-
-impl fmt::Display for TxConflict {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "transaction failed: data-set position {} owned by another transaction", self.at)
-    }
-}
-
-impl std::error::Error for TxConflict {}
-
-/// Typed failure of a budgeted execution
-/// ([`Stm::execute_for`] / [`Stm::try_execute_within`] /
-/// [`DynamicStm::run_within`](crate::dynamic::DynamicStm::run_within)).
+/// Typed failure of a budgeted execution ([`Stm::run`] /
+/// [`DynamicStm::run`](crate::dynamic::DynamicStm::run) /
+/// [`DynamicStm::run_blocking`](crate::dynamic::DynamicStm::run_blocking)).
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[must_use = "a budgeted transaction's failure must be handled, not dropped"]
 pub enum TxError {
@@ -294,6 +286,16 @@ pub enum TxError {
         /// The repeated cell index.
         cell: CellIdx,
     },
+    /// A blocking transaction
+    /// ([`DynamicStm::run_blocking`](crate::dynamic::DynamicStm::run_blocking))
+    /// gave up while waiting: either its wakeup budget
+    /// ([`TxBudget::max_wakeups`]) ran out, or the body retried with an
+    /// empty read set (nothing watched can ever change, so waiting would
+    /// sleep forever). The machine is left clean either way.
+    Retry {
+        /// Wakeups consumed before giving up.
+        wakeups: u64,
+    },
 }
 
 impl fmt::Display for TxError {
@@ -312,13 +314,19 @@ impl fmt::Display for TxError {
             TxError::DuplicateCell { cell } => {
                 write!(f, "duplicate cell {cell} in data set")
             }
+            TxError::Retry { wakeups } => write!(
+                f,
+                "blocking transaction gave up after {wakeups} wakeups \
+                 (wakeup budget exhausted or empty read set)"
+            ),
         }
     }
 }
 
 impl std::error::Error for TxError {}
 
-/// A retry budget for [`Stm::execute_for`] / [`Stm::try_execute_within`].
+/// A retry budget for budgeted entry points ([`Stm::run`] /
+/// [`DynamicStm::run`](crate::dynamic::DynamicStm::run)).
 ///
 /// Any combination of limits may be set; the first one hit ends the call
 /// with [`TxError::BudgetExhausted`]. Limits are checked *between* attempts,
@@ -329,7 +337,10 @@ impl std::error::Error for TxError {}
 /// * `max_cycles` — local-clock cycles per
 ///   [`MemPort::now`] (meaningful on the
 ///   simulator; the host clock reports 0, so this limit is inert there);
-/// * `max_wall` — wall-clock time (meaningful on the host).
+/// * `max_wall` — wall-clock time (meaningful on the host);
+/// * `max_wakeups` — park/wake rounds of a blocking call
+///   ([`DynamicStm::run_blocking`](crate::dynamic::DynamicStm::run_blocking));
+///   hitting it ends the call with [`TxError::Retry`] instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TxBudget {
     /// Maximum attempts (`None` = unlimited).
@@ -338,10 +349,13 @@ pub struct TxBudget {
     pub max_cycles: Option<u64>,
     /// Maximum elapsed wall-clock time (`None` = unlimited).
     pub max_wall: Option<std::time::Duration>,
+    /// Maximum blocking wakeups (`None` = wait as long as it takes).
+    /// Ignored by non-blocking entry points.
+    pub max_wakeups: Option<u64>,
 }
 
 impl TxBudget {
-    /// No limits: retry forever (the [`Stm::execute`] behaviour).
+    /// No limits: retry forever (the [`Stm::run`] default behaviour).
     pub fn unlimited() -> Self {
         Self::default()
     }
@@ -359,6 +373,11 @@ impl TxBudget {
     /// Limit to `d` of wall-clock time.
     pub fn wall(d: std::time::Duration) -> Self {
         TxBudget { max_wall: Some(d), ..Self::default() }
+    }
+
+    /// Limit a blocking call to `n` park/wake rounds.
+    pub fn wakeups(n: u64) -> Self {
+        TxBudget { max_wakeups: Some(n), ..Self::default() }
     }
 
     /// Whether any limit has been hit after `attempts` attempts,
@@ -696,7 +715,7 @@ impl Stm {
         Some(TxOutcome {
             old: words.iter().map(|&w| cell_value(w)).collect(),
             old_stamps: words.iter().map(|&w| crate::word::cell_stamp(w)).collect(),
-            stats: TxStats { attempts: rounds, helps: 0, conflicts: rounds - 1 },
+            stats: TxStats { attempts: rounds, helps: 0, conflicts: rounds - 1, wakeups: 0 },
         })
     }
 
@@ -713,164 +732,6 @@ impl Stm {
         entries: &[(CellIdx, Word)],
     ) -> bool {
         algo::validate_read_set(self, port, entries)
-    }
-
-    /// Execute `spec` to completion, retrying (and helping) until it commits.
-    ///
-    /// This is the paper's `startTransaction` loop. Returns the old values of
-    /// the data set in program order.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the spec is malformed: too many cells or parameters, an
-    /// out-of-range cell index, duplicate cells, or an opcode foreign to this
-    /// instance's table.
-    #[deprecated(since = "0.2.0", note = "use `Stm::run` with `TxOptions::new()`")]
-    #[allow(deprecated)] // wrappers delegate along the legacy chain
-    pub fn execute<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) -> TxOutcome {
-        self.execute_observed(port, spec, &mut crate::observe::NoopObserver)
-    }
-
-    /// [`Stm::execute`] with a [`TxObserver`](crate::observe::TxObserver)
-    /// receiving the transaction's lifecycle events (see
-    /// [`crate::observe`] for the event grammar).
-    ///
-    /// The observer is monomorphized; with
-    /// [`NoopObserver`](crate::observe::NoopObserver) this compiles to the
-    /// exact unobserved path (`execute` itself delegates here).
-    ///
-    /// # Panics
-    ///
-    /// Same as [`Stm::execute`].
-    #[deprecated(since = "0.2.0", note = "use `Stm::run` with `TxOptions::new().observer(obs)`")]
-    pub fn execute_observed<P: MemPort, O: crate::observe::TxObserver>(
-        &self,
-        port: &mut P,
-        spec: &TxSpec<'_>,
-        obs: &mut O,
-    ) -> TxOutcome {
-        self.validate_spec(port, spec);
-        algo::execute(self, port, spec, obs)
-    }
-
-    /// Attempt `spec` exactly once (still helping the conflicting transaction
-    /// if configured). On conflict returns the failing data-set position.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`TxConflict`] if a location in the data set was owned by
-    /// another live transaction during the attempt.
-    ///
-    /// # Panics
-    ///
-    /// Same as [`Stm::execute`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Stm::run` with `TxOptions::new().budget(TxBudget::attempts(1))`"
-    )]
-    #[allow(deprecated)] // wrappers delegate along the legacy chain
-    pub fn try_execute<P: MemPort>(
-        &self,
-        port: &mut P,
-        spec: &TxSpec<'_>,
-    ) -> Result<TxOutcome, TxConflict> {
-        self.try_execute_observed(port, spec, &mut crate::observe::NoopObserver)
-    }
-
-    /// [`Stm::try_execute`] with a
-    /// [`TxObserver`](crate::observe::TxObserver) receiving the attempt's
-    /// lifecycle events.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Stm::try_execute`].
-    ///
-    /// # Panics
-    ///
-    /// Same as [`Stm::execute`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Stm::run` with `TxOptions::new().observer(obs).budget(TxBudget::attempts(1))`"
-    )]
-    pub fn try_execute_observed<P: MemPort, O: crate::observe::TxObserver>(
-        &self,
-        port: &mut P,
-        spec: &TxSpec<'_>,
-        obs: &mut O,
-    ) -> Result<TxOutcome, TxConflict> {
-        self.validate_spec(port, spec);
-        algo::try_execute(self, port, spec, obs)
-    }
-
-    /// Execute `spec` under a [`TxBudget`] with the default
-    /// [`AdaptiveManager`](crate::contention::AdaptiveManager) contention
-    /// policy (spin → yield → parked back-off, starvation escalation to
-    /// help-first mode).
-    ///
-    /// This is the bounded counterpart of [`Stm::execute`]: instead of
-    /// looping forever under pathological contention it returns
-    /// [`TxError::BudgetExhausted`], and instead of letting a panicking
-    /// commit program unwind through the protocol it returns
-    /// [`TxError::OpPanicked`] after releasing every acquired ownership.
-    ///
-    /// # Errors
-    ///
-    /// [`TxError::BudgetExhausted`] when the budget runs out before a commit;
-    /// [`TxError::OpPanicked`] when the commit program panicked.
-    ///
-    /// # Panics
-    ///
-    /// Same spec validation as [`Stm::execute`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Stm::run` with `TxOptions::new().manager(AdaptiveManager::new(port.proc_id())).budget(budget)`"
-    )]
-    #[allow(deprecated)] // wrappers delegate along the legacy chain
-    pub fn execute_for<P: MemPort>(
-        &self,
-        port: &mut P,
-        spec: &TxSpec<'_>,
-        budget: TxBudget,
-    ) -> Result<TxOutcome, TxError> {
-        let mut cm = crate::contention::AdaptiveManager::new(port.proc_id());
-        self.try_execute_within(port, spec, budget, &mut cm, &mut crate::observe::NoopObserver)
-    }
-
-    /// [`Stm::execute_for`] with an explicit
-    /// [`ContentionManager`](crate::contention::ContentionManager) and
-    /// [`TxObserver`](crate::observe::TxObserver).
-    ///
-    /// The manager is consulted once per failed attempt; while it reports
-    /// [`help_first`](crate::contention::ContentionManager::help_first) the
-    /// retries run with helping forced on, even if this instance was
-    /// configured with `helping: false` — the starvation escape hatch.
-    ///
-    /// # Errors
-    ///
-    /// Same as [`Stm::execute_for`].
-    ///
-    /// # Panics
-    ///
-    /// Same spec validation as [`Stm::execute`].
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Stm::run` with `TxOptions::new().observer(obs).manager(cm).budget(budget)`"
-    )]
-    pub fn try_execute_within<P, C, O>(
-        &self,
-        port: &mut P,
-        spec: &TxSpec<'_>,
-        budget: TxBudget,
-        cm: &mut C,
-        obs: &mut O,
-    ) -> Result<TxOutcome, TxError>
-    where
-        P: MemPort,
-        C: crate::contention::ContentionManager,
-        O: crate::observe::TxObserver,
-    {
-        self.validate_spec(port, spec);
-        self.run_spec_inner(port, spec, budget, cm, obs, &mut crate::durable::NoJournal)
     }
 
     /// Read one cell's current committed value directly (no transaction).
@@ -913,11 +774,11 @@ impl Stm {
     /// commits even though its initiator died).
     ///
     /// The crashed processor's record must not be reused afterwards (do not
-    /// call [`Stm::execute`] on the same `proc_id` again in the test).
+    /// call [`Stm::run`] on the same `proc_id` again in the test).
     ///
     /// # Panics
     ///
-    /// Same spec validation as [`Stm::execute`].
+    /// Same spec validation as [`Stm::run`].
     pub fn inject_crash_after_acquire<P: MemPort>(&self, port: &mut P, spec: &TxSpec<'_>) {
         self.validate_spec(port, spec);
         algo::start_and_abandon(self, port, spec);
@@ -1045,28 +906,6 @@ mod tests {
         let out = stm.run(&mut port, &TxSpec::new(ops.add, &[1], &[0]), &mut opts).unwrap();
         assert_eq!(out.old, vec![0]);
         assert_eq!(out.stats.attempts, 1);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_wrappers_preserve_legacy_semantics() {
-        // The pre-TxOptions entry points must keep working (and agreeing
-        // with the unified path) until removal.
-        let (stm, m, ops) = setup(8, 1);
-        let mut port = m.port(0);
-        let out = stm.execute(&mut port, &TxSpec::new(ops.add, &[2], &[0]));
-        assert_eq!(out.old, vec![0]);
-        let out = stm.try_execute(&mut port, &TxSpec::new(ops.add, &[3], &[0])).unwrap();
-        assert_eq!(out.old, vec![2]);
-        let out = stm
-            .execute_for(&mut port, &TxSpec::new(ops.add, &[5], &[0]), TxBudget::unlimited())
-            .unwrap();
-        assert_eq!(out.old, vec![5]);
-        let mut rec = crate::observe::RecordingObserver::new();
-        let out = stm.execute_observed(&mut port, &TxSpec::new(ops.add, &[1], &[0]), &mut rec);
-        assert_eq!(out.old, vec![10]);
-        assert!(!rec.events().is_empty());
-        assert_eq!(stm.read_cell(&mut port, 0), 11);
     }
 
     #[test]

@@ -131,6 +131,16 @@ pub enum Violation {
         /// Protocol steps taken by non-crashed processors in the window.
         steps: usize,
     },
+    /// Every live processor was parked on a retry watch with no pending
+    /// event left to change memory: the blocking composition deadlocked.
+    /// Reported structurally (like a watchdog trip) rather than poisoning
+    /// the engine, so tests can assert on it.
+    RetryDeadlock {
+        /// Processors parked when the engine ran out of events, ascending.
+        parked: Vec<usize>,
+        /// Virtual clock when the deadlock was detected.
+        at: u64,
+    },
     /// A forced-priority acquisition sweep claimed locations out of
     /// ascending cell order — the invariant that makes the forced tier's
     /// never-self-fail sweep deadlock-free. Produced by
@@ -158,6 +168,16 @@ impl std::fmt::Display for Violation {
                 f,
                 "no progress: {steps} protocol steps between cycles {window_start} and {at} without a commit"
             ),
+            Violation::RetryDeadlock { ref parked, at } => {
+                write!(f, "retry deadlock: at cycle {at} every live processor was parked (")?;
+                for (i, p) in parked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ")?;
+                    }
+                    write!(f, "P{p}")?;
+                }
+                write!(f, ") with no writer left to wake them")
+            }
             Violation::ForcedOrder { proc, prev_cell, cell, at } => write!(
                 f,
                 "forced order: P{proc} claimed cell {cell} after cell {prev_cell} at cycle {at}"
@@ -188,6 +208,9 @@ pub struct SimReport {
     pub trace_dropped: u64,
 }
 
+/// Park timestamp plus the watched `(addr, word)` pairs of one parked proc.
+type ParkedWaiter = (u64, Vec<(Addr, Word)>);
+
 struct SimState {
     mem: Vec<Word>,
     model: Box<dyn CostModel>,
@@ -196,6 +219,13 @@ struct SimState {
     /// Which processor is currently granted/executing user code.
     running: Option<usize>,
     granted: Vec<bool>,
+    /// Per-proc park state: `Some((t_parked, watches))` while the proc sits
+    /// in [`SimPort::wait_on`] with **no** pending queue event — a parked
+    /// processor consumes zero scheduler steps until a notify re-queues it.
+    parked: Vec<Option<ParkedWaiter>>,
+    parked_count: usize,
+    /// Virtual time a notify assigned to each proc's next wakeup.
+    wake_time: Vec<u64>,
     finished: usize,
     n_procs: usize,
     seq: u64,
@@ -257,6 +287,25 @@ impl Shared {
             st.running = Some(p);
             self.proc_cvs[p].notify_one();
         } else if st.finished == st.n_procs {
+            self.main_cv.notify_all();
+        } else if st.parked_count > 0 && st.finished + st.parked_count == st.n_procs {
+            // Every live processor is parked on a retry watch and no event
+            // remains to change memory: a genuine blocking deadlock. Halt
+            // structurally (the report carries the violation) instead of
+            // poisoning — this is a workload property, not an engine bug.
+            st.halted = true;
+            if st.violation.is_none() {
+                let parked: Vec<usize> = st
+                    .parked
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(p, e)| e.as_ref().map(|_| p))
+                    .collect();
+                st.violation = Some(Violation::RetryDeadlock { parked, at: st.clock });
+            }
+            for cv in &self.proc_cvs {
+                cv.notify_all();
+            }
             self.main_cv.notify_all();
         } else {
             // Every live processor must be running, queued, or done; an empty
@@ -494,6 +543,89 @@ impl MemPort for SimPort {
         self.t_local
     }
 
+    fn wait_on(&mut self, watches: &[(Addr, Word)], _max_park_micros: u64) {
+        // The cap is a wall-clock concern; on the simulator a park either
+        // ends with a wakeup or the run ends structurally (deadlock
+        // violation / watchdog), so it is ignored here.
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        if st.poisoned {
+            drop(st);
+            panic!("simulation poisoned by a failing co-processor");
+        }
+        if st.halted {
+            drop(st);
+            planned_unwind(HaltSignal);
+        }
+        // Registration and revalidation are one atomic step under the engine
+        // lock (the sim analogue of the host's register-then-revalidate, see
+        // docs/protocol.md §14): a writer that already changed a watched
+        // word cannot have its notify lost, because we observe the change
+        // right here and decline to park.
+        if watches.iter().any(|&(a, w)| st.mem[a] != w) {
+            return;
+        }
+        let t = self.t_local;
+        st.record_trace(t, self.proc, crate::trace::TraceKind::Park(watches.len()));
+        st.parked[self.proc] = Some((t, watches.to_vec()));
+        st.parked_count += 1;
+        st.running = None;
+        shared.schedule_next(&mut st);
+        // Unlike `complete`, a parked processor has NO pending queue event:
+        // it takes zero scheduler steps until a committing writer's notify
+        // re-queues it (that is the acceptance criterion the blocking tests
+        // pin). The wakeup time is whatever the notifier assigned.
+        loop {
+            if st.poisoned {
+                drop(st);
+                panic!("simulation poisoned by a failing co-processor");
+            }
+            if st.halted {
+                drop(st);
+                planned_unwind(HaltSignal);
+            }
+            if st.granted[self.proc] {
+                break;
+            }
+            shared.proc_cvs[self.proc].wait(&mut st);
+        }
+        st.granted[self.proc] = false;
+        debug_assert_eq!(st.running, Some(self.proc));
+        self.t_local = st.wake_time[self.proc];
+    }
+
+    fn notify(&mut self, addr: Addr) {
+        // Announcements ride the install write the cost model already
+        // charged: the notifier keeps its grant, pays no cycles, and pushes
+        // no event of its own — so default (non-blocking) schedules are
+        // bit-identical whether or not anyone ever parks.
+        let shared = Arc::clone(&self.shared);
+        let mut st = shared.state.lock();
+        if st.parked_count == 0 {
+            return;
+        }
+        let t_notify = self.t_local;
+        for q in 0..st.n_procs {
+            let fired = match &st.parked[q] {
+                Some((_, watches)) => watches.iter().any(|&(a, w)| a == addr && st.mem[a] != w),
+                None => false,
+            };
+            if !fired {
+                continue;
+            }
+            let (t_parked, _) = st.parked[q].take().expect("checked Some above");
+            st.parked_count -= 1;
+            // The waiter slept from t_parked; it cannot wake before the
+            // notifying install happened.
+            let wake = t_parked.max(t_notify);
+            st.wake_time[q] = wake;
+            let seq = st.seq;
+            st.seq += 1;
+            st.queue.push(Reverse((wake, seq, q)));
+            st.record_trace(wake, q, crate::trace::TraceKind::Wake(addr));
+        }
+    }
+
     fn step(&mut self, point: StepPoint) {
         // A step announcement costs no cycles and does not reschedule: the
         // announcing processor still holds the grant. It is recorded in the
@@ -533,6 +665,11 @@ impl Drop for SimPort {
         st.finished += 1;
         if st.running == Some(self.proc) {
             st.running = None;
+        }
+        if st.parked[self.proc].take().is_some() {
+            // Unwound (crash fault / halt) while parked: the watch list dies
+            // with the processor.
+            st.parked_count -= 1;
         }
         st.clock = st.clock.max(self.t_local);
         self.shared.schedule_next(&mut st);
@@ -597,6 +734,9 @@ impl Simulation {
             queue: BinaryHeap::new(),
             running: None,
             granted: vec![false; n_procs],
+            parked: vec![None; n_procs],
+            parked_count: 0,
+            wake_time: vec![0; n_procs],
             finished: 0,
             n_procs,
             seq: 0,
@@ -919,6 +1059,128 @@ mod tests {
         });
         assert_eq!(report.memory[0], 1, "slow processor's write must land last");
         assert!(report.cycles >= 1000);
+    }
+
+    #[test]
+    fn parked_processor_takes_zero_scheduler_steps_until_notified() {
+        let report = Simulation::new(
+            SimConfig { n_words: 2, trace_limit: 1000, ..Default::default() },
+            UniformModel::new(1, 5),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    let v = port.read(0);
+                    port.wait_on(&[(0, v)], u64::MAX);
+                    assert_eq!(port.read(0), 9, "woken only after the write landed");
+                } else {
+                    for _ in 0..20 {
+                        let _ = port.read(1);
+                    }
+                    port.write(0, 9);
+                    port.notify(0);
+                }
+            }
+        });
+        assert!(report.violation.is_none(), "{:?}", report.violation);
+        // While parked, P0 must appear in the trace exactly as park → wake
+        // with nothing of its own in between: zero scheduler steps consumed.
+        let p0: Vec<&crate::trace::TraceKind> = report
+            .trace
+            .iter()
+            .filter(|e| e.proc == 0)
+            .map(|e| &e.kind)
+            .collect();
+        let park = p0
+            .iter()
+            .position(|k| matches!(k, crate::trace::TraceKind::Park(_)))
+            .expect("P0 parked");
+        assert!(
+            matches!(p0[park + 1], crate::trace::TraceKind::Wake(0)),
+            "nothing between park and wake, got {:?}",
+            p0[park + 1]
+        );
+        // The wakeup cannot precede the notifying install's completion.
+        let write_t = report
+            .trace
+            .iter()
+            .filter(|e| e.proc == 1 && matches!(e.kind, crate::trace::TraceKind::Mem(OpKind::Write, 0)))
+            .map(|e| e.time)
+            .max()
+            .unwrap();
+        let wake_t = report
+            .trace
+            .iter()
+            .find(|e| matches!(e.kind, crate::trace::TraceKind::Wake(_)))
+            .map(|e| e.time)
+            .unwrap();
+        assert!(wake_t >= write_t, "wake {wake_t} before install {write_t}");
+    }
+
+    #[test]
+    fn wait_on_declines_to_park_when_a_watch_already_moved() {
+        // Register-then-revalidate, sim flavor: the recheck happens under
+        // the engine lock, so a write that already landed is never slept
+        // through (the run would otherwise deadlock — nobody notifies again).
+        let report = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 3)).run(1, |_| {
+            |mut port: SimPort| {
+                port.write(0, 5);
+                port.wait_on(&[(0, 4)], u64::MAX); // watch is stale: returns
+                assert_eq!(port.read(0), 5);
+            }
+        });
+        assert!(report.violation.is_none());
+    }
+
+    #[test]
+    fn all_live_processors_parked_is_a_structured_deadlock() {
+        let report = Simulation::new(SimConfig::with_words(1), UniformModel::new(1, 3)).run(2, |_| {
+            move |mut port: SimPort| {
+                let v = port.read(0);
+                port.wait_on(&[(0, v)], u64::MAX); // nobody will ever write
+                unreachable!("the engine halts parked processors structurally");
+            }
+        });
+        match report.violation {
+            Some(Violation::RetryDeadlock { ref parked, .. }) => {
+                assert_eq!(parked, &[0, 1]);
+            }
+            ref other => panic!("expected retry deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn crash_fault_while_a_sibling_is_parked_is_reported_not_hung() {
+        // P0 parks; P1 is scripted to crash before it ever writes. The run
+        // must end with a structured deadlock (P0 alone parked), not hang.
+        let report = Simulation::new(
+            SimConfig {
+                n_words: 1,
+                faults: crate::faults::FaultPlan::new().crash_at_cycle(1, 2),
+                ..Default::default()
+            },
+            UniformModel::new(1, 3),
+        )
+        .run(2, |p| {
+            move |mut port: SimPort| {
+                if p == 0 {
+                    let v = port.read(0);
+                    port.wait_on(&[(0, v)], u64::MAX);
+                } else {
+                    for _ in 0..10 {
+                        let _ = port.read(0);
+                    }
+                    port.write(0, 1);
+                    port.notify(0);
+                }
+            }
+        });
+        assert_eq!(report.crashed, vec![1]);
+        assert!(
+            matches!(report.violation, Some(Violation::RetryDeadlock { ref parked, .. }) if parked == &[0]),
+            "{:?}",
+            report.violation
+        );
     }
 
     #[test]

@@ -118,6 +118,8 @@ pub fn chrome_trace_with(report: &SimReport, flight: Option<&FlightDump>) -> ser
     for e in &sorted {
         let (name, cat) = match e.kind {
             TraceKind::Step(p) => (format!("{p}"), "step"),
+            TraceKind::Park(n) => (format!("park ({n} watches)"), "park"),
+            TraceKind::Wake(addr) => (format!("wake @{addr}"), "park"),
             TraceKind::FaultCrash => ("crash".to_owned(), "fault"),
             TraceKind::FaultStall(c) => (format!("stall {c}"), "fault"),
             TraceKind::FaultSlow(f) => (format!("slow x{f}"), "fault"),

@@ -32,6 +32,12 @@ pub enum TraceKind {
     /// A protocol step announcement (see [`stm_core::step`]). Recorded at
     /// the announcing processor's local time; costs no cycles.
     Step(stm_core::step::StepPoint),
+    /// The processor parked on a retry watch list of the given length; it
+    /// takes no scheduler steps until a [`Wake`](TraceKind::Wake).
+    Park(usize),
+    /// A committing writer's change to the given address woke this (parked)
+    /// processor; recorded at the assigned wakeup time.
+    Wake(Addr),
     /// A scripted fault crashed the processor here.
     FaultCrash,
     /// A scripted fault stalled the processor here for the given cycles.
@@ -65,6 +71,8 @@ pub fn render_trace(trace: &[TraceEvent], last_n: usize, dropped: u64) -> String
             TraceKind::Mem(op, addr) => format!("{op:?} @{addr}"),
             TraceKind::Delay(c) => format!("delay {c}"),
             TraceKind::Step(p) => format!("step {p}"),
+            TraceKind::Park(n) => format!("park ({n} watches)"),
+            TraceKind::Wake(addr) => format!("wake @{addr}"),
             TraceKind::FaultCrash => "FAULT crash".to_owned(),
             TraceKind::FaultStall(c) => format!("FAULT stall {c}"),
             TraceKind::FaultSlow(f) => format!("FAULT slow x{f}"),
@@ -140,7 +148,7 @@ impl TraceAnalysis {
                 TraceKind::FaultCrash | TraceKind::FaultStall(_) | TraceKind::FaultSlow(_) => {
                     faults += 1;
                 }
-                TraceKind::Delay(_) => {}
+                TraceKind::Delay(_) | TraceKind::Park(_) | TraceKind::Wake(_) => {}
             }
         }
         let mut hot_addresses: Vec<(Addr, u64)> = addr_counts.into_iter().collect();

@@ -1,0 +1,579 @@
+//! Blocking structures over the dynamic STM's `retry` / `or_else`
+//! composition.
+//!
+//! Everything in the rest of this crate is *non-blocking*: a full queue
+//! rejects the push, an empty queue returns `None`, and the caller spins.
+//! This module is the payoff of [`DynamicStm::run_blocking`]: the same
+//! structures expressed as **conditions** — a push on a full queue parks the
+//! caller until a consumer makes room, with no spin CPU on the host and zero
+//! scheduler steps on the simulator (the B1 producer–consumer bench measures
+//! exactly this against the spin-retry baseline).
+//!
+//! Each structure is laid out over a caller-provided [`DynamicStm`] cell
+//! range, and every operation comes in three flavors:
+//!
+//! * a `*_tx` form taking a [`DynamicTx`] — composable: combine conditions
+//!   from several structures in one transaction, or race two of them with
+//!   [`DynamicStm::run_or_else`] (see [`BoundedQueue::pop_tx`]);
+//! * a blocking form that wraps the `*_tx` form in
+//!   [`DynamicStm::run_blocking`];
+//! * a `try_*` form that runs non-blocking and reports would-block instead
+//!   of parking.
+
+use stm_core::contention::ContentionManager;
+use stm_core::durable::Journal;
+use stm_core::dynamic::{DynamicStm, DynamicTx, Retry};
+use stm_core::machine::MemPort;
+use stm_core::observe::TxObserver;
+use stm_core::stm::{TxError, TxOptions};
+use stm_core::word::CellIdx;
+
+const HEAD: usize = 0;
+const TAIL: usize = 1;
+const SLOTS: usize = 2;
+
+/// A bounded MPMC FIFO queue whose push **blocks when full** and whose pop
+/// **blocks when empty**.
+///
+/// Ring representation over `2 + capacity` cells starting at `base`:
+/// monotonically increasing head/tail indices plus one cell per slot — the
+/// same layout as the non-blocking [`FifoQueue`](crate::queue::FifoQueue),
+/// but expressed as dynamic transactions so emptiness/fullness become
+/// [`DynamicTx::retry`] conditions instead of error returns.
+#[derive(Debug, Clone, Copy)]
+pub struct BoundedQueue {
+    base: CellIdx,
+    capacity: usize,
+}
+
+impl BoundedQueue {
+    /// Cells this queue occupies starting at its base.
+    pub const fn cells_needed(capacity: usize) -> usize {
+        SLOTS + capacity
+    }
+
+    /// A queue over `stm` cells `base .. base + cells_needed(capacity)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is 0.
+    pub fn new(base: CellIdx, capacity: usize) -> Self {
+        assert!(capacity > 0, "queue capacity must be positive");
+        BoundedQueue { base, capacity }
+    }
+
+    /// Queue capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Initialize the queue's cells to empty before concurrent use.
+    pub fn init<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) {
+        for c in 0..Self::cells_needed(self.capacity) {
+            stm.init_cell(port, self.base + c, 0);
+        }
+    }
+
+    /// The push condition: enqueue `value`, or retry while the queue is
+    /// full. Composable inside any blocking transaction.
+    pub fn push_tx<P: MemPort>(
+        &self,
+        tx: &mut DynamicTx<'_, P>,
+        value: u32,
+    ) -> Result<(), Retry> {
+        let h = tx.read(self.base + HEAD);
+        let t = tx.read(self.base + TAIL);
+        if t.wrapping_sub(h) >= self.capacity as u32 {
+            return tx.retry(); // full: park until a pop moves HEAD
+        }
+        tx.write(self.base + SLOTS + (t as usize % self.capacity), value);
+        tx.write(self.base + TAIL, t.wrapping_add(1));
+        Ok(())
+    }
+
+    /// The pop condition: dequeue the head, or retry while the queue is
+    /// empty.
+    pub fn pop_tx<P: MemPort>(&self, tx: &mut DynamicTx<'_, P>) -> Result<u32, Retry> {
+        let h = tx.read(self.base + HEAD);
+        let t = tx.read(self.base + TAIL);
+        if h == t {
+            return tx.retry(); // empty: park until a push moves TAIL
+        }
+        let v = tx.read(self.base + SLOTS + (h as usize % self.capacity));
+        tx.write(self.base + HEAD, h.wrapping_add(1));
+        Ok(v)
+    }
+
+    /// Enqueue `value`, parking (not spinning) while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`DynamicStm::run_blocking`] reports under `opts` (budget
+    /// exhaustion, wakeup-budget [`TxError::Retry`], ...).
+    pub fn push<P, O, C, J>(
+        &self,
+        stm: &DynamicStm,
+        port: &mut P,
+        value: u32,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<(), TxError>
+    where
+        P: MemPort,
+        O: TxObserver,
+        C: ContentionManager,
+        J: Journal,
+    {
+        stm.run_blocking(port, |tx| self.push_tx(tx, value), opts).map(|_| ())
+    }
+
+    /// Dequeue the head, parking while the queue is empty.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`BoundedQueue::push`].
+    pub fn pop<P, O, C, J>(
+        &self,
+        stm: &DynamicStm,
+        port: &mut P,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<u32, TxError>
+    where
+        P: MemPort,
+        O: TxObserver,
+        C: ContentionManager,
+        J: Journal,
+    {
+        stm.run_blocking(port, |tx| self.pop_tx(tx), opts).map(|(v, _)| v)
+    }
+
+    /// Non-blocking enqueue: `false` instead of parking when full.
+    pub fn try_push<P: MemPort>(&self, stm: &DynamicStm, port: &mut P, value: u32) -> bool {
+        stm.run(
+            port,
+            |tx| {
+                let h = tx.read(self.base + HEAD);
+                let t = tx.read(self.base + TAIL);
+                if t.wrapping_sub(h) >= self.capacity as u32 {
+                    return false;
+                }
+                tx.write(self.base + SLOTS + (t as usize % self.capacity), value);
+                tx.write(self.base + TAIL, t.wrapping_add(1));
+                true
+            },
+            &mut TxOptions::new(),
+        )
+        .map(|(ok, _)| ok)
+        .unwrap_or(false)
+    }
+
+    /// Non-blocking dequeue: `None` instead of parking when empty.
+    pub fn try_pop<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) -> Option<u32> {
+        stm.run(
+            port,
+            |tx| {
+                let h = tx.read(self.base + HEAD);
+                let t = tx.read(self.base + TAIL);
+                if h == t {
+                    return None;
+                }
+                let v = tx.read(self.base + SLOTS + (h as usize % self.capacity));
+                tx.write(self.base + HEAD, h.wrapping_add(1));
+                Some(v)
+            },
+            &mut TxOptions::new(),
+        )
+        .ok()
+        .and_then(|(v, _)| v)
+    }
+
+    /// Consistent current length.
+    pub fn len<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) -> usize {
+        stm.run(
+            port,
+            |tx| {
+                let h = tx.read(self.base + HEAD);
+                tx.read(self.base + TAIL).wrapping_sub(h) as usize
+            },
+            &mut TxOptions::new(),
+        )
+        .map(|(n, _)| n)
+        .unwrap_or(0)
+    }
+}
+
+/// A counting semaphore: [`acquire`](Semaphore::acquire) parks while no
+/// permits are available. One cell.
+#[derive(Debug, Clone, Copy)]
+pub struct Semaphore {
+    cell: CellIdx,
+}
+
+impl Semaphore {
+    /// Cells a semaphore occupies.
+    pub const CELLS: usize = 1;
+
+    /// A semaphore over `stm` cell `cell`.
+    pub fn new(cell: CellIdx) -> Self {
+        Semaphore { cell }
+    }
+
+    /// Initialize with `permits` permits before concurrent use.
+    pub fn init<P: MemPort>(&self, stm: &DynamicStm, port: &mut P, permits: u32) {
+        stm.init_cell(port, self.cell, permits);
+    }
+
+    /// The acquire condition: take one permit, or retry while none are
+    /// available. Composable — e.g. acquire two semaphores atomically in one
+    /// blocking transaction (no lock-ordering deadlock: the transaction
+    /// either takes both or parks holding neither).
+    pub fn acquire_tx<P: MemPort>(&self, tx: &mut DynamicTx<'_, P>) -> Result<(), Retry> {
+        let n = tx.read(self.cell);
+        if n == 0 {
+            return tx.retry();
+        }
+        tx.write(self.cell, n - 1);
+        Ok(())
+    }
+
+    /// Take one permit, parking while none are available.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`DynamicStm::run_blocking`] reports under `opts`.
+    pub fn acquire<P, O, C, J>(
+        &self,
+        stm: &DynamicStm,
+        port: &mut P,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<(), TxError>
+    where
+        P: MemPort,
+        O: TxObserver,
+        C: ContentionManager,
+        J: Journal,
+    {
+        stm.run_blocking(port, |tx| self.acquire_tx(tx), opts).map(|_| ())
+    }
+
+    /// Non-blocking acquire: `false` instead of parking.
+    pub fn try_acquire<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) -> bool {
+        stm.run(
+            port,
+            |tx| {
+                let n = tx.read(self.cell);
+                if n == 0 {
+                    return false;
+                }
+                tx.write(self.cell, n - 1);
+                true
+            },
+            &mut TxOptions::new(),
+        )
+        .map(|(ok, _)| ok)
+        .unwrap_or(false)
+    }
+
+    /// Return one permit, waking a parked acquirer if any.
+    pub fn release<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) {
+        let _ = stm.run(
+            port,
+            |tx| {
+                let n = tx.read(self.cell);
+                tx.write(self.cell, n + 1);
+            },
+            &mut TxOptions::new(),
+        );
+    }
+
+    /// Currently available permits.
+    pub fn available<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) -> u32 {
+        stm.read_cell(port, self.cell)
+    }
+}
+
+/// A pool of `m` resources with **atomic blocking multi-acquire**: take any
+/// `k` free resources in one transaction, parking until `k` are free — the
+/// blocking form of the paper's resource-allocation benchmark (the
+/// non-blocking [`ResourcePool`](crate::resource::ResourcePool) makes the
+/// caller retry). One cell per resource (`0` free, owner proc + 1 when
+/// taken), so wakeups are per-resource.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockingPool {
+    base: CellIdx,
+    m: usize,
+}
+
+impl BlockingPool {
+    /// Cells a pool of `m` resources occupies.
+    pub const fn cells_needed(m: usize) -> usize {
+        m
+    }
+
+    /// A pool over `stm` cells `base .. base + m`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is 0.
+    pub fn new(base: CellIdx, m: usize) -> Self {
+        assert!(m > 0, "pool must hold at least one resource");
+        BlockingPool { base, m }
+    }
+
+    /// Number of resources in the pool.
+    pub fn n_resources(&self) -> usize {
+        self.m
+    }
+
+    /// Initialize all resources free before concurrent use.
+    pub fn init<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) {
+        for c in 0..self.m {
+            stm.init_cell(port, self.base + c, 0);
+        }
+    }
+
+    /// The condition: claim any `k` free resources for `proc`, or retry
+    /// while fewer than `k` are free. Returns the claimed indices,
+    /// ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is 0 or exceeds the pool size (such a call could never
+    /// succeed, so parking on it would sleep forever).
+    pub fn acquire_tx<P: MemPort>(
+        &self,
+        tx: &mut DynamicTx<'_, P>,
+        k: usize,
+        proc: usize,
+    ) -> Result<Vec<usize>, Retry> {
+        assert!(k > 0 && k <= self.m, "cannot acquire {k} of {} resources", self.m);
+        let mut got = Vec::with_capacity(k);
+        for i in 0..self.m {
+            if tx.read(self.base + i) == 0 {
+                got.push(i);
+                if got.len() == k {
+                    break;
+                }
+            }
+        }
+        if got.len() < k {
+            // Fewer than k free: the read set covers every cell scanned
+            // (in particular every taken one), so any release re-runs us.
+            return tx.retry();
+        }
+        for &i in &got {
+            tx.write(self.base + i, proc as u32 + 1);
+        }
+        Ok(got)
+    }
+
+    /// Claim any `k` free resources atomically, parking until `k` are free.
+    ///
+    /// # Errors
+    ///
+    /// Whatever [`DynamicStm::run_blocking`] reports under `opts`.
+    pub fn acquire<P, O, C, J>(
+        &self,
+        stm: &DynamicStm,
+        port: &mut P,
+        k: usize,
+        opts: &mut TxOptions<O, C, J>,
+    ) -> Result<Vec<usize>, TxError>
+    where
+        P: MemPort,
+        O: TxObserver,
+        C: ContentionManager,
+        J: Journal,
+    {
+        let proc = port.proc_id();
+        stm.run_blocking(port, |tx| self.acquire_tx(tx, k, proc), opts).map(|(v, _)| v)
+    }
+
+    /// Release previously acquired resources, waking parked acquirers.
+    pub fn release<P: MemPort>(&self, stm: &DynamicStm, port: &mut P, indices: &[usize]) {
+        let _ = stm.run(
+            port,
+            |tx| {
+                for &i in indices {
+                    tx.write(self.base + i, 0);
+                }
+            },
+            &mut TxOptions::new(),
+        );
+    }
+
+    /// How many resources are currently free (consistent snapshot).
+    pub fn free<P: MemPort>(&self, stm: &DynamicStm, port: &mut P) -> usize {
+        stm.run(
+            port,
+            |tx| (0..self.m).filter(|&i| tx.read(self.base + i) == 0).count(),
+            &mut TxOptions::new(),
+        )
+        .map(|(n, _)| n)
+        .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stm_core::machine::host::HostMachine;
+    use stm_core::stm::{StmConfig, TxBudget};
+
+    fn setup(n_cells: usize, n_procs: usize) -> (DynamicStm, HostMachine) {
+        let stm = DynamicStm::new(0, n_cells, n_procs, StmConfig::default());
+        let machine = HostMachine::new(stm.stm().layout().words_needed(), n_procs);
+        (stm, machine)
+    }
+
+    #[test]
+    fn queue_fifo_and_try_forms_single_threaded() {
+        let (stm, m) = setup(BoundedQueue::cells_needed(3), 1);
+        let q = BoundedQueue::new(0, 3);
+        let mut port = m.port(0);
+        q.init(&stm, &mut port);
+        assert_eq!(q.try_pop(&stm, &mut port), None);
+        assert!(q.try_push(&stm, &mut port, 10));
+        assert!(q.try_push(&stm, &mut port, 20));
+        assert!(q.try_push(&stm, &mut port, 30));
+        assert!(!q.try_push(&stm, &mut port, 40), "full queue rejects");
+        assert_eq!(q.len(&stm, &mut port), 3);
+        assert_eq!(q.try_pop(&stm, &mut port), Some(10));
+        assert_eq!(q.try_pop(&stm, &mut port), Some(20));
+        assert!(q.try_push(&stm, &mut port, 40), "space reopened");
+        assert_eq!(q.try_pop(&stm, &mut port), Some(30));
+        assert_eq!(q.try_pop(&stm, &mut port), Some(40));
+        assert_eq!(q.try_pop(&stm, &mut port), None);
+    }
+
+    #[test]
+    fn blocking_pop_waits_for_producer_on_host() {
+        let (stm, m) = setup(BoundedQueue::cells_needed(2), 2);
+        let q = BoundedQueue::new(0, 2);
+        {
+            let mut port = m.port(0);
+            q.init(&stm, &mut port);
+        }
+        std::thread::scope(|s| {
+            {
+                let (stm, m) = (stm.clone(), m.clone());
+                s.spawn(move || {
+                    let mut port = m.port(1);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    q.push(&stm, &mut port, 77, &mut TxOptions::new()).unwrap();
+                });
+            }
+            let mut port = m.port(0);
+            // Parks on the empty queue; woken by the producer's install.
+            assert_eq!(q.pop(&stm, &mut port, &mut TxOptions::new()).unwrap(), 77);
+        });
+    }
+
+    #[test]
+    fn blocking_push_waits_for_room_on_host() {
+        let (stm, m) = setup(BoundedQueue::cells_needed(1), 2);
+        let q = BoundedQueue::new(0, 1);
+        {
+            let mut port = m.port(0);
+            q.init(&stm, &mut port);
+            assert!(q.try_push(&stm, &mut port, 1)); // now full
+        }
+        std::thread::scope(|s| {
+            {
+                let (stm, m) = (stm.clone(), m.clone());
+                s.spawn(move || {
+                    let mut port = m.port(1);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    assert_eq!(q.try_pop(&stm, &mut port), Some(1));
+                });
+            }
+            let mut port = m.port(0);
+            q.push(&stm, &mut port, 2, &mut TxOptions::new()).unwrap();
+            assert_eq!(q.try_pop(&stm, &mut port), Some(2));
+        });
+    }
+
+    #[test]
+    fn or_else_races_two_queues() {
+        let cells = BoundedQueue::cells_needed(2);
+        let (stm, m) = setup(2 * cells, 1);
+        let a = BoundedQueue::new(0, 2);
+        let b = BoundedQueue::new(cells, 2);
+        let mut port = m.port(0);
+        a.init(&stm, &mut port);
+        b.init(&stm, &mut port);
+        assert!(b.try_push(&stm, &mut port, 9));
+        // a is empty: the first branch retries, the second pops b.
+        let (v, _) = stm
+            .run_or_else(
+                &mut port,
+                |tx| a.pop_tx(tx),
+                |tx| b.pop_tx(tx),
+                &mut TxOptions::new(),
+            )
+            .unwrap();
+        assert_eq!(v, 9);
+        // Both empty with a zero wakeup budget: fails instead of parking.
+        let err = stm
+            .run_or_else(
+                &mut port,
+                |tx| a.pop_tx(tx),
+                |tx| b.pop_tx(tx),
+                &mut TxOptions::new().budget(TxBudget::wakeups(0)),
+            )
+            .unwrap_err();
+        assert!(matches!(err, TxError::Retry { wakeups: 0 }), "{err}");
+    }
+
+    #[test]
+    fn semaphore_handoff_blocks_and_wakes() {
+        let (stm, m) = setup(Semaphore::CELLS, 2);
+        let sem = Semaphore::new(0);
+        {
+            let mut port = m.port(0);
+            sem.init(&stm, &mut port, 0); // no permits yet
+        }
+        std::thread::scope(|s| {
+            {
+                let (stm, m) = (stm.clone(), m.clone());
+                s.spawn(move || {
+                    let mut port = m.port(1);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    sem.release(&stm, &mut port);
+                });
+            }
+            let mut port = m.port(0);
+            assert!(!sem.try_acquire(&stm, &mut port));
+            sem.acquire(&stm, &mut port, &mut TxOptions::new()).unwrap();
+            assert_eq!(sem.available(&stm, &mut port), 0);
+        });
+    }
+
+    #[test]
+    fn pool_multi_acquire_is_atomic_and_blocking() {
+        let (stm, m) = setup(BlockingPool::cells_needed(4), 2);
+        let pool = BlockingPool::new(0, 4);
+        {
+            let mut port = m.port(0);
+            pool.init(&stm, &mut port);
+            // Take 3 of 4 so only one is free.
+            let got = pool.acquire(&stm, &mut port, 3, &mut TxOptions::new()).unwrap();
+            assert_eq!(got.len(), 3);
+        }
+        std::thread::scope(|s| {
+            {
+                let (stm, m) = (stm.clone(), m.clone());
+                s.spawn(move || {
+                    let mut port = m.port(1);
+                    std::thread::sleep(std::time::Duration::from_millis(30));
+                    // Free two resources; the parked 2-acquire can now land.
+                    pool.release(&stm, &mut port, &[0, 1]);
+                });
+            }
+            let mut port = m.port(0);
+            let got = pool.acquire(&stm, &mut port, 2, &mut TxOptions::new()).unwrap();
+            assert_eq!(got.len(), 2);
+            // 4 free → 3 taken → 2 released → 2 taken again: one remains.
+            assert_eq!(pool.free(&stm, &mut port), 1);
+        });
+    }
+}

@@ -15,7 +15,11 @@
 //! * [`resource`] — the resource-allocation benchmark (atomically acquire /
 //!   release k of M resources);
 //! * [`prio`] — a fixed-capacity array priority queue (insert /
-//!   extract-min as whole-heap transactions).
+//!   extract-min as whole-heap transactions);
+//! * [`blocking`] — blocking forms (STM only) built on the dynamic layer's
+//!   `retry` / `or_else` composition: a [`blocking::BoundedQueue`] whose
+//!   operations park instead of spin, a [`blocking::Semaphore`], and a
+//!   [`blocking::BlockingPool`] with atomic blocking multi-acquire.
 //!
 //! Methods are selected with [`Method`]:
 //!
@@ -27,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod blocking;
 pub mod counter;
 pub mod deque;
 pub mod list_set;

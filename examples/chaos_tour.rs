@@ -5,7 +5,7 @@
 //! protocol step point — the OS scheduler plus deliberate preemption at the
 //! protocol's most interruption-sensitive instants. Meanwhile:
 //!
-//! * every worker drives the managed retry loop (`try_execute_within` with an
+//! * every worker drives the managed retry loop (`run` with an
 //!   [`AdaptiveManager`]) and aggregates [`TxMetrics`];
 //! * a watchdog thread scans commit progress every 50 ms and prints a
 //!   structured report for any interval in which a thread stalled;

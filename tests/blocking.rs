@@ -1,0 +1,323 @@
+//! Blocking composition end to end on the simulated machines: wakeup
+//! safety, idle cost, and crash-while-parked.
+//!
+//! The property that makes `retry` sound is **no lost wakeups**: a parked
+//! transaction must be woken by every committing writer that overlaps its
+//! read set (see `docs/protocol.md` §14 for the register-then-revalidate
+//! argument). On the simulator a lost wakeup is not a flaky hang but a
+//! definite verdict — the scheduler halts with a structured
+//! [`Violation::RetryDeadlock`] the moment every live processor is parked —
+//! so these tests can sweep seeded schedules and fault plans and simply
+//! assert the verdict never fires while work remains.
+//!
+//! Like the crash matrix in `fault_injection.rs`, seeds per point default
+//! low and are raised by the nightly CI sweep via `FAULT_MATRIX_SEEDS`.
+
+use proptest::prelude::*;
+use stm_core::dynamic::DynamicStm;
+use stm_core::machine::MemPort;
+use stm_core::ops::StmOps;
+use stm_core::step::StepKind;
+use stm_core::stm::{StmConfig, TxOptions};
+use stm_sim::engine::{SimPort, SimReport, Violation};
+use stm_sim::faults::FaultPlan;
+use stm_sim::trace::{TraceEvent, TraceKind};
+use stm_sim::{BusModel, MeshModel, StmSim};
+use stm_structures::blocking::BoundedQueue;
+
+const CAP: usize = 3;
+const PROCS: usize = 3;
+
+/// Seeds per point: 10 by default, raised by the nightly CI sweep via the
+/// `FAULT_MATRIX_SEEDS` environment variable (same knob as the crash
+/// matrix).
+fn matrix_seeds() -> u64 {
+    std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}
+
+/// Two producers feeding one blocking consumer through a capacity-[`CAP`]
+/// queue. Pushes park when the queue is full and pops park when it is
+/// empty, so wakeups flow in both directions. Returns the finished report
+/// plus the consumer's popped sum.
+fn producer_consumer(
+    arch: usize,
+    seed: u64,
+    per_producer: u64,
+    gap: u64,
+    plan: FaultPlan,
+) -> (StmSim, SimReport) {
+    let cells = BoundedQueue::cells_needed(CAP);
+    let sim = StmSim::new(PROCS, cells, cells, StmConfig::default())
+        .seed(seed)
+        .jitter(4)
+        .trace(1 << 20)
+        .faults(plan);
+    let queue = BoundedQueue::new(0, CAP);
+    let body = |p: usize, ops: StmOps| {
+        move |mut port: SimPort| {
+            let stm = DynamicStm::from_ops(ops);
+            if p < 2 {
+                // Producers: staggered paced pushes of the value 1.
+                for _ in 0..per_producer {
+                    port.delay(gap * (p as u64 + 1));
+                    queue
+                        .push(&stm, &mut port, 1, &mut TxOptions::new())
+                        .expect("unlimited budget");
+                }
+            } else {
+                for _ in 0..2 * per_producer {
+                    let v = queue
+                        .pop(&stm, &mut port, &mut TxOptions::new())
+                        .expect("unlimited budget");
+                    assert_eq!(v, 1, "queue slots must carry the pushed value");
+                }
+            }
+        }
+    };
+    let report = match arch {
+        0 => sim.run(BusModel::for_procs(PROCS), body),
+        _ => sim.run(MeshModel::for_procs(PROCS), body),
+    };
+    (sim, report)
+}
+
+/// Walk `proc`'s trace events in time order and enforce the park protocol:
+/// every park is closed by a wake, and **no event of any kind** sits
+/// between them — a parked processor takes zero scheduler steps. Returns
+/// `(parks, wakes)`.
+fn check_park_protocol(report: &SimReport, proc: usize, ctx: &str) -> (u64, u64) {
+    let mut events: Vec<&TraceEvent> = report.trace.iter().filter(|e| e.proc == proc).collect();
+    events.sort_by_key(|e| e.time); // stable: simultaneous events keep recording order
+    let (mut parks, mut wakes) = (0u64, 0u64);
+    let mut parked_at: Option<u64> = None;
+    for e in events {
+        match e.kind {
+            TraceKind::Park(_) => {
+                assert!(parked_at.is_none(), "{ctx}: P{proc} parked twice without a wake");
+                parked_at = Some(e.time);
+                parks += 1;
+            }
+            TraceKind::Wake(_) => {
+                let t = parked_at.take().unwrap_or_else(|| {
+                    panic!("{ctx}: P{proc} woke at t={} without a park", e.time)
+                });
+                assert!(e.time >= t, "{ctx}: P{proc} woke before it parked");
+                wakes += 1;
+            }
+            _ => assert!(
+                parked_at.is_none(),
+                "{ctx}: P{proc} took a scheduler step while parked: {:?} at t={}",
+                e.kind,
+                e.time
+            ),
+        }
+    }
+    assert!(parked_at.is_none(), "{ctx}: P{proc} still parked at the end of the trace");
+    (parks, wakes)
+}
+
+fn check_no_lost_wakeups(sim: &StmSim, report: &SimReport, per_producer: u64, ctx: &str) {
+    // A lost wakeup surfaces as RetryDeadlock (everyone parked) or, if some
+    // processor never parks, as the watchdog tripping; either way it is a
+    // violation, never a hang.
+    assert_eq!(report.violation, None, "{ctx}");
+    assert_eq!(report.trace_dropped, 0, "{ctx}: trace overflow");
+    // Conservation: both indices fully advanced and the queue drained.
+    let items = 2 * per_producer;
+    assert_eq!(u64::from(sim.cell_value(report, 0)), items, "{ctx}: head index");
+    assert_eq!(u64::from(sim.cell_value(report, 1)), items, "{ctx}: tail index");
+    assert!(sim.leaked_ownerships(report).is_empty(), "{ctx}: leaked ownership");
+    // Park protocol on every processor (producers can park too, on a full
+    // queue). Zero steps while parked, and no processor left parked.
+    for p in 0..PROCS {
+        check_park_protocol(report, p, ctx);
+    }
+}
+
+#[test]
+fn no_lost_wakeups_across_seeds_on_bus_and_mesh() {
+    for arch in 0..2 {
+        for seed in 0..matrix_seeds() {
+            let (sim, report) = producer_consumer(arch, seed, 8, 700, FaultPlan::new());
+            let ctx = format!("arch{arch}/seed{seed}");
+            check_no_lost_wakeups(&sim, &report, 8, &ctx);
+        }
+    }
+}
+
+#[test]
+fn consumer_genuinely_parks_and_every_wakeup_is_a_watched_write() {
+    // With a gap this wide the consumer must actually park (a point that
+    // never waits proves nothing), and every one of its wakeups must be
+    // attributable to a write on a cell it watched — the trace records the
+    // waking address, which must be one of the queue's head/tail/slot cells.
+    let (sim, report) = producer_consumer(0, 3, 8, 1500, FaultPlan::new());
+    check_no_lost_wakeups(&sim, &report, 8, "paced");
+    let (parks, wakes) = check_park_protocol(&report, 2, "paced");
+    assert!(parks > 0, "gap too short: the consumer never parked");
+    assert_eq!(parks, wakes, "every park must be closed by exactly one wake");
+    let layout_cells: Vec<usize> = (0..BoundedQueue::cells_needed(CAP))
+        .map(|c| sim.ops().stm().layout().cell(c))
+        .collect();
+    for e in report.trace.iter().filter(|e| e.proc == 2) {
+        if let TraceKind::Wake(addr) = e.kind {
+            assert!(
+                layout_cells.contains(&addr),
+                "wakeup from address {addr}, which the consumer never watched"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The wakeup-safety property, randomized: whatever the schedule seed,
+    /// pacing, and load, a parked transaction is woken by every committing
+    /// writer that overlaps its read set — so the pipeline always drains,
+    /// with zero scheduler steps taken while parked. Exercises both park
+    /// directions (pop on empty, push on full) on both machines.
+    #[test]
+    fn parked_transactions_always_drain(
+        seed in 0u64..10_000,
+        arch in 0usize..2,
+        per_producer in 2u64..10,
+        gap in 0u64..1200,
+    ) {
+        let (sim, report) = producer_consumer(arch, seed, per_producer, gap, FaultPlan::new());
+        let ctx = format!("arch{arch}/seed{seed}/n{per_producer}/gap{gap}");
+        check_no_lost_wakeups(&sim, &report, per_producer, &ctx);
+    }
+}
+
+#[test]
+fn threshold_waiter_is_woken_by_each_overlapping_increment() {
+    // The sharpest form of "woken by every overlapping writer": a consumer
+    // blocks until a counter reaches TARGET while a producer increments it
+    // once per wide gap. Each increment overlaps the waiter's read set, so
+    // each must wake it; the waiter re-checks, sees the count still short,
+    // and parks again. The park/wake tally must therefore track the
+    // increments one-for-one — a single lost wakeup would strand it parked
+    // (RetryDeadlock) the moment the producer finishes.
+    const TARGET: u32 = 6;
+    let sim = StmSim::new(2, 1, 1, StmConfig::default()).seed(11).jitter(3).trace(1 << 20);
+    let report = sim.run(BusModel::for_procs(2), |p, ops| {
+        move |mut port: SimPort| {
+            let stm = DynamicStm::from_ops(ops);
+            if p == 0 {
+                for _ in 0..TARGET {
+                    port.delay(2_000);
+                    let _ = stm.run(
+                        &mut port,
+                        |tx| {
+                            let v = tx.read(0);
+                            tx.write(0, v + 1);
+                        },
+                        &mut TxOptions::new(),
+                    );
+                }
+            } else {
+                let (seen, _) = stm
+                    .run_blocking(
+                        &mut port,
+                        |tx| {
+                            let v = tx.read(0);
+                            if v < TARGET {
+                                return tx.retry();
+                            }
+                            Ok(v)
+                        },
+                        &mut TxOptions::new(),
+                    )
+                    .expect("unlimited budget");
+                assert_eq!(seen, TARGET);
+            }
+        }
+    });
+    assert_eq!(report.violation, None);
+    assert_eq!(sim.cell_value(&report, 0), TARGET);
+    let (parks, wakes) = check_park_protocol(&report, 1, "threshold");
+    assert_eq!(parks, wakes);
+    assert_eq!(
+        parks, TARGET as u64,
+        "each of the {TARGET} overlapping increments must wake the waiter exactly once"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Crash-while-parked rows of the fault matrix
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crashing_the_parked_consumer_leaves_producers_unharmed() {
+    // The consumer is crashed at its first RetryPark announcement — it dies
+    // *while parked*. Its park registration must not wedge the engine or
+    // leak protocol state; the producers (sized to never fill the queue)
+    // finish every push.
+    let plan = FaultPlan::new().crash_at_step(2, StepKind::RetryPark, None);
+    for arch in 0..2 {
+        for seed in 0..matrix_seeds() {
+            // 1 item per producer: 2 pushes into capacity 3 never park the
+            // producers, so the run completes without the dead consumer.
+            let (sim, report) = producer_consumer(arch, seed, 1, 800, plan.clone());
+            let ctx = format!("arch{arch}/seed{seed}");
+            assert_eq!(report.crashed, vec![2], "{ctx}: exactly the consumer crashed");
+            assert_eq!(report.violation, None, "{ctx}");
+            assert_eq!(sim.cell_value(&report, 1), 2, "{ctx}: both pushes landed");
+            assert!(sim.leaked_ownerships(&report).is_empty(), "{ctx}");
+        }
+    }
+}
+
+#[test]
+fn survivors_parked_behind_a_crashed_consumer_get_a_structured_verdict() {
+    // Harsher row: the consumer dies parked and the producers then overfill
+    // the queue, so they park with nobody left to wake them. That is a real
+    // deadlock — and it must be *reported* as RetryDeadlock naming the
+    // parked producers, not spin or hang.
+    let plan = FaultPlan::new().crash_at_step(2, StepKind::RetryPark, None);
+    let (_, report) = producer_consumer(0, 5, 4, 300, plan);
+    assert_eq!(report.crashed, vec![2]);
+    match &report.violation {
+        Some(Violation::RetryDeadlock { parked, .. }) => {
+            assert!(!parked.is_empty(), "verdict must name the stranded producers");
+            assert!(parked.iter().all(|p| *p < 2), "only producers can be stranded here");
+        }
+        other => panic!("expected RetryDeadlock, got {other:?}"),
+    }
+}
+
+#[test]
+fn crash_just_before_the_wakeup_write_still_wakes_via_helping() {
+    // The writer whose commit should wake the parked consumer is crashed at
+    // its decision point (after publishing, before installing). The paper's
+    // helping rule says a conflicting survivor completes the transaction —
+    // and the completion's install must still fire the wakeup. The second
+    // producer is that survivor.
+    let plan = FaultPlan::new().crash_at_step(0, StepKind::Acquired, Some(0));
+    for arch in 0..2 {
+        for seed in 0..matrix_seeds() {
+            let (sim, report) = producer_consumer(arch, seed, 2, 600, plan.clone());
+            let ctx = format!("arch{arch}/seed{seed}");
+            assert_eq!(report.crashed, vec![0], "{ctx}: exactly the writer crashed");
+            // The consumer can never pop its full quota (the dead
+            // producer's later pushes are lost), so the run ends with
+            // the consumer parked and everyone else done — the
+            // structured verdict, not a hang. What must NOT happen is
+            // the consumer stranded while items sit in the queue: head
+            // must have consumed everything tail ever published.
+            assert_eq!(
+                sim.cell_value(&report, 0),
+                sim.cell_value(&report, 1),
+                "{ctx}: consumer stranded with items in the queue — lost wakeup"
+            );
+            assert!(sim.leaked_ownerships(&report).is_empty(), "{ctx}");
+            match &report.violation {
+                Some(Violation::RetryDeadlock { parked, .. }) => {
+                    assert_eq!(parked, &vec![2], "{ctx}: only the consumer waits forever")
+                }
+                other => panic!("{ctx}: expected RetryDeadlock, got {other:?}"),
+            }
+        }
+    }
+}

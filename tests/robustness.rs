@@ -69,28 +69,6 @@ fn panicking_op_releases_ownerships_and_cells_stay_usable() {
     assert_eq!(ops.snapshot(&mut p1, &[2, 3]), vec![15, 25]);
 }
 
-/// The classic `execute` path re-raises the panic — but only after cleanup,
-/// so the machine stays usable underneath the unwind. (Deprecation test:
-/// deliberately exercises the legacy wrapper until removal.)
-#[test]
-#[allow(deprecated)]
-fn legacy_execute_reraises_the_panic_after_cleanup() {
-    let (ops, boom) = ops_with_boom(2, StmConfig::default());
-    let m = HostMachine::new(ops.stm().layout().words_needed(), 2);
-
-    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        let mut p0 = m.port(0);
-        let _ = ops.stm().execute(&mut p0, &TxSpec::new(boom, &[], &[0, 1]));
-    }));
-    let payload = caught.expect_err("op panic must propagate on the classic path");
-    let msg = payload.downcast_ref::<&str>().copied().unwrap_or("");
-    assert!(msg.contains("boom"), "original payload resurfaces, got {msg:?}");
-
-    let mut p1 = m.port(1);
-    assert_eq!(ops.fetch_add(&mut p1, 0, 7), 0, "machine not poisoned");
-    assert_eq!(ops.fetch_add(&mut p1, 1, 7), 0);
-}
-
 /// The managed path reports the panic through the observer and metrics.
 #[test]
 fn op_panic_is_counted_by_metrics() {

@@ -113,10 +113,13 @@ fn check_stream(events: &[TxEvent], stats: &TxStats) -> Result<(), String> {
             | TxEvent::RecoveryReplayed { .. }
             | TxEvent::ConflictDeferred { .. }
             | TxEvent::ForcedCommit { .. }
-            | TxEvent::DeltaCommitted { .. } => {
-                // Managed-retry-loop / durability / fairness events; the
-                // classic execute_observed path under test never emits them.
-                return Err(format!("managed-path event on classic path: {e:?}"));
+            | TxEvent::DeltaCommitted { .. }
+            | TxEvent::RetryBlocked { .. }
+            | TxEvent::RetryWoken { .. } => {
+                // Managed-retry-loop / durability / fairness / blocking
+                // events; the plain observed single-attempt stream under
+                // test never emits them.
+                return Err(format!("managed-path event on plain path: {e:?}"));
             }
         }
     }
@@ -185,6 +188,8 @@ fn coarse_projection(events: &[TxEvent]) -> Vec<FlightKind> {
             TxEvent::ConflictDeferred { .. } => Some(FlightKind::ConflictDeferred),
             TxEvent::ForcedCommit { .. } => Some(FlightKind::ForcedCommit),
             TxEvent::DeltaCommitted { .. } => Some(FlightKind::DeltaCommit),
+            TxEvent::RetryBlocked { .. } => Some(FlightKind::RetryBlocked),
+            TxEvent::RetryWoken { .. } => Some(FlightKind::RetryWoken),
             TxEvent::Acquired { .. } | TxEvent::WriteBack { .. } | TxEvent::Released { .. } => {
                 None
             }
