@@ -8,7 +8,7 @@
 //!   resource-bus resource-mesh prio-bus prio-mesh
 //!   summary ablate-helping ablate-backoff ablate-arch
 //!   read-heavy read-heavy-host write-path write-path-host plan-cache
-//!   durable durable-host fairness blocking blocking-host
+//!   durable durable-host fairness blocking blocking-host kv
 //!
 //! OPTIONS
 //!   --ops N        total operations per data point (default 2048)
@@ -29,12 +29,13 @@ use stm_bench::durable::{
     run_durable_host_point, run_durable_point, DURABLE_FLUSH_COSTS, DURABLE_PROCS,
 };
 use stm_bench::fairness::{run_fairness_point, FairMode, FairnessPoint, FAIR_BIG_K};
+use stm_bench::kv::{run_kv_ladder, KvPoint, KV_BUCKETS, KV_KEYS, KV_OPS};
 use stm_bench::read_heavy::{
     run_host_point, run_read_point, HostPoint, ReadBench, ReadMode, ReadPoint, HOST_CONFIGS,
 };
 use stm_bench::report::write_bench_json;
 use stm_bench::runner::{summarize, Sweep, PAPER_PROCS, QUICK_PROCS};
-use stm_bench::table::{render_table, write_csv};
+use stm_bench::table::{render_table, thousands, write_csv};
 use stm_bench::workloads::{ArchKind, Bench, DataPoint};
 use stm_bench::write_path::{
     compiled_speedups, k_label, run_cache_point, run_write_host_point, run_write_point,
@@ -50,9 +51,10 @@ struct Options {
     procs: Vec<usize>,
     seed: u64,
     out: PathBuf,
+    quick: bool,
 }
 
-const ALL_EXPERIMENTS: [&str; 22] = [
+const ALL_EXPERIMENTS: [&str; 23] = [
     "counting-bus",
     "counting-mesh",
     "queue-bus",
@@ -75,6 +77,7 @@ const ALL_EXPERIMENTS: [&str; 22] = [
     "fairness",
     "blocking",
     "blocking-host",
+    "kv",
 ];
 
 fn parse_args() -> Options {
@@ -84,13 +87,17 @@ fn parse_args() -> Options {
         procs: PAPER_PROCS.to_vec(),
         seed: 0x5EED,
         out: PathBuf::from("results"),
+        quick: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--ops" => opts.ops = expect_val(&mut args, "--ops").parse().expect("--ops N"),
             "--seed" => opts.seed = expect_val(&mut args, "--seed").parse().expect("--seed S"),
-            "--quick" => opts.procs = QUICK_PROCS.to_vec(),
+            "--quick" => {
+                opts.procs = QUICK_PROCS.to_vec();
+                opts.quick = true;
+            }
             "--procs" => {
                 opts.procs = expect_val(&mut args, "--procs")
                     .split(',')
@@ -133,6 +140,7 @@ fn main() {
     let mut write_points: Vec<WritePoint> = Vec::new();
     let mut read_points: Vec<ReadPoint> = Vec::new();
     let mut fairness_points: Vec<FairnessPoint> = Vec::new();
+    let mut kv_points: Vec<KvPoint> = Vec::new();
     let mut host_points: Vec<HostPoint> = Vec::new();
     let mut write_host_points: Vec<WriteHostPoint> = Vec::new();
 
@@ -152,6 +160,7 @@ fn main() {
             "durable" => run_durable(&opts),
             "durable-host" => run_durable_host(&opts),
             "fairness" => fairness_points.extend(run_fairness(&opts)),
+            "kv" => kv_points.extend(run_kv(&opts)),
             "blocking" => run_blocking(&opts),
             "blocking-host" => run_blocking_host(&opts),
             name => {
@@ -171,6 +180,7 @@ fn main() {
         || !write_points.is_empty()
         || !read_points.is_empty()
         || !fairness_points.is_empty()
+        || !kv_points.is_empty()
         || !host_points.is_empty()
         || !write_host_points.is_empty()
     {
@@ -181,17 +191,20 @@ fn main() {
             &write_points,
             &read_points,
             &fairness_points,
+            &kv_points,
             &host_points,
             &write_host_points,
         )
         .expect("write BENCH_stm.json");
         eprintln!(
-            "[figures] wrote {} ({} points, {} write-path, {} read-heavy, {} fairness, {} host)",
+            "[figures] wrote {} ({} points, {} write-path, {} read-heavy, {} fairness, {} kv, \
+             {} host)",
             path.display(),
             all_points.len() + write_points.len(),
             write_points.len(),
             read_points.len(),
             fairness_points.len(),
+            kv_points.len(),
             host_points.len() + write_host_points.len()
         );
     }
@@ -620,6 +633,74 @@ fn run_fairness(opts: &Options) -> Vec<FairnessPoint> {
     std::fs::write(opts.out.join("fairness.csv"), csv).expect("write CSV");
     eprintln!("[figures] wrote {}", opts.out.join("fairness.csv").display());
     all
+}
+
+/// K1: the million-key KV service ladder — Zipfian get/put/delete traffic
+/// against the arena-backed hash map, one world reused across every
+/// threads × skew × read-ratio rung. Wall-clock throughput is
+/// informational; the functional columns (live cells, entries, arena
+/// accounting) are what the CI gate replays from the committed baseline.
+/// `--quick` shrinks the key space for CI smoke; the committed baseline is
+/// regenerated at full scale by `examples/kv_service.rs --update-bench`.
+fn run_kv(opts: &Options) -> Vec<KvPoint> {
+    let (keys, n_buckets, ops) = if opts.quick {
+        (20_000u32, 8_192usize, (opts.ops * 16).max(8_192))
+    } else {
+        (KV_KEYS, KV_BUCKETS, KV_OPS)
+    };
+    println!(
+        "# K1 — KV service ladder ({} keys, {} buckets, {} ops/rung, wall-clock)",
+        thousands(u64::from(keys)),
+        thousands(n_buckets as u64),
+        thousands(ops)
+    );
+    eprintln!("[figures] building KV world ({} keys)...", thousands(u64::from(keys)));
+    let points = run_kv_ladder(keys, n_buckets, ops);
+    println!(
+        "{:>14} {:>12} {:>14} {:>12} {:>12} {:>10}",
+        "config", "ops/sec", "live-cells", "entries", "high-water", "segments"
+    );
+    let mut csv = String::from(
+        "config,keys,n_buckets,threads,total_ops,skew,read_pct,seed,nanos,ops_per_sec,gets,\
+         hits,puts,deletes,entries,live_cells,high_water_cells,segments_live\n",
+    );
+    for p in &points {
+        println!(
+            "{:>14} {:>12.0} {:>14} {:>12} {:>12} {:>10}",
+            p.label(),
+            p.ops_per_sec,
+            thousands(p.live_cells),
+            thousands(p.entries),
+            thousands(p.high_water_cells),
+            p.segments_live
+        );
+        csv.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{:.1},{},{},{},{},{},{},{},{}\n",
+            p.label(),
+            p.keys,
+            p.n_buckets,
+            p.threads,
+            p.total_ops,
+            p.skew,
+            p.read_pct,
+            p.seed,
+            p.nanos,
+            p.ops_per_sec,
+            p.gets,
+            p.hits,
+            p.puts,
+            p.deletes,
+            p.entries,
+            p.live_cells,
+            p.high_water_cells,
+            p.segments_live
+        ));
+    }
+    println!();
+    std::fs::create_dir_all(&opts.out).expect("create output dir");
+    std::fs::write(opts.out.join("kv.csv"), csv).expect("write CSV");
+    eprintln!("[figures] wrote {}", opts.out.join("kv.csv").display());
+    points
 }
 
 /// B1: the blocking producer–consumer idle-cost comparison — a consumer

@@ -1,0 +1,447 @@
+//! The million-key KV service workload over the growable sharded arena.
+//!
+//! This is the proof workload for the [`CellArena`] heap refactor: an
+//! [`StmHashMap`] serving Zipfian get/put/delete traffic over a **live
+//! population in the millions of cells**, with entry spans allocated and
+//! freed while transactions run. One world (arena + map + host machine) is
+//! built once and reused across every rung of the throughput ladder
+//! ([`kv_ladder`]): threads × key-skew × read-ratio.
+//!
+//! All measurements here are wall-clock on the real host machine, so the
+//! throughput numbers themselves are informational (like the other `host`
+//! rows of `BENCH_stm.json`). What the CI gate (`bench_gate`) pins instead
+//! are the workload's *functional* invariants, which are exact on any
+//! machine: the live-cell floor (the million-key claim), arena accounting
+//! (`live == 2·buckets + 3·len`), a duplicate-free full scan matching the
+//! length counter, and the read-heavy rung outpacing the write-heavy rung
+//! at equal thread count and skew.
+//!
+//! Randomness is deterministic: a [`SplitMix64`] stream per thread, seeded
+//! from the row's recorded `seed`, drives both the [`Zipf`] key sampler and
+//! the operation mix, so a baseline row names its workload exactly.
+//!
+//! [`CellArena`]: stm_core::arena::CellArena
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use stm_core::arena::CellArena;
+use stm_core::layout::StmLayout;
+use stm_core::machine::host::HostMachine;
+use stm_core::stm::StmConfig;
+use stm_structures::hashmap::{StmHashMap, BUCKET_SPAN, ENTRY_SPAN};
+
+/// Cells per arena segment in the KV world (see [`build_world`]).
+pub const KV_SEG_CELLS: usize = 4096;
+
+/// Arena shards in the KV world.
+pub const KV_SHARDS: usize = 16;
+
+/// Seed recorded in ladder rows (per-thread streams derive from it).
+pub const KV_SEED: u64 = 31415;
+
+/// Default keys for the full ladder: 600k keys ⇒ 2.3M live cells prefilled
+/// (3 cells per entry plus 2 per bucket), comfortably over the million-cell
+/// flagship floor even at uniform-churn steady state (~1.42M).
+pub const KV_KEYS: u32 = 600_000;
+
+/// Default bucket count for the full ladder (2^18).
+pub const KV_BUCKETS: usize = 1 << 18;
+
+/// Default operations per ladder rung.
+pub const KV_OPS: u64 = 400_000;
+
+/// One rung of the KV throughput ladder.
+#[derive(Debug, Clone)]
+pub struct KvConfig {
+    /// Key-space size (keys `0..keys` are prefilled).
+    pub keys: u32,
+    /// Hash-map buckets (power of two).
+    pub n_buckets: usize,
+    /// Real threads driving traffic.
+    pub threads: usize,
+    /// Total operations across all threads.
+    pub total_ops: u64,
+    /// Zipf exponent for key choice (`0.0` = uniform).
+    pub skew: f64,
+    /// Percentage of operations that are gets (the rest split evenly
+    /// between puts and deletes).
+    pub read_pct: u32,
+    /// Base RNG seed (thread `t` uses an independent stream derived from
+    /// it).
+    pub seed: u64,
+}
+
+impl KvConfig {
+    /// Row label, e.g. `t4-z0.99-r95`.
+    pub fn label(&self) -> String {
+        format!("t{}-z{:.2}-r{}", self.threads, self.skew, self.read_pct)
+    }
+}
+
+/// The ladder: threads {1, 4} × skew {0.0, 0.99} × read_pct {50, 95},
+/// every rung over the same `keys`/`n_buckets` world and `total_ops`.
+pub fn kv_ladder(keys: u32, n_buckets: usize, total_ops: u64) -> Vec<KvConfig> {
+    let mut out = Vec::new();
+    for threads in [1usize, 4] {
+        for skew in [0.0f64, 0.99] {
+            for read_pct in [50u32, 95] {
+                out.push(KvConfig {
+                    keys,
+                    n_buckets,
+                    threads,
+                    total_ops,
+                    skew,
+                    read_pct,
+                    seed: KV_SEED,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// One measured ladder rung (the `kv` section of `BENCH_stm.json`).
+#[derive(Debug, Clone)]
+pub struct KvPoint {
+    /// Key-space size.
+    pub keys: u32,
+    /// Hash-map buckets.
+    pub n_buckets: usize,
+    /// Threads.
+    pub threads: usize,
+    /// Operations completed across all threads.
+    pub total_ops: u64,
+    /// Zipf exponent.
+    pub skew: f64,
+    /// Read percentage.
+    pub read_pct: u32,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Wall-clock nanoseconds.
+    pub nanos: u64,
+    /// Operations per second.
+    pub ops_per_sec: f64,
+    /// Get operations (and how many hit).
+    pub gets: u64,
+    /// Gets that found the key.
+    pub hits: u64,
+    /// Put operations.
+    pub puts: u64,
+    /// Delete operations.
+    pub deletes: u64,
+    /// Map entries after the rung.
+    pub entries: u64,
+    /// Arena live cells after the rung (the million-cell witness).
+    pub live_cells: u64,
+    /// Arena live-cell high-water mark.
+    pub high_water_cells: u64,
+    /// Arena segments grown into.
+    pub segments_live: u64,
+}
+
+impl KvPoint {
+    /// Row label (same shape as [`KvConfig::label`]).
+    pub fn label(&self) -> String {
+        format!("t{}-z{:.2}-r{}", self.threads, self.skew, self.read_pct)
+    }
+}
+
+/// SplitMix64: a tiny, seedable, statistically solid PRNG (one stream per
+/// thread; no shared state).
+#[derive(Debug, Clone)]
+pub struct SplitMix64(pub u64);
+
+impl SplitMix64 {
+    /// Next 64 random bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` (53 mantissa bits).
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Zipfian key sampler over ranks `0..n` via the harmonic CDF and binary
+/// search; exponent `0.0` short-circuits to uniform (no table).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    n: u32,
+    cdf: Option<Vec<f64>>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` keys with exponent `s`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero or `s` is negative.
+    pub fn new(n: u32, s: f64) -> Self {
+        assert!(n > 0, "empty key space");
+        assert!(s >= 0.0, "negative Zipf exponent");
+        if s == 0.0 {
+            return Zipf { n, cdf: None };
+        }
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 0..n {
+            acc += 1.0 / f64::from(i + 1).powf(s);
+            cdf.push(acc);
+        }
+        for v in &mut cdf {
+            *v /= acc;
+        }
+        Zipf { n, cdf: Some(cdf) }
+    }
+
+    /// Map a uniform `u ∈ [0, 1)` to a key rank (rank 0 is the hottest).
+    #[inline]
+    pub fn sample(&self, u: f64) -> u32 {
+        match &self.cdf {
+            None => ((u * f64::from(self.n)) as u32).min(self.n - 1),
+            Some(cdf) => (cdf.partition_point(|&c| c < u) as u32).min(self.n - 1),
+        }
+    }
+}
+
+/// The shared world every ladder rung runs over: the arena-backed map, the
+/// host machine whose ports the threads use, and the prefilled key space.
+#[derive(Debug, Clone)]
+pub struct KvWorld {
+    map: StmHashMap,
+    machine: HostMachine,
+    keys: u32,
+    n_procs: usize,
+}
+
+/// The value key `k` is prefilled with (checked by the gate's scan).
+pub fn initial_value(k: u32) -> u32 {
+    k.wrapping_mul(0x85EB_CA6B) & 0x7FFF_FFFF
+}
+
+/// Build the KV world: a sharded arena layout sized for `keys` entries plus
+/// churn slack, the hash map over it, and a parallel prefill of every key
+/// through `n_procs` ports. Addresses never move afterwards — growth only
+/// appends segments.
+pub fn build_world(keys: u32, n_buckets: usize, n_procs: usize) -> KvWorld {
+    let needed = BUCKET_SPAN * n_buckets + ENTRY_SPAN * keys as usize;
+    // A quarter slack for churn overshoot plus one segment per shard so
+    // every shard can grow at least once.
+    let slack = needed / 4 + KV_SEG_CELLS * KV_SHARDS;
+    let max_segments = (needed + slack).div_ceil(KV_SEG_CELLS).next_multiple_of(KV_SHARDS);
+    let layout = StmLayout::arena(0, n_procs, 8, 0, KV_SHARDS, KV_SEG_CELLS, max_segments);
+    let arena = Arc::new(CellArena::new(layout));
+    let machine = HostMachine::new(layout.end(), n_procs);
+    let map = {
+        let mut port = machine.port(0);
+        StmHashMap::new(layout, arena, n_buckets, StmConfig::default(), &mut port)
+    };
+    std::thread::scope(|s| {
+        for p in 0..n_procs {
+            let map = map.clone();
+            let machine = machine.clone();
+            s.spawn(move || {
+                let mut port = machine.port(p);
+                let mut k = p as u32;
+                while k < keys {
+                    map.insert(&mut port, k, initial_value(k));
+                    k += n_procs as u32;
+                }
+            });
+        }
+    });
+    assert_eq!(map.len(), u64::from(keys), "prefill must cover the key space");
+    KvWorld { map, machine, keys, n_procs }
+}
+
+impl KvWorld {
+    /// The map (for scans and invariant checks).
+    pub fn map(&self) -> &StmHashMap {
+        &self.map
+    }
+
+    /// The host machine backing the map's cells.
+    pub fn machine(&self) -> &HostMachine {
+        &self.machine
+    }
+
+    /// Key-space size the world was built for.
+    pub fn keys(&self) -> u32 {
+        self.keys
+    }
+
+    /// Ports available (= maximum rung thread count).
+    pub fn n_procs(&self) -> usize {
+        self.n_procs
+    }
+}
+
+/// Run one ladder rung over a prebuilt world.
+///
+/// Each thread draws keys from its own [`SplitMix64`] stream through the
+/// shared [`Zipf`] table and rolls the op mix: `read_pct`% gets, the rest
+/// split evenly between puts (insert-or-update) and deletes. The world is
+/// *not* reset between rungs — the ladder measures a live service, and the
+/// population stays in steady state because puts and deletes balance.
+///
+/// # Panics
+///
+/// Panics if the rung asks for more threads than the world has ports, or a
+/// different key-space size than the world was built for.
+pub fn run_kv_point(world: &KvWorld, cfg: &KvConfig) -> KvPoint {
+    assert!(cfg.threads <= world.n_procs, "rung needs more ports than the world has");
+    assert_eq!(cfg.keys, world.keys, "rung and world disagree on key space");
+    let zipf = Arc::new(Zipf::new(cfg.keys, cfg.skew));
+    let per_thread = (cfg.total_ops / cfg.threads as u64).max(1);
+    let actual_total = per_thread * cfg.threads as u64;
+    let (gets, hits) = (AtomicU64::new(0), AtomicU64::new(0));
+    let (puts, deletes) = (AtomicU64::new(0), AtomicU64::new(0));
+    let start = std::time::Instant::now();
+    std::thread::scope(|s| {
+        for t in 0..cfg.threads {
+            let map = world.map.clone();
+            let machine = world.machine.clone();
+            let zipf = Arc::clone(&zipf);
+            let (gets, hits, puts, deletes) = (&gets, &hits, &puts, &deletes);
+            s.spawn(move || {
+                let mut port = machine.port(t);
+                let mut rng =
+                    SplitMix64(cfg.seed ^ (t as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F));
+                let (mut g, mut h, mut p, mut d) = (0u64, 0u64, 0u64, 0u64);
+                for _ in 0..per_thread {
+                    let key = zipf.sample(rng.next_f64());
+                    let roll = rng.next_u64();
+                    if ((roll % 100) as u32) < cfg.read_pct {
+                        g += 1;
+                        if map.get(&mut port, key).is_some() {
+                            h += 1;
+                        }
+                    } else if roll & (1 << 32) == 0 {
+                        p += 1;
+                        map.insert(&mut port, key, (roll >> 33) as u32 & 0x7FFF_FFFF);
+                    } else {
+                        d += 1;
+                        map.remove(&mut port, key);
+                    }
+                }
+                gets.fetch_add(g, Ordering::Relaxed);
+                hits.fetch_add(h, Ordering::Relaxed);
+                puts.fetch_add(p, Ordering::Relaxed);
+                deletes.fetch_add(d, Ordering::Relaxed);
+            });
+        }
+    });
+    let nanos = start.elapsed().as_nanos() as u64;
+    let stats = world.map.arena().stats();
+    KvPoint {
+        keys: cfg.keys,
+        n_buckets: cfg.n_buckets,
+        threads: cfg.threads,
+        total_ops: actual_total,
+        skew: cfg.skew,
+        read_pct: cfg.read_pct,
+        seed: cfg.seed,
+        nanos,
+        ops_per_sec: if nanos == 0 { 0.0 } else { actual_total as f64 * 1e9 / nanos as f64 },
+        gets: gets.into_inner(),
+        hits: hits.into_inner(),
+        puts: puts.into_inner(),
+        deletes: deletes.into_inner(),
+        entries: world.map.len(),
+        live_cells: world.map.arena().live_cells() as u64,
+        high_water_cells: stats.high_water_cells as u64,
+        segments_live: stats.segments_live as u64,
+    }
+}
+
+/// Run the whole ladder over one world (built here at `keys`/`n_buckets`
+/// with ports for the widest rung).
+pub fn run_kv_ladder(keys: u32, n_buckets: usize, total_ops: u64) -> Vec<KvPoint> {
+    let ladder = kv_ladder(keys, n_buckets, total_ops);
+    let n_procs = ladder.iter().map(|c| c.threads).max().unwrap_or(1);
+    let world = build_world(keys, n_buckets, n_procs);
+    ladder.iter().map(|cfg| run_kv_point(&world, cfg)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_is_skewed_and_in_range() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = SplitMix64(7);
+        let mut head = 0usize;
+        for _ in 0..4000 {
+            let k = z.sample(rng.next_f64());
+            assert!(k < 1000);
+            if k < 10 {
+                head += 1;
+            }
+        }
+        // Under s=0.99 the top 1% of ranks draws far more than 1% of mass.
+        assert!(head > 800, "head draws: {head}");
+        let u = Zipf::new(1000, 0.0);
+        let k = u.sample(0.9995);
+        assert!(k < 1000);
+    }
+
+    #[test]
+    fn splitmix_streams_are_deterministic_and_distinct() {
+        let mut a = SplitMix64(1);
+        let mut b = SplitMix64(1);
+        let mut c = SplitMix64(2);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+        let mut f = SplitMix64(3);
+        for _ in 0..100 {
+            let v = f.next_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn ladder_has_eight_rungs_over_the_grid() {
+        let l = kv_ladder(100, 16, 50);
+        assert_eq!(l.len(), 8);
+        assert!(l.iter().any(|c| c.threads == 4 && c.skew > 0.5 && c.read_pct == 95));
+        assert_eq!(l[0].label(), "t1-z0.00-r50");
+    }
+
+    #[test]
+    fn tiny_world_runs_a_rung_and_keeps_invariants() {
+        let world = build_world(500, 64, 2);
+        assert_eq!(world.map().len(), 500);
+        let cfg = KvConfig {
+            keys: 500,
+            n_buckets: 64,
+            threads: 2,
+            total_ops: 2000,
+            skew: 0.99,
+            read_pct: 50,
+            seed: KV_SEED,
+        };
+        let p = run_kv_point(&world, &cfg);
+        assert_eq!(p.total_ops, 2000);
+        assert_eq!(p.gets + p.puts + p.deletes, 2000);
+        assert!(p.gets > 0 && p.puts > 0 && p.deletes > 0);
+        let mut port = world.machine().port(0);
+        let count = world.map().check_quiesced(&mut port, true);
+        assert_eq!(count, p.entries);
+        assert_eq!(
+            p.live_cells,
+            (BUCKET_SPAN * 64) as u64 + (ENTRY_SPAN as u64) * p.entries
+        );
+    }
+}

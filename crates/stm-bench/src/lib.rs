@@ -28,6 +28,13 @@
 //!   spin-retrying `try_pop`, on the simulator (deterministic; the parked
 //!   consumer takes zero scheduler steps) and on host threads (per-thread
 //!   CPU time across the wait window; wall-clock, informational).
+//! * [`kv`] — the million-key KV service over the growable sharded cell
+//!   arena: Zipfian get/put/delete traffic against an arena-backed hash map
+//!   with a live population in the millions of cells, swept over a
+//!   threads × skew × read-ratio ladder (wall-clock throughput is
+//!   informational; the `bench_gate` binary pins the workload's functional
+//!   invariants — the live-cell floor, arena accounting, and a
+//!   duplicate-free scan).
 //! * [`fairness`] — the F1 starvation ablation: a big-k transaction under a
 //!   small-tx storm, with the escalation ladder as the variable. Reports
 //!   max-losses-before-commit and the big transaction's p99 tail latency;
@@ -50,6 +57,7 @@
 pub mod blocking;
 pub mod durable;
 pub mod fairness;
+pub mod kv;
 pub mod read_heavy;
 pub mod report;
 pub mod runner;

@@ -5,7 +5,7 @@
 //! document, so downstream tooling (CI artifacts, plotting scripts,
 //! regression diffs) can consume the sweep without re-parsing CSV tables.
 //!
-//! Since `stm-bench/v3` the document carries four sections:
+//! Since `stm-bench/v4` the document carries five sections:
 //!
 //! * `points` — the paper-figure sweeps ([`DataPoint`]) plus the
 //!   write-path/MWCAS-kernel ladder ([`WritePoint`]); write-path rows carry
@@ -19,20 +19,31 @@
 //!   vs escalation ladder. Deterministic; the third replayed row family,
 //!   where the gate additionally fails if a fresh `max_losses` exceeds the
 //!   committed one or an escalation row breaks its N+M `loss_bound`.
+//! * `kv` — the million-key KV service ladder ([`KvPoint`]): Zipfian
+//!   get/put/delete traffic over the arena-backed hash map, one row per
+//!   threads × skew × read-ratio rung. Wall-clock throughput is
+//!   informational; the gate replays the rungs and pins the *functional*
+//!   columns (`live_cells`, `entries`, the accounting identity), which are
+//!   exact on any machine.
 //! * `host` — wall-clock host-machine measurements ([`HostPoint`] and
 //!   [`WriteHostPoint`], told apart by `workload`); informational only,
 //!   never gated (wall-clock does not reproduce across machines).
+//!
+//! [`splice_kv_section`] rewrites only the `kv` section (and the schema
+//! tag) of an existing report, so regenerating the KV ladder leaves every
+//! other committed baseline row byte-identical.
 
 use std::io;
 use std::path::Path;
 
 use crate::fairness::FairnessPoint;
+use crate::kv::KvPoint;
 use crate::read_heavy::{HostPoint, ReadPoint};
 use crate::workloads::DataPoint;
 use crate::write_path::{WriteHostPoint, WritePoint};
 
 /// Schema identifier written into the report, bumped on layout changes.
-pub const BENCH_SCHEMA: &str = "stm-bench/v3";
+pub const BENCH_SCHEMA: &str = "stm-bench/v4";
 
 /// Build the JSON document for a set of data points.
 ///
@@ -48,7 +59,10 @@ pub const BENCH_SCHEMA: &str = "stm-bench/v3";
 /// row can be replayed bit-exactly; `fairness` rows carry `{bench: "storm",
 /// arch, config, procs, total_ops, seed, cycles, throughput, big_txs,
 /// max_losses, loss_bound, p99_big_latency, escalations, forced,
-/// deferrals}`; `host` rows are `{workload, config, procs, total_ops,
+/// deferrals}`; `kv` rows carry `{bench: "kv", config, keys, n_buckets,
+/// threads, total_ops, skew, read_pct, seed, nanos, ops_per_sec, gets,
+/// hits, puts, deletes, entries, live_cells, high_water_cells,
+/// segments_live}`; `host` rows are `{workload, config, procs, total_ops,
 /// nanos, ops_per_sec}` with `workload` `"snapshot"` (read ladder) or
 /// `"write-path"` (kernel ladder).
 pub fn bench_json(
@@ -56,6 +70,7 @@ pub fn bench_json(
     write: &[WritePoint],
     read_heavy: &[ReadPoint],
     fairness: &[FairnessPoint],
+    kv: &[KvPoint],
     host: &[HostPoint],
     write_host: &[WriteHostPoint],
 ) -> serde_json::Value {
@@ -135,6 +150,7 @@ pub fn bench_json(
             ])
         })
         .collect();
+    let kv_rows = kv.iter().map(kv_row).collect();
     let mut host_rows: Vec<serde_json::Value> = host
         .iter()
         .map(|p| {
@@ -163,8 +179,67 @@ pub fn bench_json(
         ("points".into(), serde_json::Value::Array(rows)),
         ("read_heavy".into(), serde_json::Value::Array(read_rows)),
         ("fairness".into(), serde_json::Value::Array(fairness_rows)),
+        ("kv".into(), serde_json::Value::Array(kv_rows)),
         ("host".into(), serde_json::Value::Array(host_rows)),
     ])
+}
+
+/// One `kv` section row (see [`bench_json`] for the column list).
+fn kv_row(p: &KvPoint) -> serde_json::Value {
+    serde_json::Value::Object(vec![
+        ("bench".into(), "kv".into()),
+        ("config".into(), p.label().into()),
+        ("keys".into(), u64::from(p.keys).into()),
+        ("n_buckets".into(), (p.n_buckets as u64).into()),
+        ("threads".into(), (p.threads as u64).into()),
+        ("total_ops".into(), p.total_ops.into()),
+        ("skew".into(), p.skew.into()),
+        ("read_pct".into(), u64::from(p.read_pct).into()),
+        ("seed".into(), p.seed.into()),
+        ("nanos".into(), p.nanos.into()),
+        ("ops_per_sec".into(), p.ops_per_sec.into()),
+        ("gets".into(), p.gets.into()),
+        ("hits".into(), p.hits.into()),
+        ("puts".into(), p.puts.into()),
+        ("deletes".into(), p.deletes.into()),
+        ("entries".into(), p.entries.into()),
+        ("live_cells".into(), p.live_cells.into()),
+        ("high_water_cells".into(), p.high_water_cells.into()),
+        ("segments_live".into(), p.segments_live.into()),
+    ])
+}
+
+/// Rewrite only the `kv` section of an existing report (replacing it, or
+/// inserting it between `fairness` and `host`), stamping the current
+/// [`BENCH_SCHEMA`]. Every other section is re-emitted from its parsed
+/// values, which round-trip byte-identically (integers stay integers and
+/// floats re-print via the same shortest-representation formatter), so
+/// regenerating the KV ladder cannot disturb the replayed baselines.
+///
+/// # Errors
+///
+/// Returns an error if the file cannot be read, is not a JSON object, or
+/// cannot be written back.
+pub fn splice_kv_section(path: &Path, kv: &[KvPoint]) -> io::Result<()> {
+    let doc = std::fs::read_to_string(path)?;
+    let mut v: serde_json::Value =
+        serde_json::from_str(&doc).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    let serde_json::Value::Object(entries) = &mut v else {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "report is not a JSON object"));
+    };
+    let rows = serde_json::Value::Array(kv.iter().map(kv_row).collect());
+    for (k, val) in entries.iter_mut() {
+        if k == "schema" {
+            *val = BENCH_SCHEMA.into();
+        }
+    }
+    if let Some((_, val)) = entries.iter_mut().find(|(k, _)| k == "kv") {
+        *val = rows;
+    } else {
+        let at = entries.iter().position(|(k, _)| k == "host").unwrap_or(entries.len());
+        entries.insert(at, ("kv".into(), rows));
+    }
+    std::fs::write(path, serde_json::to_string_pretty(&v).expect("kv values are finite"))
 }
 
 /// Write [`bench_json`] to `path`, creating parent directories.
@@ -172,12 +247,14 @@ pub fn bench_json(
 /// # Errors
 ///
 /// Returns any I/O error from creating directories or writing the file.
+#[allow(clippy::too_many_arguments)]
 pub fn write_bench_json(
     path: &Path,
     points: &[DataPoint],
     write: &[WritePoint],
     read_heavy: &[ReadPoint],
     fairness: &[FairnessPoint],
+    kv: &[KvPoint],
     host: &[HostPoint],
     write_host: &[WriteHostPoint],
 ) -> io::Result<()> {
@@ -185,7 +262,7 @@ pub fn write_bench_json(
         std::fs::create_dir_all(parent)?;
     }
     let doc = serde_json::to_string_pretty(&bench_json(
-        points, write, read_heavy, fairness, host, write_host,
+        points, write, read_heavy, fairness, kv, host, write_host,
     ))
     .expect("bench values are finite");
     std::fs::write(path, doc)
@@ -206,7 +283,7 @@ mod tests {
             run_point(Bench::Counting, ArchKind::Bus, Method::Mcs, 2, 64, 1),
         ];
         let doc =
-            serde_json::to_string_pretty(&bench_json(&points, &[], &[], &[], &[], &[])).unwrap();
+            serde_json::to_string_pretty(&bench_json(&points, &[], &[], &[], &[], &[], &[])).unwrap();
         let v = serde_json::from_str(&doc).expect("report must be valid JSON");
         assert_eq!(v["schema"].as_str(), Some(BENCH_SCHEMA));
         let rows = v["points"].as_array().unwrap();
@@ -230,7 +307,7 @@ mod tests {
     fn read_heavy_rows_carry_replay_parameters() {
         let rp = run_read_point(ReadBench::Snapshot, ArchKind::Bus, ReadMode::Fast, 2, 64, 5);
         let hp = run_host_point("fast-dense", true, false, 1, 256);
-        let v = bench_json(&[], &[], &[rp.clone()], &[], &[hp], &[]);
+        let v = bench_json(&[], &[], std::slice::from_ref(&rp), &[], &[], &[hp], &[]);
         let row = &v["read_heavy"].as_array().unwrap()[0];
         // The gate replays rows from these fields alone; losing one breaks it.
         assert_eq!(row["bench"].as_str(), Some("snapshot"));
@@ -249,7 +326,7 @@ mod tests {
     fn write_path_rows_carry_replay_parameters() {
         let wp = run_write_point(2, ArchKind::Bus, WriteMode::Compiled, 2, 64, 5);
         let wh = run_write_host_point(2, WriteMode::Compiled, 1, 256);
-        let v = bench_json(&[], &[wp.clone()], &[], &[], &[], &[wh]);
+        let v = bench_json(&[], std::slice::from_ref(&wp), &[], &[], &[], &[], &[wh]);
         let row = &v["points"].as_array().unwrap()[0];
         // The gate replays write-path rows from these fields alone; losing
         // one breaks it. The seed is also the family discriminator.
@@ -271,7 +348,7 @@ mod tests {
     fn fairness_rows_carry_replay_parameters_and_the_bound() {
         use crate::fairness::{fair_loss_bound, run_fairness_point, FairMode};
         let fp = run_fairness_point(ArchKind::Bus, FairMode::Escalation, 128, 5);
-        let v = bench_json(&[], &[], &[], &[fp.clone()], &[], &[]);
+        let v = bench_json(&[], &[], &[], std::slice::from_ref(&fp), &[], &[], &[]);
         let row = &v["fairness"].as_array().unwrap()[0];
         // The gate replays rows from these fields alone; losing one breaks it.
         assert_eq!(row["bench"].as_str(), Some("storm"));
@@ -286,12 +363,91 @@ mod tests {
         assert_eq!(row["p99_big_latency"].as_u64(), Some(fp.p99_big_latency));
     }
 
+    fn sample_kv_point() -> KvPoint {
+        KvPoint {
+            keys: 600_000,
+            n_buckets: 1 << 18,
+            threads: 4,
+            total_ops: 400_000,
+            skew: 0.99,
+            read_pct: 95,
+            seed: 31415,
+            nanos: 123_456_789,
+            ops_per_sec: 3_240_001.5,
+            gets: 380_000,
+            hits: 300_000,
+            puts: 10_000,
+            deletes: 10_000,
+            entries: 599_000,
+            live_cells: 2_321_288,
+            high_water_cells: 2_324_288,
+            segments_live: 600,
+        }
+    }
+
+    #[test]
+    fn kv_rows_carry_replay_parameters_and_invariant_columns() {
+        let kp = sample_kv_point();
+        let v = bench_json(&[], &[], &[], &[], std::slice::from_ref(&kp), &[], &[]);
+        let row = &v["kv"].as_array().unwrap()[0];
+        // The gate replays rungs from these fields alone; losing one breaks
+        // it. The functional columns are what it pins.
+        assert_eq!(row["bench"].as_str(), Some("kv"));
+        assert_eq!(row["config"].as_str(), Some("t4-z0.99-r95"));
+        assert_eq!(row["keys"].as_u64(), Some(600_000));
+        assert_eq!(row["n_buckets"].as_u64(), Some(1 << 18));
+        assert_eq!(row["threads"].as_u64(), Some(4));
+        assert_eq!(row["total_ops"].as_u64(), Some(400_000));
+        assert_eq!(row["skew"].as_f64(), Some(0.99));
+        assert_eq!(row["read_pct"].as_u64(), Some(95));
+        assert_eq!(row["seed"].as_u64(), Some(31415));
+        assert_eq!(row["entries"].as_u64(), Some(599_000));
+        assert_eq!(row["live_cells"].as_u64(), Some(2_321_288));
+        assert!(row["ops_per_sec"].as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn splice_replaces_only_the_kv_section() {
+        let dir = std::env::temp_dir().join(format!("stm_bench_splice_{}", std::process::id()));
+        let path = dir.join("BENCH_stm.json");
+        let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
+        let rp = run_read_point(ReadBench::Snapshot, ArchKind::Bus, ReadMode::Fast, 2, 64, 5);
+        write_bench_json(&path, &points, &[], &[rp], &[], &[], &[], &[]).unwrap();
+        let before: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+
+        splice_kv_section(&path, &[sample_kv_point()]).unwrap();
+        let after_doc = std::fs::read_to_string(&path).unwrap();
+        let after: serde_json::Value = serde_json::from_str(&after_doc).unwrap();
+        assert_eq!(after["schema"].as_str(), Some(BENCH_SCHEMA));
+        assert_eq!(after["kv"].as_array().unwrap().len(), 1);
+        // Every other section round-trips untouched — byte-identical once
+        // re-serialized, which is what keeps the replayed baselines stable.
+        assert_eq!(after["points"], before["points"]);
+        assert_eq!(after["read_heavy"], before["read_heavy"]);
+        assert_eq!(after["fairness"], before["fairness"]);
+        assert_eq!(after["host"], before["host"]);
+        // Section order is preserved: kv sits between fairness and host.
+        let fairness_at = after_doc.find("\"fairness\"").unwrap();
+        let kv_at = after_doc.find("\"kv\"").unwrap();
+        let host_at = after_doc.find("\"host\"").unwrap();
+        assert!(fairness_at < kv_at && kv_at < host_at);
+
+        // Splicing a second time replaces (not duplicates) the section.
+        splice_kv_section(&path, &[sample_kv_point(), sample_kv_point()]).unwrap();
+        let again: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(again["kv"].as_array().unwrap().len(), 2);
+        assert_eq!(again["points"], before["points"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
     #[test]
     fn writer_creates_parent_directories() {
         let dir = std::env::temp_dir().join(format!("stm_bench_report_{}", std::process::id()));
         let path = dir.join("nested/BENCH_stm.json");
         let points = vec![run_point(Bench::Counting, ArchKind::Bus, Method::Stm, 1, 16, 1)];
-        write_bench_json(&path, &points, &[], &[], &[], &[], &[]).unwrap();
+        write_bench_json(&path, &points, &[], &[], &[], &[], &[], &[]).unwrap();
         let doc = std::fs::read_to_string(&path).unwrap();
         let v = serde_json::from_str(&doc).unwrap();
         assert_eq!(v["points"].as_array().unwrap().len(), 1);

@@ -79,6 +79,21 @@ pub fn render_columns(title: &str, headers: &[&str], rows: &[Vec<String>]) -> St
     out
 }
 
+/// Format an integer with `,` thousands separators (`1234567` →
+/// `"1,234,567"`), for table cells holding million-row counts (the KV
+/// service ladder reports live-cell and operation counts in the millions).
+pub fn thousands(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    for (i, c) in digits.chars().enumerate() {
+        if i > 0 && (digits.len() - i).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(c);
+    }
+    out
+}
+
 /// Serialize data points as CSV (`bench,arch,method,procs,total_ops,cycles,
 /// throughput,commits,conflicts,helps,conflict_rate,help_rate,retry_rate`).
 ///
@@ -179,6 +194,18 @@ mod tests {
         // Every body line is as wide as the header line (aligned grid).
         assert!(lines[2].len() == lines[1].len() && lines[3].len() == lines[1].len());
         assert!(lines[2].contains("hot-add") && lines[2].contains("123456"));
+    }
+
+    #[test]
+    fn thousands_groups_digits() {
+        assert_eq!(thousands(0), "0");
+        assert_eq!(thousands(7), "7");
+        assert_eq!(thousands(999), "999");
+        assert_eq!(thousands(1000), "1,000");
+        assert_eq!(thousands(54321), "54,321");
+        assert_eq!(thousands(1_234_567), "1,234,567");
+        assert_eq!(thousands(1_000_000_000), "1,000,000,000");
+        assert_eq!(thousands(u64::MAX), "18,446,744,073,709,551,615");
     }
 
     #[test]

@@ -52,6 +52,8 @@ pub struct Attribution {
     forced_commits: u64,
     deferrals: u64,
     delta_commits: u64,
+    cell_allocs: u64,
+    cell_frees: u64,
 }
 
 impl Attribution {
@@ -113,6 +115,8 @@ impl Attribution {
                 FlightKind::ForcedCommit => self.forced_commits += 1,
                 FlightKind::ConflictDeferred => self.deferrals += 1,
                 FlightKind::DeltaCommit => self.delta_commits += 1,
+                FlightKind::CellAlloc => self.cell_allocs += 1,
+                FlightKind::CellFree => self.cell_frees += 1,
                 _ => {}
             }
         }
@@ -136,6 +140,8 @@ impl Attribution {
         self.forced_commits += other.forced_commits;
         self.deferrals += other.deferrals;
         self.delta_commits += other.delta_commits;
+        self.cell_allocs += other.cell_allocs;
+        self.cell_frees += other.cell_frees;
     }
 
     /// True when nothing has been attributed yet.
@@ -148,6 +154,8 @@ impl Attribution {
             && self.forced_commits == 0
             && self.deferrals == 0
             && self.delta_commits == 0
+            && self.cell_allocs == 0
+            && self.cell_frees == 0
     }
 
     /// Total attributed aborts (conflict events folded).
@@ -185,6 +193,16 @@ impl Attribution {
         self.delta_commits
     }
 
+    /// Arena cell-span allocations folded.
+    pub fn cell_allocs(&self) -> u64 {
+        self.cell_allocs
+    }
+
+    /// Arena cell-span frees folded.
+    pub fn cell_frees(&self) -> u64 {
+        self.cell_frees
+    }
+
     /// Per-cell blame counters, keyed by cell index.
     pub fn cells(&self) -> &BTreeMap<u64, CellBlame> {
         &self.cells
@@ -218,6 +236,13 @@ impl Attribution {
                 s,
                 "  fairness: {} escalations, {} forced commits, {} deferrals, {} delta commits",
                 self.escalations, self.forced_commits, self.deferrals, self.delta_commits
+            );
+        }
+        if self.cell_allocs + self.cell_frees > 0 {
+            let _ = writeln!(
+                s,
+                "  arena: {} allocs, {} frees",
+                self.cell_allocs, self.cell_frees
             );
         }
         for (cell, blame) in self.top_cells(k) {

@@ -207,6 +207,16 @@ impl DynamicStm {
         DynamicStm { ops }
     }
 
+    /// Create a dynamic STM over a pre-built layout — the entry point for
+    /// the growable sharded arena ([`crate::layout::StmLayout::arena`]).
+    /// Allocate and free the cells dynamic transactions touch through a
+    /// [`CellArena`](crate::arena::CellArena) built from the same layout;
+    /// commits validate stamps, so a transaction racing a free/realloc
+    /// fails validation and re-runs rather than observing a torn structure.
+    pub fn with_layout(layout: crate::layout::StmLayout, config: StmConfig) -> Self {
+        DynamicStm { ops: StmOps::with_layout(layout, config) }
+    }
+
     /// The underlying static STM instance.
     pub fn stm(&self) -> &Stm {
         self.ops.stm()

@@ -58,6 +58,10 @@ pub struct ProcCounters {
     pub op_panics: u64,
     /// Journal flushes.
     pub journal_flushes: u64,
+    /// Arena cell-span allocations.
+    pub cell_allocs: u64,
+    /// Arena cell-span frees.
+    pub cell_frees: u64,
     /// Total events folded (all kinds).
     pub events: u64,
     /// Events lost to ring overwrite before they could be folded.
@@ -79,6 +83,8 @@ impl ProcCounters {
             FlightKind::DeltaCommit => self.delta_commits += 1,
             FlightKind::OpPanicked => self.op_panics += 1,
             FlightKind::JournalFlush => self.journal_flushes += 1,
+            FlightKind::CellAlloc => self.cell_allocs += 1,
+            FlightKind::CellFree => self.cell_frees += 1,
             _ => {}
         }
     }
@@ -95,6 +101,8 @@ impl ProcCounters {
         self.delta_commits += o.delta_commits;
         self.op_panics += o.op_panics;
         self.journal_flushes += o.journal_flushes;
+        self.cell_allocs += o.cell_allocs;
+        self.cell_frees += o.cell_frees;
         self.events += o.events;
         self.dropped += o.dropped;
     }
@@ -368,6 +376,18 @@ pub fn encode_openmetrics(snap: &MetricsSnapshot) -> String {
         "stm_journal_flushes_total",
         "Durable journal flushes.",
         &per_proc(|p| p.journal_flushes),
+    );
+    counter(
+        &mut s,
+        "stm_cell_allocs_total",
+        "Arena cell-span allocations.",
+        &per_proc(|p| p.cell_allocs),
+    );
+    counter(
+        &mut s,
+        "stm_cell_frees_total",
+        "Arena cell-span frees.",
+        &per_proc(|p| p.cell_frees),
     );
     counter(
         &mut s,
@@ -651,7 +671,8 @@ fn counters_json(pc: &ProcCounters) -> String {
         "{{\"attempts\":{},\"commits\":{},\"aborts\":{},\"helps\":{},\
          \"backoff_waits\":{},\"escalations\":{},\"forced_commits\":{},\
          \"conflicts_deferred\":{},\"delta_commits\":{},\"op_panics\":{},\
-         \"journal_flushes\":{},\"events\":{},\"dropped\":{}}}",
+         \"journal_flushes\":{},\"cell_allocs\":{},\"cell_frees\":{},\
+         \"events\":{},\"dropped\":{}}}",
         pc.attempts,
         pc.commits,
         pc.aborts,
@@ -663,6 +684,8 @@ fn counters_json(pc: &ProcCounters) -> String {
         pc.delta_commits,
         pc.op_panics,
         pc.journal_flushes,
+        pc.cell_allocs,
+        pc.cell_frees,
         pc.events,
         pc.dropped
     )
@@ -706,14 +729,16 @@ pub fn snapshot_json(snap: &MetricsSnapshot) -> String {
         s,
         ",\"attribution\":{{\"aborts\":{},\"helps\":{},\"cycles_lost\":{},\
          \"escalations\":{},\"forced_commits\":{},\"deferrals\":{},\
-         \"delta_commits\":{},\"cells\":[",
+         \"delta_commits\":{},\"cell_allocs\":{},\"cell_frees\":{},\"cells\":[",
         attr.aborts(),
         attr.helps(),
         attr.cycles_lost(),
         attr.escalations(),
         attr.forced_commits(),
         attr.deferrals(),
-        attr.delta_commits()
+        attr.delta_commits(),
+        attr.cell_allocs(),
+        attr.cell_frees()
     );
     for (i, (cell, blame)) in attr.top_cells(16).into_iter().enumerate() {
         if i > 0 {

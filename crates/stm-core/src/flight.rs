@@ -105,6 +105,13 @@ pub enum FlightKind {
     /// A parked blocking transaction returned from its park (`a` =
     /// cumulative wakeups for this call).
     RetryWoken = 16,
+    /// A cell span was handed out by a
+    /// [`CellArena`](crate::arena::CellArena) (`a` = first cell index,
+    /// `b` = live cells after the allocation).
+    CellAlloc = 17,
+    /// A cell span was returned to the arena (`a` = first cell index,
+    /// `b` = live cells after the free).
+    CellFree = 18,
 }
 
 impl FlightKind {
@@ -126,6 +133,8 @@ impl FlightKind {
             14 => Self::DeltaCommit,
             15 => Self::RetryBlocked,
             16 => Self::RetryWoken,
+            17 => Self::CellAlloc,
+            18 => Self::CellFree,
             _ => return None,
         })
     }
@@ -149,6 +158,8 @@ impl FlightKind {
             Self::DeltaCommit => "delta_commit",
             Self::RetryBlocked => "retry_blocked",
             Self::RetryWoken => "retry_woken",
+            Self::CellAlloc => "cell_alloc",
+            Self::CellFree => "cell_free",
         }
     }
 }
@@ -498,6 +509,22 @@ impl FlightRecorder {
         self.cursor = read.cursor;
         self.dropped += read.dropped;
         read.events
+    }
+
+    /// Record a [`CellArena`](crate::arena::CellArena) allocation: `cell` is
+    /// the first index of the span, `live` the arena's live-cell count after
+    /// it. Arena bookkeeping is host-side, so the arena cannot observe a
+    /// clock — callers time-stamp, exactly as with the observer callbacks.
+    #[inline]
+    pub fn cell_alloc(&mut self, proc: usize, cell: CellIdx, live: u64, now: u64) {
+        self.push(FlightKind::CellAlloc, proc, cell as u64, live, now);
+    }
+
+    /// Record a [`CellArena`](crate::arena::CellArena) free (counterpart of
+    /// [`cell_alloc`](Self::cell_alloc)).
+    #[inline]
+    pub fn cell_free(&mut self, proc: usize, cell: CellIdx, live: u64, now: u64) {
+        self.push(FlightKind::CellFree, proc, cell as u64, live, now);
     }
 
     #[inline]

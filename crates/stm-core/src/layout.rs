@@ -22,6 +22,28 @@
 //! default (`pad_shift = 0`) is the dense, address-faithful layout that the
 //! `stm-sim` bus/mesh cost models assume — simulated figures stay comparable
 //! to the paper's.
+//!
+//! # The sharded arena geometry
+//!
+//! [`StmLayout::arena`] lays the same protocol words out for a *growable*
+//! cell heap: records come first, then up to `max_segments` fixed-size
+//! segments, each holding `seg_cells` cells immediately followed by their
+//! `seg_cells` ownership words. Segments are assigned round-robin to
+//! `n_shards` shards (`shard = segment % n_shards`), so each shard's
+//! protocol words cluster in its own address runs — which is what lets the
+//! simulator's cost models charge cross-shard traffic, and what keeps
+//! unrelated shards' ownership words off each other's cache lines on the
+//! host.
+//!
+//! The layout itself remains an immutable, pure address function over the
+//! *maximum* capacity: growth (committing fresh segments, allocating and
+//! freeing cells) lives entirely in [`CellArena`](crate::arena::CellArena).
+//! A cell's address therefore never moves once handed out, every compiled
+//! [`TxPlan`](crate::stm::TxPlan) stays valid across growth, and — because
+//! both `cell(idx)` and `ownership(idx)` are strictly increasing in `idx` —
+//! sorting a data set by [`CellIdx`] still sorts it by ownership address, so
+//! the paper's ascending-order acquisition argument survives verbatim
+//! (docs/protocol.md §15).
 
 use crate::word::{Addr, CellIdx, MAX_DATASET, MAX_PROCS};
 
@@ -45,6 +67,46 @@ pub(crate) mod rec {
     pub const ADDRS: usize = PARAMS + super::MAX_PARAMS;
 }
 
+/// How cells and ownership words are arranged inside the region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Geom {
+    /// The paper's flat arrangement: all cells, then all ownership words,
+    /// then the records.
+    Fixed,
+    /// Sharded segment arena: records first, then `max_segments` segments of
+    /// `1 << seg_shift` cells each (cells then ownerships per segment),
+    /// segment `s` belonging to shard `s & (n_shards - 1)` with
+    /// `n_shards = 1 << shard_shift`.
+    Arena { seg_shift: u8, shard_shift: u8 },
+}
+
+/// The segment-region geometry of an arena layout, as the simulator's cost
+/// models need it: enough to map a raw address back to its shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardGeometry {
+    /// First address of the segment region (addresses below it are records).
+    pub segments_base: Addr,
+    /// One-past-the-end address of the segment region.
+    pub segments_end: Addr,
+    /// Words per segment (cells + ownerships, padded).
+    pub seg_words: usize,
+    /// Number of shards (power of two).
+    pub n_shards: usize,
+}
+
+impl ShardGeometry {
+    /// Shard owning `addr`, or `None` if the address lies outside the
+    /// segment region (records, journal, other instances...).
+    #[inline]
+    pub fn shard_of(&self, addr: Addr) -> Option<usize> {
+        if addr < self.segments_base || addr >= self.segments_end {
+            return None;
+        }
+        let seg = (addr - self.segments_base) / self.seg_words;
+        Some(seg & (self.n_shards - 1))
+    }
+}
+
 /// Computes the addresses of every STM protocol word inside a machine's
 /// address space.
 ///
@@ -62,6 +124,11 @@ pub(crate) mod rec {
 /// let padded = StmLayout::with_pad_shift(0, 128, 4, 8, 3);
 /// assert_eq!(padded.cell(1) - padded.cell(0), 8);
 /// assert_eq!(padded.record(0) % 8, 0);
+///
+/// // Growable sharded arena: 4 shards, 16-cell segments, up to 8 segments.
+/// let arena = StmLayout::arena(0, 4, 8, 0, 4, 16, 8);
+/// assert_eq!(arena.n_cells(), 8 * 16);
+/// assert_eq!(arena.shard_of(17), 1); // cell 17 lives in segment 1 → shard 1
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StmLayout {
@@ -70,6 +137,7 @@ pub struct StmLayout {
     n_procs: usize,
     max_locs: usize,
     pad_shift: u8,
+    geom: Geom,
 }
 
 impl StmLayout {
@@ -104,7 +172,51 @@ impl StmLayout {
         assert!(max_locs > 0 && max_locs <= MAX_DATASET, "max_locs out of range");
         assert!(n_procs > 0 && n_procs <= MAX_PROCS, "n_procs out of range");
         assert!(pad_shift <= 6, "pad_shift out of range");
-        StmLayout { base, n_cells, n_procs, max_locs, pad_shift }
+        StmLayout { base, n_cells, n_procs, max_locs, pad_shift, geom: Geom::Fixed }
+    }
+
+    /// Lay out a growable sharded cell arena at `base`: `n_procs` records
+    /// first, then up to `max_segments` segments of `seg_cells` cells each
+    /// (cells followed by their ownership words), segments striped
+    /// round-robin over `n_shards` shards.
+    ///
+    /// The returned layout addresses the *full* capacity
+    /// (`max_segments * seg_cells` cells); which cells actually exist at any
+    /// moment is [`CellArena`](crate::arena::CellArena)'s business. Untouched
+    /// segments cost only zero pages on the host, so capacity is cheap until
+    /// grown into.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same out-of-range arguments as
+    /// [`StmLayout::with_pad_shift`], or if `seg_cells`/`n_shards` are not
+    /// powers of two, or if `max_segments` is 0.
+    pub fn arena(
+        base: Addr,
+        n_procs: usize,
+        max_locs: usize,
+        pad_shift: u8,
+        n_shards: usize,
+        seg_cells: usize,
+        max_segments: usize,
+    ) -> Self {
+        assert!(max_locs > 0 && max_locs <= MAX_DATASET, "max_locs out of range");
+        assert!(n_procs > 0 && n_procs <= MAX_PROCS, "n_procs out of range");
+        assert!(pad_shift <= 6, "pad_shift out of range");
+        assert!(seg_cells.is_power_of_two(), "seg_cells must be a power of two");
+        assert!(n_shards.is_power_of_two(), "n_shards must be a power of two");
+        assert!(max_segments > 0, "max_segments must be positive");
+        StmLayout {
+            base,
+            n_cells: max_segments * seg_cells,
+            n_procs,
+            max_locs,
+            pad_shift,
+            geom: Geom::Arena {
+                seg_shift: seg_cells.trailing_zeros() as u8,
+                shard_shift: n_shards.trailing_zeros() as u8,
+            },
+        }
     }
 
     /// The configured padding shift (0 = dense, address-faithful layout).
@@ -119,7 +231,7 @@ impl StmLayout {
         1 << self.pad_shift
     }
 
-    /// Number of transactional cells.
+    /// Number of transactional cells (for an arena layout: full capacity).
     pub fn n_cells(&self) -> usize {
         self.n_cells
     }
@@ -134,6 +246,91 @@ impl StmLayout {
         self.max_locs
     }
 
+    /// Whether this is a sharded arena layout.
+    pub fn is_arena(&self) -> bool {
+        matches!(self.geom, Geom::Arena { .. })
+    }
+
+    /// Cells per segment (1 segment spanning everything for fixed layouts).
+    pub fn seg_cells(&self) -> usize {
+        match self.geom {
+            Geom::Fixed => self.n_cells,
+            Geom::Arena { seg_shift, .. } => 1 << seg_shift,
+        }
+    }
+
+    /// Maximum number of segments (1 for fixed layouts).
+    pub fn max_segments(&self) -> usize {
+        match self.geom {
+            Geom::Fixed => 1,
+            Geom::Arena { seg_shift, .. } => self.n_cells >> seg_shift,
+        }
+    }
+
+    /// Number of shards (1 for fixed layouts).
+    pub fn n_shards(&self) -> usize {
+        match self.geom {
+            Geom::Fixed => 1,
+            Geom::Arena { shard_shift, .. } => 1 << shard_shift,
+        }
+    }
+
+    /// Segment holding cell `idx` (0 for fixed layouts).
+    #[inline]
+    pub fn segment_of(&self, idx: CellIdx) -> usize {
+        match self.geom {
+            Geom::Fixed => 0,
+            Geom::Arena { seg_shift, .. } => idx >> seg_shift,
+        }
+    }
+
+    /// Shard owning cell `idx` (0 for fixed layouts).
+    #[inline]
+    pub fn shard_of(&self, idx: CellIdx) -> usize {
+        match self.geom {
+            Geom::Fixed => 0,
+            Geom::Arena { seg_shift, shard_shift } => {
+                (idx >> seg_shift) & ((1 << shard_shift) - 1)
+            }
+        }
+    }
+
+    /// The global cell index of `slot` within `seg`. Inverse of
+    /// ([`segment_of`](Self::segment_of), `idx % seg_cells`); ascending in
+    /// `(seg, slot)` lexicographic order, which is what keeps the sorted
+    /// data-set → ascending-ownership-address argument intact.
+    #[inline]
+    pub fn cell_index(&self, seg: usize, slot: usize) -> CellIdx {
+        debug_assert!(slot < self.seg_cells(), "slot {slot} out of range");
+        match self.geom {
+            Geom::Fixed => slot,
+            Geom::Arena { seg_shift, .. } => (seg << seg_shift) + slot,
+        }
+    }
+
+    /// Words per segment: cells plus ownership words, padded.
+    #[inline]
+    fn seg_words(&self) -> usize {
+        (2 * self.seg_cells()) << self.pad_shift
+    }
+
+    /// The segment-region geometry, for cost models that charge cross-shard
+    /// traffic. `None` for fixed layouts.
+    pub fn shard_geometry(&self) -> Option<ShardGeometry> {
+        match self.geom {
+            Geom::Fixed => None,
+            Geom::Arena { .. } => {
+                let segments_base = self.base + self.n_procs * self.record_stride();
+                Some(ShardGeometry {
+                    segments_base,
+                    segments_end: segments_base + self.max_segments() * self.seg_words(),
+                    seg_words: self.seg_words(),
+                    n_shards: self.n_shards(),
+                })
+            }
+        }
+    }
+
     /// Words occupied by one record, including any trailing padding needed
     /// to keep consecutive record bases on distinct padding units.
     pub fn record_stride(&self) -> usize {
@@ -144,7 +341,12 @@ impl StmLayout {
 
     /// Total words this instance occupies starting at its base address.
     pub fn words_needed(&self) -> usize {
-        2 * self.n_cells * self.pad_unit() + self.n_procs * self.record_stride()
+        match self.geom {
+            Geom::Fixed => 2 * self.n_cells * self.pad_unit() + self.n_procs * self.record_stride(),
+            Geom::Arena { .. } => {
+                self.n_procs * self.record_stride() + self.max_segments() * self.seg_words()
+            }
+        }
     }
 
     /// One-past-the-end address of the region.
@@ -160,21 +362,49 @@ impl StmLayout {
     #[inline]
     pub fn cell(&self, idx: CellIdx) -> Addr {
         debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
-        self.base + (idx << self.pad_shift)
+        match self.geom {
+            Geom::Fixed => self.base + (idx << self.pad_shift),
+            Geom::Arena { seg_shift, .. } => {
+                let seg = idx >> seg_shift;
+                let slot = idx & ((1 << seg_shift) - 1);
+                self.base
+                    + self.n_procs * self.record_stride()
+                    + seg * self.seg_words()
+                    + (slot << self.pad_shift)
+            }
+        }
     }
 
     /// Address of the ownership word guarding cell `idx`.
+    ///
+    /// Strictly increasing in `idx` for both geometries, so a data set
+    /// sorted by cell index is acquired in ascending address order.
     #[inline]
     pub fn ownership(&self, idx: CellIdx) -> Addr {
         debug_assert!(idx < self.n_cells, "cell index {idx} out of range");
-        self.base + ((self.n_cells + idx) << self.pad_shift)
+        match self.geom {
+            Geom::Fixed => self.base + ((self.n_cells + idx) << self.pad_shift),
+            Geom::Arena { seg_shift, .. } => {
+                let seg = idx >> seg_shift;
+                let slot = idx & ((1 << seg_shift) - 1);
+                self.base
+                    + self.n_procs * self.record_stride()
+                    + seg * self.seg_words()
+                    + (((1 << seg_shift) + slot) << self.pad_shift)
+            }
+        }
     }
 
     /// Base address of processor `proc`'s record.
     #[inline]
     pub fn record(&self, proc: usize) -> Addr {
         debug_assert!(proc < self.n_procs, "processor id {proc} out of range");
-        self.base + ((2 * self.n_cells) << self.pad_shift) + proc * self.record_stride()
+        match self.geom {
+            Geom::Fixed => {
+                self.base + ((2 * self.n_cells) << self.pad_shift) + proc * self.record_stride()
+            }
+            Geom::Arena { .. } => self.base + proc * self.record_stride(),
+        }
     }
 
     /// Address of `proc`'s status word.
@@ -319,5 +549,81 @@ mod tests {
     #[should_panic(expected = "max_locs out of range")]
     fn zero_max_locs_panics() {
         let _ = StmLayout::new(0, 1, 1, 0);
+    }
+
+    #[test]
+    fn arena_regions_do_not_overlap() {
+        for shift in [0u8, 1, 3] {
+            let l = StmLayout::arena(10, 3, 8, shift, 4, 16, 8);
+            assert!(l.is_arena());
+            assert_eq!(l.n_cells(), 128);
+            let addrs = all_addrs(&l);
+            let seen: std::collections::HashSet<Addr> = addrs.iter().copied().collect();
+            assert_eq!(seen.len(), addrs.len(), "duplicate addresses at shift {shift}");
+            assert!(seen.len() <= l.words_needed());
+            assert!(seen.iter().all(|&a| a >= 10 && a < l.end()));
+            if shift == 0 {
+                // Dense arena wastes no words either.
+                assert_eq!(seen.len(), l.words_needed());
+            }
+        }
+    }
+
+    #[test]
+    fn arena_ownership_addresses_strictly_ascend() {
+        // The lock-freedom argument needs: sorting by CellIdx sorts by
+        // ownership address, across segment boundaries included.
+        for shift in [0u8, 2] {
+            let l = StmLayout::arena(0, 2, 8, shift, 2, 8, 6);
+            for i in 1..l.n_cells() {
+                assert!(l.ownership(i) > l.ownership(i - 1), "ownership not ascending at {i}");
+                assert!(l.cell(i) > l.cell(i - 1), "cell not ascending at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn arena_shard_mapping_round_trips() {
+        let l = StmLayout::arena(100, 2, 8, 1, 4, 16, 12);
+        let geom = l.shard_geometry().expect("arena has a shard geometry");
+        assert_eq!(l.n_shards(), 4);
+        assert_eq!(l.max_segments(), 12);
+        for idx in 0..l.n_cells() {
+            let seg = l.segment_of(idx);
+            let slot = idx % l.seg_cells();
+            assert_eq!(l.cell_index(seg, slot), idx);
+            assert_eq!(l.shard_of(idx), seg % 4);
+            // The address-level mapping used by the cost models agrees with
+            // the index-level mapping, for cells and ownership words alike.
+            assert_eq!(geom.shard_of(l.cell(idx)), Some(l.shard_of(idx)));
+            assert_eq!(geom.shard_of(l.ownership(idx)), Some(l.shard_of(idx)));
+        }
+        // Record words belong to no shard.
+        assert_eq!(geom.shard_of(l.record(0)), None);
+        assert_eq!(geom.shard_of(l.end()), None);
+    }
+
+    #[test]
+    fn fixed_geometry_formulas_are_unchanged() {
+        // The arena refactor must not perturb a single fixed-layout address:
+        // bench_gate pins simulated schedules bit-exactly.
+        let l = StmLayout::with_pad_shift(7, 33, 5, 9, 2);
+        let unit = 1 << 2;
+        for i in 0..33 {
+            assert_eq!(l.cell(i), 7 + i * unit);
+            assert_eq!(l.ownership(i), 7 + (33 + i) * unit);
+        }
+        for p in 0..5 {
+            assert_eq!(l.record(p), 7 + 66 * unit + p * l.record_stride());
+        }
+        assert_eq!(l.shard_of(32), 0);
+        assert_eq!(l.seg_cells(), 33);
+        assert!(l.shard_geometry().is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn arena_non_pow2_seg_cells_panics() {
+        let _ = StmLayout::arena(0, 1, 1, 0, 2, 12, 4);
     }
 }

@@ -76,6 +76,7 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+pub mod arena;
 pub mod attribution;
 pub mod contention;
 pub mod durable;
@@ -93,6 +94,7 @@ pub mod step;
 pub mod stm;
 pub mod word;
 
+pub use arena::{ArenaStats, CellArena};
 pub use attribution::{Attribution, CellBlame};
 pub use contention::{
     AdaptiveConfig, AdaptiveManager, ConflictInfo, ContentionManager, ImmediateRetry,
@@ -152,6 +154,7 @@ pub use word::{Addr, CellIdx, Word};
 /// internals, simulation hooks ([`step`]), and the telemetry/chaos machinery
 /// — import those from their modules when a test or tool needs them.
 pub mod prelude {
+    pub use crate::arena::CellArena;
     pub use crate::contention::{AdaptiveManager, ContentionManager, ImmediateRetry};
     pub use crate::durable::{FileJournal, Journal, MemJournal, NoJournal};
     pub use crate::dynamic::{DynamicStm, DynamicTx, Retry};

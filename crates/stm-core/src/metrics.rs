@@ -626,6 +626,38 @@ mod tests {
     }
 
     #[test]
+    fn top_bucket_saturates_and_percentile_clamps() {
+        // Values at and beyond the top bucket's lower bound (2^63) land in
+        // bucket 64, whose nominal width exceeds u64: recording must not
+        // panic and every percentile must clamp to the observed max instead
+        // of extrapolating into the bucket's nominal 2^64 upper bound.
+        let mut h = Log2Histogram::new();
+        for v in [1u64 << 63, (1 << 63) + 1, u64::MAX - 1, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.bucket(64), 4);
+        assert_eq!(h.max(), u64::MAX);
+        // The sum has long overflowed; it saturates rather than wrapping.
+        assert_eq!(h.sum(), u64::MAX);
+        for p in [0.0, 50.0, 99.0, 100.0] {
+            let est = h.percentile(p);
+            assert!(est.is_finite(), "p{p} not finite");
+            assert!(
+                est <= u64::MAX as f64,
+                "p{p} escaped the observed range: {est}"
+            );
+        }
+        assert_eq!(h.percentile(100.0), u64::MAX as f64);
+        // Mixing in small values keeps the tail clamped and monotone.
+        h.record(3);
+        let p50 = h.percentile(50.0);
+        let p100 = h.percentile(100.0);
+        assert!(p50 <= p100);
+        assert_eq!(p100, u64::MAX as f64);
+    }
+
+    #[test]
     fn percentiles_interpolate_within_buckets() {
         assert_eq!(Log2Histogram::new().percentile(50.0), 0.0);
 

@@ -136,6 +136,30 @@ impl StmOps {
         )
     }
 
+    /// Create an instance over a pre-built layout (see
+    /// [`Stm::with_layout`]) with only the built-in programs registered —
+    /// the entry point for the sharded arena geometry.
+    pub fn with_layout(layout: crate::layout::StmLayout, config: StmConfig) -> Self {
+        Self::with_layout_programs(layout, config, |_| ()).0
+    }
+
+    /// Like [`StmOps::with_layout`], also registering application programs
+    /// via `extra`; returns whatever `extra` produced.
+    pub fn with_layout_programs<X>(
+        layout: crate::layout::StmLayout,
+        config: StmConfig,
+        extra: impl FnOnce(&mut ProgramTableBuilder) -> X,
+    ) -> (Self, X) {
+        let mut builder = ProgramTable::builder();
+        let ops = register_builtins(&mut builder);
+        let x = extra(&mut builder);
+        let table: Arc<ProgramTable> = builder.build();
+        (
+            StmOps { stm: Stm::with_layout(layout, table, config), ops, cache: PlanCache::default() },
+            x,
+        )
+    }
+
     /// Attach a shared [`PriorityBoard`](crate::contention::PriorityBoard)
     /// to the underlying instance (see
     /// [`Stm::with_priority_board`](crate::stm::Stm::with_priority_board)).

@@ -446,6 +446,19 @@ impl Stm {
         }
     }
 
+    /// Create an STM instance over a pre-built layout — the entry point for
+    /// the sharded arena geometry ([`StmLayout::arena`]), whose cells are
+    /// handed out by a [`CellArena`](crate::arena::CellArena) sharing the
+    /// same layout. The protocol itself is geometry-agnostic: it only ever
+    /// asks the layout for addresses.
+    ///
+    /// `config.pad_shift` is overwritten with the layout's own shift so the
+    /// two can never disagree.
+    pub fn with_layout(layout: StmLayout, table: Arc<ProgramTable>, mut config: StmConfig) -> Self {
+        config.pad_shift = layout.pad_shift();
+        Stm { layout, table, config, priority: None }
+    }
+
     /// Attach a shared [`PriorityBoard`](crate::contention::PriorityBoard),
     /// activating the fairness ladder in the protocol: helpers defer to
     /// records whose owner's published level exceeds their own, and managers

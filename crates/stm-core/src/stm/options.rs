@@ -123,7 +123,7 @@ mod tests {
             .journal(crate::durable::DurableMem::new().handle());
         assert_eq!(opts.budget.max_attempts, Some(3));
         assert!(!opts.manager.is_escalated());
-        assert!(<crate::durable::MemJournal as crate::durable::Journal>::ACTIVE);
+        const { assert!(<crate::durable::MemJournal as crate::durable::Journal>::ACTIVE) };
     }
 
     #[test]

@@ -16,6 +16,7 @@
 
 use std::collections::HashMap;
 
+use stm_core::layout::ShardGeometry;
 use stm_core::word::Addr;
 
 use super::{CostModel, OpKind};
@@ -41,6 +42,13 @@ pub struct BusModel {
     n_procs: usize,
     /// Bus transactions performed (for stats/diagnostics).
     bus_txns: u64,
+    /// Optional sharded-arena geometry: bus transactions on a segment word
+    /// outside the issuing processor's home shard occupy the bus for
+    /// `cross_cost` extra cycles (longer snoop walk across the other
+    /// shard's address runs). `None` leaves every schedule bit-identical
+    /// to the classic model.
+    shard: Option<(ShardGeometry, u64)>,
+    cross_shard_txns: u64,
 }
 
 impl BusModel {
@@ -57,7 +65,26 @@ impl BusModel {
     /// Panics if `n_procs` exceeds 128 (sharer bitmap width).
     pub fn new(n_procs: usize, local_cost: u64, bus_cost: u64) -> Self {
         assert!(n_procs <= 128, "bus model supports at most 128 processors");
-        BusModel { local_cost, bus_cost, bus_free: 0, lines: HashMap::new(), n_procs, bus_txns: 0 }
+        BusModel {
+            local_cost,
+            bus_cost,
+            bus_free: 0,
+            lines: HashMap::new(),
+            n_procs,
+            bus_txns: 0,
+            shard: None,
+            cross_shard_txns: 0,
+        }
+    }
+
+    /// Charge cross-shard traffic: bus transactions on segment words whose
+    /// shard differs from the issuing processor's home shard
+    /// (`proc % n_shards`) occupy the bus for `cross_cost` extra cycles.
+    /// Record words and other non-arena addresses are never surcharged.
+    #[must_use]
+    pub fn with_shard_geometry(mut self, geom: ShardGeometry, cross_cost: u64) -> Self {
+        self.shard = Some((geom, cross_cost));
+        self
     }
 
     /// Number of bus transactions so far.
@@ -65,11 +92,29 @@ impl BusModel {
         self.bus_txns
     }
 
-    fn bus_transaction(&mut self, earliest: u64) -> u64 {
+    /// Bus transactions that crossed shards (0 without a shard geometry).
+    pub fn cross_shard_txns(&self) -> u64 {
+        self.cross_shard_txns
+    }
+
+    /// Extra bus occupancy for `proc` touching `addr`, when a shard
+    /// geometry is attached and the address lives in a foreign shard.
+    fn cross_cost_for(&self, proc: usize, addr: Addr) -> Option<u64> {
+        let (geom, cost) = self.shard.as_ref()?;
+        match geom.shard_of(addr) {
+            Some(shard) if shard != proc % geom.n_shards => Some(*cost),
+            _ => None,
+        }
+    }
+
+    fn bus_transaction(&mut self, earliest: u64, cross: Option<u64>) -> u64 {
         let start = earliest.max(self.bus_free);
-        let done = start + self.bus_cost;
+        let done = start + self.bus_cost + cross.unwrap_or(0);
         self.bus_free = done;
         self.bus_txns += 1;
+        if cross.is_some() {
+            self.cross_shard_txns += 1;
+        }
         done
     }
 }
@@ -79,6 +124,7 @@ impl CostModel for BusModel {
         debug_assert!(proc < self.n_procs);
         let bit = 1u128 << proc;
         let ready = t + self.local_cost;
+        let cross = self.cross_cost_for(proc, addr);
         let line = self.lines.entry(addr).or_default();
         match kind {
             OpKind::Read => {
@@ -87,7 +133,7 @@ impl CostModel for BusModel {
                 } else {
                     line.sharers |= bit;
                     line.modified = false;
-                    self.bus_transaction(ready)
+                    self.bus_transaction(ready, cross)
                 }
             }
             OpKind::Write | OpKind::Cas => {
@@ -99,7 +145,7 @@ impl CostModel for BusModel {
                 } else {
                     line.sharers = bit;
                     line.modified = true;
-                    self.bus_transaction(ready)
+                    self.bus_transaction(ready, cross)
                 }
             }
         }
@@ -170,5 +216,40 @@ mod tests {
     #[should_panic(expected = "at most 128")]
     fn too_many_procs_panics() {
         let _ = BusModel::new(129, 1, 1);
+    }
+
+    #[test]
+    fn cross_shard_bus_txns_pay_the_surcharge() {
+        use stm_core::layout::StmLayout;
+        // 2 shards, 8-cell segments: cell 0 → shard 0, cell 8 → shard 1.
+        let layout = StmLayout::arena(0, 2, 4, 0, 2, 8, 4);
+        let geom = layout.shard_geometry().unwrap();
+        let mut plain = BusModel::new(2, 1, 10);
+        let mut sharded = BusModel::new(2, 1, 10).with_shard_geometry(geom, 5);
+
+        // Home-shard traffic and record words cost exactly the classic model.
+        let own = layout.cell(0);
+        assert_eq!(
+            sharded.access(0, 0, OpKind::Read, own),
+            plain.access(0, 0, OpKind::Read, own)
+        );
+        let rec = layout.record(1);
+        assert_eq!(
+            sharded.access(20, 0, OpKind::Cas, rec),
+            plain.access(20, 0, OpKind::Cas, rec)
+        );
+        assert_eq!(sharded.cross_shard_txns(), 0);
+
+        // A foreign-shard miss occupies the bus 5 cycles longer.
+        let foreign = layout.cell(8);
+        let t_plain = plain.access(100, 0, OpKind::Read, foreign);
+        let t_cross = sharded.access(100, 0, OpKind::Read, foreign);
+        assert_eq!(t_cross, t_plain + 5);
+        assert_eq!(sharded.cross_shard_txns(), 1);
+
+        // Cache hits stay local even across shards.
+        let t_hit = sharded.access(t_cross, 0, OpKind::Read, foreign);
+        assert_eq!(t_hit, t_cross + 1);
+        assert_eq!(sharded.cross_shard_txns(), 1);
     }
 }

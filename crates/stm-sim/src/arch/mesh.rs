@@ -11,6 +11,7 @@
 //! DSM results are dominated by remote latency and hot-spot queueing, which
 //! this reproduces; see DESIGN.md §5.
 
+use stm_core::layout::ShardGeometry;
 use stm_core::word::Addr;
 
 use super::{CostModel, OpKind};
@@ -29,6 +30,11 @@ pub struct MeshModel {
     /// Per-node module busy-until.
     node_free: Vec<u64>,
     remote_accesses: u64,
+    /// Optional sharded-arena geometry: segment words home at
+    /// `shard % n_nodes` instead of round-robin, so a whole shard lives on
+    /// one node and cross-shard traffic pays the network distance between
+    /// shard homes. `None` keeps the classic interleaving bit-identical.
+    shard: Option<ShardGeometry>,
 }
 
 impl MeshModel {
@@ -55,11 +61,30 @@ impl MeshModel {
             mem_cost,
             node_free: vec![0; n_nodes],
             remote_accesses: 0,
+            shard: None,
         }
     }
 
-    /// Home node of an address (round-robin interleaving).
+    /// Home the sharded arena's segment words by shard
+    /// (`shard % n_nodes`): every word of a shard — cells and ownership
+    /// words alike — is served by one node, so home-shard traffic stays
+    /// near the owning processor and cross-shard traffic pays real network
+    /// distance plus the foreign node's queue. Record words and non-arena
+    /// addresses keep the classic round-robin interleaving.
+    #[must_use]
+    pub fn with_shard_geometry(mut self, geom: ShardGeometry) -> Self {
+        self.shard = Some(geom);
+        self
+    }
+
+    /// Home node of an address (round-robin interleaving; shard-homed for
+    /// arena segment words when a [`ShardGeometry`] is attached).
     pub fn home(&self, addr: Addr) -> usize {
+        if let Some(geom) = &self.shard {
+            if let Some(shard) = geom.shard_of(addr) {
+                return shard % self.n_nodes;
+            }
+        }
         addr % self.n_nodes
     }
 
@@ -126,6 +151,14 @@ impl CachedMeshModel {
     /// Total invalidation messages sent so far.
     pub fn invalidations(&self) -> u64 {
         self.invalidations
+    }
+
+    /// Shard-home the arena's segment words on the underlying mesh (see
+    /// [`MeshModel::with_shard_geometry`]).
+    #[must_use]
+    pub fn with_shard_geometry(mut self, geom: ShardGeometry) -> Self {
+        self.mesh = self.mesh.with_shard_geometry(geom);
+        self
     }
 }
 
@@ -218,6 +251,31 @@ mod tests {
         let m = MeshModel::new(16, 1, 2, 6);
         let homes: std::collections::HashSet<usize> = (0..16).map(|a| m.home(a)).collect();
         assert_eq!(homes.len(), 16, "16 consecutive addresses spread over 16 nodes");
+    }
+
+    #[test]
+    fn shard_geometry_homes_segments_by_shard() {
+        use stm_core::layout::StmLayout;
+        // 4 shards on a 2x2 mesh: shard s homes entirely at node s.
+        let layout = StmLayout::arena(0, 4, 4, 0, 4, 8, 8);
+        let geom = layout.shard_geometry().unwrap();
+        let m = MeshModel::new(4, 1, 2, 6).with_shard_geometry(geom);
+        for idx in 0..layout.n_cells() {
+            let shard = layout.shard_of(idx);
+            assert_eq!(m.home(layout.cell(idx)), shard % 4);
+            assert_eq!(m.home(layout.ownership(idx)), shard % 4);
+        }
+        // Record words keep the classic round-robin interleaving.
+        assert_eq!(m.home(layout.record(0)), layout.record(0) % 4);
+        // A processor on its shard's home node accesses its cells without
+        // touching the network; a foreign shard costs hops.
+        let mut m2 = m.clone();
+        let shard0_cell = layout.cell(0); // shard 0 → node 0
+        let t = m2.access(0, 0, OpKind::Read, shard0_cell);
+        assert_eq!(t, 1 + 6, "home-shard access is network-free");
+        let shard3_cell = layout.cell(3 * 8); // shard 3 → node 3, 2 hops from 0
+        let t = m2.access(0, 0, OpKind::Read, shard3_cell);
+        assert_eq!(t, 1 + 2 * 2 + 6 + 2 * 2);
     }
 
     #[test]

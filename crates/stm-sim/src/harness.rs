@@ -72,6 +72,21 @@ impl StmSim {
         (StmSim { ops, n_procs, sim_config }, x)
     }
 
+    /// An STM over a pre-built layout — e.g. a sharded arena
+    /// ([`stm_core::layout::StmLayout::arena`]) whose cells a host-side
+    /// [`stm_core::arena::CellArena`] hands out while the simulation runs.
+    /// The simulated memory is sized to cover the layout's full capacity
+    /// (`layout.end()` words); pair with
+    /// [`crate::arch::BusModel::with_shard_geometry`] /
+    /// [`crate::arch::MeshModel::with_shard_geometry`] to charge cross-shard
+    /// traffic.
+    pub fn with_layout(n_procs: usize, layout: stm_core::layout::StmLayout, config: StmConfig) -> Self {
+        let ops = StmOps::with_layout(layout, config);
+        let n_words = ops.stm().layout().end();
+        let sim_config = SimConfig { n_words, ..Default::default() };
+        StmSim { ops, n_procs, sim_config }
+    }
+
     /// Set the schedule seed (default 0).
     pub fn seed(mut self, seed: u64) -> Self {
         self.sim_config.seed = seed;

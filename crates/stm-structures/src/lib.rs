@@ -34,6 +34,7 @@
 pub mod blocking;
 pub mod counter;
 pub mod deque;
+pub mod hashmap;
 pub mod list_set;
 pub mod prio;
 pub mod queue;

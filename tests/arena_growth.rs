@@ -1,0 +1,276 @@
+//! Growth safety for the sharded cell arena.
+//!
+//! The tentpole claim of the arena refactor is that **growth moves
+//! nothing**: segment-append keeps every handed-out `CellIdx` — and hence
+//! every cell address, ownership address, and packed `stamp|value` word —
+//! bit-stable across arbitrary interleavings of segment growth, span
+//! allocation, and span free. These tests pin that claim three ways:
+//!
+//! 1. **Replay determinism (proptest, host):** an arbitrary alloc/free
+//!    program replayed on two fresh arenas hands out the *same* cell
+//!    indices, and live spans never overlap, never leave the segment
+//!    region, and never straddle a segment boundary.
+//! 2. **Ascending addresses:** cell and ownership addresses are strictly
+//!    increasing in `CellIdx`, so sorting a transaction's data set by index
+//!    sorts its ownership words by address — the Shavit–Touitou
+//!    acquisition-order argument survives the growable heap.
+//! 3. **Simulator bit-stability (Bus + Mesh):** the same seeded schedule
+//!    over an arena-backed STM — procs growing, transacting on, and freeing
+//!    spans mid-run — produces a bit-identical final memory image when
+//!    replayed, and freed spans keep their last committed packed words
+//!    (stamps keep moving forward for the next tenant). Seed count scales
+//!    with `FAULT_MATRIX_SEEDS` like the other matrix sweeps.
+
+use std::sync::{Arc, Mutex};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use stm_core::arena::CellArena;
+use stm_core::layout::StmLayout;
+use stm_core::machine::host::HostMachine;
+use stm_core::stm::StmConfig;
+use stm_core::word::CellIdx;
+use stm_sim::arch::{BusModel, MeshModel};
+use stm_sim::engine::SimPort;
+use stm_sim::harness::StmSim;
+
+/// Seeds for the simulator sweep; raised in nightly CI (same knob as the
+/// crash-matrix sweeps).
+fn matrix_seeds() -> u64 {
+    std::env::var("FAULT_MATRIX_SEEDS").ok().and_then(|s| s.parse().ok()).unwrap_or(10)
+}
+
+/// A small arena: 4 shards × 16-cell segments, up to 12 segments.
+fn small_layout(n_procs: usize) -> StmLayout {
+    StmLayout::arena(0, n_procs, 8, 0, 4, 16, 12)
+}
+
+// ---------------------------------------------------------------------------
+// 1 + 2: replay determinism, span disjointness, ascending addresses
+// ---------------------------------------------------------------------------
+
+/// One step of an alloc/free program. `Free(i)` frees the `i`-th oldest
+/// span still live at that point (modulo the live count), so programs stay
+/// valid however allocation succeeds or fails.
+#[derive(Debug, Clone)]
+enum ArenaOp {
+    Alloc { proc: usize, span: usize },
+    Free(usize),
+}
+
+fn arena_op() -> impl Strategy<Value = ArenaOp> {
+    // Two alloc arms to one free keeps the arena growing.
+    let alloc = |_: ()| {
+        (0usize..4, 1usize..=4).prop_map(|(proc, span)| ArenaOp::Alloc { proc, span })
+    };
+    let free = (0usize..64).prop_map(ArenaOp::Free);
+    prop_oneof![alloc(()), alloc(()), free]
+}
+
+/// Run `program` on a fresh arena, checking span invariants at every step;
+/// returns the exact sequence of alloc results (None on exhaustion).
+fn replay(program: &[ArenaOp]) -> Vec<Option<CellIdx>> {
+    let layout = small_layout(4);
+    let arena = CellArena::new(layout);
+    let seg_cells = layout.seg_cells();
+    let mut live: Vec<(CellIdx, usize)> = Vec::new();
+    let mut results = Vec::new();
+    for op in program {
+        match *op {
+            ArenaOp::Alloc { proc, span } => {
+                let got = arena.alloc_span(proc, span);
+                if let Some(idx) = got {
+                    // In bounds, within one segment, disjoint from every
+                    // live span, and visible as live.
+                    assert!(idx + span <= layout.n_cells());
+                    assert!(idx % seg_cells + span <= seg_cells, "span straddles a segment");
+                    for &(other, olen) in &live {
+                        assert!(
+                            idx + span <= other || other + olen <= idx,
+                            "span [{idx},{span}] overlaps live [{other},{olen}]"
+                        );
+                    }
+                    assert!((idx..idx + span).all(|c| arena.is_live(c)));
+                    live.push((idx, span));
+                }
+                results.push(got);
+            }
+            ArenaOp::Free(i) => {
+                if !live.is_empty() {
+                    let (idx, span) = live.remove(i % live.len());
+                    arena.free_span(idx, span);
+                    assert!((idx..idx + span).all(|c| !arena.is_live(c)));
+                }
+            }
+        }
+    }
+    let live_now: usize = live.iter().map(|&(_, s)| s).sum();
+    assert_eq!(arena.live_cells(), live_now, "live-cell accounting drifted");
+    results
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+    /// The same alloc/free program on two fresh arenas hands out exactly
+    /// the same cell indices — allocation is a pure function of the
+    /// program, never of wall-clock or map iteration order.
+    #[test]
+    fn arena_replay_is_deterministic_and_disjoint(program in vec(arena_op(), 1..120)) {
+        let first = replay(&program);
+        let second = replay(&program);
+        prop_assert_eq!(first, second);
+    }
+}
+
+#[test]
+fn cell_and_ownership_addresses_ascend_with_index() {
+    let layout = small_layout(4);
+    // Strictly ascending across the whole capacity — including every
+    // segment boundary — so index order is acquisition order.
+    for idx in 1..layout.n_cells() {
+        assert!(
+            layout.cell(idx) > layout.cell(idx - 1),
+            "cell address dipped at {idx}"
+        );
+        assert!(
+            layout.ownership(idx) > layout.ownership(idx - 1),
+            "ownership address dipped at {idx}"
+        );
+    }
+    // The shard map covers exactly the segment region.
+    let geom = layout.shard_geometry().expect("arena layout has a geometry");
+    for idx in 0..layout.n_cells() {
+        assert_eq!(geom.shard_of(layout.cell(idx)), Some(layout.shard_of(idx)));
+    }
+    assert_eq!(geom.shard_of(layout.status(0)), None, "records are outside the shard map");
+}
+
+// ---------------------------------------------------------------------------
+// 3: bit-stability under simulated schedules, Bus + Mesh
+// ---------------------------------------------------------------------------
+
+/// Per-proc workload: three rounds of grow/alloc → transact → (sometimes)
+/// free over the shared arena. With one shard per proc and ample capacity,
+/// each proc's allocation sequence is deterministic regardless of how the
+/// host interleaves the closures, so a seeded schedule is replayable.
+fn sim_round(
+    seed: u64,
+    mesh: bool,
+) -> (Vec<u64>, Vec<(CellIdx, u32)>) {
+    const PROCS: usize = 4;
+    let layout = StmLayout::arena(0, PROCS, 8, 0, PROCS, 8, 16);
+    let geom = layout.shard_geometry().expect("arena geometry");
+    let arena = Arc::new(CellArena::new(layout));
+    let freed: Arc<Mutex<Vec<(CellIdx, u32)>>> = Arc::new(Mutex::new(Vec::new()));
+    let sim = StmSim::with_layout(PROCS, layout, StmConfig::default()).seed(seed).jitter(3);
+    let make_body = |p: usize, ops: stm_core::ops::StmOps| {
+        let arena = Arc::clone(&arena);
+        let freed = Arc::clone(&freed);
+        move |mut port: SimPort| {
+            for round in 0u32..3 {
+                let span = 1 + (round as usize % 3);
+                let idx = arena.alloc_span(p, span).expect("arena sized for the workload");
+                let value = (p as u32) << 16 | round << 8;
+                for j in 0..span {
+                    ops.swap(&mut port, idx + j, value + j as u32);
+                }
+                if round != 1 {
+                    arena.free_span(idx, span);
+                    let mut f = freed.lock().unwrap();
+                    for j in 0..span {
+                        f.push((idx + j, value + j as u32));
+                    }
+                }
+            }
+        }
+    };
+    let report = if mesh {
+        sim.run(MeshModel::for_procs(PROCS).with_shard_geometry(geom), make_body)
+    } else {
+        sim.run(BusModel::for_procs(PROCS).with_shard_geometry(geom, 4), make_body)
+    };
+    assert!(sim.leaked_ownerships(&report).is_empty(), "ownership leaked (seed {seed})");
+    let mut f = Arc::try_unwrap(freed).expect("workload done").into_inner().unwrap();
+    f.sort_unstable();
+    (report.memory, f)
+}
+
+#[test]
+fn packed_words_bit_stable_across_growth_on_bus_and_mesh() {
+    for mesh in [false, true] {
+        for seed in 0..matrix_seeds() {
+            let (mem_a, freed_a) = sim_round(seed, mesh);
+            let (mem_b, freed_b) = sim_round(seed, mesh);
+            // Same seed ⇒ the entire memory image — cells, ownerships,
+            // records — is bit-identical, growth and frees included.
+            assert_eq!(mem_a, mem_b, "memory diverged (mesh={mesh} seed={seed})");
+            assert_eq!(freed_a, freed_b, "free log diverged (mesh={mesh} seed={seed})");
+            // Freed spans keep their last committed packed value: the
+            // arena never scrubs, so stale readers revalidate against
+            // unchanged stamps instead of reading torn words.
+            let layout = StmLayout::arena(0, 4, 8, 0, 4, 8, 16);
+            for &(idx, want) in &freed_a {
+                let word = mem_a[layout.cell(idx)];
+                assert_eq!(
+                    stm_core::word::cell_value(word),
+                    want,
+                    "freed cell {idx} lost its last value (mesh={mesh} seed={seed})"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic transactions over arena-allocated cells (host)
+// ---------------------------------------------------------------------------
+
+#[test]
+fn dynamic_transactions_run_over_arena_cells() {
+    use stm_core::dynamic::DynamicStm;
+    use stm_core::stm::TxOptions;
+
+    let layout = StmLayout::arena(0, 2, 8, 0, 2, 16, 4);
+    let arena = CellArena::new(layout);
+    let d = DynamicStm::with_layout(layout, StmConfig::default());
+    let machine = HostMachine::new(layout.end(), 2);
+    let mut port = machine.port(0);
+
+    // Two spans from different shards; a dynamic read-modify-write across
+    // both commits like any static-footprint transaction (footprint ≤ 8).
+    let a = arena.alloc_span(0, 3).expect("alloc");
+    let b = arena.alloc_span(1, 2).expect("alloc");
+    let (sum, _) = d
+        .run(
+            &mut port,
+            |tx| {
+                let mut sum = 0u32;
+                for j in 0..3 {
+                    let v = tx.read(a + j);
+                    tx.write(a + j, v + 1 + j as u32);
+                    sum += v;
+                }
+                for j in 0..2 {
+                    let v = tx.read(b + j);
+                    tx.write(b + j, v + 10);
+                    sum += v;
+                }
+                sum
+            },
+            &mut TxOptions::new(),
+        )
+        .expect("commit");
+    assert_eq!(sum, 0, "fresh cells start zeroed");
+    for j in 0..3 {
+        assert_eq!(d.read_cell(&mut port, a + j), 1 + j as u32);
+    }
+    for j in 0..2 {
+        assert_eq!(d.read_cell(&mut port, b + j), 10);
+    }
+    arena.free_span(a, 3);
+    // The freed span keeps its words; the next tenant of the same cells
+    // sees them until it commits its own.
+    let a2 = arena.alloc_span(0, 3).expect("LIFO reuse");
+    assert_eq!(a2, a, "span-keyed free list reuses the span");
+    assert_eq!(d.read_cell(&mut port, a2), 1);
+}

@@ -194,8 +194,8 @@ fn check_storm(mesh: bool, seed: u64) -> u64 {
     let total: u64 = cells.iter().map(|&v| v as u64).sum();
     let expected = (BIG_TXS * BIG_K + (STORM_PROCS - 1) * SMALL_TXS) as u64;
     assert_eq!(total, expected, "{ctx}: lost or duplicated adds");
-    for c in 2..BIG_K {
-        assert_eq!(cells[c] as usize, BIG_TXS, "{ctx}: big-only cell {c}");
+    for (c, &v) in cells.iter().enumerate().take(BIG_K).skip(2) {
+        assert_eq!(v as usize, BIG_TXS, "{ctx}: big-only cell {c}");
     }
     assert!(sim.leaked_ownerships(&report).is_empty(), "{ctx}");
 
@@ -382,8 +382,8 @@ fn delta_workload(seed: u64, delta_retry_cells: usize, mesh: bool) -> (Vec<u32>,
 /// The schedule-independent expected final memory of the delta workload.
 fn delta_expected() -> Vec<u32> {
     let mut cells = vec![0u32; DELTA_CELLS];
-    for c in 0..DELTA_BIG_K {
-        cells[c] += DELTA_BIG_TXS as u32;
+    for cell in cells.iter_mut().take(DELTA_BIG_K) {
+        *cell += DELTA_BIG_TXS as u32;
     }
     for p in 1..DELTA_PROCS {
         for i in 0..DELTA_SMALL_TXS {
